@@ -1,0 +1,344 @@
+// Command medbench regenerates every figure-level artifact of the
+// MedMaker paper and measures every performance claim, printing the rows
+// recorded in EXPERIMENTS.md. Run with -figures to emit the structural
+// artifacts (Figures 2.2–2.4, R2, τ1/τ2, the Figure 3.6 graph and trace),
+// with -perf for the measured comparisons, or with neither for both.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"medmaker"
+	"medmaker/internal/handcoded"
+	"medmaker/internal/oem"
+	"medmaker/internal/workload"
+)
+
+const specMS1 = `
+<cs_person {<name N> <relation R> Rest1 Rest2}> :-
+    <person {<name N> <dept 'CS'> <relation R> | Rest1}>@whois
+    AND <R {<first_name FN> <last_name LN> | Rest2}>@cs
+    AND decomp(N, LN, FN).
+
+decomp(bound, free, free) by name_to_lnfn.
+decomp(free, bound, bound) by lnfn_to_name.
+`
+
+func main() {
+	figures := flag.Bool("figures", false, "emit only the structural figure artifacts")
+	perf := flag.Bool("perf", false, "emit only the measured comparisons")
+	reps := flag.Int("reps", 20, "timing repetitions per measurement (median reported)")
+	flag.Parse()
+	all := !*figures && !*perf
+	if *figures || all {
+		runFigures()
+	}
+	if *perf || all {
+		runPerf(*reps)
+	}
+}
+
+// paperSources builds the exact Section 2 population.
+func paperSources() (*medmaker.RelationalWrapper, *medmaker.RecordWrapper) {
+	db := medmaker.NewRelationalDB()
+	emp := db.MustCreateTable(medmaker.RelationalSchema{
+		Name: "employee",
+		Columns: []medmaker.RelationalColumn{
+			{Name: "first_name", Kind: oem.KindString},
+			{Name: "last_name", Kind: oem.KindString},
+			{Name: "title", Kind: oem.KindString},
+			{Name: "reports_to", Kind: oem.KindString},
+		},
+	})
+	emp.MustInsert("Joe", "Chung", "professor", "John Hennessy")
+	stu := db.MustCreateTable(medmaker.RelationalSchema{
+		Name: "student",
+		Columns: []medmaker.RelationalColumn{
+			{Name: "first_name", Kind: oem.KindString},
+			{Name: "last_name", Kind: oem.KindString},
+			{Name: "year", Kind: oem.KindInt},
+		},
+	})
+	stu.MustInsert("Nick", "Naive", 3)
+	store := medmaker.NewRecordStore()
+	store.MustAdd(
+		medmaker.Record{Kind: "person", Fields: []medmaker.RecordField{
+			{Name: "name", Value: "Joe Chung"}, {Name: "dept", Value: "CS"},
+			{Name: "relation", Value: "employee"}, {Name: "e_mail", Value: "chung@cs"},
+		}},
+		medmaker.Record{Kind: "person", Fields: []medmaker.RecordField{
+			{Name: "name", Value: "Nick Naive"}, {Name: "dept", Value: "CS"},
+			{Name: "relation", Value: "student"}, {Name: "year", Value: 3},
+		}},
+	)
+	return medmaker.NewRelationalWrapper("cs", db), medmaker.NewRecordWrapper("whois", store)
+}
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
+		os.Exit(1)
+	}
+	return v
+}
+
+func runFigures() {
+	cs, whois := paperSources()
+	section := func(s string) { fmt.Printf("\n########## %s ##########\n", s) }
+
+	section("F2.2: OEM object structure of the cs wrapper")
+	fmt.Print(medmaker.FormatOEM(cs.Export()...))
+
+	section("F2.3: OEM object structure of whois")
+	fmt.Print(medmaker.FormatOEM(whois.Export()...))
+
+	med := must(medmaker.New(medmaker.Config{
+		Name: "med", Spec: specMS1, Sources: []medmaker.Source{cs, whois},
+	}))
+
+	section("Q1/R2: view expansion of query Q1")
+	q1 := `JC :- JC:<cs_person {<name 'Joe Chung'>}>@med.`
+	fmt.Println("query:", q1)
+	fmt.Print(must(med.Explain(q1)))
+
+	section("F3.6: datamerge graph execution trace for Q1")
+	traced := must(medmaker.New(medmaker.Config{
+		Name: "med", Spec: specMS1, Sources: []medmaker.Source{cs, whois}, Trace: os.Stdout,
+	}))
+	result := must(traced.QueryString(q1))
+
+	section("F2.4: the integrated cs_person object")
+	fmt.Print(medmaker.FormatOEM(result...))
+
+	section("Sec 3.3: tau1/tau2 push choices for the <year 3> query")
+	q3 := `S :- S:<cs_person {<year 3>}>@med.`
+	fmt.Println("query:", q3)
+	_, logical, err := med.Plan(must(medmaker.ParseQuery(q3)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(logical.String())
+	fmt.Println("answer:")
+	fmt.Print(medmaker.FormatOEM(must(med.QueryString(q3))...))
+}
+
+// timeIt returns the median wall time of f over reps runs.
+func timeIt(reps int, f func()) time.Duration {
+	times := make([]time.Duration, reps)
+	for i := range times {
+		start := time.Now()
+		f()
+		times[i] = time.Since(start)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[reps/2]
+}
+
+type row struct {
+	id, config, metric string
+	value              time.Duration
+}
+
+func printRows(title string, rows []row) {
+	fmt.Printf("\n== %s ==\n", title)
+	w1, w2 := 0, 0
+	for _, r := range rows {
+		if len(r.config) > w1 {
+			w1 = len(r.config)
+		}
+		if len(r.metric) > w2 {
+			w2 = len(r.metric)
+		}
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-8s %-*s  %-*s  %12v\n", r.id, w1, r.config, w2, r.metric, r.value)
+	}
+	if len(rows) >= 2 && rows[0].value > 0 {
+		fmt.Printf("  ratio last/first: %.2fx\n", float64(rows[len(rows)-1].value)/float64(rows[0].value))
+	}
+}
+
+func scaled(persons int, opts *medmaker.PlanOptions) (*medmaker.Mediator, *workload.Staff,
+	*medmaker.RelationalWrapper, *medmaker.RecordWrapper) {
+	staff := must(workload.GenStaff(workload.StaffConfig{
+		Persons: persons, Departments: 4, EmployeeFraction: 0.5, Irregularity: 0.3, Seed: 1,
+	}))
+	cs := medmaker.NewRelationalWrapper("cs", staff.DB)
+	whois := medmaker.NewRecordWrapper("whois", staff.Store)
+	med := must(medmaker.New(medmaker.Config{
+		Name: "med", Spec: specMS1, Sources: []medmaker.Source{cs, whois}, Plan: opts,
+	}))
+	return med, staff, cs, whois
+}
+
+func runPerf(reps int) {
+	fmt.Println("\n################ measured comparisons ################")
+	fmt.Printf("(median of %d runs each; shapes, not absolute numbers, are the result)\n", reps)
+
+	// E-PUSH: pushdown ablation.
+	{
+		var rows []row
+		for _, push := range []bool{true, false} {
+			opts := medmaker.PlanOptions{PushConditions: push, Parameterize: push, DupElim: true}
+			med, staff, _, _ := scaled(1000, &opts)
+			q := fmt.Sprintf(`JC :- JC:<cs_person {<name %s>}>@med.`, oem.QuoteAtom(staff.Names[0]))
+			d := timeIt(reps, func() { must(med.QueryString(q)) })
+			rows = append(rows, row{"E-PUSH", fmt.Sprintf("pushdown=%v", push), "selective Q1, 1000 persons", d})
+		}
+		printRows("E-PUSH: push selections down vs mediator-side filtering", rows)
+	}
+
+	// E-JOIN: order strategies.
+	{
+		var rows []row
+		for _, m := range []struct {
+			name  string
+			order medmaker.OrderMode
+			warm  bool
+		}{{"heuristic", medmaker.OrderHeuristic, false}, {"reversed", medmaker.OrderReversed, false}, {"stats-warm", medmaker.OrderStats, true}} {
+			opts := medmaker.DefaultPlanOptions()
+			opts.Order = m.order
+			med, staff, _, _ := scaled(500, &opts)
+			q := fmt.Sprintf(`JC :- JC:<cs_person {<name %s>}>@med.`, oem.QuoteAtom(staff.Names[0]))
+			if m.warm {
+				must(med.QueryString(q))
+			}
+			d := timeIt(reps, func() { must(med.QueryString(q)) })
+			rows = append(rows, row{"E-JOIN", m.name, "selective Q1, 500 persons", d})
+		}
+		printRows("E-JOIN: join-order strategy (conditions-outermost heuristic of Sec 3.5)", rows)
+	}
+
+	// E-JOIN (2): parameterized queries vs independent fetch + join.
+	{
+		var rows []row
+		for _, param := range []bool{true, false} {
+			opts := medmaker.PlanOptions{PushConditions: true, Parameterize: param, DupElim: true}
+			med, _, _, _ := scaled(300, &opts)
+			q := `P :- P:<cs_person {<name N>}>@med.`
+			d := timeIt(reps, func() { must(med.QueryString(q)) })
+			rows = append(rows, row{"E-JOIN", fmt.Sprintf("parameterized=%v", param), "full view, 300 persons", d})
+		}
+		printRows("E-JOIN: parameterized query node vs hash-join baseline", rows)
+	}
+
+	// E-CAP: capability-limited sources.
+	{
+		var rows []row
+		for _, limited := range []bool{false, true} {
+			staff := must(workload.GenStaff(workload.StaffConfig{
+				Persons: 500, Departments: 4, EmployeeFraction: 0.5, Irregularity: 0.3, Seed: 1,
+			}))
+			var sources []medmaker.Source
+			cs := medmaker.NewRelationalWrapper("cs", staff.DB)
+			whois := medmaker.NewRecordWrapper("whois", staff.Store)
+			if limited {
+				sources = []medmaker.Source{
+					&medmaker.LimitedSource{Inner: cs, Caps: medmaker.Capabilities{MultiPattern: true}},
+					&medmaker.LimitedSource{Inner: whois, Caps: medmaker.Capabilities{MultiPattern: true}},
+				}
+			} else {
+				sources = []medmaker.Source{cs, whois}
+			}
+			med := must(medmaker.New(medmaker.Config{Name: "med", Spec: specMS1, Sources: sources}))
+			q := fmt.Sprintf(`JC :- JC:<cs_person {<name %s>}>@med.`, oem.QuoteAtom(staff.Names[0]))
+			d := timeIt(reps, func() { must(med.QueryString(q)) })
+			cfg := "fully capable sources"
+			if limited {
+				cfg = "condition-blind sources"
+			}
+			rows = append(rows, row{"E-CAP", cfg, "selective Q1, 500 persons", d})
+		}
+		printRows("E-CAP: capabilities-based rewriting cost (Sec 3.5 / [PGH])", rows)
+	}
+
+	// E-WILD: wildcard vs top-level as depth grows.
+	{
+		var rows []row
+		for _, depth := range []int{2, 4, 6} {
+			lib := workload.GenDeepLibrary(3, depth)
+			src := medmaker.NewOEMSource("lib")
+			if err := src.Add(lib); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			med := must(medmaker.New(medmaker.Config{
+				Name: "med", Spec: `<found T> :- <%title T>@lib.`, Sources: []medmaker.Source{src},
+			}))
+			d := timeIt(reps, func() { must(med.QueryString(`X :- X:<found T>@med.`)) })
+			rows = append(rows, row{"E-WILD", fmt.Sprintf("wildcard depth=%d (3^%d titles)", depth, depth), "search all titles", d})
+		}
+		printRows("E-WILD: wildcard search cost grows with the object graph (Sec 2)", rows)
+	}
+
+	// E-HAND: declarative vs hand-coded.
+	{
+		var rows []row
+		med, staff, cs, whois := scaled(300, nil)
+		name := staff.Names[0]
+		q := fmt.Sprintf(`JC :- JC:<cs_person {<name %s>}>@med.`, oem.QuoteAtom(name))
+		d := timeIt(reps, func() { must(med.QueryString(q)) })
+		rows = append(rows, row{"E-HAND", "declarative (MSI)", "selective Q1, 300 persons", d})
+		hc := handcoded.New(cs, whois)
+		d2 := timeIt(reps, func() { must(hc.CSPersonByName(name)) })
+		rows = append(rows, row{"E-HAND", "hand-coded Go mediator", "selective Q1, 300 persons", d2})
+		fmt.Println()
+		printRows("E-HAND: declarative interpretation overhead vs hard-coded mediator (Sec 1.2)", rows)
+		fmt.Printf("  interpretation overhead: %.2fx\n", float64(d)/float64(d2))
+	}
+
+	// E-DUP: duplicate elimination.
+	{
+		var rows []row
+		for _, dup := range []bool{false, true} {
+			opts := medmaker.PlanOptions{PushConditions: true, Parameterize: true, DupElim: dup}
+			med, _, _, _ := scaled(300, &opts)
+			q := `S :- S:<cs_person {<year 3>}>@med.`
+			objs := must(med.QueryString(q))
+			d := timeIt(reps, func() { must(med.QueryString(q)) })
+			rows = append(rows, row{"E-DUP", fmt.Sprintf("dupelim=%v (%d result objects)", dup, len(objs)), "year query, 300 persons", d})
+		}
+		printRows("E-DUP: duplicate elimination (footnote 9: absent in the paper's impl)", rows)
+	}
+
+	// F1.1: local vs remote wrappers.
+	{
+		var rows []row
+		med, staff, cs, whois := scaled(200, nil)
+		q := fmt.Sprintf(`JC :- JC:<cs_person {<name %s>}>@med.`, oem.QuoteAtom(staff.Names[0]))
+		d := timeIt(reps, func() { must(med.QueryString(q)) })
+		rows = append(rows, row{"F1.1", "in-process wrappers", "selective Q1, 200 persons", d})
+		csAddr, csSrv := mustServe(cs)
+		defer csSrv.Close()
+		whoisAddr, whoisSrv := mustServe(whois)
+		defer whoisSrv.Close()
+		csR := must(medmaker.DialSource(csAddr, 5*time.Second))
+		defer csR.Close()
+		whoisR := must(medmaker.DialSource(whoisAddr, 5*time.Second))
+		defer whoisR.Close()
+		medR := must(medmaker.New(medmaker.Config{
+			Name: "med", Spec: specMS1, Sources: []medmaker.Source{csR, whoisR},
+		}))
+		d2 := timeIt(reps, func() { must(medR.QueryString(q)) })
+		rows = append(rows, row{"F1.1", "TCP wrappers (loopback)", "selective Q1, 200 persons", d2})
+		printRows("F1.1: the distributed TSIMMIS deployment", rows)
+	}
+
+	fmt.Println("\ndone; paste the tables above into EXPERIMENTS.md when refreshing results.")
+	_ = strings.TrimSpace("")
+}
+
+func mustServe(src medmaker.Source) (string, *medmaker.RemoteServer) {
+	addr, srv, err := medmaker.Serve(src, "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
+		os.Exit(1)
+	}
+	return addr, srv
+}

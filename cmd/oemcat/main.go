@@ -1,0 +1,125 @@
+// Command oemcat reads files (or stdin) in the textual OEM object format,
+// validates them, and reprints them in a chosen layout. It is the
+// format's swiss-army knife: converting between the flat figure layout
+// and the nested layout, stripping type fields, and reporting structure
+// statistics.
+//
+//	oemcat [-style flat|nested] [-omit-types] [-stats] [file ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"medmaker/internal/oem"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run executes the CLI against explicit arguments and streams, so tests
+// can drive it; it returns the process exit code.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("oemcat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	style := fs.String("style", "flat", "output layout: flat (paper figures) or nested")
+	omitTypes := fs.Bool("omit-types", false, "drop the type field from printed tuples")
+	stats := fs.Bool("stats", false, "print structure statistics instead of objects")
+	fromJSON := fs.String("from-json", "", "treat inputs as JSON, converting to OEM objects with this label")
+	toJSON := fs.Bool("to-json", false, "emit JSON instead of the OEM text format")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var f oem.Formatter
+	switch *style {
+	case "flat":
+		f.Style = oem.StyleFlat
+	case "nested":
+		f.Style = oem.StyleNested
+	default:
+		fmt.Fprintf(stderr, "oemcat: unknown style %q\n", *style)
+		return 2
+	}
+	f.OmitTypes = *omitTypes
+
+	inputs := fs.Args()
+	if len(inputs) == 0 {
+		inputs = []string{"-"}
+	}
+	exit := 0
+	for _, path := range inputs {
+		if err := process(path, &f, *stats, *fromJSON, *toJSON, stdin, stdout); err != nil {
+			fmt.Fprintf(stderr, "oemcat: %s: %v\n", path, err)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+func process(path string, f *oem.Formatter, stats bool, fromJSON string, toJSON bool, stdin io.Reader, stdout io.Writer) error {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	var objs []*oem.Object
+	if fromJSON != "" {
+		objs, err = oem.FromJSONArray(fromJSON, data)
+		if err != nil {
+			var obj *oem.Object
+			obj, err = oem.FromJSON(fromJSON, data)
+			objs = []*oem.Object{obj}
+		}
+	} else {
+		objs, err = oem.Parse(string(data))
+	}
+	if err != nil {
+		return err
+	}
+	for _, o := range objs {
+		if err := o.Validate(); err != nil {
+			return err
+		}
+	}
+	if stats {
+		printStats(stdout, path, objs)
+		return nil
+	}
+	if toJSON {
+		for _, o := range objs {
+			out, err := oem.ToJSON(o)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "%s\n", out)
+		}
+		return nil
+	}
+	return f.Format(stdout, objs...)
+}
+
+func printStats(w io.Writer, path string, objs []*oem.Object) {
+	total, maxDepth := 0, 0
+	labels := map[string]int{}
+	for _, o := range objs {
+		total += o.Size()
+		if d := o.Depth(); d > maxDepth {
+			maxDepth = d
+		}
+		o.Walk(func(obj *oem.Object, _ int) bool {
+			labels[obj.Label]++
+			return true
+		})
+	}
+	fmt.Fprintf(w, "%s: %d top-level objects, %d total, max depth %d, %d distinct labels\n",
+		path, len(objs), total, maxDepth, len(labels))
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runTool(t *testing.T, stdin string, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+const sample = `<&p1, person, set, {&n1}>
+  <&n1, name, string, 'Joe Chung'>
+;`
+
+func TestOemcatStdinRoundTrip(t *testing.T) {
+	code, out, _ := runTool(t, sample)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "<&p1, person, set, {&n1}>") {
+		t.Fatalf("flat output:\n%s", out)
+	}
+	code2, out2, _ := runTool(t, sample, "-style", "nested", "-omit-types")
+	if code2 != 0 {
+		t.Fatal("nested run failed")
+	}
+	if strings.Contains(out2, "string") || !strings.Contains(out2, "{") {
+		t.Fatalf("nested omit-types output:\n%s", out2)
+	}
+}
+
+func TestOemcatFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.oem")
+	os.WriteFile(path, []byte(sample), 0o600)
+	code, out, _ := runTool(t, "", "-stats", path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "1 top-level objects, 2 total, max depth 2") {
+		t.Fatalf("stats:\n%s", out)
+	}
+	// Missing file: nonzero exit, error on stderr, other inputs still run.
+	code2, out2, errOut := runTool(t, "", path, filepath.Join(dir, "missing.oem"))
+	if code2 != 1 {
+		t.Fatalf("exit %d", code2)
+	}
+	if !strings.Contains(out2, "person") || !strings.Contains(errOut, "missing.oem") {
+		t.Fatalf("partial failure handling:\nout=%s\nerr=%s", out2, errOut)
+	}
+}
+
+func TestOemcatJSONModes(t *testing.T) {
+	code, out, _ := runTool(t, `[{"name": "Joe"}, {"name": "Sue"}]`, "-from-json", "person")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Count(out, "person") != 2 {
+		t.Fatalf("from-json:\n%s", out)
+	}
+	code2, out2, _ := runTool(t, sample, "-to-json")
+	if code2 != 0 {
+		t.Fatal("to-json failed")
+	}
+	if !strings.Contains(out2, `{"person":{"name":"Joe Chung"}}`) {
+		t.Fatalf("to-json:\n%s", out2)
+	}
+	// Single JSON document (not an array).
+	code3, out3, _ := runTool(t, `{"mode": "x"}`, "-from-json", "config")
+	if code3 != 0 || !strings.Contains(out3, "config") {
+		t.Fatalf("single-doc from-json: %d\n%s", code3, out3)
+	}
+}
+
+func TestOemcatBadInputs(t *testing.T) {
+	if code, _, _ := runTool(t, "<<<"); code != 1 {
+		t.Errorf("bad OEM text: exit %d", code)
+	}
+	if code, _, _ := runTool(t, sample, "-style", "weird"); code != 2 {
+		t.Errorf("bad style: exit %d", code)
+	}
+	if code, _, _ := runTool(t, sample, "-nosuchflag"); code != 2 {
+		t.Errorf("bad flag: exit %d", code)
+	}
+}

@@ -1,0 +1,169 @@
+package medmaker_test
+
+import (
+	"fmt"
+	"log"
+
+	"medmaker"
+	"medmaker/internal/oem"
+)
+
+const exampleSpec = `
+<cs_person {<name N> <relation R> Rest1 Rest2}> :-
+    <person {<name N> <dept 'CS'> <relation R> | Rest1}>@whois
+    AND <R {<first_name FN> <last_name LN> | Rest2}>@cs
+    AND decomp(N, LN, FN).
+
+decomp(bound, free, free) by name_to_lnfn.
+decomp(free, bound, bound) by lnfn_to_name.
+`
+
+func exampleSources() (medmaker.Source, medmaker.Source) {
+	db := medmaker.NewRelationalDB()
+	emp := db.MustCreateTable(medmaker.RelationalSchema{
+		Name: "employee",
+		Columns: []medmaker.RelationalColumn{
+			{Name: "first_name", Kind: oem.KindString},
+			{Name: "last_name", Kind: oem.KindString},
+			{Name: "title", Kind: oem.KindString},
+			{Name: "reports_to", Kind: oem.KindString},
+		},
+	})
+	emp.MustInsert("Joe", "Chung", "professor", "John Hennessy")
+	stu := db.MustCreateTable(medmaker.RelationalSchema{
+		Name: "student",
+		Columns: []medmaker.RelationalColumn{
+			{Name: "first_name", Kind: oem.KindString},
+			{Name: "last_name", Kind: oem.KindString},
+			{Name: "year", Kind: oem.KindInt},
+		},
+	})
+	stu.MustInsert("Nick", "Naive", 3)
+	store := medmaker.NewRecordStore()
+	store.MustAdd(
+		medmaker.Record{Kind: "person", Fields: []medmaker.RecordField{
+			{Name: "name", Value: "Joe Chung"}, {Name: "dept", Value: "CS"},
+			{Name: "relation", Value: "employee"}, {Name: "e_mail", Value: "chung@cs"},
+		}},
+		medmaker.Record{Kind: "person", Fields: []medmaker.RecordField{
+			{Name: "name", Value: "Nick Naive"}, {Name: "dept", Value: "CS"},
+			{Name: "relation", Value: "student"}, {Name: "year", Value: 3},
+		}},
+	)
+	return medmaker.NewRelationalWrapper("cs", db), medmaker.NewRecordWrapper("whois", store)
+}
+
+// ExampleMediator_figure24 reproduces the paper's Figure 2.4: query Q1
+// against specification MS1 produces the integrated cs_person object for
+// Joe Chung.
+func ExampleMediator_figure24() {
+	cs, whois := exampleSources()
+	med, err := medmaker.New(medmaker.Config{
+		Name:    "med",
+		Spec:    exampleSpec,
+		Sources: []medmaker.Source{cs, whois},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	objs, err := med.QueryString(`JC :- JC:<cs_person {<name 'Joe Chung'>}>@med.`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(medmaker.FormatOEM(objs...))
+	// Output:
+	// <&med1, cs_person, set, {&med2, &med3, &med4, &med5, &med6}>
+	//   <&med2, name, string, 'Joe Chung'>
+	//   <&med3, relation, string, 'employee'>
+	//   <&med4, e_mail, string, 'chung@cs'>
+	//   <&med5, title, string, 'professor'>
+	//   <&med6, reports_to, string, 'John Hennessy'>
+	// ;
+}
+
+// ExampleRelationalWrapper_figure22 reproduces Figure 2.2: the OEM export
+// of the cs relational source.
+func ExampleRelationalWrapper_figure22() {
+	cs, _ := exampleSources()
+	objs, err := cs.Query(mustParse(`O :- O:<employee>@cs.`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Print the structure (materialized copies carry fresh oids).
+	for _, o := range objs {
+		fmt.Printf("%s with %d subobjects:", o.Label, len(o.Subobjects()))
+		for _, sub := range o.Subobjects() {
+			fmt.Printf(" %s", sub.Label)
+		}
+		fmt.Println()
+	}
+	// Output:
+	// employee with 4 subobjects: first_name last_name title reports_to
+}
+
+// ExampleMediator_pushdown reproduces the Section 3.3 view expansion: the
+// <year 3> condition is pushed into either source's rest variable,
+// yielding two logical rules (unifiers tau1 and tau2).
+func ExampleMediator_pushdown() {
+	cs, whois := exampleSources()
+	med, err := medmaker.New(medmaker.Config{
+		Name:    "med",
+		Spec:    exampleSpec,
+		Sources: []medmaker.Source{cs, whois},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	logical, err := med.Expand(mustParse(`S :- S:<cs_person {<year 3>}>@med.`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d logical rules (one per push choice)\n", len(logical.Rules))
+	objs, err := med.QueryString(`S :- S:<cs_person {<year 3>}>@med.`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, o := range objs {
+		name, _ := o.Sub("name").AtomString()
+		fmt.Println("found:", name)
+	}
+	// Output:
+	// 2 logical rules (one per push choice)
+	// found: Nick Naive
+}
+
+// ExampleMediator_schemaExploration shows the schema-information feature:
+// a label variable retrieves the attribute names in use at the sources.
+func ExampleMediator_schemaExploration() {
+	_, whois := exampleSources()
+	med, err := medmaker.New(medmaker.Config{
+		Name:    "med",
+		Spec:    `<entry {<name N> | R}> :- <person {<name N> | R}>@whois.`,
+		Sources: []medmaker.Source{whois},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	objs, err := med.QueryString(`<attribute L> :- <entry {<L V>}>@med.`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, o := range objs {
+		label, _ := o.AtomString()
+		fmt.Println(label)
+	}
+	// Output:
+	// name
+	// dept
+	// relation
+	// e_mail
+	// year
+}
+
+func mustParse(q string) *medmaker.Rule {
+	r, err := medmaker.ParseQuery(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}

@@ -1,0 +1,143 @@
+// Command cswhois walks through the MedMaker paper's running example end
+// to end: the cs relational source and whois directory (Figures 2.2 and
+// 2.3), the mediator specification MS1, query Q1 producing the integrated
+// cs_person object of Figure 2.4, the view expansion to datamerge rule R2,
+// the physical datamerge graph of Figure 3.6 with its flowing binding
+// tables, and the <year 3> pushdown of Section 3.3 (unifiers τ1/τ2).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"medmaker"
+	"medmaker/internal/oem"
+)
+
+const specMS1 = `
+<cs_person {<name N> <relation R> Rest1 Rest2}> :-
+    <person {<name N> <dept 'CS'> <relation R> | Rest1}>@whois
+    AND <R {<first_name FN> <last_name LN> | Rest2}>@cs
+    AND decomp(N, LN, FN).
+
+decomp(bound, free, free) by name_to_lnfn.
+decomp(free, bound, bound) by lnfn_to_name.
+`
+
+func main() {
+	// --- The cs source: a relational database behind a wrapper. ---
+	db := medmaker.NewRelationalDB()
+	emp := db.MustCreateTable(medmaker.RelationalSchema{
+		Name: "employee",
+		Columns: []medmaker.RelationalColumn{
+			{Name: "first_name", Kind: oem.KindString},
+			{Name: "last_name", Kind: oem.KindString},
+			{Name: "title", Kind: oem.KindString},
+			{Name: "reports_to", Kind: oem.KindString},
+		},
+	})
+	emp.MustInsert("Joe", "Chung", "professor", "John Hennessy")
+	stu := db.MustCreateTable(medmaker.RelationalSchema{
+		Name: "student",
+		Columns: []medmaker.RelationalColumn{
+			{Name: "first_name", Kind: oem.KindString},
+			{Name: "last_name", Kind: oem.KindString},
+			{Name: "year", Kind: oem.KindInt},
+		},
+	})
+	stu.MustInsert("Nick", "Naive", 3)
+	cs := medmaker.NewRelationalWrapper("cs", db)
+
+	fmt.Println("=== Figure 2.2: the OEM object structure of the cs wrapper ===")
+	fmt.Print(medmaker.FormatOEM(cs.Export()...))
+
+	// --- The whois source: irregular records behind a wrapper. ---
+	store := medmaker.NewRecordStore()
+	store.MustAdd(
+		medmaker.Record{Kind: "person", Fields: []medmaker.RecordField{
+			{Name: "name", Value: "Joe Chung"},
+			{Name: "dept", Value: "CS"},
+			{Name: "relation", Value: "employee"},
+			{Name: "e_mail", Value: "chung@cs"},
+		}},
+		medmaker.Record{Kind: "person", Fields: []medmaker.RecordField{
+			{Name: "name", Value: "Nick Naive"},
+			{Name: "dept", Value: "CS"},
+			{Name: "relation", Value: "student"},
+			{Name: "year", Value: 3},
+		}},
+	)
+	whois := medmaker.NewRecordWrapper("whois", store)
+
+	fmt.Println("\n=== Figure 2.3: the OEM object structure of whois ===")
+	fmt.Print(medmaker.FormatOEM(whois.Export()...))
+
+	// --- The mediator med, specified declaratively by MS1. ---
+	med, err := medmaker.New(medmaker.Config{
+		Name:    "med",
+		Spec:    specMS1,
+		Sources: []medmaker.Source{cs, whois},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== Specification MS1 ===")
+	fmt.Print(med.Spec().String())
+
+	// --- Query Q1: all data for Joe Chung. ---
+	q1 := `JC :- JC:<cs_person {<name 'Joe Chung'>}>@med.`
+	fmt.Println("\n=== Query Q1 ===")
+	fmt.Println(q1)
+
+	fmt.Println("\n=== View expansion and plan (rule R2, Figure 3.6) ===")
+	explain, err := med.Explain(q1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(explain)
+
+	fmt.Println("\n=== Execution trace (the flowing binding tables of Figure 3.6) ===")
+	traced, err := medmaker.New(medmaker.Config{
+		Name:    "med",
+		Spec:    specMS1,
+		Sources: []medmaker.Source{cs, whois},
+		Trace:   os.Stdout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := traced.QueryString(q1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n=== Figure 2.4: the integrated cs_person object ===")
+	fmt.Print(medmaker.FormatOEM(result...))
+
+	// --- Section 3.3: the year query whose condition can be pushed into
+	// either source (unifiers τ1 and τ2). ---
+	q3 := `S :- S:<cs_person {<year 3>}>@med.`
+	fmt.Println("\n=== Section 3.3: the <year 3> pushdown query ===")
+	fmt.Println(q3)
+	_, logical, err := med.Plan(mustParse(q3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("logical datamerge program (one rule per push choice):")
+	fmt.Print(logical.String())
+	years, err := med.QueryString(q3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("answer:")
+	fmt.Print(medmaker.FormatOEM(years...))
+}
+
+func mustParse(q string) *medmaker.Rule {
+	r, err := medmaker.ParseQuery(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}

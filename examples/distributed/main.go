@@ -1,0 +1,102 @@
+// Command distributed runs the TSIMMIS architecture of the paper's
+// Figure 1.1 over real network connections: two wrapper processes (here,
+// two TCP servers in the same process for convenience) export OEM, a
+// mediator dials them as remote sources, and a further server exposes the
+// mediator itself — mediators and wrappers are interchangeable sources.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"medmaker"
+	"medmaker/internal/oem"
+)
+
+func main() {
+	// --- Wrapper processes. ---
+	db := medmaker.NewRelationalDB()
+	emp := db.MustCreateTable(medmaker.RelationalSchema{
+		Name: "employee",
+		Columns: []medmaker.RelationalColumn{
+			{Name: "first_name", Kind: oem.KindString},
+			{Name: "last_name", Kind: oem.KindString},
+			{Name: "title", Kind: oem.KindString},
+		},
+	})
+	emp.MustInsert("Joe", "Chung", "professor")
+	csAddr, csSrv, err := medmaker.Serve(medmaker.NewRelationalWrapper("cs", db), "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer csSrv.Close()
+
+	store := medmaker.NewRecordStore()
+	store.MustAdd(medmaker.Record{Kind: "person", Fields: []medmaker.RecordField{
+		{Name: "name", Value: "Joe Chung"},
+		{Name: "dept", Value: "CS"},
+		{Name: "relation", Value: "employee"},
+		{Name: "e_mail", Value: "chung@cs"},
+	}})
+	whoisAddr, whoisSrv, err := medmaker.Serve(medmaker.NewRecordWrapper("whois", store), "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer whoisSrv.Close()
+	fmt.Printf("wrapper cs    listening on %s\n", csAddr)
+	fmt.Printf("wrapper whois listening on %s\n", whoisAddr)
+
+	// --- The mediator process dials the wrappers. ---
+	csRemote, err := medmaker.DialSource(csAddr, time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer csRemote.Close()
+	whoisRemote, err := medmaker.DialSource(whoisAddr, time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer whoisRemote.Close()
+	fmt.Printf("mediator connected to %s and %s\n\n", csRemote.Name(), whoisRemote.Name())
+
+	med, err := medmaker.New(medmaker.Config{
+		Name: "med",
+		Spec: `
+		<cs_person {<name N> <relation R> Rest1 Rest2}> :-
+		    <person {<name N> <dept 'CS'> <relation R> | Rest1}>@whois
+		    AND <R {<first_name FN> <last_name LN> | Rest2}>@cs
+		    AND decomp(N, LN, FN).
+		decomp(bound, free, free) by name_to_lnfn.`,
+		Sources: []medmaker.Source{csRemote, whoisRemote},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- The mediator is itself served over TCP; the application dials
+	// it. Queries against it are answered by querying the wrappers over
+	// their own connections. ---
+	medAddr, medSrv, err := medmaker.Serve(med, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer medSrv.Close()
+	app, err := medmaker.DialSource(medAddr, time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer app.Close()
+	fmt.Printf("mediator %s listening on %s\n\n", app.Name(), medAddr)
+
+	q, err := medmaker.ParseQuery(`JC :- JC:<cs_person {<name 'Joe Chung'>}>@med.`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	objs, err := app.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("application received over the wire:")
+	fmt.Print(medmaker.FormatOEM(objs...))
+}

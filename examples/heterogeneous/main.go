@@ -1,0 +1,127 @@
+// Command heterogeneous is the thesis of the MedMaker paper in one
+// program: a single declarative specification integrates four sources
+// with four different shapes —
+//
+//   - an HR directory that arrived as a JSON export,
+//   - a payroll database loaded from CSV files (relational),
+//   - a facilities list already in the OEM text format,
+//   - and a badge service running as a separate wrapper behind TCP —
+//
+// into one "staff_record" view, fusing per-person fragments with semantic
+// object-ids and normalizing name formats with an external predicate.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"medmaker"
+)
+
+const hrJSON = `[
+  {"name": "Joe Chung",  "dept": "CS", "title": "professor", "emails": ["joe@cs", "chung@cs"]},
+  {"name": "Ann Able",   "dept": "CS", "title": "lecturer"},
+  {"name": "Bob Busy",   "dept": "EE", "title": "staff", "note": "on leave"}
+]`
+
+const payrollCSV = `last_name,first_name,salary,grade
+Chung,Joe,120000,7
+Able,Ann,90000,5
+Busy,Bob,70000,4
+`
+
+const facilitiesOEM = `
+<office, set, {<occupant, 'Joe Chung'>, <room, 'Gates 401'>}>
+<office, set, {<occupant, 'Ann Able'>, <room, 'Gates 120'>, <shared, true>}>
+`
+
+const spec = `
+# Fragment 1: identity and title from HR (JSON).
+<person(N) staff_record {<name N> | R}> :-
+    <employee {<name N> <dept 'CS'> | R}>@hr.
+
+# Fragment 2: salary from payroll (CSV), names arriving split.
+<person(N) staff_record {<name N> <salary S>}> :-
+    <payroll {<last_name LN> <first_name FN> <salary S>}>@payroll
+    AND decomp(N, LN, FN).
+
+# Fragment 3: office from facilities (OEM text).
+<person(N) staff_record {<name N> <office Room>}> :-
+    <office {<occupant N> <room Room>}>@facilities.
+
+# Fragment 4: badge number from the remote badge service (TCP).
+<person(N) staff_record {<name N> <badge B>}> :-
+    <badge {<holder N> <number B>}>@badges.
+
+decomp(free, bound, bound) by lnfn_to_name.
+`
+
+func main() {
+	// Source 1: HR, from JSON.
+	hr, err := medmaker.NewOEMSourceFromJSON("hr", "employee", []byte(hrJSON))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Source 2: payroll, from CSV behind the relational engine. The
+	// table is named "payroll".
+	db := medmaker.NewRelationalDB()
+	if err := medmaker.LoadCSV(db, "payroll", strings.NewReader(payrollCSV)); err != nil {
+		log.Fatal(err)
+	}
+	payroll := medmaker.NewRelationalWrapper("payroll", db)
+
+	// Source 3: facilities, from OEM text.
+	facilities, err := medmaker.NewOEMSourceFromText("facilities", facilitiesOEM)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Source 4: the badge service, a wrapper running behind TCP.
+	badgeData, err := medmaker.NewOEMSourceFromText("badges", `
+	    <badge, set, {<holder, 'Joe Chung'>, <number, 1001>}>
+	    <badge, set, {<holder, 'Ann Able'>, <number, 1002>}>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, srv, err := medmaker.Serve(badgeData, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	badges, err := medmaker.DialSource(addr, time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer badges.Close()
+	fmt.Printf("badge service online at %s\n\n", addr)
+
+	med, err := medmaker.New(medmaker.Config{
+		Name:    "staff",
+		Spec:    spec,
+		Sources: []medmaker.Source{hr, payroll, facilities, badges},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	objs, err := med.QueryString(`P :- P:<staff_record {<name N>}>@staff.`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("integrated staff_record view (%d people, fragments fused by person(N)):\n\n", len(objs))
+	fmt.Print(medmaker.FormatOEM(objs...))
+
+	// One selective question across all four formats at once.
+	fmt.Println("\nwho in a Gates office earns over 100000?")
+	rich, err := med.QueryLorel(`
+	    select X.name, X.office, X.salary
+	    from staff.staff_record X
+	    where X.salary > 100000`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(medmaker.FormatOEM(rich...))
+}

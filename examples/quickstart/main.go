@@ -1,0 +1,59 @@
+// Command quickstart is the smallest complete MedMaker program: one OEM
+// source, a one-rule mediator specification, and one query.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"medmaker"
+)
+
+func main() {
+	// 1. A source. Any wrapper will do; here the data is already OEM.
+	people, err := medmaker.NewOEMSourceFromText("people", `
+	    <person, set, {<name, 'Ann Able'>,   <dept, 'CS'>, <office, 'Gates 101'>}>
+	    <person, set, {<name, 'Bob Busy'>,   <dept, 'EE'>}>
+	    <person, set, {<name, 'Cam Cool'>,   <dept, 'CS'>, <e_mail, 'cam@cs'>}>
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. A mediator: a declarative view over the source. The rest
+	// variable R keeps the view insensitive to schema evolution — any
+	// attribute a person record happens to carry flows through.
+	med, err := medmaker.New(medmaker.Config{
+		Name:    "med",
+		Spec:    `<cs_staff {<name N> | R}> :- <person {<name N> <dept 'CS'> | R}>@people.`,
+		Sources: []medmaker.Source{people},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. A query against the view, in the same language.
+	objs, err := med.QueryString(`X :- X:<cs_staff {<name N>}>@med.`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cs_staff view:")
+	fmt.Print(medmaker.FormatOEM(objs...))
+
+	// The same question in the LOREL end-user syntax.
+	rows, err := med.QueryLorel(`select X.name from med.cs_staff X`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nvia LOREL (select X.name from med.cs_staff X):")
+	fmt.Print(medmaker.FormatOEM(rows...))
+
+	// Bonus: how the mediator answered — the logical datamerge program
+	// and the physical datamerge graph.
+	explain, err := med.Explain(`X :- X:<cs_staff {<name N>}>@med.`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(explain)
+}

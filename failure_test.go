@@ -1,0 +1,131 @@
+package medmaker
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+)
+
+// flakySource fails its first failures queries, then delegates.
+type flakySource struct {
+	inner    Source
+	failures int32
+	calls    atomic.Int32
+}
+
+func (f *flakySource) Name() string               { return f.inner.Name() }
+func (f *flakySource) Capabilities() Capabilities { return f.inner.Capabilities() }
+func (f *flakySource) Query(q *msl.Rule) ([]*Object, error) {
+	if f.calls.Add(1) <= f.failures {
+		return nil, errors.New("transient source failure")
+	}
+	return f.inner.Query(q)
+}
+
+func TestSourceFailurePropagates(t *testing.T) {
+	cs, whois, _ := scaledSources(t, 20)
+	flaky := &flakySource{inner: whois, failures: 1}
+	med, err := New(Config{Name: "med", Spec: specMS1, Sources: []Source{cs, flaky}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := `P :- P:<cs_person {<name N>}>@med.`
+	if _, err := med.QueryString(q); err == nil ||
+		!strings.Contains(err.Error(), "transient source failure") {
+		t.Fatalf("first query error: %v", err)
+	}
+	// The mediator carries no broken state: the next query succeeds.
+	if _, err := med.QueryString(q); err != nil {
+		t.Fatalf("second query failed: %v", err)
+	}
+}
+
+// errorFn is an external function that always fails.
+func TestExternalFunctionFailurePropagates(t *testing.T) {
+	_, whois, _ := scaledSources(t, 5)
+	med, err := New(Config{
+		Name: "med",
+		Spec: `
+		<out {<name N>}> :- <person {<name N>}>@whois AND boom(N).
+		boom(bound) by boom_impl.`,
+		Sources: []Source{whois},
+		Functions: map[string]Func{
+			"boom_impl": func([]Value) ([][]Value, error) {
+				return nil, errors.New("function exploded")
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := med.QueryString(`X :- X:<out {<name N>}>@med.`); err == nil ||
+		!strings.Contains(err.Error(), "function exploded") {
+		t.Fatalf("error: %v", err)
+	}
+}
+
+// TestMalformedSourceObjects: a source returning objects that do not
+// match the extraction pattern simply contributes no bindings — garbage
+// from autonomous sources must not crash the mediator.
+type garbageSource struct{ name string }
+
+func (g *garbageSource) Name() string               { return g.name }
+func (g *garbageSource) Capabilities() Capabilities { return FullCapabilities() }
+func (g *garbageSource) Query(*msl.Rule) ([]*Object, error) {
+	return []*Object{
+		oem.New("&g1", "unrelated", "noise"),
+		oem.NewSet("&g2", "person"), // right label, no name subobject
+	}, nil
+}
+
+func TestGarbageSourceTolerated(t *testing.T) {
+	med, err := New(Config{
+		Name:    "med",
+		Spec:    `<out {<name N>}> :- <person {<name N>}>@junk.`,
+		Sources: []Source{&garbageSource{name: "junk"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := med.QueryString(`X :- X:<out {<name N>}>@med.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("garbage produced %d answers", len(got))
+	}
+}
+
+// TestConcurrentQueries: one mediator serving many goroutines.
+func TestConcurrentQueries(t *testing.T) {
+	med, staff := scaledMediator(t, 60, nil)
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			for i := 0; i < 10; i++ {
+				name := csName(staff, (w+i)%10)
+				q := fmt.Sprintf(`JC :- JC:<cs_person {<name %s>}>@med.`, oem.QuoteAtom(name))
+				got, err := med.QueryString(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(got) != 1 {
+					errs <- fmt.Errorf("worker %d: %d answers for %s", w, len(got), name)
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module medmaker
+
+go 1.22

@@ -1,0 +1,394 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"medmaker/internal/extfn"
+	"medmaker/internal/match"
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+	"medmaker/internal/oemstore"
+	"medmaker/internal/wrapper"
+)
+
+func testExecutor(t *testing.T) *Executor {
+	t.Helper()
+	whois, err := oemstore.FromText("whois", `
+	    <person, set, {<name, 'Joe Chung'>, <dept, 'CS'>, <relation, 'employee'>, <e_mail, 'chung@cs'>}>
+	    <person, set, {<name, 'Nick Naive'>, <dept, 'CS'>, <relation, 'student'>, <year, 3>}>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := oemstore.FromText("cs", `
+	    <employee, set, {<first_name, 'Joe'>, <last_name, 'Chung'>, <title, 'professor'>}>
+	    <student, set, {<first_name, 'Nick'>, <last_name, 'Naive'>, <year, 3>}>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := wrapper.NewRegistry()
+	reg.Add(whois, cs)
+	decls := msl.MustParseProgram(`decomp(bound, free, free) by name_to_lnfn.`).Decls
+	tbl, err := extfn.NewTable(extfn.NewRegistry(), decls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Executor{Sources: reg, Extfn: tbl, IDGen: oem.NewIDGen("t"), Stats: NewStats()}
+}
+
+func pc(t *testing.T, src string) *msl.PatternConjunct {
+	t.Helper()
+	r := msl.MustParseRule("X :- " + src + ".")
+	return r.Tail[0].(*msl.PatternConjunct)
+}
+
+func leafQuery(t *testing.T, source, pattern string, needed ...string) *QueryNode {
+	t.Helper()
+	conj := pc(t, pattern)
+	ov := conj.ObjVar
+	if ov == nil {
+		ov = &msl.Var{Name: "_O"}
+	}
+	return &QueryNode{
+		Source: source,
+		Send: &msl.Rule{
+			Head: []msl.HeadTerm{ov},
+			Tail: []msl.Conjunct{&msl.PatternConjunct{ObjVar: ov, Pattern: conj.Pattern, Source: source}},
+		},
+		Extract:       conj.Pattern,
+		ExtractObjVar: conj.ObjVar,
+		Needed:        needed,
+	}
+}
+
+func TestQueryNodeLeaf(t *testing.T) {
+	ex := testExecutor(t)
+	n := leafQuery(t, "whois", `<person {<name N> <relation R> | Rest1}>@whois`, "N", "R", "Rest1")
+	out, err := ex.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("query node produced %d rows", out.Len())
+	}
+	b, _ := out.Rows[0].Lookup("N")
+	if !b.Val.Equal(oem.String("Joe Chung")) {
+		t.Fatalf("N = %v", b)
+	}
+	// Projection: only the needed vars survive.
+	if _, bound := out.Rows[0].Lookup("_O"); bound {
+		t.Fatal("projection kept an unneeded variable")
+	}
+	if n.Label() != "query(whois)" {
+		t.Fatalf("label: %s", n.Label())
+	}
+}
+
+func TestParamQueryNode(t *testing.T) {
+	ex := testExecutor(t)
+	outer := leafQuery(t, "whois", `<person {<name N> <relation R>}>@whois`, "N", "R")
+	inner := pc(t, `<R {<first_name FN> <last_name LN> | Rest2}>@cs`)
+	n := &QueryNode{
+		Child:  outer,
+		Source: "cs",
+		Send: &msl.Rule{
+			Head: []msl.HeadTerm{&msl.Var{Name: "_O"}},
+			Tail: []msl.Conjunct{&msl.PatternConjunct{ObjVar: &msl.Var{Name: "_O"}, Pattern: inner.Pattern, Source: "cs"}},
+		},
+		ParamVars: []string{"R"},
+		Extract:   inner.Pattern,
+		Needed:    []string{"N", "R", "FN", "LN", "Rest2"},
+	}
+	out, err := ex.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("param query produced %d rows", out.Len())
+	}
+	// Join consistency: each row's R matched the person's relation.
+	for _, row := range out.Rows {
+		nB, _ := row.Lookup("N")
+		fnB, _ := row.Lookup("FN")
+		name := string(nB.Val.(oem.String))
+		fn := string(fnB.Val.(oem.String))
+		if !strings.HasPrefix(name, fn) {
+			t.Fatalf("inconsistent join: N=%s FN=%s", name, fn)
+		}
+	}
+	if n.Label() != "param-query(cs)" {
+		t.Fatalf("label: %s", n.Label())
+	}
+	if !strings.Contains(n.Detail(), "$R") {
+		t.Fatalf("detail should mark parameters: %s", n.Detail())
+	}
+}
+
+func TestParamQuerySkipsNonAtomicBindings(t *testing.T) {
+	ex := testExecutor(t)
+	// Rest1 is set-bound; declaring it a param must not break execution —
+	// the engine leaves it free and the extractor's env join enforces it.
+	outer := leafQuery(t, "whois", `<person {<name N> | Rest1}>@whois`, "N", "Rest1")
+	inner := pc(t, `<person {<name N> | Rest1}>@whois`)
+	n := &QueryNode{
+		Child:     outer,
+		Source:    "whois",
+		Send:      &msl.Rule{Head: []msl.HeadTerm{&msl.Var{Name: "_O"}}, Tail: []msl.Conjunct{&msl.PatternConjunct{ObjVar: &msl.Var{Name: "_O"}, Pattern: inner.Pattern, Source: "whois"}}},
+		ParamVars: []string{"N", "Rest1"},
+		Extract:   inner.Pattern,
+		Needed:    []string{"N", "Rest1"},
+	}
+	out, err := ex.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("got %d rows", out.Len())
+	}
+}
+
+func TestExtPredNode(t *testing.T) {
+	ex := testExecutor(t)
+	outer := leafQuery(t, "whois", `<person {<name N>}>@whois`, "N")
+	r := msl.MustParseRule(`X :- X:<p>@s AND decomp(N, LN, FN).`)
+	n := &ExtPredNode{Child: outer, Pred: r.Tail[1].(*msl.PredicateConjunct), Needed: []string{"N", "LN", "FN"}}
+	out, err := ex.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("extpred produced %d rows", out.Len())
+	}
+	for _, row := range out.Rows {
+		if _, ok := row.Lookup("LN"); !ok {
+			t.Fatal("LN not bound")
+		}
+	}
+	if !strings.Contains(n.Label(), "decomp") {
+		t.Fatal("label")
+	}
+}
+
+func TestJoinNodeHashAndCross(t *testing.T) {
+	ex := testExecutor(t)
+	left := leafQuery(t, "whois", `<person {<name N> <relation R>}>@whois`, "N", "R")
+	right := leafQuery(t, "cs", `<R {<first_name FN>}>@cs`, "R", "FN")
+	join := &JoinNode{Left: left, Right: right, Shared: []string{"R"}, Needed: []string{"N", "R", "FN"}}
+	out, err := ex.Run(join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("hash join produced %d rows, want 2", out.Len())
+	}
+	cross := &JoinNode{Left: left, Right: right, Needed: []string{"N", "FN"}}
+	outC, err := ex.Run(cross)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross product joins envs; shared R still forces consistency through
+	// Env.Join, so the count matches the hash join here.
+	if outC.Len() != 2 {
+		t.Fatalf("cross join produced %d rows", outC.Len())
+	}
+	if join.Label() != "hash-join" || cross.Label() != "cross-join" {
+		t.Fatal("labels")
+	}
+}
+
+func TestDedupNode(t *testing.T) {
+	ex := testExecutor(t)
+	// Both persons share dept CS; dedup on D keeps one row.
+	q := leafQuery(t, "whois", `<person {<dept D>}>@whois`, "D")
+	n := &DedupNode{Child: q, Vars: []string{"D"}}
+	out, err := ex.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("dedup kept %d rows", out.Len())
+	}
+}
+
+func TestConstructAndUnion(t *testing.T) {
+	ex := testExecutor(t)
+	q1 := leafQuery(t, "whois", `<person {<name N>}>@whois`, "N")
+	head := msl.MustParseRule(`<who N> :- <x>@s.`).Head
+	c1 := &ConstructNode{Child: &DedupNode{Child: q1, Vars: []string{"N"}}, Head: head}
+	c2 := &ConstructNode{Child: &DedupNode{Child: q1, Vars: []string{"N"}}, Head: head}
+	union := &UnionNode{Inputs: []Node{c1, c2}}
+	objs, err := ex.RunObjects(union)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 4 {
+		t.Fatalf("union produced %d objects", len(objs))
+	}
+	// Final dedup folds the two branches.
+	final := &DedupNode{Child: union, Vars: []string{ResultVar}}
+	objs2, err := ex.RunObjects(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs2) != 2 {
+		t.Fatalf("deduped union produced %d objects", len(objs2))
+	}
+	for _, o := range objs2 {
+		if o.Label != "who" {
+			t.Fatalf("constructed %q", o.Label)
+		}
+	}
+}
+
+func TestRunObjectsRejectsNonResultTable(t *testing.T) {
+	ex := testExecutor(t)
+	q := leafQuery(t, "whois", `<person {<name N>}>@whois`, "N")
+	if _, err := ex.RunObjects(q); err == nil {
+		t.Fatal("RunObjects accepted a table without result objects")
+	}
+}
+
+func TestUnknownSource(t *testing.T) {
+	ex := testExecutor(t)
+	q := leafQuery(t, "ghost", `<person {<name N>}>@ghost`, "N")
+	if _, err := ex.Run(q); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+}
+
+func TestTraceOutput(t *testing.T) {
+	ex := testExecutor(t)
+	var sb strings.Builder
+	ex.Trace = &sb
+	ex.TraceRows = 1
+	q := leafQuery(t, "whois", `<person {<name N>}>@whois`, "N")
+	if _, err := ex.Run(q); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "query(whois)") || !strings.Contains(out, "2 rows") {
+		t.Fatalf("trace:\n%s", out)
+	}
+	if !strings.Contains(out, "more rows") {
+		t.Fatalf("trace truncation missing:\n%s", out)
+	}
+}
+
+func TestStatsRecording(t *testing.T) {
+	ex := testExecutor(t)
+	q := leafQuery(t, "whois", `<person {<name N>}>@whois`, "N")
+	if _, err := ex.Run(q); err != nil {
+		t.Fatal(err)
+	}
+	est, ok := ex.Stats.Estimate("whois", "person")
+	if !ok || est != 2 {
+		t.Fatalf("estimate = %v, %v", est, ok)
+	}
+	if ex.Stats.Observations("whois", "person") != 1 {
+		t.Fatal("observations")
+	}
+	if _, ok := ex.Stats.Estimate("whois", "nothing"); ok {
+		t.Fatal("estimate for unseen shape")
+	}
+}
+
+func TestParallelExecutionMatchesSequential(t *testing.T) {
+	seq := testExecutor(t)
+	par := testExecutor(t)
+	par.Parallelism = 8
+	mk := func() Node {
+		outer := leafQuery(t, "whois", `<person {<name N> <relation R>}>@whois`, "N", "R")
+		inner := pc(t, `<R {<first_name FN>}>@cs`)
+		return &QueryNode{
+			Child:  outer,
+			Source: "cs",
+			Send: &msl.Rule{
+				Head: []msl.HeadTerm{&msl.Var{Name: "_O"}},
+				Tail: []msl.Conjunct{&msl.PatternConjunct{ObjVar: &msl.Var{Name: "_O"}, Pattern: inner.Pattern, Source: "cs"}},
+			},
+			ParamVars: []string{"R"},
+			Extract:   inner.Pattern,
+			Needed:    []string{"N", "R", "FN"},
+		}
+	}
+	a, err := seq.Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("parallel %d rows vs sequential %d", b.Len(), a.Len())
+	}
+	for i := range a.Rows {
+		if !a.Rows[i].Equal(b.Rows[i]) {
+			t.Fatalf("row %d differs: %v vs %v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+	// Parallel error propagation: unknown source inside a fan-out.
+	bad := mk().(*QueryNode)
+	bad.Source = "ghost"
+	if _, err := par.Run(bad); err == nil {
+		t.Fatal("parallel fan-out swallowed the error")
+	}
+	// Parallel sibling subtrees (join children).
+	join := &JoinNode{
+		Left:   leafQuery(t, "whois", `<person {<name N> <relation R>}>@whois`, "N", "R"),
+		Right:  leafQuery(t, "cs", `<R {<first_name FN>}>@cs`, "R", "FN"),
+		Shared: []string{"R"},
+		Needed: []string{"N", "FN"},
+	}
+	out, err := par.Run(join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("parallel join rows: %d", out.Len())
+	}
+	// Tracing forces sequential execution (parallelism() == 1).
+	par.Trace = &strings.Builder{}
+	if par.parallelism() != 1 {
+		t.Fatal("tracing did not force sequential execution")
+	}
+}
+
+func TestCountQueries(t *testing.T) {
+	left := &QueryNode{}
+	right := &QueryNode{Child: &QueryNode{}}
+	j := &JoinNode{Left: left, Right: right}
+	if got := CountQueries(j); got != 3 {
+		t.Fatalf("CountQueries = %d", got)
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	e1, _ := match.Env(nil).Extend("N", match.BindString("Joe Chung"))
+	e2, _ := match.Env(nil).Extend("N", match.BindString("Nick Naive"))
+	tbl := NewTable([]string{"N", "Missing"}, []match.Env{e1, e2})
+	var sb strings.Builder
+	tbl.Format(&sb, 0)
+	out := sb.String()
+	if !strings.Contains(out, "'Joe Chung'") || !strings.Contains(out, "Missing") {
+		t.Fatalf("table format:\n%s", out)
+	}
+	// Without explicit cols, bound names are discovered.
+	tbl2 := NewTable(nil, []match.Env{e1})
+	sb.Reset()
+	tbl2.Format(&sb, 0)
+	if !strings.Contains(sb.String(), "N") {
+		t.Fatalf("auto columns:\n%s", sb.String())
+	}
+}
+
+func TestPrintGraph(t *testing.T) {
+	q := &QueryNode{Source: "whois", Send: msl.MustParseRule(`O :- O:<person>@whois.`), Extract: &msl.ObjectPattern{Label: &msl.Const{Value: oem.String("person")}}}
+	c := &ConstructNode{Child: q, Head: msl.MustParseRule(`<out {X}> :- <p>@s.`).Head}
+	var sb strings.Builder
+	PrintGraph(&sb, c)
+	out := sb.String()
+	if !strings.Contains(out, "construct") || !strings.Contains(out, "    query(whois)") {
+		t.Fatalf("graph:\n%s", out)
+	}
+}

@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"medmaker/internal/extfn"
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+	"medmaker/internal/wrapper"
+)
+
+// Executor runs physical datamerge graphs bottom-up. It carries the
+// environment a graph needs: the source registry, the external-function
+// table, an id generator for result objects, optional tracing, and the
+// statistics store the cost-based optimizer learns from (Section 3.5:
+// "builds its own statistics database that is based on results of
+// previous queries").
+type Executor struct {
+	Sources *wrapper.Registry
+	Extfn   *extfn.Table
+	IDGen   *oem.IDGen
+	// Stats, when non-nil, accumulates per-source result counts.
+	Stats *Stats
+	// Trace, when non-nil, receives a node-by-node account of the run —
+	// the operator, its parameters, and the flowing binding tables, as in
+	// Figure 3.6. Tracing forces sequential execution.
+	Trace io.Writer
+	// TraceRows bounds the rows printed per table (0 = 8).
+	TraceRows int
+	// Parallelism > 1 lets the executor evaluate independent subtrees
+	// concurrently and fan parameterized-query input tuples across that
+	// many workers. Sources must then tolerate concurrent queries (all
+	// bundled wrappers do) and external functions must be pure.
+	Parallelism int
+
+	depth int
+}
+
+// parallelism returns the effective worker count.
+func (ex *Executor) parallelism() int {
+	if ex.Trace != nil || ex.Parallelism < 2 {
+		return 1
+	}
+	return ex.Parallelism
+}
+
+// Run executes the graph rooted at n and returns its output table.
+func (ex *Executor) Run(n Node) (*Table, error) {
+	kidNodes := n.Kids()
+	kids := make([]*Table, len(kidNodes))
+	if ex.parallelism() > 1 && len(kidNodes) > 1 {
+		errs := make([]error, len(kidNodes))
+		var wg sync.WaitGroup
+		for i, k := range kidNodes {
+			wg.Add(1)
+			go func(i int, k Node) {
+				defer wg.Done()
+				kids[i], errs[i] = ex.Run(k)
+			}(i, k)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for i, k := range kidNodes {
+			t, err := ex.Run(k)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = t
+		}
+	}
+	start := time.Now()
+	out, err := n.run(ex, kids)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", n.Label(), err)
+	}
+	if ex.Trace != nil {
+		ex.traceNode(n, out, time.Since(start))
+	}
+	return out, nil
+}
+
+// RunObjects executes the graph and collects the constructed result
+// objects from the ResultVar column.
+func (ex *Executor) RunObjects(n Node) ([]*oem.Object, error) {
+	t, err := ex.Run(n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*oem.Object, 0, t.Len())
+	for _, row := range t.Rows {
+		b, ok := row.Lookup(ResultVar)
+		if !ok || b.Obj == nil {
+			return nil, fmt.Errorf("engine: graph output row lacks a %s object", ResultVar)
+		}
+		out = append(out, b.Obj)
+	}
+	return out, nil
+}
+
+func (ex *Executor) traceNode(n Node, out *Table, d time.Duration) {
+	fmt.Fprintf(ex.Trace, "%s [%s] %s -> %d rows (%s)\n",
+		strings.Repeat("  ", ex.depth), n.Label(), clip(n.Detail(), 100), out.Len(), d.Round(time.Microsecond))
+	maxRows := ex.TraceRows
+	if maxRows == 0 {
+		maxRows = 8
+	}
+	out.Format(ex.Trace, maxRows)
+}
+
+func (ex *Executor) recordQuery(source string, template *msl.Rule, results int) {
+	if ex.Stats == nil {
+		return
+	}
+	ex.Stats.Record(source, templateKey(template), results)
+}
+
+// templateKey identifies a query shape for the statistics store: the
+// source pattern labels of the template, ignoring constants, so repeated
+// parameterized instances aggregate under one key.
+func templateKey(r *msl.Rule) string {
+	var parts []string
+	for _, c := range r.Tail {
+		if pc, ok := c.(*msl.PatternConjunct); ok {
+			l := pc.Pattern.LabelName()
+			if l == "" {
+				l = "*"
+			}
+			parts = append(parts, l)
+		}
+	}
+	return strings.Join(parts, "+")
+}
+
+// PrintGraph renders the graph as an indented tree, leaves last — the
+// textual form of the paper's Figure 3.6 dataflow graph (which executes
+// bottom-up; here the root prints first).
+func PrintGraph(w io.Writer, n Node) {
+	printGraph(w, n, 0)
+}
+
+func printGraph(w io.Writer, n Node, depth int) {
+	fmt.Fprintf(w, "%s%s: %s\n", strings.Repeat("    ", depth), n.Label(), n.Detail())
+	for _, k := range n.Kids() {
+		printGraph(w, k, depth+1)
+	}
+}
+
+// CountQueries returns how many query nodes (leaf or parameterized) the
+// graph contains — a cheap static cost signal used in tests and traces.
+func CountQueries(n Node) int {
+	count := 0
+	if _, ok := n.(*QueryNode); ok {
+		count = 1
+	}
+	for _, k := range n.Kids() {
+		count += CountQueries(k)
+	}
+	return count
+}

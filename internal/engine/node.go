@@ -1,0 +1,422 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"medmaker/internal/build"
+	"medmaker/internal/match"
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+	"medmaker/internal/wrapper"
+)
+
+// ResultVar is the binding-table column that carries constructed result
+// objects out of constructor nodes.
+const ResultVar = "_result"
+
+// Node is one operator of a physical datamerge graph.
+type Node interface {
+	// Label names the operator kind for graph display, e.g. "param-query(cs)".
+	Label() string
+	// Detail describes the operator's parameters (query text, pattern, …).
+	Detail() string
+	// Kids returns the input operators, evaluated before this one.
+	Kids() []Node
+	// OutVars lists the variables bound in the output table.
+	OutVars() []string
+	// run executes the operator over its evaluated inputs.
+	run(ex *Executor, kids []*Table) (*Table, error)
+}
+
+// QueryNode sends an MSL query to a source — once when it is a leaf, or
+// once per input tuple when it has a child (the paper's parameterized
+// query node). Returned objects are matched against Extract (with the
+// input row's bindings, which enforces join consistency), and the
+// resulting rows are projected onto Needed.
+type QueryNode struct {
+	// Child supplies input tuples; nil makes this a leaf query node.
+	Child Node
+	// Source is the wrapper or mediator to query.
+	Source string
+	// Send is the query template. Variables listed in ParamVars are
+	// replaced per input tuple by the row's atomic bindings before
+	// sending; other variables stay free.
+	Send *msl.Rule
+	// ParamVars names the template variables filled from input tuples.
+	ParamVars []string
+	// Extract is matched against each returned top-level object, under
+	// the input row's environment, to produce output bindings.
+	Extract *msl.ObjectPattern
+	// ExtractObjVar optionally binds the whole returned object.
+	ExtractObjVar *msl.Var
+	// Negated inverts the node into an anti-join: an input tuple passes
+	// through exactly when the source yields no match under it, and no
+	// new variables are bound.
+	Negated bool
+	// Needed is the projection applied to output rows; empty keeps all.
+	Needed []string
+}
+
+// Label implements Node.
+func (n *QueryNode) Label() string {
+	kind := "query"
+	if n.Child != nil {
+		kind = "param-query"
+	}
+	if n.Negated {
+		kind = "anti-" + kind
+	}
+	return kind + "(" + n.Source + ")"
+}
+
+// Detail implements Node, showing the template with $-marked parameters.
+func (n *QueryNode) Detail() string {
+	shown := n.Send
+	if len(n.ParamVars) > 0 {
+		params := map[string]bool{}
+		for _, p := range n.ParamVars {
+			params[p] = true
+		}
+		shown = n.Send.RenameVars(func(s string) string {
+			if params[s] {
+				return "$" + s
+			}
+			return s
+		})
+	}
+	return shown.String()
+}
+
+// Kids implements Node.
+func (n *QueryNode) Kids() []Node {
+	if n.Child == nil {
+		return nil
+	}
+	return []Node{n.Child}
+}
+
+// OutVars implements Node.
+func (n *QueryNode) OutVars() []string { return n.Needed }
+
+func (n *QueryNode) run(ex *Executor, kids []*Table) (*Table, error) {
+	src, ok := ex.Sources.Lookup(n.Source)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown source %q", n.Source)
+	}
+	inputRows := []match.Env{nil}
+	if len(kids) == 1 {
+		inputRows = kids[0].Rows
+	}
+	workers := ex.parallelism()
+	if workers > len(inputRows) {
+		workers = len(inputRows)
+	}
+	if workers <= 1 {
+		out := &Table{Cols: n.Needed}
+		for _, row := range inputRows {
+			rows, err := n.runRow(ex, src, row)
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, rows...)
+		}
+		return out, nil
+	}
+	// Fan the input tuples across workers; per-row results are collected
+	// in input order so parallel and sequential plans agree exactly.
+	perRow := make([][]match.Env, len(inputRows))
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(inputRows); i += workers {
+				rows, err := n.runRow(ex, src, inputRows[i])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				perRow[i] = rows
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &Table{Cols: n.Needed}
+	for _, rows := range perRow {
+		out.Rows = append(out.Rows, rows...)
+	}
+	return out, nil
+}
+
+// runRow evaluates the node for one input tuple: instantiate the
+// template, query the source, extract bindings under the row environment,
+// and project.
+func (n *QueryNode) runRow(ex *Executor, src wrapper.Source, row match.Env) ([]match.Env, error) {
+	q := n.Send
+	if len(n.ParamVars) > 0 {
+		vals := make(map[string]oem.Value, len(n.ParamVars))
+		for _, p := range n.ParamVars {
+			if b, bound := row.Lookup(p); bound {
+				if v, atomic := b.AsValue(); atomic {
+					if _, isSet := v.(oem.Set); !isSet {
+						vals[p] = v
+					}
+				}
+			}
+		}
+		var err error
+		q, err = msl.BindVars(n.Send, vals)
+		if err != nil {
+			return nil, err
+		}
+	}
+	objs, err := src.Query(q)
+	if err != nil {
+		return nil, fmt.Errorf("engine: query to %s failed: %w", n.Source, err)
+	}
+	ex.recordQuery(n.Source, n.Send, len(objs))
+	envs, err := match.Tops(n.Extract, n.ExtractObjVar, objs, row)
+	if err != nil {
+		return nil, err
+	}
+	if n.Negated {
+		if len(envs) > 0 {
+			return nil, nil // a match exists: the tuple is filtered out
+		}
+		if len(n.Needed) > 0 {
+			row = row.Project(n.Needed)
+		}
+		return []match.Env{row}, nil
+	}
+	if len(n.Needed) > 0 {
+		for i, e := range envs {
+			envs[i] = e.Project(n.Needed)
+		}
+	}
+	return envs, nil
+}
+
+// ExtPredNode invokes an external predicate per input tuple, as the
+// paper's external pred node does for decomp.
+type ExtPredNode struct {
+	Child Node
+	Pred  *msl.PredicateConjunct
+	// Needed is the projection applied to output rows; empty keeps all.
+	Needed []string
+}
+
+// Label implements Node.
+func (n *ExtPredNode) Label() string { return "external-pred(" + n.Pred.Name + ")" }
+
+// Detail implements Node.
+func (n *ExtPredNode) Detail() string { return n.Pred.String() }
+
+// Kids implements Node.
+func (n *ExtPredNode) Kids() []Node { return []Node{n.Child} }
+
+// OutVars implements Node.
+func (n *ExtPredNode) OutVars() []string { return n.Needed }
+
+func (n *ExtPredNode) run(ex *Executor, kids []*Table) (*Table, error) {
+	out := &Table{Cols: n.Needed}
+	for _, row := range kids[0].Rows {
+		envs, err := ex.Extfn.Eval(n.Pred, row)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range envs {
+			if len(n.Needed) > 0 {
+				e = e.Project(n.Needed)
+			}
+			out.Rows = append(out.Rows, e)
+		}
+	}
+	return out, nil
+}
+
+// JoinNode combines two independently-computed binding tables on their
+// shared variables with a hash join — the fallback strategy when
+// parameterized queries are disabled or unprofitable, and the baseline the
+// parameterized-query benchmarks compare against.
+type JoinNode struct {
+	Left, Right Node
+	// Shared are the join variables; empty makes this a cross product.
+	Shared []string
+	// Needed is the projection applied to output rows; empty keeps all.
+	Needed []string
+}
+
+// Label implements Node.
+func (n *JoinNode) Label() string {
+	if len(n.Shared) == 0 {
+		return "cross-join"
+	}
+	return "hash-join"
+}
+
+// Detail implements Node.
+func (n *JoinNode) Detail() string {
+	if len(n.Shared) == 0 {
+		return "cartesian product"
+	}
+	return "on " + strings.Join(n.Shared, ", ")
+}
+
+// Kids implements Node.
+func (n *JoinNode) Kids() []Node { return []Node{n.Left, n.Right} }
+
+// OutVars implements Node.
+func (n *JoinNode) OutVars() []string { return n.Needed }
+
+func (n *JoinNode) run(ex *Executor, kids []*Table) (*Table, error) {
+	left, right := kids[0], kids[1]
+	out := &Table{Cols: n.Needed}
+	emit := func(l, r match.Env) {
+		if joined, ok := l.Join(r); ok {
+			if len(n.Needed) > 0 {
+				joined = joined.Project(n.Needed)
+			}
+			out.Rows = append(out.Rows, joined)
+		}
+	}
+	if len(n.Shared) == 0 {
+		for _, l := range left.Rows {
+			for _, r := range right.Rows {
+				emit(l, r)
+			}
+		}
+		return out, nil
+	}
+	// Hash the smaller side on the shared variables.
+	build, probe := right, left
+	buildRight := true
+	if left.Len() < right.Len() {
+		build, probe = left, right
+		buildRight = false
+	}
+	index := make(map[string][]match.Env, build.Len())
+	for _, r := range build.Rows {
+		k := r.Key(n.Shared)
+		index[k] = append(index[k], r)
+	}
+	for _, p := range probe.Rows {
+		for _, b := range index[p.Key(n.Shared)] {
+			if buildRight {
+				emit(p, b)
+			} else {
+				emit(b, p)
+			}
+		}
+	}
+	return out, nil
+}
+
+// DedupNode projects rows onto Vars and eliminates duplicate bindings —
+// the projection/duplicate-elimination step the MSL semantics prescribe
+// before object construction.
+type DedupNode struct {
+	Child Node
+	Vars  []string
+}
+
+// Label implements Node.
+func (n *DedupNode) Label() string { return "dedup" }
+
+// Detail implements Node.
+func (n *DedupNode) Detail() string { return "on " + strings.Join(n.Vars, ", ") }
+
+// Kids implements Node.
+func (n *DedupNode) Kids() []Node { return []Node{n.Child} }
+
+// OutVars implements Node.
+func (n *DedupNode) OutVars() []string { return n.Vars }
+
+func (n *DedupNode) run(ex *Executor, kids []*Table) (*Table, error) {
+	rows := match.DedupEnvs(kids[0].Rows, n.Vars)
+	projected := make([]match.Env, len(rows))
+	for i, r := range rows {
+		projected[i] = r.Project(n.Vars)
+	}
+	return &Table{Cols: n.Vars, Rows: projected}, nil
+}
+
+// ConstructNode creates one set of result objects per input tuple, using
+// the head pattern cp(vars) as the paper's constructor node does. Results
+// flow out in the ResultVar column.
+type ConstructNode struct {
+	Child Node
+	Head  []msl.HeadTerm
+}
+
+// Label implements Node.
+func (n *ConstructNode) Label() string { return "construct" }
+
+// Detail implements Node.
+func (n *ConstructNode) Detail() string {
+	parts := make([]string, len(n.Head))
+	for i, h := range n.Head {
+		parts[i] = h.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Kids implements Node.
+func (n *ConstructNode) Kids() []Node { return []Node{n.Child} }
+
+// OutVars implements Node.
+func (n *ConstructNode) OutVars() []string { return []string{ResultVar} }
+
+func (n *ConstructNode) run(ex *Executor, kids []*Table) (*Table, error) {
+	out := &Table{Cols: []string{ResultVar}}
+	for _, row := range kids[0].Rows {
+		objs, err := build.Head(n.Head, row, ex.IDGen)
+		if err != nil {
+			return nil, err
+		}
+		for _, obj := range objs {
+			env, _ := match.Env(nil).Extend(ResultVar, match.BindObj(obj))
+			out.Rows = append(out.Rows, env)
+		}
+	}
+	return out, nil
+}
+
+// UnionNode concatenates the outputs of several subgraphs — one per
+// logical datamerge rule; objects from every matching rule are added to
+// the result (paper, footnote 6).
+type UnionNode struct {
+	Inputs []Node
+}
+
+// Label implements Node.
+func (n *UnionNode) Label() string { return "union" }
+
+// Detail implements Node.
+func (n *UnionNode) Detail() string { return fmt.Sprintf("%d branches", len(n.Inputs)) }
+
+// Kids implements Node.
+func (n *UnionNode) Kids() []Node { return n.Inputs }
+
+// OutVars implements Node.
+func (n *UnionNode) OutVars() []string {
+	if len(n.Inputs) == 0 {
+		return nil
+	}
+	return n.Inputs[0].OutVars()
+}
+
+func (n *UnionNode) run(ex *Executor, kids []*Table) (*Table, error) {
+	out := &Table{Cols: n.OutVars()}
+	for _, t := range kids {
+		out.Rows = append(out.Rows, t.Rows...)
+	}
+	return out, nil
+}

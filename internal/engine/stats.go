@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Stats is the optimizer's statistics database, built from the results of
+// previous queries (Section 3.5 of the paper). It aggregates, per source
+// and query shape, how many objects queries of that shape returned, and
+// answers cardinality estimates for join ordering.
+type Stats struct {
+	mu      sync.RWMutex
+	entries map[string]*statEntry
+}
+
+type statEntry struct {
+	queries int
+	rows    int
+}
+
+// NewStats returns an empty statistics store.
+func NewStats() *Stats {
+	return &Stats{entries: make(map[string]*statEntry)}
+}
+
+// Record adds one observation: a query of the given shape against the
+// source returned n objects.
+func (s *Stats) Record(source, shape string, n int) {
+	key := source + "@" + shape
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[key]
+	if e == nil {
+		e = &statEntry{}
+		s.entries[key] = e
+	}
+	e.queries++
+	e.rows += n
+}
+
+// Estimate returns the average result size observed for the shape at the
+// source, and whether any observation exists.
+func (s *Stats) Estimate(source, shape string) (float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[source+"@"+shape]
+	if !ok || e.queries == 0 {
+		return 0, false
+	}
+	return float64(e.rows) / float64(e.queries), true
+}
+
+// Observations returns the number of recorded queries for the shape.
+func (s *Stats) Observations(source, shape string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[source+"@"+shape]
+	if !ok {
+		return 0
+	}
+	return e.queries
+}
+
+// String summarizes the store, sorted by key, for traces and debugging.
+func (s *Stats) String() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		e := s.entries[k]
+		fmt.Fprintf(&sb, "%s: %d queries, avg %.1f rows\n", k, e.queries, float64(e.rows)/float64(e.queries))
+	}
+	return sb.String()
+}

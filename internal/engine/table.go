@@ -1,0 +1,114 @@
+// Package engine implements MedMaker's datamerge engine: the executor of
+// physical datamerge graphs (Section 3.4 and Figure 3.6 of the paper).
+//
+// A physical datamerge graph is a dataflow tree whose nodes are the
+// "machine language" of MedMaker: query nodes send MSL queries to sources,
+// extractor logic pulls variable bindings out of the returned objects,
+// external-predicate nodes invoke declared functions, parameterized query
+// nodes emit one source query per input tuple, join nodes combine
+// independently-fetched binding tables, duplicate-elimination nodes
+// project and dedup, and constructor nodes create the final result
+// objects. Tables of variable bindings flow along the arcs.
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"medmaker/internal/match"
+)
+
+// Table is a binding table flowing along a graph arc: rows of variable
+// environments, with a column order for display.
+type Table struct {
+	// Cols is the display order of variables; rows may bind more
+	// variables than listed (Cols is presentational).
+	Cols []string
+	// Rows are the binding environments.
+	Rows []match.Env
+}
+
+// NewTable builds a table over the given display columns.
+func NewTable(cols []string, rows []match.Env) *Table {
+	return &Table{Cols: cols, Rows: rows}
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// Format renders the table for traces, in the style of the tables shown
+// beside the arcs of the paper's Figure 3.6. At most maxRows rows are
+// shown (0 means all).
+func (t *Table) Format(w io.Writer, maxRows int) {
+	cols := t.Cols
+	if len(cols) == 0 {
+		// Fall back to the union of bound variables, sorted.
+		seen := map[string]bool{}
+		for _, r := range t.Rows {
+			for _, n := range r.Names() {
+				seen[n] = true
+			}
+		}
+		for n := range seen {
+			cols = append(cols, n)
+		}
+		sort.Strings(cols)
+	}
+	cells := make([][]string, 0, len(t.Rows)+1)
+	cells = append(cells, cols)
+	n := len(t.Rows)
+	truncated := false
+	if maxRows > 0 && n > maxRows {
+		n = maxRows
+		truncated = true
+	}
+	for _, row := range t.Rows[:n] {
+		line := make([]string, len(cols))
+		for i, c := range cols {
+			if b, ok := row.Lookup(c); ok {
+				line[i] = clip(b.String(), 40)
+			} else {
+				line[i] = "-"
+			}
+		}
+		cells = append(cells, line)
+	}
+	widths := make([]int, len(cols))
+	for _, line := range cells {
+		for i, cell := range line {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for li, line := range cells {
+		var sb strings.Builder
+		sb.WriteString("  | ")
+		for i, cell := range line {
+			fmt.Fprintf(&sb, "%-*s | ", widths[i], cell)
+		}
+		io.WriteString(w, strings.TrimRight(sb.String(), " ")+"\n")
+		if li == 0 {
+			var sep strings.Builder
+			sep.WriteString("  |")
+			for _, wd := range widths {
+				sep.WriteString(strings.Repeat("-", wd+2))
+				sep.WriteString("|")
+			}
+			io.WriteString(w, sep.String()+"\n")
+		}
+	}
+	if truncated {
+		fmt.Fprintf(w, "  … %d more rows\n", len(t.Rows)-n)
+	}
+}
+
+func clip(s string, n int) string {
+	s = strings.ReplaceAll(s, "\n", " ")
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,356 @@
+// Package extfn implements MedMaker's external predicates: predicates in
+// MSL rule tails that are evaluated by calling registered functions rather
+// than by pattern matching.
+//
+// A predicate such as decomp(N, LN, FN) is declared in the mediator
+// specification with one or more implementations, each usable under a
+// particular binding pattern (adornment):
+//
+//	decomp(bound, free, free) by name_to_lnfn.
+//	decomp(free, bound, bound) by lnfn_to_name.
+//
+// Operationally, to check decomp('Joe Chung', 'Chung', 'Joe') the engine
+// may call name_to_lnfn with the bound name and compare the outputs, or
+// call lnfn_to_name in the other direction; the specification promises the
+// result is the same either way. Having several directions gives the
+// optimizer flexibility at execution time. Comparison predicates (lt, le,
+// gt, ge, eq, ne) are built in and need no declaration.
+package extfn
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"medmaker/internal/match"
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+)
+
+// Func is one callable direction of an external predicate. It receives the
+// values of the bound argument positions, in argument order, and returns
+// zero or more output tuples, each supplying values for the free positions
+// in order. Returning several tuples makes the predicate multivalued
+// (e.g. a thesaurus lookup); returning none means the call fails for these
+// inputs.
+type Func func(bound []oem.Value) ([][]oem.Value, error)
+
+// Registry maps function names — the names after "by" in declarations —
+// to Go implementations. It is safe for concurrent use. NewRegistry
+// preloads the standard library (see stdlib.go).
+type Registry struct {
+	mu    sync.RWMutex
+	funcs map[string]Func
+}
+
+// NewRegistry returns a registry preloaded with the standard function
+// library.
+func NewRegistry() *Registry {
+	r := &Registry{funcs: make(map[string]Func)}
+	registerStdlib(r)
+	return r
+}
+
+// Register makes fn available under the given name, replacing any previous
+// registration.
+func (r *Registry) Register(name string, fn Func) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
+// Lookup returns the function registered under name.
+func (r *Registry) Lookup(name string) (Func, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.funcs[name]
+	return fn, ok
+}
+
+// Names returns the registered function names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.funcs))
+	for n := range r.funcs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// impl is a resolved implementation: a declared adornment bound to a
+// registered function.
+type impl struct {
+	adornment []msl.ArgMode
+	fn        Func
+	funcName  string
+}
+
+// Table resolves the external declarations of one specification against a
+// registry, and evaluates predicate conjuncts. Build one per mediator.
+type Table struct {
+	byPred map[string][]impl
+}
+
+// NewTable resolves decls against reg. Every declared function must be
+// registered; all declarations of one predicate must agree on arity.
+func NewTable(reg *Registry, decls []*msl.ExternalDecl) (*Table, error) {
+	t := &Table{byPred: make(map[string][]impl)}
+	for _, d := range decls {
+		fn, ok := reg.Lookup(d.Func)
+		if !ok {
+			return nil, fmt.Errorf("extfn: declaration %q references unregistered function %q", d.Pred, d.Func)
+		}
+		if prev := t.byPred[d.Pred]; len(prev) > 0 && len(prev[0].adornment) != len(d.Adornment) {
+			return nil, fmt.Errorf("extfn: predicate %q declared with arities %d and %d",
+				d.Pred, len(prev[0].adornment), len(d.Adornment))
+		}
+		t.byPred[d.Pred] = append(t.byPred[d.Pred], impl{
+			adornment: d.Adornment,
+			fn:        fn,
+			funcName:  d.Func,
+		})
+	}
+	return t, nil
+}
+
+// builtinComparisons are the always-available all-bound predicates.
+var builtinComparisons = map[string]func(cmp int) bool{
+	"lt": func(c int) bool { return c < 0 },
+	"le": func(c int) bool { return c <= 0 },
+	"gt": func(c int) bool { return c > 0 },
+	"ge": func(c int) bool { return c >= 0 },
+	"eq": func(c int) bool { return c == 0 },
+	"ne": func(c int) bool { return c != 0 },
+}
+
+// structural builtins over set bindings: has(S, 'label') holds when the
+// set bound to S contains a member with the label; lacks is its negation.
+// They make irregularity queryable: "people without an e_mail" is
+// <person {| R}>@src AND lacks(R, 'e_mail').
+var builtinStructural = map[string]bool{"has": true, "lacks": true}
+
+// IsBuiltin reports whether name is a built-in predicate (comparisons or
+// the structural has/lacks).
+func IsBuiltin(name string) bool {
+	if _, ok := builtinComparisons[name]; ok {
+		return ok
+	}
+	return builtinStructural[name]
+}
+
+// Knows reports whether the table can evaluate the named predicate
+// (declared or built in).
+func (t *Table) Knows(name string) bool {
+	if IsBuiltin(name) {
+		return true
+	}
+	_, ok := t.byPred[name]
+	return ok
+}
+
+// CanEval reports whether some implementation of the conjunct's predicate
+// is applicable when exactly the variables in bound are bound. The planner
+// uses this to place predicate conjuncts as early as possible in the
+// execution order.
+func (t *Table) CanEval(p *msl.PredicateConjunct, bound map[string]bool) bool {
+	if IsBuiltin(p.Name) {
+		for _, a := range p.Args {
+			if v, ok := a.(*msl.Var); ok && !bound[v.Name] {
+				return false
+			}
+		}
+		return true
+	}
+	for _, im := range t.byPred[p.Name] {
+		if len(im.adornment) != len(p.Args) {
+			continue
+		}
+		if adornmentFits(im.adornment, p.Args, bound) {
+			return true
+		}
+	}
+	return false
+}
+
+func adornmentFits(ad []msl.ArgMode, args []msl.Term, bound map[string]bool) bool {
+	for i, mode := range ad {
+		if mode != msl.ArgBound {
+			continue
+		}
+		switch a := args[i].(type) {
+		case *msl.Const:
+		case *msl.Var:
+			if !bound[a.Name] {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Eval evaluates the predicate conjunct under env, returning the extended
+// environments. For a check (all positions effectively bound) the result
+// is env itself or nothing; free positions produce one extension per
+// output tuple. Implementations are tried in declaration order and the
+// first applicable one is used.
+func (t *Table) Eval(p *msl.PredicateConjunct, env match.Env) ([]match.Env, error) {
+	if cmp, ok := builtinComparisons[p.Name]; ok {
+		return evalComparison(p, cmp, env)
+	}
+	if builtinStructural[p.Name] {
+		return evalStructural(p, env)
+	}
+	impls := t.byPred[p.Name]
+	if len(impls) == 0 {
+		return nil, fmt.Errorf("extfn: undeclared predicate %q", p.Name)
+	}
+	bound := boundSet(env)
+	for _, im := range impls {
+		if len(im.adornment) != len(p.Args) {
+			return nil, fmt.Errorf("extfn: predicate %q called with %d arguments, declared with %d",
+				p.Name, len(p.Args), len(im.adornment))
+		}
+		if !adornmentFits(im.adornment, p.Args, bound) {
+			continue
+		}
+		return t.call(p, im, env)
+	}
+	return nil, fmt.Errorf("extfn: no implementation of %q is applicable with bindings for %v",
+		p.Name, match.Env(env).Names())
+}
+
+func boundSet(env match.Env) map[string]bool {
+	out := make(map[string]bool, len(env))
+	for name := range env {
+		out[name] = true
+	}
+	return out
+}
+
+func (t *Table) call(p *msl.PredicateConjunct, im impl, env match.Env) ([]match.Env, error) {
+	var inputs []oem.Value
+	for i, mode := range im.adornment {
+		if mode != msl.ArgBound {
+			continue
+		}
+		v, err := argValue(p.Args[i], env)
+		if err != nil {
+			return nil, fmt.Errorf("extfn: %s argument %d: %w", p.Name, i+1, err)
+		}
+		inputs = append(inputs, v)
+	}
+	tuples, err := im.fn(inputs)
+	if err != nil {
+		return nil, fmt.Errorf("extfn: %s (via %s): %w", p.Name, im.funcName, err)
+	}
+	var out []match.Env
+	for _, tuple := range tuples {
+		e := env
+		ok := true
+		ti := 0
+		for i, mode := range im.adornment {
+			if mode != msl.ArgFree {
+				continue
+			}
+			if ti >= len(tuple) {
+				return nil, fmt.Errorf("extfn: %s (via %s) returned %d outputs, adornment has more free positions",
+					p.Name, im.funcName, len(tuple))
+			}
+			val := tuple[ti]
+			ti++
+			switch a := p.Args[i].(type) {
+			case *msl.Var:
+				e, ok = e.Extend(a.Name, match.BindVal(val))
+			case *msl.Const:
+				ok = a.Value.Equal(val)
+			default:
+				return nil, fmt.Errorf("extfn: %s argument %d has unsupported term %s", p.Name, i+1, p.Args[i])
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+func argValue(t msl.Term, env match.Env) (oem.Value, error) {
+	switch a := t.(type) {
+	case *msl.Const:
+		return a.Value, nil
+	case *msl.Var:
+		b, ok := env.Lookup(a.Name)
+		if !ok {
+			return nil, fmt.Errorf("variable %s is unbound", a.Name)
+		}
+		v, ok := b.AsValue()
+		if !ok {
+			return nil, fmt.Errorf("variable %s is bound to a whole object, not a value", a.Name)
+		}
+		return v, nil
+	}
+	return nil, fmt.Errorf("unsupported argument term %s", t)
+}
+
+// evalStructural evaluates has(S, L)/lacks(S, L): S must be bound to a
+// set of objects (typically a rest variable) and L to a string label.
+func evalStructural(p *msl.PredicateConjunct, env match.Env) ([]match.Env, error) {
+	if len(p.Args) != 2 {
+		return nil, fmt.Errorf("extfn: %s takes 2 arguments, got %d", p.Name, len(p.Args))
+	}
+	sv, err := argValue(p.Args[0], env)
+	if err != nil {
+		return nil, fmt.Errorf("extfn: %s: %w", p.Name, err)
+	}
+	set, ok := sv.(oem.Set)
+	if !ok {
+		return nil, fmt.Errorf("extfn: %s: first argument must be a set (a rest variable), got %s", p.Name, sv.Kind())
+	}
+	lv, err := argValue(p.Args[1], env)
+	if err != nil {
+		return nil, fmt.Errorf("extfn: %s: %w", p.Name, err)
+	}
+	label, ok := lv.(oem.String)
+	if !ok {
+		return nil, fmt.Errorf("extfn: %s: second argument must be a label string, got %s", p.Name, lv)
+	}
+	found := set.First(string(label)) != nil
+	if found == (p.Name == "has") {
+		return []match.Env{env}, nil
+	}
+	return nil, nil
+}
+
+func evalComparison(p *msl.PredicateConjunct, pass func(int) bool, env match.Env) ([]match.Env, error) {
+	if len(p.Args) != 2 {
+		return nil, fmt.Errorf("extfn: %s takes 2 arguments, got %d", p.Name, len(p.Args))
+	}
+	a, err := argValue(p.Args[0], env)
+	if err != nil {
+		return nil, fmt.Errorf("extfn: %s: %w", p.Name, err)
+	}
+	b, err := argValue(p.Args[1], env)
+	if err != nil {
+		return nil, fmt.Errorf("extfn: %s: %w", p.Name, err)
+	}
+	cmp, comparable := oem.CompareAtoms(a, b)
+	if !comparable {
+		// Incomparable values: eq fails, ne holds, orderings fail — the
+		// tolerant behaviour irregular sources need.
+		if p.Name == "ne" && !a.Equal(b) {
+			return []match.Env{env}, nil
+		}
+		return nil, nil
+	}
+	if pass(cmp) {
+		return []match.Env{env}, nil
+	}
+	return nil, nil
+}

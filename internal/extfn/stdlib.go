@@ -1,0 +1,160 @@
+package extfn
+
+import (
+	"fmt"
+	"strings"
+
+	"medmaker/internal/oem"
+)
+
+// registerStdlib installs the standard function library used by the
+// paper's examples and by the bundled mediator specifications:
+//
+//	name_to_lnfn     'Joe Chung' -> 'Chung', 'Joe'
+//	lnfn_to_name     'Chung', 'Joe' -> 'Joe Chung'
+//	check_name_lnfn  all three bound: verify the correspondence
+//	lower / upper    case conversion
+//	concat           s1, s2 -> s1+s2
+//	normalize_author 'Chung, Joe' or 'Joe Chung' -> 'Chung, Joe'
+func registerStdlib(r *Registry) {
+	r.Register("name_to_lnfn", NameToLnFn)
+	r.Register("lnfn_to_name", LnFnToName)
+	r.Register("check_name_lnfn", CheckNameLnFn)
+	r.Register("lower", stringUnary(strings.ToLower))
+	r.Register("upper", stringUnary(strings.ToUpper))
+	r.Register("concat", Concat)
+	r.Register("normalize_author", NormalizeAuthor)
+}
+
+func oneString(v oem.Value, what string) (string, error) {
+	s, ok := v.(oem.String)
+	if !ok {
+		return "", fmt.Errorf("%s must be a string, got %s (%s)", what, v, v.Kind())
+	}
+	return string(s), nil
+}
+
+// NameToLnFn decomposes a full name into (last, first). The last
+// whitespace-separated token is the last name and everything before it the
+// first name(s), so 'Mary Jo Chung' yields ('Chung', 'Mary Jo'). A
+// single-token name has an empty first name.
+func NameToLnFn(bound []oem.Value) ([][]oem.Value, error) {
+	if len(bound) != 1 {
+		return nil, fmt.Errorf("name_to_lnfn expects 1 bound argument, got %d", len(bound))
+	}
+	full, err := oneString(bound[0], "full name")
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(full)
+	if len(fields) == 0 {
+		return nil, nil // no decomposition of an empty name
+	}
+	last := fields[len(fields)-1]
+	first := strings.Join(fields[:len(fields)-1], " ")
+	return [][]oem.Value{{oem.String(last), oem.String(first)}}, nil
+}
+
+// LnFnToName composes (last, first) into a full name 'First Last'.
+func LnFnToName(bound []oem.Value) ([][]oem.Value, error) {
+	if len(bound) != 2 {
+		return nil, fmt.Errorf("lnfn_to_name expects 2 bound arguments, got %d", len(bound))
+	}
+	last, err := oneString(bound[0], "last name")
+	if err != nil {
+		return nil, err
+	}
+	first, err := oneString(bound[1], "first name")
+	if err != nil {
+		return nil, err
+	}
+	full := strings.TrimSpace(first + " " + last)
+	if full == "" {
+		return nil, nil
+	}
+	return [][]oem.Value{{oem.String(full)}}, nil
+}
+
+// CheckNameLnFn verifies decomp with all three arguments bound: it holds
+// when the full name decomposes to exactly the given last and first names.
+func CheckNameLnFn(bound []oem.Value) ([][]oem.Value, error) {
+	if len(bound) != 3 {
+		return nil, fmt.Errorf("check_name_lnfn expects 3 bound arguments, got %d", len(bound))
+	}
+	tuples, err := NameToLnFn(bound[:1])
+	if err != nil {
+		return nil, err
+	}
+	for _, tup := range tuples {
+		if tup[0].Equal(bound[1]) && tup[1].Equal(bound[2]) {
+			return [][]oem.Value{{}}, nil // holds; no outputs
+		}
+	}
+	return nil, nil
+}
+
+func stringUnary(f func(string) string) Func {
+	return func(bound []oem.Value) ([][]oem.Value, error) {
+		if len(bound) != 1 {
+			return nil, fmt.Errorf("expected 1 bound argument, got %d", len(bound))
+		}
+		s, err := oneString(bound[0], "argument")
+		if err != nil {
+			return nil, err
+		}
+		return [][]oem.Value{{oem.String(f(s))}}, nil
+	}
+}
+
+// Concat concatenates two bound strings into one output.
+func Concat(bound []oem.Value) ([][]oem.Value, error) {
+	if len(bound) != 2 {
+		return nil, fmt.Errorf("concat expects 2 bound arguments, got %d", len(bound))
+	}
+	a, err := oneString(bound[0], "first argument")
+	if err != nil {
+		return nil, err
+	}
+	b, err := oneString(bound[1], "second argument")
+	if err != nil {
+		return nil, err
+	}
+	return [][]oem.Value{{oem.String(a + b)}}, nil
+}
+
+// NormalizeAuthor canonicalizes an author name to 'Last, First' — the
+// format the paper's introduction gives as the mediator's cleaning
+// example. It accepts 'Last, First' (returned as-is, space-normalized) and
+// 'First Last'.
+func NormalizeAuthor(bound []oem.Value) ([][]oem.Value, error) {
+	if len(bound) != 1 {
+		return nil, fmt.Errorf("normalize_author expects 1 bound argument, got %d", len(bound))
+	}
+	name, err := oneString(bound[0], "author name")
+	if err != nil {
+		return nil, err
+	}
+	if i := strings.IndexByte(name, ','); i >= 0 {
+		last := strings.TrimSpace(name[:i])
+		first := strings.TrimSpace(name[i+1:])
+		if last == "" {
+			return nil, nil
+		}
+		out := last
+		if first != "" {
+			out += ", " + first
+		}
+		return [][]oem.Value{{oem.String(out)}}, nil
+	}
+	tuples, err := NameToLnFn([]oem.Value{oem.String(name)})
+	if err != nil || len(tuples) == 0 {
+		return nil, err
+	}
+	last := string(tuples[0][0].(oem.String))
+	first := string(tuples[0][1].(oem.String))
+	out := last
+	if first != "" {
+		out += ", " + first
+	}
+	return [][]oem.Value{{oem.String(out)}}, nil
+}

@@ -1,0 +1,146 @@
+// Package handcoded is a hard-coded mediator for the paper's cs/whois
+// scenario: the integration logic of specification MS1 written directly in
+// Go against the wrapper interface, the way TSIMMIS mediators were built
+// before MedMaker ("the significant programming effort involved in the
+// hardcoded development of TSIMMIS mediators suggests the need for …
+// MedMaker", Section 1.2).
+//
+// It answers the same queries as the declarative mediator and serves as
+// the baseline the declarative-overhead benchmarks compare against. Note
+// what the hand-coding costs: the source schemas, the join strategy, the
+// name decomposition, and the handling of the schematic discrepancy are
+// all frozen into code, and every new query shape needs new code.
+package handcoded
+
+import (
+	"fmt"
+
+	"medmaker/internal/extfn"
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+	"medmaker/internal/wrapper"
+)
+
+// Mediator hard-codes the med view of specification MS1 over a cs-style
+// relational wrapper and a whois-style wrapper.
+type Mediator struct {
+	cs    wrapper.Source
+	whois wrapper.Source
+	gen   *oem.IDGen
+}
+
+// New builds the hard-coded mediator over the two sources.
+func New(cs, whois wrapper.Source) *Mediator {
+	return &Mediator{cs: cs, whois: whois, gen: oem.NewIDGen("hc")}
+}
+
+// CSPersonByName returns the integrated cs_person objects whose name
+// equals name — the hand-coded equivalent of query Q1. An empty name
+// returns the whole view.
+func (m *Mediator) CSPersonByName(name string) ([]*oem.Object, error) {
+	// Step 1: fetch matching persons from whois, pushing the name
+	// selection when given.
+	nameCond := ""
+	if name != "" {
+		nameCond = oem.QuoteAtom(name)
+	} else {
+		nameCond = "N"
+	}
+	qw, err := msl.ParseQuery(fmt.Sprintf(
+		`O :- O:<person {<name %s> <dept 'CS'> <relation R> | Rest1}>@whois.`, nameCond))
+	if err != nil {
+		return nil, err
+	}
+	persons, err := m.whois.Query(qw)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []*oem.Object
+	for _, p := range persons {
+		nObj := p.Sub("name")
+		rObj := p.Sub("relation")
+		if nObj == nil || rObj == nil {
+			continue
+		}
+		fullName, ok := nObj.AtomString()
+		if !ok {
+			continue
+		}
+		relation, ok := rObj.AtomString()
+		if !ok {
+			continue
+		}
+		// Step 2: decompose the name (schema-domain mismatch).
+		tuples, err := extfn.NameToLnFn([]oem.Value{oem.String(fullName)})
+		if err != nil || len(tuples) == 0 {
+			continue
+		}
+		last := tuples[0][0].(oem.String)
+		first := tuples[0][1].(oem.String)
+
+		// Step 3: parameterized query to cs; the relation value becomes
+		// the relation *name* (schematic discrepancy), hard-coded here.
+		qc, err := msl.ParseQuery(fmt.Sprintf(
+			`O :- O:<%s {<last_name %s> <first_name %s> | Rest2}>@cs.`,
+			relation, oem.QuoteAtom(string(last)), oem.QuoteAtom(string(first))))
+		if err != nil {
+			continue // relation value is not a legal label: no match
+		}
+		rows, err := m.cs.Query(qc)
+		if err != nil {
+			return nil, err
+		}
+
+		// Step 4: merge into cs_person objects (Figure 2.4 layout).
+		for _, row := range rows {
+			merged := oem.Set{
+				oem.New(m.gen.Next(), "name", fullName),
+				oem.New(m.gen.Next(), "relation", relation),
+			}
+			for _, sub := range p.Subobjects() {
+				switch sub.Label {
+				case "name", "dept", "relation":
+				default:
+					merged = append(merged, retag(sub, m.gen))
+				}
+			}
+			for _, sub := range row.Subobjects() {
+				switch sub.Label {
+				case "first_name", "last_name":
+				default:
+					merged = append(merged, retag(sub, m.gen))
+				}
+			}
+			out = append(out, &oem.Object{OID: m.gen.Next(), Label: "cs_person", Value: merged})
+		}
+	}
+	return dedup(out), nil
+}
+
+// retag deep-copies an object with fresh mediator oids.
+func retag(o *oem.Object, gen *oem.IDGen) *oem.Object {
+	cp := o.Clone()
+	cp.Walk(func(obj *oem.Object, _ int) bool {
+		obj.OID = gen.Next()
+		return true
+	})
+	return cp
+}
+
+func dedup(objs []*oem.Object) []*oem.Object {
+	byHash := map[uint64][]*oem.Object{}
+	out := objs[:0:0]
+outer:
+	for _, o := range objs {
+		h := o.StructuralHash()
+		for _, prev := range byHash[h] {
+			if prev.StructuralEqual(o) {
+				continue outer
+			}
+		}
+		byHash[h] = append(byHash[h], o)
+		out = append(out, o)
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package handcoded
+
+import (
+	"testing"
+
+	"medmaker/internal/oem"
+	"medmaker/internal/relational"
+	"medmaker/internal/semistruct"
+	"medmaker/internal/workload"
+)
+
+func paperSources(t *testing.T) (*relational.Wrapper, *semistruct.Wrapper) {
+	t.Helper()
+	staff, err := workload.GenStaff(workload.StaffConfig{Persons: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp, _ := staff.DB.Table("employee")
+	emp.MustInsert("Joe", "Chung", "professor", "John Hennessy")
+	stu, _ := staff.DB.Table("student")
+	stu.MustInsert("Nick", "Naive", 3)
+	staff.Store.MustAdd(
+		semistruct.Record{Kind: "person", Fields: []semistruct.Field{
+			{Name: "name", Value: "Joe Chung"}, {Name: "dept", Value: "CS"},
+			{Name: "relation", Value: "employee"}, {Name: "e_mail", Value: "chung@cs"},
+		}},
+		semistruct.Record{Kind: "person", Fields: []semistruct.Field{
+			{Name: "name", Value: "Nick Naive"}, {Name: "dept", Value: "CS"},
+			{Name: "relation", Value: "student"}, {Name: "year", Value: 3},
+		}},
+	)
+	return relational.NewWrapper("cs", staff.DB), semistruct.NewWrapper("whois", staff.Store)
+}
+
+func TestHandcodedFigure24(t *testing.T) {
+	cs, whois := paperSources(t)
+	m := New(cs, whois)
+	got, err := m.CSPersonByName("Joe Chung")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d objects", len(got))
+	}
+	want := oem.MustParse(`<cs_person, set, {
+	    <name, 'Joe Chung'>, <relation, 'employee'>, <e_mail, 'chung@cs'>,
+	    <title, 'professor'>, <reports_to, 'John Hennessy'>}>`)[0]
+	if !got[0].StructuralEqual(want) {
+		t.Fatalf("hand-coded result differs from Figure 2.4:\n%s", oem.Format(got[0]))
+	}
+}
+
+func TestHandcodedFullView(t *testing.T) {
+	cs, whois := paperSources(t)
+	m := New(cs, whois)
+	got, err := m.CSPersonByName("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("full view has %d objects", len(got))
+	}
+}
+
+func TestHandcodedNoMatch(t *testing.T) {
+	cs, whois := paperSources(t)
+	m := New(cs, whois)
+	got, err := m.CSPersonByName("Nobody Here")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatal("phantom person found")
+	}
+}
+
+func TestHandcodedScaledAgreement(t *testing.T) {
+	// At scale, the hand-coded view size equals the number of persons in
+	// both sources whose relation row exists (all of them, by
+	// construction).
+	staff, err := workload.GenStaff(workload.StaffConfig{
+		Persons: 60, Departments: 3, EmployeeFraction: 0.5, Irregularity: 0.3,
+		WhoisOnly: 10, CSOnly: 10, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(relational.NewWrapper("cs", staff.DB), semistruct.NewWrapper("whois", staff.Store))
+	got, err := m.CSPersonByName("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only dept-CS persons pass the hard-coded dept filter.
+	want := 0
+	for i := range staff.Names {
+		if i%3 == 0 { // DeptName(0) == "CS" with 3 departments
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("hand-coded view: %d objects, want %d", len(got), want)
+	}
+}

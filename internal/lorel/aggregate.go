@@ -1,0 +1,262 @@
+package lorel
+
+import (
+	"fmt"
+
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+)
+
+// AggSpec is one aggregate in a LOREL select list: Fn over the attribute
+// named by the last segment of its path (empty for count over whole
+// bindings).
+type AggSpec struct {
+	// Fn is count, sum, min, max, or avg.
+	Fn string
+	// Attr is the aggregated attribute label; empty for count(Var).
+	Attr string
+}
+
+// Label returns the result attribute name, e.g. "sum_salary" or "count".
+func (a AggSpec) Label() string {
+	if a.Attr == "" {
+		return a.Fn
+	}
+	return a.Fn + "_" + a.Attr
+}
+
+var aggregateFns = map[string]bool{"count": true, "sum": true, "min": true, "max": true, "avg": true}
+
+// AggQuery pairs one aggregate with the base rule computing its inputs.
+// Each aggregate gets its own base so the attribute requirement of one
+// (e.g. max(X.year) needs a year) never constrains another (count(X)
+// counts every binding) — the count(*) vs count(col) distinction.
+type AggQuery struct {
+	Spec AggSpec
+	Rule *msl.Rule
+}
+
+// Translated is the result of TranslateQuery: exactly one of Rule (plain
+// query) and Aggregates is set.
+type Translated struct {
+	Rule       *msl.Rule
+	Aggregates []AggQuery
+}
+
+// TranslateQuery parses a LOREL query that may carry aggregates in its
+// select list. Aggregates fold over each base rule's distinct bindings
+// (MSL semantics eliminate duplicates, so aggregation is over the set of
+// bindings). Aggregates and plain select items cannot mix, and there is
+// no grouping.
+func TranslateQuery(src string) (*Translated, error) {
+	p := &parser{toks: lex(src)}
+	q, aggs, err := p.parseAggQuery()
+	if err != nil {
+		return nil, err
+	}
+	if len(aggs) == 0 {
+		rule, err := q.toMSL()
+		if err != nil {
+			return nil, err
+		}
+		return &Translated{Rule: rule}, nil
+	}
+	out := &Translated{}
+	for i, a := range aggs {
+		base := &query{
+			sel:   []selectItem{q.sel[i]},
+			from:  q.from,
+			where: q.where,
+		}
+		rule, err := base.toMSL()
+		if err != nil {
+			return nil, err
+		}
+		out.Aggregates = append(out.Aggregates, AggQuery{Spec: a, Rule: rule})
+	}
+	return out, nil
+}
+
+// parseAggQuery parses like parseQuery but allows aggregate select items,
+// rewriting them into plain path selects for the base query.
+func (p *parser) parseAggQuery() (*query, []AggSpec, error) {
+	if !p.keyword("select") {
+		return nil, nil, fmt.Errorf("lorel: query must start with 'select', found %q", p.peek().text)
+	}
+	q := &query{}
+	var aggs []AggSpec
+	plain := 0
+	for {
+		t := p.peek()
+		if t.kind == "ident" && aggregateFns[t.text] {
+			p.next()
+			if p.next().text != "(" {
+				return nil, nil, fmt.Errorf("lorel: expected '(' after %s", t.text)
+			}
+			path, err := p.parsePath()
+			if err != nil {
+				return nil, nil, err
+			}
+			if p.next().text != ")" {
+				return nil, nil, fmt.Errorf("lorel: expected ')' closing %s(…)", t.text)
+			}
+			spec := AggSpec{Fn: t.text}
+			if len(path) > 1 {
+				spec.Attr = path[len(path)-1]
+			} else if t.text != "count" {
+				return nil, nil, fmt.Errorf("lorel: %s needs an attribute path, not a bare variable", t.text)
+			}
+			aggs = append(aggs, spec)
+			q.sel = append(q.sel, selectItem{path: path})
+		} else {
+			item, err := p.parsePath()
+			if err != nil {
+				return nil, nil, err
+			}
+			plain++
+			q.sel = append(q.sel, selectItem{path: item})
+		}
+		if p.peek().text != "," {
+			break
+		}
+		p.next()
+	}
+	if len(aggs) > 0 && plain > 0 {
+		return nil, nil, fmt.Errorf("lorel: aggregates and plain select items cannot mix (no grouping)")
+	}
+	if !p.keyword("from") {
+		return nil, nil, fmt.Errorf("lorel: expected 'from', found %q", p.peek().text)
+	}
+	for {
+		fi, err := p.parseFrom()
+		if err != nil {
+			return nil, nil, err
+		}
+		q.from = append(q.from, fi)
+		if p.peek().text != "," {
+			break
+		}
+		p.next()
+	}
+	if p.keyword("where") {
+		for {
+			c, err := p.parseCondition()
+			if err != nil {
+				return nil, nil, err
+			}
+			q.where = append(q.where, c)
+			if !p.keyword("and") {
+				break
+			}
+		}
+	}
+	if t := p.peek(); t.kind != "eof" {
+		return nil, nil, fmt.Errorf("lorel: unexpected %q after query", t.text)
+	}
+	return q, aggs, nil
+}
+
+// Fold runs every aggregate's base rule through run and combines the
+// folds into a single <result {…}> object, one subobject per aggregate.
+// min/max use atomic ordering (numbers numerically, strings lexically);
+// sum and avg require numbers; count counts the base rule's rows.
+func (t *Translated) Fold(run func(*msl.Rule) ([]*oem.Object, error)) (*oem.Object, error) {
+	subs := make(oem.Set, 0, len(t.Aggregates))
+	for _, aq := range t.Aggregates {
+		rows, err := run(aq.Rule)
+		if err != nil {
+			return nil, err
+		}
+		val, err := applyOne(rows, aq.Spec)
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, &oem.Object{Label: aq.Spec.Label(), Value: val})
+	}
+	return &oem.Object{Label: "result", Value: subs}, nil
+}
+
+// ApplyAggregates folds one result-row set under several aggregate specs
+// — the single-base form used when every aggregate shares one input.
+func ApplyAggregates(rows []*oem.Object, aggs []AggSpec) (*oem.Object, error) {
+	subs := make(oem.Set, 0, len(aggs))
+	for _, a := range aggs {
+		val, err := applyOne(rows, a)
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, &oem.Object{Label: a.Label(), Value: val})
+	}
+	return &oem.Object{Label: "result", Value: subs}, nil
+}
+
+func applyOne(rows []*oem.Object, a AggSpec) (oem.Value, error) {
+	if a.Fn == "count" {
+		if a.Attr == "" {
+			return oem.Int(len(rows)), nil
+		}
+		n := 0
+		for _, r := range rows {
+			if r.Sub(a.Attr) != nil {
+				n++
+			}
+		}
+		return oem.Int(n), nil
+	}
+	var best oem.Value
+	sum := 0.0
+	integral := true
+	n := 0
+	for _, r := range rows {
+		sub := r.Sub(a.Attr)
+		if sub == nil || sub.Value == nil {
+			continue
+		}
+		v := sub.Value
+		switch a.Fn {
+		case "min", "max":
+			if best == nil {
+				best = v
+				n++
+				continue
+			}
+			cmp, ok := oem.CompareAtoms(v, best)
+			if !ok {
+				return nil, fmt.Errorf("lorel: %s(%s): incomparable values %s and %s", a.Fn, a.Attr, v, best)
+			}
+			if a.Fn == "min" && cmp < 0 || a.Fn == "max" && cmp > 0 {
+				best = v
+			}
+			n++
+		case "sum", "avg":
+			switch num := v.(type) {
+			case oem.Int:
+				sum += float64(num)
+			case oem.Float:
+				sum += float64(num)
+				integral = false
+			default:
+				return nil, fmt.Errorf("lorel: %s(%s): non-numeric value %s", a.Fn, a.Attr, v)
+			}
+			n++
+		}
+	}
+	switch a.Fn {
+	case "min", "max":
+		if best == nil {
+			return oem.Set(nil), nil // no values: empty-set marker
+		}
+		return best, nil
+	case "sum":
+		if integral {
+			return oem.Int(int64(sum)), nil
+		}
+		return oem.Float(sum), nil
+	case "avg":
+		if n == 0 {
+			return oem.Set(nil), nil
+		}
+		return oem.Float(sum / float64(n)), nil
+	}
+	return nil, fmt.Errorf("lorel: unknown aggregate %q", a.Fn)
+}

@@ -1,0 +1,163 @@
+package lorel
+
+import (
+	"strings"
+	"testing"
+
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+)
+
+func TestTranslateQueryPlainCompatible(t *testing.T) {
+	tr, err := TranslateQuery(`select X.name from med.person X where X.dept = "CS"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Rule == nil || len(tr.Aggregates) != 0 {
+		t.Fatalf("plain query misclassified: %+v", tr)
+	}
+	plain, err := Translate(`select X.name from med.person X where X.dept = "CS"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Rule.String() != plain.String() {
+		t.Fatalf("TranslateQuery and Translate diverge:\n%s\n%s", tr.Rule, plain)
+	}
+}
+
+func TestTranslateQueryAggregates(t *testing.T) {
+	tr, err := TranslateQuery(`
+	    select count(X), sum(X.salary), min(X.salary), max(X.salary), avg(X.salary)
+	    from med.person X where X.dept = "CS"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Rule != nil || len(tr.Aggregates) != 5 {
+		t.Fatalf("aggregate query misclassified: %+v", tr)
+	}
+	if tr.Aggregates[0].Spec.Label() != "count" || tr.Aggregates[1].Spec.Label() != "sum_salary" {
+		t.Fatalf("labels: %v", tr.Aggregates)
+	}
+	// Every aggregate gets its own base; the condition is shared, but
+	// count's base has no salary requirement while sum's does.
+	countBase := tr.Aggregates[0].Rule.String()
+	sumBase := tr.Aggregates[1].Rule.String()
+	if strings.Contains(countBase, "salary") {
+		t.Fatalf("count base requires salary: %s", countBase)
+	}
+	if !strings.Contains(sumBase, "salary") {
+		t.Fatalf("sum base misses salary: %s", sumBase)
+	}
+	for _, aq := range tr.Aggregates {
+		if !strings.Contains(aq.Rule.String(), "'CS'") {
+			t.Fatalf("where clause lost in %s", aq.Rule)
+		}
+	}
+}
+
+func TestTranslateQueryErrors(t *testing.T) {
+	bad := []string{
+		`select count(X), X.name from med.p X`, // mixing
+		`select sum(X) from med.p X`,           // sum over bare var
+		`select count(X from med.p X`,          // missing paren
+		`select count X) from med.p X`,         // missing open paren
+	}
+	for _, q := range bad {
+		if _, err := TranslateQuery(q); err == nil {
+			t.Errorf("TranslateQuery(%q) succeeded", q)
+		}
+	}
+}
+
+func TestFold(t *testing.T) {
+	tr, err := TranslateQuery(`select count(X), sum(X.salary) from med.person X`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the mediator: count's base returns 3 whole objects, sum's
+	// base only the 2 rows carrying salary.
+	out, err := tr.Fold(func(r *msl.Rule) ([]*oem.Object, error) {
+		if strings.Contains(r.String(), "salary") {
+			return rowsOf(t, `<row, set, {<salary, 10>}> <row, set, {<salary, 20>}>`), nil
+		}
+		return rowsOf(t, `<person, set, {}> <person, set, {}> <person, set, {}>`), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := out.Sub("count").AtomInt(); n != 3 {
+		t.Fatalf("count = %d", n)
+	}
+	if s, _ := out.Sub("sum_salary").AtomInt(); s != 30 {
+		t.Fatalf("sum = %d", s)
+	}
+}
+
+func rowsOf(t *testing.T, text string) []*oem.Object {
+	t.Helper()
+	return oem.MustParse(text)
+}
+
+func TestApplyAggregates(t *testing.T) {
+	rows := rowsOf(t, `
+	<row, set, {<salary, 100>, <grade, 'a'>}>
+	<row, set, {<salary, 200>, <grade, 'c'>}>
+	<row, set, {<grade, 'b'>}>`)
+	out, err := ApplyAggregates(rows, []AggSpec{
+		{Fn: "count"},
+		{Fn: "count", Attr: "salary"},
+		{Fn: "sum", Attr: "salary"},
+		{Fn: "avg", Attr: "salary"},
+		{Fn: "min", Attr: "salary"},
+		{Fn: "max", Attr: "grade"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(label string, want oem.Value) {
+		t.Helper()
+		sub := out.Sub(label)
+		if sub == nil || !sub.Value.Equal(want) {
+			t.Fatalf("%s = %v, want %v", label, sub, want)
+		}
+	}
+	check("count", oem.Int(3))
+	check("count_salary", oem.Int(2)) // the third row lacks salary
+	check("sum_salary", oem.Int(300))
+	check("avg_salary", oem.Float(150))
+	check("min_salary", oem.Int(100))
+	check("max_grade", oem.String("c"))
+}
+
+func TestApplyAggregatesEdges(t *testing.T) {
+	// Empty input.
+	out, err := ApplyAggregates(nil, []AggSpec{{Fn: "count"}, {Fn: "min", Attr: "x"}, {Fn: "avg", Attr: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Sub("count").Value.Equal(oem.Int(0)) {
+		t.Fatal("count of empty")
+	}
+	if out.Sub("min_x").Kind() != oem.KindSet {
+		t.Fatal("min of empty should be the empty-set marker")
+	}
+	if out.Sub("avg_x").Kind() != oem.KindSet {
+		t.Fatal("avg of empty should be the empty-set marker")
+	}
+	// Float sum.
+	rows := rowsOf(t, `<row, set, {<x, 1.5>}> <row, set, {<x, 2>}>`)
+	out2, _ := ApplyAggregates(rows, []AggSpec{{Fn: "sum", Attr: "x"}})
+	if !out2.Sub("sum_x").Value.Equal(oem.Float(3.5)) {
+		t.Fatalf("float sum: %v", out2.Sub("sum_x"))
+	}
+	// Non-numeric sum fails.
+	bad := rowsOf(t, `<row, set, {<x, 'oops'>}>`)
+	if _, err := ApplyAggregates(bad, []AggSpec{{Fn: "sum", Attr: "x"}}); err == nil {
+		t.Fatal("sum over strings accepted")
+	}
+	// Incomparable min fails.
+	mixed := rowsOf(t, `<row, set, {<x, 'a'>}> <row, set, {<x, 1>}>`)
+	if _, err := ApplyAggregates(mixed, []AggSpec{{Fn: "min", Attr: "x"}}); err == nil {
+		t.Fatal("min over mixed kinds accepted")
+	}
+}

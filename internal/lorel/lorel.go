@@ -1,0 +1,340 @@
+// Package lorel implements a front end for a LOREL-style end-user query
+// language, translated to MSL. The paper (footnote 4) describes LOREL as
+// TSIMMIS's "object-oriented extension to SQL … oriented to the end-user",
+// with MSL the more powerful mediator-specification language; this package
+// provides that surface syntax over the same machinery:
+//
+//	select X.name, X.e_mail
+//	from   med.cs_person X
+//	where  X.dept = "CS" and X.year >= 3
+//
+// translates to the MSL rule
+//
+//	<row {<name V1> <e_mail V2>}> :-
+//	    X:<cs_person {<name V1> <e_mail V2> <dept 'CS'> <year V3>}>@med
+//	    AND ge(V3, 3).
+//
+// Supported forms: multiple from-bindings (joins via shared paths are
+// expressed with equality conditions between paths), dotted path
+// expressions of any depth, comparison operators = != < <= > >=, string
+// ("…"), integer, real, and boolean literals, and "select X" to return
+// whole objects. DISTINCT is implicit (MSL semantics always eliminate
+// duplicate bindings).
+package lorel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+)
+
+// Translate parses a LOREL query and returns the equivalent MSL rule.
+func Translate(query string) (*msl.Rule, error) {
+	p := &parser{toks: lex(query)}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q.toMSL()
+}
+
+// --- surface syntax ---
+
+type selectItem struct {
+	path []string // var, segments…; len 1 = whole object
+}
+
+type fromItem struct {
+	source string // may be empty: the mediator being queried
+	label  string
+	varNam string
+}
+
+type condition struct {
+	left []string // path
+	// op is a comparison operator, or "exists"/"missing" for structural
+	// tests (right is then nil).
+	op    string
+	right any // oem.Value literal or []string path
+}
+
+type query struct {
+	sel   []selectItem
+	from  []fromItem
+	where []condition
+}
+
+// --- lexer ---
+
+type tok struct {
+	kind string // ident, var, string, number, bool, punct, eof
+	text string
+}
+
+func lex(src string) []tok {
+	var out []tok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ',' || c == '.' || c == '(' || c == ')':
+			out = append(out, tok{"punct", string(c)})
+			i++
+		case c == '=':
+			out = append(out, tok{"punct", "="})
+			i++
+		case c == '!' && i+1 < len(src) && src[i+1] == '=':
+			out = append(out, tok{"punct", "!="})
+			i += 2
+		case c == '<' || c == '>':
+			op := string(c)
+			if i+1 < len(src) && src[i+1] == '=' {
+				op += "="
+				i++
+			}
+			out = append(out, tok{"punct", op})
+			i++
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\\' && j+1 < len(src) {
+					j++
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			out = append(out, tok{"string", sb.String()})
+			i = j + 1
+		case c == '-' || c >= '0' && c <= '9':
+			j := i + 1
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' || src[j] == 'e' || src[j] == 'E' ||
+				(src[j] == '-' || src[j] == '+') && (src[j-1] == 'e' || src[j-1] == 'E')) {
+				j++
+			}
+			out = append(out, tok{"number", src[i:j]})
+			i = j
+		default:
+			r := rune(c)
+			if r == '_' || unicode.IsLetter(r) {
+				j := i
+				for j < len(src) && (src[j] == '_' || isAlnum(src[j])) {
+					j++
+				}
+				word := src[i:j]
+				i = j
+				switch strings.ToLower(word) {
+				case "true", "false":
+					out = append(out, tok{"bool", strings.ToLower(word)})
+				default:
+					if unicode.IsUpper(rune(word[0])) {
+						out = append(out, tok{"var", word})
+					} else {
+						out = append(out, tok{"ident", word})
+					}
+				}
+			} else {
+				out = append(out, tok{"punct", string(c)})
+				i++
+			}
+		}
+	}
+	return append(out, tok{kind: "eof"})
+}
+
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// --- parser ---
+
+type parser struct {
+	toks []tok
+	pos  int
+}
+
+func (p *parser) peek() tok { return p.toks[p.pos] }
+
+func (p *parser) next() tok {
+	t := p.toks[p.pos]
+	if t.kind != "eof" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) keyword(word string) bool {
+	t := p.peek()
+	if t.kind == "ident" && strings.EqualFold(t.text, word) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseQuery() (*query, error) {
+	q := &query{}
+	if !p.keyword("select") {
+		return nil, fmt.Errorf("lorel: query must start with 'select', found %q", p.peek().text)
+	}
+	for {
+		item, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		q.sel = append(q.sel, selectItem{path: item})
+		if p.peek().text != "," {
+			break
+		}
+		p.next()
+	}
+	if !p.keyword("from") {
+		return nil, fmt.Errorf("lorel: expected 'from', found %q", p.peek().text)
+	}
+	for {
+		fi, err := p.parseFrom()
+		if err != nil {
+			return nil, err
+		}
+		q.from = append(q.from, fi)
+		if p.peek().text != "," {
+			break
+		}
+		p.next()
+	}
+	if p.keyword("where") {
+		for {
+			c, err := p.parseCondition()
+			if err != nil {
+				return nil, err
+			}
+			q.where = append(q.where, c)
+			if !p.keyword("and") {
+				break
+			}
+		}
+	}
+	if t := p.peek(); t.kind != "eof" {
+		return nil, fmt.Errorf("lorel: unexpected %q after query", t.text)
+	}
+	return q, nil
+}
+
+// parsePath reads Var or Var.seg.seg…
+func (p *parser) parsePath() ([]string, error) {
+	v := p.next()
+	if v.kind != "var" {
+		return nil, fmt.Errorf("lorel: expected a variable, found %q (variables start upper-case)", v.text)
+	}
+	path := []string{v.text}
+	for p.peek().text == "." {
+		p.next()
+		seg := p.next()
+		if seg.kind != "ident" {
+			return nil, fmt.Errorf("lorel: expected an attribute after '.', found %q", seg.text)
+		}
+		path = append(path, seg.text)
+	}
+	return path, nil
+}
+
+// parseFrom reads [source '.'] label Var.
+func (p *parser) parseFrom() (fromItem, error) {
+	first := p.next()
+	if first.kind != "ident" {
+		return fromItem{}, fmt.Errorf("lorel: expected a source or label in from clause, found %q", first.text)
+	}
+	fi := fromItem{label: first.text}
+	if p.peek().text == "." {
+		p.next()
+		label := p.next()
+		if label.kind != "ident" {
+			return fromItem{}, fmt.Errorf("lorel: expected a label after source %q., found %q", first.text, label.text)
+		}
+		fi.source = first.text
+		fi.label = label.text
+	}
+	v := p.next()
+	if v.kind != "var" {
+		return fromItem{}, fmt.Errorf("lorel: expected a binding variable after %q, found %q", fi.label, v.text)
+	}
+	fi.varNam = v.text
+	return fi, nil
+}
+
+func (p *parser) parseCondition() (condition, error) {
+	// Structural tests: "exists X.attr" / "missing X.attr".
+	if p.keyword("exists") {
+		path, err := p.parsePath()
+		if err != nil {
+			return condition{}, err
+		}
+		if len(path) < 2 {
+			return condition{}, fmt.Errorf("lorel: exists needs an attribute path")
+		}
+		return condition{left: path, op: "exists"}, nil
+	}
+	if p.keyword("missing") {
+		path, err := p.parsePath()
+		if err != nil {
+			return condition{}, err
+		}
+		if len(path) != 2 {
+			return condition{}, fmt.Errorf("lorel: missing supports exactly one attribute below the variable (e.g. missing X.e_mail)")
+		}
+		return condition{left: path, op: "missing"}, nil
+	}
+	left, err := p.parsePath()
+	if err != nil {
+		return condition{}, err
+	}
+	if len(left) < 2 {
+		return condition{}, fmt.Errorf("lorel: condition must test an attribute path, found bare %q", left[0])
+	}
+	op := p.next()
+	switch op.text {
+	case "=", "!=", "<", "<=", ">", ">=":
+	default:
+		return condition{}, fmt.Errorf("lorel: expected a comparison operator, found %q", op.text)
+	}
+	c := condition{left: left, op: op.text}
+	rhs := p.peek()
+	switch rhs.kind {
+	case "string":
+		p.next()
+		c.right = oem.String(rhs.text)
+	case "number":
+		p.next()
+		if strings.ContainsAny(rhs.text, ".eE") {
+			f, err := strconv.ParseFloat(rhs.text, 64)
+			if err != nil {
+				return condition{}, fmt.Errorf("lorel: bad number %q", rhs.text)
+			}
+			c.right = oem.Float(f)
+		} else {
+			n, err := strconv.ParseInt(rhs.text, 10, 64)
+			if err != nil {
+				return condition{}, fmt.Errorf("lorel: bad number %q", rhs.text)
+			}
+			c.right = oem.Int(n)
+		}
+	case "bool":
+		p.next()
+		c.right = oem.Bool(rhs.text == "true")
+	case "var":
+		path, err := p.parsePath()
+		if err != nil {
+			return condition{}, err
+		}
+		c.right = path
+	default:
+		return condition{}, fmt.Errorf("lorel: expected a literal or path after %q, found %q", op.text, rhs.text)
+	}
+	return c, nil
+}

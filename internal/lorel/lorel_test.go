@@ -1,0 +1,197 @@
+package lorel
+
+import (
+	"strings"
+	"testing"
+
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+)
+
+func translate(t *testing.T, q string) *msl.Rule {
+	t.Helper()
+	r, err := Translate(q)
+	if err != nil {
+		t.Fatalf("Translate(%q): %v", q, err)
+	}
+	// The generated rule must round-trip through the MSL printer/parser.
+	if _, err := msl.ParseRule(r.String()); err != nil {
+		t.Fatalf("generated MSL does not reparse: %v\n%s", err, r)
+	}
+	return r
+}
+
+func TestSelectAttributes(t *testing.T) {
+	r := translate(t, `select X.name, X.e_mail from med.cs_person X where X.dept = "CS"`)
+	if len(r.Head) != 1 {
+		t.Fatalf("head: %v", r.Head)
+	}
+	head := r.Head[0].(*msl.ObjectPattern)
+	if head.LabelName() != "row" {
+		t.Fatalf("head label %q", head.LabelName())
+	}
+	hs := head.Value.(*msl.SetPattern)
+	if len(hs.Elems) != 2 {
+		t.Fatalf("head has %d elements", len(hs.Elems))
+	}
+	pc := r.Tail[0].(*msl.PatternConjunct)
+	if pc.Source != "med" || pc.Pattern.LabelName() != "cs_person" {
+		t.Fatalf("from conjunct: %s", pc)
+	}
+	if !strings.Contains(r.String(), "<dept 'CS'>") {
+		t.Fatalf("equality constant not in pattern: %s", r)
+	}
+}
+
+func TestSelectWholeObject(t *testing.T) {
+	r := translate(t, `select X from people.person X where X.dept = "CS"`)
+	if v, ok := r.Head[0].(*msl.Var); !ok || v.Name != "X" {
+		t.Fatalf("whole-object head: %v", r.Head[0])
+	}
+	pc := r.Tail[0].(*msl.PatternConjunct)
+	if pc.ObjVar == nil || pc.ObjVar.Name != "X" {
+		t.Fatalf("objvar missing: %s", pc)
+	}
+}
+
+func TestComparisonBecomesPredicate(t *testing.T) {
+	r := translate(t, `select X.name from med.person X where X.year >= 3`)
+	if len(r.Tail) != 2 {
+		t.Fatalf("tail: %s", r)
+	}
+	pred, ok := r.Tail[1].(*msl.PredicateConjunct)
+	if !ok || pred.Name != "ge" {
+		t.Fatalf("predicate: %v", r.Tail[1])
+	}
+	if c, ok := pred.Args[1].(*msl.Const); !ok || !c.Value.Equal(oem.Int(3)) {
+		t.Fatalf("predicate constant: %v", pred.Args[1])
+	}
+}
+
+func TestJoinViaSharedVariable(t *testing.T) {
+	r := translate(t, `
+	    select X.name, Y.title
+	    from med.person X, med.book Y
+	    where X.name = Y.author`)
+	if len(r.Tail) != 2 {
+		t.Fatalf("join should be pure patterns (shared variable), got %d conjuncts: %s", len(r.Tail), r)
+	}
+	// Both patterns reference the same variable.
+	s := r.String()
+	if !strings.Contains(s, "<name L1>") || !strings.Contains(s, "<author L1>") {
+		t.Fatalf("shared join variable missing:\n%s", s)
+	}
+}
+
+func TestNestedPaths(t *testing.T) {
+	r := translate(t, `select X.name from med.person X where X.address.city = "Palo Alto"`)
+	s := r.String()
+	if !strings.Contains(s, "<address {<city 'Palo Alto'>}>") {
+		t.Fatalf("nested path not built:\n%s", s)
+	}
+}
+
+func TestSamePathSelectAndCondition(t *testing.T) {
+	// Selecting a path that also carries an equality constant converts
+	// the constant into an eq predicate on the shared variable.
+	r := translate(t, `select X.dept from med.person X where X.dept = "CS"`)
+	s := r.String()
+	if !strings.Contains(s, "eq(") {
+		t.Fatalf("equality not preserved:\n%s", s)
+	}
+}
+
+func TestBooleanAndFloatLiterals(t *testing.T) {
+	r := translate(t, `select X.name from med.person X where X.active = true and X.gpa > 3.5`)
+	s := r.String()
+	if !strings.Contains(s, "<active true>") {
+		t.Fatalf("bool literal:\n%s", s)
+	}
+	if !strings.Contains(s, "gt(") || !strings.Contains(s, "3.5") {
+		t.Fatalf("float comparison:\n%s", s)
+	}
+}
+
+func TestDefaultSource(t *testing.T) {
+	r := translate(t, `select X.name from person X`)
+	pc := r.Tail[0].(*msl.PatternConjunct)
+	if pc.Source != "" {
+		t.Fatalf("default source should be empty (the queried mediator), got %q", pc.Source)
+	}
+}
+
+func TestWholeObjectPlusAttributes(t *testing.T) {
+	r := translate(t, `select X, X.name from med.person X`)
+	head := r.Head[0].(*msl.ObjectPattern)
+	hs := head.Value.(*msl.SetPattern)
+	// name element + the whole object variable.
+	if len(hs.Elems) != 2 {
+		t.Fatalf("head elements: %s", r)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		``,                                       // empty
+		`from med.person X`,                      // no select
+		`select X`,                               // no from
+		`select X from`,                          // missing from item
+		`select X from med.person X where`,       // missing condition
+		`select X from med.person X where X = 3`, // bare-variable condition
+		`select Y.name from med.person X`,        // unbound variable
+		`select X.name from med.person X where Y.a = 1`,                    // unbound in where
+		`select X.name from med.person X, med.book X`,                      // duplicate binding
+		`select X.name from med.person X where X.name ~ 3`,                 // bad operator
+		`select X.name from med.person X extra`,                            // trailing tokens
+		`select x from med.person X`,                                       // lower-case select var
+		`select X.name.first, X.name from med.person X where X.name = "x"`, // value vs structure
+	}
+	for _, q := range bad {
+		if _, err := Translate(q); err == nil {
+			t.Errorf("Translate(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestExistsAndMissing(t *testing.T) {
+	r := translate(t, `select X.name from med.person X where exists X.e_mail and missing X.phone`)
+	s := r.String()
+	if !strings.Contains(s, "<e_mail") {
+		t.Fatalf("exists not materialized:\n%s", s)
+	}
+	if !strings.Contains(s, "lacks(LRest") || !strings.Contains(s, "'phone'") {
+		t.Fatalf("missing not translated to lacks:\n%s", s)
+	}
+	if !strings.Contains(s, "| LRest") {
+		t.Fatalf("rest variable missing:\n%s", s)
+	}
+	// missing over an attribute also used positively is rejected.
+	if _, err := Translate(`select X.phone from med.person X where missing X.phone`); err == nil {
+		t.Fatal("conflicting missing accepted")
+	}
+	// missing needs exactly var.attr.
+	if _, err := Translate(`select X.name from med.person X where missing X.a.b`); err == nil {
+		t.Fatal("nested missing accepted")
+	}
+	if _, err := Translate(`select X.name from med.person X where exists X`); err == nil {
+		t.Fatal("bare exists accepted")
+	}
+}
+
+func TestPathEqualityWithExistingVars(t *testing.T) {
+	// Both sides already have variables (from prior conditions): an eq
+	// predicate is emitted instead of variable sharing.
+	r := translate(t, `
+	    select X.a, Y.b
+	    from med.p X, med.q Y
+	    where X.a > 1 and Y.b > 2 and X.a = Y.b`)
+	found := false
+	for _, c := range r.Tail {
+		if pred, ok := c.(*msl.PredicateConjunct); ok && pred.Name == "eq" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("eq predicate missing:\n%s", r)
+	}
+}

@@ -1,0 +1,293 @@
+package lorel
+
+import (
+	"fmt"
+
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+)
+
+// pnode is one position in a from-variable's access tree: the paths the
+// query mentions below one binding variable. All references to the same
+// path denote the same subobject (documented Lorel-lite semantics), so
+// select lists, equality constants, and comparison predicates on a path
+// share one pattern element.
+type pnode struct {
+	kids    map[string]*pnode
+	order   []string
+	varName string    // leaf variable, when the value is needed
+	eqConst oem.Value // equality constant, when no variable is needed
+}
+
+func newPNode() *pnode { return &pnode{kids: map[string]*pnode{}} }
+
+func (n *pnode) child(seg string) *pnode {
+	if c, ok := n.kids[seg]; ok {
+		return c
+	}
+	c := newPNode()
+	n.kids[seg] = c
+	n.order = append(n.order, seg)
+	return c
+}
+
+type translator struct {
+	roots map[string]*pnode
+	order []string
+	fresh int
+	preds []*msl.PredicateConjunct
+}
+
+func (t *translator) root(varName string) (*pnode, error) {
+	n, ok := t.roots[varName]
+	if !ok {
+		return nil, fmt.Errorf("lorel: variable %s is not bound in the from clause", varName)
+	}
+	return n, nil
+}
+
+// leaf walks a path below its from-variable, creating nodes as needed,
+// and returns the leaf.
+func (t *translator) leaf(path []string) (*pnode, error) {
+	n, err := t.root(path[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, seg := range path[1:] {
+		n = n.child(seg)
+	}
+	return n, nil
+}
+
+// varFor ensures the leaf carries a variable and returns its name. An
+// equality constant already present is converted into an eq predicate on
+// the new variable, preserving the condition.
+func (t *translator) varFor(n *pnode) string {
+	if n.varName != "" {
+		return n.varName
+	}
+	t.fresh++
+	n.varName = fmt.Sprintf("L%d", t.fresh)
+	if n.eqConst != nil {
+		t.preds = append(t.preds, &msl.PredicateConjunct{
+			Name: "eq",
+			Args: []msl.Term{&msl.Var{Name: n.varName}, &msl.Const{Value: n.eqConst}},
+		})
+		n.eqConst = nil
+	}
+	return n.varName
+}
+
+var opPredicates = map[string]string{
+	"!=": "ne",
+	"<":  "lt",
+	"<=": "le",
+	">":  "gt",
+	">=": "ge",
+}
+
+// toMSL performs the translation.
+func (q *query) toMSL() (*msl.Rule, error) {
+	t := &translator{roots: map[string]*pnode{}}
+	for _, fi := range q.from {
+		if _, dup := t.roots[fi.varNam]; dup {
+			return nil, fmt.Errorf("lorel: variable %s bound twice in the from clause", fi.varNam)
+		}
+		t.roots[fi.varNam] = newPNode()
+		t.order = append(t.order, fi.varNam)
+	}
+
+	// Structural tests collected per from-variable: missing attributes
+	// become lacks() over a rest variable on the root pattern.
+	missing := map[string][]string{}
+
+	// Conditions shape the trees.
+	for _, c := range q.where {
+		if c.op == "exists" {
+			// Materializing the path is the whole requirement.
+			if _, err := t.leaf(c.left); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if c.op == "missing" {
+			if _, err := t.root(c.left[0]); err != nil {
+				return nil, err
+			}
+			missing[c.left[0]] = append(missing[c.left[0]], c.left[1])
+			continue
+		}
+		left, err := t.leaf(c.left)
+		if err != nil {
+			return nil, err
+		}
+		switch rhs := c.right.(type) {
+		case []string:
+			right, err := t.leaf(rhs)
+			if err != nil {
+				return nil, err
+			}
+			if c.op == "=" {
+				// A path join: share one variable so the pattern matcher
+				// (and parameterized queries) enforce it.
+				switch {
+				case left.varName == "" && right.varName != "":
+					left.varName = right.varName
+				case left.varName != "" && right.varName == "":
+					right.varName = left.varName
+				case left.varName == "" && right.varName == "":
+					name := t.varFor(left)
+					right.varName = name
+				default:
+					t.preds = append(t.preds, &msl.PredicateConjunct{
+						Name: "eq",
+						Args: []msl.Term{&msl.Var{Name: left.varName}, &msl.Var{Name: right.varName}},
+					})
+				}
+				// Converted equality constants must survive on both.
+				continue
+			}
+			t.preds = append(t.preds, &msl.PredicateConjunct{
+				Name: opPredicates[c.op],
+				Args: []msl.Term{&msl.Var{Name: t.varFor(left)}, &msl.Var{Name: t.varFor(right)}},
+			})
+		case oem.Value:
+			if c.op == "=" {
+				if left.varName == "" && left.eqConst == nil {
+					left.eqConst = rhs
+				} else {
+					t.preds = append(t.preds, &msl.PredicateConjunct{
+						Name: "eq",
+						Args: []msl.Term{&msl.Var{Name: t.varFor(left)}, &msl.Const{Value: rhs}},
+					})
+				}
+				continue
+			}
+			t.preds = append(t.preds, &msl.PredicateConjunct{
+				Name: opPredicates[c.op],
+				Args: []msl.Term{&msl.Var{Name: t.varFor(left)}, &msl.Const{Value: rhs}},
+			})
+		}
+	}
+
+	// The select list shapes trees too, and defines the head.
+	var headElems []msl.Term
+	wholeObject := map[string]bool{}
+	for _, s := range q.sel {
+		if len(s.path) == 1 {
+			wholeObject[s.path[0]] = true
+			if _, err := t.root(s.path[0]); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		leaf, err := t.leaf(s.path)
+		if err != nil {
+			return nil, err
+		}
+		name := t.varFor(leaf)
+		headElems = append(headElems, &msl.ObjectPattern{
+			Label: &msl.Const{Value: oem.String(s.path[len(s.path)-1])},
+			Value: &msl.Var{Name: name},
+		})
+	}
+
+	rule := &msl.Rule{}
+	// Head: a single whole-object select returns the objects themselves;
+	// otherwise a <row {…}> object per binding, with whole objects
+	// embedded as subobjects.
+	if len(headElems) == 0 && len(wholeObject) == 1 && len(q.sel) == 1 {
+		rule.Head = []msl.HeadTerm{&msl.Var{Name: q.sel[0].path[0]}}
+	} else {
+		elems := headElems
+		for _, fi := range q.from {
+			if wholeObject[fi.varNam] {
+				elems = append(elems, &msl.Var{Name: fi.varNam})
+			}
+		}
+		rule.Head = []msl.HeadTerm{&msl.ObjectPattern{
+			Label: &msl.Const{Value: oem.String("row")},
+			Value: &msl.SetPattern{Elems: elems},
+		}}
+	}
+
+	// Tail: one pattern conjunct per from item, then the predicates.
+	for _, fi := range q.from {
+		node := t.roots[fi.varNam]
+		value, err := buildSet(node)
+		if err != nil {
+			return nil, fmt.Errorf("lorel: variable %s: %w", fi.varNam, err)
+		}
+		if labels := missing[fi.varNam]; len(labels) > 0 {
+			// A "missing" attribute must not also be used positively —
+			// consumed elements would hide it from the rest set.
+			for _, label := range labels {
+				if _, used := node.kids[label]; used {
+					return nil, fmt.Errorf("lorel: %s.%s is tested as missing but also used elsewhere", fi.varNam, label)
+				}
+			}
+			sp, _ := value.(*msl.SetPattern)
+			if sp == nil {
+				sp = &msl.SetPattern{}
+			}
+			t.fresh++
+			rest := &msl.Var{Name: fmt.Sprintf("LRest%d", t.fresh)}
+			sp.Rest = rest
+			value = sp
+			for _, label := range labels {
+				t.preds = append(t.preds, &msl.PredicateConjunct{
+					Name: "lacks",
+					Args: []msl.Term{rest, &msl.Const{Value: oem.String(label)}},
+				})
+			}
+		}
+		pc := &msl.PatternConjunct{
+			Pattern: &msl.ObjectPattern{
+				Label: &msl.Const{Value: oem.String(fi.label)},
+				Value: value,
+			},
+			Source: fi.source,
+		}
+		if wholeObject[fi.varNam] {
+			pc.ObjVar = &msl.Var{Name: fi.varNam}
+		}
+		rule.Tail = append(rule.Tail, pc)
+	}
+	for _, p := range t.preds {
+		rule.Tail = append(rule.Tail, p)
+	}
+	if len(rule.Tail) == 0 {
+		return nil, fmt.Errorf("lorel: query has no from bindings")
+	}
+	return rule, nil
+}
+
+// buildSet renders a node's children as a set pattern; nil when the node
+// has no children (the whole value is unconstrained).
+func buildSet(n *pnode) (msl.Term, error) {
+	if len(n.order) == 0 {
+		return nil, nil
+	}
+	sp := &msl.SetPattern{}
+	for _, seg := range n.order {
+		child := n.kids[seg]
+		elem := &msl.ObjectPattern{Label: &msl.Const{Value: oem.String(seg)}}
+		switch {
+		case len(child.order) > 0:
+			if child.varName != "" || child.eqConst != nil {
+				return nil, fmt.Errorf("path through %q is used both as a value and as structure", seg)
+			}
+			inner, err := buildSet(child)
+			if err != nil {
+				return nil, err
+			}
+			elem.Value = inner
+		case child.varName != "":
+			elem.Value = &msl.Var{Name: child.varName}
+		case child.eqConst != nil:
+			elem.Value = &msl.Const{Value: child.eqConst}
+		}
+		sp.Elems = append(sp.Elems, elem)
+	}
+	return sp, nil
+}

@@ -1,0 +1,216 @@
+// Package match implements MSL pattern matching against OEM object
+// structures, producing variable bindings.
+//
+// Matching follows Section 2 of the MedMaker paper: a tail pattern is
+// matched against candidate objects, trying to bind the pattern's
+// variables to object components — labels, atomic values, oids, whole
+// objects, or sets of subobjects. A set pattern {p1 … pk | Rest} requires
+// k distinct subobjects matching the element patterns; Rest captures the
+// remaining subobjects, which is what makes specifications insensitive to
+// schema evolution. Subset semantics apply even without a rest variable:
+// unmentioned subobjects never block a match.
+package match
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"medmaker/internal/oem"
+)
+
+// Binding is the value an MSL variable is bound to: either a whole OEM
+// object (object variables, set-pattern element variables) or an OEM value
+// (atomic values, labels and oids as strings, and sets for rest
+// variables). Exactly one of Obj and Val is set.
+type Binding struct {
+	Obj *oem.Object
+	Val oem.Value
+}
+
+// BindObj binds a whole object.
+func BindObj(o *oem.Object) Binding { return Binding{Obj: o} }
+
+// BindVal binds an OEM value.
+func BindVal(v oem.Value) Binding { return Binding{Val: v} }
+
+// BindString binds a string value (labels, oids).
+func BindString(s string) Binding { return Binding{Val: oem.String(s)} }
+
+// IsZero reports whether the binding is unset.
+func (b Binding) IsZero() bool { return b.Obj == nil && b.Val == nil }
+
+// Equal reports whether two bindings denote the same thing. Objects
+// compare structurally (cross-source joins must not depend on oids); an
+// object and a value never compare equal.
+func (b Binding) Equal(o Binding) bool {
+	if b.Obj != nil || o.Obj != nil {
+		return b.Obj != nil && o.Obj != nil && b.Obj.StructuralEqual(o.Obj)
+	}
+	if b.Val == nil || o.Val == nil {
+		return b.Val == nil && o.Val == nil
+	}
+	return b.Val.Equal(o.Val)
+}
+
+// Hash returns a hash consistent with Equal, for join and
+// duplicate-elimination indexes.
+func (b Binding) Hash() uint64 {
+	if b.Obj != nil {
+		return b.Obj.StructuralHash() ^ 0x9e3779b97f4a7c15
+	}
+	if b.Val == nil {
+		return 0
+	}
+	return oem.HashValue(b.Val)
+}
+
+// String renders the binding for traces and error messages.
+func (b Binding) String() string {
+	if b.Obj != nil {
+		return b.Obj.String()
+	}
+	if b.Val == nil {
+		return "<unbound>"
+	}
+	return b.Val.String()
+}
+
+// AsValue converts the binding to an oem.Value: objects become singleton
+// references to their value? No — a whole object has no value-level
+// equivalent, so AsValue returns ok=false for object bindings; use Obj
+// directly.
+func (b Binding) AsValue() (oem.Value, bool) {
+	if b.Val != nil {
+		return b.Val, true
+	}
+	return nil, false
+}
+
+// Env is an immutable-by-convention variable environment: extensions copy.
+// The zero value (nil map) is the empty environment.
+type Env map[string]Binding
+
+// Lookup returns the binding of a variable.
+func (e Env) Lookup(name string) (Binding, bool) {
+	b, ok := e[name]
+	return b, ok
+}
+
+// Extend returns a copy of e with name bound. If name is already bound to
+// an Equal value, e itself is returned; if bound to a different value, ok
+// is false.
+func (e Env) Extend(name string, b Binding) (Env, bool) {
+	if prev, bound := e[name]; bound {
+		if prev.Equal(b) {
+			return e, true
+		}
+		return nil, false
+	}
+	out := make(Env, len(e)+1)
+	for k, v := range e {
+		out[k] = v
+	}
+	out[name] = b
+	return out, true
+}
+
+// Join merges two environments; it fails when a shared variable is bound
+// to different values — the binding-match step of rule evaluation.
+func (e Env) Join(o Env) (Env, bool) {
+	small, big := e, o
+	if len(small) > len(big) {
+		small, big = big, small
+	}
+	out := big
+	for k, v := range small {
+		var ok bool
+		out, ok = out.Extend(k, v)
+		if !ok {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// Project returns a copy of e restricted to the given variables; unbound
+// names are simply absent.
+func (e Env) Project(vars []string) Env {
+	out := make(Env, len(vars))
+	for _, v := range vars {
+		if b, ok := e[v]; ok {
+			out[v] = b
+		}
+	}
+	return out
+}
+
+// Key returns a canonical string for duplicate elimination over the given
+// variables: equal projections yield equal keys with overwhelming
+// probability (hash-based; exactness is restored by callers that compare
+// Equal on collision).
+func (e Env) Key(vars []string) string {
+	var sb strings.Builder
+	for _, v := range vars {
+		b := e[v]
+		fmt.Fprintf(&sb, "%s=%016x;", v, b.Hash())
+	}
+	return sb.String()
+}
+
+// Names returns the bound variable names, sorted.
+func (e Env) Names() []string {
+	out := make([]string, 0, len(e))
+	for k := range e {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the environment sorted by name, for traces and tests.
+func (e Env) String() string {
+	names := e.Names()
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = n + " -> " + e[n].String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Equal reports whether two environments bind the same variables to equal
+// values.
+func (e Env) Equal(o Env) bool {
+	if len(e) != len(o) {
+		return false
+	}
+	for k, v := range e {
+		ov, ok := o[k]
+		if !ok || !v.Equal(ov) {
+			return false
+		}
+	}
+	return true
+}
+
+// DedupEnvs removes duplicate environments with respect to the given
+// variables (the projection step before object construction; MSL
+// semantics eliminate duplicated bindings).
+func DedupEnvs(envs []Env, vars []string) []Env {
+	type slot struct{ env Env }
+	byKey := make(map[string][]slot, len(envs))
+	out := envs[:0:0]
+outer:
+	for _, e := range envs {
+		p := e.Project(vars)
+		key := p.Key(vars)
+		for _, s := range byKey[key] {
+			if s.env.Equal(p) {
+				continue outer
+			}
+		}
+		byKey[key] = append(byKey[key], slot{p})
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package match
+
+import (
+	"testing"
+
+	"medmaker/internal/oem"
+)
+
+func TestBindingEqualAndHash(t *testing.T) {
+	obj1 := oem.NewSet("&1", "p", oem.New("&2", "a", 1))
+	obj2 := oem.NewSet("&9", "p", oem.New("&8", "a", 1)) // same structure, different oids
+	cases := []struct {
+		a, b Binding
+		want bool
+	}{
+		{BindVal(oem.String("x")), BindVal(oem.String("x")), true},
+		{BindVal(oem.String("x")), BindVal(oem.String("y")), false},
+		{BindVal(oem.Int(3)), BindVal(oem.Float(3)), true},
+		{BindObj(obj1), BindObj(obj2), true},
+		{BindObj(obj1), BindVal(oem.String("p")), false},
+		{BindVal(oem.Set{obj1}), BindVal(oem.Set{obj2}), true},
+		{Binding{}, Binding{}, true},
+		{Binding{}, BindVal(oem.Int(0)), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("(%v).Equal(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if c.want && c.a.Hash() != c.b.Hash() {
+			t.Errorf("equal bindings %v, %v hash differently", c.a, c.b)
+		}
+	}
+	// Objects and values with the same content must not collide in Equal.
+	if BindObj(oem.New("", "a", 1)).Equal(BindVal(oem.Int(1))) {
+		t.Error("object binding equal to value binding")
+	}
+}
+
+func TestEnvExtendSemantics(t *testing.T) {
+	var e Env
+	e1, ok := e.Extend("X", BindVal(oem.Int(1)))
+	if !ok || len(e1) != 1 {
+		t.Fatal("Extend on empty env failed")
+	}
+	// Extending with the same value returns an equal env.
+	e2, ok := e1.Extend("X", BindVal(oem.Float(1)))
+	if !ok || !e2.Equal(e1) {
+		t.Fatal("re-extending with an equal value should succeed")
+	}
+	// Conflicting rebinding fails.
+	if _, ok := e1.Extend("X", BindVal(oem.Int(2))); ok {
+		t.Fatal("conflicting Extend succeeded")
+	}
+	// The original env is never mutated.
+	e3, _ := e1.Extend("Y", BindVal(oem.Int(9)))
+	if _, bound := e1.Lookup("Y"); bound {
+		t.Fatal("Extend mutated the receiver")
+	}
+	if len(e3) != 2 {
+		t.Fatal("second Extend lost a binding")
+	}
+}
+
+func TestEnvJoin(t *testing.T) {
+	a, _ := Env(nil).Extend("R", BindString("employee"))
+	a, _ = a.Extend("N", BindString("Joe Chung"))
+	b, _ := Env(nil).Extend("R", BindString("employee"))
+	b, _ = b.Extend("FN", BindString("Joe"))
+	j, ok := a.Join(b)
+	if !ok || len(j) != 3 {
+		t.Fatalf("join = %v, %v", j, ok)
+	}
+	c, _ := Env(nil).Extend("R", BindString("student"))
+	if _, ok := a.Join(c); ok {
+		t.Fatal("join with conflicting R succeeded")
+	}
+	// Join with empty env.
+	if j, ok := a.Join(nil); !ok || !j.Equal(a) {
+		t.Fatal("join with empty env should be identity")
+	}
+}
+
+func TestEnvProjectAndKey(t *testing.T) {
+	e, _ := Env(nil).Extend("X", BindVal(oem.Int(1)))
+	e, _ = e.Extend("Y", BindVal(oem.Int(2)))
+	p := e.Project([]string{"X", "Z"})
+	if len(p) != 1 {
+		t.Fatalf("projection = %v", p)
+	}
+	e2, _ := Env(nil).Extend("X", BindVal(oem.Float(1)))
+	if e.Key([]string{"X"}) != e2.Key([]string{"X"}) {
+		t.Fatal("equal projections should yield equal keys")
+	}
+	if e.Key([]string{"X", "Y"}) == e2.Key([]string{"X", "Y"}) {
+		t.Fatal("different projections should yield different keys")
+	}
+}
+
+func TestEnvString(t *testing.T) {
+	e, _ := Env(nil).Extend("B", BindVal(oem.Int(2)))
+	e, _ = e.Extend("A", BindVal(oem.Int(1)))
+	if got := e.String(); got != "{A -> 1, B -> 2}" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestDedupEnvs(t *testing.T) {
+	mk := func(n int64, extra string) Env {
+		e, _ := Env(nil).Extend("N", BindVal(oem.Int(n)))
+		e, _ = e.Extend("Extra", BindString(extra))
+		return e
+	}
+	envs := []Env{mk(1, "a"), mk(1, "b"), mk(2, "c"), mk(2, "d"), mk(1, "e")}
+	got := DedupEnvs(envs, []string{"N"})
+	if len(got) != 2 {
+		t.Fatalf("dedup kept %d envs, want 2", len(got))
+	}
+	// Full projection keeps all.
+	got2 := DedupEnvs(envs, []string{"N", "Extra"})
+	if len(got2) != 5 {
+		t.Fatalf("full-width dedup kept %d envs, want 5", len(got2))
+	}
+	// Dedup is stable: first occurrences survive in order.
+	if b, _ := got[0].Lookup("Extra"); !b.Val.Equal(oem.String("a")) {
+		t.Fatalf("dedup not stable: %v", got[0])
+	}
+}
+
+func TestBindingAsValue(t *testing.T) {
+	if v, ok := BindVal(oem.Int(3)).AsValue(); !ok || !v.Equal(oem.Int(3)) {
+		t.Fatal("AsValue on value binding")
+	}
+	if _, ok := BindObj(oem.New("", "a", 1)).AsValue(); ok {
+		t.Fatal("AsValue on object binding should fail")
+	}
+	if BindObj(oem.New("", "a", 1)).IsZero() {
+		t.Fatal("object binding reported zero")
+	}
+	if !(Binding{}).IsZero() {
+		t.Fatal("zero binding not reported zero")
+	}
+	if (Binding{}).String() != "<unbound>" {
+		t.Fatal("zero binding String")
+	}
+}

@@ -1,0 +1,294 @@
+package match
+
+import (
+	"fmt"
+
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+)
+
+// Object returns every extension of env under which the pattern matches
+// obj. A pattern with the wildcard flag may match obj itself or any
+// descendant. An error is reported only for malformed patterns (e.g. an
+// unsubstituted $parameter); a failed match is simply an empty result.
+func Object(p *msl.ObjectPattern, obj *oem.Object, env Env) ([]Env, error) {
+	if !p.Wildcard {
+		return matchHere(p, obj, env)
+	}
+	var out []Env
+	var walkErr error
+	obj.Walk(func(cand *oem.Object, _ int) bool {
+		if walkErr != nil {
+			return false
+		}
+		envs, err := matchHere(p, cand, env)
+		if err != nil {
+			walkErr = err
+			return false
+		}
+		out = append(out, envs...)
+		return true
+	})
+	return out, walkErr
+}
+
+// Tops matches the pattern against each of the given top-level objects,
+// optionally binding objVar to the matched object, and returns all
+// resulting environments. This is the semantics of one tail pattern
+// conjunct evaluated against a source.
+func Tops(p *msl.ObjectPattern, objVar *msl.Var, tops []*oem.Object, env Env) ([]Env, error) {
+	var out []Env
+	for _, obj := range tops {
+		if !p.Wildcard {
+			envs, err := matchWithObjVar(p, objVar, obj, env)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, envs...)
+			continue
+		}
+		// Wildcard: any level of this object's structure.
+		var walkErr error
+		obj.Walk(func(cand *oem.Object, _ int) bool {
+			if walkErr != nil {
+				return false
+			}
+			envs, err := matchWithObjVar(p, objVar, cand, env)
+			if err != nil {
+				walkErr = err
+				return false
+			}
+			out = append(out, envs...)
+			return true
+		})
+		if walkErr != nil {
+			return nil, walkErr
+		}
+	}
+	return out, nil
+}
+
+func matchWithObjVar(p *msl.ObjectPattern, objVar *msl.Var, obj *oem.Object, env Env) ([]Env, error) {
+	// Bind the object variable first so the pattern can reuse it.
+	if objVar != nil {
+		ext, ok := env.Extend(objVar.Name, BindObj(obj))
+		if !ok {
+			return nil, nil
+		}
+		env = ext
+	}
+	np := *p
+	np.Wildcard = false
+	return matchHere(&np, obj, env)
+}
+
+// matchHere matches the pattern against obj itself (no descent).
+func matchHere(p *msl.ObjectPattern, obj *oem.Object, env Env) ([]Env, error) {
+	// Type constraint.
+	if p.Type != nil && obj.Kind() != *p.Type {
+		return nil, nil
+	}
+	// OID field.
+	switch ot := p.OID.(type) {
+	case nil:
+	case *msl.Const:
+		if !ot.Value.Equal(oem.String(string(obj.OID))) {
+			return nil, nil
+		}
+	case *msl.Var:
+		ext, ok := env.Extend(ot.Name, BindString(string(obj.OID)))
+		if !ok {
+			return nil, nil
+		}
+		env = ext
+	default:
+		return nil, fmt.Errorf("match: unsupported oid term %s", p.OID)
+	}
+	// Label field.
+	switch lt := p.Label.(type) {
+	case *msl.Const:
+		s, isStr := lt.Value.(oem.String)
+		if !isStr || string(s) != obj.Label {
+			return nil, nil
+		}
+	case *msl.Var:
+		var ok bool
+		env, ok = env.Extend(lt.Name, BindString(obj.Label))
+		if !ok {
+			return nil, nil
+		}
+	case *msl.Param:
+		return nil, fmt.Errorf("match: unsubstituted parameter $%s in label position", lt.Name)
+	default:
+		return nil, fmt.Errorf("match: unsupported label term %s", p.Label)
+	}
+	// Value field.
+	switch vt := p.Value.(type) {
+	case nil:
+		return []Env{env}, nil
+	case *msl.Const:
+		if obj.Value != nil && obj.Value.Equal(vt.Value) {
+			return []Env{env}, nil
+		}
+		return nil, nil
+	case *msl.Var:
+		val := obj.Value
+		if val == nil {
+			val = oem.Set(nil)
+		}
+		ext, ok := env.Extend(vt.Name, BindVal(val))
+		if !ok {
+			return nil, nil
+		}
+		return []Env{ext}, nil
+	case *msl.SetPattern:
+		if obj.Kind() != oem.KindSet {
+			return nil, nil
+		}
+		return matchSet(vt, obj.Subobjects(), env)
+	case *msl.Param:
+		return nil, fmt.Errorf("match: unsubstituted parameter $%s in value position", vt.Name)
+	}
+	return nil, fmt.Errorf("match: unsupported value term %s", p.Value)
+}
+
+// matchSet matches the element patterns against distinct subobjects,
+// enumerating every injective assignment, and binds the rest variable to
+// the unconsumed subobjects. Wildcard elements may match at any depth
+// below and do not consume from the rest set.
+func matchSet(sp *msl.SetPattern, subs oem.Set, env Env) ([]Env, error) {
+	used := make([]bool, len(subs))
+	var out []Env
+	var rec func(i int, env Env) error
+	rec = func(i int, env Env) error {
+		if i == len(sp.Elems) {
+			final, err := finishRest(sp, subs, used, env)
+			if err != nil {
+				return err
+			}
+			out = append(out, final...)
+			return nil
+		}
+		switch elem := sp.Elems[i].(type) {
+		case *msl.ObjectPattern:
+			if elem.Wildcard {
+				// Search all strict descendants; no consumption.
+				inner := *elem
+				inner.Wildcard = false
+				for _, sub := range subs {
+					var walkErr error
+					sub.Walk(func(cand *oem.Object, _ int) bool {
+						if walkErr != nil {
+							return false
+						}
+						envs, err := matchHere(&inner, cand, env)
+						if err != nil {
+							walkErr = err
+							return false
+						}
+						for _, e := range envs {
+							if err := rec(i+1, e); err != nil {
+								walkErr = err
+								return false
+							}
+						}
+						return true
+					})
+					if walkErr != nil {
+						return walkErr
+					}
+				}
+				return nil
+			}
+			for j, sub := range subs {
+				if used[j] {
+					continue
+				}
+				envs, err := matchHere(elem, sub, env)
+				if err != nil {
+					return err
+				}
+				if len(envs) == 0 {
+					continue
+				}
+				used[j] = true
+				for _, e := range envs {
+					if err := rec(i+1, e); err != nil {
+						used[j] = false
+						return err
+					}
+				}
+				used[j] = false
+			}
+			return nil
+		case *msl.Var:
+			// A variable element binds to one subobject.
+			for j, sub := range subs {
+				if used[j] {
+					continue
+				}
+				ext, ok := env.Extend(elem.Name, BindObj(sub))
+				if !ok {
+					continue
+				}
+				used[j] = true
+				if err := rec(i+1, ext); err != nil {
+					used[j] = false
+					return err
+				}
+				used[j] = false
+			}
+			return nil
+		default:
+			return fmt.Errorf("match: unsupported set element %s", sp.Elems[i])
+		}
+	}
+	if err := rec(0, env); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// finishRest binds the rest variable (if any) to the unconsumed subobjects
+// and checks the rest constraints.
+func finishRest(sp *msl.SetPattern, subs oem.Set, used []bool, env Env) ([]Env, error) {
+	var rest oem.Set
+	if sp.Rest != nil || len(sp.RestConstraints) > 0 {
+		rest = make(oem.Set, 0, len(subs))
+		for j, sub := range subs {
+			if !used[j] {
+				rest = append(rest, sub)
+			}
+		}
+	}
+	// Each rest constraint must match some member of the rest set. The
+	// constraints may bind variables; enumerate the combinations.
+	envs := []Env{env}
+	for _, c := range sp.RestConstraints {
+		var next []Env
+		for _, e := range envs {
+			for _, sub := range rest {
+				got, err := Object(c, sub, e)
+				if err != nil {
+					return nil, err
+				}
+				next = append(next, got...)
+			}
+		}
+		if len(next) == 0 {
+			return nil, nil
+		}
+		envs = next
+	}
+	if sp.Rest == nil {
+		return envs, nil
+	}
+	var out []Env
+	for _, e := range envs {
+		ext, ok := e.Extend(sp.Rest.Name, BindVal(rest))
+		if ok {
+			out = append(out, ext)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,437 @@
+package match
+
+import (
+	"strings"
+	"testing"
+
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+)
+
+// whoisObjects reproduces the paper's Figure 2.3.
+func whoisObjects() []*oem.Object {
+	return oem.MustParse(`
+<&p1, person, set, {&n1, &d1, &rel1, &elm1}>
+  <&n1, name, string, 'Joe Chung'>
+  <&d1, dept, string, 'CS'>
+  <&rel1, relation, string, 'employee'>
+  <&elm1, e_mail, string, 'chung@cs'>
+<&p2, person, set, {&n2, &d2, &rel2, &y2}>
+  <&n2, name, string, 'Nick Naive'>
+  <&d2, dept, string, 'CS'>
+  <&rel2, relation, string, 'student'>
+  <&y2, year, integer, 3>
+;`)
+}
+
+// csObjects reproduces the paper's Figure 2.2.
+func csObjects() []*oem.Object {
+	return oem.MustParse(`
+<&e1, employee, set, {&f1, &l1, &t1, &rep1}>
+  <&f1, first_name, string, 'Joe'>
+  <&l1, last_name, string, 'Chung'>
+  <&t1, title, string, 'professor'>
+  <&rep1, reports_to, string, 'John Hennessy'>
+<&s1, student, set, {&f2, &l2, &y3}>
+  <&f2, first_name, string, 'Nick'>
+  <&l2, last_name, string, 'Naive'>
+  <&y3, year, integer, 3>
+;`)
+}
+
+func tailPattern(t *testing.T, src string) *msl.PatternConjunct {
+	t.Helper()
+	r, err := msl.ParseRule("X :- " + src + ".")
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return r.Tail[0].(*msl.PatternConjunct)
+}
+
+// TestSpecMS1WhoisBindings reproduces binding b_w,1 from Section 2: the
+// whois tail pattern of MS1 binds N to 'Joe Chung', R to 'employee', and
+// Rest1 to the singleton e_mail set.
+func TestSpecMS1WhoisBindings(t *testing.T) {
+	pc := tailPattern(t, `<person {<name N> <dept 'CS'> <relation R> | Rest1}>@whois`)
+	envs, err := Tops(pc.Pattern, pc.ObjVar, whoisObjects(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != 2 {
+		t.Fatalf("got %d bindings, want 2: %v", len(envs), envs)
+	}
+	bw1 := envs[0]
+	if b, _ := bw1.Lookup("N"); !b.Val.Equal(oem.String("Joe Chung")) {
+		t.Fatalf("N = %v", b)
+	}
+	if b, _ := bw1.Lookup("R"); !b.Val.Equal(oem.String("employee")) {
+		t.Fatalf("R = %v", b)
+	}
+	rest, _ := bw1.Lookup("Rest1")
+	set, ok := rest.Val.(oem.Set)
+	if !ok || len(set) != 1 || set[0].Label != "e_mail" {
+		t.Fatalf("Rest1 = %v", rest)
+	}
+	// Second binding: Nick Naive, student, Rest1 = {year}.
+	bw2 := envs[1]
+	if b, _ := bw2.Lookup("R"); !b.Val.Equal(oem.String("student")) {
+		t.Fatalf("second R = %v", b)
+	}
+	rest2, _ := bw2.Lookup("Rest1")
+	if set := rest2.Val.(oem.Set); len(set) != 1 || set[0].Label != "year" {
+		t.Fatalf("second Rest1 = %v", rest2)
+	}
+}
+
+// TestSpecMS1CSBindings reproduces binding b_c,1: the label variable R
+// binds to the relation name — the schematic-discrepancy resolution.
+func TestSpecMS1CSBindings(t *testing.T) {
+	pc := tailPattern(t, `<R {<first_name FN> <last_name LN> | Rest2}>@cs`)
+	envs, err := Tops(pc.Pattern, pc.ObjVar, csObjects(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != 2 {
+		t.Fatalf("got %d bindings, want 2", len(envs))
+	}
+	bc1 := envs[0]
+	if b, _ := bc1.Lookup("R"); !b.Val.Equal(oem.String("employee")) {
+		t.Fatalf("R = %v", b)
+	}
+	if b, _ := bc1.Lookup("FN"); !b.Val.Equal(oem.String("Joe")) {
+		t.Fatalf("FN = %v", b)
+	}
+	if b, _ := bc1.Lookup("LN"); !b.Val.Equal(oem.String("Chung")) {
+		t.Fatalf("LN = %v", b)
+	}
+	rest, _ := bc1.Lookup("Rest2")
+	set := rest.Val.(oem.Set)
+	if len(set) != 2 {
+		t.Fatalf("Rest2 has %d members, want 2 (title, reports_to)", len(set))
+	}
+}
+
+// TestBindingJoin joins b_w,1 with b_c,1 on the shared variable R as the
+// paper's matching step does.
+func TestBindingJoin(t *testing.T) {
+	w := tailPattern(t, `<person {<name N> <dept 'CS'> <relation R> | Rest1}>@whois`)
+	c := tailPattern(t, `<R {<first_name FN> <last_name LN> | Rest2}>@cs`)
+	wEnvs, _ := Tops(w.Pattern, nil, whoisObjects(), nil)
+	cEnvs, _ := Tops(c.Pattern, nil, csObjects(), nil)
+	var joined []Env
+	for _, we := range wEnvs {
+		for _, ce := range cEnvs {
+			if j, ok := we.Join(ce); ok {
+				joined = append(joined, j)
+			}
+		}
+	}
+	// Joe/employee with employee-table row, Nick/student with student row.
+	if len(joined) != 2 {
+		t.Fatalf("join produced %d environments, want 2", len(joined))
+	}
+	for _, j := range joined {
+		n, _ := j.Lookup("N")
+		fn, _ := j.Lookup("FN")
+		name, _ := n.AsValue()
+		first, _ := fn.AsValue()
+		if !strings.HasPrefix(string(name.(oem.String)), string(first.(oem.String))) {
+			t.Fatalf("mismatched join: N=%v FN=%v", n, fn)
+		}
+	}
+}
+
+func TestSubsetSemanticsWithoutRest(t *testing.T) {
+	// Q1's pattern names only <name …> but must match richer objects.
+	pc := tailPattern(t, `JC:<cs_person {<name 'Joe Chung'>}>@med`)
+	obj := oem.MustParse(`<&cp1, cs_person, set, {
+	    <&mn1, name, 'Joe Chung'>, <&mr1, relation, 'employee'>, <&me1, e_mail, 'chung@cs'>}>`)[0]
+	envs, err := Tops(pc.Pattern, pc.ObjVar, []*oem.Object{obj}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != 1 {
+		t.Fatalf("got %d matches, want 1", len(envs))
+	}
+	jc, _ := envs[0].Lookup("JC")
+	if jc.Obj == nil || jc.Obj.OID != "&cp1" {
+		t.Fatalf("JC bound to %v", jc)
+	}
+}
+
+func TestIrregularStructureTolerated(t *testing.T) {
+	// &p2 has no e_mail; a pattern requiring e_mail matches only &p1.
+	pc := tailPattern(t, `<person {<e_mail E>}>@whois`)
+	envs, err := Tops(pc.Pattern, nil, whoisObjects(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != 1 {
+		t.Fatalf("got %d matches, want 1", len(envs))
+	}
+	if b, _ := envs[0].Lookup("E"); !b.Val.Equal(oem.String("chung@cs")) {
+		t.Fatalf("E = %v", b)
+	}
+}
+
+func TestLabelVariableRetrievesSchema(t *testing.T) {
+	// Variables in label positions retrieve schema information.
+	pc := tailPattern(t, `<person {<L V>}>@whois`)
+	envs, err := Tops(pc.Pattern, nil, whoisObjects()[:1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := map[string]bool{}
+	for _, e := range envs {
+		b, _ := e.Lookup("L")
+		labels[string(b.Val.(oem.String))] = true
+	}
+	for _, want := range []string{"name", "dept", "relation", "e_mail"} {
+		if !labels[want] {
+			t.Errorf("label %q not retrieved (got %v)", want, labels)
+		}
+	}
+}
+
+func TestOIDFieldMatching(t *testing.T) {
+	objs := whoisObjects()
+	pc := tailPattern(t, `<&p2 person V>@whois`)
+	envs, err := Tops(pc.Pattern, nil, objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != 1 {
+		t.Fatalf("oid constant match: %d envs", len(envs))
+	}
+	pc2 := tailPattern(t, `<I person V>@whois`)
+	envs2, _ := Tops(pc2.Pattern, nil, objs, nil)
+	if len(envs2) != 2 {
+		t.Fatalf("oid variable match: %d envs", len(envs2))
+	}
+	ids := map[string]bool{}
+	for _, e := range envs2 {
+		b, _ := e.Lookup("I")
+		ids[string(b.Val.(oem.String))] = true
+	}
+	if !ids["&p1"] || !ids["&p2"] {
+		t.Fatalf("oid bindings: %v", ids)
+	}
+}
+
+func TestTypeConstraint(t *testing.T) {
+	objs := oem.MustParse(`<a, integer, 3> <a, string, '3'> <a, real, 3.0>`)
+	pc := tailPattern(t, `<a integer V>@s`)
+	envs, err := Tops(pc.Pattern, nil, objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != 1 {
+		t.Fatalf("type-constrained match: %d envs, want 1", len(envs))
+	}
+	if b, _ := envs[0].Lookup("V"); !b.Val.Equal(oem.Int(3)) {
+		t.Fatalf("V = %v", b)
+	}
+}
+
+func TestConstantValueCrossTypeEquality(t *testing.T) {
+	objs := oem.MustParse(`<year, integer, 3> <year, real, 3.0> <year, string, '3'>`)
+	pc := tailPattern(t, `<year 3>@s`)
+	envs, err := Tops(pc.Pattern, nil, objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 matches integer 3 and real 3.0 but not string '3'.
+	if len(envs) != 2 {
+		t.Fatalf("got %d matches, want 2", len(envs))
+	}
+}
+
+func TestRestConstraints(t *testing.T) {
+	// Qw-style: Rest1 must contain a <year 3> match.
+	pc := tailPattern(t, `<person {<name N> | Rest1:{<year 3>}}>@whois`)
+	envs, err := Tops(pc.Pattern, nil, whoisObjects(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != 1 {
+		t.Fatalf("got %d matches, want 1 (only Nick has year 3)", len(envs))
+	}
+	if b, _ := envs[0].Lookup("N"); !b.Val.Equal(oem.String("Nick Naive")) {
+		t.Fatalf("N = %v", b)
+	}
+	// The constrained member stays inside the rest set.
+	rest, _ := envs[0].Lookup("Rest1")
+	found := false
+	for _, m := range rest.Val.(oem.Set) {
+		if m.Label == "year" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("year object missing from constrained rest set")
+	}
+}
+
+func TestRestConstraintBindsVariables(t *testing.T) {
+	pc := tailPattern(t, `<person {<name N> | R:{<relation Rel>}}>@whois`)
+	envs, err := Tops(pc.Pattern, nil, whoisObjects(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != 2 {
+		t.Fatalf("got %d matches", len(envs))
+	}
+	for _, e := range envs {
+		if b, ok := e.Lookup("Rel"); !ok || b.IsZero() {
+			t.Fatalf("Rel unbound in %v", e)
+		}
+	}
+}
+
+func TestInjectiveElementMatching(t *testing.T) {
+	// Two elements with the same label must match distinct subobjects.
+	obj := oem.MustParse(`<p, set, {<a, 1>, <a, 2>}>`)[0]
+	pc := tailPattern(t, `<p {<a X> <a Y>}>@s`)
+	envs, err := Tops(pc.Pattern, nil, []*oem.Object{obj}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (X=1,Y=2) and (X=2,Y=1).
+	if len(envs) != 2 {
+		t.Fatalf("got %d assignments, want 2", len(envs))
+	}
+	for _, e := range envs {
+		x, _ := e.Lookup("X")
+		y, _ := e.Lookup("Y")
+		if x.Equal(y) {
+			t.Fatalf("element patterns matched the same subobject: %v", e)
+		}
+	}
+	// A single subobject cannot satisfy two element patterns.
+	one := oem.MustParse(`<p, set, {<a, 1>}>`)[0]
+	envs2, _ := Tops(pc.Pattern, nil, []*oem.Object{one}, nil)
+	if len(envs2) != 0 {
+		t.Fatalf("injectivity violated: %v", envs2)
+	}
+}
+
+func TestVariableSetElement(t *testing.T) {
+	obj := whoisObjects()[0]
+	pc := tailPattern(t, `<person {X | R}>@whois`)
+	envs, err := Tops(pc.Pattern, nil, []*oem.Object{obj}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != 4 {
+		t.Fatalf("variable element should enumerate 4 subobjects, got %d", len(envs))
+	}
+	for _, e := range envs {
+		x, _ := e.Lookup("X")
+		if x.Obj == nil {
+			t.Fatalf("X should bind a whole object, got %v", x)
+		}
+		r, _ := e.Lookup("R")
+		if len(r.Val.(oem.Set)) != 3 {
+			t.Fatalf("rest should hold the other 3 subobjects, got %v", r)
+		}
+	}
+}
+
+func TestWildcardDescent(t *testing.T) {
+	deep := oem.MustParse(`<lib, set, {
+	    <book, set, {<title, 'TAOCP'>, <chapter, set, {<title, 'Basics'>}>}>
+	}>`)[0]
+	pc := tailPattern(t, `X:<%title T>@lib`)
+	envs, err := Tops(pc.Pattern, pc.ObjVar, []*oem.Object{deep}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != 2 {
+		t.Fatalf("wildcard found %d titles, want 2", len(envs))
+	}
+	// Non-wildcard top-level pattern finds none (title is nested).
+	flat := tailPattern(t, `X:<title T>@lib`)
+	envs2, _ := Tops(flat.Pattern, flat.ObjVar, []*oem.Object{deep}, nil)
+	if len(envs2) != 0 {
+		t.Fatalf("non-wildcard matched nested titles: %v", envs2)
+	}
+}
+
+func TestWildcardElementInsideSet(t *testing.T) {
+	deep := oem.MustParse(`<lib, set, {
+	    <shelf, set, {<book, set, {<title, 'TAOCP'>}>}>,
+	    <name, 'Main'>
+	}>`)[0]
+	pc := tailPattern(t, `<lib {<name N> <%title T>}>@s`)
+	envs, err := Tops(pc.Pattern, nil, []*oem.Object{deep}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != 1 {
+		t.Fatalf("got %d matches, want 1", len(envs))
+	}
+	if b, _ := envs[0].Lookup("T"); !b.Val.Equal(oem.String("TAOCP")) {
+		t.Fatalf("T = %v", b)
+	}
+}
+
+func TestSharedVariableWithinPattern(t *testing.T) {
+	// The same variable twice forces equal values.
+	objs := oem.MustParse(`
+	<pair, set, {<a, 1>, <b, 1>}>
+	<pair, set, {<a, 1>, <b, 2>}>`)
+	pc := tailPattern(t, `<pair {<a X> <b X>}>@s`)
+	envs, err := Tops(pc.Pattern, nil, objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != 1 {
+		t.Fatalf("got %d matches, want 1", len(envs))
+	}
+}
+
+func TestPreboundEnvironmentFiltering(t *testing.T) {
+	pc := tailPattern(t, `<person {<name N> <relation R>}>@whois`)
+	pre, _ := Env(nil).Extend("R", BindString("student"))
+	envs, err := Tops(pc.Pattern, nil, whoisObjects(), pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != 1 {
+		t.Fatalf("prebound filter: %d matches, want 1", len(envs))
+	}
+	if b, _ := envs[0].Lookup("N"); !b.Val.Equal(oem.String("Nick Naive")) {
+		t.Fatalf("N = %v", b)
+	}
+}
+
+func TestUnsubstitutedParamIsError(t *testing.T) {
+	pc := tailPattern(t, `<$R {<last_name $LN>}>@cs`)
+	if _, err := Tops(pc.Pattern, nil, csObjects(), nil); err == nil {
+		t.Fatal("unsubstituted parameter should be an error")
+	}
+}
+
+func TestAtomicObjectAgainstSetPattern(t *testing.T) {
+	atom := oem.MustParse(`<name, 'Joe'>`)[0]
+	pc := tailPattern(t, `<name {<x Y>}>@s`)
+	envs, err := Tops(pc.Pattern, nil, []*oem.Object{atom}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != 0 {
+		t.Fatal("set pattern matched an atomic object")
+	}
+}
+
+func TestEmptySetPatternMatchesAnySetObject(t *testing.T) {
+	objs := oem.MustParse(`<p, set, {}> <p, set, {<a, 1>}> <p, 'atom'>`)
+	pc := tailPattern(t, `<p {}>@s`)
+	envs, err := Tops(pc.Pattern, nil, objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != 2 {
+		t.Fatalf("empty set pattern matched %d objects, want 2 (set-valued only)", len(envs))
+	}
+}

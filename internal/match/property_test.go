@@ -1,0 +1,140 @@
+package match
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+)
+
+// randomPerson builds a person object with a random subset of known
+// attributes plus random noise attributes.
+func randomPerson(r *rand.Rand, i int) *oem.Object {
+	subs := oem.Set{oem.New("", "name", fmt.Sprintf("P%03d", i))}
+	if r.Intn(2) == 0 {
+		subs = append(subs, oem.New("", "dept", []string{"CS", "EE"}[r.Intn(2)]))
+	}
+	if r.Intn(2) == 0 {
+		subs = append(subs, oem.New("", "year", 1+r.Intn(5)))
+	}
+	for n := r.Intn(3); n > 0; n-- {
+		subs = append(subs, oem.New("", fmt.Sprintf("noise%d", r.Intn(5)), r.Intn(10)))
+	}
+	return oem.NewSet("", "person", subs...)
+}
+
+var propPatterns = []string{
+	`<person {<name N>}>`,
+	`<person {<name N> <dept 'CS'>}>`,
+	`<person {<name N> <year Y> | R}>`,
+	`<person {<dept D> | R:{<year Y>}}>`,
+	`<L {<name N>}>`,
+	`<person {X | R}>`,
+}
+
+func parsePattern(t *testing.T, src string) *msl.ObjectPattern {
+	t.Helper()
+	r, err := msl.ParseRule("X :- X:" + src + "@s.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Tail[0].(*msl.PatternConjunct).Pattern
+}
+
+// TestPropMonotonicUnderSubobjectAddition: adding unrelated subobjects to
+// an object never removes matches — the essence of OEM's subset
+// semantics, which is what keeps specifications alive under schema
+// evolution. (Match counts may grow, e.g. for variable elements.)
+func TestPropMonotonicUnderSubobjectAddition(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for _, psrc := range propPatterns {
+		p := parsePattern(t, psrc)
+		for trial := 0; trial < 60; trial++ {
+			obj := randomPerson(r, trial)
+			before, err := Object(p, obj, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			grown := obj.Clone()
+			grown.Value = append(grown.Subobjects(),
+				oem.New("", fmt.Sprintf("added%d", trial), "extra"))
+			after, err := Object(p, grown, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(before) > 0 && len(after) == 0 {
+				t.Fatalf("pattern %s lost its match after adding a subobject:\n%s",
+					psrc, oem.Format(grown))
+			}
+			if len(after) < len(before) {
+				t.Fatalf("pattern %s match count dropped %d -> %d after adding a subobject",
+					psrc, len(before), len(after))
+			}
+		}
+	}
+}
+
+// TestPropRestPartition: when a pattern with a rest variable matches, the
+// consumed elements plus the rest set partition the subobjects (the rest
+// holds exactly the unconsumed ones).
+func TestPropRestPartition(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	p := parsePattern(t, `<person {<name N> | R}>`)
+	for trial := 0; trial < 80; trial++ {
+		obj := randomPerson(r, trial)
+		envs, err := Object(p, obj, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, env := range envs {
+			rest, _ := env.Lookup("R")
+			set, ok := rest.Val.(oem.Set)
+			if !ok {
+				t.Fatalf("rest not a set: %v", rest)
+			}
+			if len(set) != len(obj.Subobjects())-1 {
+				t.Fatalf("rest size %d, want %d", len(set), len(obj.Subobjects())-1)
+			}
+			// The consumed name subobject is not in the rest.
+			n, _ := env.Lookup("N")
+			for _, m := range set {
+				if m.Label == "name" {
+					if v, _ := m.AtomString(); n.Val.Equal(oem.String(v)) {
+						t.Fatalf("consumed subobject leaked into rest: %v", env)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropEnvExtensionMonotonic: matching under a pre-bound environment
+// returns a subset of the unconstrained matches (each joinable with the
+// pre-binding).
+func TestPropEnvExtensionMonotonic(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	p := parsePattern(t, `<person {<name N> <dept D>}>`)
+	for trial := 0; trial < 60; trial++ {
+		obj := randomPerson(r, trial)
+		free, err := Object(p, obj, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre, _ := Env(nil).Extend("D", BindString("CS"))
+		bound, err := Object(p, obj, pre)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bound) > len(free) {
+			t.Fatalf("pre-binding increased matches: %d > %d", len(bound), len(free))
+		}
+		for _, env := range bound {
+			d, _ := env.Lookup("D")
+			if !d.Val.Equal(oem.String("CS")) {
+				t.Fatalf("pre-binding violated: %v", env)
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package msl
+
+import (
+	"strings"
+	"testing"
+
+	"medmaker/internal/oem"
+)
+
+func TestProgramString(t *testing.T) {
+	prog := MustParseProgram(`
+	    <a {X}> :- <b {X}>@s.
+	    p(bound, free) by f.
+	`)
+	s := prog.String()
+	if !strings.Contains(s, "<a {X}> :- <b {X}>@s.\n") {
+		t.Fatalf("rule rendering:\n%s", s)
+	}
+	if !strings.Contains(s, "p(bound, free) by f.\n") {
+		t.Fatalf("declaration rendering:\n%s", s)
+	}
+}
+
+func TestArgModeString(t *testing.T) {
+	if ArgBound.String() != "bound" || ArgFree.String() != "free" {
+		t.Fatal("ArgMode strings")
+	}
+}
+
+func TestTermStrings(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{&Var{Name: "X"}, "X"},
+		{&Const{Value: oem.String("a b")}, "'a b'"},
+		{&Const{Value: oem.Int(3)}, "3"},
+		{&Const{}, "null"},
+		{&Param{Name: "R"}, "$R"},
+		{&Skolem{Functor: "f", Args: []Term{&Var{Name: "X"}, NewConst(1)}}, "f(X, 1)"},
+		{&SetPattern{}, "{}"},
+		{&SetPattern{Rest: &Var{Name: "R"}}, "{| R}"},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("%T String = %q, want %q", c.term, got, c.want)
+		}
+	}
+}
+
+func TestPatternStringForms(t *testing.T) {
+	// Labels that collide with keywords or type names stay quoted so the
+	// output reparses identically.
+	weird := &ObjectPattern{Label: &Const{Value: oem.String("integer")}, Value: &Var{Name: "V"}}
+	r := &Rule{
+		Head: []HeadTerm{&ObjectPattern{Label: &Const{Value: oem.String("out")}, Value: &Var{Name: "V"}}},
+		Tail: []Conjunct{&PatternConjunct{Pattern: weird, Source: "s"}},
+	}
+	printed := r.String()
+	back, err := ParseRule(printed)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", printed, err)
+	}
+	pc := back.Tail[0].(*PatternConjunct)
+	if pc.Pattern.LabelName() != "integer" {
+		t.Fatalf("keyword-like label lost: %s", back)
+	}
+	if pc.Pattern.Type != nil {
+		t.Fatalf("label misread as type: %s", back)
+	}
+}
+
+func TestLabelWithSpacesRoundTrips(t *testing.T) {
+	p := &ObjectPattern{Label: &Const{Value: oem.String("two words")}}
+	r := &Rule{
+		Head: []HeadTerm{&Var{Name: "X"}},
+		Tail: []Conjunct{&PatternConjunct{ObjVar: &Var{Name: "X"}, Pattern: p, Source: "s"}},
+	}
+	back, err := ParseRule(r.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", r.String(), err)
+	}
+	if back.Tail[0].(*PatternConjunct).Pattern.LabelName() != "two words" {
+		t.Fatalf("spaced label lost: %s", back)
+	}
+}
+
+func TestNewConst(t *testing.T) {
+	if NewConst("x").String() != "'x'" || NewConst(3).String() != "3" {
+		t.Fatal("NewConst")
+	}
+}
+
+func TestRuleStringTypeField(t *testing.T) {
+	r := MustParseRule(`<out {<year integer Y>}> :- <in {<year integer Y>}>@s.`)
+	if !strings.Contains(r.String(), "<year integer Y>") {
+		t.Fatalf("type field lost in printing: %s", r)
+	}
+	back := MustParseRule(r.String())
+	if back.String() != r.String() {
+		t.Fatalf("type field round trip: %s vs %s", back, r)
+	}
+}

@@ -1,0 +1,133 @@
+package msl
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"medmaker/internal/oem"
+)
+
+func TestParams(t *testing.T) {
+	r := MustParseRule(`<bind_for_Rest2 Rest2> :-
+	    <$R {<last_name $LN> <first_name $FN> | Rest2}>@cs AND p($Z, X).`)
+	want := []string{"FN", "LN", "R", "Z"}
+	if got := Params(r); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Params = %v, want %v", got, want)
+	}
+	noParams := MustParseRule(`<a {X}> :- <b {X}>@s.`)
+	if got := Params(noParams); len(got) != 0 {
+		t.Fatalf("Params on param-free rule: %v", got)
+	}
+}
+
+// TestSubstituteParamsQcs turns the paper's Qcs template into Qc2.
+func TestSubstituteParamsQcs(t *testing.T) {
+	template := MustParseRule(`<bind_for_Rest2 Rest2> :-
+	    <$R {<last_name $LN> <first_name $FN> | Rest2}>@cs.`)
+	qc2, err := SubstituteParams(template, map[string]oem.Value{
+		"R":  oem.String("employee"),
+		"LN": oem.String("Chung"),
+		"FN": oem.String("Joe"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustParseRule(`<bind_for_Rest2 Rest2> :-
+	    <employee {<last_name 'Chung'> <first_name 'Joe'> | Rest2}>@cs.`)
+	if qc2.String() != want.String() {
+		t.Fatalf("Qc2 = %s\nwant  %s", qc2, want)
+	}
+	// The template is untouched.
+	if !strings.Contains(template.String(), "$R") {
+		t.Fatal("SubstituteParams mutated the template")
+	}
+}
+
+func TestSubstituteParamsErrors(t *testing.T) {
+	template := MustParseRule(`<out X> :- <$R {<a X>}>@s.`)
+	if _, err := SubstituteParams(template, nil); err == nil {
+		t.Fatal("missing parameter accepted")
+	}
+	// A non-string value in label position is rejected.
+	if _, err := SubstituteParams(template, map[string]oem.Value{"R": oem.Int(3)}); err == nil {
+		t.Fatal("integer label parameter accepted")
+	}
+	// Unused values are fine.
+	if _, err := SubstituteParams(template, map[string]oem.Value{
+		"R": oem.String("t"), "Unused": oem.Int(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubstituteParamsInPredicatesAndHead(t *testing.T) {
+	r := MustParseRule(`<out {<v $P>}> :- <t {<a X>}>@s AND lt(X, $P).`)
+	got, err := SubstituteParams(r, map[string]oem.Value{"P": oem.Int(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := got.String()
+	if strings.Contains(s, "$P") || !strings.Contains(s, "lt(X, 7)") || !strings.Contains(s, "<v 7>") {
+		t.Fatalf("substitution incomplete: %s", s)
+	}
+}
+
+func TestBindVars(t *testing.T) {
+	r := MustParseRule(`O :- O:<R {<last_name LN> <first_name FN> | Rest2}>@cs.`)
+	got, err := BindVars(r, map[string]oem.Value{
+		"R":  oem.String("employee"),
+		"LN": oem.String("Chung"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := got.String()
+	if !strings.Contains(s, "<employee {") {
+		t.Fatalf("label variable not bound: %s", s)
+	}
+	if !strings.Contains(s, "<last_name 'Chung'>") {
+		t.Fatalf("value variable not bound: %s", s)
+	}
+	if !strings.Contains(s, "<first_name FN>") {
+		t.Fatalf("unbound variable should stay free: %s", s)
+	}
+	// Rest variables and object variables are never bound to constants.
+	if !strings.Contains(s, "| Rest2") {
+		t.Fatalf("rest variable disturbed: %s", s)
+	}
+	if !strings.HasPrefix(s, "O :- O:") {
+		t.Fatalf("object variable disturbed: %s", s)
+	}
+	// The original is untouched.
+	if !strings.Contains(r.String(), "<R {") {
+		t.Fatal("BindVars mutated the input rule")
+	}
+}
+
+func TestBindVarsRestNameCollision(t *testing.T) {
+	// A value supplied under a rest variable's name must not turn the
+	// rest into a constant.
+	r := MustParseRule(`<out {| R}> :- <t {<a X> | R}>@s.`)
+	got, err := BindVars(r, map[string]oem.Value{"R": oem.String("boom"), "X": oem.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got.String(), "| R") {
+		t.Fatalf("rest variable replaced: %s", got)
+	}
+	if !strings.Contains(got.String(), "<a 1>") {
+		t.Fatalf("ordinary variable not replaced: %s", got)
+	}
+}
+
+func TestBindVarsInRestConstraints(t *testing.T) {
+	r := MustParseRule(`<out {| R}> :- <t {| R:{<year Y>}}>@s.`)
+	got, err := BindVars(r, map[string]oem.Value{"Y": oem.Int(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got.String(), "R:{<year 3>}") {
+		t.Fatalf("constraint variable not bound: %s", got)
+	}
+}

@@ -1,0 +1,638 @@
+package msl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"medmaker/internal/oem"
+)
+
+// ParseProgram parses an MSL text — rules and external declarations — into
+// a Program. Rules and declarations end with a period (a final period
+// before end-of-input may be omitted).
+func ParseProgram(src string) (*Program, error) {
+	p := &parser{lex: newLexer(src)}
+	prog := &Program{}
+	for {
+		tok := p.lex.peek()
+		switch tok.kind {
+		case tEOF:
+			return prog, nil
+		case tPeriod:
+			p.lex.next()
+		case tIdent:
+			decl, err := p.parseDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Decls = append(prog.Decls, decl)
+		case tLAngle, tVar:
+			rule, err := p.parseRule()
+			if err != nil {
+				return nil, err
+			}
+			prog.Rules = append(prog.Rules, rule)
+		default:
+			return nil, fmt.Errorf("msl: line %d: unexpected %s at top level", tok.line, tok)
+		}
+	}
+}
+
+// MustParseProgram is ParseProgram that panics on error, for literals in
+// tests and examples.
+func MustParseProgram(src string) *Program {
+	prog, err := ParseProgram(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// ParseRule parses a single rule.
+func ParseRule(src string) (*Rule, error) {
+	prog, err := ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(prog.Decls) != 0 || len(prog.Rules) != 1 {
+		return nil, fmt.Errorf("msl: expected exactly one rule, found %d rules and %d declarations",
+			len(prog.Rules), len(prog.Decls))
+	}
+	return prog.Rules[0], nil
+}
+
+// MustParseRule is ParseRule that panics on error.
+func MustParseRule(src string) *Rule {
+	r, err := ParseRule(src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ParseQuery parses a query: a single rule whose head will be materialized.
+// It is an alias of ParseRule kept for call-site clarity.
+func ParseQuery(src string) (*Rule, error) { return ParseRule(src) }
+
+type parser struct {
+	lex  *lexer
+	anon int // counter for '_' anonymous variables
+}
+
+func (p *parser) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("msl: line %d: "+format, append([]any{line}, args...)...)
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	tok := p.lex.next()
+	if tok.kind != kind {
+		return tok, p.errf(tok.line, "expected %s, found %s", what, tok)
+	}
+	return tok, nil
+}
+
+// parseDecl parses "pred(bound, free, …) by funcname."
+func (p *parser) parseDecl() (*ExternalDecl, error) {
+	name := p.lex.next() // tIdent, checked by caller
+	if _, err := p.expect(tLParen, "'('"); err != nil {
+		return nil, err
+	}
+	decl := &ExternalDecl{Pred: name.text}
+	for {
+		tok := p.lex.next()
+		switch {
+		case tok.kind == tRParen:
+			goto args_done
+		case tok.kind == tComma:
+		case tok.kind == tIdent && tok.text == "bound":
+			decl.Adornment = append(decl.Adornment, ArgBound)
+		case tok.kind == tIdent && tok.text == "free":
+			decl.Adornment = append(decl.Adornment, ArgFree)
+		case tok.kind == tIdent && tok.text == "b":
+			decl.Adornment = append(decl.Adornment, ArgBound)
+		case tok.kind == tIdent && tok.text == "f":
+			decl.Adornment = append(decl.Adornment, ArgFree)
+		default:
+			return nil, p.errf(tok.line, "expected 'bound' or 'free' in adornment, found %s", tok)
+		}
+	}
+args_done:
+	by := p.lex.next()
+	if by.kind != tIdent || by.text != "by" {
+		return nil, p.errf(by.line, "expected 'by' after adornment, found %s", by)
+	}
+	fn := p.lex.next()
+	if fn.kind != tIdent && fn.kind != tVar {
+		return nil, p.errf(fn.line, "expected function name after 'by', found %s", fn)
+	}
+	decl.Func = fn.text
+	if err := p.endOfClause(); err != nil {
+		return nil, err
+	}
+	return decl, nil
+}
+
+func (p *parser) endOfClause() error {
+	tok := p.lex.peek()
+	switch tok.kind {
+	case tPeriod:
+		p.lex.next()
+		return nil
+	case tEOF:
+		return nil
+	}
+	return p.errf(tok.line, "expected '.' at end of clause, found %s", tok)
+}
+
+// parseRule parses "head … :- conjunct AND conjunct …."
+func (p *parser) parseRule() (*Rule, error) {
+	rule := &Rule{}
+	for {
+		tok := p.lex.peek()
+		switch tok.kind {
+		case tImplies:
+			p.lex.next()
+			goto tail
+		case tLAngle:
+			pat, err := p.parsePattern(true)
+			if err != nil {
+				return nil, err
+			}
+			rule.Head = append(rule.Head, pat)
+		case tVar:
+			p.lex.next()
+			rule.Head = append(rule.Head, &Var{Name: p.varName(tok.text)})
+		case tComma:
+			p.lex.next()
+		default:
+			return nil, p.errf(tok.line, "expected head pattern, variable, or ':-', found %s", tok)
+		}
+	}
+tail:
+	if len(rule.Head) == 0 {
+		return nil, p.errf(p.lex.peek().line, "rule has an empty head")
+	}
+	for {
+		conj, err := p.parseConjunct()
+		if err != nil {
+			return nil, err
+		}
+		rule.Tail = append(rule.Tail, conj)
+		tok := p.lex.peek()
+		switch {
+		case (tok.kind == tIdent || tok.kind == tVar) && strings.EqualFold(tok.text, "and"):
+			p.lex.next()
+		case tok.kind == tComma:
+			p.lex.next()
+		case tok.kind == tPeriod:
+			p.lex.next()
+			return rule, nil
+		case tok.kind == tEOF:
+			return rule, nil
+		default:
+			return nil, p.errf(tok.line, "expected 'AND', ',', or '.' after conjunct, found %s", tok)
+		}
+	}
+}
+
+// parseConjunct parses one tail conjunct: "[NOT] [V:]<pattern>[@source]"
+// or "pred(args)".
+func (p *parser) parseConjunct() (Conjunct, error) {
+	tok := p.lex.peek()
+	if (tok.kind == tIdent || tok.kind == tVar) && strings.EqualFold(tok.text, "not") {
+		p.lex.next()
+		inner, err := p.parseConjunct()
+		if err != nil {
+			return nil, err
+		}
+		pc, ok := inner.(*PatternConjunct)
+		if !ok {
+			return nil, p.errf(tok.line, "NOT applies to pattern conjuncts, not predicates")
+		}
+		if pc.ObjVar != nil {
+			return nil, p.errf(tok.line, "a negated conjunct cannot bind an object variable (%s:)", pc.ObjVar.Name)
+		}
+		if pc.Negated {
+			return nil, p.errf(tok.line, "double negation is not supported")
+		}
+		pc.Negated = true
+		return pc, nil
+	}
+	switch tok.kind {
+	case tVar:
+		// Either "V:<pattern>" or a stray variable (an error in tails).
+		if p.lex.peekN(1).kind == tColon {
+			p.lex.next() // var
+			p.lex.next() // colon
+			pat, err := p.parsePattern(false)
+			if err != nil {
+				return nil, err
+			}
+			pc := &PatternConjunct{ObjVar: &Var{Name: p.varName(tok.text)}, Pattern: pat}
+			return p.finishPatternConjunct(pc)
+		}
+		return nil, p.errf(tok.line, "bare variable %s cannot be a conjunct (did you mean %s:<…>?)", tok.text, tok.text)
+	case tLAngle:
+		pat, err := p.parsePattern(false)
+		if err != nil {
+			return nil, err
+		}
+		return p.finishPatternConjunct(&PatternConjunct{Pattern: pat})
+	case tIdent:
+		return p.parsePredicate()
+	}
+	return nil, p.errf(tok.line, "expected a pattern or predicate conjunct, found %s", tok)
+}
+
+func (p *parser) finishPatternConjunct(pc *PatternConjunct) (Conjunct, error) {
+	if p.lex.peek().kind == tAt {
+		p.lex.next()
+		src := p.lex.next()
+		if src.kind != tIdent && src.kind != tVar {
+			return nil, p.errf(src.line, "expected source name after '@', found %s", src)
+		}
+		pc.Source = src.text
+	}
+	return pc, nil
+}
+
+func (p *parser) parsePredicate() (Conjunct, error) {
+	name := p.lex.next()
+	if _, err := p.expect(tLParen, "'(' after predicate name"); err != nil {
+		return nil, err
+	}
+	pred := &PredicateConjunct{Name: name.text}
+	for {
+		tok := p.lex.peek()
+		switch tok.kind {
+		case tRParen:
+			p.lex.next()
+			return pred, nil
+		case tComma:
+			p.lex.next()
+		case tEOF:
+			return nil, p.errf(tok.line, "unterminated predicate %s(", name.text)
+		default:
+			arg, err := p.parseSimpleTerm()
+			if err != nil {
+				return nil, err
+			}
+			pred.Args = append(pred.Args, arg)
+		}
+	}
+}
+
+// parseSimpleTerm parses a variable, constant, or parameter — the terms
+// allowed as predicate arguments and skolem arguments.
+func (p *parser) parseSimpleTerm() (Term, error) {
+	tok := p.lex.next()
+	switch tok.kind {
+	case tVar:
+		return &Var{Name: p.varName(tok.text)}, nil
+	case tString:
+		return &Const{Value: oem.String(tok.text)}, nil
+	case tNumber:
+		return numberConst(tok)
+	case tBool:
+		return &Const{Value: oem.Bool(tok.text == "true")}, nil
+	case tParam:
+		return &Param{Name: tok.text}, nil
+	case tOID:
+		return &Const{Value: oem.String(tok.text)}, nil
+	}
+	return nil, p.errf(tok.line, "expected a term, found %s", tok)
+}
+
+func numberConst(tok token) (Term, error) {
+	if strings.ContainsAny(tok.text, ".eE") {
+		f, err := strconv.ParseFloat(tok.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("msl: line %d: bad number %q", tok.line, tok.text)
+		}
+		return &Const{Value: oem.Float(f)}, nil
+	}
+	n, err := strconv.ParseInt(tok.text, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("msl: line %d: bad number %q", tok.line, tok.text)
+	}
+	return &Const{Value: oem.Int(n)}, nil
+}
+
+// varName maps '_' to a fresh anonymous variable name so each '_' is
+// distinct.
+func (p *parser) varName(text string) string {
+	if text == "_" {
+		p.anon++
+		return fmt.Sprintf("_anon%d", p.anon)
+	}
+	return text
+}
+
+// pattern field assembled before position assignment.
+type patField struct {
+	term     Term
+	wildcard bool // label had a '%' prefix
+	isType   bool // bare ident that names an OEM kind
+	kind     oem.Kind
+	oidLike  bool // &oid constant or skolem — can only be an oid
+	line     int
+}
+
+// parsePattern parses <…>. Field positions follow the paper: 4 fields are
+// oid/label/type/value, 3 are oid/label/value, 2 are label/value, 1 is a
+// bare label — except that a 3-field pattern whose middle names an OEM
+// type and whose first cannot be an oid is read as label/type/value.
+// head selects whether skolem oid terms are allowed.
+func (p *parser) parsePattern(head bool) (*ObjectPattern, error) {
+	open, err := p.expect(tLAngle, "'<'")
+	if err != nil {
+		return nil, err
+	}
+	var fields []patField
+	for {
+		tok := p.lex.peek()
+		if tok.kind == tRAngle {
+			p.lex.next()
+			break
+		}
+		if tok.kind == tComma {
+			p.lex.next()
+			continue
+		}
+		if tok.kind == tEOF {
+			return nil, p.errf(open.line, "unterminated pattern")
+		}
+		f, err := p.parsePatternField(head)
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, f)
+		if len(fields) > 4 {
+			return nil, p.errf(open.line, "pattern has more than 4 fields")
+		}
+	}
+	return p.assemblePattern(open.line, fields)
+}
+
+func (p *parser) parsePatternField(head bool) (patField, error) {
+	tok := p.lex.peek()
+	f := patField{line: tok.line}
+	switch tok.kind {
+	case tPercent:
+		p.lex.next()
+		f.wildcard = true
+		inner := p.lex.peek()
+		switch inner.kind {
+		case tIdent, tString:
+			p.lex.next()
+			f.term = &Const{Value: oem.String(inner.text)}
+		case tVar:
+			p.lex.next()
+			f.term = &Var{Name: p.varName(inner.text)}
+		default:
+			// Bare '%': any label at any depth.
+			f.term = &Var{Name: p.varName("_")}
+		}
+		return f, nil
+	case tVar:
+		p.lex.next()
+		f.term = &Var{Name: p.varName(tok.text)}
+		return f, nil
+	case tIdent:
+		p.lex.next()
+		// Skolem term "f(X, …)" in head oid position.
+		if p.lex.peek().kind == tLParen {
+			if !head {
+				return f, p.errf(tok.line, "skolem term %s(…) is only allowed in rule heads", tok.text)
+			}
+			p.lex.next()
+			sk := &Skolem{Functor: tok.text}
+			for {
+				t2 := p.lex.peek()
+				if t2.kind == tRParen {
+					p.lex.next()
+					break
+				}
+				if t2.kind == tComma {
+					p.lex.next()
+					continue
+				}
+				arg, err := p.parseSimpleTerm()
+				if err != nil {
+					return f, err
+				}
+				sk.Args = append(sk.Args, arg)
+			}
+			f.term = sk
+			f.oidLike = true
+			return f, nil
+		}
+		if k, ok := oem.KindFromName(tok.text); ok {
+			f.isType = true
+			f.kind = k
+		}
+		f.term = &Const{Value: oem.String(tok.text)}
+		return f, nil
+	case tOID:
+		p.lex.next()
+		f.term = &Const{Value: oem.String(tok.text)}
+		f.oidLike = true
+		return f, nil
+	case tString:
+		p.lex.next()
+		f.term = &Const{Value: oem.String(tok.text)}
+		return f, nil
+	case tNumber:
+		p.lex.next()
+		c, err := numberConst(tok)
+		if err != nil {
+			return f, err
+		}
+		f.term = c
+		return f, nil
+	case tBool:
+		p.lex.next()
+		f.term = &Const{Value: oem.Bool(tok.text == "true")}
+		return f, nil
+	case tParam:
+		p.lex.next()
+		f.term = &Param{Name: tok.text}
+		return f, nil
+	case tLBrace:
+		sp, err := p.parseSetPattern(head)
+		if err != nil {
+			return f, err
+		}
+		f.term = sp
+		return f, nil
+	}
+	return f, p.errf(tok.line, "unexpected %s in pattern", tok)
+}
+
+func (p *parser) assemblePattern(line int, fields []patField) (*ObjectPattern, error) {
+	pat := &ObjectPattern{}
+	setLabel := func(f patField) error {
+		switch f.term.(type) {
+		case *Var, *Const, *Param:
+		default:
+			return p.errf(f.line, "label field must be a name, variable, or parameter, found %s", f.term)
+		}
+		if c, ok := f.term.(*Const); ok {
+			if _, isStr := c.Value.(oem.String); !isStr {
+				return p.errf(f.line, "label field must be a name, found %s", f.term)
+			}
+		}
+		pat.Label = f.term
+		pat.Wildcard = f.wildcard
+		return nil
+	}
+	setOID := func(f patField) error {
+		if f.wildcard {
+			return p.errf(f.line, "'%%' applies to the label field, not the oid")
+		}
+		switch f.term.(type) {
+		case *Var, *Const, *Skolem:
+			pat.OID = f.term
+			return nil
+		}
+		return p.errf(f.line, "oid field must be a variable, constant, or skolem term")
+	}
+	setValue := func(f patField) error {
+		if f.wildcard {
+			return p.errf(f.line, "'%%' applies to the label field, not the value")
+		}
+		pat.Value = f.term
+		return nil
+	}
+	switch len(fields) {
+	case 0:
+		return nil, p.errf(line, "empty pattern <>")
+	case 1:
+		if err := setLabel(fields[0]); err != nil {
+			return nil, err
+		}
+	case 2:
+		if err := setLabel(fields[0]); err != nil {
+			return nil, err
+		}
+		if err := setValue(fields[1]); err != nil {
+			return nil, err
+		}
+	case 3:
+		// <label type value> when the middle is a type name and the first
+		// cannot be an oid; otherwise <oid label value> per the paper.
+		if fields[1].isType && !fields[0].oidLike {
+			if err := setLabel(fields[0]); err != nil {
+				return nil, err
+			}
+			k := fields[1].kind
+			pat.Type = &k
+			if err := setValue(fields[2]); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := setOID(fields[0]); err != nil {
+				return nil, err
+			}
+			if err := setLabel(fields[1]); err != nil {
+				return nil, err
+			}
+			if err := setValue(fields[2]); err != nil {
+				return nil, err
+			}
+		}
+	case 4:
+		if err := setOID(fields[0]); err != nil {
+			return nil, err
+		}
+		if err := setLabel(fields[1]); err != nil {
+			return nil, err
+		}
+		if !fields[2].isType {
+			return nil, p.errf(fields[2].line, "third field of a 4-field pattern must be a type name")
+		}
+		k := fields[2].kind
+		pat.Type = &k
+		if err := setValue(fields[3]); err != nil {
+			return nil, err
+		}
+	}
+	return pat, nil
+}
+
+// parseSetPattern parses "{elem … | Rest[:{constraints}]}".
+func (p *parser) parseSetPattern(head bool) (*SetPattern, error) {
+	open, err := p.expect(tLBrace, "'{'")
+	if err != nil {
+		return nil, err
+	}
+	sp := &SetPattern{}
+	for {
+		tok := p.lex.peek()
+		switch tok.kind {
+		case tRBrace:
+			p.lex.next()
+			return sp, nil
+		case tComma:
+			p.lex.next()
+		case tLAngle:
+			pat, err := p.parsePattern(head)
+			if err != nil {
+				return nil, err
+			}
+			sp.Elems = append(sp.Elems, pat)
+		case tVar:
+			p.lex.next()
+			sp.Elems = append(sp.Elems, &Var{Name: p.varName(tok.text)})
+		case tPipe:
+			p.lex.next()
+			if err := p.parseRest(sp, head); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tRBrace, "'}' after rest variable"); err != nil {
+				return nil, err
+			}
+			return sp, nil
+		case tEOF:
+			return nil, p.errf(open.line, "unterminated set pattern")
+		default:
+			return nil, p.errf(tok.line, "unexpected %s in set pattern", tok)
+		}
+	}
+}
+
+func (p *parser) parseRest(sp *SetPattern, head bool) error {
+	tok := p.lex.next()
+	if tok.kind != tVar {
+		return p.errf(tok.line, "expected rest variable after '|', found %s", tok)
+	}
+	sp.Rest = &Var{Name: p.varName(tok.text)}
+	if p.lex.peek().kind != tColon {
+		return nil
+	}
+	p.lex.next()
+	if _, err := p.expect(tLBrace, "'{' after rest-variable ':'"); err != nil {
+		return err
+	}
+	for {
+		tok := p.lex.peek()
+		switch tok.kind {
+		case tRBrace:
+			p.lex.next()
+			return nil
+		case tComma:
+			p.lex.next()
+		case tLAngle:
+			pat, err := p.parsePattern(head)
+			if err != nil {
+				return err
+			}
+			sp.RestConstraints = append(sp.RestConstraints, pat)
+		case tEOF:
+			return p.errf(tok.line, "unterminated rest-constraint set")
+		default:
+			return p.errf(tok.line, "unexpected %s in rest constraints", tok)
+		}
+	}
+}

@@ -1,0 +1,415 @@
+package msl
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"medmaker/internal/oem"
+)
+
+// specMS1 is the paper's mediator specification MS1 in our concrete
+// syntax.
+const specMS1 = `
+<cs_person {<name N> <rel R> Rest1 Rest2}> :-
+    <person {<name N> <dept 'CS'> <relation R> | Rest1}>@whois
+    AND <R {<first_name FN> <last_name LN> | Rest2}>@cs
+    AND decomp(N, LN, FN).
+
+decomp(bound, free, free) by name_to_lnfn.
+decomp(free, bound, bound) by lnfn_to_name.
+`
+
+func TestParseSpecMS1(t *testing.T) {
+	prog, err := ParseProgram(specMS1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 1 || len(prog.Decls) != 2 {
+		t.Fatalf("parsed %d rules, %d decls", len(prog.Rules), len(prog.Decls))
+	}
+	r := prog.Rules[0]
+	if len(r.Head) != 1 || len(r.Tail) != 3 {
+		t.Fatalf("rule shape: %d head terms, %d conjuncts", len(r.Head), len(r.Tail))
+	}
+	head, ok := r.Head[0].(*ObjectPattern)
+	if !ok {
+		t.Fatalf("head is %T", r.Head[0])
+	}
+	if head.LabelName() != "cs_person" {
+		t.Fatalf("head label %q", head.LabelName())
+	}
+	hs, ok := head.Value.(*SetPattern)
+	if !ok || len(hs.Elems) != 4 {
+		t.Fatalf("head set pattern: %v", head.Value)
+	}
+	// Elements: <name N>, <rel R>, Rest1, Rest2.
+	if _, ok := hs.Elems[2].(*Var); !ok {
+		t.Fatalf("third head element should be a variable, got %T", hs.Elems[2])
+	}
+
+	// First conjunct: whois pattern.
+	c0, ok := r.Tail[0].(*PatternConjunct)
+	if !ok || c0.Source != "whois" {
+		t.Fatalf("conjunct 0: %v", r.Tail[0])
+	}
+	if c0.Pattern.LabelName() != "person" {
+		t.Fatalf("conjunct 0 label %q", c0.Pattern.LabelName())
+	}
+	sp := c0.Pattern.Value.(*SetPattern)
+	if sp.Rest == nil || sp.Rest.Name != "Rest1" {
+		t.Fatalf("conjunct 0 rest: %v", sp.Rest)
+	}
+	if len(sp.Elems) != 3 {
+		t.Fatalf("conjunct 0 has %d elems", len(sp.Elems))
+	}
+	dept := sp.Elems[1].(*ObjectPattern)
+	if dept.LabelName() != "dept" {
+		t.Fatalf("second element label %q", dept.LabelName())
+	}
+	if c, ok := dept.Value.(*Const); !ok || !c.Value.Equal(oem.String("CS")) {
+		t.Fatalf("dept value %v", dept.Value)
+	}
+
+	// Second conjunct: label variable R — the schematic-discrepancy move.
+	c1 := r.Tail[1].(*PatternConjunct)
+	if c1.Source != "cs" {
+		t.Fatalf("conjunct 1 source %q", c1.Source)
+	}
+	if v, ok := c1.Pattern.Label.(*Var); !ok || v.Name != "R" {
+		t.Fatalf("conjunct 1 label should be variable R, got %v", c1.Pattern.Label)
+	}
+
+	// Third conjunct: external predicate.
+	c2, ok := r.Tail[2].(*PredicateConjunct)
+	if !ok || c2.Name != "decomp" || len(c2.Args) != 3 {
+		t.Fatalf("conjunct 2: %v", r.Tail[2])
+	}
+
+	// Declarations.
+	d0 := prog.Decls[0]
+	if d0.Pred != "decomp" || d0.Func != "name_to_lnfn" {
+		t.Fatalf("decl 0: %v", d0)
+	}
+	if !reflect.DeepEqual(d0.Adornment, []ArgMode{ArgBound, ArgFree, ArgFree}) {
+		t.Fatalf("decl 0 adornment: %v", d0.Adornment)
+	}
+	d1 := prog.Decls[1]
+	if !reflect.DeepEqual(d1.Adornment, []ArgMode{ArgFree, ArgBound, ArgBound}) {
+		t.Fatalf("decl 1 adornment: %v", d1.Adornment)
+	}
+}
+
+func TestParseQueryQ1(t *testing.T) {
+	r, err := ParseQuery(`JC :- JC:<cs_person {<name 'Joe Chung'>}>@med.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Head) != 1 {
+		t.Fatalf("head terms: %d", len(r.Head))
+	}
+	hv, ok := r.Head[0].(*Var)
+	if !ok || hv.Name != "JC" {
+		t.Fatalf("head: %v", r.Head[0])
+	}
+	pc := r.Tail[0].(*PatternConjunct)
+	if pc.ObjVar == nil || pc.ObjVar.Name != "JC" {
+		t.Fatalf("object variable: %v", pc.ObjVar)
+	}
+	if pc.Source != "med" {
+		t.Fatalf("source: %q", pc.Source)
+	}
+	inner := pc.Pattern.Value.(*SetPattern).Elems[0].(*ObjectPattern)
+	if c, ok := inner.Value.(*Const); !ok || !c.Value.Equal(oem.String("Joe Chung")) {
+		t.Fatalf("inner value: %v", inner.Value)
+	}
+}
+
+func TestParseRestConstraints(t *testing.T) {
+	// The paper's Qw: conditions attached to a rest variable.
+	r := MustParseRule(`<bind_for_whois {<bind_for_R R> <bind_for_Rest1 Rest1>}> :-
+	    <person {<name 'Joe Chung'> <dept 'CS'> <relation R> | Rest1:{<year 3>}}>@whois.`)
+	pc := r.Tail[0].(*PatternConjunct)
+	sp := pc.Pattern.Value.(*SetPattern)
+	if sp.Rest == nil || sp.Rest.Name != "Rest1" {
+		t.Fatalf("rest: %v", sp.Rest)
+	}
+	if len(sp.RestConstraints) != 1 || sp.RestConstraints[0].LabelName() != "year" {
+		t.Fatalf("rest constraints: %v", sp.RestConstraints)
+	}
+	if n, ok := sp.RestConstraints[0].Value.(*Const); !ok || !n.Value.Equal(oem.Int(3)) {
+		t.Fatalf("constraint value: %v", sp.RestConstraints[0].Value)
+	}
+}
+
+func TestParseParameterizedQuery(t *testing.T) {
+	// The paper's Qcs template with $R, $LN, $FN placeholders.
+	r := MustParseRule(`<bind_for_Rest2 Rest2> :-
+	    <$R {<last_name $LN> <first_name $FN> | Rest2}>@cs.`)
+	pc := r.Tail[0].(*PatternConjunct)
+	if p, ok := pc.Pattern.Label.(*Param); !ok || p.Name != "R" {
+		t.Fatalf("label param: %v", pc.Pattern.Label)
+	}
+	sp := pc.Pattern.Value.(*SetPattern)
+	ln := sp.Elems[0].(*ObjectPattern)
+	if p, ok := ln.Value.(*Param); !ok || p.Name != "LN" {
+		t.Fatalf("value param: %v", ln.Value)
+	}
+}
+
+func TestParseFieldForms(t *testing.T) {
+	cases := []struct {
+		src   string
+		check func(t *testing.T, p *ObjectPattern)
+	}{
+		{"<person>", func(t *testing.T, p *ObjectPattern) {
+			if p.LabelName() != "person" || p.Value != nil || p.OID != nil {
+				t.Errorf("bare label: %v", p)
+			}
+		}},
+		{"<name N>", func(t *testing.T, p *ObjectPattern) {
+			if v, ok := p.Value.(*Var); !ok || v.Name != "N" {
+				t.Errorf("label value: %v", p)
+			}
+		}},
+		{"<X name N>", func(t *testing.T, p *ObjectPattern) {
+			if v, ok := p.OID.(*Var); !ok || v.Name != "X" {
+				t.Errorf("3-field oid: %v", p)
+			}
+		}},
+		{"<&12 department 'CS'>", func(t *testing.T, p *ObjectPattern) {
+			if c, ok := p.OID.(*Const); !ok || !c.Value.Equal(oem.String("&12")) {
+				t.Errorf("oid const: %v", p.OID)
+			}
+		}},
+		{"<year integer 3>", func(t *testing.T, p *ObjectPattern) {
+			if p.Type == nil || *p.Type != oem.KindInt {
+				t.Errorf("label/type/value: %v", p)
+			}
+			if p.OID != nil {
+				t.Errorf("should have no oid: %v", p.OID)
+			}
+		}},
+		{"<&12 department string 'CS'>", func(t *testing.T, p *ObjectPattern) {
+			if p.Type == nil || *p.Type != oem.KindString || p.OID == nil {
+				t.Errorf("4-field: %v", p)
+			}
+		}},
+		{"<&12, department, string, 'CS'>", func(t *testing.T, p *ObjectPattern) {
+			if p.Type == nil || p.LabelName() != "department" {
+				t.Errorf("comma-separated 4-field: %v", p)
+			}
+		}},
+		{"<%title T>", func(t *testing.T, p *ObjectPattern) {
+			if !p.Wildcard || p.LabelName() != "title" {
+				t.Errorf("wildcard label: %v", p)
+			}
+		}},
+		{"<%L V>", func(t *testing.T, p *ObjectPattern) {
+			if !p.Wildcard {
+				t.Errorf("wildcard var label: %v", p)
+			}
+			if v, ok := p.Label.(*Var); !ok || v.Name != "L" {
+				t.Errorf("wildcard label var: %v", p.Label)
+			}
+		}},
+		{"<L V>", func(t *testing.T, p *ObjectPattern) {
+			if _, ok := p.Label.(*Var); !ok {
+				t.Errorf("variable label: %v", p.Label)
+			}
+		}},
+	}
+	for _, c := range cases {
+		r, err := ParseRule("X :- X:" + c.src + "@s.")
+		if err != nil {
+			t.Errorf("ParseRule(%q): %v", c.src, err)
+			continue
+		}
+		c.check(t, r.Tail[0].(*PatternConjunct).Pattern)
+	}
+}
+
+func TestParseSkolemHead(t *testing.T) {
+	r := MustParseRule(`<person(N) cs_person {<name N>}> :- <person {<name N>}>@whois.`)
+	h := r.Head[0].(*ObjectPattern)
+	sk, ok := h.OID.(*Skolem)
+	if !ok || sk.Functor != "person" || len(sk.Args) != 1 {
+		t.Fatalf("skolem head oid: %v", h.OID)
+	}
+	// Skolems are rejected in tails.
+	if _, err := ParseRule(`X :- X:<person(N) p>@s.`); err == nil {
+		t.Fatal("skolem in tail accepted")
+	}
+}
+
+func TestAnonymousVariablesAreDistinct(t *testing.T) {
+	r := MustParseRule(`<out {<a _> <b _>}> :- <person {<a _> <b _>}>@s.`)
+	vars := r.Vars()
+	anon := 0
+	for _, v := range vars {
+		if strings.HasPrefix(v, "_anon") {
+			anon++
+		}
+	}
+	if anon != 4 {
+		t.Fatalf("expected 4 distinct anonymous variables, got %d (%v)", anon, vars)
+	}
+}
+
+func TestParseMultipleRules(t *testing.T) {
+	prog := MustParseProgram(`
+	    <p {X}> :- <q {X}>@a.
+	    <p {X}> :- <r {X}>@b.
+	`)
+	if len(prog.Rules) != 2 {
+		t.Fatalf("parsed %d rules", len(prog.Rules))
+	}
+}
+
+func TestParseConjunctSeparators(t *testing.T) {
+	and := MustParseRule(`<p {X Y}> :- <q X>@a AND <r Y>@b.`)
+	lower := MustParseRule(`<p {X Y}> :- <q X>@a and <r Y>@b.`)
+	comma := MustParseRule(`<p {X Y}> :- <q X>@a, <r Y>@b.`)
+	for _, r := range []*Rule{and, lower, comma} {
+		if len(r.Tail) != 2 {
+			t.Fatalf("rule %v has %d conjuncts", r, len(r.Tail))
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`:- <p X>@a.`,                 // empty head
+		`<p X> :- Y.`,                 // bare variable conjunct
+		`<p X> :- <q X>@.`,            // missing source name
+		`<a b c d e> :- <q X>@s.`,     // five fields
+		`<p X> :- <q {| }>@s.`,        // missing rest var
+		`<p X> :- <q {<a 1> | 3}>@s.`, // non-variable rest
+		`<p X> :- decomp(N, LN`,       // unterminated predicate
+		`decomp(bound, wrong) by f.`,  // bad adornment
+		`decomp(bound) name_to_lnfn.`, // missing 'by'
+		`<p X> :- <q X>@a <r Y>@b.`,   // missing separator
+		`<p <a> X> :- <q X>@s.`,       // pattern in label position
+		`<%p q r s> :- <q X>@s.`,      // OK head? no: 4 fields, 3rd not type
+		`<p {X}>`,                     // head with no tail
+		`<>`,                          // empty pattern
+	}
+	for _, src := range bad {
+		if _, err := ParseProgram(src); err == nil {
+			t.Errorf("ParseProgram(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseRuleRejectsPrograms(t *testing.T) {
+	if _, err := ParseRule(`<p {X}> :- <q {X}>@a. <p {X}> :- <r {X}>@b.`); err == nil {
+		t.Fatal("ParseRule accepted two rules")
+	}
+	if _, err := ParseRule(`decomp(bound) by f.`); err == nil {
+		t.Fatal("ParseRule accepted a declaration")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParseRule should panic")
+		}
+	}()
+	MustParseRule("garbage")
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	r := MustParseRule(`
+	# leading comment
+	<p {X}> :- // rule body follows
+	    <q {X}>@a.  # done
+	`)
+	if len(r.Tail) != 1 {
+		t.Fatal("comment parsing broke the rule")
+	}
+}
+
+func TestVarsAndHeadVars(t *testing.T) {
+	prog := MustParseProgram(specMS1)
+	r := prog.Rules[0]
+	want := []string{"FN", "LN", "N", "R", "Rest1", "Rest2"}
+	if got := r.Vars(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Vars() = %v, want %v", got, want)
+	}
+	wantHead := []string{"N", "R", "Rest1", "Rest2"}
+	if got := r.HeadVars(); !reflect.DeepEqual(got, wantHead) {
+		t.Fatalf("HeadVars() = %v, want %v", got, wantHead)
+	}
+}
+
+func TestSources(t *testing.T) {
+	prog := MustParseProgram(specMS1)
+	if got := prog.Rules[0].Sources(); !reflect.DeepEqual(got, []string{"cs", "whois"}) {
+		t.Fatalf("Sources() = %v", got)
+	}
+	q := MustParseRule(`X :- X:<p>.`)
+	if got := q.Sources(); !reflect.DeepEqual(got, []string{""}) {
+		t.Fatalf("default source: %v", got)
+	}
+}
+
+func TestRenameVars(t *testing.T) {
+	r := MustParseProgram(specMS1).Rules[0]
+	renamed := r.RenameVars(func(s string) string { return s + "_1" })
+	want := []string{"FN_1", "LN_1", "N_1", "R_1", "Rest1_1", "Rest2_1"}
+	if got := renamed.Vars(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("renamed vars = %v", got)
+	}
+	// The original is untouched.
+	if got := r.Vars(); got[0] != "FN" {
+		t.Fatal("RenameVars mutated the original")
+	}
+	// Clone preserves names and is deep.
+	c := r.Clone()
+	if !reflect.DeepEqual(c.Vars(), r.Vars()) {
+		t.Fatal("Clone changed variables")
+	}
+	c.Tail[0].(*PatternConjunct).Source = "elsewhere"
+	if r.Tail[0].(*PatternConjunct).Source != "whois" {
+		t.Fatal("Clone shares conjuncts with the original")
+	}
+}
+
+func TestObjVarRenamedToo(t *testing.T) {
+	r := MustParseRule(`JC :- JC:<cs_person>@med.`)
+	renamed := r.RenameVars(func(s string) string { return "r_" + s })
+	pc := renamed.Tail[0].(*PatternConjunct)
+	if pc.ObjVar.Name != "r_JC" {
+		t.Fatalf("objvar not renamed: %v", pc.ObjVar)
+	}
+	if hv := renamed.Head[0].(*Var); hv.Name != "r_JC" {
+		t.Fatalf("head var not renamed: %v", hv)
+	}
+}
+
+// TestPrintParseRoundTrip checks that String() output reparses to the same
+// structure for a corpus of representative rules.
+func TestPrintParseRoundTrip(t *testing.T) {
+	corpus := []string{
+		specMS1,
+		`JC :- JC:<cs_person {<name 'Joe Chung'>}>@med.`,
+		`<bind_for_Rest2 Rest2> :- <$R {<last_name $LN> <first_name $FN> | Rest2}>@cs.`,
+		`S :- S:<cs_person {<year 3>}>@med.`,
+		`<p {<a 1> <b 2.5> <c true> | R:{<x 'y'>}}> :- <q {| R}>@s AND lt(X, 3).`,
+		`<person(N) fused {<name N>}> :- <person {<name N>}>@a, <person {<name N>}>@b.`,
+		`X :- X:<%title T>@lib.`,
+		`<out {<&1 a integer 3>}> :- <in {<V a integer 3>}>@s.`,
+	}
+	for _, src := range corpus {
+		p1, err := ParseProgram(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		printed := p1.String()
+		p2, err := ParseProgram(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", printed, err)
+		}
+		if p1.String() != p2.String() {
+			t.Fatalf("round trip unstable:\nfirst:  %s\nsecond: %s", p1, p2)
+		}
+	}
+}

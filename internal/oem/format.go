@@ -1,0 +1,183 @@
+package oem
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Style selects a layout for the textual OEM object format.
+type Style int
+
+const (
+	// StyleFlat prints each object on its own line, with set values
+	// listing member oids and subobjects printed below at one deeper
+	// indentation level. This is the layout of the paper's Figures 2.2
+	// and 2.3.
+	StyleFlat Style = iota
+	// StyleNested prints set values inline with their subobjects nested
+	// inside the braces, which is denser and needs no oid cross
+	// references.
+	StyleNested
+)
+
+// Formatter renders OEM objects in the textual format. The zero value is
+// ready to use and prints StyleFlat with two-space indentation, matching
+// the paper's figures.
+type Formatter struct {
+	// Style selects flat (paper figure) or nested layout.
+	Style Style
+	// Indent is the per-level indentation; two spaces when empty.
+	Indent string
+	// OmitTypes drops the type field, printing <oid, label, value>
+	// tuples. Types are recoverable from the value syntax.
+	OmitTypes bool
+
+	tmpOID int
+}
+
+// Format renders the objects to w, followed by a ";" terminator line as in
+// the paper's figures.
+func (f *Formatter) Format(w io.Writer, objs ...*Object) error {
+	for _, obj := range objs {
+		if err := f.formatOne(w, obj, 0); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, ";\n")
+	return err
+}
+
+// FormatString renders the objects to a string.
+func (f *Formatter) FormatString(objs ...*Object) string {
+	var sb strings.Builder
+	f.Format(&sb, objs...) // strings.Builder never errors
+	return sb.String()
+}
+
+// Format renders objects in the default flat, paper-figure style.
+func Format(objs ...*Object) string {
+	var f Formatter
+	return f.FormatString(objs...)
+}
+
+func (f *Formatter) indent() string {
+	if f.Indent == "" {
+		return "  "
+	}
+	return f.Indent
+}
+
+// displayOID returns the object's oid, inventing a stable temporary one
+// for unassigned objects so flat cross references still resolve.
+func (f *Formatter) displayOID(o *Object, assigned map[*Object]OID) OID {
+	if o.OID != NilOID {
+		return o.OID
+	}
+	if oid, ok := assigned[o]; ok {
+		return oid
+	}
+	f.tmpOID++
+	oid := OID(fmt.Sprintf("&tmp%d", f.tmpOID))
+	assigned[o] = oid
+	return oid
+}
+
+func (f *Formatter) formatOne(w io.Writer, obj *Object, depth int) error {
+	assigned := make(map[*Object]OID)
+	switch f.Style {
+	case StyleNested:
+		if err := f.writeNested(w, obj, depth, assigned); err != nil {
+			return err
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	default:
+		return f.writeFlat(w, obj, depth, assigned)
+	}
+}
+
+func (f *Formatter) writeFlat(w io.Writer, obj *Object, depth int, assigned map[*Object]OID) error {
+	var sb strings.Builder
+	for i := 0; i < depth; i++ {
+		sb.WriteString(f.indent())
+	}
+	sb.WriteByte('<')
+	sb.WriteString(string(f.displayOID(obj, assigned)))
+	sb.WriteString(", ")
+	sb.WriteString(obj.Label)
+	if !f.OmitTypes {
+		sb.WriteString(", ")
+		sb.WriteString(obj.Kind().String())
+	}
+	sb.WriteString(", ")
+	if subs, ok := obj.Value.(Set); ok {
+		sb.WriteByte('{')
+		for i, sub := range subs {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(string(f.displayOID(sub, assigned)))
+		}
+		sb.WriteByte('}')
+	} else if obj.Value == nil {
+		sb.WriteString("{}")
+	} else {
+		sb.WriteString(obj.Value.String())
+	}
+	sb.WriteString(">\n")
+	if _, err := io.WriteString(w, sb.String()); err != nil {
+		return err
+	}
+	for _, sub := range obj.Subobjects() {
+		if err := f.writeFlat(w, sub, depth+1, assigned); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *Formatter) writeNested(w io.Writer, obj *Object, depth int, assigned map[*Object]OID) error {
+	pad := strings.Repeat(f.indent(), depth)
+	var sb strings.Builder
+	sb.WriteString(pad)
+	sb.WriteByte('<')
+	sb.WriteString(string(f.displayOID(obj, assigned)))
+	sb.WriteString(", ")
+	sb.WriteString(obj.Label)
+	if !f.OmitTypes {
+		sb.WriteString(", ")
+		sb.WriteString(obj.Kind().String())
+	}
+	sb.WriteString(", ")
+	subs, isSet := obj.Value.(Set)
+	if !isSet && obj.Value != nil {
+		sb.WriteString(obj.Value.String())
+		sb.WriteByte('>')
+		_, err := io.WriteString(w, sb.String())
+		return err
+	}
+	if len(subs) == 0 {
+		sb.WriteString("{}>")
+		_, err := io.WriteString(w, sb.String())
+		return err
+	}
+	sb.WriteString("{\n")
+	if _, err := io.WriteString(w, sb.String()); err != nil {
+		return err
+	}
+	for i, sub := range subs {
+		if err := f.writeNested(w, sub, depth+1, assigned); err != nil {
+			return err
+		}
+		sep := "\n"
+		if i < len(subs)-1 {
+			sep = ",\n"
+		}
+		if _, err := io.WriteString(w, sep); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s}>", pad)
+	return err
+}

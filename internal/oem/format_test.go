@@ -1,0 +1,252 @@
+package oem
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// figure22Text is the paper's Figure 2.2 (the cs wrapper's OEM export),
+// normalized to the canonical formatter layout.
+const figure22Text = `<&e1, employee, set, {&f1, &l1, &t1, &rep1}>
+  <&f1, first_name, string, 'Joe'>
+  <&l1, last_name, string, 'Chung'>
+  <&t1, title, string, 'professor'>
+  <&rep1, reports_to, string, 'John Hennessy'>
+<&s1, student, set, {&f2, &l2, &y2}>
+  <&f2, first_name, string, 'Nick'>
+  <&l2, last_name, string, 'Naive'>
+  <&y2, year, integer, 3>
+;
+`
+
+func figure22Objects() []*Object {
+	return []*Object{
+		NewSet("&e1", "employee",
+			New("&f1", "first_name", "Joe"),
+			New("&l1", "last_name", "Chung"),
+			New("&t1", "title", "professor"),
+			New("&rep1", "reports_to", "John Hennessy"),
+		),
+		NewSet("&s1", "student",
+			New("&f2", "first_name", "Nick"),
+			New("&l2", "last_name", "Naive"),
+			New("&y2", "year", 3),
+		),
+	}
+}
+
+func TestFormatFlatMatchesFigure22(t *testing.T) {
+	got := Format(figure22Objects()...)
+	if got != figure22Text {
+		t.Fatalf("flat format mismatch:\ngot:\n%s\nwant:\n%s", got, figure22Text)
+	}
+}
+
+func TestParseFlatFigure22(t *testing.T) {
+	objs, err := Parse(figure22Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 {
+		t.Fatalf("parsed %d top-level objects, want 2", len(objs))
+	}
+	want := figure22Objects()
+	for i := range objs {
+		if !objs[i].StructuralEqual(want[i]) {
+			t.Errorf("object %d differs:\n%s", i, Format(objs[i]))
+		}
+		if objs[i].OID != want[i].OID {
+			t.Errorf("object %d oid %s, want %s", i, objs[i].OID, want[i].OID)
+		}
+	}
+}
+
+func TestParseNestedStyle(t *testing.T) {
+	input := `
+<&p1, person, set, {
+  <&n1, name, string, 'Joe Chung'>,
+  <&d1, dept, 'CS'>,
+  <year, integer, 3>
+}>`
+	obj, err := ParseOne(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Label != "person" || len(obj.Subobjects()) != 3 {
+		t.Fatalf("parsed %s", Format(obj))
+	}
+	if got, _ := obj.Sub("dept").AtomString(); got != "CS" {
+		t.Fatal("dept value lost")
+	}
+	if n, _ := obj.Sub("year").AtomInt(); n != 3 {
+		t.Fatal("year value lost")
+	}
+	if obj.Sub("year").OID != NilOID {
+		t.Fatal("oid-less pattern should keep NilOID")
+	}
+}
+
+func TestParseFieldForms(t *testing.T) {
+	cases := []struct {
+		in        string
+		label     string
+		kind      Kind
+		wantError bool
+	}{
+		{"<&1, dept, string, 'CS'>", "dept", KindString, false},
+		{"<&1, dept, 'CS'>", "dept", KindString, false},
+		{"<dept, string, 'CS'>", "dept", KindString, false},
+		{"<dept, 'CS'>", "dept", KindString, false},
+		{"<year, integer, 3>", "year", KindInt, false},
+		{"<ratio, real, 3>", "ratio", KindFloat, false}, // widened
+		{"<ratio, 2.5>", "ratio", KindFloat, false},
+		{"<flag, boolean, true>", "flag", KindBool, false},
+		{"<flag, false>", "flag", KindBool, false},
+		{"<blob, bytes, 0xdead>", "blob", KindBytes, false},
+		{"<kids, set, {}>", "kids", KindSet, false},
+		{"<kids, {}>", "kids", KindSet, false},
+		{"<year, integer, 2.5>", "", 0, true},        // declared int, real value
+		{"<year, string, 3>", "", 0, true},           // type mismatch
+		{"<year, widget, 3>", "", 0, true},           // unknown type
+		{"<'CS'>", "", 0, true},                      // no label
+		{"<&1, dept, string, 'CS', 9>", "", 0, true}, // too many fields
+		{"<dept, string, {}>", "", 0, true},          // declared string, set value
+	}
+	for _, c := range cases {
+		objs, err := Parse(c.in)
+		if c.wantError {
+			if err == nil {
+				t.Errorf("Parse(%q) succeeded, want error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		o := objs[0]
+		if o.Label != c.label || o.Kind() != c.kind {
+			t.Errorf("Parse(%q) = label %q kind %v", c.in, o.Label, o.Kind())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"<&1, a, 1> <&1, b, 2>",                 // duplicate oid
+		"<&1, a, set, {&missing}>",              // dangling reference
+		"junk",                                  // not an object
+		"<&1, a, set, {",                        // unterminated set
+		"<&1, a, 1",                             // unterminated object
+		"<&1, a, set, {&2}> <&2, b, set, {&1}>", // all referenced => cycle
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseCommentsAndSemicolons(t *testing.T) {
+	input := `
+# a comment
+<&1, a, 1> ; // trailing comment
+<&2, b, 2>
+;`
+	objs, err := Parse(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 {
+		t.Fatalf("got %d objects", len(objs))
+	}
+}
+
+func TestParseOne(t *testing.T) {
+	if _, err := ParseOne("<a,1> <b,2>"); err == nil {
+		t.Fatal("ParseOne should reject two objects")
+	}
+	if _, err := ParseOne("<a,1>"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("<<<")
+}
+
+func TestNestedFormatterRoundTrip(t *testing.T) {
+	objs := figure22Objects()
+	f := &Formatter{Style: StyleNested}
+	text := f.FormatString(objs...)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse nested: %v\n%s", err, text)
+	}
+	if len(back) != len(objs) {
+		t.Fatalf("round trip produced %d objects", len(back))
+	}
+	for i := range objs {
+		if !objs[i].StructuralEqual(back[i]) {
+			t.Errorf("nested round trip changed object %d:\n%s", i, text)
+		}
+	}
+}
+
+func TestOmitTypesRoundTrip(t *testing.T) {
+	objs := figure22Objects()
+	f := &Formatter{OmitTypes: true}
+	text := f.FormatString(objs...)
+	if strings.Contains(text, "string") {
+		t.Fatalf("OmitTypes left a type name in:\n%s", text)
+	}
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range objs {
+		if !objs[i].StructuralEqual(back[i]) {
+			t.Errorf("omit-types round trip changed object %d", i)
+		}
+	}
+}
+
+func TestFormatterAssignsDisplayOIDs(t *testing.T) {
+	o := NewSet("", "person", New("", "name", "Al"))
+	text := Format(o)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("flat format of oid-less object not parseable: %v\n%s", err, text)
+	}
+	if !back[0].StructuralEqual(o) {
+		t.Fatal("display-oid round trip changed the object")
+	}
+}
+
+func TestPropFormatParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	styles := []Formatter{
+		{},
+		{Style: StyleNested},
+		{OmitTypes: true},
+		{Style: StyleNested, OmitTypes: true, Indent: "\t"},
+	}
+	for i := 0; i < 150; i++ {
+		o := randomObject(r, 3)
+		AssignOIDs(o, NewIDGen("t"))
+		for si := range styles {
+			f := styles[si]
+			text := f.FormatString(o)
+			back, err := Parse(text)
+			if err != nil {
+				t.Fatalf("style %d reparse failed: %v\n%s", si, err, text)
+			}
+			if len(back) != 1 || !back[0].StructuralEqual(o) {
+				t.Fatalf("style %d round trip changed object:\n%s\nwant:\n%s", si, Format(back...), Format(o))
+			}
+		}
+	}
+}

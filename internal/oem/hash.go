@@ -1,0 +1,80 @@
+package oem
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// structuralHash computes a 64-bit hash of the object's structure that is
+// invariant under object-ids and subobject order, so that
+// StructuralEqual(a, b) implies structuralHash(a) == structuralHash(b).
+// It is the basis of duplicate elimination and of Set.Equal's matching.
+func (o *Object) structuralHash() uint64 {
+	if o == nil {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(o.Label))
+	h.Write([]byte{0})
+	switch v := o.Value.(type) {
+	case nil:
+		h.Write([]byte("set:0"))
+	case String:
+		h.Write([]byte{'s'})
+		h.Write([]byte(v))
+	case Int:
+		// Ints and equal-valued floats must hash alike because they
+		// compare equal (3 == 3.0).
+		writeNumHash(h, float64(v))
+	case Float:
+		writeNumHash(h, float64(v))
+	case Bool:
+		if v {
+			h.Write([]byte{'b', 1})
+		} else {
+			h.Write([]byte{'b', 0})
+		}
+	case Bytes:
+		h.Write([]byte{'y'})
+		h.Write(v)
+	case Set:
+		// Combine member hashes order-insensitively: hash the sorted
+		// multiset of member hashes.
+		hashes := make([]uint64, len(v))
+		for i, sub := range v {
+			hashes[i] = sub.structuralHash()
+		}
+		sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+		var buf [8]byte
+		h.Write([]byte{'S'})
+		for _, sub := range hashes {
+			binary.LittleEndian.PutUint64(buf[:], sub)
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}
+
+type hashWriter interface {
+	Write(p []byte) (int, error)
+}
+
+func writeNumHash(h hashWriter, f float64) {
+	var buf [9]byte
+	buf[0] = 'n'
+	binary.LittleEndian.PutUint64(buf[1:], math.Float64bits(f))
+	h.Write(buf[:])
+}
+
+// StructuralHash exposes the structural hash for callers that build
+// hash-based duplicate-elimination or join structures over objects, such
+// as the datamerge engine.
+func (o *Object) StructuralHash() uint64 { return o.structuralHash() }
+
+// HashValue hashes a standalone Value with the same invariants as
+// StructuralHash: values that compare Equal hash equally.
+func HashValue(v Value) uint64 {
+	return (&Object{Label: "\x00v", Value: v}).structuralHash()
+}

@@ -1,0 +1,187 @@
+package oem
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// FromJSON converts a JSON document into an OEM object tree labelled
+// label. The mapping follows the self-describing spirit of both formats:
+//
+//   - a JSON object becomes a set-valued OEM object whose subobjects are
+//     labelled by the keys (key order is preserved as it appears in the
+//     document; duplicate keys become repeated labels);
+//   - a JSON array becomes repeated subobjects under the surrounding
+//     key's label — exactly OEM's representation of multivalued
+//     attributes — wrapped as <label_list> when the array is the top
+//     value or directly nested in another array;
+//   - strings, numbers, and booleans become the corresponding atoms
+//     (integral numbers become integers); null values are omitted, which
+//     turns JSON nulls into OEM structural irregularity.
+//
+// Objects receive no oids; stores assign them on insertion.
+func FromJSON(label string, data []byte) (*Object, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, fmt.Errorf("oem: invalid JSON: %w", err)
+	}
+	// Trailing garbage after the document is an error.
+	if dec.More() {
+		return nil, fmt.Errorf("oem: trailing data after JSON document")
+	}
+	obj, err := jsonValue(label, v)
+	if err != nil {
+		return nil, err
+	}
+	if obj == nil {
+		return nil, fmt.Errorf("oem: top-level JSON null has no OEM representation")
+	}
+	return obj, nil
+}
+
+// FromJSONArray converts a top-level JSON array into one OEM object per
+// element, each labelled label — the natural import for the common
+// "array of records" document shape.
+func FromJSONArray(label string, data []byte) ([]*Object, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.UseNumber()
+	var vs []any
+	if err := dec.Decode(&vs); err != nil {
+		return nil, fmt.Errorf("oem: invalid JSON array: %w", err)
+	}
+	out := make([]*Object, 0, len(vs))
+	for i, v := range vs {
+		obj, err := jsonValue(label, v)
+		if err != nil {
+			return nil, fmt.Errorf("oem: element %d: %w", i, err)
+		}
+		if obj != nil {
+			out = append(out, obj)
+		}
+	}
+	return out, nil
+}
+
+// jsonValue converts one JSON value; nulls return nil (omitted).
+func jsonValue(label string, v any) (*Object, error) {
+	switch t := v.(type) {
+	case nil:
+		return nil, nil
+	case string:
+		return &Object{Label: label, Value: String(t)}, nil
+	case bool:
+		return &Object{Label: label, Value: Bool(t)}, nil
+	case json.Number:
+		if n, err := t.Int64(); err == nil {
+			return &Object{Label: label, Value: Int(n)}, nil
+		}
+		f, err := t.Float64()
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", t)
+		}
+		return &Object{Label: label, Value: Float(f)}, nil
+	case map[string]any:
+		// Sort keys for deterministic conversion (encoding/json loses
+		// document order anyway).
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var subs Set
+		for _, k := range keys {
+			kl := k
+			if kl == "" {
+				kl = "_empty"
+			}
+			if arr, isArr := t[k].([]any); isArr {
+				// Arrays flatten into repeated subobjects.
+				for _, elem := range arr {
+					sub, err := jsonValue(kl, elem)
+					if err != nil {
+						return nil, err
+					}
+					if sub != nil {
+						subs = append(subs, sub)
+					}
+				}
+				continue
+			}
+			sub, err := jsonValue(kl, t[k])
+			if err != nil {
+				return nil, err
+			}
+			if sub != nil {
+				subs = append(subs, sub)
+			}
+		}
+		return &Object{Label: label, Value: subs}, nil
+	case []any:
+		// A bare array (top level or array-of-arrays): element objects
+		// labelled "<label>_elem" inside a set.
+		var subs Set
+		for _, elem := range t {
+			sub, err := jsonValue(label+"_elem", elem)
+			if err != nil {
+				return nil, err
+			}
+			if sub != nil {
+				subs = append(subs, sub)
+			}
+		}
+		return &Object{Label: label, Value: subs}, nil
+	}
+	return nil, fmt.Errorf("unsupported JSON value %T", v)
+}
+
+// ToJSON renders an OEM object as JSON: atomic objects become
+// {"label": value}; set-valued objects become {"label": {…}} with
+// repeated labels collected into arrays. Oids are not represented; use
+// the textual OEM format when identity matters.
+func ToJSON(o *Object) ([]byte, error) {
+	return json.Marshal(map[string]any{o.Label: jsonOf(o)})
+}
+
+func jsonOf(o *Object) any {
+	switch v := o.Value.(type) {
+	case String:
+		return string(v)
+	case Int:
+		return int64(v)
+	case Float:
+		f := float64(v)
+		if math.IsInf(f, 0) || math.IsNaN(f) {
+			return nil
+		}
+		return f
+	case Bool:
+		return bool(v)
+	case Bytes:
+		return []byte(v) // encoding/json base64-encodes
+	case Set:
+		grouped := map[string][]any{}
+		var order []string
+		for _, sub := range v {
+			if _, seen := grouped[sub.Label]; !seen {
+				order = append(order, sub.Label)
+			}
+			grouped[sub.Label] = append(grouped[sub.Label], jsonOf(sub))
+		}
+		out := make(map[string]any, len(order))
+		for _, label := range order {
+			vals := grouped[label]
+			if len(vals) == 1 {
+				out[label] = vals[0]
+			} else {
+				out[label] = vals
+			}
+		}
+		return out
+	}
+	return nil
+}

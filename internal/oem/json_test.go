@@ -1,0 +1,167 @@
+package oem
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestFromJSONObject(t *testing.T) {
+	doc := `{
+	  "name": "Joe Chung",
+	  "dept": "CS",
+	  "year": 3,
+	  "gpa": 3.5,
+	  "active": true,
+	  "nick": null,
+	  "emails": ["joe@cs", "chung@cs"],
+	  "address": {"city": "Palo Alto", "zip": "94301"}
+	}`
+	obj, err := FromJSON("person", []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Label != "person" || obj.Kind() != KindSet {
+		t.Fatalf("root: %s", obj)
+	}
+	if v, _ := obj.Sub("name").AtomString(); v != "Joe Chung" {
+		t.Fatal("string field")
+	}
+	if n, _ := obj.Sub("year").AtomInt(); n != 3 {
+		t.Fatal("int field")
+	}
+	if obj.Sub("gpa").Kind() != KindFloat {
+		t.Fatal("float field")
+	}
+	if obj.Sub("active").Value != Bool(true) {
+		t.Fatal("bool field")
+	}
+	// null omitted — structural irregularity.
+	if obj.Sub("nick") != nil {
+		t.Fatal("null should be omitted")
+	}
+	// Arrays flatten into repeated labels.
+	if emails := obj.Subobjects().WithLabel("emails"); len(emails) != 2 {
+		t.Fatalf("array flattening: %d emails", len(emails))
+	}
+	// Nested objects nest.
+	if v, _ := obj.Sub("address").Sub("city").AtomString(); v != "Palo Alto" {
+		t.Fatal("nested object")
+	}
+	if err := obj.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromJSONScalarsAndArrays(t *testing.T) {
+	if o, err := FromJSON("x", []byte(`"hello"`)); err != nil || o.Value != String("hello") {
+		t.Fatalf("scalar doc: %v, %v", o, err)
+	}
+	if o, err := FromJSON("n", []byte(`42`)); err != nil || o.Value != Int(42) {
+		t.Fatalf("number doc: %v, %v", o, err)
+	}
+	// Bare top-level array: elements labelled n_elem.
+	o, err := FromJSON("n", []byte(`[1, 2]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Subobjects().WithLabel("n_elem")) != 2 {
+		t.Fatalf("bare array: %s", Format(o))
+	}
+	// Array of arrays.
+	aa, err := FromJSON("m", []byte(`{"rows": [[1,2],[3]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := aa.Subobjects().WithLabel("rows")
+	if len(rows) != 2 || len(rows[0].Subobjects()) != 2 {
+		t.Fatalf("array of arrays: %s", Format(aa))
+	}
+}
+
+func TestFromJSONErrors(t *testing.T) {
+	bad := []string{
+		`{`,            // truncated
+		`null`,         // top-level null
+		`{"a": 1} {}`,  // trailing document
+		`{"a": 1}, []`, // trailing tokens
+	}
+	for _, doc := range bad {
+		if _, err := FromJSON("x", []byte(doc)); err == nil {
+			t.Errorf("FromJSON(%q) succeeded", doc)
+		}
+	}
+	// Huge integers fall back to float.
+	o, err := FromJSON("big", []byte(`123456789012345678901234567890`))
+	if err != nil || o.Kind() != KindFloat {
+		t.Fatalf("big number: %v %v", o, err)
+	}
+}
+
+func TestFromJSONArrayOfRecords(t *testing.T) {
+	doc := `[
+	  {"name": "Joe", "dept": "CS"},
+	  {"name": "Sue"},
+	  null
+	]`
+	objs, err := FromJSONArray("person", []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 {
+		t.Fatalf("got %d records (nulls skipped)", len(objs))
+	}
+	if objs[0].Sub("dept") == nil || objs[1].Sub("dept") != nil {
+		t.Fatal("irregularity lost")
+	}
+	if _, err := FromJSONArray("x", []byte(`{"not": "array"}`)); err == nil {
+		t.Fatal("non-array accepted")
+	}
+}
+
+func TestToJSONRoundTrip(t *testing.T) {
+	objs := MustParse(`<person, set, {
+	    <name, 'Joe'>, <year, 3>, <gpa, 3.5>, <ok, true>,
+	    <email, 'a@x'>, <email, 'b@x'>,
+	    <address, set, {<city, 'PA'>}>}>`)
+	data, err := ToJSON(objs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("ToJSON produced invalid JSON: %v\n%s", err, data)
+	}
+	person := doc["person"].(map[string]any)
+	if person["name"] != "Joe" {
+		t.Fatalf("name: %v", person["name"])
+	}
+	if emails, ok := person["email"].([]any); !ok || len(emails) != 2 {
+		t.Fatalf("repeated labels should become an array: %v", person["email"])
+	}
+	if addr, ok := person["address"].(map[string]any); !ok || addr["city"] != "PA" {
+		t.Fatalf("nested: %v", person["address"])
+	}
+	// And back: structural equality modulo label-grouping order.
+	back, err := FromJSON("person", []byte(strings.TrimPrefix(string(data), `{"person":`)[:0]+extractInner(t, data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.StructuralEqual(objs[0]) {
+		t.Fatalf("JSON round trip changed the object:\n%s\nvs\n%s", Format(back), Format(objs[0]))
+	}
+}
+
+// extractInner pulls the value of the single-key wrapper object.
+func extractInner(t *testing.T, data []byte) string {
+	t.Helper()
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range doc {
+		return string(v)
+	}
+	t.Fatal("empty wrapper")
+	return ""
+}

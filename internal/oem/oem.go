@@ -1,0 +1,264 @@
+// Package oem implements the Object Exchange Model (OEM) of the TSIMMIS
+// project, the self-describing data model that MedMaker mediators and
+// wrappers exchange.
+//
+// An OEM object is a quadruple <object-id, label, type, value>: the
+// object-id links objects to their subobjects, the label is a descriptive
+// string meaningful to the application, and the value is either atomic
+// (string, integer, real, boolean, bytes) or a set of subobjects. OEM
+// forces no regularity on data — every object carries its own "schema" in
+// its labels — which is what lets MedMaker integrate well-structured
+// databases and irregular, evolving sources through one model.
+//
+// The package provides the object structures, deep structural equality and
+// hashing (used for duplicate elimination, which the MSL semantics
+// require), the textual object format the paper's figures use (see
+// Format/Parse), and object stores with object-id generation.
+package oem
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OID is an object identifier, e.g. "&12". Object-ids link objects to
+// their subobjects and, for mediator-created objects, are arbitrary unique
+// strings with no meaning beyond the answer that carried them (semantic
+// object-ids, an MSL extension, are produced by skolem-style constructors
+// and do carry meaning; see the bibliography example).
+type OID string
+
+// NilOID marks an object whose identity is unassigned. Stores assign fresh
+// oids on insertion; the constructor node of the datamerge engine assigns
+// fresh oids to result objects.
+const NilOID OID = ""
+
+// Object is one OEM object. Label and Value are immutable by convention
+// once the object is shared; building modified structures goes through
+// copies (see Clone) so that objects can be safely shared across
+// goroutines, plans, and caches.
+type Object struct {
+	// OID is the object's identity, possibly NilOID for unrooted values.
+	OID OID
+	// Label is the descriptive, application-meaningful label
+	// (e.g. "person", "dept"). Different sources may use different labels
+	// for the same concept; resolving that is the mediator's job.
+	Label string
+	// Value is the object's value: an atomic Value or a Set of subobjects.
+	Value Value
+}
+
+// New constructs an object with an explicit oid. The value may be any
+// input accepted by Atom, or a Set.
+func New(oid OID, label string, value any) *Object {
+	return &Object{OID: oid, Label: label, Value: Atom(value)}
+}
+
+// NewSet constructs a set-valued object from its subobjects.
+func NewSet(oid OID, label string, subs ...*Object) *Object {
+	return &Object{OID: oid, Label: label, Value: Set(subs)}
+}
+
+// Kind reports the kind of the object's value. A nil value reports
+// KindSet with no members (the empty set), which is how an empty complex
+// object is represented.
+func (o *Object) Kind() Kind {
+	if o.Value == nil {
+		return KindSet
+	}
+	return o.Value.Kind()
+}
+
+// IsAtomic reports whether the object carries an atomic value.
+func (o *Object) IsAtomic() bool { return o.Kind() != KindSet }
+
+// Subobjects returns the object's subobject set, or nil for atomic
+// objects.
+func (o *Object) Subobjects() Set {
+	if s, ok := o.Value.(Set); ok {
+		return s
+	}
+	return nil
+}
+
+// Sub returns the first subobject with the given label, or nil. It is a
+// convenience for navigating well-known structure in tests and examples.
+func (o *Object) Sub(label string) *Object {
+	return o.Subobjects().First(label)
+}
+
+// AtomString returns the object's value as a Go string when it is a
+// String atom, and ok=false otherwise.
+func (o *Object) AtomString() (string, bool) {
+	s, ok := o.Value.(String)
+	return string(s), ok
+}
+
+// AtomInt returns the object's value as an int64 when it is an Int atom,
+// and ok=false otherwise.
+func (o *Object) AtomInt() (int64, bool) {
+	i, ok := o.Value.(Int)
+	return int64(i), ok
+}
+
+// StructuralEqual reports deep equality of two objects ignoring their
+// object-ids: same label, same value kind, equal atomic values, and
+// (recursively, order-insensitively) equal subobject sets. This is the
+// equality MSL's duplicate elimination uses.
+func (o *Object) StructuralEqual(other *Object) bool {
+	if o == other {
+		return true
+	}
+	if o == nil || other == nil {
+		return false
+	}
+	if o.Label != other.Label {
+		return false
+	}
+	if o.Value == nil {
+		return other.Value == nil || (other.Kind() == KindSet && len(other.Subobjects()) == 0)
+	}
+	if other.Value == nil {
+		return o.Kind() == KindSet && len(o.Subobjects()) == 0
+	}
+	return o.Value.Equal(other.Value)
+}
+
+// Clone returns a deep copy of the object. Subobjects are copied
+// recursively; atomic values are immutable and shared. OIDs are preserved.
+func (o *Object) Clone() *Object {
+	if o == nil {
+		return nil
+	}
+	cp := &Object{OID: o.OID, Label: o.Label, Value: o.Value}
+	if subs, ok := o.Value.(Set); ok {
+		newSubs := make(Set, len(subs))
+		for i, sub := range subs {
+			newSubs[i] = sub.Clone()
+		}
+		cp.Value = newSubs
+	}
+	return cp
+}
+
+// String renders the object as a single flat OEM tuple,
+// e.g. <&12, department, string, 'CS'>. For the full nested or
+// paper-figure layout use Format.
+func (o *Object) String() string {
+	if o == nil {
+		return "<nil>"
+	}
+	var sb strings.Builder
+	sb.WriteByte('<')
+	if o.OID != NilOID {
+		sb.WriteString(string(o.OID))
+		sb.WriteString(", ")
+	}
+	sb.WriteString(o.Label)
+	sb.WriteString(", ")
+	sb.WriteString(o.Kind().String())
+	sb.WriteString(", ")
+	if o.Value == nil {
+		sb.WriteString("{}")
+	} else {
+		sb.WriteString(o.Value.String())
+	}
+	sb.WriteByte('>')
+	return sb.String()
+}
+
+// Walk visits the object and every reachable subobject in depth-first,
+// pre-order. The visitor receives each object and its depth (0 for the
+// root). Returning false stops descent below that object but continues
+// siblings.
+func (o *Object) Walk(visit func(obj *Object, depth int) bool) {
+	o.walk(visit, 0)
+}
+
+func (o *Object) walk(visit func(*Object, int) bool, depth int) {
+	if o == nil {
+		return
+	}
+	if !visit(o, depth) {
+		return
+	}
+	for _, sub := range o.Subobjects() {
+		sub.walk(visit, depth+1)
+	}
+}
+
+// Depth returns the height of the object tree: 1 for an atomic object,
+// 1 + max subobject depth otherwise.
+func (o *Object) Depth() int {
+	if o == nil {
+		return 0
+	}
+	max := 0
+	for _, sub := range o.Subobjects() {
+		if d := sub.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// Size returns the number of objects in the tree rooted at o, counting o.
+func (o *Object) Size() int {
+	if o == nil {
+		return 0
+	}
+	n := 1
+	for _, sub := range o.Subobjects() {
+		n += sub.Size()
+	}
+	return n
+}
+
+// Find returns every object in the tree (including o itself) whose label
+// equals the given label, in pre-order. This is the primitive behind MSL's
+// wildcard feature, which searches for objects at any level without a full
+// path.
+func (o *Object) Find(label string) []*Object {
+	var out []*Object
+	o.Walk(func(obj *Object, _ int) bool {
+		if obj.Label == label {
+			out = append(out, obj)
+		}
+		return true
+	})
+	return out
+}
+
+// Validate checks structural well-formedness: non-empty labels everywhere
+// and no cycles through subobject links. OEM values exchanged between
+// wrappers and mediators are trees (graphs are expressed via semantic
+// object-ids, not shared pointers), so a cycle indicates a construction
+// bug.
+func (o *Object) Validate() error {
+	seen := make(map[*Object]bool)
+	return o.validate(seen, "")
+}
+
+func (o *Object) validate(onPath map[*Object]bool, path string) error {
+	if o == nil {
+		return fmt.Errorf("oem: nil object at %q", path)
+	}
+	if o.Label == "" {
+		return fmt.Errorf("oem: empty label at %q (oid %s)", path, o.OID)
+	}
+	if onPath[o] {
+		return fmt.Errorf("oem: cycle through object %s at %q", o.OID, path)
+	}
+	subs := o.Subobjects()
+	if len(subs) == 0 {
+		return nil
+	}
+	onPath[o] = true
+	defer delete(onPath, o)
+	for i, sub := range subs {
+		if err := sub.validate(onPath, fmt.Sprintf("%s/%s[%d]", path, o.Label, i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

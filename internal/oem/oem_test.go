@@ -1,0 +1,321 @@
+package oem
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// person builds the paper's Figure 2.3 &p1 object.
+func personP1() *Object {
+	return NewSet("&p1", "person",
+		New("&n1", "name", "Joe Chung"),
+		New("&d1", "dept", "CS"),
+		New("&rel1", "relation", "employee"),
+		New("&elm1", "e_mail", "chung@cs"),
+	)
+}
+
+func TestObjectAccessors(t *testing.T) {
+	p := personP1()
+	if p.Kind() != KindSet || p.IsAtomic() {
+		t.Fatal("person should be a set object")
+	}
+	if got := len(p.Subobjects()); got != 4 {
+		t.Fatalf("Subobjects() len = %d", got)
+	}
+	name := p.Sub("name")
+	if name == nil {
+		t.Fatal("Sub(name) = nil")
+	}
+	if s, ok := name.AtomString(); !ok || s != "Joe Chung" {
+		t.Fatalf("AtomString = %q,%v", s, ok)
+	}
+	if _, ok := name.AtomInt(); ok {
+		t.Fatal("AtomInt on a string should fail")
+	}
+	year := New("", "year", 3)
+	if n, ok := year.AtomInt(); !ok || n != 3 {
+		t.Fatalf("AtomInt = %d,%v", n, ok)
+	}
+	if !year.IsAtomic() || year.Kind() != KindInt {
+		t.Fatal("year should be an atomic integer")
+	}
+	if p.Sub("nope") != nil {
+		t.Fatal("Sub on absent label should be nil")
+	}
+}
+
+func TestEmptyValueIsEmptySet(t *testing.T) {
+	o := &Object{Label: "x"}
+	if o.Kind() != KindSet {
+		t.Fatal("nil value should present as set")
+	}
+	if o.Subobjects() != nil {
+		t.Fatal("nil value has no subobjects")
+	}
+	e := NewSet("", "x")
+	if !o.StructuralEqual(e) || !e.StructuralEqual(o) {
+		t.Fatal("nil value should equal explicit empty set")
+	}
+}
+
+func TestStructuralEqualIgnoresOIDs(t *testing.T) {
+	a := personP1()
+	b := a.Clone()
+	b.Walk(func(o *Object, _ int) bool { o.OID = NilOID; return true })
+	if !a.StructuralEqual(b) {
+		t.Fatal("oids must not affect structural equality")
+	}
+	// Reordered subobjects are still equal.
+	subs := b.Subobjects()
+	subs[0], subs[3] = subs[3], subs[0]
+	if !a.StructuralEqual(b) {
+		t.Fatal("subobject order must not affect structural equality")
+	}
+	// Different label breaks it.
+	c := a.Clone()
+	c.Label = "human"
+	if a.StructuralEqual(c) {
+		t.Fatal("different labels should not be equal")
+	}
+	// Different nested value breaks it.
+	d := a.Clone()
+	d.Sub("dept").Value = String("EE")
+	if a.StructuralEqual(d) {
+		t.Fatal("different nested value should not be equal")
+	}
+	if a.StructuralEqual(nil) {
+		t.Fatal("object should not equal nil")
+	}
+	if !a.StructuralEqual(a) {
+		t.Fatal("object should equal itself")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := personP1()
+	b := a.Clone()
+	b.Sub("dept").Value = String("EE")
+	if got, _ := a.Sub("dept").AtomString(); got != "CS" {
+		t.Fatal("mutating a clone leaked into the original")
+	}
+	if b.OID != a.OID {
+		t.Fatal("Clone should preserve oids")
+	}
+	var nilObj *Object
+	if nilObj.Clone() != nil {
+		t.Fatal("Clone of nil should be nil")
+	}
+}
+
+func TestWalkOrderAndPruning(t *testing.T) {
+	root := NewSet("&r", "root",
+		NewSet("&a", "a", New("&a1", "a1", 1)),
+		New("&b", "b", 2),
+	)
+	var seen []string
+	root.Walk(func(o *Object, depth int) bool {
+		seen = append(seen, o.Label)
+		return o.Label != "a" // prune below a
+	})
+	want := []string{"root", "a", "b"}
+	if !reflect.DeepEqual(seen, want) {
+		t.Fatalf("walk visited %v, want %v", seen, want)
+	}
+	var depths []int
+	root.Walk(func(o *Object, depth int) bool {
+		depths = append(depths, depth)
+		return true
+	})
+	if !reflect.DeepEqual(depths, []int{0, 1, 2, 1}) {
+		t.Fatalf("depths = %v", depths)
+	}
+}
+
+func TestDepthSizeFind(t *testing.T) {
+	p := personP1()
+	if p.Depth() != 2 {
+		t.Fatalf("Depth = %d", p.Depth())
+	}
+	if p.Size() != 5 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	deep := NewSet("", "l0", NewSet("", "l1", NewSet("", "l2", New("", "leaf", 1))))
+	if deep.Depth() != 4 {
+		t.Fatalf("deep Depth = %d", deep.Depth())
+	}
+	if got := deep.Find("leaf"); len(got) != 1 {
+		t.Fatalf("Find(leaf) found %d", len(got))
+	}
+	if got := deep.Find("l0"); len(got) != 1 {
+		t.Fatal("Find should include the root itself")
+	}
+	var nilObj *Object
+	if nilObj.Depth() != 0 || nilObj.Size() != 0 {
+		t.Fatal("nil object depth/size should be 0")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := personP1().Validate(); err != nil {
+		t.Fatalf("valid object rejected: %v", err)
+	}
+	bad := NewSet("&x", "x", &Object{Label: ""})
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty label should be rejected")
+	}
+	// Cycle.
+	a := NewSet("&a", "a")
+	b := NewSet("&b", "b", a)
+	a.Value = Set{b}
+	if err := a.Validate(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not detected: %v", err)
+	}
+	// Shared (diamond) substructure is fine — only cycles fail.
+	shared := New("&s", "s", 1)
+	diamond := NewSet("&d", "d", NewSet("&l", "l", shared), NewSet("&r", "r", shared))
+	if err := diamond.Validate(); err != nil {
+		t.Fatalf("diamond sharing should validate: %v", err)
+	}
+}
+
+func TestObjectString(t *testing.T) {
+	o := New("&12", "department", "CS")
+	if got := o.String(); got != "<&12, department, string, 'CS'>" {
+		t.Fatalf("String() = %q", got)
+	}
+	s := NewSet("&1", "person", New("&2", "name", "Al"))
+	if got := s.String(); got != "<&1, person, set, {&2}>" {
+		t.Fatalf("String() = %q", got)
+	}
+	noOID := New("", "year", 3)
+	if got := noOID.String(); got != "<year, integer, 3>" {
+		t.Fatalf("String() = %q", got)
+	}
+	var nilObj *Object
+	if nilObj.String() != "<nil>" {
+		t.Fatal("nil object String")
+	}
+}
+
+// randomObject builds a random OEM tree for property tests.
+func randomObject(r *rand.Rand, depth int) *Object {
+	labels := []string{"person", "name", "dept", "year", "e_mail", "x", "rel"}
+	label := labels[r.Intn(len(labels))]
+	if depth <= 0 || r.Intn(3) > 0 {
+		switch r.Intn(4) {
+		case 0:
+			return New("", label, r.Intn(100))
+		case 1:
+			return New("", label, r.Float64())
+		case 2:
+			return New("", label, strings.Repeat("ab", r.Intn(4)))
+		default:
+			return New("", label, r.Intn(2) == 0)
+		}
+	}
+	n := r.Intn(4)
+	subs := make([]*Object, n)
+	for i := range subs {
+		subs[i] = randomObject(r, depth-1)
+	}
+	return NewSet("", label, subs...)
+}
+
+func TestPropStructuralEqualReflexiveAndHashConsistent(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 400; i++ {
+		o := randomObject(r, 3)
+		if !o.StructuralEqual(o) {
+			t.Fatalf("object not equal to itself: %v", o)
+		}
+		c := o.Clone()
+		if !o.StructuralEqual(c) {
+			t.Fatalf("object not equal to its clone: %v", o)
+		}
+		if o.StructuralHash() != c.StructuralHash() {
+			t.Fatalf("clone hash differs: %v", o)
+		}
+	}
+}
+
+func TestPropShuffleInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		o := randomObject(r, 3)
+		c := o.Clone()
+		// Shuffle every subobject set in the clone.
+		c.Walk(func(obj *Object, _ int) bool {
+			subs := obj.Subobjects()
+			r.Shuffle(len(subs), func(i, j int) { subs[i], subs[j] = subs[j], subs[i] })
+			return true
+		})
+		if !o.StructuralEqual(c) {
+			t.Fatalf("shuffled clone not equal:\n%v\n%v", Format(o), Format(c))
+		}
+		if o.StructuralHash() != c.StructuralHash() {
+			t.Fatalf("shuffled clone hash differs")
+		}
+	}
+}
+
+func TestPropEqualityImpliesHashEquality(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	objs := make([]*Object, 120)
+	for i := range objs {
+		objs[i] = randomObject(r, 2)
+	}
+	for _, a := range objs {
+		for _, b := range objs {
+			if a.StructuralEqual(b) && a.StructuralHash() != b.StructuralHash() {
+				t.Fatalf("equal objects, unequal hashes:\n%s\n%s", Format(a), Format(b))
+			}
+		}
+	}
+}
+
+func TestPropEqualitySymmetricTransitive(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	objs := make([]*Object, 60)
+	for i := range objs {
+		objs[i] = randomObject(r, 2)
+	}
+	for _, a := range objs {
+		for _, b := range objs {
+			if a.StructuralEqual(b) != b.StructuralEqual(a) {
+				t.Fatal("equality not symmetric")
+			}
+		}
+	}
+	for _, a := range objs {
+		for _, b := range objs {
+			if !a.StructuralEqual(b) {
+				continue
+			}
+			for _, c := range objs {
+				if b.StructuralEqual(c) && !a.StructuralEqual(c) {
+					t.Fatal("equality not transitive")
+				}
+			}
+		}
+	}
+}
+
+func TestHashValueMatchesEqual(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		if va.Equal(vb) && HashValue(va) != HashValue(vb) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if HashValue(Int(3)) != HashValue(Float(3)) {
+		t.Error("3 and 3.0 must hash equal since they compare equal")
+	}
+}

@@ -1,0 +1,550 @@
+package oem
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads objects in the textual OEM format and returns the top-level
+// objects. It accepts both layouts the Formatter produces:
+//
+//   - flat, with set values listing member oids that are defined by later
+//     tuples (the paper's figure layout); indentation is ignored, and
+//     top-level objects are those never referenced as a subobject;
+//   - nested, with subobject tuples written inline inside the braces.
+//
+// The type field is optional; when present it must agree with the value.
+// A numeric value under an "integer" type must be integral; under "real"
+// it is widened to a float. Lines may carry // or # comments, and object
+// groups may be terminated by ";" as in the figures.
+func Parse(input string) ([]*Object, error) {
+	p := &oemParser{lex: newOEMLexer(input), defined: map[OID]*Object{}}
+	var parsed []*Object
+	for {
+		tok := p.lex.peek()
+		switch tok.kind {
+		case tokEOF:
+			return p.resolve(parsed)
+		case tokSemi:
+			p.lex.next()
+		case tokLT:
+			obj, err := p.parseObject()
+			if err != nil {
+				return nil, err
+			}
+			parsed = append(parsed, obj)
+		default:
+			return nil, fmt.Errorf("oem: line %d: unexpected %s at top level", tok.line, tok)
+		}
+	}
+}
+
+// MustParse is Parse that panics on error; intended for literals in tests
+// and examples.
+func MustParse(input string) []*Object {
+	objs, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return objs
+}
+
+// ParseOne parses input that must contain exactly one top-level object.
+func ParseOne(input string) (*Object, error) {
+	objs, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	if len(objs) != 1 {
+		return nil, fmt.Errorf("oem: expected exactly 1 top-level object, found %d", len(objs))
+	}
+	return objs[0], nil
+}
+
+type oemParser struct {
+	lex     *oemLexer
+	defined map[OID]*Object // objects by oid, for flat-style reference linking
+	refs    []pendingRef
+}
+
+type pendingRef struct {
+	parent *Object
+	index  int
+	oid    OID
+	line   int
+}
+
+// parseObject parses one <...> tuple.
+func (p *oemParser) parseObject() (*Object, error) {
+	lt := p.lex.next()
+	if lt.kind != tokLT {
+		return nil, fmt.Errorf("oem: line %d: expected '<', found %s", lt.line, lt)
+	}
+	var fields []oemToken
+	// Collect the scalar fields up to the value, which may itself be a
+	// brace construct.
+	obj := &Object{}
+	for {
+		tok := p.lex.peek()
+		switch tok.kind {
+		case tokLBrace:
+			if err := p.applyHeader(obj, fields, true); err != nil {
+				return nil, err
+			}
+			if err := p.parseSetValue(obj); err != nil {
+				return nil, err
+			}
+			if gt := p.lex.next(); gt.kind != tokGT {
+				return nil, fmt.Errorf("oem: line %d: expected '>' after set value, found %s", gt.line, gt)
+			}
+			return p.register(obj)
+		case tokGT:
+			p.lex.next()
+			if err := p.applyHeader(obj, fields, false); err != nil {
+				return nil, err
+			}
+			return p.register(obj)
+		case tokComma:
+			p.lex.next()
+		case tokEOF:
+			return nil, fmt.Errorf("oem: line %d: unexpected end of input inside object", tok.line)
+		default:
+			fields = append(fields, p.lex.next())
+		}
+	}
+}
+
+func (p *oemParser) register(obj *Object) (*Object, error) {
+	if obj.OID != NilOID {
+		if prev, dup := p.defined[obj.OID]; dup && prev != obj {
+			return nil, fmt.Errorf("oem: duplicate definition of object %s", obj.OID)
+		}
+		p.defined[obj.OID] = obj
+	}
+	return obj, nil
+}
+
+// applyHeader interprets the scalar fields before the value position.
+// Layout possibilities (value either among fields, or a following brace):
+//
+//	<&oid, label, type, v>  <&oid, label, v>  <label, type, v>  <label, v>
+func (p *oemParser) applyHeader(obj *Object, fields []oemToken, braceValue bool) error {
+	i := 0
+	if i < len(fields) && fields[i].kind == tokOID {
+		obj.OID = OID(fields[i].text)
+		i++
+	}
+	if i >= len(fields) || fields[i].kind != tokIdent {
+		line := 0
+		if len(fields) > 0 {
+			line = fields[0].line
+		}
+		return fmt.Errorf("oem: line %d: object is missing a label", line)
+	}
+	obj.Label = fields[i].text
+	i++
+
+	rest := fields[i:]
+	var typeName string
+	var valueTok *oemToken
+	switch {
+	case braceValue && len(rest) == 0:
+		// <label, {…}> — type defaults to set.
+	case braceValue && len(rest) == 1 && rest[0].kind == tokIdent:
+		typeName = rest[0].text
+	case !braceValue && len(rest) == 1:
+		valueTok = &rest[0]
+	case !braceValue && len(rest) == 2 && rest[0].kind == tokIdent:
+		typeName = rest[0].text
+		valueTok = &rest[1]
+	default:
+		return fmt.Errorf("oem: line %d: malformed object fields for label %q", fields[0].line, obj.Label)
+	}
+
+	var declared Kind = -1
+	if typeName != "" {
+		k, ok := KindFromName(typeName)
+		if !ok {
+			return fmt.Errorf("oem: line %d: unknown type %q", fields[0].line, typeName)
+		}
+		declared = k
+	}
+	if braceValue {
+		if declared >= 0 && declared != KindSet {
+			return fmt.Errorf("oem: line %d: declared type %s but value is a set", fields[0].line, declared)
+		}
+		return nil
+	}
+	val, err := tokenValue(*valueTok, declared)
+	if err != nil {
+		return err
+	}
+	obj.Value = val
+	return nil
+}
+
+func tokenValue(tok oemToken, declared Kind) (Value, error) {
+	var v Value
+	switch tok.kind {
+	case tokString:
+		v = String(tok.text)
+	case tokNumber:
+		isFloat := strings.ContainsAny(tok.text, ".eE")
+		if declared == KindFloat || isFloat {
+			f, err := strconv.ParseFloat(tok.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("oem: line %d: bad number %q: %v", tok.line, tok.text, err)
+			}
+			if declared == KindInt {
+				return nil, fmt.Errorf("oem: line %d: non-integral value %q declared integer", tok.line, tok.text)
+			}
+			v = Float(f)
+		} else {
+			n, err := strconv.ParseInt(tok.text, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("oem: line %d: bad integer %q: %v", tok.line, tok.text, err)
+			}
+			v = Int(n)
+		}
+	case tokIdent:
+		switch tok.text {
+		case "true":
+			v = Bool(true)
+		case "false":
+			v = Bool(false)
+		default:
+			return nil, fmt.Errorf("oem: line %d: unexpected bare word %q as value", tok.line, tok.text)
+		}
+	case tokBytes:
+		b, err := parseHexBytes(tok.text)
+		if err != nil {
+			return nil, fmt.Errorf("oem: line %d: %v", tok.line, err)
+		}
+		v = Bytes(b)
+	default:
+		return nil, fmt.Errorf("oem: line %d: unexpected %s as value", tok.line, tok)
+	}
+	if declared >= 0 && declared != v.Kind() {
+		// Int→Float widening under a declared real type.
+		if declared == KindFloat && v.Kind() == KindInt {
+			return Float(v.(Int)), nil
+		}
+		return nil, fmt.Errorf("oem: line %d: declared type %s but value %s is %s",
+			tok.line, declared, v, v.Kind())
+	}
+	return v, nil
+}
+
+func parseHexBytes(s string) ([]byte, error) {
+	if len(s)%2 != 0 {
+		return nil, fmt.Errorf("odd-length hex literal 0x%s", s)
+	}
+	out := make([]byte, len(s)/2)
+	for i := 0; i < len(s); i += 2 {
+		n, err := strconv.ParseUint(s[i:i+2], 16, 8)
+		if err != nil {
+			return nil, fmt.Errorf("bad hex literal 0x%s", s)
+		}
+		out[i/2] = byte(n)
+	}
+	return out, nil
+}
+
+// parseSetValue parses {…}: either oid references or nested object tuples.
+func (p *oemParser) parseSetValue(obj *Object) error {
+	lb := p.lex.next() // consume '{'
+	var subs Set
+	for {
+		tok := p.lex.peek()
+		switch tok.kind {
+		case tokRBrace:
+			p.lex.next()
+			obj.Value = subs
+			return nil
+		case tokComma:
+			p.lex.next()
+		case tokOID:
+			p.lex.next()
+			subs = append(subs, nil) // placeholder patched in resolve
+			p.refs = append(p.refs, pendingRef{parent: obj, index: len(subs) - 1, oid: OID(tok.text), line: tok.line})
+		case tokLT:
+			sub, err := p.parseObject()
+			if err != nil {
+				return err
+			}
+			subs = append(subs, sub)
+		case tokEOF:
+			return fmt.Errorf("oem: line %d: unterminated set value", lb.line)
+		default:
+			return fmt.Errorf("oem: line %d: unexpected %s inside set value", tok.line, tok)
+		}
+		// The parent set slice may move as it grows, so record it late.
+		obj.Value = subs
+	}
+}
+
+// resolve patches oid references and returns the top-level objects: those
+// parsed at top level that no other object references.
+func (p *oemParser) resolve(parsed []*Object) ([]*Object, error) {
+	referenced := make(map[OID]bool, len(p.refs))
+	for _, ref := range p.refs {
+		target, ok := p.defined[ref.oid]
+		if !ok {
+			return nil, fmt.Errorf("oem: line %d: reference to undefined object %s", ref.line, ref.oid)
+		}
+		subs := ref.parent.Value.(Set)
+		subs[ref.index] = target
+		referenced[ref.oid] = true
+	}
+	var tops []*Object
+	for _, obj := range parsed {
+		if obj.OID != NilOID && referenced[obj.OID] {
+			continue
+		}
+		tops = append(tops, obj)
+	}
+	// Guard against reference cycles introduced via flat refs.
+	for _, obj := range tops {
+		if err := obj.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if len(tops) == 0 && len(parsed) > 0 {
+		return nil, fmt.Errorf("oem: all %d objects are referenced by others (reference cycle?)", len(parsed))
+	}
+	return tops, nil
+}
+
+// --- lexer ---
+
+type oemTokenKind int
+
+const (
+	tokEOF oemTokenKind = iota
+	tokLT               // <
+	tokGT               // >
+	tokLBrace
+	tokRBrace
+	tokComma
+	tokSemi
+	tokOID    // &name
+	tokIdent  // label, type name, true/false
+	tokString // '…'
+	tokNumber // 42, -1.5, 2e3
+	tokBytes  // 0xdeadbeef (text holds the hex digits)
+)
+
+type oemToken struct {
+	kind oemTokenKind
+	text string
+	line int
+}
+
+func (t oemToken) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokLT:
+		return "'<'"
+	case tokGT:
+		return "'>'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokComma:
+		return "','"
+	case tokSemi:
+		return "';'"
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	case tokBytes:
+		return "bytes literal"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type oemLexer struct {
+	src    string
+	pos    int
+	line   int
+	peeked *oemToken
+}
+
+func newOEMLexer(src string) *oemLexer {
+	return &oemLexer{src: src, line: 1}
+}
+
+func (l *oemLexer) peek() oemToken {
+	if l.peeked == nil {
+		t := l.scan()
+		l.peeked = &t
+	}
+	return *l.peeked
+}
+
+func (l *oemLexer) next() oemToken {
+	if l.peeked != nil {
+		t := *l.peeked
+		l.peeked = nil
+		return t
+	}
+	return l.scan()
+}
+
+func (l *oemLexer) scan() oemToken {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return oemToken{kind: tokEOF, line: l.line}
+	}
+	c := l.src[l.pos]
+	start := l.line
+	switch c {
+	case '<':
+		l.pos++
+		return oemToken{kind: tokLT, line: start}
+	case '>':
+		l.pos++
+		return oemToken{kind: tokGT, line: start}
+	case '{':
+		l.pos++
+		return oemToken{kind: tokLBrace, line: start}
+	case '}':
+		l.pos++
+		return oemToken{kind: tokRBrace, line: start}
+	case ',':
+		l.pos++
+		return oemToken{kind: tokComma, line: start}
+	case ';':
+		l.pos++
+		return oemToken{kind: tokSemi, line: start}
+	case '&':
+		j := l.pos + 1
+		for j < len(l.src) && isWordByte(l.src[j]) {
+			j++
+		}
+		text := l.src[l.pos:j]
+		l.pos = j
+		return oemToken{kind: tokOID, text: text, line: start}
+	case '\'':
+		return l.scanString()
+	}
+	if c == '-' || c >= '0' && c <= '9' {
+		return l.scanNumber()
+	}
+	if isWordStart(rune(c)) {
+		j := l.pos
+		for j < len(l.src) && isWordByte(l.src[j]) {
+			j++
+		}
+		text := l.src[l.pos:j]
+		l.pos = j
+		return oemToken{kind: tokIdent, text: text, line: start}
+	}
+	l.pos++
+	return oemToken{kind: tokIdent, text: string(c), line: start}
+}
+
+func (l *oemLexer) scanString() oemToken {
+	start := l.line
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '\'':
+			l.pos++
+			return oemToken{kind: tokString, text: sb.String(), line: start}
+		case '\\':
+			l.pos++
+			if l.pos < len(l.src) {
+				switch l.src[l.pos] {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case 'r':
+					sb.WriteByte('\r')
+				default:
+					sb.WriteByte(l.src[l.pos])
+				}
+				l.pos++
+			}
+		case '\n':
+			l.line++
+			sb.WriteByte(c)
+			l.pos++
+		default:
+			sb.WriteByte(c)
+			l.pos++
+		}
+	}
+	// Unterminated string: report it via an ident token the parser will
+	// reject with a line number.
+	return oemToken{kind: tokIdent, text: "'" + sb.String(), line: start}
+}
+
+func (l *oemLexer) scanNumber() oemToken {
+	start := l.line
+	j := l.pos
+	if l.src[j] == '-' {
+		j++
+	}
+	if j+1 < len(l.src) && l.src[j] == '0' && (l.src[j+1] == 'x' || l.src[j+1] == 'X') {
+		j += 2
+		k := j
+		for k < len(l.src) && isHexByte(l.src[k]) {
+			k++
+		}
+		text := l.src[j:k]
+		l.pos = k
+		return oemToken{kind: tokBytes, text: text, line: start}
+	}
+	for j < len(l.src) && (l.src[j] >= '0' && l.src[j] <= '9' || l.src[j] == '.' ||
+		l.src[j] == 'e' || l.src[j] == 'E' ||
+		(j > l.pos && (l.src[j] == '+' || l.src[j] == '-') && (l.src[j-1] == 'e' || l.src[j-1] == 'E'))) {
+		j++
+	}
+	text := l.src[l.pos:j]
+	l.pos = j
+	return oemToken{kind: tokNumber, text: text, line: start}
+}
+
+func (l *oemLexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			l.skipLine()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			l.skipLine()
+		default:
+			return
+		}
+	}
+}
+
+func (l *oemLexer) skipLine() {
+	for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+		l.pos++
+	}
+}
+
+func isWordStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func isHexByte(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

@@ -1,0 +1,188 @@
+package oem
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// IDGen issues fresh object-ids. A single generator may be shared by many
+// goroutines (result construction in the datamerge engine is the main
+// consumer). OIDs carry a prefix so ids from different origins — sources,
+// mediators, temporary result objects — stay recognizably distinct, as in
+// the paper's &p1 / &cp1 / x032 naming.
+type IDGen struct {
+	prefix string
+	n      atomic.Uint64
+}
+
+// NewIDGen returns a generator producing oids "&<prefix><n>".
+func NewIDGen(prefix string) *IDGen {
+	return &IDGen{prefix: prefix}
+}
+
+// Next returns a fresh oid.
+func (g *IDGen) Next() OID {
+	n := g.n.Add(1)
+	return OID(fmt.Sprintf("&%s%d", g.prefix, n))
+}
+
+// AssignOIDs walks the object tree and gives every object lacking an oid a
+// fresh one from g. It returns the root for chaining.
+func AssignOIDs(root *Object, g *IDGen) *Object {
+	root.Walk(func(o *Object, _ int) bool {
+		if o.OID == NilOID {
+			o.OID = g.Next()
+		}
+		return true
+	})
+	return root
+}
+
+// Store holds a collection of top-level OEM objects with an index by oid
+// over every reachable object. Clients query object structures starting,
+// by default, from the top-level objects; the by-oid index supports
+// follow-up navigation. Store is safe for concurrent use.
+type Store struct {
+	mu    sync.RWMutex
+	tops  []*Object
+	byOID map[OID]*Object
+	gen   *IDGen
+}
+
+// NewStore returns an empty store whose auto-assigned oids use the given
+// prefix.
+func NewStore(prefix string) *Store {
+	return &Store{byOID: make(map[OID]*Object), gen: NewIDGen(prefix)}
+}
+
+// Add inserts top-level objects, assigning fresh oids to any object in
+// their trees that lacks one. It returns an error if an oid collides with
+// one already in the store.
+func (s *Store) Add(objs ...*Object) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, obj := range objs {
+		var err error
+		obj.Walk(func(o *Object, _ int) bool {
+			if err != nil {
+				return false
+			}
+			if o.OID == NilOID {
+				o.OID = s.gen.Next()
+			}
+			if prev, dup := s.byOID[o.OID]; dup && prev != o {
+				err = fmt.Errorf("oem: store already contains an object with oid %s", o.OID)
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		obj.Walk(func(o *Object, _ int) bool {
+			s.byOID[o.OID] = o
+			return true
+		})
+		s.tops = append(s.tops, obj)
+	}
+	return nil
+}
+
+// MustAdd is Add that panics on error, for test and example setup.
+func (s *Store) MustAdd(objs ...*Object) {
+	if err := s.Add(objs...); err != nil {
+		panic(err)
+	}
+}
+
+// TopLevel returns the top-level objects in insertion order. The returned
+// slice is a copy; the objects are shared.
+func (s *Store) TopLevel() []*Object {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Object, len(s.tops))
+	copy(out, s.tops)
+	return out
+}
+
+// Lookup returns the object with the given oid at any nesting level.
+func (s *Store) Lookup(oid OID) (*Object, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.byOID[oid]
+	return o, ok
+}
+
+// Len returns the number of top-level objects.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.tops)
+}
+
+// TotalObjects returns the number of objects reachable from the top level,
+// i.e. the size of the oid index.
+func (s *Store) TotalObjects() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byOID)
+}
+
+// Labels returns the distinct labels of the top-level objects, sorted —
+// the store-level analogue of schema exploration.
+func (s *Store) Labels() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := make(map[string]bool)
+	var out []string
+	for _, obj := range s.tops {
+		if !seen[obj.Label] {
+			seen[obj.Label] = true
+			out = append(out, obj.Label)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clear removes all objects but keeps the oid generator state, so
+// re-populated stores never reuse oids.
+func (s *Store) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tops = nil
+	s.byOID = make(map[OID]*Object)
+}
+
+// DedupStructural removes top-level objects that are structural duplicates
+// of an earlier object, returning how many were dropped. This implements
+// the duplicate elimination that the MSL semantics describe for the OEM
+// context.
+func (s *Store) DedupStructural() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type bucket []*Object
+	byHash := make(map[uint64]bucket)
+	kept := s.tops[:0]
+	dropped := 0
+outer:
+	for _, obj := range s.tops {
+		h := obj.StructuralHash()
+		for _, prev := range byHash[h] {
+			if prev.StructuralEqual(obj) {
+				dropped++
+				obj.Walk(func(o *Object, _ int) bool {
+					delete(s.byOID, o.OID)
+					return true
+				})
+				continue outer
+			}
+		}
+		byHash[h] = append(byHash[h], obj)
+		kept = append(kept, obj)
+	}
+	s.tops = kept
+	return dropped
+}

@@ -1,0 +1,161 @@
+package oem
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestIDGenUnique(t *testing.T) {
+	g := NewIDGen("m")
+	seen := make(map[OID]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]OID, 200)
+			for i := range local {
+				local[i] = g.Next()
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, oid := range local {
+				if seen[oid] {
+					t.Errorf("duplicate oid %s", oid)
+				}
+				seen[oid] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 1600 {
+		t.Fatalf("generated %d unique oids, want 1600", len(seen))
+	}
+	if seen[""] {
+		t.Fatal("generated a nil oid")
+	}
+}
+
+func TestAssignOIDs(t *testing.T) {
+	o := NewSet("", "a", New("", "b", 1), NewSet("&keep", "c", New("", "d", 2)))
+	AssignOIDs(o, NewIDGen("x"))
+	o.Walk(func(obj *Object, _ int) bool {
+		if obj.OID == NilOID {
+			t.Errorf("object %s still has no oid", obj.Label)
+		}
+		return true
+	})
+	if o.Sub("c").OID != "&keep" {
+		t.Fatal("AssignOIDs overwrote an existing oid")
+	}
+}
+
+func TestStoreAddLookup(t *testing.T) {
+	s := NewStore("w")
+	p := personP1()
+	if err := s.Add(p); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.TotalObjects() != 5 {
+		t.Fatalf("TotalObjects = %d", s.TotalObjects())
+	}
+	got, ok := s.Lookup("&n1")
+	if !ok || got.Label != "name" {
+		t.Fatalf("Lookup(&n1) = %v,%v", got, ok)
+	}
+	if _, ok := s.Lookup("&zzz"); ok {
+		t.Fatal("Lookup of absent oid succeeded")
+	}
+	// Duplicate oid rejected.
+	if err := s.Add(New("&n1", "other", 1)); err == nil {
+		t.Fatal("duplicate oid accepted")
+	}
+	// Auto-assignment of missing oids.
+	anon := NewSet("", "person", New("", "name", "Sue"))
+	if err := s.Add(anon); err != nil {
+		t.Fatal(err)
+	}
+	if anon.OID == NilOID || anon.Sub("name").OID == NilOID {
+		t.Fatal("store did not assign oids")
+	}
+	tops := s.TopLevel()
+	if len(tops) != 2 || tops[0] != p {
+		t.Fatal("TopLevel order or content wrong")
+	}
+}
+
+func TestStoreLabelsAndClear(t *testing.T) {
+	s := NewStore("w")
+	s.MustAdd(
+		NewSet("", "person", New("", "name", "A")),
+		NewSet("", "employee"),
+		NewSet("", "person"),
+	)
+	if got := s.Labels(); !reflect.DeepEqual(got, []string{"employee", "person"}) {
+		t.Fatalf("Labels = %v", got)
+	}
+	s.Clear()
+	if s.Len() != 0 || s.TotalObjects() != 0 {
+		t.Fatal("Clear left objects behind")
+	}
+	// Generator continues: new oids differ from old ones.
+	a := NewSet("", "x")
+	s.MustAdd(a)
+	if a.OID == "&w1" {
+		// first Add consumed some ids, so &w1 must not be reused
+		t.Fatal("oid reused after Clear")
+	}
+}
+
+func TestStoreDedupStructural(t *testing.T) {
+	s := NewStore("w")
+	mk := func() *Object {
+		return NewSet("", "person", New("", "name", "Joe"), New("", "dept", "CS"))
+	}
+	other := NewSet("", "person", New("", "name", "Sue"))
+	s.MustAdd(mk(), mk(), other, mk())
+	dropped := s.DedupStructural()
+	if dropped != 2 {
+		t.Fatalf("dropped %d duplicates, want 2", dropped)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len after dedup = %d", s.Len())
+	}
+	// Index entries of dropped objects are gone, survivors remain.
+	if s.TotalObjects() != 3+2 {
+		t.Fatalf("TotalObjects after dedup = %d", s.TotalObjects())
+	}
+	for _, top := range s.TopLevel() {
+		if _, ok := s.Lookup(top.OID); !ok {
+			t.Fatalf("surviving top-level %s missing from index", top.OID)
+		}
+	}
+}
+
+func TestStoreConcurrentReaders(t *testing.T) {
+	s := NewStore("w")
+	for i := 0; i < 50; i++ {
+		s.MustAdd(NewSet("", "person", New("", "n", i)))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if s.Len() != 50 {
+					t.Error("Len changed under readers")
+					return
+				}
+				_ = s.TopLevel()
+				_ = s.Labels()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,411 @@
+package oem
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the value types an OEM object can carry. The Object
+// Exchange Model deliberately has a small, weak type system: a value is
+// either atomic (string, integer, real, boolean, or raw bytes) or a set of
+// subobjects. There are no classes, methods, or inheritance.
+type Kind int
+
+const (
+	// KindSet marks an object whose value is a set of subobjects.
+	KindSet Kind = iota
+	// KindString marks a string-valued object.
+	KindString
+	// KindInt marks an integer-valued object.
+	KindInt
+	// KindFloat marks a real-valued object.
+	KindFloat
+	// KindBool marks a boolean-valued object.
+	KindBool
+	// KindBytes marks an uninterpreted byte-string value.
+	KindBytes
+)
+
+var kindNames = [...]string{
+	KindSet:    "set",
+	KindString: "string",
+	KindInt:    "integer",
+	KindFloat:  "real",
+	KindBool:   "boolean",
+	KindBytes:  "bytes",
+}
+
+// String returns the OEM type name used in the textual object format,
+// e.g. "string" or "set".
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// KindFromName maps a textual OEM type name to its Kind. It accepts the
+// names the paper uses ("string", "integer", "set", …) plus common
+// abbreviations ("int", "str", "float", "bool").
+func KindFromName(name string) (Kind, bool) {
+	switch strings.ToLower(name) {
+	case "set":
+		return KindSet, true
+	case "string", "str":
+		return KindString, true
+	case "integer", "int":
+		return KindInt, true
+	case "real", "float", "double":
+		return KindFloat, true
+	case "boolean", "bool":
+		return KindBool, true
+	case "bytes", "binary":
+		return KindBytes, true
+	}
+	return 0, false
+}
+
+// Value is the value carried by an OEM object: one of the atomic types or
+// a set of subobjects. Values are immutable once constructed; Set values
+// hold pointers to subobjects, so "mutation" happens by building new
+// objects.
+type Value interface {
+	// Kind reports which concrete value this is.
+	Kind() Kind
+	// Equal reports deep structural equality with another value.
+	// Object identity (oids) inside sets is ignored; two sets are equal
+	// when they contain structurally equal members, order-insensitively.
+	Equal(Value) bool
+	// String renders the value in the textual OEM format: strings are
+	// single-quoted, sets render their member oids in braces.
+	String() string
+}
+
+// String is a string-valued OEM atomic value.
+type String string
+
+// Int is an integer-valued OEM atomic value.
+type Int int64
+
+// Float is a real-valued OEM atomic value.
+type Float float64
+
+// Bool is a boolean-valued OEM atomic value.
+type Bool bool
+
+// Bytes is an uninterpreted binary OEM atomic value.
+type Bytes []byte
+
+// Set is a set of subobjects. Although represented as a slice for cheap
+// iteration, its semantics are a set: Equal is order-insensitive, and the
+// printer renders members in insertion order.
+type Set []*Object
+
+// Kind implements Value.
+func (String) Kind() Kind { return KindString }
+
+// Kind implements Value.
+func (Int) Kind() Kind { return KindInt }
+
+// Kind implements Value.
+func (Float) Kind() Kind { return KindFloat }
+
+// Kind implements Value.
+func (Bool) Kind() Kind { return KindBool }
+
+// Kind implements Value.
+func (Bytes) Kind() Kind { return KindBytes }
+
+// Kind implements Value.
+func (Set) Kind() Kind { return KindSet }
+
+// Equal implements Value. Numeric values of different kinds compare equal
+// when they denote the same number (3 == 3.0), mirroring the loose typing
+// of OEM sources.
+func (s String) Equal(o Value) bool {
+	t, ok := o.(String)
+	return ok && s == t
+}
+
+// Equal implements Value.
+func (i Int) Equal(o Value) bool {
+	switch t := o.(type) {
+	case Int:
+		return i == t
+	case Float:
+		return float64(i) == float64(t)
+	}
+	return false
+}
+
+// Equal implements Value.
+func (f Float) Equal(o Value) bool {
+	switch t := o.(type) {
+	case Float:
+		return f == t
+	case Int:
+		return float64(f) == float64(t)
+	}
+	return false
+}
+
+// Equal implements Value.
+func (b Bool) Equal(o Value) bool {
+	t, ok := o.(Bool)
+	return ok && b == t
+}
+
+// Equal implements Value.
+func (b Bytes) Equal(o Value) bool {
+	t, ok := o.(Bytes)
+	if !ok || len(b) != len(t) {
+		return false
+	}
+	for i := range b {
+		if b[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal implements Value. Two sets are equal when there is a perfect
+// matching between their members under structural object equality. The
+// check first compares multisets of structural hashes, then verifies with
+// a greedy matching among hash-equal members, which is exact because
+// structurally equal objects always hash equally.
+func (s Set) Equal(o Value) bool {
+	t, ok := o.(Set)
+	if !ok || len(s) != len(t) {
+		return false
+	}
+	if len(s) == 0 {
+		return true
+	}
+	// Group the right side by structural hash, then consume matches.
+	byHash := make(map[uint64][]*Object, len(t))
+	for _, obj := range t {
+		h := obj.structuralHash()
+		byHash[h] = append(byHash[h], obj)
+	}
+	for _, obj := range s {
+		h := obj.structuralHash()
+		cands := byHash[h]
+		found := -1
+		for i, cand := range cands {
+			if cand != nil && obj.StructuralEqual(cand) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return false
+		}
+		cands[found] = nil
+	}
+	return true
+}
+
+// String implements Value using single-quoted text with backslash escapes,
+// matching the paper's examples ('CS', 'Joe Chung').
+func (s String) String() string { return QuoteAtom(string(s)) }
+
+// String implements Value.
+func (i Int) String() string { return strconv.FormatInt(int64(i), 10) }
+
+// String implements Value. Integral floats keep a trailing ".0" so they
+// round-trip as reals rather than integers.
+func (f Float) String() string {
+	v := float64(f)
+	if v == math.Trunc(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// String implements Value.
+func (b Bool) String() string { return strconv.FormatBool(bool(b)) }
+
+// String implements Value, rendering bytes as a hex literal 0x….
+func (b Bytes) String() string {
+	var sb strings.Builder
+	sb.WriteString("0x")
+	const hex = "0123456789abcdef"
+	for _, c := range b {
+		sb.WriteByte(hex[c>>4])
+		sb.WriteByte(hex[c&0xf])
+	}
+	return sb.String()
+}
+
+// String implements Value, rendering the member oids as the paper does:
+// {&141, &142}.
+func (s Set) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, obj := range s {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(string(obj.OID))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Labels returns the distinct labels of the set's members, sorted. Useful
+// for schema exploration (the paper's "retrieve schema information"
+// feature).
+func (s Set) Labels() []string {
+	seen := make(map[string]bool, len(s))
+	var out []string
+	for _, obj := range s {
+		if !seen[obj.Label] {
+			seen[obj.Label] = true
+			out = append(out, obj.Label)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WithLabel returns the members carrying the given label, preserving order.
+func (s Set) WithLabel(label string) []*Object {
+	var out []*Object
+	for _, obj := range s {
+		if obj.Label == label {
+			out = append(out, obj)
+		}
+	}
+	return out
+}
+
+// First returns the first member with the given label, or nil.
+func (s Set) First(label string) *Object {
+	for _, obj := range s {
+		if obj.Label == label {
+			return obj
+		}
+	}
+	return nil
+}
+
+// QuoteAtom renders a string as a single-quoted OEM atom, escaping quotes,
+// backslashes, and control characters.
+func QuoteAtom(s string) string {
+	var sb strings.Builder
+	sb.Grow(len(s) + 2)
+	sb.WriteByte('\'')
+	for _, r := range s {
+		switch r {
+		case '\'':
+			sb.WriteString(`\'`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		case '\r':
+			sb.WriteString(`\r`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	sb.WriteByte('\'')
+	return sb.String()
+}
+
+// Atom converts a Go value into the corresponding OEM atomic Value.
+// Supported inputs: string, int, int64, float64, bool, []byte, and any
+// Value (returned unchanged). It panics on other types; use it for
+// literals in tests and examples.
+func Atom(v any) Value {
+	switch t := v.(type) {
+	case Value:
+		return t
+	case string:
+		return String(t)
+	case int:
+		return Int(t)
+	case int64:
+		return Int(t)
+	case float64:
+		return Float(t)
+	case bool:
+		return Bool(t)
+	case []byte:
+		return Bytes(t)
+	}
+	panic(fmt.Sprintf("oem.Atom: unsupported type %T", v))
+}
+
+// CompareAtoms orders two atomic values. It returns <0, 0, >0 like
+// strings.Compare, and false when the two values are not comparable
+// (different non-numeric kinds, or either is a set). Numbers compare
+// numerically across Int/Float; strings lexically; booleans false<true.
+func CompareAtoms(a, b Value) (int, bool) {
+	switch x := a.(type) {
+	case String:
+		y, ok := b.(String)
+		if !ok {
+			return 0, false
+		}
+		return strings.Compare(string(x), string(y)), true
+	case Int:
+		switch y := b.(type) {
+		case Int:
+			switch {
+			case x < y:
+				return -1, true
+			case x > y:
+				return 1, true
+			}
+			return 0, true
+		case Float:
+			return compareFloats(float64(x), float64(y)), true
+		}
+		return 0, false
+	case Float:
+		switch y := b.(type) {
+		case Int:
+			return compareFloats(float64(x), float64(y)), true
+		case Float:
+			return compareFloats(float64(x), float64(y)), true
+		}
+		return 0, false
+	case Bool:
+		y, ok := b.(Bool)
+		if !ok {
+			return 0, false
+		}
+		xi, yi := 0, 0
+		if x {
+			xi = 1
+		}
+		if y {
+			yi = 1
+		}
+		return xi - yi, true
+	case Bytes:
+		y, ok := b.(Bytes)
+		if !ok {
+			return 0, false
+		}
+		return strings.Compare(string(x), string(y)), true
+	}
+	return 0, false
+}
+
+func compareFloats(x, y float64) int {
+	switch {
+	case x < y:
+		return -1
+	case x > y:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,268 @@
+package oem
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindSet:    "set",
+		KindString: "string",
+		KindInt:    "integer",
+		KindFloat:  "real",
+		KindBool:   "boolean",
+		KindBytes:  "bytes",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind rendered %q", got)
+	}
+}
+
+func TestKindFromName(t *testing.T) {
+	cases := []struct {
+		name string
+		want Kind
+		ok   bool
+	}{
+		{"string", KindString, true},
+		{"str", KindString, true},
+		{"integer", KindInt, true},
+		{"int", KindInt, true},
+		{"real", KindFloat, true},
+		{"float", KindFloat, true},
+		{"double", KindFloat, true},
+		{"boolean", KindBool, true},
+		{"bool", KindBool, true},
+		{"set", KindSet, true},
+		{"bytes", KindBytes, true},
+		{"SET", KindSet, true},
+		{"widget", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := KindFromName(c.name)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("KindFromName(%q) = %v,%v want %v,%v", c.name, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestAtomicEquality(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{String("CS"), String("CS"), true},
+		{String("CS"), String("EE"), false},
+		{String("3"), Int(3), false},
+		{Int(3), Int(3), true},
+		{Int(3), Int(4), false},
+		{Int(3), Float(3.0), true}, // cross-kind numeric equality
+		{Float(3.0), Int(3), true},
+		{Float(3.5), Int(3), false},
+		{Float(2.5), Float(2.5), true},
+		{Bool(true), Bool(true), true},
+		{Bool(true), Bool(false), false},
+		{Bool(true), Int(1), false},
+		{Bytes{1, 2}, Bytes{1, 2}, true},
+		{Bytes{1, 2}, Bytes{1, 3}, false},
+		{Bytes{1, 2}, Bytes{1, 2, 3}, false},
+		{Bytes{}, String(""), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("(%v).Equal(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSetEqualityOrderInsensitive(t *testing.T) {
+	a := Set{New("&1", "x", 1), New("&2", "y", 2)}
+	b := Set{New("&9", "y", 2), New("&8", "x", 1)} // different order, different oids
+	if !a.Equal(b) {
+		t.Fatal("sets with same members in different order should be equal")
+	}
+	c := Set{New("", "x", 1), New("", "y", 3)}
+	if a.Equal(c) {
+		t.Fatal("sets with different member values should differ")
+	}
+	d := Set{New("", "x", 1)}
+	if a.Equal(d) {
+		t.Fatal("sets of different size should differ")
+	}
+	if !(Set{}).Equal(Set{}) {
+		t.Fatal("empty sets should be equal")
+	}
+	if (Set{}).Equal(String("x")) {
+		t.Fatal("set should not equal an atom")
+	}
+}
+
+func TestSetEqualityWithDuplicates(t *testing.T) {
+	// Multiset semantics: {x,x,y} != {x,y,y}.
+	x := func() *Object { return New("", "a", 1) }
+	y := func() *Object { return New("", "a", 2) }
+	a := Set{x(), x(), y()}
+	b := Set{x(), y(), y()}
+	if a.Equal(b) {
+		t.Fatal("multisets with different multiplicities should differ")
+	}
+	c := Set{y(), x(), x()}
+	if !a.Equal(c) {
+		t.Fatal("equal multisets in different order should be equal")
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{String("CS"), "'CS'"},
+		{String("it's"), `'it\'s'`},
+		{String("a\nb"), `'a\nb'`},
+		{Int(42), "42"},
+		{Int(-7), "-7"},
+		{Float(3.0), "3.0"},
+		{Float(2.5), "2.5"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Bytes{0xde, 0xad}, "0xdead"},
+		{Set{New("&141", "a", 1), New("&142", "b", 2)}, "{&141, &142}"},
+		{Set{}, "{}"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("(%#v).String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSetLabelsAndAccessors(t *testing.T) {
+	s := Set{
+		New("&1", "name", "Joe"),
+		New("&2", "dept", "CS"),
+		New("&3", "name", "Sue"),
+	}
+	labels := s.Labels()
+	if len(labels) != 2 || labels[0] != "dept" || labels[1] != "name" {
+		t.Fatalf("Labels() = %v", labels)
+	}
+	if got := s.WithLabel("name"); len(got) != 2 {
+		t.Fatalf("WithLabel(name) returned %d objects", len(got))
+	}
+	if got := s.First("dept"); got == nil || got.OID != "&2" {
+		t.Fatalf("First(dept) = %v", got)
+	}
+	if got := s.First("zzz"); got != nil {
+		t.Fatalf("First(zzz) = %v, want nil", got)
+	}
+}
+
+func TestAtomConstructor(t *testing.T) {
+	if Atom("x") != String("x") {
+		t.Error("Atom(string)")
+	}
+	if Atom(3) != Int(3) {
+		t.Error("Atom(int)")
+	}
+	if Atom(int64(3)) != Int(3) {
+		t.Error("Atom(int64)")
+	}
+	if Atom(2.5) != Float(2.5) {
+		t.Error("Atom(float64)")
+	}
+	if Atom(true) != Bool(true) {
+		t.Error("Atom(bool)")
+	}
+	if Atom(String("v")) != String("v") {
+		t.Error("Atom(Value) should pass through")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Atom(struct{}{}) should panic")
+		}
+	}()
+	Atom(struct{}{})
+}
+
+func TestCompareAtoms(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		cmp  int
+		ok   bool
+	}{
+		{String("a"), String("b"), -1, true},
+		{String("b"), String("b"), 0, true},
+		{String("c"), String("b"), 1, true},
+		{Int(1), Int(2), -1, true},
+		{Int(2), Float(1.5), 1, true},
+		{Float(1.5), Int(2), -1, true},
+		{Float(2.0), Float(2.0), 0, true},
+		{Bool(false), Bool(true), -1, true},
+		{Bool(true), Bool(true), 0, true},
+		{Bytes{1}, Bytes{2}, -1, true},
+		{String("a"), Int(1), 0, false},
+		{Int(1), String("a"), 0, false},
+		{Set{}, Set{}, 0, false},
+		{Bool(true), Int(1), 0, false},
+	}
+	for _, c := range cases {
+		cmp, ok := CompareAtoms(c.a, c.b)
+		if ok != c.ok {
+			t.Errorf("CompareAtoms(%v,%v) ok=%v want %v", c.a, c.b, ok, c.ok)
+			continue
+		}
+		if ok && sign(cmp) != c.cmp {
+			t.Errorf("CompareAtoms(%v,%v) = %d want sign %d", c.a, c.b, cmp, c.cmp)
+		}
+	}
+}
+
+func sign(n int) int {
+	switch {
+	case n < 0:
+		return -1
+	case n > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestQuoteAtomRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		objs, err := Parse("<x, string, " + QuoteAtom(s) + ">")
+		if err != nil || len(objs) != 1 {
+			return false
+		}
+		got, ok := objs[0].AtomString()
+		return ok && got == s
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumericEqualityImpliesEqualHash(t *testing.T) {
+	f := func(n int64) bool {
+		a := &Object{Label: "v", Value: Int(n)}
+		b := &Object{Label: "v", Value: Float(float64(n))}
+		if !a.StructuralEqual(b) {
+			// Large ints lose precision as floats and may differ; only
+			// demand hash agreement when equality holds.
+			return true
+		}
+		return a.StructuralHash() == b.StructuralHash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

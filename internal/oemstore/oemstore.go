@@ -1,0 +1,133 @@
+// Package oemstore provides a native OEM source: a wrapper over a store
+// of OEM objects, with optional loading from files in the textual OEM
+// format. It is the simplest kind of source — the data already is OEM —
+// and serves as the reference implementation of the Source interface.
+package oemstore
+
+import (
+	"fmt"
+	"os"
+
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+	"medmaker/internal/wrapper"
+)
+
+// Source is a fully-capable OEM-native source.
+type Source struct {
+	name  string
+	store *oem.Store
+	gen   *oem.IDGen
+}
+
+var _ wrapper.Source = (*Source)(nil)
+
+// New returns an empty source with the given name. Objects added later
+// get oids prefixed with the source name.
+func New(name string) *Source {
+	return &Source{
+		name:  name,
+		store: oem.NewStore(name),
+		gen:   oem.NewIDGen(name + "q"),
+	}
+}
+
+// FromObjects returns a source pre-populated with the given top-level
+// objects.
+func FromObjects(name string, objs ...*oem.Object) (*Source, error) {
+	s := New(name)
+	if err := s.Add(objs...); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// FromText parses textual OEM data and returns a source holding it.
+func FromText(name, text string) (*Source, error) {
+	objs, err := oem.Parse(text)
+	if err != nil {
+		return nil, fmt.Errorf("oemstore: %s: %w", name, err)
+	}
+	return FromObjects(name, objs...)
+}
+
+// FromFile loads a textual OEM file.
+func FromFile(name, path string) (*Source, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("oemstore: %w", err)
+	}
+	return FromText(name, string(data))
+}
+
+// FromJSON builds a source from a JSON document: a top-level array yields
+// one object per element, anything else a single object, labelled label.
+func FromJSON(name, label string, data []byte) (*Source, error) {
+	objs, err := oem.FromJSONArray(label, data)
+	if err != nil {
+		// Not an array: try a single document.
+		obj, err2 := oem.FromJSON(label, data)
+		if err2 != nil {
+			return nil, fmt.Errorf("oemstore: %s: %w", name, err)
+		}
+		objs = []*oem.Object{obj}
+	}
+	return FromObjects(name, objs...)
+}
+
+// FromJSONFile loads a JSON file (see FromJSON).
+func FromJSONFile(name, label, path string) (*Source, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("oemstore: %w", err)
+	}
+	return FromJSON(name, label, data)
+}
+
+// Add inserts top-level objects.
+func (s *Source) Add(objs ...*oem.Object) error {
+	return s.store.Add(objs...)
+}
+
+// SaveFile writes the source's objects to path in the textual OEM format;
+// FromFile reads them back.
+func (s *Source) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("oemstore: %w", err)
+	}
+	var fmtr oem.Formatter
+	if err := fmtr.Format(f, s.store.TopLevel()...); err != nil {
+		f.Close()
+		return fmt.Errorf("oemstore: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Store exposes the underlying object store.
+func (s *Source) Store() *oem.Store { return s.store }
+
+// Name implements wrapper.Source.
+func (s *Source) Name() string { return s.name }
+
+// Capabilities implements wrapper.Source; OEM-native sources support the
+// full query language.
+func (s *Source) Capabilities() wrapper.Capabilities {
+	return wrapper.FullCapabilities()
+}
+
+// Query implements wrapper.Source.
+func (s *Source) Query(q *msl.Rule) ([]*oem.Object, error) {
+	return wrapper.Eval(q, s.store.TopLevel(), s.gen)
+}
+
+// CountLabel implements wrapper.Counter.
+func (s *Source) CountLabel(label string) (int, bool) {
+	n := 0
+	for _, o := range s.store.TopLevel() {
+		if o.Label == label {
+			n++
+		}
+	}
+	return n, true
+}

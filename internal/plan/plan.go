@@ -1,0 +1,465 @@
+// Package plan implements MedMaker's cost-based optimizer: it turns a
+// logical datamerge program (the VE&AO's output) into a physical datamerge
+// graph for the engine (Sections 3.4–3.5 of the paper).
+//
+// The default plan for a rule is a left-deep chain: the outermost pattern
+// becomes a query node, each subsequent pattern a parameterized query node
+// whose per-tuple queries carry the bindings obtained so far, external
+// predicates are slotted in as soon as an implementation is applicable,
+// and a dedup + constructor pair finishes the chain. Join order follows
+// the paper's heuristic — the outer patterns are the ones with the
+// greatest number of conditions — unless statistics from previous queries
+// are available, in which case estimated result sizes drive the order.
+//
+// Capability-poor sources (Section 3.5) are handled by relaxing the query
+// actually sent — stripping the conditions the source cannot evaluate, or
+// fetching whole objects for wildcard searches — while the extraction
+// step at the mediator re-verifies the full original pattern, so plans
+// stay correct whatever the source supports.
+package plan
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"medmaker/internal/engine"
+	"medmaker/internal/extfn"
+	"medmaker/internal/msl"
+	"medmaker/internal/veao"
+	"medmaker/internal/wrapper"
+)
+
+// OrderMode selects the join-order strategy.
+type OrderMode int
+
+const (
+	// OrderHeuristic places patterns with the most conditions outermost
+	// (the paper's ad-hoc heuristic), falling back to statistics when the
+	// store has observations for every pattern.
+	OrderHeuristic OrderMode = iota
+	// OrderStats orders by ascending estimated result size from the
+	// statistics store; patterns without estimates keep heuristic rank.
+	OrderStats
+	// OrderAsWritten keeps the rule's textual order.
+	OrderAsWritten
+	// OrderReversed inverts the heuristic order — the worst-case baseline
+	// used by the join-order benchmarks.
+	OrderReversed
+)
+
+// Options control plan shape; use DefaultOptions as the base.
+type Options struct {
+	// Order selects the join-order strategy.
+	Order OrderMode
+	// PushConditions sends pattern conditions to capable sources. When
+	// false every source query is relaxed to bare structure and all
+	// filtering happens at the mediator — the "no pushdown" ablation.
+	PushConditions bool
+	// Parameterize uses parameterized query nodes for inner patterns.
+	// When false each pattern is fetched independently and combined with
+	// hash/cross joins — the paper-era baseline the parameterized plan is
+	// measured against.
+	Parameterize bool
+	// DupElim adds the final structural duplicate elimination over result
+	// objects. The paper's implementation lacked this (footnote 9); ours
+	// defaults to on, and turning it off reproduces their behaviour.
+	DupElim bool
+}
+
+// DefaultOptions enables pushdown, parameterized joins, and duplicate
+// elimination with heuristic ordering.
+func DefaultOptions() Options {
+	return Options{Order: OrderHeuristic, PushConditions: true, Parameterize: true, DupElim: true}
+}
+
+// Planner builds physical graphs against a fixed source registry and
+// external-function table.
+type Planner struct {
+	sources *wrapper.Registry
+	extfns  *extfn.Table
+	stats   *engine.Stats
+	opts    Options
+	fresh   int
+}
+
+// New returns a planner. stats may be nil (no learned ordering).
+func New(sources *wrapper.Registry, extfns *extfn.Table, stats *engine.Stats, opts Options) *Planner {
+	return &Planner{sources: sources, extfns: extfns, stats: stats, opts: opts}
+}
+
+// Plan is a physical datamerge graph for a whole logical program: one
+// chain per rule, a union, and optional result-level dedup.
+type Plan struct {
+	// Root is the graph to execute.
+	Root engine.Node
+	// RuleRoots are the per-rule subgraphs, in rule order.
+	RuleRoots []engine.Node
+}
+
+// Print renders the graph (Figure 3.6 in textual form).
+func (p *Plan) Print(w io.Writer) { engine.PrintGraph(w, p.Root) }
+
+// Build turns a logical datamerge program into a physical plan.
+func (p *Planner) Build(prog *veao.Program) (*Plan, error) {
+	if len(prog.Rules) == 0 {
+		return &Plan{Root: &engine.UnionNode{}}, nil
+	}
+	plan := &Plan{}
+	for _, r := range prog.Rules {
+		root, err := p.buildRule(r)
+		if err != nil {
+			return nil, err
+		}
+		plan.RuleRoots = append(plan.RuleRoots, root)
+	}
+	if len(plan.RuleRoots) == 1 {
+		plan.Root = plan.RuleRoots[0]
+	} else {
+		plan.Root = &engine.UnionNode{Inputs: plan.RuleRoots}
+	}
+	if hasSemanticOIDs(prog) {
+		plan.Root = &engine.FuseNode{Child: plan.Root}
+	}
+	if p.opts.DupElim {
+		plan.Root = &engine.DedupNode{Child: plan.Root, Vars: []string{engine.ResultVar}}
+	}
+	return plan, nil
+}
+
+// hasSemanticOIDs reports whether any rule head derives object identities
+// from skolem terms — MedMaker's semantic object-ids — in which case
+// result objects sharing an id are fused into one. Constant or
+// variable-carried oids do not trigger fusion: they fix identity without
+// asserting that same-id derivations denote one entity.
+func hasSemanticOIDs(prog *veao.Program) bool {
+	for _, r := range prog.Rules {
+		for _, h := range r.Head {
+			op, ok := h.(*msl.ObjectPattern)
+			if !ok {
+				continue
+			}
+			if _, isSkolem := op.OID.(*msl.Skolem); isSkolem {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildRule builds the physical chain for one logical rule.
+func (p *Planner) buildRule(r *msl.Rule) (engine.Node, error) {
+	var patterns, negated []*msl.PatternConjunct
+	var preds []*msl.PredicateConjunct
+	for _, c := range r.Tail {
+		switch t := c.(type) {
+		case *msl.PatternConjunct:
+			if t.Source == "" {
+				return nil, fmt.Errorf("plan: conjunct %s has no source; expand the query first", t)
+			}
+			if t.Negated {
+				negated = append(negated, t)
+			} else {
+				patterns = append(patterns, t)
+			}
+		case *msl.PredicateConjunct:
+			if !p.extfns.Knows(t.Name) {
+				return nil, fmt.Errorf("plan: unknown predicate %q", t.Name)
+			}
+			preds = append(preds, t)
+		default:
+			return nil, fmt.Errorf("plan: unsupported conjunct %T", c)
+		}
+	}
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("plan: rule has no positive pattern conjuncts: %s", r)
+	}
+	patterns = p.order(patterns)
+	headVars := r.HeadVars()
+	// The positive chain must keep every variable the negated conjuncts
+	// join on, in addition to the head variables.
+	keep := varSet(headVars)
+	for _, nc := range negated {
+		addConjunctVars(keep, nc)
+	}
+	keepVars := setList(keep)
+
+	var cur engine.Node
+	var err error
+	if p.opts.Parameterize {
+		cur, err = p.buildChain(patterns, preds, keepVars)
+	} else {
+		cur, err = p.buildJoinTree(patterns, preds, keepVars)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Negated conjuncts filter last (safe, stratified negation): every
+	// variable they share with the positive part is bound by then.
+	for _, nc := range negated {
+		bound := map[string]bool{}
+		for _, v := range cur.OutVars() {
+			bound[v] = true
+		}
+		node, err := p.queryNode(nc, cur, bound, varSet(cur.OutVars()))
+		if err != nil {
+			return nil, err
+		}
+		cur = node
+	}
+	dedup := &engine.DedupNode{Child: cur, Vars: headVars}
+	return &engine.ConstructNode{Child: dedup, Head: r.Head}, nil
+}
+
+// buildChain builds the default left-deep chain: query node, then one
+// parameterized query node per remaining pattern, with external predicates
+// slotted in as soon as applicable and projections keeping only the
+// variables still needed downstream.
+func (p *Planner) buildChain(patterns []*msl.PatternConjunct, preds []*msl.PredicateConjunct, headVars []string) (engine.Node, error) {
+	// downstream[i] = variables needed at or after position i: head vars,
+	// unplaced predicate vars, and later patterns' vars. Predicate vars
+	// are conservatively included everywhere, since placement is greedy.
+	downstream := make([]map[string]bool, len(patterns)+1)
+	downstream[len(patterns)] = varSet(headVars)
+	for _, pr := range preds {
+		addConjunctVars(downstream[len(patterns)], pr)
+	}
+	for i := len(patterns) - 1; i >= 0; i-- {
+		downstream[i] = copySet(downstream[i+1])
+		addConjunctVars(downstream[i], patterns[i])
+	}
+
+	var cur engine.Node
+	bound := map[string]bool{}
+	placed := make([]bool, len(preds))
+	placePreds := func(needed map[string]bool) {
+		for i, pr := range preds {
+			if placed[i] {
+				continue
+			}
+			if p.extfns.CanEval(pr, bound) {
+				placed[i] = true
+				for v := range conjunctVarSet(pr) {
+					bound[v] = true
+				}
+				cur = &engine.ExtPredNode{Child: cur, Pred: pr, Needed: intersect(bound, needed)}
+			}
+		}
+	}
+	for i, pc := range patterns {
+		if cur != nil {
+			placePreds(downstream[i])
+		}
+		node, err := p.queryNode(pc, cur, bound, downstream[i+1])
+		if err != nil {
+			return nil, err
+		}
+		cur = node
+		for v := range conjunctVarSet(pc) {
+			bound[v] = true
+		}
+	}
+	placePreds(downstream[len(patterns)])
+	for i, pr := range preds {
+		if !placed[i] {
+			return nil, fmt.Errorf("plan: no applicable implementation order for predicate %s; bindings available: %v",
+				pr, setList(bound))
+		}
+	}
+	return cur, nil
+}
+
+// buildJoinTree is the non-parameterized baseline: independent query
+// nodes combined left-deep with hash joins (cross products when no
+// variables are shared), predicates slotted in greedily.
+func (p *Planner) buildJoinTree(patterns []*msl.PatternConjunct, preds []*msl.PredicateConjunct, headVars []string) (engine.Node, error) {
+	bound := map[string]bool{}
+	placed := make([]bool, len(preds))
+	var cur engine.Node
+	all := varSet(headVars)
+	for _, pc := range patterns {
+		addConjunctVars(all, pc)
+	}
+	for _, pr := range preds {
+		addConjunctVars(all, pr)
+	}
+	needed := setList(all)
+	for _, pc := range patterns {
+		leaf, err := p.queryNode(pc, nil, map[string]bool{}, all)
+		if err != nil {
+			return nil, err
+		}
+		if cur == nil {
+			cur = leaf
+		} else {
+			shared := setList(intersectSets(bound, conjunctVarSet(pc)))
+			cur = &engine.JoinNode{Left: cur, Right: leaf, Shared: shared, Needed: needed}
+		}
+		for v := range conjunctVarSet(pc) {
+			bound[v] = true
+		}
+		for i, pr := range preds {
+			if !placed[i] && p.extfns.CanEval(pr, bound) {
+				placed[i] = true
+				cur = &engine.ExtPredNode{Child: cur, Pred: pr, Needed: needed}
+				for v := range conjunctVarSet(pr) {
+					bound[v] = true
+				}
+			}
+		}
+	}
+	for i, pr := range preds {
+		if !placed[i] {
+			return nil, fmt.Errorf("plan: no applicable implementation order for predicate %s", pr)
+		}
+	}
+	return cur, nil
+}
+
+// order sorts the pattern conjuncts per the configured strategy.
+func (p *Planner) order(patterns []*msl.PatternConjunct) []*msl.PatternConjunct {
+	out := append([]*msl.PatternConjunct(nil), patterns...)
+	switch p.opts.Order {
+	case OrderAsWritten:
+		return out
+	case OrderReversed:
+		sort.SliceStable(out, func(i, j int) bool {
+			return conditionCount(out[i].Pattern) < conditionCount(out[j].Pattern)
+		})
+		return out
+	case OrderStats:
+		if p.stats != nil {
+			type ranked struct {
+				pc  *msl.PatternConjunct
+				est float64
+				ok  bool
+			}
+			rs := make([]ranked, len(out))
+			for i, pc := range out {
+				est, ok := p.estimate(pc)
+				rs[i] = ranked{pc, est, ok}
+			}
+			sort.SliceStable(rs, func(i, j int) bool {
+				if rs[i].ok != rs[j].ok {
+					return rs[i].ok // known estimates first
+				}
+				if rs[i].ok {
+					return rs[i].est < rs[j].est
+				}
+				return conditionCount(rs[i].pc.Pattern) > conditionCount(rs[j].pc.Pattern)
+			})
+			for i := range rs {
+				out[i] = rs[i].pc
+			}
+			return out
+		}
+		fallthrough
+	default: // OrderHeuristic
+		sort.SliceStable(out, func(i, j int) bool {
+			return conditionCount(out[i].Pattern) > conditionCount(out[j].Pattern)
+		})
+		return out
+	}
+}
+
+// estimate returns a cardinality estimate for a pattern conjunct: learned
+// statistics first, then a label-count probe of the source (the paper's
+// "sampling" fallback) when the source supports cheap counting.
+func (p *Planner) estimate(pc *msl.PatternConjunct) (float64, bool) {
+	label := pc.Pattern.LabelName()
+	if label == "" {
+		label = "*"
+	}
+	if p.stats != nil {
+		if est, ok := p.stats.Estimate(pc.Source, label); ok {
+			return est, true
+		}
+	}
+	if label == "*" {
+		return 0, false
+	}
+	if src, ok := p.sources.Lookup(pc.Source); ok {
+		if counter, can := src.(wrapper.Counter); can {
+			if n, ok := counter.CountLabel(label); ok {
+				return float64(n), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// conditionCount counts the constants in a pattern — the paper's "number
+// of conditions" signal for join ordering.
+func conditionCount(p *msl.ObjectPattern) int {
+	n := 0
+	if _, ok := p.OID.(*msl.Const); ok {
+		n++
+	}
+	if _, ok := p.Label.(*msl.Const); ok {
+		n++
+	}
+	switch v := p.Value.(type) {
+	case *msl.Const:
+		n++
+	case *msl.SetPattern:
+		for _, e := range v.Elems {
+			if ep, ok := e.(*msl.ObjectPattern); ok {
+				n += conditionCount(ep)
+			}
+		}
+		for _, rc := range v.RestConstraints {
+			n += conditionCount(rc)
+		}
+	}
+	return n
+}
+
+func varSet(names []string) map[string]bool {
+	out := make(map[string]bool, len(names))
+	for _, n := range names {
+		out[n] = true
+	}
+	return out
+}
+
+func conjunctVarSet(c msl.Conjunct) map[string]bool {
+	tmp := &msl.Rule{Head: nil, Tail: []msl.Conjunct{c}}
+	return varSet(tmp.Vars())
+}
+
+func addConjunctVars(dst map[string]bool, c msl.Conjunct) {
+	for v := range conjunctVarSet(c) {
+		dst[v] = true
+	}
+}
+
+func copySet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func intersectSets(a, b map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func intersect(a, b map[string]bool) []string {
+	return setList(intersectSets(a, b))
+}
+
+func setList(s map[string]bool) []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

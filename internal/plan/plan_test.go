@@ -1,0 +1,371 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"medmaker/internal/engine"
+	"medmaker/internal/extfn"
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+	"medmaker/internal/oemstore"
+	"medmaker/internal/veao"
+	"medmaker/internal/wrapper"
+)
+
+// testWorld builds a registry with two sources and an extfn table with
+// decomp declared.
+func testWorld(t *testing.T) (*wrapper.Registry, *extfn.Table) {
+	t.Helper()
+	whois, err := oemstore.FromText("whois", `
+	    <person, set, {<name, 'Joe Chung'>, <dept, 'CS'>, <relation, 'employee'>, <e_mail, 'chung@cs'>}>
+	    <person, set, {<name, 'Nick Naive'>, <dept, 'CS'>, <relation, 'student'>, <year, 3>}>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := oemstore.FromText("cs", `
+	    <employee, set, {<first_name, 'Joe'>, <last_name, 'Chung'>, <title, 'professor'>, <reports_to, 'John Hennessy'>}>
+	    <student, set, {<first_name, 'Nick'>, <last_name, 'Naive'>, <year, 3>}>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := wrapper.NewRegistry()
+	reg.Add(whois, cs)
+	decls := msl.MustParseProgram(`
+	    decomp(bound, free, free) by name_to_lnfn.
+	    decomp(free, bound, bound) by lnfn_to_name.`).Decls
+	table, err := extfn.NewTable(extfn.NewRegistry(), decls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg, table
+}
+
+// r2 is the logical datamerge rule of the paper's Section 3.1.
+const r2 = `
+<cs_person {<name 'Joe Chung'> <relation R> Rest1 Rest2}> :-
+    <person {<name 'Joe Chung'> <dept 'CS'> <relation R> | Rest1}>@whois
+    AND <R {<first_name FN> <last_name LN> | Rest2}>@cs
+    AND decomp('Joe Chung', LN, FN).`
+
+func logicalProgram(t *testing.T, rules ...string) *veao.Program {
+	t.Helper()
+	prog := &veao.Program{}
+	for _, src := range rules {
+		prog.Rules = append(prog.Rules, msl.MustParseRule(src))
+	}
+	return prog
+}
+
+func executor(reg *wrapper.Registry, tbl *extfn.Table) *engine.Executor {
+	return &engine.Executor{Sources: reg, Extfn: tbl, IDGen: oem.NewIDGen("t"), Stats: engine.NewStats()}
+}
+
+// TestPlanR2Shape reproduces the plan of Figure 3.6: whois query node,
+// decomp external-predicate node, parameterized cs query, construct.
+func TestPlanR2Shape(t *testing.T) {
+	reg, tbl := testWorld(t)
+	p := New(reg, tbl, nil, DefaultOptions())
+	physical, err := p.Build(logicalProgram(t, r2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	physical.Print(&sb)
+	graph := sb.String()
+	order := []string{"dedup: on _result", "construct", "dedup: on R", "param-query(cs)", "external-pred(decomp)", "query(whois)"}
+	pos := -1
+	for _, want := range order {
+		idx := strings.Index(graph, want)
+		if idx < 0 {
+			t.Fatalf("graph missing %q:\n%s", want, graph)
+		}
+		if idx < pos {
+			t.Fatalf("graph order wrong, %q appears too early:\n%s", want, graph)
+		}
+		pos = idx
+	}
+	// Parameterized query shows the $-marked template, like Qcs.
+	if !strings.Contains(graph, "$R") && !strings.Contains(graph, "$LN") {
+		t.Fatalf("parameterized template not shown:\n%s", graph)
+	}
+}
+
+// TestPlanR2Executes runs the R2 plan and checks the Figure 2.4 result.
+func TestPlanR2Executes(t *testing.T) {
+	reg, tbl := testWorld(t)
+	p := New(reg, tbl, nil, DefaultOptions())
+	physical, err := p.Build(logicalProgram(t, r2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := executor(reg, tbl).RunObjects(physical.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("R2 produced %d objects:\n%s", len(got), oem.Format(got...))
+	}
+	want := oem.MustParse(`<cs_person, set, {
+	    <name, 'Joe Chung'>, <relation, 'employee'>, <e_mail, 'chung@cs'>,
+	    <title, 'professor'>, <reports_to, 'John Hennessy'>}>`)[0]
+	if !got[0].StructuralEqual(want) {
+		t.Fatalf("R2 result differs:\n%s", oem.Format(got[0]))
+	}
+}
+
+// TestHeuristicOrder checks "outer patterns have the greatest number of
+// conditions": the whois pattern (2 constants) precedes the cs pattern
+// (0 constants) regardless of written order.
+func TestHeuristicOrder(t *testing.T) {
+	reg, tbl := testWorld(t)
+	reversedText := `
+	<out {<relation R> Rest2}> :-
+	    <R {<first_name FN> | Rest2}>@cs
+	    AND <person {<name 'Joe Chung'> <dept 'CS'> <relation R>}>@whois.`
+	p := New(reg, tbl, nil, DefaultOptions())
+	physical, err := p.Build(logicalProgram(t, reversedText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	physical.Print(&sb)
+	graph := sb.String()
+	// The leaf (deepest) node must be the whois query.
+	lines := strings.Split(strings.TrimSpace(graph), "\n")
+	leaf := lines[len(lines)-1]
+	if !strings.Contains(leaf, "query(whois)") {
+		t.Fatalf("heuristic did not place whois outermost:\n%s", graph)
+	}
+}
+
+func TestOrderModes(t *testing.T) {
+	reg, tbl := testWorld(t)
+	rule := `
+	<out {<relation R>}> :-
+	    <R {<first_name FN>}>@cs
+	    AND <person {<name 'Joe Chung'> <relation R>}>@whois.`
+	leafOf := func(opts Options, stats *engine.Stats) string {
+		p := New(reg, tbl, stats, opts)
+		physical, err := p.Build(logicalProgram(t, rule))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		physical.Print(&sb)
+		lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+		return lines[len(lines)-1]
+	}
+	if leaf := leafOf(Options{Order: OrderAsWritten, PushConditions: true, Parameterize: true}, nil); !strings.Contains(leaf, "cs") {
+		t.Errorf("as-written leaf: %s", leaf)
+	}
+	if leaf := leafOf(Options{Order: OrderHeuristic, PushConditions: true, Parameterize: true}, nil); !strings.Contains(leaf, "whois") {
+		t.Errorf("heuristic leaf: %s", leaf)
+	}
+	if leaf := leafOf(Options{Order: OrderReversed, PushConditions: true, Parameterize: true}, nil); !strings.Contains(leaf, "cs") {
+		t.Errorf("reversed leaf: %s", leaf)
+	}
+	// Stats mode: teach the store that cs/anything is tiny and whois
+	// large; the cs pattern then goes outermost despite fewer conditions.
+	stats := engine.NewStats()
+	for i := 0; i < 3; i++ {
+		stats.Record("cs", "*", 1)
+		stats.Record("whois", "person", 1000)
+	}
+	if leaf := leafOf(Options{Order: OrderStats, PushConditions: true, Parameterize: true}, stats); !strings.Contains(leaf, "cs") {
+		t.Errorf("stats leaf: %s", leaf)
+	}
+}
+
+// TestJoinBaseline checks the non-parameterized plan shape and execution.
+func TestJoinBaseline(t *testing.T) {
+	reg, tbl := testWorld(t)
+	opts := DefaultOptions()
+	opts.Parameterize = false
+	p := New(reg, tbl, nil, opts)
+	physical, err := p.Build(logicalProgram(t, r2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	physical.Print(&sb)
+	if !strings.Contains(sb.String(), "hash-join") {
+		t.Fatalf("baseline plan lacks a join:\n%s", sb.String())
+	}
+	got, err := executor(reg, tbl).RunObjects(physical.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("baseline produced %d objects", len(got))
+	}
+}
+
+// TestRelaxForLimitedSource: a source without value conditions receives a
+// relaxed query; answers are still correct because extraction re-matches.
+func TestRelaxForLimitedSource(t *testing.T) {
+	reg, tbl := testWorld(t)
+	inner, _ := reg.Lookup("whois")
+	reg.Add(&wrapper.Limited{Inner: inner, Caps: wrapper.Capabilities{MultiPattern: true}})
+	p := New(reg, tbl, nil, DefaultOptions())
+	rule := `<out N> :- <person {<name N> <dept 'CS'> <relation 'student'> | R1}>@whois.`
+	physical, err := p.Build(logicalProgram(t, rule))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := executor(reg, tbl).RunObjects(physical.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("relaxed plan returned %d objects:\n%s", len(got), oem.Format(got...))
+	}
+	if v, _ := got[0].AtomString(); v != "Nick Naive" {
+		t.Fatalf("relaxed query returned wrong person: %s", v)
+	}
+}
+
+// TestNoPushdownAblation: with PushConditions off the plan still answers
+// correctly (filtering moves to the mediator).
+func TestNoPushdownAblation(t *testing.T) {
+	reg, tbl := testWorld(t)
+	opts := DefaultOptions()
+	opts.PushConditions = false
+	p := New(reg, tbl, nil, opts)
+	physical, err := p.Build(logicalProgram(t, r2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sent queries must not contain the constant.
+	var sb strings.Builder
+	physical.Print(&sb)
+	if strings.Contains(sb.String(), "query(whois): _O :- _O:<person {<name 'Joe Chung'>") {
+		t.Fatalf("condition leaked into the sent query:\n%s", sb.String())
+	}
+	got, err := executor(reg, tbl).RunObjects(physical.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("no-pushdown plan produced %d objects", len(got))
+	}
+}
+
+func TestWildcardRelaxation(t *testing.T) {
+	reg, tbl := testWorld(t)
+	// The oemstore supports wildcards; wrap it to forbid them.
+	inner, _ := reg.Lookup("whois")
+	reg.Add(&wrapper.Limited{Inner: inner, Caps: wrapper.Capabilities{
+		ValueConditions: true, RestConstraints: true, MultiPattern: true}})
+	p := New(reg, tbl, nil, DefaultOptions())
+	rule := `<out E> :- <%e_mail E>@whois.`
+	physical, err := p.Build(logicalProgram(t, rule))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := executor(reg, tbl).RunObjects(physical.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("wildcard against limited source: %d objects", len(got))
+	}
+	if v, _ := got[0].AtomString(); v != "chung@cs" {
+		t.Fatalf("wrong wildcard result: %s", v)
+	}
+}
+
+// TestColdStartCounting: with OrderStats and an empty statistics store,
+// the planner probes sources via the Counter interface and orders the
+// small one outermost, despite the big pattern having more conditions.
+func TestColdStartCounting(t *testing.T) {
+	big, err := oemstore.FromText("big", strings.Repeat(`<reading, set, {<city, 'PA'>, <sensor, 's1'>}> `, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := oemstore.FromText("small", `<sensor_info, set, {<sensor, 's1'>, <owner, 'lab'>}>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := wrapper.NewRegistry()
+	reg.Add(big, small)
+	tbl, _ := extfn.NewTable(extfn.NewRegistry(), nil)
+	opts := DefaultOptions()
+	opts.Order = OrderStats
+	p := New(reg, tbl, engine.NewStats(), opts) // empty stats: counts decide
+	rule := `<out S> :-
+	    <reading {<city 'PA'> <sensor S>}>@big
+	    AND <sensor_info {<sensor S>}>@small.`
+	physical, err := p.Build(logicalProgram(t, rule))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	physical.Print(&sb)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if !strings.Contains(lines[len(lines)-1], "query(small)") {
+		t.Fatalf("count probe did not drive the order:\n%s", sb.String())
+	}
+	// Sanity: the plan still answers.
+	got, err := executor(reg, tbl).RunObjects(physical.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("count-ordered plan returned %d objects", len(got))
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	reg, tbl := testWorld(t)
+	p := New(reg, tbl, nil, DefaultOptions())
+	cases := []string{
+		`<out {X}> :- <a {X}>.`,                                     // no source
+		`<out {X}> :- <a {X}>@nowhere.`,                             // unknown source
+		`<out X> :- mystery(X).`,                                    // unknown predicate
+		`<out X> :- decomp(A, B, C).`,                               // no pattern conjuncts
+		`<out N> :- <person {<name N>}>@whois AND decomp(X, Y, Z).`, // never evaluable
+	}
+	for _, src := range cases {
+		if _, err := p.Build(logicalProgram(t, src)); err == nil {
+			t.Errorf("plan for %q built without error", src)
+		}
+	}
+}
+
+func TestEmptyProgramPlan(t *testing.T) {
+	reg, tbl := testWorld(t)
+	p := New(reg, tbl, nil, DefaultOptions())
+	physical, err := p.Build(&veao.Program{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := executor(reg, tbl).RunObjects(physical.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatal("empty program produced objects")
+	}
+}
+
+func TestConditionCount(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{`<person {<name N>}>`, 2},                 // top + element label consts
+		{`<person {<name 'Joe'>}>`, 3},             // + elem label + value
+		{`<person {<name 'Joe'> <dept 'CS'>}>`, 5}, //
+		{`<R {<first_name FN>}>`, 1},               // label var
+		{`<person {| R:{<year 3>}}>`, 3},           // rest constraint counts
+		{`<&p1 person V>`, 2},                      // oid + label
+	}
+	for _, c := range cases {
+		r := msl.MustParseRule("X :- X:" + c.src + "@s.")
+		pc := r.Tail[0].(*msl.PatternConjunct)
+		if got := conditionCount(pc.Pattern); got != c.want {
+			t.Errorf("conditionCount(%s) = %d, want %d", c.src, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package relational
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"medmaker/internal/oem"
+)
+
+// LoadCSV reads header-first CSV data into a new table named name,
+// registered in db. Column types are inferred from the first data row
+// (integer, then real, then boolean, falling back to string); empty cells
+// are NULLs, which the wrapper later exports as missing subobjects. The
+// inference never narrows: a later row that does not parse under an
+// inferred numeric/boolean type fails with a descriptive error rather
+// than silently converting to text.
+func LoadCSV(db *DB, name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relational: csv %s: reading header: %w", name, err)
+	}
+	if len(header) == 0 {
+		return nil, fmt.Errorf("relational: csv %s: empty header", name)
+	}
+	var rows [][]string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relational: csv %s: %w", name, err)
+		}
+		rows = append(rows, rec)
+	}
+
+	kinds := inferKinds(header, rows)
+	schema := Schema{Name: name}
+	for i, col := range header {
+		colName := strings.TrimSpace(col)
+		if colName == "" {
+			colName = fmt.Sprintf("col%d", i+1)
+		}
+		schema.Columns = append(schema.Columns, Column{Name: colName, Kind: kinds[i]})
+	}
+	t, err := db.CreateTable(schema)
+	if err != nil {
+		return nil, err
+	}
+	for ri, rec := range rows {
+		vals := make([]any, len(header))
+		for ci := range header {
+			cell := ""
+			if ci < len(rec) {
+				cell = strings.TrimSpace(rec[ci])
+			}
+			if cell == "" {
+				vals[ci] = nil
+				continue
+			}
+			v, err := parseCell(cell, kinds[ci])
+			if err != nil {
+				return nil, fmt.Errorf("relational: csv %s row %d column %q: %w", name, ri+2, schema.Columns[ci].Name, err)
+			}
+			vals[ci] = v
+		}
+		if err := t.Insert(vals...); err != nil {
+			return nil, fmt.Errorf("relational: csv %s row %d: %w", name, ri+2, err)
+		}
+	}
+	return t, nil
+}
+
+// inferKinds picks each column's kind from its first non-empty cell,
+// widened by the remaining cells (int -> float; anything unparseable ->
+// string).
+func inferKinds(header []string, rows [][]string) []oem.Kind {
+	kinds := make([]oem.Kind, len(header))
+	decided := make([]bool, len(header))
+	for ci := range header {
+		for _, rec := range rows {
+			if ci >= len(rec) {
+				continue
+			}
+			cell := strings.TrimSpace(rec[ci])
+			if cell == "" {
+				continue
+			}
+			k := cellKind(cell)
+			if !decided[ci] {
+				kinds[ci] = k
+				decided[ci] = true
+				continue
+			}
+			kinds[ci] = widen(kinds[ci], k)
+		}
+		if !decided[ci] {
+			kinds[ci] = oem.KindString
+		}
+	}
+	return kinds
+}
+
+func cellKind(cell string) oem.Kind {
+	if _, err := strconv.ParseInt(cell, 10, 64); err == nil {
+		return oem.KindInt
+	}
+	if _, err := strconv.ParseFloat(cell, 64); err == nil {
+		return oem.KindFloat
+	}
+	if cell == "true" || cell == "false" {
+		return oem.KindBool
+	}
+	return oem.KindString
+}
+
+// widen merges an observed kind into the column's current kind.
+func widen(cur, obs oem.Kind) oem.Kind {
+	if cur == obs {
+		return cur
+	}
+	if cur == oem.KindInt && obs == oem.KindFloat || cur == oem.KindFloat && obs == oem.KindInt {
+		return oem.KindFloat
+	}
+	return oem.KindString
+}
+
+func parseCell(cell string, kind oem.Kind) (any, error) {
+	switch kind {
+	case oem.KindInt:
+		n, err := strconv.ParseInt(cell, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%q is not an integer", cell)
+		}
+		return n, nil
+	case oem.KindFloat:
+		f, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%q is not a number", cell)
+		}
+		return f, nil
+	case oem.KindBool:
+		switch cell {
+		case "true":
+			return true, nil
+		case "false":
+			return false, nil
+		}
+		return nil, fmt.Errorf("%q is not a boolean", cell)
+	}
+	return cell, nil
+}

@@ -1,0 +1,114 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+
+	"medmaker/internal/oem"
+)
+
+func TestLoadCSV(t *testing.T) {
+	data := `first_name,last_name,year,gpa,active
+Nick,Naive,3,3.5,true
+Ann,Able,1,3.9,false
+Bob,,2,,true
+`
+	db := NewDB()
+	tab, err := LoadCSV(db, "student", strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("loaded %d rows", tab.Len())
+	}
+	schema := tab.Schema()
+	wantKinds := map[string]oem.Kind{
+		"first_name": oem.KindString,
+		"last_name":  oem.KindString,
+		"year":       oem.KindInt,
+		"gpa":        oem.KindFloat,
+		"active":     oem.KindBool,
+	}
+	for _, col := range schema.Columns {
+		if col.Kind != wantKinds[col.Name] {
+			t.Errorf("column %s inferred %s, want %s", col.Name, col.Kind, wantKinds[col.Name])
+		}
+	}
+	// Empty cells became NULLs.
+	row, _ := tab.Row(2)
+	if row[1] != nil || row[3] != nil {
+		t.Fatalf("empty cells not NULL: %v", row)
+	}
+	// The table is queryable through the wrapper like any other.
+	ids, err := tab.Select([]Cond{{Column: "year", Op: OpGe, Value: oem.Int(2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("Select returned %v", ids)
+	}
+}
+
+func TestLoadCSVWidening(t *testing.T) {
+	// A column starting integral widens to real; mixed text falls back
+	// to string.
+	data := "a,b\n1,1\n2.5,x\n"
+	db := NewDB()
+	tab, err := LoadCSV(db, "m", strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := tab.Schema().Columns
+	if cols[0].Kind != oem.KindFloat {
+		t.Fatalf("column a: %s", cols[0].Kind)
+	}
+	if cols[1].Kind != oem.KindString {
+		t.Fatalf("column b: %s", cols[1].Kind)
+	}
+	row, _ := tab.Row(0)
+	if row[0].Kind() != oem.KindFloat {
+		t.Fatal("int cell not widened on load")
+	}
+	if !row[1].Equal(oem.String("1")) {
+		t.Fatal("string fallback lost the original text")
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	db := NewDB()
+	if _, err := LoadCSV(db, "t", strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Ragged rows are a csv.Reader error.
+	if _, err := LoadCSV(db, "t2", strings.NewReader("a,b\n1\n")); err == nil {
+		t.Error("ragged row accepted")
+	}
+	// Duplicate table name.
+	db.MustCreateTable(Schema{Name: "dup", Columns: []Column{{Name: "x", Kind: oem.KindInt}}})
+	if _, err := LoadCSV(db, "dup", strings.NewReader("a\n1\n")); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	// Unnamed columns get positional names.
+	tab, err := LoadCSV(db, "anon", strings.NewReader(",b\n1,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Schema().Columns[0].Name != "col1" {
+		t.Fatalf("unnamed column: %q", tab.Schema().Columns[0].Name)
+	}
+}
+
+func TestLoadCSVEndToEndWrapper(t *testing.T) {
+	db := NewDB()
+	if _, err := LoadCSV(db, "city", strings.NewReader("name,pop\nPalo Alto,68000\nMenlo Park,33000\n")); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWrapper("geo", db)
+	objs := w.Export()
+	if len(objs) != 2 || objs[0].Label != "city" {
+		t.Fatalf("export:\n%s", oem.Format(objs...))
+	}
+	if n, _ := objs[0].Sub("pop").AtomInt(); n != 68000 {
+		t.Fatal("pop value")
+	}
+}

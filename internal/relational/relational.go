@@ -1,0 +1,374 @@
+// Package relational implements a small in-memory relational engine — the
+// well-structured-database substrate of the MedMaker paper's running
+// example (the cs source with its employee and student tables) — together
+// with a wrapper that exports rows as OEM objects (see wrapper.go).
+//
+// The engine supports typed schemas, nullable columns, predicate scans,
+// and equality hash indexes. It is deliberately minimal: MedMaker treats
+// sources as autonomous black boxes reached through wrappers, so only the
+// operations a wrapper needs are provided.
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"medmaker/internal/oem"
+)
+
+// Column describes one attribute of a relation schema.
+type Column struct {
+	// Name is the attribute name; it becomes the OEM label on export.
+	Name string
+	// Kind is the attribute type.
+	Kind oem.Kind
+}
+
+// Schema describes a relation: its name (the OEM label of exported rows)
+// and its columns.
+type Schema struct {
+	Name    string
+	Columns []Column
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (s Schema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Row is one tuple; entries align with the schema's columns. A nil entry
+// is a NULL — the wrapper omits the corresponding subobject, turning
+// relational missing values into OEM structural irregularity.
+type Row []oem.Value
+
+// Op is a comparison operator in a selection condition.
+type Op int
+
+const (
+	// OpEq selects rows whose column equals the value.
+	OpEq Op = iota
+	// OpNe selects rows whose column differs from the value.
+	OpNe
+	// OpLt selects rows whose column is less than the value.
+	OpLt
+	// OpLe selects rows whose column is at most the value.
+	OpLe
+	// OpGt selects rows whose column is greater than the value.
+	OpGt
+	// OpGe selects rows whose column is at least the value.
+	OpGe
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Cond is a selection condition "column op value".
+type Cond struct {
+	Column string
+	Op     Op
+	Value  oem.Value
+}
+
+// Table is one relation. Tables are safe for concurrent use.
+type Table struct {
+	mu      sync.RWMutex
+	schema  Schema
+	rows    []Row
+	indexes map[string]map[uint64][]int // column -> value hash -> row ids
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(schema Schema) (*Table, error) {
+	if schema.Name == "" {
+		return nil, fmt.Errorf("relational: table must have a name")
+	}
+	if len(schema.Columns) == 0 {
+		return nil, fmt.Errorf("relational: table %q must have columns", schema.Name)
+	}
+	seen := map[string]bool{}
+	for _, c := range schema.Columns {
+		if c.Name == "" {
+			return nil, fmt.Errorf("relational: table %q has an unnamed column", schema.Name)
+		}
+		if c.Kind == oem.KindSet {
+			return nil, fmt.Errorf("relational: column %q: set-valued columns are not relational", c.Name)
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("relational: table %q has duplicate column %q", schema.Name, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return &Table{schema: schema, indexes: map[string]map[uint64][]int{}}, nil
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// Len returns the number of rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Insert appends one row. Values are converted with oem.Atom; nil entries
+// are NULLs. Types must match the schema (Int widens to a Float column).
+func (t *Table) Insert(vals ...any) error {
+	if len(vals) != len(t.schema.Columns) {
+		return fmt.Errorf("relational: %s: inserted %d values, schema has %d columns",
+			t.schema.Name, len(vals), len(t.schema.Columns))
+	}
+	row := make(Row, len(vals))
+	for i, v := range vals {
+		if v == nil {
+			row[i] = nil
+			continue
+		}
+		val := oem.Atom(v)
+		col := t.schema.Columns[i]
+		if val.Kind() != col.Kind {
+			if col.Kind == oem.KindFloat && val.Kind() == oem.KindInt {
+				val = oem.Float(val.(oem.Int))
+			} else {
+				return fmt.Errorf("relational: %s.%s: value %s has kind %s, column is %s",
+					t.schema.Name, col.Name, val, val.Kind(), col.Kind)
+			}
+		}
+		row[i] = val
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := len(t.rows)
+	t.rows = append(t.rows, row)
+	for col, idx := range t.indexes {
+		ci := t.schema.ColumnIndex(col)
+		if row[ci] != nil {
+			h := oem.HashValue(row[ci])
+			idx[h] = append(idx[h], id)
+		}
+	}
+	return nil
+}
+
+// MustInsert is Insert that panics on error, for test and example setup.
+func (t *Table) MustInsert(vals ...any) {
+	if err := t.Insert(vals...); err != nil {
+		panic(err)
+	}
+}
+
+// CreateIndex builds an equality hash index on the named column; it is a
+// no-op when the index exists.
+func (t *Table) CreateIndex(column string) error {
+	ci := t.schema.ColumnIndex(column)
+	if ci < 0 {
+		return fmt.Errorf("relational: %s has no column %q", t.schema.Name, column)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.indexes[column]; ok {
+		return nil
+	}
+	idx := make(map[uint64][]int)
+	for id, row := range t.rows {
+		if row[ci] != nil {
+			h := oem.HashValue(row[ci])
+			idx[h] = append(idx[h], id)
+		}
+	}
+	t.indexes[column] = idx
+	return nil
+}
+
+// HasIndex reports whether an equality index exists on the column.
+func (t *Table) HasIndex(column string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.indexes[column]
+	return ok
+}
+
+// Select returns the ids of rows satisfying every condition. An equality
+// condition on an indexed column narrows the scan; remaining conditions
+// are verified per row. NULL columns satisfy no condition.
+func (t *Table) Select(conds []Cond) ([]int, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, c := range conds {
+		if t.schema.ColumnIndex(c.Column) < 0 {
+			return nil, fmt.Errorf("relational: %s has no column %q", t.schema.Name, c.Column)
+		}
+	}
+	var out []int
+	for _, id := range t.indexCandidates(conds) {
+		if t.rowSatisfies(t.rows[id], conds) {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// indexCandidates picks the most selective applicable equality index and
+// returns the candidate row ids (sorted), or all ids when no index
+// applies.
+func (t *Table) indexCandidates(conds []Cond) []int {
+	var bestIDs []int
+	found := false
+	for _, c := range conds {
+		if c.Op != OpEq || c.Value == nil {
+			continue
+		}
+		idx, ok := t.indexes[c.Column]
+		if !ok {
+			continue
+		}
+		cand := idx[oem.HashValue(c.Value)]
+		if !found || len(cand) < len(bestIDs) {
+			found = true
+			bestIDs = cand
+		}
+	}
+	if found {
+		sorted := make([]int, len(bestIDs))
+		copy(sorted, bestIDs)
+		sort.Ints(sorted)
+		return sorted
+	}
+	all := make([]int, len(t.rows))
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+func (t *Table) rowSatisfies(row Row, conds []Cond) bool {
+	for _, c := range conds {
+		ci := t.schema.ColumnIndex(c.Column)
+		v := row[ci]
+		if v == nil {
+			return false
+		}
+		if c.Op == OpEq {
+			if !v.Equal(c.Value) {
+				return false
+			}
+			continue
+		}
+		if c.Op == OpNe {
+			if v.Equal(c.Value) {
+				return false
+			}
+			continue
+		}
+		cmp, ok := oem.CompareAtoms(v, c.Value)
+		if !ok {
+			return false
+		}
+		switch c.Op {
+		case OpLt:
+			if cmp >= 0 {
+				return false
+			}
+		case OpLe:
+			if cmp > 0 {
+				return false
+			}
+		case OpGt:
+			if cmp <= 0 {
+				return false
+			}
+		case OpGe:
+			if cmp < 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Row returns a copy of the row with the given id.
+func (t *Table) Row(id int) (Row, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if id < 0 || id >= len(t.rows) {
+		return nil, fmt.Errorf("relational: %s has no row %d", t.schema.Name, id)
+	}
+	out := make(Row, len(t.rows[id]))
+	copy(out, t.rows[id])
+	return out, nil
+}
+
+// DB is a named collection of tables.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{tables: make(map[string]*Table)} }
+
+// CreateTable creates and registers a table.
+func (db *DB) CreateTable(schema Schema) (*Table, error) {
+	t, err := NewTable(schema)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[schema.Name]; dup {
+		return nil, fmt.Errorf("relational: table %q already exists", schema.Name)
+	}
+	db.tables[schema.Name] = t
+	return t, nil
+}
+
+// MustCreateTable is CreateTable that panics on error.
+func (db *DB) MustCreateTable(schema Schema) *Table {
+	t, err := db.CreateTable(schema)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// Names returns the table names, sorted.
+func (db *DB) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

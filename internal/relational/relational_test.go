@@ -1,0 +1,207 @@
+package relational
+
+import (
+	"reflect"
+	"testing"
+
+	"medmaker/internal/oem"
+)
+
+func staffSchema() Schema {
+	return Schema{
+		Name: "employee",
+		Columns: []Column{
+			{Name: "first_name", Kind: oem.KindString},
+			{Name: "last_name", Kind: oem.KindString},
+			{Name: "title", Kind: oem.KindString},
+			{Name: "reports_to", Kind: oem.KindString},
+		},
+	}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	bad := []Schema{
+		{Name: "", Columns: []Column{{Name: "a", Kind: oem.KindInt}}},
+		{Name: "t"},
+		{Name: "t", Columns: []Column{{Name: "", Kind: oem.KindInt}}},
+		{Name: "t", Columns: []Column{{Name: "a", Kind: oem.KindSet}}},
+		{Name: "t", Columns: []Column{{Name: "a", Kind: oem.KindInt}, {Name: "a", Kind: oem.KindInt}}},
+	}
+	for i, s := range bad {
+		if _, err := NewTable(s); err == nil {
+			t.Errorf("schema %d accepted", i)
+		}
+	}
+	if _, err := NewTable(staffSchema()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	tab, _ := NewTable(staffSchema())
+	if err := tab.Insert("Joe", "Chung", "professor", "John Hennessy"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert("only", "three", "values"); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if err := tab.Insert("Joe", "Chung", 42, "x"); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+	// NULLs allowed.
+	if err := tab.Insert("Ann", "Lee", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	// Int widens into a float column.
+	ft, _ := NewTable(Schema{Name: "m", Columns: []Column{{Name: "x", Kind: oem.KindFloat}}})
+	if err := ft.Insert(3); err != nil {
+		t.Fatal(err)
+	}
+	row, _ := ft.Row(0)
+	if row[0].Kind() != oem.KindFloat {
+		t.Fatal("int not widened")
+	}
+}
+
+func fillStudents(t *testing.T) *Table {
+	t.Helper()
+	tab, err := NewTable(Schema{
+		Name: "student",
+		Columns: []Column{
+			{Name: "first_name", Kind: oem.KindString},
+			{Name: "last_name", Kind: oem.KindString},
+			{Name: "year", Kind: oem.KindInt},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.MustInsert("Nick", "Naive", 3)
+	tab.MustInsert("Ann", "Able", 1)
+	tab.MustInsert("Bob", "Busy", 3)
+	tab.MustInsert("Cam", "Cool", 4)
+	return tab
+}
+
+func TestSelect(t *testing.T) {
+	tab := fillStudents(t)
+	cases := []struct {
+		conds []Cond
+		want  []int
+	}{
+		{nil, []int{0, 1, 2, 3}},
+		{[]Cond{{Column: "year", Op: OpEq, Value: oem.Int(3)}}, []int{0, 2}},
+		{[]Cond{{Column: "year", Op: OpNe, Value: oem.Int(3)}}, []int{1, 3}},
+		{[]Cond{{Column: "year", Op: OpLt, Value: oem.Int(3)}}, []int{1}},
+		{[]Cond{{Column: "year", Op: OpLe, Value: oem.Int(3)}}, []int{0, 1, 2}},
+		{[]Cond{{Column: "year", Op: OpGt, Value: oem.Int(3)}}, []int{3}},
+		{[]Cond{{Column: "year", Op: OpGe, Value: oem.Int(4)}}, []int{3}},
+		{[]Cond{
+			{Column: "year", Op: OpEq, Value: oem.Int(3)},
+			{Column: "first_name", Op: OpEq, Value: oem.String("Bob")},
+		}, []int{2}},
+		{[]Cond{{Column: "last_name", Op: OpLt, Value: oem.String("B")}}, []int{1}},
+		// Cross-kind numeric comparison.
+		{[]Cond{{Column: "year", Op: OpEq, Value: oem.Float(3)}}, []int{0, 2}},
+		// Incomparable kinds satisfy nothing.
+		{[]Cond{{Column: "year", Op: OpLt, Value: oem.String("3")}}, nil},
+	}
+	for i, c := range cases {
+		got, err := tab.Select(c.conds)
+		if err != nil {
+			t.Errorf("case %d: %v", i, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("case %d: Select = %v, want %v", i, got, c.want)
+		}
+	}
+	if _, err := tab.Select([]Cond{{Column: "nope", Op: OpEq, Value: oem.Int(1)}}); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestIndexEquivalence(t *testing.T) {
+	plain := fillStudents(t)
+	indexed := fillStudents(t)
+	if err := indexed.CreateIndex("year"); err != nil {
+		t.Fatal(err)
+	}
+	if !indexed.HasIndex("year") || indexed.HasIndex("first_name") {
+		t.Fatal("HasIndex wrong")
+	}
+	// Index created before further inserts stays correct.
+	indexed.MustInsert("Dee", "Deep", 3)
+	plain.MustInsert("Dee", "Deep", 3)
+	conds := []Cond{{Column: "year", Op: OpEq, Value: oem.Int(3)}}
+	a, _ := plain.Select(conds)
+	b, _ := indexed.Select(conds)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("index changed results: %v vs %v", a, b)
+	}
+	if err := indexed.CreateIndex("year"); err != nil {
+		t.Fatal("re-creating an index should be a no-op")
+	}
+	if err := indexed.CreateIndex("nope"); err == nil {
+		t.Fatal("index on unknown column accepted")
+	}
+}
+
+func TestNullsSatisfyNoCondition(t *testing.T) {
+	tab, _ := NewTable(Schema{Name: "t", Columns: []Column{{Name: "x", Kind: oem.KindInt}}})
+	tab.MustInsert(nil)
+	tab.MustInsert(1)
+	for _, op := range []Op{OpEq, OpNe, OpLt, OpGe} {
+		got, _ := tab.Select([]Cond{{Column: "x", Op: op, Value: oem.Int(1)}})
+		for _, id := range got {
+			if id == 0 {
+				t.Errorf("NULL row satisfied %v", op)
+			}
+		}
+	}
+}
+
+func TestRowCopySemantics(t *testing.T) {
+	tab := fillStudents(t)
+	row, err := tab.Row(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row[0] = oem.String("Mutated")
+	again, _ := tab.Row(0)
+	if !again[0].Equal(oem.String("Nick")) {
+		t.Fatal("Row returned a live reference")
+	}
+	if _, err := tab.Row(99); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+}
+
+func TestDB(t *testing.T) {
+	db := NewDB()
+	db.MustCreateTable(staffSchema())
+	if _, err := db.CreateTable(staffSchema()); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	db.MustCreateTable(Schema{Name: "student", Columns: []Column{{Name: "year", Kind: oem.KindInt}}})
+	if got := db.Names(); !reflect.DeepEqual(got, []string{"employee", "student"}) {
+		t.Fatalf("Names = %v", got)
+	}
+	if _, ok := db.Table("employee"); !ok {
+		t.Fatal("Table lookup failed")
+	}
+	if _, ok := db.Table("nope"); ok {
+		t.Fatal("absent table found")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">="} {
+		if op.String() != want {
+			t.Errorf("Op %d prints %q", op, op.String())
+		}
+	}
+}

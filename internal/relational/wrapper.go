@@ -1,0 +1,189 @@
+package relational
+
+import (
+	"fmt"
+
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+	"medmaker/internal/wrapper"
+)
+
+// Wrapper exports a relational database as an OEM source, as the paper's
+// cs wrapper does (Figure 2.2): each row becomes a top-level object
+// labelled with its table name, with one atomic subobject per non-NULL
+// column. The schema is thereby incorporated into the individual objects,
+// which is what lets an MSL label variable range over relation names and
+// resolve schematic discrepancies.
+//
+// The wrapper pushes the selections it can recognize — constant values on
+// column subobjects of a constant-label pattern — into indexed or scanned
+// relational selections before converting rows to OEM; everything else is
+// handled by generic OEM matching over the converted candidates, so
+// push-down is purely an optimization.
+type Wrapper struct {
+	name string
+	db   *DB
+	gen  *oem.IDGen
+}
+
+var _ wrapper.Source = (*Wrapper)(nil)
+
+// NewWrapper wraps db as a source with the given name.
+func NewWrapper(name string, db *DB) *Wrapper {
+	return &Wrapper{name: name, db: db, gen: oem.NewIDGen(name + "q")}
+}
+
+// Name implements wrapper.Source.
+func (w *Wrapper) Name() string { return w.name }
+
+// Capabilities implements wrapper.Source. Relational data is flat, and
+// the original cs-style wrappers did not search at arbitrary depth, so
+// wildcards are not supported; the mediator compensates.
+func (w *Wrapper) Capabilities() wrapper.Capabilities {
+	return wrapper.Capabilities{
+		ValueConditions: true,
+		RestConstraints: true,
+		Wildcards:       false,
+		MultiPattern:    true,
+	}
+}
+
+// Query implements wrapper.Source.
+func (w *Wrapper) Query(q *msl.Rule) ([]*oem.Object, error) {
+	if err := wrapper.CheckCapabilities(q, w.Capabilities(), w.name); err != nil {
+		return nil, err
+	}
+	return wrapper.EvalWith(q, w.candidates, w.gen)
+}
+
+// CountLabel implements wrapper.Counter: the label is a table name and
+// the count its row count.
+func (w *Wrapper) CountLabel(label string) (int, bool) {
+	t, ok := w.db.Table(label)
+	if !ok {
+		return 0, true // known absent: zero rows
+	}
+	return t.Len(), true
+}
+
+// Export converts every row of every table to OEM, in table-name order —
+// the full source export used by figure regeneration and by patterns whose
+// label is a variable.
+func (w *Wrapper) Export() []*oem.Object {
+	var out []*oem.Object
+	for _, name := range w.db.Names() {
+		t, _ := w.db.Table(name)
+		ids := make([]int, t.Len())
+		for i := range ids {
+			ids[i] = i
+		}
+		out = append(out, w.convert(t, ids)...)
+	}
+	return out
+}
+
+// candidates returns the converted rows a pattern conjunct could match,
+// using the table name and pushable equality/comparison conditions to
+// narrow the relational selection first.
+func (w *Wrapper) candidates(pc *msl.PatternConjunct) ([]*oem.Object, error) {
+	tables, err := w.tablesFor(pc.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	var out []*oem.Object
+	for _, t := range tables {
+		conds := pushableConds(t.Schema(), pc.Pattern)
+		ids, err := t.Select(conds)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w.convert(t, ids)...)
+	}
+	return out, nil
+}
+
+func (w *Wrapper) tablesFor(p *msl.ObjectPattern) ([]*Table, error) {
+	if name := p.LabelName(); name != "" {
+		t, ok := w.db.Table(name)
+		if !ok {
+			return nil, nil // unknown relation: no candidates, not an error
+		}
+		return []*Table{t}, nil
+	}
+	if _, isParam := p.Label.(*msl.Param); isParam {
+		return nil, fmt.Errorf("relational: unsubstituted parameter in label of %s", p)
+	}
+	// Label variable: all tables (schematic-discrepancy queries).
+	var out []*Table
+	for _, name := range w.db.Names() {
+		t, _ := w.db.Table(name)
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// pushableConds extracts "column op constant" conditions from the
+// pattern's direct set elements. Only elements with a constant label
+// naming a real column and a constant value qualify; rest constraints of
+// the form {<col const>} qualify too, since rest members are just the
+// unlisted columns.
+func pushableConds(schema Schema, p *msl.ObjectPattern) []Cond {
+	sp, ok := p.Value.(*msl.SetPattern)
+	if !ok {
+		return nil
+	}
+	var conds []Cond
+	addFrom := func(ep *msl.ObjectPattern) {
+		if ep.Wildcard {
+			return
+		}
+		col := ep.LabelName()
+		if col == "" || schema.ColumnIndex(col) < 0 {
+			return
+		}
+		if c, isConst := ep.Value.(*msl.Const); isConst {
+			conds = append(conds, Cond{Column: col, Op: OpEq, Value: c.Value})
+		}
+	}
+	for _, e := range sp.Elems {
+		if ep, isPat := e.(*msl.ObjectPattern); isPat {
+			addFrom(ep)
+		}
+	}
+	for _, rc := range sp.RestConstraints {
+		addFrom(rc)
+	}
+	return conds
+}
+
+// convert turns the selected rows of a table into OEM objects. Row and
+// column oids are stable across queries (&<table>_r<row> and
+// &<table>_r<row>c<col>), so repeated queries expose consistent object
+// identity, as a real wrapper over a keyed store would.
+func (w *Wrapper) convert(t *Table, ids []int) []*oem.Object {
+	schema := t.Schema()
+	out := make([]*oem.Object, 0, len(ids))
+	for _, id := range ids {
+		row, err := t.Row(id)
+		if err != nil {
+			continue
+		}
+		subs := make(oem.Set, 0, len(schema.Columns))
+		for ci, col := range schema.Columns {
+			if row[ci] == nil {
+				continue // NULL: no subobject
+			}
+			subs = append(subs, &oem.Object{
+				OID:   oem.OID(fmt.Sprintf("&%s_r%dc%d", schema.Name, id, ci)),
+				Label: col.Name,
+				Value: row[ci],
+			})
+		}
+		out = append(out, &oem.Object{
+			OID:   oem.OID(fmt.Sprintf("&%s_r%d", schema.Name, id)),
+			Label: schema.Name,
+			Value: subs,
+		})
+	}
+	return out
+}

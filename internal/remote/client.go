@@ -1,0 +1,177 @@
+package remote
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+	"medmaker/internal/wrapper"
+)
+
+// Client is a wrapper.Source backed by a remote Server. It maintains a
+// small pool of connections so concurrent queries (the engine's parallel
+// fan-out) proceed without serializing, dialing lazily and redialing
+// transparently when a connection drops. Use Dial to construct one.
+type Client struct {
+	addr    string
+	timeout time.Duration
+	name    string
+	caps    wrapper.Capabilities
+
+	mu     sync.Mutex
+	idle   []*clientConn
+	closed bool
+}
+
+type clientConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// maxIdleConns bounds the pool; additional concurrent queries dial
+// transient connections that are closed when the pool is full.
+const maxIdleConns = 8
+
+var _ wrapper.Source = (*Client)(nil)
+
+// Dial connects to a remote wrapper and performs the handshake that
+// fetches its name and capabilities. timeout bounds dialing and each
+// round trip (0 means 10s).
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	c := &Client{addr: addr, timeout: timeout}
+	resp, err := c.roundTrip(Request{Kind: reqHello})
+	if err != nil {
+		return nil, err
+	}
+	c.name = resp.Name
+	c.caps = resp.Caps
+	return c, nil
+}
+
+// Name implements wrapper.Source.
+func (c *Client) Name() string { return c.name }
+
+// Capabilities implements wrapper.Source.
+func (c *Client) Capabilities() wrapper.Capabilities { return c.caps }
+
+// Query implements wrapper.Source: the rule is shipped as MSL text and
+// the result objects come back over the wire. Query is safe for
+// concurrent use.
+func (c *Client) Query(q *msl.Rule) ([]*oem.Object, error) {
+	resp, err := c.roundTrip(Request{Kind: reqQuery, Query: q.String()})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Unsupported != "" {
+		return nil, &wrapper.UnsupportedError{Source: c.name, Feature: resp.Unsupported}
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("remote: %s: %s", c.name, resp.Err)
+	}
+	out := make([]*oem.Object, len(resp.Objects))
+	for i, w := range resp.Objects {
+		obj, err := FromWire(w)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = obj
+	}
+	return out, nil
+}
+
+// CountLabel implements wrapper.Counter over the wire, letting the
+// optimizer probe remote sources for cold-start cardinalities. A network
+// failure degrades to "cannot count" rather than an error.
+func (c *Client) CountLabel(label string) (int, bool) {
+	resp, err := c.roundTrip(Request{Kind: reqCount, Label: label})
+	if err != nil || !resp.CountOK {
+		return 0, false
+	}
+	return resp.Count, true
+}
+
+// Close tears down all pooled connections; in-flight queries finish on
+// their own connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	var first error
+	for _, cc := range c.idle {
+		if err := cc.conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.idle = nil
+	return first
+}
+
+func (c *Client) acquire() (*clientConn, error) {
+	c.mu.Lock()
+	if n := len(c.idle); n > 0 {
+		cc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cc, nil
+	}
+	c.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dial %s: %w", c.addr, err)
+	}
+	return &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+func (c *Client) release(cc *clientConn) {
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < maxIdleConns {
+		c.idle = append(c.idle, cc)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	cc.conn.Close()
+}
+
+// roundTrip sends one request and reads one response on a pooled
+// connection. A broken pooled connection is retried once with a fresh
+// dial (the server may have restarted).
+func (c *Client) roundTrip(req Request) (Response, error) {
+	for attempt := 0; ; attempt++ {
+		cc, err := c.acquire()
+		if err != nil {
+			return Response{}, err
+		}
+		cc.conn.SetDeadline(time.Now().Add(c.timeout))
+		var resp Response
+		err = cc.enc.Encode(req)
+		if err == nil {
+			err = cc.dec.Decode(&resp)
+		}
+		if err == nil {
+			cc.conn.SetDeadline(time.Time{})
+			c.release(cc)
+			return resp, nil
+		}
+		cc.conn.Close()
+		if attempt >= 1 {
+			return Response{}, fmt.Errorf("remote: %s: %w", c.addr, err)
+		}
+		// Drop every pooled connection: if ours broke, the rest are
+		// probably stale too.
+		c.mu.Lock()
+		for _, stale := range c.idle {
+			stale.conn.Close()
+		}
+		c.idle = nil
+		c.mu.Unlock()
+	}
+}

@@ -1,0 +1,156 @@
+package remote
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"medmaker/internal/msl"
+	"medmaker/internal/wrapper"
+)
+
+// Server exposes a wrapper.Source over TCP.
+type Server struct {
+	source wrapper.Source
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer wraps source; call Serve or Start to accept connections.
+func NewServer(source wrapper.Source) *Server {
+	return &Server{source: source, conns: make(map[net.Conn]bool)}
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves
+// in the background. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("remote: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes live connections, and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // disconnected or malformed stream
+		}
+		resp := s.dispatch(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req Request) Response {
+	switch req.Kind {
+	case reqHello:
+		return Response{Name: s.source.Name(), Caps: s.source.Capabilities()}
+	case reqCount:
+		if counter, ok := s.source.(wrapper.Counter); ok {
+			n, ok := counter.CountLabel(req.Label)
+			return Response{Count: n, CountOK: ok}
+		}
+		return Response{CountOK: false}
+	case reqQuery:
+		rule, err := msl.ParseQuery(req.Query)
+		if err != nil {
+			return Response{Err: err.Error()}
+		}
+		objs, err := s.source.Query(rule)
+		if err != nil {
+			resp := Response{Err: err.Error()}
+			var ue *wrapper.UnsupportedError
+			if errors.As(err, &ue) {
+				resp.Unsupported = ue.Feature
+			}
+			return resp
+		}
+		out := make([]WireObject, len(objs))
+		for i, o := range objs {
+			out[i] = ToWire(o)
+		}
+		return Response{Objects: out}
+	}
+	return Response{Err: fmt.Sprintf("remote: unknown request kind %q", req.Kind)}
+}
+
+// ServeConn handles a single pre-established connection until it closes —
+// useful for in-memory pipes in tests.
+func (s *Server) ServeConn(conn io.ReadWriter) {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		if err := enc.Encode(s.dispatch(req)); err != nil {
+			return
+		}
+	}
+}

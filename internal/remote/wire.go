@@ -1,0 +1,120 @@
+// Package remote runs wrappers behind a TCP protocol, giving MedMaker the
+// distributed deployment of the TSIMMIS architecture (Figure 1.1): the
+// mediator process talks to wrapper processes over the network, shipping
+// MSL queries one way and OEM objects the other.
+//
+// The protocol is a simple length-free gob stream per connection: the
+// client sends Requests (a handshake, then queries carrying MSL text) and
+// reads Responses (capabilities, or result objects / an error). Servers
+// handle each connection in its own goroutine; a Client is itself a
+// wrapper.Source, so remote and in-process sources are interchangeable to
+// the mediator.
+package remote
+
+import (
+	"fmt"
+
+	"medmaker/internal/oem"
+	"medmaker/internal/wrapper"
+)
+
+// request kinds.
+const (
+	reqHello = "hello" // handshake: fetch name and capabilities
+	reqQuery = "query" // evaluate the MSL text in Query
+	reqCount = "count" // count top-level objects with Label
+)
+
+// Request is one client→server message.
+type Request struct {
+	Kind  string
+	Query string // MSL text for reqQuery
+	Label string // label for reqCount
+}
+
+// Response is one server→client message.
+type Response struct {
+	// Name and Caps answer a hello.
+	Name string
+	Caps wrapper.Capabilities
+	// Objects answer a query.
+	Objects []WireObject
+	// Count and CountOK answer a count request (CountOK is false when
+	// the remote source cannot count cheaply).
+	Count   int
+	CountOK bool
+	// Err is a non-empty error message; Unsupported carries the feature
+	// name when the error was a capability rejection, so the client can
+	// reconstitute a typed *wrapper.UnsupportedError.
+	Err         string
+	Unsupported string
+}
+
+// WireObject is the gob-encodable form of an OEM object. Interface-typed
+// values do not gob-encode without global registration, so the value is
+// flattened into kind-tagged fields.
+type WireObject struct {
+	OID   string
+	Label string
+	Kind  int
+	Str   string
+	Int   int64
+	Float float64
+	Bool  bool
+	Bytes []byte
+	Subs  []WireObject
+}
+
+// ToWire converts an OEM object tree.
+func ToWire(o *oem.Object) WireObject {
+	w := WireObject{OID: string(o.OID), Label: o.Label, Kind: int(o.Kind())}
+	switch v := o.Value.(type) {
+	case oem.String:
+		w.Str = string(v)
+	case oem.Int:
+		w.Int = int64(v)
+	case oem.Float:
+		w.Float = float64(v)
+	case oem.Bool:
+		w.Bool = bool(v)
+	case oem.Bytes:
+		w.Bytes = []byte(v)
+	case oem.Set:
+		w.Subs = make([]WireObject, len(v))
+		for i, sub := range v {
+			w.Subs[i] = ToWire(sub)
+		}
+	case nil:
+	}
+	return w
+}
+
+// FromWire converts back to an OEM object.
+func FromWire(w WireObject) (*oem.Object, error) {
+	o := &oem.Object{OID: oem.OID(w.OID), Label: w.Label}
+	switch oem.Kind(w.Kind) {
+	case oem.KindString:
+		o.Value = oem.String(w.Str)
+	case oem.KindInt:
+		o.Value = oem.Int(w.Int)
+	case oem.KindFloat:
+		o.Value = oem.Float(w.Float)
+	case oem.KindBool:
+		o.Value = oem.Bool(w.Bool)
+	case oem.KindBytes:
+		o.Value = oem.Bytes(w.Bytes)
+	case oem.KindSet:
+		subs := make(oem.Set, len(w.Subs))
+		for i, sw := range w.Subs {
+			sub, err := FromWire(sw)
+			if err != nil {
+				return nil, err
+			}
+			subs[i] = sub
+		}
+		o.Value = subs
+	default:
+		return nil, fmt.Errorf("remote: unknown value kind %d for %q", w.Kind, w.Label)
+	}
+	return o, nil
+}

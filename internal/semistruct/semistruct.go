@@ -1,0 +1,190 @@
+// Package semistruct implements an irregular-record store — the
+// semi-structured substrate of the MedMaker paper's running example (the
+// university whois facility of Figure 2.3) — and a wrapper exporting it
+// as OEM.
+//
+// Records are lists of named fields with no schema: two records may carry
+// different fields, fields repeat, and a field's value may be atomic or a
+// nested list of fields. This is exactly the kind of source (electronic
+// mail, medical records, bibliographies) whose integration motivates OEM
+// and MSL.
+package semistruct
+
+import (
+	"fmt"
+	"sync"
+
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+	"medmaker/internal/wrapper"
+)
+
+// Field is one named value in a record. Value may be a string, int,
+// int64, float64, bool, []byte, or a nested []Field.
+type Field struct {
+	Name  string
+	Value any
+}
+
+// Record is an irregular record: an ordered list of fields under a record
+// kind (e.g. "person"). Nothing constrains which fields appear.
+type Record struct {
+	Kind   string
+	Fields []Field
+}
+
+// F is shorthand for building a Field.
+func F(name string, value any) Field { return Field{Name: name, Value: value} }
+
+// Store holds records; it is safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	records []Record
+	// oem caches the exported OEM view; invalidated on Add.
+	oemView []*oem.Object
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Add appends records, validating that every field (recursively) has a
+// name and a convertible value.
+func (s *Store) Add(records ...Record) error {
+	for _, r := range records {
+		if r.Kind == "" {
+			return fmt.Errorf("semistruct: record without a kind")
+		}
+		if err := validateFields(r.Fields); err != nil {
+			return fmt.Errorf("semistruct: record %q: %w", r.Kind, err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records = append(s.records, records...)
+	s.oemView = nil
+	return nil
+}
+
+// MustAdd is Add that panics on error.
+func (s *Store) MustAdd(records ...Record) {
+	if err := s.Add(records...); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
+
+func validateFields(fields []Field) error {
+	for _, f := range fields {
+		if f.Name == "" {
+			return fmt.Errorf("field without a name")
+		}
+		if nested, ok := f.Value.([]Field); ok {
+			if err := validateFields(nested); err != nil {
+				return err
+			}
+			continue
+		}
+		if f.Value == nil {
+			return fmt.Errorf("field %q has a nil value", f.Name)
+		}
+		func() {
+			defer func() {
+				if recover() != nil {
+					panic(fmt.Sprintf("semistruct: field %q has unsupported value type %T", f.Name, f.Value))
+				}
+			}()
+			oem.Atom(f.Value)
+		}()
+	}
+	return nil
+}
+
+// Wrapper exports a Store as an OEM source under a given name.
+type Wrapper struct {
+	name  string
+	store *Store
+	gen   *oem.IDGen
+}
+
+var _ wrapper.Source = (*Wrapper)(nil)
+
+// NewWrapper wraps store as the named source.
+func NewWrapper(name string, store *Store) *Wrapper {
+	return &Wrapper{name: name, store: store, gen: oem.NewIDGen(name + "q")}
+}
+
+// Name implements wrapper.Source.
+func (w *Wrapper) Name() string { return w.name }
+
+// Capabilities implements wrapper.Source: the store is held locally, so
+// the wrapper supports the full query language including wildcards.
+func (w *Wrapper) Capabilities() wrapper.Capabilities {
+	return wrapper.FullCapabilities()
+}
+
+// Query implements wrapper.Source.
+func (w *Wrapper) Query(q *msl.Rule) ([]*oem.Object, error) {
+	return wrapper.Eval(q, w.Export(), w.gen)
+}
+
+// CountLabel implements wrapper.Counter: the count of records of a kind.
+func (w *Wrapper) CountLabel(label string) (int, bool) {
+	w.store.mu.RLock()
+	defer w.store.mu.RUnlock()
+	n := 0
+	for _, r := range w.store.records {
+		if r.Kind == label {
+			n++
+		}
+	}
+	return n, true
+}
+
+// Export converts every record to a top-level OEM object. Record i gets
+// oid &<name>_i; conversion results are cached until the store changes.
+func (w *Wrapper) Export() []*oem.Object {
+	w.store.mu.RLock()
+	if view := w.store.oemView; view != nil {
+		w.store.mu.RUnlock()
+		return view
+	}
+	w.store.mu.RUnlock()
+
+	w.store.mu.Lock()
+	defer w.store.mu.Unlock()
+	if w.store.oemView != nil {
+		return w.store.oemView
+	}
+	out := make([]*oem.Object, len(w.store.records))
+	for i, r := range w.store.records {
+		oid := oem.OID(fmt.Sprintf("&%s_%d", w.name, i))
+		out[i] = &oem.Object{
+			OID:   oid,
+			Label: r.Kind,
+			Value: w.convertFields(string(oid), r.Fields),
+		}
+	}
+	w.store.oemView = out
+	return out
+}
+
+func (w *Wrapper) convertFields(parentOID string, fields []Field) oem.Set {
+	subs := make(oem.Set, 0, len(fields))
+	for i, f := range fields {
+		oid := oem.OID(fmt.Sprintf("%s_%d", parentOID, i))
+		obj := &oem.Object{OID: oid, Label: f.Name}
+		if nested, ok := f.Value.([]Field); ok {
+			obj.Value = w.convertFields(string(oid), nested)
+		} else {
+			obj.Value = oem.Atom(f.Value)
+		}
+		subs = append(subs, obj)
+	}
+	return subs
+}

@@ -1,0 +1,293 @@
+package veao
+
+import (
+	"fmt"
+
+	"medmaker/internal/msl"
+)
+
+// rewrite applies the unifier: the datamerge rule's head is the query head
+// with mappings and definitions applied, and its tail is the query tail
+// with the expanded conjunct replaced by the specification rule's tail
+// (substituted), with pushed conditions attached to the rest variables
+// they were pushed into.
+func (u *unifier) rewrite(q *msl.Rule, idx int, target *msl.PatternConjunct,
+	sr *msl.Rule, head *msl.ObjectPattern) (*msl.Rule, error) {
+
+	// The object variable of the expanded conjunct is defined as the
+	// instantiated head structure.
+	if target.ObjVar != nil {
+		if !u.bind(target.ObjVar.Name, head) {
+			return nil, fmt.Errorf("veao: object variable %s cannot be defined consistently", target.ObjVar.Name)
+		}
+	}
+
+	out := &msl.Rule{}
+	appendConjunct := func(c msl.Conjunct) error {
+		ac, err := u.applyConjunct(c)
+		if err != nil {
+			return err
+		}
+		out.Tail = append(out.Tail, ac)
+		return nil
+	}
+	for i, c := range q.Tail {
+		if i != idx {
+			if err := appendConjunct(c); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		for _, sc := range sr.Tail {
+			if err := appendConjunct(sc); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for _, h := range q.Head {
+		switch t := h.(type) {
+		case *msl.Var:
+			def, err := u.applyTerm(t, nil)
+			if err != nil {
+				return nil, err
+			}
+			switch d := def.(type) {
+			case *msl.ObjectPattern:
+				out.Head = append(out.Head, d)
+			case *msl.Var:
+				// No definition from this expansion step: legal when a
+				// remaining tail conjunct binds the variable as its
+				// object variable (a pass-through source conjunct, or a
+				// mediator conjunct a later expansion step will define).
+				if tailBindsObjVar(out.Tail, d.Name) {
+					out.Head = append(out.Head, d)
+					continue
+				}
+				return nil, fmt.Errorf("veao: query head variable %s has no definition; bind it with %s:<…> in the query tail", t.Name, t.Name)
+			default:
+				return nil, fmt.Errorf("veao: query head variable %s resolved to non-object %s", t.Name, def)
+			}
+		case *msl.ObjectPattern:
+			ap, err := u.applyTerm(t, nil)
+			if err != nil {
+				return nil, err
+			}
+			out.Head = append(out.Head, ap.(*msl.ObjectPattern))
+		}
+	}
+
+	if err := u.attachPushedConds(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// tailBindsObjVar reports whether some pattern conjunct binds name as its
+// object variable.
+func tailBindsObjVar(tail []msl.Conjunct, name string) bool {
+	for _, c := range tail {
+		if pc, ok := c.(*msl.PatternConjunct); ok && pc.ObjVar != nil && pc.ObjVar.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// attachPushedConds attaches each pushed condition set to the tail
+// position where its target variable is rest-bound, implementing mappings
+// such as Rest1 ↦ {<year 3>} (Section 3.3: "mappings of this form cause
+// the attachment of the conditions specified inside the {} to the
+// specified variable", merging with any conditions already there).
+func (u *unifier) attachPushedConds(r *msl.Rule) error {
+	for name, conds := range u.restConds {
+		// The target may itself have been mapped to another variable.
+		tgt := name
+		if v, ok := u.resolve(&msl.Var{Name: name}).(*msl.Var); ok {
+			tgt = v.Name
+		}
+		applied := make([]*msl.ObjectPattern, 0, len(conds))
+		for _, c := range conds {
+			ac, err := u.applyTerm(c, nil)
+			if err != nil {
+				return err
+			}
+			applied = append(applied, ac.(*msl.ObjectPattern))
+		}
+		if !attachToRule(r, tgt, applied) {
+			return fmt.Errorf("veao: condition %v was pushed into %s, which is not rest-bound in the rule tail; write the specification head with rest variables bound by '|' in the tail", applied, tgt)
+		}
+	}
+	return nil
+}
+
+func attachToRule(r *msl.Rule, varName string, conds []*msl.ObjectPattern) bool {
+	for _, c := range r.Tail {
+		pc, ok := c.(*msl.PatternConjunct)
+		if !ok {
+			continue
+		}
+		if attachToTerm(pc.Pattern, varName, conds) {
+			return true
+		}
+	}
+	return false
+}
+
+func attachToTerm(t msl.Term, varName string, conds []*msl.ObjectPattern) bool {
+	switch x := t.(type) {
+	case *msl.ObjectPattern:
+		if x.Value != nil {
+			return attachToTerm(x.Value, varName, conds)
+		}
+	case *msl.SetPattern:
+		if x.Rest != nil && x.Rest.Name == varName {
+			x.RestConstraints = append(x.RestConstraints, conds...)
+			return true
+		}
+		for _, el := range x.Elems {
+			if attachToTerm(el, varName, conds) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// applyConjunct copies a conjunct with the substitution applied.
+func (u *unifier) applyConjunct(c msl.Conjunct) (msl.Conjunct, error) {
+	switch t := c.(type) {
+	case *msl.PatternConjunct:
+		out := &msl.PatternConjunct{Source: t.Source, Negated: t.Negated}
+		if t.ObjVar != nil {
+			ov, err := u.applyTerm(t.ObjVar, nil)
+			if err != nil {
+				return nil, err
+			}
+			v, ok := ov.(*msl.Var)
+			if !ok {
+				// The object variable was defined away; drop the binding
+				// but keep the structural condition.
+				v = nil
+			}
+			out.ObjVar = v
+		}
+		ap, err := u.applyTerm(t.Pattern, nil)
+		if err != nil {
+			return nil, err
+		}
+		out.Pattern = ap.(*msl.ObjectPattern)
+		return out, nil
+	case *msl.PredicateConjunct:
+		out := &msl.PredicateConjunct{Name: t.Name, Args: make([]msl.Term, len(t.Args))}
+		for i, a := range t.Args {
+			aa, err := u.applyTerm(a, nil)
+			if err != nil {
+				return nil, err
+			}
+			out.Args[i] = aa
+		}
+		return out, nil
+	}
+	return c, nil
+}
+
+// applyTerm deep-copies a term with the substitution applied recursively.
+// visiting guards against substitution cycles.
+func (u *unifier) applyTerm(t msl.Term, visiting map[string]bool) (msl.Term, error) {
+	switch x := t.(type) {
+	case nil:
+		return nil, nil
+	case *msl.Const, *msl.Param:
+		return x, nil
+	case *msl.Var:
+		bound, ok := u.subst[x.Name]
+		if !ok {
+			return x, nil
+		}
+		if visiting[x.Name] {
+			return nil, fmt.Errorf("veao: cyclic substitution through %s", x.Name)
+		}
+		if visiting == nil {
+			visiting = map[string]bool{}
+		}
+		visiting[x.Name] = true
+		defer delete(visiting, x.Name)
+		return u.applyTerm(bound, visiting)
+	case *msl.Skolem:
+		out := &msl.Skolem{Functor: x.Functor, Args: make([]msl.Term, len(x.Args))}
+		for i, a := range x.Args {
+			aa, err := u.applyTerm(a, visiting)
+			if err != nil {
+				return nil, err
+			}
+			out.Args[i] = aa
+		}
+		return out, nil
+	case *msl.ObjectPattern:
+		out := &msl.ObjectPattern{Wildcard: x.Wildcard, Type: x.Type}
+		var err error
+		if x.OID != nil {
+			if out.OID, err = u.applyTerm(x.OID, visiting); err != nil {
+				return nil, err
+			}
+		}
+		if out.Label, err = u.applyTerm(x.Label, visiting); err != nil {
+			return nil, err
+		}
+		if x.Value != nil {
+			if out.Value, err = u.applyTerm(x.Value, visiting); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	case *msl.SetPattern:
+		out := &msl.SetPattern{}
+		for _, el := range x.Elems {
+			ae, err := u.applyTerm(el, visiting)
+			if err != nil {
+				return nil, err
+			}
+			// A variable element substituted by a set pattern splices its
+			// elements (one-level flattening at the pattern level).
+			if sp, isSet := ae.(*msl.SetPattern); isSet {
+				out.Elems = append(out.Elems, sp.Elems...)
+				if sp.Rest != nil {
+					out.Elems = append(out.Elems, sp.Rest)
+				}
+				out.RestConstraints = append(out.RestConstraints, sp.RestConstraints...)
+				continue
+			}
+			out.Elems = append(out.Elems, ae)
+		}
+		if x.Rest != nil {
+			ar, err := u.applyTerm(x.Rest, visiting)
+			if err != nil {
+				return nil, err
+			}
+			switch rv := ar.(type) {
+			case *msl.Var:
+				out.Rest = rv
+			case *msl.SetPattern:
+				// The rest variable was defined as a set structure:
+				// splice it as elements.
+				out.Elems = append(out.Elems, rv.Elems...)
+				if rv.Rest != nil {
+					out.Rest = rv.Rest
+				}
+				out.RestConstraints = append(out.RestConstraints, rv.RestConstraints...)
+			default:
+				return nil, fmt.Errorf("veao: rest variable %s substituted by non-set %s", x.Rest.Name, ar)
+			}
+		}
+		for _, rc := range x.RestConstraints {
+			arc, err := u.applyTerm(rc, visiting)
+			if err != nil {
+				return nil, err
+			}
+			out.RestConstraints = append(out.RestConstraints, arc.(*msl.ObjectPattern))
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("veao: unsupported term %T", t)
+}

@@ -1,0 +1,353 @@
+package veao
+
+import (
+	"fmt"
+
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+)
+
+// unifier is one way of matching a query condition pattern against a
+// specification rule head: variable mappings plus conditions pushed into
+// set-bound head variables. Definitions (objvar ⇒ head structure) are
+// recorded as ordinary mappings to the head's object pattern.
+type unifier struct {
+	subst     map[string]msl.Term
+	restConds map[string][]*msl.ObjectPattern
+}
+
+func newUnifier() *unifier {
+	return &unifier{subst: map[string]msl.Term{}, restConds: map[string][]*msl.ObjectPattern{}}
+}
+
+func (u *unifier) clone() *unifier {
+	c := newUnifier()
+	for k, v := range u.subst {
+		c.subst[k] = v
+	}
+	for k, v := range u.restConds {
+		c.restConds[k] = append([]*msl.ObjectPattern(nil), v...)
+	}
+	return c
+}
+
+// resolve follows variable-to-variable mappings to a representative term.
+func (u *unifier) resolve(t msl.Term) msl.Term {
+	for {
+		v, ok := t.(*msl.Var)
+		if !ok {
+			return t
+		}
+		next, bound := u.subst[v.Name]
+		if !bound {
+			return t
+		}
+		t = next
+	}
+}
+
+// bind records var ↦ term, unifying with any existing binding.
+func (u *unifier) bind(name string, t msl.Term) bool {
+	cur, bound := u.subst[name]
+	if !bound {
+		if v, isVar := t.(*msl.Var); isVar && v.Name == name {
+			return true
+		}
+		u.subst[name] = t
+		return true
+	}
+	return u.unifySimple(cur, t)
+}
+
+// unifySimple unifies two terms restricted to Var/Const (labels, oids,
+// atomic values). Other combinations fail.
+func (u *unifier) unifySimple(a, b msl.Term) bool {
+	a, b = u.resolve(a), u.resolve(b)
+	if av, ok := a.(*msl.Var); ok {
+		return u.bind(av.Name, b)
+	}
+	if bv, ok := b.(*msl.Var); ok {
+		return u.bind(bv.Name, a)
+	}
+	ac, aok := a.(*msl.Const)
+	bc, bok := b.(*msl.Const)
+	return aok && bok && ac.Value.Equal(bc.Value)
+}
+
+// unifyCondition matches the query condition pattern qp against the rule
+// head pattern hp, returning every unifier. The transformed query
+// condition is contained in the transformed head under each unifier.
+func (e *Expander) unifyCondition(qp, hp *msl.ObjectPattern) ([]*unifier, error) {
+	if qp.Wildcard {
+		return nil, fmt.Errorf("veao: wildcard patterns on virtual mediator objects are not supported; query the sources directly")
+	}
+	if qp.OID != nil {
+		if _, isConst := qp.OID.(*msl.Const); isConst && hp.OID == nil {
+			// Constant oid against generated ids never matches statically.
+			return nil, nil
+		}
+		return nil, fmt.Errorf("veao: oid conditions on virtual mediator objects are not supported")
+	}
+	u := newUnifier()
+	if !u.unifySimple(qp.Label, hp.Label) {
+		return nil, nil
+	}
+	if err := checkType(qp, hp); err != nil {
+		return nil, err
+	}
+	return e.unifyValue(u, qp.Value, hp.Value)
+}
+
+// checkType verifies a query type constraint against what the head
+// statically determines.
+func checkType(qp, hp *msl.ObjectPattern) error {
+	if qp.Type == nil {
+		return nil
+	}
+	var headKind oem.Kind
+	switch hv := hp.Value.(type) {
+	case nil:
+		headKind = oem.KindSet
+	case *msl.SetPattern:
+		headKind = oem.KindSet
+	case *msl.Const:
+		headKind = hv.Value.Kind()
+	case *msl.Var:
+		if hp.Type != nil {
+			headKind = *hp.Type
+			break
+		}
+		return fmt.Errorf("veao: type condition %s cannot be checked against variable-valued head %s", qp, hp)
+	default:
+		return fmt.Errorf("veao: unsupported head value %s", hp.Value)
+	}
+	if headKind != *qp.Type {
+		return fmt.Errorf("veao: query requires type %s but view objects %s have type %s", *qp.Type, hp, headKind)
+	}
+	return nil
+}
+
+// unifyValue unifies the value fields, possibly producing several
+// unifiers (set-element push choices).
+func (e *Expander) unifyValue(u *unifier, qv, hv msl.Term) ([]*unifier, error) {
+	switch q := qv.(type) {
+	case nil:
+		return []*unifier{u}, nil
+	case *msl.Const:
+		switch h := hv.(type) {
+		case nil, *msl.SetPattern:
+			return nil, nil // set-valued head never equals an atom
+		case *msl.Const:
+			if h.Value.Equal(q.Value) {
+				return []*unifier{u}, nil
+			}
+			return nil, nil
+		case *msl.Var:
+			if u.bind(h.Name, q) {
+				return []*unifier{u}, nil
+			}
+			return nil, nil
+		}
+	case *msl.Var:
+		switch h := hv.(type) {
+		case nil:
+			if u.bind(q.Name, &msl.SetPattern{}) {
+				return []*unifier{u}, nil
+			}
+			return nil, nil
+		case *msl.Const, *msl.Var:
+			if u.unifySimple(q, h) {
+				return []*unifier{u}, nil
+			}
+			return nil, nil
+		case *msl.SetPattern:
+			if u.bind(q.Name, h) {
+				return []*unifier{u}, nil
+			}
+			return nil, nil
+		}
+	case *msl.SetPattern:
+		switch h := hv.(type) {
+		case *msl.SetPattern:
+			return e.unifySets(u, q, h)
+		case *msl.Var:
+			return nil, fmt.Errorf("veao: condition %s cannot be matched against variable-valued head; make the rule head structural", qv)
+		default:
+			return nil, nil // atomic head never matches a set condition
+		}
+	case *msl.Param:
+		return nil, fmt.Errorf("veao: unsubstituted parameter %s in query", qv)
+	}
+	return nil, fmt.Errorf("veao: unsupported query value term %s", qv)
+}
+
+// unifySets enumerates the ways the query's element conditions embed into
+// the head's set pattern: each query element either unifies with a
+// distinct explicit head element or is pushed into a set-bound head
+// variable (a head variable element or the head's rest variable).
+func (e *Expander) unifySets(u *unifier, qs, hs *msl.SetPattern) ([]*unifier, error) {
+	// Collect the push targets once: head variable elements and rest.
+	var pushTargets []string
+	var explicit []*msl.ObjectPattern
+	for _, el := range hs.Elems {
+		switch t := el.(type) {
+		case *msl.Var:
+			pushTargets = append(pushTargets, t.Name)
+		case *msl.ObjectPattern:
+			explicit = append(explicit, t)
+		}
+	}
+	if hs.Rest != nil {
+		pushTargets = append(pushTargets, hs.Rest.Name)
+	}
+
+	// Query conditions to place: element patterns plus rest constraints
+	// (both demand a matching member in the view object's set).
+	var conds []*msl.ObjectPattern
+	var elemVars []*msl.Var
+	for _, el := range qs.Elems {
+		switch t := el.(type) {
+		case *msl.ObjectPattern:
+			conds = append(conds, t)
+		case *msl.Var:
+			elemVars = append(elemVars, t)
+		default:
+			return nil, fmt.Errorf("veao: unsupported query set element %s", el)
+		}
+	}
+	conds = append(conds, qs.RestConstraints...)
+
+	var out []*unifier
+	used := make([]bool, len(explicit))
+	var place func(i int, u *unifier) error
+	place = func(i int, u *unifier) error {
+		if i == len(conds) {
+			return e.placeElemVars(u, elemVars, explicit, pushTargets, qs, hs, used, &out)
+		}
+		qe := conds[i]
+		matchedExplicitSameLabel := false
+		for j, he := range explicit {
+			if used[j] {
+				continue
+			}
+			cu := u.clone()
+			if !cu.unifySimple(qe.Label, he.Label) {
+				continue
+			}
+			if err := checkType(qe, he); err != nil {
+				continue // a type mismatch just rules this pairing out
+			}
+			subs, err := e.unifyValue(cu, qe.Value, he.Value)
+			if err != nil {
+				return err
+			}
+			if len(subs) > 0 && constLabelsEqual(qe, he) {
+				matchedExplicitSameLabel = true
+			}
+			used[j] = true
+			for _, su := range subs {
+				if err := place(i+1, su); err != nil {
+					used[j] = false
+					return err
+				}
+			}
+			used[j] = false
+		}
+		// Push choices, pruned when an explicit same-label element
+		// already accounted for this condition (paper presentation).
+		if matchedExplicitSameLabel && !e.opts.Exhaustive {
+			return nil
+		}
+		for _, tgt := range pushTargets {
+			cu := u.clone()
+			cu.restConds[tgt] = append(cu.restConds[tgt], qe)
+			if err := place(i+1, cu); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := place(0, u); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// placeElemVars binds the query's bare variable elements: each aliases an
+// explicit head element or a set-bound head variable. It then finishes the
+// unifier (query rest variable definition) and appends it to out.
+func (e *Expander) placeElemVars(u *unifier, elemVars []*msl.Var, explicit []*msl.ObjectPattern,
+	pushTargets []string, qs, hs *msl.SetPattern, used []bool, out *[]*unifier) error {
+	if len(elemVars) == 0 {
+		final := u.clone()
+		if err := defineQueryRest(final, qs, hs, explicit, used); err != nil {
+			return err
+		}
+		*out = append(*out, final)
+		return nil
+	}
+	v, rest := elemVars[0], elemVars[1:]
+	for j, he := range explicit {
+		if used[j] {
+			continue
+		}
+		cu := u.clone()
+		if !cu.bind(v.Name, he) {
+			continue
+		}
+		used[j] = true
+		if err := e.placeElemVars(cu, rest, explicit, pushTargets, qs, hs, used, out); err != nil {
+			used[j] = false
+			return err
+		}
+		used[j] = false
+	}
+	for _, tgt := range pushTargets {
+		cu := u.clone()
+		if !cu.bind(v.Name, &msl.Var{Name: tgt}) {
+			continue
+		}
+		if err := e.placeElemVars(cu, rest, explicit, pushTargets, qs, hs, used, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// defineQueryRest gives the query's rest variable a static definition: the
+// unconsumed explicit head elements plus every set-bound head variable.
+// (When a condition was pushed into a head variable, the matching member
+// stays inside that variable's set, consistent with the run-time
+// semantics of rest constraints.)
+func defineQueryRest(u *unifier, qs, hs *msl.SetPattern, explicit []*msl.ObjectPattern, used []bool) error {
+	if qs.Rest == nil {
+		return nil
+	}
+	def := &msl.SetPattern{}
+	for j, he := range explicit {
+		if !used[j] {
+			def.Elems = append(def.Elems, he)
+		}
+	}
+	for _, el := range hs.Elems {
+		if v, ok := el.(*msl.Var); ok {
+			def.Elems = append(def.Elems, v)
+		}
+	}
+	if hs.Rest != nil {
+		def.Rest = hs.Rest
+	}
+	return boolErr(u.bind(qs.Rest.Name, def), "veao: query rest variable %s is already bound", qs.Rest.Name)
+}
+
+func boolErr(ok bool, format string, args ...any) error {
+	if ok {
+		return nil
+	}
+	return fmt.Errorf(format, args...)
+}
+
+func constLabelsEqual(a, b *msl.ObjectPattern) bool {
+	al, bl := a.LabelName(), b.LabelName()
+	return al != "" && al == bl
+}

@@ -1,0 +1,355 @@
+package veao
+
+import (
+	"strings"
+	"testing"
+
+	"medmaker/internal/msl"
+)
+
+const specMS1 = `
+<cs_person {<name N> <rel R> Rest1 Rest2}> :-
+    <person {<name N> <dept 'CS'> <relation R> | Rest1}>@whois
+    AND <R {<first_name FN> <last_name LN> | Rest2}>@cs
+    AND decomp(N, LN, FN).
+
+decomp(bound, free, free) by name_to_lnfn.
+decomp(free, bound, bound) by lnfn_to_name.
+`
+
+func expander(t *testing.T, spec string, opts Options) *Expander {
+	t.Helper()
+	prog, err := msl.ParseProgram(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewExpander(prog, "med", opts)
+}
+
+func expand(t *testing.T, e *Expander, query string) *Program {
+	t.Helper()
+	q, err := msl.ParseQuery(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := e.Expand(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestExpandQ1ToR2 reproduces Section 3.1: query Q1 against MS1 yields the
+// single datamerge rule R2 via unifier θ1 (N ↦ 'Joe Chung', JC ⇒ head).
+func TestExpandQ1ToR2(t *testing.T) {
+	e := expander(t, specMS1, Options{})
+	prog := expand(t, e, `JC :- JC:<cs_person {<name 'Joe Chung'>}>@med.`)
+	if len(prog.Rules) != 1 {
+		t.Fatalf("Q1 expanded to %d rules, want 1 (R2):\n%s", len(prog.Rules), prog)
+	}
+	r2 := prog.Rules[0]
+
+	// Head: the definition of JC — the substituted rule head.
+	if len(r2.Head) != 1 {
+		t.Fatalf("R2 head: %v", r2.Head)
+	}
+	head, ok := r2.Head[0].(*msl.ObjectPattern)
+	if !ok || head.LabelName() != "cs_person" {
+		t.Fatalf("R2 head: %s", r2.Head[0])
+	}
+	hs := head.Value.(*msl.SetPattern)
+	name := hs.Elems[0].(*msl.ObjectPattern)
+	if c, isConst := name.Value.(*msl.Const); !isConst || c.String() != "'Joe Chung'" {
+		t.Fatalf("N not substituted in head: %s", head)
+	}
+
+	// Tail: whois pattern with N substituted, cs pattern, decomp.
+	if len(r2.Tail) != 3 {
+		t.Fatalf("R2 tail has %d conjuncts:\n%s", len(r2.Tail), r2)
+	}
+	whois := r2.Tail[0].(*msl.PatternConjunct)
+	if whois.Source != "whois" {
+		t.Fatalf("first conjunct source %q", whois.Source)
+	}
+	ws := whois.Pattern.Value.(*msl.SetPattern)
+	wname := ws.Elems[0].(*msl.ObjectPattern)
+	if c, isConst := wname.Value.(*msl.Const); !isConst || c.String() != "'Joe Chung'" {
+		t.Fatalf("N not substituted in whois tail: %s", whois.Pattern)
+	}
+	cs := r2.Tail[1].(*msl.PatternConjunct)
+	if cs.Source != "cs" {
+		t.Fatalf("second conjunct source %q", cs.Source)
+	}
+	if _, isVar := cs.Pattern.Label.(*msl.Var); !isVar {
+		t.Fatalf("cs label should remain a variable: %s", cs.Pattern)
+	}
+	if _, isPred := r2.Tail[2].(*msl.PredicateConjunct); !isPred {
+		t.Fatalf("third conjunct should be decomp: %s", r2.Tail[2])
+	}
+}
+
+// TestExpandYearPushdown reproduces Section 3.3: the <year 3> condition
+// can be pushed either into Rest1 or Rest2, yielding two rules (τ1, τ2).
+func TestExpandYearPushdown(t *testing.T) {
+	e := expander(t, specMS1, Options{})
+	prog := expand(t, e, `S :- S:<cs_person {<year 3>}>@med.`)
+	if len(prog.Rules) != 2 {
+		t.Fatalf("year query expanded to %d rules, want 2 (τ1, τ2):\n%s", len(prog.Rules), prog)
+	}
+	// One rule constrains the whois rest variable, the other the cs one.
+	var gotWhois, gotCS bool
+	for _, r := range prog.Rules {
+		for _, c := range r.Tail {
+			pc, ok := c.(*msl.PatternConjunct)
+			if !ok {
+				continue
+			}
+			sp, ok := pc.Pattern.Value.(*msl.SetPattern)
+			if !ok || len(sp.RestConstraints) == 0 {
+				continue
+			}
+			if len(sp.RestConstraints) != 1 || sp.RestConstraints[0].LabelName() != "year" {
+				t.Fatalf("unexpected rest constraints: %s", pc.Pattern)
+			}
+			switch pc.Source {
+			case "whois":
+				gotWhois = true
+			case "cs":
+				gotCS = true
+			}
+		}
+	}
+	if !gotWhois || !gotCS {
+		t.Fatalf("push choices missing (whois=%v cs=%v):\n%s", gotWhois, gotCS, prog)
+	}
+}
+
+// TestExhaustiveKeepsRestPushes checks the Exhaustive option: Q1's name
+// condition additionally pushes into Rest1 and Rest2.
+func TestExhaustiveKeepsRestPushes(t *testing.T) {
+	e := expander(t, specMS1, Options{Exhaustive: true})
+	prog := expand(t, e, `JC :- JC:<cs_person {<name 'Joe Chung'>}>@med.`)
+	if len(prog.Rules) != 3 {
+		t.Fatalf("exhaustive Q1 expanded to %d rules, want 3:\n%s", len(prog.Rules), prog)
+	}
+}
+
+func TestExpandMultipleSpecRules(t *testing.T) {
+	// Persons from either source individually (the union view the paper
+	// mentions as the fix for med's both-sources limitation).
+	spec := `
+	<any_person {<name N>}> :- <person {<name N>}>@whois.
+	<any_person {<name N>}> :- <R {<first_name FN> <last_name LN>}>@cs AND decomp(N, LN, FN).
+	decomp(free, bound, bound) by lnfn_to_name.
+	`
+	e := expander(t, spec, Options{})
+	prog := expand(t, e, `P :- P:<any_person {<name N>}>@med.`)
+	if len(prog.Rules) != 2 {
+		t.Fatalf("union view expanded to %d rules, want 2:\n%s", len(prog.Rules), prog)
+	}
+	if len(prog.Decls) != 1 {
+		t.Fatalf("declarations not carried: %v", prog.Decls)
+	}
+}
+
+func TestExpandNonMatchingLabel(t *testing.T) {
+	e := expander(t, specMS1, Options{})
+	prog := expand(t, e, `X :- X:<professor {<name N>}>@med.`)
+	if len(prog.Rules) != 0 {
+		t.Fatalf("non-matching label produced %d rules", len(prog.Rules))
+	}
+}
+
+func TestExpandConditionOnExplicitElementMismatch(t *testing.T) {
+	e := expander(t, specMS1, Options{})
+	// rel is an explicit element bound to variable R: the condition binds
+	// R to 'employee' and, pruned, produces exactly one rule where the cs
+	// pattern's label became the constant.
+	prog := expand(t, e, `X :- X:<cs_person {<rel 'employee'>}>@med.`)
+	if len(prog.Rules) != 1 {
+		t.Fatalf("expanded to %d rules:\n%s", len(prog.Rules), prog)
+	}
+	cs := prog.Rules[0].Tail[1].(*msl.PatternConjunct)
+	if cs.Pattern.LabelName() != "employee" {
+		t.Fatalf("R not substituted into the cs label: %s", cs.Pattern)
+	}
+}
+
+func TestExpandThroughTwoMediators(t *testing.T) {
+	// med's view is defined over another view in the same spec: the
+	// inner reference has no @source, so it resolves against med itself.
+	spec := `
+	<vip {<name N>}> :- <staff {<name N> <level 'senior'>}>.
+	<staff {<name N> <level L>}> :- <person {<name N> <level L>}>@hr.
+	`
+	e := expander(t, spec, Options{})
+	prog := expand(t, e, `X :- X:<vip {<name N>}>@med.`)
+	if len(prog.Rules) != 1 {
+		t.Fatalf("nested view expanded to %d rules:\n%s", len(prog.Rules), prog)
+	}
+	pc := prog.Rules[0].Tail[0].(*msl.PatternConjunct)
+	if pc.Source != "hr" {
+		t.Fatalf("inner view not expanded: %s", prog)
+	}
+	// The senior condition reached the source pattern.
+	if !strings.Contains(prog.Rules[0].String(), "'senior'") {
+		t.Fatalf("level condition lost:\n%s", prog)
+	}
+}
+
+func TestRecursiveViewDepthLimit(t *testing.T) {
+	spec := `<loop {X}> :- <loop {X}>.`
+	e := expander(t, spec, Options{MaxDepth: 5})
+	q := msl.MustParseRule(`X :- X:<loop {Y}>@med.`)
+	if _, err := e.Expand(q); err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Fatalf("recursive view error: %v", err)
+	}
+}
+
+func TestUnsupportedQueryForms(t *testing.T) {
+	e := expander(t, specMS1, Options{})
+	cases := []string{
+		`X :- X:<%cs_person>@med.`,                                     // wildcard on mediator
+		`X :- X:<I cs_person {<name N>}>@med.`,                         // oid variable on mediator
+		`X :- X:<cs_person {<name N>}>@med AND Y:<cs_person {Z}>@med.`, // head var Y fine but Z elem var ok... covered below
+	}
+	for _, src := range cases[:2] {
+		q := msl.MustParseRule(src)
+		if _, err := e.Expand(q); err == nil {
+			t.Errorf("query %q expanded without error", src)
+		}
+	}
+}
+
+func TestUndefinedHeadVariable(t *testing.T) {
+	e := expander(t, specMS1, Options{})
+	q := msl.MustParseRule(`Z :- X:<cs_person {<name N>}>@med.`)
+	if _, err := e.Expand(q); err == nil {
+		t.Fatal("head variable without definition accepted")
+	}
+}
+
+func TestVariableValuedHeadRejected(t *testing.T) {
+	spec := `<wrapped V> :- <person V>@src.`
+	e := expander(t, spec, Options{})
+	q := msl.MustParseRule(`X :- X:<wrapped {<name N>}>@med.`)
+	if _, err := e.Expand(q); err == nil {
+		t.Fatal("set condition against variable-valued head accepted")
+	}
+	// But a value-variable query against it is fine.
+	q2 := msl.MustParseRule(`<out V> :- <wrapped V>@med.`)
+	prog, err := e.Expand(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 1 {
+		t.Fatalf("expanded to %d rules", len(prog.Rules))
+	}
+}
+
+func TestAtomicValueConditions(t *testing.T) {
+	spec := `<temp {<city C> <degrees D>}> :- <reading {<city C> <degrees D>}>@ws.`
+	e := expander(t, spec, Options{})
+	// Constant condition on an atomic head element.
+	prog := expand(t, e, `X :- X:<temp {<city 'Palo Alto'>}>@med.`)
+	if len(prog.Rules) != 1 {
+		t.Fatalf("expanded to %d rules:\n%s", len(prog.Rules), prog)
+	}
+	if !strings.Contains(prog.Rules[0].String(), "'Palo Alto'") {
+		t.Fatalf("condition not pushed:\n%s", prog)
+	}
+	// Contradictory constant conditions on the same element yield no rule
+	// (two 'city' conditions cannot both bind C, and there is no rest
+	// variable to push into).
+	prog2 := expand(t, e, `X :- X:<temp {<city 'A'> <city 'B'>}>@med.`)
+	if len(prog2.Rules) != 0 {
+		t.Fatalf("contradictory conditions produced rules:\n%s", prog2)
+	}
+}
+
+func TestTypeConditions(t *testing.T) {
+	spec := `<rec {<year Y>}> :- <entry {<year Y>}>@src.`
+	e := expander(t, spec, Options{})
+	// Type condition on the top-level pattern: mediator objects are sets.
+	if _, err := e.Expand(msl.MustParseRule(`X :- X:<rec set {<year Y>}>@med.`)); err != nil {
+		t.Fatalf("set-type condition rejected: %v", err)
+	}
+	q := msl.MustParseRule(`X :- X:<rec string V>@med.`)
+	if _, err := e.Expand(q); err == nil {
+		t.Fatal("string-type condition against a set-valued view accepted")
+	}
+}
+
+func TestQueryPredicateCarried(t *testing.T) {
+	e := expander(t, specMS1, Options{})
+	prog := expand(t, e, `X :- X:<cs_person {<name N>}>@med AND lt(N, 'M').`)
+	if len(prog.Rules) != 1 {
+		t.Fatalf("expanded to %d rules", len(prog.Rules))
+	}
+	last := prog.Rules[0].Tail[len(prog.Rules[0].Tail)-1]
+	pred, ok := last.(*msl.PredicateConjunct)
+	if !ok || pred.Name != "lt" {
+		t.Fatalf("query predicate lost: %s", prog)
+	}
+}
+
+func TestOtherSourceConjunctPassesThrough(t *testing.T) {
+	e := expander(t, specMS1, Options{})
+	prog := expand(t, e, `X :- X:<cs_person {<name N>}>@med AND <log {<name N>}>@audit.`)
+	if len(prog.Rules) != 1 {
+		t.Fatalf("expanded to %d rules", len(prog.Rules))
+	}
+	found := false
+	for _, c := range prog.Rules[0].Tail {
+		if pc, ok := c.(*msl.PatternConjunct); ok && pc.Source == "audit" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("audit conjunct lost:\n%s", prog)
+	}
+}
+
+func TestQueryRestVariableDefinition(t *testing.T) {
+	e := expander(t, specMS1, Options{})
+	prog := expand(t, e, `<out {Everything}> :- <cs_person {<name 'Joe Chung'> | Everything}>@med.`)
+	if len(prog.Rules) != 1 {
+		t.Fatalf("expanded to %d rules:\n%s", len(prog.Rules), prog)
+	}
+	// Everything was defined as the remaining head structure; it must not
+	// remain as a bare unbound variable in the rewritten head.
+	head := prog.Rules[0].Head[0].(*msl.ObjectPattern)
+	hs := head.Value.(*msl.SetPattern)
+	// rel element + Rest1 + Rest2 → at least 3 parts spliced in.
+	if len(hs.Elems) < 3 {
+		t.Fatalf("query rest not spliced: %s", head)
+	}
+}
+
+func TestQueryElemVariableAliases(t *testing.T) {
+	e := expander(t, specMS1, Options{})
+	// A bare variable element can alias any head element or set variable;
+	// with 2 explicit elements and 2 set variables, 4 rules result.
+	prog := expand(t, e, `<out {E}> :- <cs_person {E}>@med.`)
+	if len(prog.Rules) != 4 {
+		t.Fatalf("elem-variable query expanded to %d rules, want 4:\n%s", len(prog.Rules), prog)
+	}
+}
+
+func TestConstOIDQueryYieldsNothing(t *testing.T) {
+	e := expander(t, specMS1, Options{})
+	prog := expand(t, e, `X :- X:<&abc cs_person {<name N>}>@med.`)
+	if len(prog.Rules) != 0 {
+		t.Fatalf("constant-oid query produced rules:\n%s", prog)
+	}
+}
+
+func TestSpecHeadValidation(t *testing.T) {
+	// Multi-pattern heads in spec rules are rejected during expansion.
+	spec := `<a {X}> <b {X}> :- <src {X}>@s.`
+	e := expander(t, spec, Options{})
+	q := msl.MustParseRule(`P :- P:<a {Y}>@med.`)
+	if _, err := e.Expand(q); err == nil {
+		t.Fatal("multi-head spec rule accepted")
+	}
+}

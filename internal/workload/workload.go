@@ -1,0 +1,238 @@
+// Package workload generates synthetic source populations for tests,
+// examples, and the experiment harness. The generators scale the paper's
+// running example — a relational staff database and an irregular whois
+// directory describing overlapping sets of people — plus deep object
+// trees for wildcard experiments and duplicated bibliographies for the
+// fusion scenario. Generation is deterministic per seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"medmaker/internal/oem"
+	"medmaker/internal/relational"
+	"medmaker/internal/semistruct"
+)
+
+// StaffConfig sizes a cs/whois population.
+type StaffConfig struct {
+	// Persons is the number of people present in both sources.
+	Persons int
+	// Departments is the number of distinct departments; people are
+	// assigned round-robin, so dept 'CS' selects ~Persons/Departments.
+	Departments int
+	// EmployeeFraction in [0,1] sets the employee/student split.
+	EmployeeFraction float64
+	// Irregularity in [0,1] is the chance a whois record carries an
+	// extra optional field and the chance it lacks e_mail.
+	Irregularity float64
+	// WhoisOnly and CSOnly add people present in a single source.
+	WhoisOnly, CSOnly int
+	// Seed fixes the generator.
+	Seed int64
+}
+
+// Staff is a generated population: the relational database (cs source)
+// and the irregular record store (whois source).
+type Staff struct {
+	DB    *relational.DB
+	Store *semistruct.Store
+	// Names lists the full names present in both sources, in order.
+	Names []string
+}
+
+// DeptName returns the i'th department name; department 0 is "CS" so the
+// paper's queries keep working at scale.
+func DeptName(i int) string {
+	if i == 0 {
+		return "CS"
+	}
+	return fmt.Sprintf("dept%02d", i)
+}
+
+// GenStaff builds a population per cfg.
+func GenStaff(cfg StaffConfig) (*Staff, error) {
+	if cfg.Departments <= 0 {
+		cfg.Departments = 1
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	db := relational.NewDB()
+	emp, err := db.CreateTable(relational.Schema{
+		Name: "employee",
+		Columns: []relational.Column{
+			{Name: "first_name", Kind: oem.KindString},
+			{Name: "last_name", Kind: oem.KindString},
+			{Name: "title", Kind: oem.KindString},
+			{Name: "reports_to", Kind: oem.KindString},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	stu, err := db.CreateTable(relational.Schema{
+		Name: "student",
+		Columns: []relational.Column{
+			{Name: "first_name", Kind: oem.KindString},
+			{Name: "last_name", Kind: oem.KindString},
+			{Name: "year", Kind: oem.KindInt},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	store := semistruct.NewStore()
+	out := &Staff{DB: db, Store: store}
+
+	titles := []string{"professor", "lecturer", "staff", "postdoc"}
+	addPerson := func(i int, inWhois, inCS bool) error {
+		first := fmt.Sprintf("F%04d", i)
+		last := fmt.Sprintf("L%04d", i)
+		full := first + " " + last
+		dept := DeptName(i % cfg.Departments)
+		isEmployee := r.Float64() < cfg.EmployeeFraction
+		relName := "student"
+		if isEmployee {
+			relName = "employee"
+		}
+		if inCS {
+			if isEmployee {
+				if err := emp.Insert(first, last, titles[i%len(titles)], fmt.Sprintf("F%04d L%04d", i/2, i/2)); err != nil {
+					return err
+				}
+			} else {
+				if err := stu.Insert(first, last, 1+i%5); err != nil {
+					return err
+				}
+			}
+		}
+		if inWhois {
+			fields := []semistruct.Field{
+				{Name: "name", Value: full},
+				{Name: "dept", Value: dept},
+				{Name: "relation", Value: relName},
+			}
+			if r.Float64() >= cfg.Irregularity {
+				fields = append(fields, semistruct.Field{Name: "e_mail", Value: fmt.Sprintf("%s@%s", first, dept)})
+			}
+			if r.Float64() < cfg.Irregularity {
+				extras := []semistruct.Field{
+					{Name: "birthday", Value: fmt.Sprintf("June %d", 1+i%28)},
+					{Name: "office", Value: fmt.Sprintf("Gates %d", 100+i%400)},
+					{Name: "homepage", Value: fmt.Sprintf("http://www/%s", first)},
+					{Name: "phone", Value: fmt.Sprintf("650-%04d", i)},
+				}
+				fields = append(fields, extras[i%len(extras)])
+			}
+			if !isEmployee && r.Float64() < 0.5 {
+				fields = append(fields, semistruct.Field{Name: "year", Value: 1 + i%5})
+			}
+			if err := store.Add(semistruct.Record{Kind: "person", Fields: fields}); err != nil {
+				return err
+			}
+		}
+		if inWhois && inCS {
+			out.Names = append(out.Names, full)
+		}
+		return nil
+	}
+
+	n := 0
+	for i := 0; i < cfg.Persons; i++ {
+		if err := addPerson(n, true, true); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	for i := 0; i < cfg.WhoisOnly; i++ {
+		if err := addPerson(n, true, false); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	for i := 0; i < cfg.CSOnly; i++ {
+		if err := addPerson(n, false, true); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return out, nil
+}
+
+// GenDeepLibrary builds a library object tree of the given breadth and
+// depth with "title" leaves at the deepest level — the workload for the
+// wildcard-search experiments. The tree has breadth^depth titles.
+func GenDeepLibrary(breadth, depth int) *oem.Object {
+	gen := oem.NewIDGen("lib")
+	var build func(level int) *oem.Object
+	count := 0
+	build = func(level int) *oem.Object {
+		if level == depth {
+			count++
+			return oem.New(gen.Next(), "title", fmt.Sprintf("Book %d", count))
+		}
+		subs := make(oem.Set, breadth)
+		for i := range subs {
+			subs[i] = build(level + 1)
+		}
+		labels := []string{"shelf", "section", "case", "box"}
+		return &oem.Object{OID: gen.Next(), Label: labels[level%len(labels)], Value: subs}
+	}
+	root := &oem.Object{OID: gen.Next(), Label: "library", Value: oem.Set{build(0)}}
+	return root
+}
+
+// BibConfig sizes the bibliography-fusion population: two sources holding
+// overlapping sets of papers with differently-formatted author names.
+type BibConfig struct {
+	// Papers is the number of distinct papers.
+	Papers int
+	// OverlapFraction in [0,1] is the share of papers present in both
+	// sources (duplicates the mediator must fuse).
+	OverlapFraction float64
+	// Seed fixes the generator.
+	Seed int64
+}
+
+// Bib is a generated bibliography population.
+type Bib struct {
+	// SourceA uses 'First Last' author names; SourceB 'Last, First'.
+	SourceA, SourceB []*oem.Object
+	// Titles lists every distinct paper title.
+	Titles []string
+}
+
+// GenBib builds the population.
+func GenBib(cfg BibConfig) *Bib {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	genA := oem.NewIDGen("ba")
+	genB := oem.NewIDGen("bb")
+	out := &Bib{}
+	areas := []string{"databases", "systems", "theory", "networks"}
+	for i := 0; i < cfg.Papers; i++ {
+		title := fmt.Sprintf("Paper %04d", i)
+		out.Titles = append(out.Titles, title)
+		first := fmt.Sprintf("Avi%c", 'A'+i%26)
+		last := fmt.Sprintf("Wid%c", 'A'+(i/26)%26)
+		year := 1980 + i%17
+		area := areas[i%len(areas)]
+		inBoth := r.Float64() < cfg.OverlapFraction
+		inA := inBoth || i%2 == 0
+		inB := inBoth || i%2 == 1
+		if inA {
+			out.SourceA = append(out.SourceA, oem.NewSet(genA.Next(), "paper",
+				oem.New(genA.Next(), "title", title),
+				oem.New(genA.Next(), "author", first+" "+last),
+				oem.New(genA.Next(), "year", year),
+			))
+		}
+		if inB {
+			out.SourceB = append(out.SourceB, oem.NewSet(genB.Next(), "article",
+				oem.New(genB.Next(), "title", title),
+				oem.New(genB.Next(), "author", last+", "+first),
+				oem.New(genB.Next(), "area", area),
+			))
+		}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"testing"
+
+	"medmaker/internal/semistruct"
+)
+
+func TestGenStaffDeterministic(t *testing.T) {
+	cfg := StaffConfig{Persons: 50, Departments: 4, EmployeeFraction: 0.5, Irregularity: 0.3, Seed: 7}
+	a, err := GenStaff(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenStaff(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Names) != 50 || len(b.Names) != 50 {
+		t.Fatalf("names: %d, %d", len(a.Names), len(b.Names))
+	}
+	for i := range a.Names {
+		if a.Names[i] != b.Names[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+	wa := semistruct.NewWrapper("whois", a.Store)
+	wb := semistruct.NewWrapper("whois", b.Store)
+	ea, eb := wa.Export(), wb.Export()
+	if len(ea) != len(eb) {
+		t.Fatal("whois sizes differ across runs")
+	}
+	for i := range ea {
+		if !ea[i].StructuralEqual(eb[i]) {
+			t.Fatal("whois records differ across runs")
+		}
+	}
+}
+
+func TestGenStaffCounts(t *testing.T) {
+	s, err := GenStaff(StaffConfig{
+		Persons: 40, Departments: 2, EmployeeFraction: 1.0, WhoisOnly: 5, CSOnly: 7, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Store.Len() != 45 { // persons + whois-only
+		t.Fatalf("whois has %d records", s.Store.Len())
+	}
+	emp, _ := s.DB.Table("employee")
+	stu, _ := s.DB.Table("student")
+	if emp.Len()+stu.Len() != 47 { // persons + cs-only
+		t.Fatalf("cs has %d rows", emp.Len()+stu.Len())
+	}
+	// EmployeeFraction 1.0: everyone is an employee.
+	if stu.Len() != 0 {
+		t.Fatalf("students with fraction 1.0: %d", stu.Len())
+	}
+}
+
+func TestGenStaffIrregularity(t *testing.T) {
+	s, err := GenStaff(StaffConfig{Persons: 200, Irregularity: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := semistruct.NewWrapper("whois", s.Store)
+	withEmail, withExtra := 0, 0
+	for _, o := range w.Export() {
+		if o.Sub("e_mail") != nil {
+			withEmail++
+		}
+		if o.Sub("birthday") != nil || o.Sub("office") != nil || o.Sub("homepage") != nil || o.Sub("phone") != nil {
+			withExtra++
+		}
+	}
+	if withEmail == 0 || withEmail == 200 {
+		t.Fatalf("e_mail irregularity degenerate: %d/200", withEmail)
+	}
+	if withExtra == 0 {
+		t.Fatal("no extra fields generated")
+	}
+	// Irregularity 0: fully regular.
+	reg, _ := GenStaff(StaffConfig{Persons: 50, Seed: 3})
+	wr := semistruct.NewWrapper("whois", reg.Store)
+	for _, o := range wr.Export() {
+		if o.Sub("e_mail") == nil {
+			t.Fatal("regular population lacks e_mail")
+		}
+	}
+}
+
+func TestDeptName(t *testing.T) {
+	if DeptName(0) != "CS" {
+		t.Fatal("department 0 must be CS")
+	}
+	if DeptName(1) == "CS" || DeptName(1) == DeptName(2) {
+		t.Fatal("department names must be distinct")
+	}
+}
+
+func TestGenDeepLibrary(t *testing.T) {
+	lib := GenDeepLibrary(2, 3)
+	if got := len(lib.Find("title")); got != 8 {
+		t.Fatalf("library has %d titles, want 2^3", got)
+	}
+	if lib.Depth() != 5 { // library -> 3 levels -> title
+		t.Fatalf("library depth %d", lib.Depth())
+	}
+	if err := lib.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenBib(t *testing.T) {
+	bib := GenBib(BibConfig{Papers: 100, OverlapFraction: 1.0, Seed: 5})
+	if len(bib.SourceA) != 100 || len(bib.SourceB) != 100 {
+		t.Fatalf("full overlap sizes: %d, %d", len(bib.SourceA), len(bib.SourceB))
+	}
+	// Author formats differ between sources.
+	a0 := bib.SourceA[0].Sub("author")
+	b0 := bib.SourceB[0].Sub("author")
+	as, _ := a0.AtomString()
+	bs, _ := b0.AtomString()
+	if as == bs {
+		t.Fatalf("author formats should differ: %q vs %q", as, bs)
+	}
+	none := GenBib(BibConfig{Papers: 100, OverlapFraction: 0, Seed: 5})
+	if len(none.SourceA)+len(none.SourceB) != 100 {
+		t.Fatalf("zero overlap total: %d", len(none.SourceA)+len(none.SourceB))
+	}
+	if len(bib.Titles) != 100 {
+		t.Fatalf("titles: %d", len(bib.Titles))
+	}
+}

@@ -1,0 +1,551 @@
+// Package medmaker is a Go implementation of MedMaker, the TSIMMIS
+// mediation system of Papakonstantinou, Garcia-Molina, and Ullman (ICDE
+// 1996): declaratively-specified mediators that provide integrated views
+// over heterogeneous information sources.
+//
+// Sources export data in the Object Exchange Model (OEM) through wrappers;
+// a mediator is specified in the Mediator Specification Language (MSL) as
+// a set of rules defining virtual integrated objects; and queries — also
+// MSL — are answered by the Mediator Specification Interpreter (MSI):
+// view expansion and algebraic optimization, cost-based planning into a
+// physical datamerge graph, and execution by the datamerge engine.
+//
+// A minimal mediator over one source:
+//
+//	src, _ := medmaker.NewOEMSourceFromText("people", `
+//	    <person, set, {<name, 'Ann'>, <dept, 'CS'>}>`)
+//	med, _ := medmaker.New(medmaker.Config{
+//	    Name:    "med",
+//	    Spec:    `<staff {<name N>}> :- <person {<name N> <dept 'CS'>}>@people.`,
+//	    Sources: []medmaker.Source{src},
+//	})
+//	objs, _ := med.QueryString(`X :- X:<staff {<name N>}>@med.`)
+//
+// Mediators implement the Source interface themselves, so views can be
+// layered: a mediator integrates wrappers and other mediators alike, as in
+// the TSIMMIS architecture of the paper's Figure 1.1.
+package medmaker
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"medmaker/internal/engine"
+	"medmaker/internal/extfn"
+	"medmaker/internal/lorel"
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+	"medmaker/internal/oemstore"
+	"medmaker/internal/plan"
+	"medmaker/internal/veao"
+	"medmaker/internal/wrapper"
+)
+
+// Re-exported core types. The aliases make the internal implementations
+// part of the public API without duplication.
+type (
+	// Object is an OEM object <oid, label, type, value>.
+	Object = oem.Object
+	// OID is an OEM object identifier.
+	OID = oem.OID
+	// Value is an OEM value: an atomic value or a set of subobjects.
+	Value = oem.Value
+	// Rule is a parsed MSL rule (specification rule or query).
+	Rule = msl.Rule
+	// SpecProgram is a parsed MSL text: rules plus external declarations.
+	SpecProgram = msl.Program
+	// Source is anything a mediator can query: a wrapper or another
+	// mediator.
+	Source = wrapper.Source
+	// Capabilities advertises the query features a source supports.
+	Capabilities = wrapper.Capabilities
+	// Func is an external function implementation (see the MSL "by"
+	// declarations).
+	Func = extfn.Func
+	// PlanOptions control the cost-based optimizer.
+	PlanOptions = plan.Options
+	// OrderMode selects the optimizer's join-order strategy.
+	OrderMode = plan.OrderMode
+	// ExpandOptions control view expansion.
+	ExpandOptions = veao.Options
+	// Stats is the optimizer's statistics store, learned from past
+	// queries.
+	Stats = engine.Stats
+)
+
+// Join-order strategies for PlanOptions.Order.
+const (
+	// OrderHeuristic places the patterns with the most conditions
+	// outermost (the paper's heuristic).
+	OrderHeuristic = plan.OrderHeuristic
+	// OrderStats orders by estimated result sizes learned from past
+	// queries.
+	OrderStats = plan.OrderStats
+	// OrderAsWritten keeps the rule's textual order.
+	OrderAsWritten = plan.OrderAsWritten
+	// OrderReversed inverts the heuristic (worst-case baseline).
+	OrderReversed = plan.OrderReversed
+)
+
+// DefaultPlanOptions returns the optimizer defaults: heuristic order,
+// condition pushdown, parameterized queries, duplicate elimination.
+func DefaultPlanOptions() PlanOptions { return plan.DefaultOptions() }
+
+// ParseOEM parses objects in the textual OEM format.
+func ParseOEM(text string) ([]*Object, error) { return oem.Parse(text) }
+
+// FormatOEM renders objects in the flat textual OEM format of the paper's
+// figures.
+func FormatOEM(objs ...*Object) string { return oem.Format(objs...) }
+
+// ParseQuery parses an MSL query (a single rule).
+func ParseQuery(text string) (*Rule, error) { return msl.ParseQuery(text) }
+
+// TranslateLorel translates a LOREL-style end-user query (footnote 4 of
+// the paper: "select … from … where …") into the equivalent MSL rule.
+func TranslateLorel(text string) (*Rule, error) { return lorel.Translate(text) }
+
+// ParseSpec parses an MSL mediator specification.
+func ParseSpec(text string) (*SpecProgram, error) { return msl.ParseProgram(text) }
+
+// Config describes a mediator to New.
+type Config struct {
+	// Name is the mediator's source name (what queries write after "@").
+	Name string
+	// Spec is the MSL specification text; SpecProgram takes precedence
+	// when non-nil.
+	Spec string
+	// SpecProgram is a pre-parsed specification.
+	SpecProgram *SpecProgram
+	// Sources are the wrappers and mediators the specification's rules
+	// refer to.
+	Sources []Source
+	// Functions registers external functions by name, in addition to the
+	// standard library (name_to_lnfn, lnfn_to_name, normalize_author, …).
+	Functions map[string]Func
+	// Plan overrides the optimizer options; zero value means defaults
+	// (heuristic order, pushdown, parameterized queries, dup-elim).
+	Plan *PlanOptions
+	// Expand overrides view-expansion options.
+	Expand ExpandOptions
+	// Trace, when set, receives a node-by-node account of every
+	// execution: the physical graph and the binding tables flowing
+	// through it. Tracing forces sequential execution.
+	Trace io.Writer
+	// Parallelism > 1 lets the datamerge engine evaluate independent
+	// subtrees concurrently and fan parameterized-query tuples across
+	// that many workers. Sources must tolerate concurrent queries (all
+	// bundled wrappers do) and external functions must be pure. Results
+	// are identical to sequential execution, including order.
+	Parallelism int
+}
+
+// Mediator is a declaratively-specified integrated view over a set of
+// sources. It is safe for concurrent queries, and is itself a Source.
+type Mediator struct {
+	name     string
+	spec     *msl.Program
+	sources  *wrapper.Registry
+	extfns   *extfn.Table
+	expander *veao.Expander
+	planOpts plan.Options
+	stats    *engine.Stats
+	gen      *oem.IDGen
+	trace    io.Writer
+	parallel int
+	// fused marks specifications whose heads carry skolem object-ids:
+	// queries then evaluate against the materialized, fused view (see
+	// Query), because a condition may only hold on the fusion of
+	// fragments produced by different rules.
+	fused bool
+
+	mu sync.Mutex // serializes access to the trace writer
+}
+
+var _ Source = (*Mediator)(nil)
+
+// New builds a mediator from its specification, resolving external
+// declarations against the standard library plus cfg.Functions.
+func New(cfg Config) (*Mediator, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("medmaker: mediator needs a name")
+	}
+	spec := cfg.SpecProgram
+	if spec == nil {
+		parsed, err := msl.ParseProgram(cfg.Spec)
+		if err != nil {
+			return nil, err
+		}
+		spec = parsed
+	}
+	if len(spec.Rules) == 0 {
+		return nil, fmt.Errorf("medmaker: specification of %q has no rules", cfg.Name)
+	}
+	reg := extfn.NewRegistry()
+	for name, fn := range cfg.Functions {
+		reg.Register(name, fn)
+	}
+	table, err := extfn.NewTable(reg, spec.Decls)
+	if err != nil {
+		return nil, err
+	}
+	sources := wrapper.NewRegistry()
+	sources.Add(cfg.Sources...)
+	if err := validateSpec(cfg.Name, spec, table, sources); err != nil {
+		return nil, err
+	}
+	opts := plan.DefaultOptions()
+	if cfg.Plan != nil {
+		opts = *cfg.Plan
+	}
+	return &Mediator{
+		name:     cfg.Name,
+		spec:     spec,
+		sources:  sources,
+		extfns:   table,
+		expander: veao.NewExpander(spec, cfg.Name, cfg.Expand),
+		planOpts: opts,
+		stats:    engine.NewStats(),
+		gen:      oem.NewIDGen(cfg.Name),
+		trace:    cfg.Trace,
+		parallel: cfg.Parallelism,
+		fused:    specHasSkolems(spec),
+	}, nil
+}
+
+// validateSpec rejects specifications with statically-detectable faults:
+// unsafe rules (head variables never bound in the tail), undeclared
+// predicates, and references to sources that are neither registered nor
+// the mediator itself.
+func validateSpec(name string, spec *msl.Program, table *extfn.Table, sources *wrapper.Registry) error {
+	for ri, r := range spec.Rules {
+		tailVars := map[string]bool{}
+		for _, c := range r.Tail {
+			// Negated conjuncts bind nothing, so they cannot make a head
+			// variable safe.
+			if pc, ok := c.(*msl.PatternConjunct); ok && pc.Negated {
+				continue
+			}
+			tmp := &msl.Rule{Tail: []msl.Conjunct{c}}
+			for _, v := range tmp.Vars() {
+				tailVars[v] = true
+			}
+		}
+		for _, hv := range r.HeadVars() {
+			if !tailVars[hv] {
+				return fmt.Errorf("medmaker: %s: rule %d is unsafe: head variable %s never appears in the tail",
+					name, ri+1, hv)
+			}
+		}
+		for _, c := range r.Tail {
+			switch t := c.(type) {
+			case *msl.PredicateConjunct:
+				if !table.Knows(t.Name) {
+					return fmt.Errorf("medmaker: %s: rule %d uses undeclared predicate %q",
+						name, ri+1, t.Name)
+				}
+			case *msl.PatternConjunct:
+				if t.Source == "" || t.Source == name {
+					continue // a reference to this mediator's own view
+				}
+				if _, ok := sources.Lookup(t.Source); !ok {
+					return fmt.Errorf("medmaker: %s: rule %d references unknown source %q (registered: %v)",
+						name, ri+1, t.Source, sources.Names())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Name implements Source.
+func (m *Mediator) Name() string { return m.name }
+
+// Capabilities implements Source. Mediators evaluate conditions and rest
+// constraints by pushing them through view expansion; wildcard searches
+// over virtual objects are not supported (query the sources directly).
+func (m *Mediator) Capabilities() Capabilities {
+	return Capabilities{ValueConditions: true, RestConstraints: true, Wildcards: false, MultiPattern: true}
+}
+
+// Query answers an MSL query rule; it implements Source, which is what
+// lets mediators serve as sources of other mediators. The returned
+// objects are materialized results with mediator-issued object-ids.
+//
+// For specifications using semantic object-ids, queries are answered
+// against the materialized fused view: a condition may only hold on the
+// fusion of fragments derived by different rules (e.g. office from one
+// source and salary from another under one person(N)), so per-rule
+// expansion would silently miss answers. Non-fusion specifications use
+// ordinary view expansion.
+func (m *Mediator) Query(q *Rule) ([]*Object, error) {
+	if m.fused || m.needsMaterializedView(q) {
+		return m.queryFusedView(q)
+	}
+	physical, _, err := m.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	return m.Execute(physical)
+}
+
+// needsMaterializedView reports query forms that per-rule expansion
+// cannot answer and the materialized-view strategy can:
+//
+//   - a negated condition on this mediator's own view (an object is
+//     absent from the view only if *no* rule derives it);
+//   - a predicate over a rest variable of a view condition (the rest of
+//     a virtual object only exists at runtime, after construction).
+func (m *Mediator) needsMaterializedView(q *Rule) bool {
+	viewRests := map[string]bool{}
+	for _, c := range q.Tail {
+		pc, ok := c.(*msl.PatternConjunct)
+		if !ok || (pc.Source != "" && pc.Source != m.name) {
+			continue
+		}
+		if pc.Negated {
+			return true
+		}
+		collectRestVars(pc.Pattern, viewRests)
+	}
+	if len(viewRests) == 0 {
+		return false
+	}
+	for _, c := range q.Tail {
+		if pr, ok := c.(*msl.PredicateConjunct); ok {
+			for _, a := range pr.Args {
+				if v, isVar := a.(*msl.Var); isVar && viewRests[v.Name] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func collectRestVars(p *msl.ObjectPattern, out map[string]bool) {
+	sp, ok := p.Value.(*msl.SetPattern)
+	if !ok {
+		return
+	}
+	if sp.Rest != nil {
+		out[sp.Rest.Name] = true
+	}
+	for _, e := range sp.Elems {
+		if ep, isPat := e.(*msl.ObjectPattern); isPat {
+			collectRestVars(ep, out)
+		}
+	}
+	for _, rc := range sp.RestConstraints {
+		collectRestVars(rc, out)
+	}
+}
+
+// fusedViewSource is the ephemeral source name the fused-view strategy
+// registers the materialized view under.
+const fusedViewSource = "_fusedview"
+
+// queryFusedView materializes the whole fused view, then evaluates the
+// query against it as if it were a source, so conditions see the fused
+// objects. Pass-through source conjuncts and predicates still work: the
+// rewritten query is planned and executed by the ordinary machinery over
+// a registry extended with the view.
+func (m *Mediator) queryFusedView(q *Rule) ([]*Object, error) {
+	// 1. Materialize: fetch every view object through normal expansion
+	// (a bare label-variable pattern matches every rule head), fused and
+	// deduplicated by the plan's FuseNode.
+	fetch := &msl.Rule{
+		Head: []msl.HeadTerm{&msl.Var{Name: "V"}},
+		Tail: []msl.Conjunct{&msl.PatternConjunct{
+			ObjVar:  &msl.Var{Name: "V"},
+			Pattern: &msl.ObjectPattern{Label: &msl.Var{Name: "FetchLabel"}},
+			Source:  m.name,
+		}},
+	}
+	physical, _, err := m.Plan(fetch)
+	if err != nil {
+		return nil, err
+	}
+	view, err := m.Execute(physical)
+	if err != nil {
+		return nil, err
+	}
+
+	// 2. Rewrite the query: mediator conjuncts now target the view.
+	rewritten := q.Clone()
+	for _, c := range rewritten.Tail {
+		if pc, ok := c.(*msl.PatternConjunct); ok && (pc.Source == "" || pc.Source == m.name) {
+			pc.Source = fusedViewSource
+		}
+	}
+
+	// 3. Plan and execute over a registry extended with the view.
+	viewSrc, err := oemstore.FromObjects(fusedViewSource, view...)
+	if err != nil {
+		return nil, err
+	}
+	reg := wrapper.NewRegistry()
+	for _, name := range m.sources.Names() {
+		if s, ok := m.sources.Lookup(name); ok {
+			reg.Add(s)
+		}
+	}
+	reg.Add(viewSrc)
+	planner := plan.New(reg, m.extfns, m.stats, m.planOpts)
+	finalPlan, err := planner.Build(&veao.Program{Rules: []*msl.Rule{rewritten}, Decls: m.spec.Decls})
+	if err != nil {
+		return nil, err
+	}
+	ex := &engine.Executor{
+		Sources:     reg,
+		Extfn:       m.extfns,
+		IDGen:       m.gen,
+		Stats:       m.stats,
+		Parallelism: m.parallel,
+	}
+	if m.trace != nil {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		ex.Trace = m.trace
+	}
+	return ex.RunObjects(finalPlan.Root)
+}
+
+// specHasSkolems reports whether any rule head derives its object-id from
+// a skolem term.
+func specHasSkolems(spec *msl.Program) bool {
+	for _, r := range spec.Rules {
+		for _, h := range r.Head {
+			if op, ok := h.(*msl.ObjectPattern); ok {
+				if _, isSkolem := op.OID.(*msl.Skolem); isSkolem {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// QueryString parses and answers an MSL query given as text.
+func (m *Mediator) QueryString(q string) ([]*Object, error) {
+	rule, err := msl.ParseQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return m.Query(rule)
+}
+
+// QueryLorel answers a LOREL-style end-user query ("select … from …
+// where …") by translating it to MSL. From-items without an explicit
+// source ("from person X") range over this mediator's own view.
+// Aggregate select lists (count, sum, min, max, avg) fold the base
+// query's distinct bindings into a single <result {…}> object.
+func (m *Mediator) QueryLorel(q string) ([]*Object, error) {
+	translated, err := lorel.TranslateQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	if translated.Rule != nil {
+		return m.Query(translated.Rule)
+	}
+	result, err := translated.Fold(m.Query)
+	if err != nil {
+		return nil, err
+	}
+	oem.AssignOIDs(result, m.gen)
+	return []*Object{result}, nil
+}
+
+// Expand runs only the View Expander & Algebraic Optimizer, returning the
+// logical datamerge program for a query.
+func (m *Mediator) Expand(q *Rule) (*veao.Program, error) {
+	return m.expander.Expand(q)
+}
+
+// Plan runs view expansion and cost-based optimization, returning the
+// physical datamerge graph and the logical program it came from.
+func (m *Mediator) Plan(q *Rule) (*plan.Plan, *veao.Program, error) {
+	logical, err := m.Expand(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	planner := plan.New(m.sources, m.extfns, m.stats, m.planOpts)
+	physical, err := planner.Build(logical)
+	if err != nil {
+		return nil, nil, err
+	}
+	return physical, logical, nil
+}
+
+// Execute runs a previously-built physical plan through the datamerge
+// engine and returns the constructed result objects.
+func (m *Mediator) Execute(p *plan.Plan) ([]*Object, error) {
+	ex := &engine.Executor{
+		Sources:     m.sources,
+		Extfn:       m.extfns,
+		IDGen:       m.gen,
+		Stats:       m.stats,
+		Parallelism: m.parallel,
+	}
+	if m.trace != nil {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		ex.Trace = m.trace
+	}
+	return ex.RunObjects(p.Root)
+}
+
+// Explain returns a human-readable account of how the mediator would
+// answer the MSL query text: the logical datamerge program and the
+// physical datamerge graph.
+func (m *Mediator) Explain(q string) (string, error) {
+	rule, err := msl.ParseQuery(q)
+	if err != nil {
+		return "", err
+	}
+	physical, logical, err := m.Plan(rule)
+	if err != nil {
+		return "", err
+	}
+	var sb writerBuilder
+	if m.fused {
+		sb.WriteString("-- note: this specification uses semantic object-ids; Query materializes\n")
+		sb.WriteString("-- the fused view first and evaluates the query against it. The plan below\n")
+		sb.WriteString("-- is the per-rule expansion used to materialize fragments.\n")
+	}
+	sb.WriteString("-- logical datamerge program --\n")
+	sb.WriteString(logical.String())
+	sb.WriteString("-- physical datamerge graph --\n")
+	physical.Print(&sb)
+	return sb.String(), nil
+}
+
+// AddSource registers or replaces a source at runtime. Mediators serve
+// autonomous, changing environments: when a source is upgraded or moves
+// (e.g. from in-process to remote), swap it in under the same name and
+// the unchanged specification keeps working. Queries already executing
+// finish against the source they resolved.
+func (m *Mediator) AddSource(src Source) {
+	m.sources.Add(src)
+}
+
+// Stats exposes the mediator's learned statistics store.
+func (m *Mediator) QueryStats() *Stats { return m.stats }
+
+// Spec returns the mediator's parsed specification.
+func (m *Mediator) Spec() *SpecProgram { return m.spec }
+
+// Sources returns the names of the registered sources, sorted.
+func (m *Mediator) Sources() []string { return m.sources.Names() }
+
+type writerBuilder struct{ b []byte }
+
+func (w *writerBuilder) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+func (w *writerBuilder) WriteString(s string) { w.b = append(w.b, s...) }
+
+func (w *writerBuilder) String() string { return string(w.b) }

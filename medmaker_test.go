@@ -1,0 +1,647 @@
+package medmaker
+
+import (
+	"strings"
+	"testing"
+
+	"medmaker/internal/oem"
+)
+
+// specMS1 is the paper's mediator specification MS1.
+const specMS1 = `
+<cs_person {<name N> <relation R> Rest1 Rest2}> :-
+    <person {<name N> <dept 'CS'> <relation R> | Rest1}>@whois
+    AND <R {<first_name FN> <last_name LN> | Rest2}>@cs
+    AND decomp(N, LN, FN).
+
+decomp(bound, free, free) by name_to_lnfn.
+decomp(free, bound, bound) by lnfn_to_name.
+`
+
+// newPaperSources builds the cs (relational, Figure 2.2) and whois
+// (semi-structured, Figure 2.3) sources of the paper's Section 2.
+func newPaperSources(t testing.TB) (cs Source, whois Source) {
+	t.Helper()
+	db := NewRelationalDB()
+	emp := db.MustCreateTable(RelationalSchema{
+		Name: "employee",
+		Columns: []RelationalColumn{
+			{Name: "first_name", Kind: oem.KindString},
+			{Name: "last_name", Kind: oem.KindString},
+			{Name: "title", Kind: oem.KindString},
+			{Name: "reports_to", Kind: oem.KindString},
+		},
+	})
+	emp.MustInsert("Joe", "Chung", "professor", "John Hennessy")
+	stu := db.MustCreateTable(RelationalSchema{
+		Name: "student",
+		Columns: []RelationalColumn{
+			{Name: "first_name", Kind: oem.KindString},
+			{Name: "last_name", Kind: oem.KindString},
+			{Name: "year", Kind: oem.KindInt},
+		},
+	})
+	stu.MustInsert("Nick", "Naive", 3)
+
+	store := NewRecordStore()
+	store.MustAdd(
+		Record{Kind: "person", Fields: []RecordField{
+			{Name: "name", Value: "Joe Chung"},
+			{Name: "dept", Value: "CS"},
+			{Name: "relation", Value: "employee"},
+			{Name: "e_mail", Value: "chung@cs"},
+		}},
+		Record{Kind: "person", Fields: []RecordField{
+			{Name: "name", Value: "Nick Naive"},
+			{Name: "dept", Value: "CS"},
+			{Name: "relation", Value: "student"},
+			{Name: "year", Value: 3},
+		}},
+	)
+	return NewRelationalWrapper("cs", db), NewRecordWrapper("whois", store)
+}
+
+func newMed(t testing.TB, opts *PlanOptions) *Mediator {
+	t.Helper()
+	cs, whois := newPaperSources(t)
+	med, err := New(Config{
+		Name:    "med",
+		Spec:    specMS1,
+		Sources: []Source{cs, whois},
+		Plan:    opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return med
+}
+
+// figure24 is the paper's Figure 2.4: the integrated cs_person object for
+// Joe Chung.
+var figure24 = oem.MustParse(`<cs_person, set, {
+    <name, 'Joe Chung'>, <relation, 'employee'>, <e_mail, 'chung@cs'>,
+    <title, 'professor'>, <reports_to, 'John Hennessy'>}>`)[0]
+
+// TestQueryQ1Figure24 runs the paper's query Q1 end to end and checks the
+// result against Figure 2.4.
+func TestQueryQ1Figure24(t *testing.T) {
+	med := newMed(t, nil)
+	got, err := med.QueryString(`JC :- JC:<cs_person {<name 'Joe Chung'>}>@med.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("Q1 returned %d objects, want 1:\n%s", len(got), oem.Format(got...))
+	}
+	if !got[0].StructuralEqual(figure24) {
+		t.Fatalf("result differs from Figure 2.4:\ngot:\n%swant:\n%s",
+			oem.Format(got[0]), oem.Format(figure24))
+	}
+}
+
+// TestFullView queries the whole med view: both persons appear with the
+// combined information from both sources.
+func TestFullView(t *testing.T) {
+	med := newMed(t, nil)
+	got, err := med.QueryString(`P :- P:<cs_person {<name N>}>@med.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("view has %d objects, want 2:\n%s", len(got), oem.Format(got...))
+	}
+	byName := map[string]*Object{}
+	for _, o := range got {
+		n, _ := o.Sub("name").AtomString()
+		byName[n] = o
+	}
+	nick := byName["Nick Naive"]
+	if nick == nil {
+		t.Fatalf("Nick missing: %v", byName)
+	}
+	// Nick's object fuses whois year with the student table's year — the
+	// same value from both sources, appearing in Rest1 and Rest2.
+	if nick.Sub("year") == nil {
+		t.Fatal("Nick's year lost")
+	}
+	if v, _ := nick.Sub("relation").AtomString(); v != "student" {
+		t.Fatalf("Nick's relation = %q", v)
+	}
+}
+
+// TestYearQueryPushdownBothRules runs the Section 3.3 query: the <year 3>
+// condition reaches the sources through both τ1 and τ2, and Nick is found
+// through whichever source holds the year attribute.
+func TestYearQueryPushdownBothRules(t *testing.T) {
+	med := newMed(t, nil)
+	got, err := med.QueryString(`S :- S:<cs_person {<year 3>}>@med.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nick has year 3 in both sources; duplicate elimination folds the
+	// two derivations into one result object.
+	if len(got) != 1 {
+		t.Fatalf("year query returned %d objects, want 1:\n%s", len(got), oem.Format(got...))
+	}
+	if v, _ := got[0].Sub("name").AtomString(); v != "Nick Naive" {
+		t.Fatalf("found %q", v)
+	}
+}
+
+// TestDupElimOffReproducesPaperImplementation reproduces footnote 9: with
+// duplicate elimination disabled (as in the authors' implementation) the
+// year query yields one object per derivation.
+func TestDupElimOffReproducesPaperImplementation(t *testing.T) {
+	opts := PlanOptions{Order: 0, PushConditions: true, Parameterize: true, DupElim: false}
+	med := newMed(t, &opts)
+	got, err := med.QueryString(`S :- S:<cs_person {<year 3>}>@med.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("without dup-elim: %d objects, want 2 (τ1 and τ2 derivations):\n%s",
+			len(got), oem.Format(got...))
+	}
+	if !got[0].StructuralEqual(got[1]) {
+		t.Fatal("the two derivations should be structurally equal")
+	}
+}
+
+// TestPlanVariants checks that every optimizer configuration produces the
+// same answers for the paper's query.
+func TestPlanVariants(t *testing.T) {
+	variants := []PlanOptions{
+		{Order: 0, PushConditions: true, Parameterize: true, DupElim: true},   // default
+		{Order: 0, PushConditions: false, Parameterize: true, DupElim: true},  // no pushdown
+		{Order: 0, PushConditions: true, Parameterize: false, DupElim: true},  // join baseline
+		{Order: 0, PushConditions: false, Parameterize: false, DupElim: true}, // neither
+		{Order: 3, PushConditions: true, Parameterize: true, DupElim: true},   // reversed order
+		{Order: 1, PushConditions: true, Parameterize: true, DupElim: true},   // stats order (cold)
+		{Order: 2, PushConditions: true, Parameterize: true, DupElim: true},   // as written
+	}
+	for i, opts := range variants {
+		o := opts
+		med := newMed(t, &o)
+		got, err := med.QueryString(`JC :- JC:<cs_person {<name 'Joe Chung'>}>@med.`)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if len(got) != 1 || !got[0].StructuralEqual(figure24) {
+			t.Fatalf("variant %d: wrong answer:\n%s", i, oem.Format(got...))
+		}
+	}
+}
+
+// TestSchemaEvolution reproduces the Section 2 claim: adding a "birthday"
+// attribute to a source flows into the view with no specification change.
+func TestSchemaEvolution(t *testing.T) {
+	cs, _ := newPaperSources(t)
+	store := NewRecordStore()
+	store.MustAdd(Record{Kind: "person", Fields: []RecordField{
+		{Name: "name", Value: "Joe Chung"},
+		{Name: "dept", Value: "CS"},
+		{Name: "relation", Value: "employee"},
+		{Name: "e_mail", Value: "chung@cs"},
+		{Name: "birthday", Value: "June 1"}, // evolved schema
+	}})
+	med, err := New(Config{
+		Name:    "med",
+		Spec:    specMS1, // unchanged
+		Sources: []Source{cs, NewRecordWrapper("whois", store)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := med.QueryString(`JC :- JC:<cs_person {<name 'Joe Chung'>}>@med.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatal("evolved source broke the view")
+	}
+	if b := got[0].Sub("birthday"); b == nil {
+		t.Fatalf("birthday not propagated:\n%s", oem.Format(got[0]))
+	}
+	// And querying on the new attribute works too (pushed into Rest1).
+	got2, err := med.QueryString(`P :- P:<cs_person {<birthday B>}>@med.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != 1 {
+		t.Fatalf("query on evolved attribute: %d objects", len(got2))
+	}
+}
+
+// TestMediatorAsSource layers a second mediator over med, checking the
+// TSIMMIS architecture composition of Figure 1.1.
+func TestMediatorAsSource(t *testing.T) {
+	med := newMed(t, nil)
+	top, err := New(Config{
+		Name: "dir",
+		Spec: `<entry {<who N> <contact E>}> :-
+		    <cs_person {<name N> <e_mail E>}>@med.`,
+		Sources: []Source{med},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := top.QueryString(`X :- X:<entry {<who W>}>@dir.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("directory view has %d entries, want 1 (only Joe has e_mail):\n%s",
+			len(got), oem.Format(got...))
+	}
+	if v, _ := got[0].Sub("contact").AtomString(); v != "chung@cs" {
+		t.Fatalf("contact = %q", v)
+	}
+}
+
+// TestExplain checks that the logical program and physical graph render.
+func TestExplain(t *testing.T) {
+	med := newMed(t, nil)
+	out, err := med.Explain(`JC :- JC:<cs_person {<name 'Joe Chung'>}>@med.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"logical datamerge program",
+		"physical datamerge graph",
+		"'Joe Chung'",
+		"query(",
+		"param-query(",
+		"external-pred(decomp)",
+		"construct",
+		"dedup",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTrace checks the node-by-node execution trace (Figure 3.6's flowing
+// tables, textual form).
+func TestTrace(t *testing.T) {
+	cs, whois := newPaperSources(t)
+	var trace strings.Builder
+	med, err := New(Config{
+		Name:    "med",
+		Spec:    specMS1,
+		Sources: []Source{cs, whois},
+		Trace:   &trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := med.QueryString(`JC :- JC:<cs_person {<name 'Joe Chung'>}>@med.`); err != nil {
+		t.Fatal(err)
+	}
+	out := trace.String()
+	for _, want := range []string{"query(whois)", "param-query(cs)", "rows", "construct"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestStatsLearning checks that executing queries populates the
+// statistics store used by OrderStats.
+func TestStatsLearning(t *testing.T) {
+	med := newMed(t, nil)
+	if _, err := med.QueryString(`P :- P:<cs_person {<name N>}>@med.`); err != nil {
+		t.Fatal(err)
+	}
+	if got := med.QueryStats().String(); !strings.Contains(got, "whois@person") {
+		t.Fatalf("stats not recorded:\n%q", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Spec: specMS1}); err == nil {
+		t.Fatal("nameless mediator accepted")
+	}
+	if _, err := New(Config{Name: "m", Spec: ""}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if _, err := New(Config{Name: "m", Spec: "garbage"}); err == nil {
+		t.Fatal("unparseable spec accepted")
+	}
+	if _, err := New(Config{Name: "m", Spec: `<a {X}> :- <b {X}>@s. p(bound) by nosuch.`}); err == nil {
+		t.Fatal("unresolvable declaration accepted")
+	}
+}
+
+func TestUnknownSourceRejectedAtConstruction(t *testing.T) {
+	_, err := New(Config{Name: "m", Spec: `<a {X}> :- <b {X}>@ghost.`})
+	if err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("unknown source error: %v", err)
+	}
+}
+
+func TestUnsafeSpecRejected(t *testing.T) {
+	cs, whois := newPaperSources(t)
+	cases := []string{
+		`<out {<name N> <extra Z>}> :- <person {<name N>}>@whois.`,      // Z unbound
+		`<out {<name N>}> :- <person {<name N>}>@whois AND mystery(N).`, // undeclared pred
+	}
+	for _, spec := range cases {
+		if _, err := New(Config{Name: "m", Spec: spec, Sources: []Source{cs, whois}}); err == nil {
+			t.Errorf("unsafe spec accepted: %s", spec)
+		}
+	}
+	// Self-references (views over views in one spec) remain legal.
+	if _, err := New(Config{
+		Name: "m",
+		Spec: `<a {X}> :- <b {X}>.
+		       <b {X}> :- <person {X}>@whois.`,
+		Sources: []Source{whois},
+	}); err != nil {
+		t.Errorf("self-referencing spec rejected: %v", err)
+	}
+}
+
+func TestEmptyAnswer(t *testing.T) {
+	med := newMed(t, nil)
+	got, err := med.QueryString(`P :- P:<cs_person {<name 'Nobody'>}>@med.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("expected no answers, got %d", len(got))
+	}
+}
+
+// TestCustomFunction registers a custom external function through Config.
+func TestCustomFunction(t *testing.T) {
+	cs, whois := newPaperSources(t)
+	med, err := New(Config{
+		Name: "med",
+		Spec: `
+		<shout {<name U>}> :- <person {<name N>}>@whois AND yell(N, U).
+		yell(bound, free) by yell_impl.`,
+		Sources: []Source{cs, whois},
+		Functions: map[string]Func{
+			"yell_impl": func(bound []Value) ([][]Value, error) {
+				s := string(bound[0].(oem.String))
+				return [][]Value{{oem.String(strings.ToUpper(s))}}, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := med.QueryString(`X :- X:<shout {<name 'JOE CHUNG'>}>@med.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("custom function query returned %d objects", len(got))
+	}
+}
+
+// TestMixedViewAndSourceQuery joins a mediator-view condition with a
+// direct source condition in one query, returning objects from both.
+func TestMixedViewAndSourceQuery(t *testing.T) {
+	med := newMed(t, nil)
+	got, err := med.QueryString(`X P :-
+	    X:<cs_person {<name N>}>@med
+	    AND P:<person {<name N> <relation 'student'>}>@whois.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only Nick is a student: his cs_person view object plus his raw
+	// whois person object.
+	if len(got) != 2 {
+		t.Fatalf("mixed query returned %d objects:\n%s", len(got), oem.Format(got...))
+	}
+	labels := map[string]bool{}
+	for _, o := range got {
+		labels[o.Label] = true
+	}
+	if !labels["cs_person"] || !labels["person"] {
+		t.Fatalf("expected one view object and one raw object: %v", labels)
+	}
+}
+
+// TestSingleSourceUnionView addresses the limitation the paper calls out
+// for med ("it only includes information for people that appear in both
+// cs and whois"): a union view with semantic object-ids includes people
+// from either source, fusing the records of people in both.
+func TestSingleSourceUnionView(t *testing.T) {
+	cs, _ := newPaperSources(t)
+	// whois knows Joe and a whois-only person; cs knows Joe and Nick.
+	store := NewRecordStore()
+	store.MustAdd(
+		Record{Kind: "person", Fields: []RecordField{
+			{Name: "name", Value: "Joe Chung"}, {Name: "dept", Value: "CS"},
+			{Name: "relation", Value: "employee"}, {Name: "e_mail", Value: "chung@cs"},
+		}},
+		Record{Kind: "person", Fields: []RecordField{
+			{Name: "name", Value: "Wanda Whoisonly"}, {Name: "dept", Value: "CS"},
+			{Name: "relation", Value: "visitor"},
+		}},
+	)
+	med, err := New(Config{
+		Name: "med",
+		Spec: `
+		<person(N) anyone {<name N> | R}> :-
+		    <person {<name N> <dept 'CS'> | R}>@whois.
+		<person(N) anyone {<name N> | R}> :-
+		    <Rel {<first_name FN> <last_name LN> | R}>@cs
+		    AND decomp(N, LN, FN).
+		decomp(free, bound, bound) by lnfn_to_name.`,
+		Sources: []Source{cs, NewRecordWrapper("whois", store)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := med.QueryString(`P :- P:<anyone {<name N>}>@med.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*Object{}
+	for _, o := range got {
+		n, _ := o.Sub("name").AtomString()
+		byName[n] = o
+	}
+	// Three people: Joe (both sources, fused), Wanda (whois only), Nick
+	// (cs only).
+	if len(got) != 3 {
+		t.Fatalf("union view has %d objects, want 3:\n%s", len(got), oem.Format(got...))
+	}
+	joe := byName["Joe Chung"]
+	if joe == nil || joe.Sub("e_mail") == nil || joe.Sub("title") == nil {
+		t.Fatalf("Joe not fused across sources:\n%s", oem.Format(joe))
+	}
+	if byName["Wanda Whoisonly"] == nil {
+		t.Fatal("whois-only person missing")
+	}
+	nick := byName["Nick Naive"]
+	if nick == nil || nick.Sub("year") == nil {
+		t.Fatalf("cs-only person missing or incomplete:\n%s", oem.Format(nick))
+	}
+}
+
+// TestCrossFragmentConditions checks the fused-view query strategy: a
+// condition combination that holds on no single rule's output, only on
+// the fusion of fragments from different sources.
+func TestCrossFragmentConditions(t *testing.T) {
+	salaries, err := NewOEMSourceFromText("payroll", `
+	    <pay, set, {<who, 'Joe Chung'>, <salary, 120000>}>
+	    <pay, set, {<who, 'Ann Able'>, <salary, 90000>}>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offices, err := NewOEMSourceFromText("facilities", `
+	    <office, set, {<occupant, 'Joe Chung'>, <room, 'Gates 401'>}>
+	    <office, set, {<occupant, 'Ann Able'>, <room, 'Gates 120'>}>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := New(Config{
+		Name: "staff",
+		Spec: `
+		<person(N) rec {<name N> <salary S>}> :- <pay {<who N> <salary S>}>@payroll.
+		<person(N) rec {<name N> <room R>}> :- <office {<occupant N> <room R>}>@facilities.`,
+		Sources: []Source{salaries, offices},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// salary comes from rule 1, room from rule 2: only the fused object
+	// carries both.
+	got, err := med.QueryString(`X :- X:<rec {<salary 120000> <room 'Gates 401'>}>@staff.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("cross-fragment query returned %d objects:\n%s", len(got), oem.Format(got...))
+	}
+	if v, _ := got[0].Sub("name").AtomString(); v != "Joe Chung" {
+		t.Fatalf("found %q", v)
+	}
+	// A predicate over fused attributes works too.
+	rich, err := med.QueryString(`<out N> :- <rec {<name N> <salary S> <room R>}>@staff AND gt(S, 100000).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rich) != 1 {
+		t.Fatalf("predicate over fused view: %d answers", len(rich))
+	}
+	// And wildcard queries over fused views are supported (the view is
+	// materialized, so descent has something to walk).
+	wild, err := med.QueryString(`<out R> :- <%room R>@staff.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wild) != 2 {
+		t.Fatalf("wildcard over fused view: %d answers", len(wild))
+	}
+}
+
+// TestQueryLorel answers the paper's Q1 through the LOREL front end
+// (footnote 4) and checks it agrees with the MSL form.
+func TestQueryLorel(t *testing.T) {
+	med := newMed(t, nil)
+	viaLorel, err := med.QueryLorel(`select X from med.cs_person X where X.name = "Joe Chung"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viaLorel) != 1 || !viaLorel[0].StructuralEqual(figure24) {
+		t.Fatalf("LOREL Q1 differs from Figure 2.4:\n%s", oem.Format(viaLorel...))
+	}
+	// Attribute selection projects.
+	rows, err := med.QueryLorel(`select X.name, X.relation from med.cs_person X`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("LOREL projection returned %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Label != "row" || r.Sub("name") == nil || r.Sub("relation") == nil {
+			t.Fatalf("row shape: %s", oem.Format(r))
+		}
+		if r.Sub("e_mail") != nil {
+			t.Fatalf("projection leaked attributes: %s", oem.Format(r))
+		}
+	}
+	// Comparison predicates.
+	seniors, err := med.QueryLorel(`select X.name from med.cs_person X where X.year >= 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seniors) != 1 {
+		t.Fatalf("LOREL comparison returned %d rows", len(seniors))
+	}
+	// Bad query surfaces a translation error.
+	if _, err := med.QueryLorel(`select from nothing`); err == nil {
+		t.Fatal("bad LOREL query accepted")
+	}
+}
+
+// TestQueryLorelMissing finds the person lacking an e_mail through the
+// LOREL structural test.
+func TestQueryLorelMissing(t *testing.T) {
+	med := newMed(t, nil)
+	got, err := med.QueryLorel(`select X.name from med.cs_person X where missing X.e_mail`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("missing query: %d rows:\n%s", len(got), oem.Format(got...))
+	}
+	if v, _ := got[0].Sub("name").AtomString(); v != "Nick Naive" {
+		t.Fatalf("found %q", v)
+	}
+	both, err := med.QueryLorel(`select X.name from med.cs_person X where exists X.e_mail`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(both) != 1 {
+		t.Fatalf("exists query: %d rows", len(both))
+	}
+}
+
+// TestQueryLorelAggregates folds the med view with aggregate functions.
+func TestQueryLorelAggregates(t *testing.T) {
+	med := newMed(t, nil)
+	out, err := med.QueryLorel(`
+	    select count(X), max(X.year)
+	    from med.cs_person X`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("aggregate query returned %d objects", len(out))
+	}
+	if n, _ := out[0].Sub("count").AtomInt(); n != 2 {
+		t.Fatalf("count = %d", n)
+	}
+	// Only Nick carries a year.
+	if y, _ := out[0].Sub("max_year").AtomInt(); y != 3 {
+		t.Fatalf("max_year = %d", y)
+	}
+	if out[0].OID == oem.NilOID {
+		t.Fatal("result object lacks an oid")
+	}
+}
+
+// TestParseHelpers covers the package-level parse/format helpers.
+func TestParseHelpers(t *testing.T) {
+	objs, err := ParseOEM(`<a, 1>`)
+	if err != nil || len(objs) != 1 {
+		t.Fatal("ParseOEM")
+	}
+	if !strings.Contains(FormatOEM(objs...), "integer, 1") {
+		t.Fatal("FormatOEM")
+	}
+	if _, err := ParseQuery(`X :- X:<a>@s.`); err != nil {
+		t.Fatal("ParseQuery")
+	}
+	if _, err := ParseSpec(`<a {X}> :- <b {X}>@s.`); err != nil {
+		t.Fatal("ParseSpec")
+	}
+}

@@ -1,0 +1,103 @@
+package medmaker
+
+import (
+	"io"
+
+	"medmaker/internal/oem"
+	"medmaker/internal/oemstore"
+	"medmaker/internal/relational"
+	"medmaker/internal/semistruct"
+	"medmaker/internal/wrapper"
+)
+
+// Substrate re-exports: the bundled source implementations, so
+// applications can stand up the paper's style of wrappers without touching
+// internal packages.
+type (
+	// OEMSource stores OEM objects natively (fully capable).
+	OEMSource = oemstore.Source
+	// RelationalDB is the small in-memory relational engine.
+	RelationalDB = relational.DB
+	// RelationalSchema describes one relation.
+	RelationalSchema = relational.Schema
+	// RelationalColumn describes one attribute.
+	RelationalColumn = relational.Column
+	// RelationalWrapper exports a RelationalDB as OEM (the paper's cs
+	// wrapper).
+	RelationalWrapper = relational.Wrapper
+	// RecordStore holds irregular semi-structured records.
+	RecordStore = semistruct.Store
+	// Record is one irregular record.
+	Record = semistruct.Record
+	// RecordField is one named field of a Record.
+	RecordField = semistruct.Field
+	// RecordWrapper exports a RecordStore as OEM (the paper's whois
+	// wrapper).
+	RecordWrapper = semistruct.Wrapper
+	// LimitedSource restricts an inner source's capabilities, modelling
+	// the autonomous, capability-poor sources of Section 3.5.
+	LimitedSource = wrapper.Limited
+)
+
+// NewOEMSource returns an empty OEM-native source.
+func NewOEMSource(name string) *OEMSource { return oemstore.New(name) }
+
+// NewOEMSourceFromText parses textual OEM data into a new source.
+func NewOEMSourceFromText(name, text string) (*OEMSource, error) {
+	return oemstore.FromText(name, text)
+}
+
+// NewOEMSourceFromFile loads a textual OEM file into a new source.
+func NewOEMSourceFromFile(name, path string) (*OEMSource, error) {
+	return oemstore.FromFile(name, path)
+}
+
+// NewOEMSourceFromJSON builds a source from a JSON document: a top-level
+// array yields one OEM object per element, labelled label.
+func NewOEMSourceFromJSON(name, label string, data []byte) (*OEMSource, error) {
+	return oemstore.FromJSON(name, label, data)
+}
+
+// NewOEMSourceFromJSONFile loads a JSON file into a new source.
+func NewOEMSourceFromJSONFile(name, label, path string) (*OEMSource, error) {
+	return oemstore.FromJSONFile(name, label, path)
+}
+
+// LoadCSV reads header-first CSV data into a new table named tableName in
+// db, inferring column types. Wrap the db with NewRelationalWrapper to
+// query it.
+func LoadCSV(db *RelationalDB, tableName string, r io.Reader) error {
+	_, err := relational.LoadCSV(db, tableName, r)
+	return err
+}
+
+// ParseJSONToOEM converts a JSON document into an OEM object labelled
+// label (see the oem package for the mapping).
+func ParseJSONToOEM(label string, data []byte) (*Object, error) {
+	return oem.FromJSON(label, data)
+}
+
+// FormatOEMAsJSON renders an OEM object as JSON.
+func FormatOEMAsJSON(o *Object) ([]byte, error) {
+	return oem.ToJSON(o)
+}
+
+// NewRelationalDB returns an empty relational database.
+func NewRelationalDB() *RelationalDB { return relational.NewDB() }
+
+// NewRelationalWrapper exports db as the named OEM source.
+func NewRelationalWrapper(name string, db *RelationalDB) *RelationalWrapper {
+	return relational.NewWrapper(name, db)
+}
+
+// NewRecordStore returns an empty irregular-record store.
+func NewRecordStore() *RecordStore { return semistruct.NewStore() }
+
+// NewRecordWrapper exports store as the named OEM source.
+func NewRecordWrapper(name string, store *RecordStore) *RecordWrapper {
+	return semistruct.NewWrapper(name, store)
+}
+
+// FullCapabilities is the capability set of a source supporting the whole
+// query language.
+func FullCapabilities() Capabilities { return wrapper.FullCapabilities() }
