@@ -6,6 +6,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,7 +34,12 @@ func main() {
 	figures := flag.Bool("figures", false, "emit only the structural figure artifacts")
 	perf := flag.Bool("perf", false, "emit only the measured comparisons")
 	reps := flag.Int("reps", 20, "timing repetitions per measurement (median reported)")
+	snapshot := flag.String("snapshot", "", "write a JSON snapshot of the executor measurements (batching, caching, pipelining) to this file and exit")
 	flag.Parse()
+	if *snapshot != "" {
+		runSnapshot(*reps, *snapshot)
+		return
+	}
 	all := !*figures && !*perf
 	if *figures || all {
 		runFigures()
@@ -332,6 +338,139 @@ func runPerf(reps int) {
 
 	fmt.Println("\ndone; paste the tables above into EXPERIMENTS.md when refreshing results.")
 	_ = strings.TrimSpace("")
+}
+
+// snapshotResult is one measurement row of the JSON snapshot: the median
+// wall time of the query plus the engine's own round-trip counters for a
+// single run, so the batching claim is recorded as counts, not only as
+// timings.
+type snapshotResult struct {
+	ID        string `json:"id"`
+	Config    string `json:"config"`
+	Metric    string `json:"metric"`
+	NsPerOp   int64  `json:"ns_per_op"`
+	Exchanges int    `json:"exchanges,omitempty"`
+	Queries   int    `json:"queries,omitempty"`
+	CacheHits int    `json:"cache_hits,omitempty"`
+}
+
+type snapshotFile struct {
+	Tool    string           `json:"tool"`
+	Reps    int              `json:"reps"`
+	Results []snapshotResult `json:"results"`
+}
+
+// measure runs the query once to read the per-run exchange/query deltas
+// off the mediator's statistics store, then times it.
+func measure(reps int, med *medmaker.Mediator, q string) (ns int64, exchanges, queries, hits int) {
+	st := med.QueryStats()
+	cacheHits := func() (n int) {
+		for _, src := range med.Sources() {
+			h, _ := st.CacheCounts(src)
+			n += h
+		}
+		return n
+	}
+	e0, q0, h0 := st.TotalExchanges(), st.TotalQueries(), cacheHits()
+	must(med.QueryString(q))
+	e1, q1, h1 := st.TotalExchanges(), st.TotalQueries(), cacheHits()
+	d := timeIt(reps, func() { must(med.QueryString(q)) })
+	return d.Nanoseconds(), e1 - e0, q1 - q0, h1 - h0
+}
+
+// runSnapshot measures the new executor knobs — parameterized-query
+// batching, the answer cache, and the pipelined executor — and writes the
+// results as JSON (the BENCH_1.json artifact checked into the repo).
+func runSnapshot(reps int, path string) {
+	snap := snapshotFile{Tool: "medbench -snapshot", Reps: reps}
+	fullView := `P :- P:<cs_person {<name N>}>@med.`
+	opts := medmaker.PlanOptions{PushConditions: true, Parameterize: true, DupElim: true}
+
+	// E-BATCH: per-tuple vs batched parameterized queries, 300 persons.
+	for _, batch := range []int{1, medmaker.DefaultQueryBatch} {
+		staff := must(workload.GenStaff(workload.StaffConfig{
+			Persons: 300, Departments: 4, EmployeeFraction: 0.5, Irregularity: 0.3, Seed: 1,
+		}))
+		med := must(medmaker.New(medmaker.Config{
+			Name: "med", Spec: specMS1,
+			Sources: []medmaker.Source{
+				medmaker.NewRelationalWrapper("cs", staff.DB),
+				medmaker.NewRecordWrapper("whois", staff.Store),
+			},
+			Plan: &opts, QueryBatch: batch,
+		}))
+		ns, ex, qs, _ := measure(reps, med, fullView)
+		snap.Results = append(snap.Results, snapshotResult{
+			ID: "E-BATCH", Config: fmt.Sprintf("batch=%d", batch),
+			Metric: "full view, 300 persons", NsPerOp: ns, Exchanges: ex, Queries: qs,
+		})
+	}
+
+	// E-CACHE: answer cache off vs on (warm), 300 persons.
+	for _, cached := range []bool{false, true} {
+		staff := must(workload.GenStaff(workload.StaffConfig{
+			Persons: 300, Departments: 4, EmployeeFraction: 0.5, Irregularity: 0.3, Seed: 1,
+		}))
+		cfg := medmaker.Config{
+			Name: "med", Spec: specMS1,
+			Sources: []medmaker.Source{
+				medmaker.NewRelationalWrapper("cs", staff.DB),
+				medmaker.NewRecordWrapper("whois", staff.Store),
+			},
+			Plan: &opts,
+		}
+		label := "cache=off"
+		if cached {
+			cfg.Cache = &medmaker.CacheOptions{}
+			label = "cache=on,warm"
+		}
+		med := must(medmaker.New(cfg))
+		must(med.QueryString(fullView)) // warm (a no-op for the uncached run)
+		ns, ex, qs, hits := measure(reps, med, fullView)
+		snap.Results = append(snap.Results, snapshotResult{
+			ID: "E-CACHE", Config: label,
+			Metric: "repeated full view, 300 persons", NsPerOp: ns, Exchanges: ex, Queries: qs, CacheHits: hits,
+		})
+	}
+
+	// E-PIPE: materialized sequential vs pipelined parallel executor.
+	for _, pipelined := range []bool{false, true} {
+		staff := must(workload.GenStaff(workload.StaffConfig{
+			Persons: 300, Departments: 4, EmployeeFraction: 0.5, Irregularity: 0.3, Seed: 1,
+		}))
+		cfg := medmaker.Config{
+			Name: "med", Spec: specMS1,
+			Sources: []medmaker.Source{
+				medmaker.NewRelationalWrapper("cs", staff.DB),
+				medmaker.NewRecordWrapper("whois", staff.Store),
+			},
+			Plan: &opts, QueryBatch: 1,
+		}
+		label := "sequential"
+		if pipelined {
+			cfg.Pipeline = true
+			cfg.Parallelism = 8
+			label = "pipelined,workers=8"
+		}
+		med := must(medmaker.New(cfg))
+		ns, ex, qs, _ := measure(reps, med, fullView)
+		snap.Results = append(snap.Results, snapshotResult{
+			ID: "E-PIPE", Config: label,
+			Metric: "full view, 300 persons", NsPerOp: ns, Exchanges: ex, Queries: qs,
+		})
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d measurements)\n", path, len(snap.Results))
 }
 
 func mustServe(src medmaker.Source) (string, *medmaker.RemoteServer) {

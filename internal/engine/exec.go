@@ -36,8 +36,44 @@ type Executor struct {
 	// many workers. Sources must then tolerate concurrent queries (all
 	// bundled wrappers do) and external functions must be pure.
 	Parallelism int
+	// QueryBatch > 1 enables parameterized-query batching: a query node
+	// deduplicates its input tuples and ships the distinct instantiated
+	// queries in groups of up to QueryBatch per exchange (one exchange per
+	// query for sources that do not implement wrapper.BatchQuerier),
+	// distributing answers back to the originating rows. 0 or 1 keeps the
+	// paper's one-query-per-tuple behavior.
+	QueryBatch int
+	// Pipeline streams row batches between plan operators through
+	// channels instead of materializing each operator's full output,
+	// overlapping source waits across the graph. It engages only when
+	// Parallelism > 1 and tracing is off; the sequential path is untouched.
+	Pipeline bool
+	// PipelineRows is the row-batch size pipelined execution streams
+	// between operators (0 = DefaultPipelineRows).
+	PipelineRows int
 
 	depth int
+}
+
+// DefaultPipelineRows is the pipelined executor's row-batch size when
+// PipelineRows is zero.
+const DefaultPipelineRows = 64
+
+// queryBatch returns the effective parameterized-query batch size; values
+// below 2 mean batching is off.
+func (ex *Executor) queryBatch() int {
+	if ex.QueryBatch < 2 {
+		return 1
+	}
+	return ex.QueryBatch
+}
+
+// pipelineRows returns the effective streaming row-batch size.
+func (ex *Executor) pipelineRows() int {
+	if ex.PipelineRows <= 0 {
+		return DefaultPipelineRows
+	}
+	return ex.PipelineRows
 }
 
 // parallelism returns the effective worker count.
@@ -50,6 +86,15 @@ func (ex *Executor) parallelism() int {
 
 // Run executes the graph rooted at n and returns its output table.
 func (ex *Executor) Run(n Node) (*Table, error) {
+	if ex.Pipeline && ex.parallelism() > 1 {
+		return ex.runPipelined(n)
+	}
+	return ex.runMaterialized(n)
+}
+
+// runMaterialized is the classic bottom-up evaluation: every operator's
+// output table is fully materialized before its parent runs.
+func (ex *Executor) runMaterialized(n Node) (*Table, error) {
 	kidNodes := n.Kids()
 	kids := make([]*Table, len(kidNodes))
 	if ex.parallelism() > 1 && len(kidNodes) > 1 {
@@ -59,7 +104,7 @@ func (ex *Executor) Run(n Node) (*Table, error) {
 			wg.Add(1)
 			go func(i int, k Node) {
 				defer wg.Done()
-				kids[i], errs[i] = ex.Run(k)
+				kids[i], errs[i] = ex.runMaterialized(k)
 			}(i, k)
 		}
 		wg.Wait()
@@ -70,7 +115,7 @@ func (ex *Executor) Run(n Node) (*Table, error) {
 		}
 	} else {
 		for i, k := range kidNodes {
-			t, err := ex.Run(k)
+			t, err := ex.runMaterialized(k)
 			if err != nil {
 				return nil, err
 			}
@@ -121,6 +166,15 @@ func (ex *Executor) recordQuery(source string, template *msl.Rule, results int) 
 		return
 	}
 	ex.Stats.Record(source, templateKey(template), results)
+}
+
+// recordExchange counts one source exchange carrying the given number of
+// queries — the round-trip traffic batching exists to reduce.
+func (ex *Executor) recordExchange(source string, queries int) {
+	if ex.Stats == nil {
+		return
+	}
+	ex.Stats.RecordExchange(source, queries)
 }
 
 // templateKey identifies a query shape for the statistics store: the

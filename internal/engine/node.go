@@ -109,6 +109,13 @@ func (n *QueryNode) run(ex *Executor, kids []*Table) (*Table, error) {
 	if len(kids) == 1 {
 		inputRows = kids[0].Rows
 	}
+	if ex.queryBatch() > 1 && len(kids) == 1 {
+		rows, err := n.runBatched(ex, src, inputRows, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &Table{Cols: n.Needed, Rows: rows}, nil
+	}
 	workers := ex.parallelism()
 	if workers > len(inputRows) {
 		workers = len(inputRows)
@@ -161,17 +168,7 @@ func (n *QueryNode) run(ex *Executor, kids []*Table) (*Table, error) {
 // and project.
 func (n *QueryNode) runRow(ex *Executor, src wrapper.Source, row match.Env) ([]match.Env, error) {
 	q := n.Send
-	if len(n.ParamVars) > 0 {
-		vals := make(map[string]oem.Value, len(n.ParamVars))
-		for _, p := range n.ParamVars {
-			if b, bound := row.Lookup(p); bound {
-				if v, atomic := b.AsValue(); atomic {
-					if _, isSet := v.(oem.Set); !isSet {
-						vals[p] = v
-					}
-				}
-			}
-		}
+	if vals := n.paramVals(row); len(vals) > 0 {
 		var err error
 		q, err = msl.BindVars(n.Send, vals)
 		if err != nil {
@@ -182,7 +179,51 @@ func (n *QueryNode) runRow(ex *Executor, src wrapper.Source, row match.Env) ([]m
 	if err != nil {
 		return nil, fmt.Errorf("engine: query to %s failed: %w", n.Source, err)
 	}
+	ex.recordExchange(n.Source, 1)
 	ex.recordQuery(n.Source, n.Send, len(objs))
+	return n.extract(row, objs)
+}
+
+// paramVals collects the atomic bindings the input row supplies for the
+// template's parameter variables; set-bound and object-bound variables
+// stay free in the instantiated query.
+func (n *QueryNode) paramVals(row match.Env) map[string]oem.Value {
+	if len(n.ParamVars) == 0 {
+		return nil
+	}
+	vals := make(map[string]oem.Value, len(n.ParamVars))
+	for _, p := range n.ParamVars {
+		if b, bound := row.Lookup(p); bound {
+			if v, atomic := b.AsValue(); atomic {
+				if _, isSet := v.(oem.Set); !isSet {
+					vals[p] = v
+				}
+			}
+		}
+	}
+	return vals
+}
+
+// paramKey identifies the instantiated query an input row produces: two
+// rows with equal keys send byte-identical queries and can share one
+// source answer. The key covers exactly the values BindVars will
+// substitute, tagged with their concrete type so 3 and '3' stay distinct.
+func (n *QueryNode) paramKey(vals map[string]oem.Value) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, p := range n.ParamVars {
+		if v, ok := vals[p]; ok {
+			fmt.Fprintf(&sb, "%s=%T:%s;", p, v, v.String())
+		}
+	}
+	return sb.String()
+}
+
+// extract matches the source's answer against the extraction pattern
+// under the input row, applies negation semantics, and projects.
+func (n *QueryNode) extract(row match.Env, objs []*oem.Object) ([]match.Env, error) {
 	envs, err := match.Tops(n.Extract, n.ExtractObjVar, objs, row)
 	if err != nil {
 		return nil, err
@@ -202,6 +243,106 @@ func (n *QueryNode) runRow(ex *Executor, src wrapper.Source, row match.Env) ([]m
 		}
 	}
 	return envs, nil
+}
+
+// answerSet is one distinct instantiated query's cached source answer.
+type answerSet struct {
+	objs []*oem.Object
+}
+
+// runBatched evaluates the node over rows with input-tuple deduplication
+// and batched source exchanges (the tentpole of Section 3.4 done
+// cheaply): rows that instantiate the template identically share one
+// query, the distinct queries ship in groups of up to Executor.QueryBatch
+// per exchange when the source implements wrapper.BatchQuerier, and the
+// answers are distributed back to the originating rows in input order, so
+// the output is identical to the per-tuple path against deterministic
+// sources. memo carries answers across calls — the pipelined executor
+// streams row batches through one node — and may be nil for one-shot use.
+func (n *QueryNode) runBatched(ex *Executor, src wrapper.Source, rows []match.Env, memo map[string]*answerSet) ([]match.Env, error) {
+	if memo == nil {
+		memo = make(map[string]*answerSet, len(rows))
+	}
+	keys := make([]string, len(rows))
+	var pendingKeys []string
+	pending := map[string]*msl.Rule{}
+	for i, row := range rows {
+		vals := n.paramVals(row)
+		key := n.paramKey(vals)
+		keys[i] = key
+		if _, done := memo[key]; done {
+			continue
+		}
+		if _, queued := pending[key]; queued {
+			continue
+		}
+		q := n.Send
+		if len(vals) > 0 {
+			var err error
+			q, err = msl.BindVars(n.Send, vals)
+			if err != nil {
+				return nil, err
+			}
+		}
+		pending[key] = q
+		pendingKeys = append(pendingKeys, key)
+	}
+	if err := n.fetchBatches(ex, src, pendingKeys, pending, memo); err != nil {
+		return nil, err
+	}
+	var out []match.Env
+	for i, row := range rows {
+		envs, err := n.extract(row, memo[keys[i]].objs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, envs...)
+	}
+	return out, nil
+}
+
+// fetchBatches ships the pending distinct queries to the source, up to
+// Executor.QueryBatch per exchange for batch-capable sources and one
+// exchange per query otherwise.
+func (n *QueryNode) fetchBatches(ex *Executor, src wrapper.Source, keys []string, pending map[string]*msl.Rule, memo map[string]*answerSet) error {
+	size := ex.queryBatch()
+	bq, canBatch := src.(wrapper.BatchQuerier)
+	for start := 0; start < len(keys); start += size {
+		end := start + size
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[start:end]
+		if canBatch && len(chunk) > 1 {
+			qs := make([]*msl.Rule, len(chunk))
+			for i, k := range chunk {
+				qs[i] = pending[k]
+			}
+			res, err := bq.QueryBatch(qs)
+			if err != nil {
+				return fmt.Errorf("engine: batch query to %s failed: %w", n.Source, err)
+			}
+			if len(res) != len(qs) {
+				return fmt.Errorf("engine: batch query to %s returned %d answers for %d queries", n.Source, len(res), len(qs))
+			}
+			ex.recordExchange(n.Source, len(chunk))
+			for i, k := range chunk {
+				memo[k] = &answerSet{objs: res[i]}
+				ex.recordQuery(n.Source, n.Send, len(res[i]))
+			}
+			continue
+		}
+		for _, k := range chunk {
+			objs, err := src.Query(pending[k])
+			if err != nil {
+				return fmt.Errorf("engine: query to %s failed: %w", n.Source, err)
+			}
+			ex.recordExchange(n.Source, 1)
+			ex.recordQuery(n.Source, n.Send, len(objs))
+			memo[k] = &answerSet{objs: objs}
+		}
+	}
+	return nil
 }
 
 // ExtPredNode invokes an external predicate per input tuple, as the
@@ -296,14 +437,14 @@ func (n *JoinNode) run(ex *Executor, kids []*Table) (*Table, error) {
 		return out, nil
 	}
 	// Hash the smaller side on the shared variables.
-	build, probe := right, left
+	hashed, probe := right, left
 	buildRight := true
 	if left.Len() < right.Len() {
-		build, probe = left, right
+		hashed, probe = left, right
 		buildRight = false
 	}
-	index := make(map[string][]match.Env, build.Len())
-	for _, r := range build.Rows {
+	index := make(map[string][]match.Env, hashed.Len())
+	for _, r := range hashed.Rows {
 		k := r.Key(n.Shared)
 		index[k] = append(index[k], r)
 	}

@@ -1,0 +1,332 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"medmaker/internal/build"
+	"medmaker/internal/match"
+	"medmaker/internal/wrapper"
+)
+
+// This file implements pipelined execution: instead of materializing each
+// operator's full output table before its parent runs, operators stream
+// row batches to their parents through channels, so a parameterized query
+// node starts sending source queries while its child is still producing
+// tuples and independent subtrees overlap their source waits. Evaluation
+// order within each stage is preserved — batches flow in input order and
+// every stage is a single goroutine — so pipelined results are
+// structurally identical to the sequential path; the sequential and
+// tracing paths themselves are untouched (Run dispatches here only when
+// Pipeline is set, Parallelism > 1, and tracing is off).
+
+// pipeline carries the shared state of one pipelined run.
+type pipeline struct {
+	ex   *Executor
+	sem  chan struct{} // bounds concurrently-active source-querying stages
+	stop chan struct{} // closed on first error, aborting all stages
+	once sync.Once
+	err  error
+	wg   sync.WaitGroup
+}
+
+func (ex *Executor) runPipelined(root Node) (*Table, error) {
+	p := &pipeline{
+		ex:   ex,
+		sem:  make(chan struct{}, ex.parallelism()),
+		stop: make(chan struct{}),
+	}
+	ch := p.start(root)
+	out := &Table{Cols: root.OutVars()}
+	for batch := range ch {
+		out.Rows = append(out.Rows, batch...)
+	}
+	p.wg.Wait()
+	if p.err != nil {
+		return nil, p.err
+	}
+	return out, nil
+}
+
+func (p *pipeline) fail(err error) {
+	p.once.Do(func() {
+		p.err = err
+		close(p.stop)
+	})
+}
+
+// spawn runs stage in its own goroutine; the goroutine owns out and
+// closes it on exit so downstream consumers terminate.
+func (p *pipeline) spawn(out chan []match.Env, stage func() error) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		defer close(out)
+		if err := stage(); err != nil {
+			p.fail(err)
+		}
+	}()
+}
+
+// send delivers one batch downstream; it returns false when the pipeline
+// failed, telling the stage to stop producing.
+func (p *pipeline) send(out chan []match.Env, rows []match.Env) bool {
+	if len(rows) == 0 {
+		return true
+	}
+	select {
+	case out <- rows:
+		return true
+	case <-p.stop:
+		return false
+	}
+}
+
+// sendSliced delivers rows in batches of the configured pipeline size.
+func (p *pipeline) sendSliced(out chan []match.Env, rows []match.Env) bool {
+	size := p.ex.pipelineRows()
+	for start := 0; start < len(rows); start += size {
+		end := start + size
+		if end > len(rows) {
+			end = len(rows)
+		}
+		if !p.send(out, rows[start:end]) {
+			return false
+		}
+	}
+	return true
+}
+
+// acquire claims a source-work slot, bounding how many stages hit
+// sources concurrently (the Parallelism knob).
+func (p *pipeline) acquire() bool {
+	select {
+	case p.sem <- struct{}{}:
+		return true
+	case <-p.stop:
+		return false
+	}
+}
+
+func (p *pipeline) release() { <-p.sem }
+
+// start launches the subtree rooted at n and returns the channel its
+// output rows stream on. Streamable operators get dedicated stages;
+// everything else (joins, fusion, external node kinds) falls back to a
+// barrier that materializes its inputs and runs the operator as usual.
+func (p *pipeline) start(n Node) <-chan []match.Env {
+	out := make(chan []match.Env, 2)
+	switch t := n.(type) {
+	case *QueryNode:
+		p.startQuery(t, out)
+	case *ExtPredNode:
+		p.startExtPred(t, out)
+	case *DedupNode:
+		p.startDedup(t, out)
+	case *ConstructNode:
+		p.startConstruct(t, out)
+	case *UnionNode:
+		p.startUnion(t, out)
+	default:
+		p.startBarrier(n, out)
+	}
+	return out
+}
+
+func (p *pipeline) startQuery(n *QueryNode, out chan []match.Env) {
+	src, ok := p.ex.Sources.Lookup(n.Source)
+	if !ok {
+		p.spawn(out, func() error {
+			return fmt.Errorf("%s: engine: unknown source %q", n.Label(), n.Source)
+		})
+		return
+	}
+	if n.Child == nil {
+		p.spawn(out, func() error {
+			if !p.acquire() {
+				return nil
+			}
+			rows, err := n.runRow(p.ex, src, nil)
+			p.release()
+			if err != nil {
+				return fmt.Errorf("%s: %w", n.Label(), err)
+			}
+			p.sendSliced(out, rows)
+			return nil
+		})
+		return
+	}
+	in := p.start(n.Child)
+	p.spawn(out, func() error {
+		// The answer memo persists across batches, so a tuple value seen
+		// in an early batch never re-queries the source later in the
+		// stream.
+		memo := map[string]*answerSet{}
+		batched := p.ex.queryBatch() > 1
+		for batch := range in {
+			if !p.acquire() {
+				return nil
+			}
+			var rows []match.Env
+			var err error
+			if batched {
+				rows, err = n.runBatched(p.ex, src, batch, memo)
+			} else {
+				rows, err = p.queryPerTuple(n, src, batch)
+			}
+			p.release()
+			if err != nil {
+				return fmt.Errorf("%s: %w", n.Label(), err)
+			}
+			if !p.send(out, rows) {
+				return nil
+			}
+		}
+		return nil
+	})
+}
+
+// queryPerTuple is the pipelined stage body for the classic
+// one-query-per-tuple mode.
+func (p *pipeline) queryPerTuple(n *QueryNode, src wrapper.Source, batch []match.Env) ([]match.Env, error) {
+	var rows []match.Env
+	for _, row := range batch {
+		envs, err := n.runRow(p.ex, src, row)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, envs...)
+	}
+	return rows, nil
+}
+
+func (p *pipeline) startExtPred(n *ExtPredNode, out chan []match.Env) {
+	in := p.start(n.Child)
+	p.spawn(out, func() error {
+		for batch := range in {
+			var rows []match.Env
+			for _, row := range batch {
+				envs, err := p.ex.Extfn.Eval(n.Pred, row)
+				if err != nil {
+					return fmt.Errorf("%s: %w", n.Label(), err)
+				}
+				for _, e := range envs {
+					if len(n.Needed) > 0 {
+						e = e.Project(n.Needed)
+					}
+					rows = append(rows, e)
+				}
+			}
+			if !p.send(out, rows) {
+				return nil
+			}
+		}
+		return nil
+	})
+}
+
+// startDedup streams duplicate elimination: the seen-set persists across
+// batches and mirrors match.DedupEnvs (first occurrence wins, hash
+// bucket plus equality check), so the kept rows and their order match
+// the materialized operator exactly.
+func (p *pipeline) startDedup(n *DedupNode, out chan []match.Env) {
+	in := p.start(n.Child)
+	p.spawn(out, func() error {
+		byKey := map[string][]match.Env{}
+		for batch := range in {
+			var rows []match.Env
+		outer:
+			for _, e := range batch {
+				proj := e.Project(n.Vars)
+				key := proj.Key(n.Vars)
+				for _, seen := range byKey[key] {
+					if seen.Equal(proj) {
+						continue outer
+					}
+				}
+				byKey[key] = append(byKey[key], proj)
+				rows = append(rows, proj)
+			}
+			if !p.send(out, rows) {
+				return nil
+			}
+		}
+		return nil
+	})
+}
+
+func (p *pipeline) startConstruct(n *ConstructNode, out chan []match.Env) {
+	in := p.start(n.Child)
+	p.spawn(out, func() error {
+		for batch := range in {
+			var rows []match.Env
+			for _, row := range batch {
+				objs, err := build.Head(n.Head, row, p.ex.IDGen)
+				if err != nil {
+					return fmt.Errorf("%s: %w", n.Label(), err)
+				}
+				for _, obj := range objs {
+					env, _ := match.Env(nil).Extend(ResultVar, match.BindObj(obj))
+					rows = append(rows, env)
+				}
+			}
+			if !p.send(out, rows) {
+				return nil
+			}
+		}
+		return nil
+	})
+}
+
+// startUnion starts every branch immediately — their subtrees execute
+// concurrently — but forwards their output strictly in branch order, so
+// the union's row order matches sequential execution.
+func (p *pipeline) startUnion(n *UnionNode, out chan []match.Env) {
+	ins := make([]<-chan []match.Env, len(n.Inputs))
+	for i, k := range n.Inputs {
+		ins[i] = p.start(k)
+	}
+	p.spawn(out, func() error {
+		for _, in := range ins {
+			for batch := range in {
+				if !p.send(out, batch) {
+					return nil
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// startBarrier handles operators that need their whole input before
+// producing anything (hash joins, fusion, and any node kind this file
+// does not know): the inputs still stream concurrently, the operator
+// itself runs once they are collected.
+func (p *pipeline) startBarrier(n Node, out chan []match.Env) {
+	kidNodes := n.Kids()
+	ins := make([]<-chan []match.Env, len(kidNodes))
+	for i, k := range kidNodes {
+		ins[i] = p.start(k)
+	}
+	p.spawn(out, func() error {
+		kids := make([]*Table, len(kidNodes))
+		for i, in := range ins {
+			tbl := &Table{Cols: kidNodes[i].OutVars()}
+			for batch := range in {
+				tbl.Rows = append(tbl.Rows, batch...)
+			}
+			kids[i] = tbl
+		}
+		select {
+		case <-p.stop:
+			return nil // an input failed; its rows are incomplete
+		default:
+		}
+		res, err := n.run(p.ex, kids)
+		if err != nil {
+			return fmt.Errorf("%s: %w", n.Label(), err)
+		}
+		p.sendSliced(out, res.Rows)
+		return nil
+	})
+}

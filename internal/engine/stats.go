@@ -14,6 +14,7 @@ import (
 type Stats struct {
 	mu      sync.RWMutex
 	entries map[string]*statEntry
+	sources map[string]*sourceEntry
 }
 
 type statEntry struct {
@@ -21,9 +22,120 @@ type statEntry struct {
 	rows    int
 }
 
+// sourceEntry tracks per-source traffic: how many exchanges (network
+// round-trips) query nodes performed, how many queries those exchanges
+// carried (batching packs several per exchange), and how the wrapper-level
+// answer cache fared.
+type sourceEntry struct {
+	exchanges   int
+	queries     int
+	cacheHits   int
+	cacheMisses int
+}
+
 // NewStats returns an empty statistics store.
 func NewStats() *Stats {
-	return &Stats{entries: make(map[string]*statEntry)}
+	return &Stats{entries: make(map[string]*statEntry), sources: make(map[string]*sourceEntry)}
+}
+
+func (s *Stats) source(name string) *sourceEntry {
+	e := s.sources[name]
+	if e == nil {
+		e = &sourceEntry{}
+		s.sources[name] = e
+	}
+	return e
+}
+
+// RecordExchange adds one source exchange (a network round-trip, or its
+// in-process equivalent) that carried the given number of queries. The
+// datamerge engine calls this from every query node, so the counters
+// measure exactly the traffic the parameterized-query batching is meant
+// to reduce.
+func (s *Stats) RecordExchange(source string, queries int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.source(source)
+	e.exchanges++
+	e.queries += queries
+}
+
+// SourceExchanges returns how many exchanges were performed against the
+// source.
+func (s *Stats) SourceExchanges(source string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if e, ok := s.sources[source]; ok {
+		return e.exchanges
+	}
+	return 0
+}
+
+// SourceQueries returns how many queries were sent to the source (each
+// exchange carries one or more).
+func (s *Stats) SourceQueries(source string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if e, ok := s.sources[source]; ok {
+		return e.queries
+	}
+	return 0
+}
+
+// TotalExchanges sums exchanges over all sources.
+func (s *Stats) TotalExchanges() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := 0
+	for _, e := range s.sources {
+		total += e.exchanges
+	}
+	return total
+}
+
+// TotalQueries sums queries over all sources.
+func (s *Stats) TotalQueries() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := 0
+	for _, e := range s.sources {
+		total += e.queries
+	}
+	return total
+}
+
+// RecordCache adds one answer-cache lookup outcome for the source; the
+// wrapper-level cache reports through this so the cost model can see hit
+// rates.
+func (s *Stats) RecordCache(source string, hit bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.source(source)
+	if hit {
+		e.cacheHits++
+	} else {
+		e.cacheMisses++
+	}
+}
+
+// CacheCounts returns the answer-cache hit and miss totals for the source.
+func (s *Stats) CacheCounts(source string) (hits, misses int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if e, ok := s.sources[source]; ok {
+		return e.cacheHits, e.cacheMisses
+	}
+	return 0, 0
+}
+
+// CacheHitRate returns the observed answer-cache hit rate for the source
+// and whether any lookup was recorded.
+func (s *Stats) CacheHitRate(source string) (float64, bool) {
+	hits, misses := s.CacheCounts(source)
+	if hits+misses == 0 {
+		return 0, false
+	}
+	return float64(hits) / float64(hits+misses), true
 }
 
 // Record adds one observation: a query of the given shape against the
@@ -77,6 +189,19 @@ func (s *Stats) String() string {
 	for _, k := range keys {
 		e := s.entries[k]
 		fmt.Fprintf(&sb, "%s: %d queries, avg %.1f rows\n", k, e.queries, float64(e.rows)/float64(e.queries))
+	}
+	srcKeys := make([]string, 0, len(s.sources))
+	for k := range s.sources {
+		srcKeys = append(srcKeys, k)
+	}
+	sort.Strings(srcKeys)
+	for _, k := range srcKeys {
+		e := s.sources[k]
+		fmt.Fprintf(&sb, "%s: %d exchanges carrying %d queries", k, e.exchanges, e.queries)
+		if e.cacheHits+e.cacheMisses > 0 {
+			fmt.Fprintf(&sb, ", cache %d/%d hits", e.cacheHits, e.cacheHits+e.cacheMisses)
+		}
+		sb.WriteString("\n")
 	}
 	return sb.String()
 }

@@ -121,6 +121,13 @@ func (s *Source) Query(q *msl.Rule) ([]*oem.Object, error) {
 	return wrapper.Eval(q, s.store.TopLevel(), s.gen)
 }
 
+// QueryBatch implements wrapper.BatchQuerier: an in-process source
+// accepts a whole batch in one call, so a batch of parameterized queries
+// costs one exchange.
+func (s *Source) QueryBatch(qs []*msl.Rule) ([][]*oem.Object, error) {
+	return wrapper.EachQuery(s, qs)
+}
+
 // CountLabel implements wrapper.Counter.
 func (s *Source) CountLabel(label string) (int, bool) {
 	n := 0

@@ -337,6 +337,14 @@ func (p *Planner) order(patterns []*msl.PatternConjunct) []*msl.PatternConjunct 
 			rs := make([]ranked, len(out))
 			for i, pc := range out {
 				est, ok := p.estimate(pc)
+				if ok {
+					// Cost, not just cardinality: a source whose answers
+					// are mostly served from the wrapper-level cache is
+					// cheap to consult however many rows it returns, so
+					// its observed hit rate discounts the estimate and
+					// pulls it outward in the join order.
+					est *= p.costWeight(pc.Source)
+				}
 				rs[i] = ranked{pc, est, ok}
 			}
 			sort.SliceStable(rs, func(i, j int) bool {
@@ -386,6 +394,22 @@ func (p *Planner) estimate(pc *msl.PatternConjunct) (float64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// costWeight returns the cost multiplier for consulting a source: 1 with
+// no cache observations, shrinking toward 0.1 as the answer-cache hit
+// rate recorded in the statistics store approaches 1. Exchanges answered
+// from the cache never leave the mediator, so a well-cached source is
+// nearly free regardless of its result sizes.
+func (p *Planner) costWeight(source string) float64 {
+	if p.stats == nil {
+		return 1
+	}
+	rate, ok := p.stats.CacheHitRate(source)
+	if !ok {
+		return 1
+	}
+	return 1 - 0.9*rate
 }
 
 // conditionCount counts the constants in a pattern — the paper's "number

@@ -26,7 +26,10 @@ type Wrapper struct {
 	gen  *oem.IDGen
 }
 
-var _ wrapper.Source = (*Wrapper)(nil)
+var (
+	_ wrapper.Source       = (*Wrapper)(nil)
+	_ wrapper.BatchQuerier = (*Wrapper)(nil)
+)
 
 // NewWrapper wraps db as a source with the given name.
 func NewWrapper(name string, db *DB) *Wrapper {
@@ -54,6 +57,13 @@ func (w *Wrapper) Query(q *msl.Rule) ([]*oem.Object, error) {
 		return nil, err
 	}
 	return wrapper.EvalWith(q, w.candidates, w.gen)
+}
+
+// QueryBatch implements wrapper.BatchQuerier: an in-process wrapper
+// accepts a whole batch in one call, so a batch of parameterized queries
+// costs one exchange.
+func (w *Wrapper) QueryBatch(qs []*msl.Rule) ([][]*oem.Object, error) {
+	return wrapper.EachQuery(w, qs)
 }
 
 // CountLabel implements wrapper.Counter: the label is a table name and

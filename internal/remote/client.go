@@ -37,7 +37,10 @@ type clientConn struct {
 // transient connections that are closed when the pool is full.
 const maxIdleConns = 8
 
-var _ wrapper.Source = (*Client)(nil)
+var (
+	_ wrapper.Source       = (*Client)(nil)
+	_ wrapper.BatchQuerier = (*Client)(nil)
+)
 
 // Dial connects to a remote wrapper and performs the handshake that
 // fetches its name and capabilities. timeout bounds dialing and each
@@ -83,6 +86,45 @@ func (c *Client) Query(q *msl.Rule) ([]*oem.Object, error) {
 			return nil, err
 		}
 		out[i] = obj
+	}
+	return out, nil
+}
+
+// QueryBatch implements wrapper.BatchQuerier: several queries travel in
+// one network round-trip and the result sets come back in request order.
+// This is what makes the engine's parameterized-query batching pay off
+// against remote sources — a batch of k instantiated queries costs one
+// exchange instead of k.
+func (c *Client) QueryBatch(qs []*msl.Rule) ([][]*oem.Object, error) {
+	texts := make([]string, len(qs))
+	for i, q := range qs {
+		texts[i] = q.String()
+	}
+	resp, err := c.roundTrip(Request{Kind: reqBatch, Queries: texts})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Unsupported != "" {
+		return nil, &wrapper.UnsupportedError{Source: c.name, Feature: resp.Unsupported}
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("remote: %s: %s", c.name, resp.Err)
+	}
+	if len(resp.Batches) != len(qs) {
+		return nil, fmt.Errorf("remote: %s: batch answer carries %d result sets for %d queries",
+			c.name, len(resp.Batches), len(qs))
+	}
+	out := make([][]*oem.Object, len(resp.Batches))
+	for i, batch := range resp.Batches {
+		objs := make([]*oem.Object, len(batch))
+		for j, w := range batch {
+			obj, err := FromWire(w)
+			if err != nil {
+				return nil, err
+			}
+			objs[j] = obj
+		}
+		out[i] = objs
 	}
 	return out, nil
 }

@@ -246,3 +246,56 @@ func TestDialFailure(t *testing.T) {
 		t.Fatal("dial to a closed port succeeded")
 	}
 }
+
+func TestQueryBatchOverWire(t *testing.T) {
+	addr, _ := startServer(t, whoisSource(t))
+	client, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	qs := []*msl.Rule{
+		msl.MustParseRule(`<out N> :- <person {<name N> <relation 'employee'>}>@whois.`),
+		msl.MustParseRule(`<out N> :- <person {<name N> <relation 'student'>}>@whois.`),
+		msl.MustParseRule(`<out N> :- <person {<name N> <relation 'nobody'>}>@whois.`),
+	}
+	results, err := client.QueryBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("batch returned %d result sets, want 3", len(results))
+	}
+	// Result sets come back in request order, empty sets included.
+	for i, want := range []string{"Joe Chung", "Nick Naive", ""} {
+		if want == "" {
+			if len(results[i]) != 0 {
+				t.Fatalf("result set %d has %d objects, want 0", i, len(results[i]))
+			}
+			continue
+		}
+		if len(results[i]) != 1 {
+			t.Fatalf("result set %d has %d objects, want 1", i, len(results[i]))
+		}
+		if v, _ := results[i][0].AtomString(); v != want {
+			t.Fatalf("result set %d = %q, want %q", i, v, want)
+		}
+	}
+}
+
+func TestQueryBatchParseErrorOverWire(t *testing.T) {
+	addr, _ := startServer(t, whoisSource(t))
+	client, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// A server-side failure on any query in the batch fails the exchange.
+	resp, err := client.roundTrip(Request{Kind: reqBatch, Queries: []string{"not msl"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err == "" {
+		t.Fatal("malformed batched query accepted")
+	}
+}

@@ -135,6 +135,36 @@ func (s *Server) dispatch(req Request) Response {
 			out[i] = ToWire(o)
 		}
 		return Response{Objects: out}
+	case reqBatch:
+		// One exchange carrying several queries — the server side of
+		// wrapper.BatchQuerier. The inner source answers them in one call
+		// when it can batch itself (a chain of remote hops collapses into
+		// one exchange per hop), otherwise query by query.
+		rules := make([]*msl.Rule, len(req.Queries))
+		for i, text := range req.Queries {
+			rule, err := msl.ParseQuery(text)
+			if err != nil {
+				return Response{Err: err.Error()}
+			}
+			rules[i] = rule
+		}
+		results, err := wrapper.QueryBatch(s.source, rules)
+		if err != nil {
+			resp := Response{Err: err.Error()}
+			var ue *wrapper.UnsupportedError
+			if errors.As(err, &ue) {
+				resp.Unsupported = ue.Feature
+			}
+			return resp
+		}
+		batches := make([][]WireObject, len(results))
+		for i, objs := range results {
+			batches[i] = make([]WireObject, len(objs))
+			for j, o := range objs {
+				batches[i][j] = ToWire(o)
+			}
+		}
+		return Response{Batches: batches}
 	}
 	return Response{Err: fmt.Sprintf("remote: unknown request kind %q", req.Kind)}
 }

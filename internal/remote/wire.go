@@ -23,13 +23,15 @@ const (
 	reqHello = "hello" // handshake: fetch name and capabilities
 	reqQuery = "query" // evaluate the MSL text in Query
 	reqCount = "count" // count top-level objects with Label
+	reqBatch = "batch" // evaluate every MSL text in Queries, one exchange
 )
 
 // Request is one client→server message.
 type Request struct {
-	Kind  string
-	Query string // MSL text for reqQuery
-	Label string // label for reqCount
+	Kind    string
+	Query   string   // MSL text for reqQuery
+	Label   string   // label for reqCount
+	Queries []string // MSL texts for reqBatch
 }
 
 // Response is one server→client message.
@@ -39,6 +41,9 @@ type Response struct {
 	Caps wrapper.Capabilities
 	// Objects answer a query.
 	Objects []WireObject
+	// Batches answer a batch request, one result set per query, in
+	// request order.
+	Batches [][]WireObject
 	// Count and CountOK answer a count request (CountOK is false when
 	// the remote source cannot count cheaply).
 	Count   int

@@ -112,7 +112,10 @@ type Wrapper struct {
 	gen   *oem.IDGen
 }
 
-var _ wrapper.Source = (*Wrapper)(nil)
+var (
+	_ wrapper.Source       = (*Wrapper)(nil)
+	_ wrapper.BatchQuerier = (*Wrapper)(nil)
+)
 
 // NewWrapper wraps store as the named source.
 func NewWrapper(name string, store *Store) *Wrapper {
@@ -131,6 +134,13 @@ func (w *Wrapper) Capabilities() wrapper.Capabilities {
 // Query implements wrapper.Source.
 func (w *Wrapper) Query(q *msl.Rule) ([]*oem.Object, error) {
 	return wrapper.Eval(q, w.Export(), w.gen)
+}
+
+// QueryBatch implements wrapper.BatchQuerier: an in-process wrapper
+// accepts a whole batch in one call, so a batch of parameterized queries
+// costs one exchange.
+func (w *Wrapper) QueryBatch(qs []*msl.Rule) ([][]*oem.Object, error) {
+	return wrapper.EachQuery(w, qs)
 }
 
 // CountLabel implements wrapper.Counter: the count of records of a kind.

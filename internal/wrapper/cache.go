@@ -1,0 +1,247 @@
+package wrapper
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+)
+
+// DefaultCacheEntries is the answer-cache capacity used when
+// CacheOptions.MaxEntries is zero.
+const DefaultCacheEntries = 1024
+
+// CacheOptions configure an answer cache.
+type CacheOptions struct {
+	// MaxEntries bounds the number of cached answers; the least recently
+	// used entry is evicted beyond it. 0 means DefaultCacheEntries.
+	MaxEntries int
+	// TTL expires entries that age beyond it; an expired entry counts as
+	// a miss and is refreshed from the source. 0 means no expiry.
+	TTL time.Duration
+	// Recorder, when set, observes every lookup — the mediator wires it
+	// to the statistics store so cache hit rates feed the cost model.
+	Recorder func(source string, hit bool)
+	// Clock overrides the time source for TTL checks (tests); nil means
+	// time.Now.
+	Clock func() time.Time
+}
+
+// CacheStats is a snapshot of a cache's counters.
+type CacheStats struct {
+	Hits, Misses, Evictions, Entries int
+}
+
+// Cache is an LRU answer cache in front of a Source, keyed by the
+// normalized text of each query. Sources are autonomous and may change
+// underneath the mediator, so the cache trades freshness for round-trips
+// explicitly: entries live until evicted, expired by TTL, or dropped by
+// Invalidate. Cached result objects are shared between callers and must
+// be treated as immutable (the engine copies source material before
+// mutating it, so this holds throughout MedMaker).
+//
+// Cache implements BatchQuerier whether or not the inner source does:
+// batched lookups answer hits locally and forward only the misses, in one
+// exchange when the inner source supports it.
+type Cache struct {
+	inner Source
+	max   int
+	ttl   time.Duration
+	rec   func(source string, hit bool)
+	now   func() time.Time
+
+	mu        sync.Mutex
+	lru       *list.List // front = most recently used
+	entries   map[string]*list.Element
+	hits      int
+	misses    int
+	evictions int
+}
+
+type cacheEntry struct {
+	key    string
+	objs   []*oem.Object
+	stored time.Time
+}
+
+var (
+	_ Source       = (*Cache)(nil)
+	_ BatchQuerier = (*Cache)(nil)
+	_ Counter      = (*Cache)(nil)
+)
+
+// NewCache wraps src with an answer cache.
+func NewCache(src Source, opts CacheOptions) *Cache {
+	max := opts.MaxEntries
+	if max <= 0 {
+		max = DefaultCacheEntries
+	}
+	now := opts.Clock
+	if now == nil {
+		now = time.Now
+	}
+	return &Cache{
+		inner:   src,
+		max:     max,
+		ttl:     opts.TTL,
+		rec:     opts.Recorder,
+		now:     now,
+		lru:     list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Name implements Source.
+func (c *Cache) Name() string { return c.inner.Name() }
+
+// Capabilities implements Source.
+func (c *Cache) Capabilities() Capabilities { return c.inner.Capabilities() }
+
+// Inner returns the wrapped source.
+func (c *Cache) Inner() Source { return c.inner }
+
+// NormalizeQuery renders a rule with its variables renamed to positional
+// names, so alpha-equivalent queries — identical up to variable naming,
+// as repeated plans and parameterized instantiations produce — share one
+// cache entry.
+func NormalizeQuery(q *msl.Rule) string {
+	n := 0
+	names := map[string]string{}
+	renamed := q.RenameVars(func(s string) string {
+		if nn, ok := names[s]; ok {
+			return nn
+		}
+		n++
+		nn := fmt.Sprintf("V%d", n)
+		names[s] = nn
+		return nn
+	})
+	return renamed.String()
+}
+
+// Query implements Source, answering from the cache when possible.
+func (c *Cache) Query(q *msl.Rule) ([]*oem.Object, error) {
+	key := NormalizeQuery(q)
+	if objs, ok := c.lookup(key); ok {
+		return objs, nil
+	}
+	objs, err := c.inner.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	c.store(key, objs)
+	return objs, nil
+}
+
+// QueryBatch implements BatchQuerier: hits are answered locally and only
+// the misses travel to the inner source — in one exchange when it
+// implements BatchQuerier itself.
+func (c *Cache) QueryBatch(qs []*msl.Rule) ([][]*oem.Object, error) {
+	out := make([][]*oem.Object, len(qs))
+	keys := make([]string, len(qs))
+	var missIdx []int
+	for i, q := range qs {
+		keys[i] = NormalizeQuery(q)
+		if objs, ok := c.lookup(keys[i]); ok {
+			out[i] = objs
+			continue
+		}
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) == 0 {
+		return out, nil
+	}
+	missed := make([]*msl.Rule, len(missIdx))
+	for j, i := range missIdx {
+		missed[j] = qs[i]
+	}
+	fetched, err := QueryBatch(c.inner, missed)
+	if err != nil {
+		return nil, err
+	}
+	for j, i := range missIdx {
+		out[i] = fetched[j]
+		c.store(keys[i], fetched[j])
+	}
+	return out, nil
+}
+
+// CountLabel implements Counter when the inner source does; counts are
+// not cached (they are already cheap by contract).
+func (c *Cache) CountLabel(label string) (int, bool) {
+	if counter, ok := c.inner.(Counter); ok {
+		return counter.CountLabel(label)
+	}
+	return 0, false
+}
+
+// Invalidate drops every cached answer — the explicit escape hatch for
+// callers that know a source changed.
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	c.entries = make(map[string]*list.Element)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.lru.Len()}
+}
+
+// lookup returns the cached answer for key, counting the access and
+// refreshing recency. Expired entries are removed and count as misses.
+func (c *Cache) lookup(key string) ([]*oem.Object, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if ok {
+		e := el.Value.(*cacheEntry)
+		if c.ttl > 0 && c.now().Sub(e.stored) > c.ttl {
+			c.lru.Remove(el)
+			delete(c.entries, key)
+			ok = false
+		} else {
+			c.lru.MoveToFront(el)
+			c.hits++
+			c.mu.Unlock()
+			c.record(true)
+			// Share the objects but not the slice, so a caller appending
+			// to its result cannot corrupt the cache.
+			return append([]*oem.Object(nil), e.objs...), true
+		}
+	}
+	c.misses++
+	c.mu.Unlock()
+	c.record(false)
+	return nil, false
+}
+
+func (c *Cache) store(key string, objs []*oem.Object) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// A concurrent miss on the same key beat us here; refresh it.
+		el.Value.(*cacheEntry).objs = objs
+		el.Value.(*cacheEntry).stored = c.now()
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, objs: objs, stored: c.now()})
+	for c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+func (c *Cache) record(hit bool) {
+	if c.rec != nil {
+		c.rec(c.inner.Name(), hit)
+	}
+}

@@ -72,7 +72,19 @@ type (
 	// Stats is the optimizer's statistics store, learned from past
 	// queries.
 	Stats = engine.Stats
+	// CacheOptions configure the per-source answer cache (Config.Cache).
+	CacheOptions = wrapper.CacheOptions
+	// CacheStats is a snapshot of one source cache's counters.
+	CacheStats = wrapper.CacheStats
+	// BatchQuerier is the optional Source extension for answering several
+	// queries in one exchange; batch-capable sources make the engine's
+	// parameterized-query batching collapse round-trips.
+	BatchQuerier = wrapper.BatchQuerier
 )
+
+// DefaultQueryBatch is the parameterized-query batch size used when
+// Config.QueryBatch is zero.
+const DefaultQueryBatch = 16
 
 // Join-order strategies for PlanOptions.Order.
 const (
@@ -139,6 +151,24 @@ type Config struct {
 	// bundled wrappers do) and external functions must be pure. Results
 	// are identical to sequential execution, including order.
 	Parallelism int
+	// QueryBatch bounds how many deduplicated parameterized queries the
+	// engine sends to a source per exchange: a query node's input tuples
+	// are deduplicated, and the distinct instantiated queries ship in
+	// groups of up to QueryBatch (one per exchange for sources without
+	// BatchQuerier support). 0 means DefaultQueryBatch; 1 restores the
+	// paper's one-query-per-tuple behavior.
+	QueryBatch int
+	// Pipeline streams row batches between plan operators through
+	// channels instead of materializing every intermediate table,
+	// overlapping source waits across the graph. It engages only when
+	// Parallelism > 1 and tracing is off; results are structurally
+	// identical to sequential execution.
+	Pipeline bool
+	// Cache, when non-nil, puts an LRU answer cache in front of every
+	// source, keyed by normalized query text, with the given size and TTL.
+	// Hit rates feed the optimizer's cost model through the statistics
+	// store. Use Mediator.InvalidateCaches when a source changes.
+	Cache *CacheOptions
 }
 
 // Mediator is a declaratively-specified integrated view over a set of
@@ -154,6 +184,11 @@ type Mediator struct {
 	gen      *oem.IDGen
 	trace    io.Writer
 	parallel int
+	batch    int
+	pipeline bool
+	cacheCfg *wrapper.CacheOptions
+	cacheMu  sync.Mutex
+	caches   []*wrapper.Cache
 	// fused marks specifications whose heads carry skolem object-ids:
 	// queries then evaluate against the materialized, fused view (see
 	// Query), because a condition may only hold on the fusion of
@@ -190,19 +225,18 @@ func New(cfg Config) (*Mediator, error) {
 	if err != nil {
 		return nil, err
 	}
-	sources := wrapper.NewRegistry()
-	sources.Add(cfg.Sources...)
-	if err := validateSpec(cfg.Name, spec, table, sources); err != nil {
-		return nil, err
-	}
 	opts := plan.DefaultOptions()
 	if cfg.Plan != nil {
 		opts = *cfg.Plan
 	}
-	return &Mediator{
+	batch := cfg.QueryBatch
+	if batch == 0 {
+		batch = DefaultQueryBatch
+	}
+	m := &Mediator{
 		name:     cfg.Name,
 		spec:     spec,
-		sources:  sources,
+		sources:  wrapper.NewRegistry(),
 		extfns:   table,
 		expander: veao.NewExpander(spec, cfg.Name, cfg.Expand),
 		planOpts: opts,
@@ -210,8 +244,21 @@ func New(cfg Config) (*Mediator, error) {
 		gen:      oem.NewIDGen(cfg.Name),
 		trace:    cfg.Trace,
 		parallel: cfg.Parallelism,
+		batch:    batch,
+		pipeline: cfg.Pipeline,
 		fused:    specHasSkolems(spec),
-	}, nil
+	}
+	if cfg.Cache != nil {
+		cacheCfg := *cfg.Cache
+		m.cacheCfg = &cacheCfg
+	}
+	for _, src := range cfg.Sources {
+		m.AddSource(src)
+	}
+	if err := validateSpec(cfg.Name, spec, table, m.sources); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // validateSpec rejects specifications with statically-detectable faults:
@@ -403,6 +450,8 @@ func (m *Mediator) queryFusedView(q *Rule) ([]*Object, error) {
 		IDGen:       m.gen,
 		Stats:       m.stats,
 		Parallelism: m.parallel,
+		QueryBatch:  m.batch,
+		Pipeline:    m.pipeline,
 	}
 	if m.trace != nil {
 		m.mu.Lock()
@@ -487,6 +536,8 @@ func (m *Mediator) Execute(p *plan.Plan) ([]*Object, error) {
 		IDGen:       m.gen,
 		Stats:       m.stats,
 		Parallelism: m.parallel,
+		QueryBatch:  m.batch,
+		Pipeline:    m.pipeline,
 	}
 	if m.trace != nil {
 		m.mu.Lock()
@@ -525,9 +576,47 @@ func (m *Mediator) Explain(q string) (string, error) {
 // autonomous, changing environments: when a source is upgraded or moves
 // (e.g. from in-process to remote), swap it in under the same name and
 // the unchanged specification keeps working. Queries already executing
-// finish against the source they resolved.
+// finish against the source they resolved. With Config.Cache set the
+// source is registered behind a fresh answer cache.
 func (m *Mediator) AddSource(src Source) {
+	if m.cacheCfg != nil {
+		opts := *m.cacheCfg
+		user := opts.Recorder
+		opts.Recorder = func(source string, hit bool) {
+			m.stats.RecordCache(source, hit)
+			if user != nil {
+				user(source, hit)
+			}
+		}
+		cache := wrapper.NewCache(src, opts)
+		m.cacheMu.Lock()
+		m.caches = append(m.caches, cache)
+		m.cacheMu.Unlock()
+		src = cache
+	}
 	m.sources.Add(src)
+}
+
+// InvalidateCaches drops every cached source answer — call it when a
+// source's data is known to have changed and Config.Cache is in use.
+func (m *Mediator) InvalidateCaches() {
+	m.cacheMu.Lock()
+	defer m.cacheMu.Unlock()
+	for _, c := range m.caches {
+		c.Invalidate()
+	}
+}
+
+// CacheStats returns per-source answer-cache counters, keyed by source
+// name; the map is empty when Config.Cache is unset.
+func (m *Mediator) CacheStats() map[string]CacheStats {
+	m.cacheMu.Lock()
+	defer m.cacheMu.Unlock()
+	out := make(map[string]CacheStats, len(m.caches))
+	for _, c := range m.caches {
+		out[c.Name()] = c.Stats()
+	}
+	return out
 }
 
 // Stats exposes the mediator's learned statistics store.

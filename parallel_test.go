@@ -55,6 +55,81 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestExecutionModesMatchSequential is the differential check for the
+// batched/cached/pipelined executor: for every plan variant and every
+// combination of the new knobs, results must be structurally identical to
+// the plain sequential per-tuple path, in the same order. Each cached
+// mediator runs its queries twice so the second pass exercises cache hits.
+func TestExecutionModesMatchSequential(t *testing.T) {
+	queries := []string{
+		`P :- P:<cs_person {<name N>}>@med.`,
+		`S :- S:<cs_person {<year 3>}>@med.`,
+	}
+	variants := []PlanOptions{
+		{Order: OrderHeuristic, PushConditions: true, Parameterize: true, DupElim: true},
+		{Order: OrderHeuristic, PushConditions: true, Parameterize: false, DupElim: true},
+		{Order: OrderReversed, PushConditions: false, Parameterize: true, DupElim: true},
+	}
+	modes := []struct {
+		name string
+		mk   func(o *PlanOptions) Config
+	}{
+		{"batched", func(o *PlanOptions) Config {
+			return Config{Plan: o} // QueryBatch 0 -> DefaultQueryBatch
+		}},
+		{"batched+cached", func(o *PlanOptions) Config {
+			return Config{Plan: o, Cache: &CacheOptions{}}
+		}},
+		{"pipelined", func(o *PlanOptions) Config {
+			return Config{Plan: o, QueryBatch: 1, Pipeline: true, Parallelism: 8}
+		}},
+		{"batched+cached+pipelined", func(o *PlanOptions) Config {
+			return Config{Plan: o, Cache: &CacheOptions{}, Pipeline: true, Parallelism: 8}
+		}},
+	}
+	cs, whois, _ := scaledSources(t, 80)
+	for vi, opts := range variants {
+		o := opts
+		seq, err := New(Config{
+			Name: "med", Spec: specMS1, Sources: []Source{cs, whois},
+			Plan: &o, QueryBatch: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range modes {
+			cfg := mode.mk(&o)
+			cfg.Name, cfg.Spec, cfg.Sources = "med", specMS1, []Source{cs, whois}
+			med, err := New(cfg)
+			if err != nil {
+				t.Fatalf("variant %d mode %s: %v", vi, mode.name, err)
+			}
+			for qi, q := range queries {
+				want, err := seq.QueryString(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for pass := 0; pass < 2; pass++ {
+					got, err := med.QueryString(q)
+					if err != nil {
+						t.Fatalf("variant %d mode %s query %d pass %d: %v", vi, mode.name, qi, pass, err)
+					}
+					if len(want) != len(got) {
+						t.Fatalf("variant %d mode %s query %d pass %d: sequential %d objects, %s %d",
+							vi, mode.name, qi, pass, len(want), mode.name, len(got))
+					}
+					for i := range want {
+						if !want[i].StructuralEqual(got[i]) {
+							t.Fatalf("variant %d mode %s query %d pass %d: result %d differs:\n%s\nvs\n%s",
+								vi, mode.name, qi, pass, i, oem.Format(want[i]), oem.Format(got[i]))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 // failingSource errors on every query.
 type failingSource struct{ name string }
 
