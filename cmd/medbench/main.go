@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,11 +31,28 @@ decomp(bound, free, free) by name_to_lnfn.
 decomp(free, bound, bound) by lnfn_to_name.
 `
 
+// queryTimeout, when positive, bounds every measured query (-timeout);
+// a hung or degenerate configuration then fails fast instead of wedging
+// the whole benchmark run.
+var queryTimeout time.Duration
+
+// query answers q on med under the global -timeout deadline.
+func query(med *medmaker.Mediator, q string) ([]*medmaker.Object, error) {
+	ctx := context.Background()
+	if queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, queryTimeout)
+		defer cancel()
+	}
+	return med.QueryStringContext(ctx, q)
+}
+
 func main() {
 	figures := flag.Bool("figures", false, "emit only the structural figure artifacts")
 	perf := flag.Bool("perf", false, "emit only the measured comparisons")
 	reps := flag.Int("reps", 20, "timing repetitions per measurement (median reported)")
 	snapshot := flag.String("snapshot", "", "write a JSON snapshot of the executor measurements (batching, caching, pipelining) to this file and exit")
+	flag.DurationVar(&queryTimeout, "timeout", 0, "per-query deadline for measured queries (e.g. 30s); 0 means none")
 	flag.Parse()
 	if *snapshot != "" {
 		runSnapshot(*reps, *snapshot)
@@ -116,7 +134,7 @@ func runFigures() {
 	traced := must(medmaker.New(medmaker.Config{
 		Name: "med", Spec: specMS1, Sources: []medmaker.Source{cs, whois}, Trace: os.Stdout,
 	}))
-	result := must(traced.QueryString(q1))
+	result := must(query(traced, q1))
 
 	section("F2.4: the integrated cs_person object")
 	fmt.Print(medmaker.FormatOEM(result...))
@@ -131,7 +149,7 @@ func runFigures() {
 	}
 	fmt.Print(logical.String())
 	fmt.Println("answer:")
-	fmt.Print(medmaker.FormatOEM(must(med.QueryString(q3))...))
+	fmt.Print(medmaker.FormatOEM(must(query(med, q3))...))
 }
 
 // timeIt returns the median wall time of f over reps runs.
@@ -194,7 +212,7 @@ func runPerf(reps int) {
 			opts := medmaker.PlanOptions{PushConditions: push, Parameterize: push, DupElim: true}
 			med, staff, _, _ := scaled(1000, &opts)
 			q := fmt.Sprintf(`JC :- JC:<cs_person {<name %s>}>@med.`, oem.QuoteAtom(staff.Names[0]))
-			d := timeIt(reps, func() { must(med.QueryString(q)) })
+			d := timeIt(reps, func() { must(query(med, q)) })
 			rows = append(rows, row{"E-PUSH", fmt.Sprintf("pushdown=%v", push), "selective Q1, 1000 persons", d})
 		}
 		printRows("E-PUSH: push selections down vs mediator-side filtering", rows)
@@ -213,9 +231,9 @@ func runPerf(reps int) {
 			med, staff, _, _ := scaled(500, &opts)
 			q := fmt.Sprintf(`JC :- JC:<cs_person {<name %s>}>@med.`, oem.QuoteAtom(staff.Names[0]))
 			if m.warm {
-				must(med.QueryString(q))
+				must(query(med, q))
 			}
-			d := timeIt(reps, func() { must(med.QueryString(q)) })
+			d := timeIt(reps, func() { must(query(med, q)) })
 			rows = append(rows, row{"E-JOIN", m.name, "selective Q1, 500 persons", d})
 		}
 		printRows("E-JOIN: join-order strategy (conditions-outermost heuristic of Sec 3.5)", rows)
@@ -228,7 +246,7 @@ func runPerf(reps int) {
 			opts := medmaker.PlanOptions{PushConditions: true, Parameterize: param, DupElim: true}
 			med, _, _, _ := scaled(300, &opts)
 			q := `P :- P:<cs_person {<name N>}>@med.`
-			d := timeIt(reps, func() { must(med.QueryString(q)) })
+			d := timeIt(reps, func() { must(query(med, q)) })
 			rows = append(rows, row{"E-JOIN", fmt.Sprintf("parameterized=%v", param), "full view, 300 persons", d})
 		}
 		printRows("E-JOIN: parameterized query node vs hash-join baseline", rows)
@@ -254,7 +272,7 @@ func runPerf(reps int) {
 			}
 			med := must(medmaker.New(medmaker.Config{Name: "med", Spec: specMS1, Sources: sources}))
 			q := fmt.Sprintf(`JC :- JC:<cs_person {<name %s>}>@med.`, oem.QuoteAtom(staff.Names[0]))
-			d := timeIt(reps, func() { must(med.QueryString(q)) })
+			d := timeIt(reps, func() { must(query(med, q)) })
 			cfg := "fully capable sources"
 			if limited {
 				cfg = "condition-blind sources"
@@ -277,7 +295,7 @@ func runPerf(reps int) {
 			med := must(medmaker.New(medmaker.Config{
 				Name: "med", Spec: `<found T> :- <%title T>@lib.`, Sources: []medmaker.Source{src},
 			}))
-			d := timeIt(reps, func() { must(med.QueryString(`X :- X:<found T>@med.`)) })
+			d := timeIt(reps, func() { must(query(med, `X :- X:<found T>@med.`)) })
 			rows = append(rows, row{"E-WILD", fmt.Sprintf("wildcard depth=%d (3^%d titles)", depth, depth), "search all titles", d})
 		}
 		printRows("E-WILD: wildcard search cost grows with the object graph (Sec 2)", rows)
@@ -289,7 +307,7 @@ func runPerf(reps int) {
 		med, staff, cs, whois := scaled(300, nil)
 		name := staff.Names[0]
 		q := fmt.Sprintf(`JC :- JC:<cs_person {<name %s>}>@med.`, oem.QuoteAtom(name))
-		d := timeIt(reps, func() { must(med.QueryString(q)) })
+		d := timeIt(reps, func() { must(query(med, q)) })
 		rows = append(rows, row{"E-HAND", "declarative (MSI)", "selective Q1, 300 persons", d})
 		hc := handcoded.New(cs, whois)
 		d2 := timeIt(reps, func() { must(hc.CSPersonByName(name)) })
@@ -306,8 +324,8 @@ func runPerf(reps int) {
 			opts := medmaker.PlanOptions{PushConditions: true, Parameterize: true, DupElim: dup}
 			med, _, _, _ := scaled(300, &opts)
 			q := `S :- S:<cs_person {<year 3>}>@med.`
-			objs := must(med.QueryString(q))
-			d := timeIt(reps, func() { must(med.QueryString(q)) })
+			objs := must(query(med, q))
+			d := timeIt(reps, func() { must(query(med, q)) })
 			rows = append(rows, row{"E-DUP", fmt.Sprintf("dupelim=%v (%d result objects)", dup, len(objs)), "year query, 300 persons", d})
 		}
 		printRows("E-DUP: duplicate elimination (footnote 9: absent in the paper's impl)", rows)
@@ -318,7 +336,7 @@ func runPerf(reps int) {
 		var rows []row
 		med, staff, cs, whois := scaled(200, nil)
 		q := fmt.Sprintf(`JC :- JC:<cs_person {<name %s>}>@med.`, oem.QuoteAtom(staff.Names[0]))
-		d := timeIt(reps, func() { must(med.QueryString(q)) })
+		d := timeIt(reps, func() { must(query(med, q)) })
 		rows = append(rows, row{"F1.1", "in-process wrappers", "selective Q1, 200 persons", d})
 		csAddr, csSrv := mustServe(cs)
 		defer csSrv.Close()
@@ -331,7 +349,7 @@ func runPerf(reps int) {
 		medR := must(medmaker.New(medmaker.Config{
 			Name: "med", Spec: specMS1, Sources: []medmaker.Source{csR, whoisR},
 		}))
-		d2 := timeIt(reps, func() { must(medR.QueryString(q)) })
+		d2 := timeIt(reps, func() { must(query(medR, q)) })
 		rows = append(rows, row{"F1.1", "TCP wrappers (loopback)", "selective Q1, 200 persons", d2})
 		printRows("F1.1: the distributed TSIMMIS deployment", rows)
 	}
@@ -372,9 +390,9 @@ func measure(reps int, med *medmaker.Mediator, q string) (ns int64, exchanges, q
 		return n
 	}
 	e0, q0, h0 := st.TotalExchanges(), st.TotalQueries(), cacheHits()
-	must(med.QueryString(q))
+	must(query(med, q))
 	e1, q1, h1 := st.TotalExchanges(), st.TotalQueries(), cacheHits()
-	d := timeIt(reps, func() { must(med.QueryString(q)) })
+	d := timeIt(reps, func() { must(query(med, q)) })
 	return d.Nanoseconds(), e1 - e0, q1 - q0, h1 - h0
 }
 
@@ -425,7 +443,7 @@ func runSnapshot(reps int, path string) {
 			label = "cache=on,warm"
 		}
 		med := must(medmaker.New(cfg))
-		must(med.QueryString(fullView)) // warm (a no-op for the uncached run)
+		must(query(med, fullView)) // warm (a no-op for the uncached run)
 		ns, ex, qs, hits := measure(reps, med, fullView)
 		snap.Results = append(snap.Results, snapshotResult{
 			ID: "E-CACHE", Config: label,

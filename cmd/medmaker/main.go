@@ -14,6 +14,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -113,6 +114,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	trace := fs.Bool("trace", false, "print the execution trace (binding tables per node)")
 	serve := fs.String("serve", "", "serve the mediator over TCP on this address instead of answering queries")
 	showStats := fs.Bool("stats", false, "print the learned statistics store after all queries")
+	timeout := fs.Duration("timeout", 0, "per-query deadline (e.g. 5s); 0 means none")
 	fs.Var(&sources, "source", "source as name=path.oem or name=tcp:addr (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -176,7 +178,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			}
 			fmt.Fprint(stderr, out)
 		}
-		objs, err := med.QueryString(q)
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		objs, err := med.QueryStringContext(ctx, q)
 		if err != nil {
 			return err
 		}

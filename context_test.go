@@ -1,0 +1,445 @@
+package medmaker
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"medmaker/internal/msl"
+)
+
+// slowSource delays every answer; it honors context cancellation, like
+// the bundled wrappers.
+type slowSource struct {
+	inner Source
+	delay time.Duration
+}
+
+func (s *slowSource) Name() string               { return s.inner.Name() }
+func (s *slowSource) Capabilities() Capabilities { return s.inner.Capabilities() }
+
+func (s *slowSource) Query(q *msl.Rule) ([]*Object, error) {
+	return s.QueryContext(context.Background(), q)
+}
+
+func (s *slowSource) QueryContext(ctx context.Context, q *msl.Rule) ([]*Object, error) {
+	select {
+	case <-time.After(s.delay):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return s.inner.Query(q)
+}
+
+// blindSlowSource delays every answer and ignores contexts entirely — the
+// worst-case third-party source the wrapper layer's fallback must bound.
+type blindSlowSource struct {
+	inner Source
+	delay time.Duration
+}
+
+func (s *blindSlowSource) Name() string               { return s.inner.Name() }
+func (s *blindSlowSource) Capabilities() Capabilities { return s.inner.Capabilities() }
+
+func (s *blindSlowSource) Query(q *msl.Rule) ([]*Object, error) {
+	time.Sleep(s.delay)
+	return s.inner.Query(q)
+}
+
+// settleGoroutines waits for the goroutine count to drop back to base,
+// failing the test if it does not within two seconds — the leak check
+// behind the "every engine goroutine has exited" guarantee.
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not settle: %d running, started with %d", runtime.NumGoroutine(), base)
+}
+
+// executorModes enumerates the three execution strategies every
+// cancellation property must hold under.
+var executorModes = []struct {
+	name     string
+	parallel int
+	pipeline bool
+}{
+	{"sequential", 0, false},
+	{"parallel", 4, false},
+	{"pipelined", 4, true},
+}
+
+// TestDeadlineAllExecutors: a 50ms deadline against a slow source must
+// surface as context.DeadlineExceeded well before the source's own delay,
+// under all three executors, without leaking goroutines.
+func TestDeadlineAllExecutors(t *testing.T) {
+	for _, mode := range executorModes {
+		t.Run(mode.name, func(t *testing.T) {
+			cs, whois, _ := scaledSources(t, 20)
+			med, err := New(Config{
+				Name: "med", Spec: specMS1,
+				Sources:     []Source{cs, &slowSource{inner: whois, delay: 5 * time.Second}},
+				Parallelism: mode.parallel, Pipeline: mode.pipeline,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := runtime.NumGoroutine()
+			ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+			defer cancel()
+			start := time.Now()
+			_, err = med.QueryStringContext(ctx, `P :- P:<cs_person {<name N>}>@med.`)
+			elapsed := time.Since(start)
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("error = %v, want context.DeadlineExceeded", err)
+			}
+			if elapsed > 500*time.Millisecond {
+				t.Fatalf("deadline surfaced after %v, want < 500ms", elapsed)
+			}
+			settleGoroutines(t, base)
+		})
+	}
+}
+
+// TestCancelMidQuery: cancelling the context mid-run tears the executor
+// down and surfaces context.Canceled.
+func TestCancelMidQuery(t *testing.T) {
+	for _, mode := range executorModes {
+		t.Run(mode.name, func(t *testing.T) {
+			cs, whois, _ := scaledSources(t, 20)
+			med, err := New(Config{
+				Name: "med", Spec: specMS1,
+				Sources:     []Source{cs, &slowSource{inner: whois, delay: 5 * time.Second}},
+				Parallelism: mode.parallel, Pipeline: mode.pipeline,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := runtime.NumGoroutine()
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(30 * time.Millisecond)
+				cancel()
+			}()
+			_, err = med.QueryStringContext(ctx, `P :- P:<cs_person {<name N>}>@med.`)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("error = %v, want context.Canceled", err)
+			}
+			settleGoroutines(t, base)
+		})
+	}
+}
+
+// TestDeadlineAgainstContextBlindSource: the wrapper layer's fallback
+// must bound even a source that ignores contexts — the caller gets
+// context.DeadlineExceeded promptly, and the abandoned call's goroutine
+// drains once the source returns.
+func TestDeadlineAgainstContextBlindSource(t *testing.T) {
+	cs, whois, _ := scaledSources(t, 20)
+	med, err := New(Config{
+		Name: "med", Spec: specMS1,
+		Sources: []Source{cs, &blindSlowSource{inner: whois, delay: 300 * time.Millisecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = med.QueryStringContext(ctx, `P :- P:<cs_person {<name N>}>@med.`)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 250*time.Millisecond {
+		t.Fatalf("deadline surfaced after %v; the blind source's delay leaked into the caller", elapsed)
+	}
+	// The abandoned goroutine exits when the blind source's sleep ends.
+	settleGoroutines(t, base)
+}
+
+// TestLayeredMediatorDeadline: mediators are sources, so a deadline must
+// pass through a mediator-over-mediator stack into the bottom source.
+func TestLayeredMediatorDeadline(t *testing.T) {
+	cs, whois, _ := scaledSources(t, 20)
+	inner, err := New(Config{
+		Name: "med", Spec: specMS1,
+		Sources: []Source{cs, &slowSource{inner: whois, delay: 5 * time.Second}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, err := New(Config{
+		Name:    "outer",
+		Spec:    `<staff {<name N>}> :- <cs_person {<name N>}>@med.`,
+		Sources: []Source{inner},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = outer.QueryStringContext(ctx, `X :- X:<staff {<name N>}>@outer.`)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("deadline crossed the mediator stack after %v, want < 500ms", elapsed)
+	}
+}
+
+// downSource fails every query, counting the attempts.
+type downSource struct {
+	name  string
+	calls int32
+}
+
+func (d *downSource) Name() string               { return d.name }
+func (d *downSource) Capabilities() Capabilities { return FullCapabilities() }
+
+func (d *downSource) Query(*msl.Rule) ([]*Object, error) {
+	d.calls++
+	return nil, errors.New("source is down")
+}
+
+// unionSpec derives the same view label from two sources, so one source's
+// failure is separable from the other's contribution.
+const unionSpec = `
+<out {<name N>}> :- <person {<name N>}>@whois.
+<out {<name N>}> :- <person {<name N>}>@shaky.
+`
+
+// TestSkipPolicyDifferential: with OnSourceErrorSkip, a query over one
+// healthy and one dead source must return exactly what a mediator over
+// the healthy source alone returns, flagged Incomplete and carrying the
+// failure. Verified differentially against the healthy-only mediator.
+func TestSkipPolicyDifferential(t *testing.T) {
+	for _, mode := range executorModes {
+		t.Run(mode.name, func(t *testing.T) {
+			_, whois, _ := scaledSources(t, 12)
+			degraded, err := New(Config{
+				Name: "med", Spec: unionSpec,
+				Sources:     []Source{whois, &downSource{name: "shaky"}},
+				Parallelism: mode.parallel, Pipeline: mode.pipeline,
+				Policy: ExecPolicy{OnSourceError: OnSourceErrorSkip},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, whois2, _ := scaledSources(t, 12)
+			healthy, err := New(Config{
+				Name: "med", Spec: `<out {<name N>}> :- <person {<name N>}>@whois.`,
+				Sources: []Source{whois2},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rule, err := ParseQuery(`X :- X:<out {<name N>}>@med.`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := degraded.QueryPolicy(context.Background(), rule,
+				ExecPolicy{OnSourceError: OnSourceErrorSkip})
+			if err != nil {
+				t.Fatalf("skip policy surfaced the failure as an error: %v", err)
+			}
+			if !res.Incomplete {
+				t.Fatal("degraded answer not flagged Incomplete")
+			}
+			if len(res.SourceErrors) == 0 || res.SourceErrors[0].Source != "shaky" {
+				t.Fatalf("SourceErrors = %v, want a shaky failure", res.SourceErrors)
+			}
+			want, err := healthy.Query(rule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := canonicalize(res.Objects)
+			ref := canonicalize(want)
+			if len(got) != len(ref) {
+				t.Fatalf("degraded answer has %d objects, healthy-only %d", len(got), len(ref))
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("degraded answer diverges from healthy-only mediator at %d:\n%s\nvs\n%s",
+						i, got[i], ref[i])
+				}
+			}
+		})
+	}
+}
+
+// paramSpec joins whois names against a second source via a parameterized
+// query node, so the second source sees one exchange per distinct name.
+const paramSpec = `
+<out {<name N> <email E>}> :- <person {<name N>}>@whois
+    AND <contact {<name N> <email E>}>@shaky.
+`
+
+// TestSkipCircuitBreaksSource: under Skip the first failure takes the
+// source down for the rest of the run — later exchanges never reach it —
+// while Partial retries it on every exchange.
+func TestSkipCircuitBreaksSource(t *testing.T) {
+	run := func(mode ErrorMode) (*downSource, *QueryResult) {
+		t.Helper()
+		_, whois, _ := scaledSources(t, 10)
+		shaky := &downSource{name: "shaky"}
+		// Order as written keeps whois outermost, so shaky is the
+		// parameterized node receiving one exchange per distinct name.
+		opts := DefaultPlanOptions()
+		opts.Order = OrderAsWritten
+		med, err := New(Config{
+			Name: "med", Spec: paramSpec,
+			Sources:    []Source{whois, shaky},
+			Plan:       &opts,
+			QueryBatch: 1, // one exchange per tuple, sequential
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rule, err := ParseQuery(`X :- X:<out {<name N> <email E>}>@med.`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := med.QueryPolicy(context.Background(), rule, ExecPolicy{OnSourceError: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return shaky, res
+	}
+
+	skipSrc, skipRes := run(OnSourceErrorSkip)
+	if skipSrc.calls != 1 {
+		t.Fatalf("skip: source queried %d times, want 1 (circuit break)", skipSrc.calls)
+	}
+	if !skipRes.Incomplete || len(skipRes.SourceErrors) != 1 {
+		t.Fatalf("skip: Incomplete=%v SourceErrors=%d", skipRes.Incomplete, len(skipRes.SourceErrors))
+	}
+
+	partialSrc, partialRes := run(OnSourceErrorPartial)
+	if partialSrc.calls < 2 {
+		t.Fatalf("partial: source queried %d times, want one per exchange", partialSrc.calls)
+	}
+	if !partialRes.Incomplete || len(partialRes.SourceErrors) != int(partialSrc.calls) {
+		t.Fatalf("partial: Incomplete=%v SourceErrors=%d calls=%d",
+			partialRes.Incomplete, len(partialRes.SourceErrors), partialSrc.calls)
+	}
+}
+
+// TestFailPolicyUnchanged: the default policy still aborts on the first
+// source failure, with no degradation record.
+func TestFailPolicyUnchanged(t *testing.T) {
+	_, whois, _ := scaledSources(t, 10)
+	med, err := New(Config{
+		Name: "med", Spec: unionSpec,
+		Sources: []Source{whois, &downSource{name: "shaky"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := med.QueryString(`X :- X:<out {<name N>}>@med.`); err == nil {
+		t.Fatal("default policy swallowed a source failure")
+	}
+}
+
+// TestPerSourceTimeout: a policy timeout bounds each exchange without any
+// caller-side context, and under Skip a slow source degrades instead of
+// stalling the query.
+func TestPerSourceTimeout(t *testing.T) {
+	_, whois, _ := scaledSources(t, 12)
+	slow := &slowSource{inner: &downSource{name: "shaky"}, delay: 5 * time.Second}
+	med, err := New(Config{
+		Name: "med", Spec: unionSpec,
+		Sources: []Source{whois, slow},
+		Policy: ExecPolicy{
+			PerSourceTimeout: 50 * time.Millisecond,
+			OnSourceError:    OnSourceErrorSkip,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule, err := ParseQuery(`X :- X:<out {<name N>}>@med.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := med.QueryPolicy(context.Background(), rule, med.policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("per-source timeout took %v to degrade", elapsed)
+	}
+	if !res.Incomplete {
+		t.Fatal("timed-out source not reported")
+	}
+	if len(res.SourceErrors) == 0 || !errors.Is(res.SourceErrors[0], context.DeadlineExceeded) {
+		t.Fatalf("SourceErrors = %v, want a DeadlineExceeded from shaky", res.SourceErrors)
+	}
+	if len(res.Objects) == 0 {
+		t.Fatal("healthy source's contribution lost")
+	}
+}
+
+// TestRemoteDeadline: a context deadline bounds a remote exchange — the
+// client stops waiting and surfaces context.DeadlineExceeded within the
+// acceptance bound even though the server is still evaluating.
+func TestRemoteDeadline(t *testing.T) {
+	_, whois, _ := scaledSources(t, 10)
+	slow := &slowSource{inner: whois, delay: 5 * time.Second}
+	addr, srv, err := Serve(slow, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := DialSource(addr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	rule, err := ParseQuery(`N :- <person {<name N>}>@whois.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = client.QueryContext(ctx, rule)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("remote deadline surfaced after %v, want < 500ms", elapsed)
+	}
+}
+
+// TestStatsRecordSourceErrors: policy-absorbed failures land in the
+// statistics store, so flaky sources are visible to the cost model.
+func TestStatsRecordSourceErrors(t *testing.T) {
+	_, whois, _ := scaledSources(t, 10)
+	med, err := New(Config{
+		Name: "med", Spec: unionSpec,
+		Sources: []Source{whois, &downSource{name: "shaky"}},
+		Policy:  ExecPolicy{OnSourceError: OnSourceErrorSkip},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := med.QueryString(`X :- X:<out {<name N>}>@med.`); err != nil {
+		t.Fatal(err)
+	}
+	if n := med.QueryStats().SourceErrorCount("shaky"); n != 1 {
+		t.Fatalf("stats recorded %d errors for shaky, want 1", n)
+	}
+	if errs := med.QueryStats().SourceErrors("shaky"); len(errs) != 1 {
+		t.Fatalf("stats retained %d errors, want 1", len(errs))
+	}
+}

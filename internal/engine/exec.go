@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -51,6 +52,11 @@ type Executor struct {
 	// PipelineRows is the row-batch size pipelined execution streams
 	// between operators (0 = DefaultPipelineRows).
 	PipelineRows int
+	// Policy bounds and degrades per-source work: a per-exchange timeout
+	// and what to do when a source fails (abort, skip the source, or
+	// skip the exchange). The zero value reproduces the paper's
+	// all-or-nothing behavior.
+	Policy Policy
 
 	depth int
 }
@@ -86,15 +92,35 @@ func (ex *Executor) parallelism() int {
 
 // Run executes the graph rooted at n and returns its output table.
 func (ex *Executor) Run(n Node) (*Table, error) {
-	if ex.Pipeline && ex.parallelism() > 1 {
-		return ex.runPipelined(n)
+	return ex.RunContext(context.Background(), n)
+}
+
+// RunContext is Run bounded by ctx: cancellation or an expired deadline
+// aborts the run promptly — between operators, at the engine's row-batch
+// boundaries inside long joins and cross-products, and inside source
+// exchanges (context-aware sources are cancelled; context-blind ones are
+// abandoned) — and surfaces as ctx.Err(). Every execution goroutine the
+// engine itself started has exited by the time RunContext returns.
+func (ex *Executor) RunContext(ctx context.Context, n Node) (*Table, error) {
+	return ex.runGraph(newRunState(ex, ctx), n)
+}
+
+func (ex *Executor) runGraph(rs *runState, n Node) (*Table, error) {
+	if err := rs.cancelled(); err != nil {
+		return nil, err
 	}
-	return ex.runMaterialized(n)
+	if ex.Pipeline && ex.parallelism() > 1 {
+		return ex.runPipelined(rs, n)
+	}
+	return ex.runMaterialized(rs, n)
 }
 
 // runMaterialized is the classic bottom-up evaluation: every operator's
 // output table is fully materialized before its parent runs.
-func (ex *Executor) runMaterialized(n Node) (*Table, error) {
+func (ex *Executor) runMaterialized(rs *runState, n Node) (*Table, error) {
+	if err := rs.cancelled(); err != nil {
+		return nil, err
+	}
 	kidNodes := n.Kids()
 	kids := make([]*Table, len(kidNodes))
 	if ex.parallelism() > 1 && len(kidNodes) > 1 {
@@ -104,7 +130,7 @@ func (ex *Executor) runMaterialized(n Node) (*Table, error) {
 			wg.Add(1)
 			go func(i int, k Node) {
 				defer wg.Done()
-				kids[i], errs[i] = ex.runMaterialized(k)
+				kids[i], errs[i] = ex.runMaterialized(rs, k)
 			}(i, k)
 		}
 		wg.Wait()
@@ -115,7 +141,7 @@ func (ex *Executor) runMaterialized(n Node) (*Table, error) {
 		}
 	} else {
 		for i, k := range kidNodes {
-			t, err := ex.runMaterialized(k)
+			t, err := ex.runMaterialized(rs, k)
 			if err != nil {
 				return nil, err
 			}
@@ -123,7 +149,7 @@ func (ex *Executor) runMaterialized(n Node) (*Table, error) {
 		}
 	}
 	start := time.Now()
-	out, err := n.run(ex, kids)
+	out, err := n.run(rs, kids)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", n.Label(), err)
 	}
@@ -136,7 +162,25 @@ func (ex *Executor) runMaterialized(n Node) (*Table, error) {
 // RunObjects executes the graph and collects the constructed result
 // objects from the ResultVar column.
 func (ex *Executor) RunObjects(n Node) ([]*oem.Object, error) {
-	t, err := ex.Run(n)
+	return ex.RunObjectsContext(context.Background(), n)
+}
+
+// RunObjectsContext is RunObjects bounded by ctx (see RunContext).
+func (ex *Executor) RunObjectsContext(ctx context.Context, n Node) ([]*oem.Object, error) {
+	res, err := ex.RunResult(ctx, n)
+	if err != nil {
+		return nil, err
+	}
+	return res.Objects, nil
+}
+
+// RunResult executes the graph under ctx and the executor's Policy,
+// returning the result objects together with the degradation record:
+// whether any source's contribution was dropped (Result.Incomplete) and
+// the per-source failures behind it.
+func (ex *Executor) RunResult(ctx context.Context, n Node) (*Result, error) {
+	rs := newRunState(ex, ctx)
+	t, err := ex.runGraph(rs, n)
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +192,7 @@ func (ex *Executor) RunObjects(n Node) ([]*oem.Object, error) {
 		}
 		out = append(out, b.Obj)
 	}
-	return out, nil
+	return rs.result(out), nil
 }
 
 func (ex *Executor) traceNode(n Node, out *Table, d time.Duration) {

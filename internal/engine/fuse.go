@@ -29,11 +29,14 @@ func (n *FuseNode) Kids() []Node { return []Node{n.Child} }
 // OutVars implements Node.
 func (n *FuseNode) OutVars() []string { return []string{ResultVar} }
 
-func (n *FuseNode) run(ex *Executor, kids []*Table) (*Table, error) {
+func (n *FuseNode) run(rs *runState, kids []*Table) (*Table, error) {
 	in := kids[0]
 	byOID := make(map[oem.OID]*oem.Object, in.Len())
 	var order []*oem.Object
-	for _, row := range in.Rows {
+	for i, row := range in.Rows {
+		if err := checkStride(rs, i); err != nil {
+			return nil, err
+		}
 		b, ok := row.Lookup(ResultVar)
 		if !ok || b.Obj == nil {
 			continue

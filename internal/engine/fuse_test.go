@@ -14,7 +14,7 @@ func (n *tableNode) Label() string                           { return "fixed" }
 func (n *tableNode) Detail() string                          { return "test input" }
 func (n *tableNode) Kids() []Node                            { return nil }
 func (n *tableNode) OutVars() []string                       { return n.t.Cols }
-func (n *tableNode) run(*Executor, []*Table) (*Table, error) { return n.t, nil }
+func (n *tableNode) run(*runState, []*Table) (*Table, error) { return n.t, nil }
 
 func resultTable(objs ...*oem.Object) *Table {
 	t := &Table{Cols: []string{ResultVar}}

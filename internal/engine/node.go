@@ -26,9 +26,15 @@ type Node interface {
 	Kids() []Node
 	// OutVars lists the variables bound in the output table.
 	OutVars() []string
-	// run executes the operator over its evaluated inputs.
-	run(ex *Executor, kids []*Table) (*Table, error)
+	// run executes the operator over its evaluated inputs, under the
+	// run's context and failure policy.
+	run(rs *runState, kids []*Table) (*Table, error)
 }
+
+// cancelCheckStride is how many rows an operator's inner loop processes
+// between context checks — frequent enough that long joins and
+// cross-products abort promptly, rare enough to stay off profiles.
+const cancelCheckStride = 1024
 
 // QueryNode sends an MSL query to a source — once when it is a leaf, or
 // once per input tuple when it has a child (the paper's parameterized
@@ -100,7 +106,8 @@ func (n *QueryNode) Kids() []Node {
 // OutVars implements Node.
 func (n *QueryNode) OutVars() []string { return n.Needed }
 
-func (n *QueryNode) run(ex *Executor, kids []*Table) (*Table, error) {
+func (n *QueryNode) run(rs *runState, kids []*Table) (*Table, error) {
+	ex := rs.ex
 	src, ok := ex.Sources.Lookup(n.Source)
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown source %q", n.Source)
@@ -110,7 +117,7 @@ func (n *QueryNode) run(ex *Executor, kids []*Table) (*Table, error) {
 		inputRows = kids[0].Rows
 	}
 	if ex.queryBatch() > 1 && len(kids) == 1 {
-		rows, err := n.runBatched(ex, src, inputRows, nil)
+		rows, err := n.runBatched(rs, src, inputRows, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -123,7 +130,7 @@ func (n *QueryNode) run(ex *Executor, kids []*Table) (*Table, error) {
 	if workers <= 1 {
 		out := &Table{Cols: n.Needed}
 		for _, row := range inputRows {
-			rows, err := n.runRow(ex, src, row)
+			rows, err := n.runRow(rs, src, row)
 			if err != nil {
 				return nil, err
 			}
@@ -141,7 +148,7 @@ func (n *QueryNode) run(ex *Executor, kids []*Table) (*Table, error) {
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < len(inputRows); i += workers {
-				rows, err := n.runRow(ex, src, inputRows[i])
+				rows, err := n.runRow(rs, src, inputRows[i])
 				if err != nil {
 					errs[w] = err
 					return
@@ -163,10 +170,29 @@ func (n *QueryNode) run(ex *Executor, kids []*Table) (*Table, error) {
 	return out, nil
 }
 
+// querySource performs one single-query exchange under the run's context
+// and failure policy. skipped=true means the policy absorbed a failure
+// (or the source is circuit-broken) and the answer must be treated as
+// empty; the run is then marked incomplete.
+func (n *QueryNode) querySource(rs *runState, src wrapper.Source, q *msl.Rule) (objs []*oem.Object, skipped bool, err error) {
+	if rs.sourceDown(n.Source) {
+		return nil, true, nil
+	}
+	ctx, cancel := rs.sourceCtx()
+	objs, qerr := wrapper.QueryContext(ctx, src, q)
+	cancel()
+	if qerr != nil {
+		return nil, true, rs.sourceFailed(n.Source, qerr)
+	}
+	rs.ex.recordExchange(n.Source, 1)
+	rs.ex.recordQuery(n.Source, n.Send, len(objs))
+	return objs, false, nil
+}
+
 // runRow evaluates the node for one input tuple: instantiate the
 // template, query the source, extract bindings under the row environment,
 // and project.
-func (n *QueryNode) runRow(ex *Executor, src wrapper.Source, row match.Env) ([]match.Env, error) {
+func (n *QueryNode) runRow(rs *runState, src wrapper.Source, row match.Env) ([]match.Env, error) {
 	q := n.Send
 	if vals := n.paramVals(row); len(vals) > 0 {
 		var err error
@@ -175,12 +201,14 @@ func (n *QueryNode) runRow(ex *Executor, src wrapper.Source, row match.Env) ([]m
 			return nil, err
 		}
 	}
-	objs, err := src.Query(q)
+	// A skipped exchange extracts from an empty answer: a positive
+	// pattern yields no rows, a negated (anti-join) one passes the tuple
+	// through — absence assumed, not verified, which is why querySource
+	// records the failure in the run's SourceErrors.
+	objs, _, err := n.querySource(rs, src, q)
 	if err != nil {
-		return nil, fmt.Errorf("engine: query to %s failed: %w", n.Source, err)
+		return nil, err
 	}
-	ex.recordExchange(n.Source, 1)
-	ex.recordQuery(n.Source, n.Send, len(objs))
 	return n.extract(row, objs)
 }
 
@@ -254,12 +282,13 @@ type answerSet struct {
 // and batched source exchanges (the tentpole of Section 3.4 done
 // cheaply): rows that instantiate the template identically share one
 // query, the distinct queries ship in groups of up to Executor.QueryBatch
-// per exchange when the source implements wrapper.BatchQuerier, and the
-// answers are distributed back to the originating rows in input order, so
-// the output is identical to the per-tuple path against deterministic
-// sources. memo carries answers across calls — the pipelined executor
-// streams row batches through one node — and may be nil for one-shot use.
-func (n *QueryNode) runBatched(ex *Executor, src wrapper.Source, rows []match.Env, memo map[string]*answerSet) ([]match.Env, error) {
+// per exchange when the source implements wrapper.BatchQuerier (or its
+// context-aware form), and the answers are distributed back to the
+// originating rows in input order, so the output is identical to the
+// per-tuple path against deterministic sources. memo carries answers
+// across calls — the pipelined executor streams row batches through one
+// node — and may be nil for one-shot use.
+func (n *QueryNode) runBatched(rs *runState, src wrapper.Source, rows []match.Env, memo map[string]*answerSet) ([]match.Env, error) {
 	if memo == nil {
 		memo = make(map[string]*answerSet, len(rows))
 	}
@@ -287,11 +316,14 @@ func (n *QueryNode) runBatched(ex *Executor, src wrapper.Source, rows []match.En
 		pending[key] = q
 		pendingKeys = append(pendingKeys, key)
 	}
-	if err := n.fetchBatches(ex, src, pendingKeys, pending, memo); err != nil {
+	if err := n.fetchBatches(rs, src, pendingKeys, pending, memo); err != nil {
 		return nil, err
 	}
 	var out []match.Env
 	for i, row := range rows {
+		if err := checkStride(rs, i); err != nil {
+			return nil, err
+		}
 		envs, err := n.extract(row, memo[keys[i]].objs)
 		if err != nil {
 			return nil, err
@@ -303,24 +335,49 @@ func (n *QueryNode) runBatched(ex *Executor, src wrapper.Source, rows []match.En
 
 // fetchBatches ships the pending distinct queries to the source, up to
 // Executor.QueryBatch per exchange for batch-capable sources and one
-// exchange per query otherwise.
-func (n *QueryNode) fetchBatches(ex *Executor, src wrapper.Source, keys []string, pending map[string]*msl.Rule, memo map[string]*answerSet) error {
+// exchange per query otherwise, applying the run's failure policy to
+// every exchange: a failed exchange's queries answer empty under
+// Skip/Partial instead of aborting the run.
+func (n *QueryNode) fetchBatches(rs *runState, src wrapper.Source, keys []string, pending map[string]*msl.Rule, memo map[string]*answerSet) error {
+	ex := rs.ex
 	size := ex.queryBatch()
-	bq, canBatch := src.(wrapper.BatchQuerier)
+	canBatch := false
+	if _, ok := src.(wrapper.BatchQuerier); ok {
+		canBatch = true
+	} else if _, ok := src.(wrapper.ContextBatchQuerier); ok {
+		canBatch = true
+	}
 	for start := 0; start < len(keys); start += size {
+		if err := rs.cancelled(); err != nil {
+			return err
+		}
 		end := start + size
 		if end > len(keys) {
 			end = len(keys)
 		}
 		chunk := keys[start:end]
 		if canBatch && len(chunk) > 1 {
+			if rs.sourceDown(n.Source) {
+				for _, k := range chunk {
+					memo[k] = &answerSet{}
+				}
+				continue
+			}
 			qs := make([]*msl.Rule, len(chunk))
 			for i, k := range chunk {
 				qs[i] = pending[k]
 			}
-			res, err := bq.QueryBatch(qs)
+			ctx, cancel := rs.sourceCtx()
+			res, err := wrapper.QueryBatchContext(ctx, src, qs)
+			cancel()
 			if err != nil {
-				return fmt.Errorf("engine: batch query to %s failed: %w", n.Source, err)
+				if ferr := rs.sourceFailed(n.Source, err); ferr != nil {
+					return ferr
+				}
+				for _, k := range chunk {
+					memo[k] = &answerSet{}
+				}
+				continue
 			}
 			if len(res) != len(qs) {
 				return fmt.Errorf("engine: batch query to %s returned %d answers for %d queries", n.Source, len(res), len(qs))
@@ -333,14 +390,21 @@ func (n *QueryNode) fetchBatches(ex *Executor, src wrapper.Source, keys []string
 			continue
 		}
 		for _, k := range chunk {
-			objs, err := src.Query(pending[k])
+			objs, _, err := n.querySource(rs, src, pending[k])
 			if err != nil {
-				return fmt.Errorf("engine: query to %s failed: %w", n.Source, err)
+				return err
 			}
-			ex.recordExchange(n.Source, 1)
-			ex.recordQuery(n.Source, n.Send, len(objs))
 			memo[k] = &answerSet{objs: objs}
 		}
+	}
+	return nil
+}
+
+// checkStride polls the run's context every cancelCheckStride rows of an
+// operator's inner loop.
+func checkStride(rs *runState, i int) error {
+	if i%cancelCheckStride == cancelCheckStride-1 {
+		return rs.cancelled()
 	}
 	return nil
 }
@@ -366,10 +430,13 @@ func (n *ExtPredNode) Kids() []Node { return []Node{n.Child} }
 // OutVars implements Node.
 func (n *ExtPredNode) OutVars() []string { return n.Needed }
 
-func (n *ExtPredNode) run(ex *Executor, kids []*Table) (*Table, error) {
+func (n *ExtPredNode) run(rs *runState, kids []*Table) (*Table, error) {
 	out := &Table{Cols: n.Needed}
-	for _, row := range kids[0].Rows {
-		envs, err := ex.Extfn.Eval(n.Pred, row)
+	for i, row := range kids[0].Rows {
+		if err := checkStride(rs, i); err != nil {
+			return nil, err
+		}
+		envs, err := rs.ex.Extfn.Eval(n.Pred, row)
 		if err != nil {
 			return nil, err
 		}
@@ -417,7 +484,7 @@ func (n *JoinNode) Kids() []Node { return []Node{n.Left, n.Right} }
 // OutVars implements Node.
 func (n *JoinNode) OutVars() []string { return n.Needed }
 
-func (n *JoinNode) run(ex *Executor, kids []*Table) (*Table, error) {
+func (n *JoinNode) run(rs *runState, kids []*Table) (*Table, error) {
 	left, right := kids[0], kids[1]
 	out := &Table{Cols: n.Needed}
 	emit := func(l, r match.Env) {
@@ -429,7 +496,17 @@ func (n *JoinNode) run(ex *Executor, kids []*Table) (*Table, error) {
 		}
 	}
 	if len(n.Shared) == 0 {
-		for _, l := range left.Rows {
+		// A cross product multiplies row counts, so check per outer row
+		// — the product of two modest inputs can already be huge.
+		for i, l := range left.Rows {
+			if err := checkStride(rs, i*len(right.Rows)); err != nil {
+				return nil, err
+			}
+			if len(right.Rows) >= cancelCheckStride {
+				if err := rs.cancelled(); err != nil {
+					return nil, err
+				}
+			}
 			for _, r := range right.Rows {
 				emit(l, r)
 			}
@@ -444,11 +521,17 @@ func (n *JoinNode) run(ex *Executor, kids []*Table) (*Table, error) {
 		buildRight = false
 	}
 	index := make(map[string][]match.Env, hashed.Len())
-	for _, r := range hashed.Rows {
+	for i, r := range hashed.Rows {
+		if err := checkStride(rs, i); err != nil {
+			return nil, err
+		}
 		k := r.Key(n.Shared)
 		index[k] = append(index[k], r)
 	}
-	for _, p := range probe.Rows {
+	for i, p := range probe.Rows {
+		if err := checkStride(rs, i); err != nil {
+			return nil, err
+		}
 		for _, b := range index[p.Key(n.Shared)] {
 			if buildRight {
 				emit(p, b)
@@ -480,7 +563,10 @@ func (n *DedupNode) Kids() []Node { return []Node{n.Child} }
 // OutVars implements Node.
 func (n *DedupNode) OutVars() []string { return n.Vars }
 
-func (n *DedupNode) run(ex *Executor, kids []*Table) (*Table, error) {
+func (n *DedupNode) run(rs *runState, kids []*Table) (*Table, error) {
+	if err := rs.cancelled(); err != nil {
+		return nil, err
+	}
 	rows := match.DedupEnvs(kids[0].Rows, n.Vars)
 	projected := make([]match.Env, len(rows))
 	for i, r := range rows {
@@ -515,10 +601,13 @@ func (n *ConstructNode) Kids() []Node { return []Node{n.Child} }
 // OutVars implements Node.
 func (n *ConstructNode) OutVars() []string { return []string{ResultVar} }
 
-func (n *ConstructNode) run(ex *Executor, kids []*Table) (*Table, error) {
+func (n *ConstructNode) run(rs *runState, kids []*Table) (*Table, error) {
 	out := &Table{Cols: []string{ResultVar}}
-	for _, row := range kids[0].Rows {
-		objs, err := build.Head(n.Head, row, ex.IDGen)
+	for i, row := range kids[0].Rows {
+		if err := checkStride(rs, i); err != nil {
+			return nil, err
+		}
+		objs, err := build.Head(n.Head, row, rs.ex.IDGen)
 		if err != nil {
 			return nil, err
 		}
@@ -554,7 +643,7 @@ func (n *UnionNode) OutVars() []string {
 	return n.Inputs[0].OutVars()
 }
 
-func (n *UnionNode) run(ex *Executor, kids []*Table) (*Table, error) {
+func (n *UnionNode) run(rs *runState, kids []*Table) (*Table, error) {
 	out := &Table{Cols: n.OutVars()}
 	for _, t := range kids {
 		out.Rows = append(out.Rows, t.Rows...)

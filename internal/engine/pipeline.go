@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -17,24 +18,34 @@ import (
 // order within each stage is preserved — batches flow in input order and
 // every stage is a single goroutine — so pipelined results are
 // structurally identical to the sequential path; the sequential and
-// tracing paths themselves are untouched (Run dispatches here only when
-// Pipeline is set, Parallelism > 1, and tracing is off).
+// tracing paths themselves are untouched (runGraph dispatches here only
+// when Pipeline is set, Parallelism > 1, and tracing is off).
+//
+// Teardown is context-driven: the whole pipeline runs under a context
+// derived from the query's, cancelled on the first stage failure, and
+// every blocking point — channel sends, semaphore acquisition, source
+// exchanges — selects against it. Cancelling the query context (or its
+// deadline passing) therefore tears down every stage goroutine: stages
+// stop producing, close their output channels, and the closes cascade to
+// the root, so runPipelined's final Wait returns with no goroutine left.
 
 // pipeline carries the shared state of one pipelined run.
 type pipeline struct {
-	ex   *Executor
-	sem  chan struct{} // bounds concurrently-active source-querying stages
-	stop chan struct{} // closed on first error, aborting all stages
-	once sync.Once
-	err  error
-	wg   sync.WaitGroup
+	rs     *runState          // run view bound to the pipeline's context
+	cancel context.CancelFunc // tears the pipeline down on first failure
+	sem    chan struct{}      // bounds concurrently-active source-querying stages
+	once   sync.Once
+	err    error
+	wg     sync.WaitGroup
 }
 
-func (ex *Executor) runPipelined(root Node) (*Table, error) {
+func (ex *Executor) runPipelined(rs *runState, root Node) (*Table, error) {
+	ctx, cancel := context.WithCancel(rs.ctx)
+	defer cancel()
 	p := &pipeline{
-		ex:   ex,
-		sem:  make(chan struct{}, ex.parallelism()),
-		stop: make(chan struct{}),
+		rs:     rs.withCtx(ctx),
+		cancel: cancel,
+		sem:    make(chan struct{}, ex.parallelism()),
 	}
 	ch := p.start(root)
 	out := &Table{Cols: root.OutVars()}
@@ -45,15 +56,27 @@ func (ex *Executor) runPipelined(root Node) (*Table, error) {
 	if p.err != nil {
 		return nil, p.err
 	}
+	// The query's own context ending is a failure even if every stage
+	// drained cleanly first.
+	if err := rs.cancelled(); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
+// fail records the first error and cancels the pipeline's context,
+// aborting every stage. Later failures — typically the context
+// cancellation echoing back from other stages — are dropped, so the
+// root cause wins.
 func (p *pipeline) fail(err error) {
 	p.once.Do(func() {
 		p.err = err
-		close(p.stop)
+		p.cancel()
 	})
 }
+
+// done exposes the pipeline's cancellation signal.
+func (p *pipeline) done() <-chan struct{} { return p.rs.ctx.Done() }
 
 // spawn runs stage in its own goroutine; the goroutine owns out and
 // closes it on exit so downstream consumers terminate.
@@ -69,7 +92,7 @@ func (p *pipeline) spawn(out chan []match.Env, stage func() error) {
 }
 
 // send delivers one batch downstream; it returns false when the pipeline
-// failed, telling the stage to stop producing.
+// was torn down, telling the stage to stop producing.
 func (p *pipeline) send(out chan []match.Env, rows []match.Env) bool {
 	if len(rows) == 0 {
 		return true
@@ -77,14 +100,14 @@ func (p *pipeline) send(out chan []match.Env, rows []match.Env) bool {
 	select {
 	case out <- rows:
 		return true
-	case <-p.stop:
+	case <-p.done():
 		return false
 	}
 }
 
 // sendSliced delivers rows in batches of the configured pipeline size.
 func (p *pipeline) sendSliced(out chan []match.Env, rows []match.Env) bool {
-	size := p.ex.pipelineRows()
+	size := p.rs.ex.pipelineRows()
 	for start := 0; start < len(rows); start += size {
 		end := start + size
 		if end > len(rows) {
@@ -103,7 +126,7 @@ func (p *pipeline) acquire() bool {
 	select {
 	case p.sem <- struct{}{}:
 		return true
-	case <-p.stop:
+	case <-p.done():
 		return false
 	}
 }
@@ -134,7 +157,7 @@ func (p *pipeline) start(n Node) <-chan []match.Env {
 }
 
 func (p *pipeline) startQuery(n *QueryNode, out chan []match.Env) {
-	src, ok := p.ex.Sources.Lookup(n.Source)
+	src, ok := p.rs.ex.Sources.Lookup(n.Source)
 	if !ok {
 		p.spawn(out, func() error {
 			return fmt.Errorf("%s: engine: unknown source %q", n.Label(), n.Source)
@@ -146,7 +169,7 @@ func (p *pipeline) startQuery(n *QueryNode, out chan []match.Env) {
 			if !p.acquire() {
 				return nil
 			}
-			rows, err := n.runRow(p.ex, src, nil)
+			rows, err := n.runRow(p.rs, src, nil)
 			p.release()
 			if err != nil {
 				return fmt.Errorf("%s: %w", n.Label(), err)
@@ -162,7 +185,7 @@ func (p *pipeline) startQuery(n *QueryNode, out chan []match.Env) {
 		// in an early batch never re-queries the source later in the
 		// stream.
 		memo := map[string]*answerSet{}
-		batched := p.ex.queryBatch() > 1
+		batched := p.rs.ex.queryBatch() > 1
 		for batch := range in {
 			if !p.acquire() {
 				return nil
@@ -170,7 +193,7 @@ func (p *pipeline) startQuery(n *QueryNode, out chan []match.Env) {
 			var rows []match.Env
 			var err error
 			if batched {
-				rows, err = n.runBatched(p.ex, src, batch, memo)
+				rows, err = n.runBatched(p.rs, src, batch, memo)
 			} else {
 				rows, err = p.queryPerTuple(n, src, batch)
 			}
@@ -191,7 +214,7 @@ func (p *pipeline) startQuery(n *QueryNode, out chan []match.Env) {
 func (p *pipeline) queryPerTuple(n *QueryNode, src wrapper.Source, batch []match.Env) ([]match.Env, error) {
 	var rows []match.Env
 	for _, row := range batch {
-		envs, err := n.runRow(p.ex, src, row)
+		envs, err := n.runRow(p.rs, src, row)
 		if err != nil {
 			return nil, err
 		}
@@ -206,7 +229,7 @@ func (p *pipeline) startExtPred(n *ExtPredNode, out chan []match.Env) {
 		for batch := range in {
 			var rows []match.Env
 			for _, row := range batch {
-				envs, err := p.ex.Extfn.Eval(n.Pred, row)
+				envs, err := p.rs.ex.Extfn.Eval(n.Pred, row)
 				if err != nil {
 					return fmt.Errorf("%s: %w", n.Label(), err)
 				}
@@ -261,7 +284,7 @@ func (p *pipeline) startConstruct(n *ConstructNode, out chan []match.Env) {
 		for batch := range in {
 			var rows []match.Env
 			for _, row := range batch {
-				objs, err := build.Head(n.Head, row, p.ex.IDGen)
+				objs, err := build.Head(n.Head, row, p.rs.ex.IDGen)
 				if err != nil {
 					return fmt.Errorf("%s: %w", n.Label(), err)
 				}
@@ -317,12 +340,10 @@ func (p *pipeline) startBarrier(n Node, out chan []match.Env) {
 			}
 			kids[i] = tbl
 		}
-		select {
-		case <-p.stop:
-			return nil // an input failed; its rows are incomplete
-		default:
+		if err := p.rs.cancelled(); err != nil {
+			return nil // an input failed or the run was cancelled; its rows are incomplete
 		}
-		res, err := n.run(p.ex, kids)
+		res, err := n.run(p.rs, kids)
 		if err != nil {
 			return fmt.Errorf("%s: %w", n.Label(), err)
 		}

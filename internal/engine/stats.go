@@ -31,7 +31,13 @@ type sourceEntry struct {
 	queries     int
 	cacheHits   int
 	cacheMisses int
+	errors      int
+	lastErrs    []error
 }
+
+// maxSourceErrs bounds the per-source retained error list; the count keeps
+// accumulating past it.
+const maxSourceErrs = 8
 
 // NewStats returns an empty statistics store.
 func NewStats() *Stats {
@@ -128,6 +134,42 @@ func (s *Stats) CacheCounts(source string) (hits, misses int) {
 	return 0, 0
 }
 
+// RecordError adds one failed exchange against the source — a refusal,
+// a broken connection, or a per-source timeout. The run state reports
+// every policy-absorbed failure here, so the counters tell the cost model
+// (and the operator reading a trace) which sources are flaky.
+func (s *Stats) RecordError(source string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.source(source)
+	e.errors++
+	if len(e.lastErrs) < maxSourceErrs {
+		e.lastErrs = append(e.lastErrs, err)
+	}
+}
+
+// SourceErrorCount returns how many failed exchanges were recorded for
+// the source.
+func (s *Stats) SourceErrorCount(source string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if e, ok := s.sources[source]; ok {
+		return e.errors
+	}
+	return 0
+}
+
+// SourceErrors returns the retained failures for the source (at most the
+// first maxSourceErrs; SourceErrorCount has the full tally).
+func (s *Stats) SourceErrors(source string) []error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if e, ok := s.sources[source]; ok {
+		return append([]error(nil), e.lastErrs...)
+	}
+	return nil
+}
+
 // CacheHitRate returns the observed answer-cache hit rate for the source
 // and whether any lookup was recorded.
 func (s *Stats) CacheHitRate(source string) (float64, bool) {
@@ -200,6 +242,9 @@ func (s *Stats) String() string {
 		fmt.Fprintf(&sb, "%s: %d exchanges carrying %d queries", k, e.exchanges, e.queries)
 		if e.cacheHits+e.cacheMisses > 0 {
 			fmt.Fprintf(&sb, ", cache %d/%d hits", e.cacheHits, e.cacheHits+e.cacheMisses)
+		}
+		if e.errors > 0 {
+			fmt.Fprintf(&sb, ", %d errors", e.errors)
 		}
 		sb.WriteString("\n")
 	}

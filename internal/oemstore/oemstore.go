@@ -5,6 +5,7 @@
 package oemstore
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -20,7 +21,12 @@ type Source struct {
 	gen   *oem.IDGen
 }
 
-var _ wrapper.Source = (*Source)(nil)
+var (
+	_ wrapper.Source              = (*Source)(nil)
+	_ wrapper.BatchQuerier        = (*Source)(nil)
+	_ wrapper.ContextSource       = (*Source)(nil)
+	_ wrapper.ContextBatchQuerier = (*Source)(nil)
+)
 
 // New returns an empty source with the given name. Objects added later
 // get oids prefixed with the source name.
@@ -121,11 +127,27 @@ func (s *Source) Query(q *msl.Rule) ([]*oem.Object, error) {
 	return wrapper.Eval(q, s.store.TopLevel(), s.gen)
 }
 
+// QueryContext implements wrapper.ContextSource. Matching is in-process
+// and fast, so the context is only consulted up front; a store large
+// enough to matter is bounded by the engine's own stride checks instead.
+func (s *Source) QueryContext(ctx context.Context, q *msl.Rule) ([]*oem.Object, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.Query(q)
+}
+
 // QueryBatch implements wrapper.BatchQuerier: an in-process source
 // accepts a whole batch in one call, so a batch of parameterized queries
 // costs one exchange.
 func (s *Source) QueryBatch(qs []*msl.Rule) ([][]*oem.Object, error) {
 	return wrapper.EachQuery(s, qs)
+}
+
+// QueryBatchContext implements wrapper.ContextBatchQuerier, checking the
+// context between the batch's queries.
+func (s *Source) QueryBatchContext(ctx context.Context, qs []*msl.Rule) ([][]*oem.Object, error) {
+	return wrapper.EachQueryContext(ctx, s, qs)
 }
 
 // CountLabel implements wrapper.Counter.

@@ -19,6 +19,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -102,11 +103,21 @@ func (p *Plan) Print(w io.Writer) { engine.PrintGraph(w, p.Root) }
 
 // Build turns a logical datamerge program into a physical plan.
 func (p *Planner) Build(prog *veao.Program) (*Plan, error) {
+	return p.BuildContext(context.Background(), prog)
+}
+
+// BuildContext is Build bounded by ctx, checked between rules: an
+// expanded program can carry thousands of rules, and each one's planning
+// may probe sources for cardinalities.
+func (p *Planner) BuildContext(ctx context.Context, prog *veao.Program) (*Plan, error) {
 	if len(prog.Rules) == 0 {
 		return &Plan{Root: &engine.UnionNode{}}, nil
 	}
 	plan := &Plan{}
 	for _, r := range prog.Rules {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		root, err := p.buildRule(r)
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package relational
 
 import (
+	"context"
 	"fmt"
 
 	"medmaker/internal/msl"
@@ -27,8 +28,10 @@ type Wrapper struct {
 }
 
 var (
-	_ wrapper.Source       = (*Wrapper)(nil)
-	_ wrapper.BatchQuerier = (*Wrapper)(nil)
+	_ wrapper.Source              = (*Wrapper)(nil)
+	_ wrapper.BatchQuerier        = (*Wrapper)(nil)
+	_ wrapper.ContextSource       = (*Wrapper)(nil)
+	_ wrapper.ContextBatchQuerier = (*Wrapper)(nil)
 )
 
 // NewWrapper wraps db as a source with the given name.
@@ -59,11 +62,26 @@ func (w *Wrapper) Query(q *msl.Rule) ([]*oem.Object, error) {
 	return wrapper.EvalWith(q, w.candidates, w.gen)
 }
 
+// QueryContext implements wrapper.ContextSource: the context is checked
+// up front, then the in-process evaluation runs to completion.
+func (w *Wrapper) QueryContext(ctx context.Context, q *msl.Rule) ([]*oem.Object, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return w.Query(q)
+}
+
 // QueryBatch implements wrapper.BatchQuerier: an in-process wrapper
 // accepts a whole batch in one call, so a batch of parameterized queries
 // costs one exchange.
 func (w *Wrapper) QueryBatch(qs []*msl.Rule) ([][]*oem.Object, error) {
 	return wrapper.EachQuery(w, qs)
+}
+
+// QueryBatchContext implements wrapper.ContextBatchQuerier, checking the
+// context between the batch's queries.
+func (w *Wrapper) QueryBatchContext(ctx context.Context, qs []*msl.Rule) ([][]*oem.Object, error) {
+	return wrapper.EachQueryContext(ctx, w, qs)
 }
 
 // CountLabel implements wrapper.Counter: the label is a table name and

@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -38,8 +39,10 @@ type clientConn struct {
 const maxIdleConns = 8
 
 var (
-	_ wrapper.Source       = (*Client)(nil)
-	_ wrapper.BatchQuerier = (*Client)(nil)
+	_ wrapper.Source              = (*Client)(nil)
+	_ wrapper.BatchQuerier        = (*Client)(nil)
+	_ wrapper.ContextSource       = (*Client)(nil)
+	_ wrapper.ContextBatchQuerier = (*Client)(nil)
 )
 
 // Dial connects to a remote wrapper and performs the handshake that
@@ -50,7 +53,7 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 		timeout = 10 * time.Second
 	}
 	c := &Client{addr: addr, timeout: timeout}
-	resp, err := c.roundTrip(Request{Kind: reqHello})
+	resp, err := c.roundTrip(context.Background(), Request{Kind: reqHello})
 	if err != nil {
 		return nil, err
 	}
@@ -69,15 +72,20 @@ func (c *Client) Capabilities() wrapper.Capabilities { return c.caps }
 // the result objects come back over the wire. Query is safe for
 // concurrent use.
 func (c *Client) Query(q *msl.Rule) ([]*oem.Object, error) {
-	resp, err := c.roundTrip(Request{Kind: reqQuery, Query: q.String()})
+	return c.QueryContext(context.Background(), q)
+}
+
+// QueryContext implements wrapper.ContextSource. The context bounds the
+// whole round trip — dialing, writing, and waiting for the answer — and
+// its remaining deadline budget travels with the request so the server
+// abandons evaluation the client will no longer wait for.
+func (c *Client) QueryContext(ctx context.Context, q *msl.Rule) ([]*oem.Object, error) {
+	resp, err := c.roundTrip(ctx, Request{Kind: reqQuery, Query: q.String()})
 	if err != nil {
 		return nil, err
 	}
-	if resp.Unsupported != "" {
-		return nil, &wrapper.UnsupportedError{Source: c.name, Feature: resp.Unsupported}
-	}
-	if resp.Err != "" {
-		return nil, fmt.Errorf("remote: %s: %s", c.name, resp.Err)
+	if err := respError(c.name, resp); err != nil {
+		return nil, err
 	}
 	out := make([]*oem.Object, len(resp.Objects))
 	for i, w := range resp.Objects {
@@ -96,19 +104,22 @@ func (c *Client) Query(q *msl.Rule) ([]*oem.Object, error) {
 // against remote sources — a batch of k instantiated queries costs one
 // exchange instead of k.
 func (c *Client) QueryBatch(qs []*msl.Rule) ([][]*oem.Object, error) {
+	return c.QueryBatchContext(context.Background(), qs)
+}
+
+// QueryBatchContext implements wrapper.ContextBatchQuerier: QueryBatch
+// bounded by ctx the same way QueryContext is.
+func (c *Client) QueryBatchContext(ctx context.Context, qs []*msl.Rule) ([][]*oem.Object, error) {
 	texts := make([]string, len(qs))
 	for i, q := range qs {
 		texts[i] = q.String()
 	}
-	resp, err := c.roundTrip(Request{Kind: reqBatch, Queries: texts})
+	resp, err := c.roundTrip(ctx, Request{Kind: reqBatch, Queries: texts})
 	if err != nil {
 		return nil, err
 	}
-	if resp.Unsupported != "" {
-		return nil, &wrapper.UnsupportedError{Source: c.name, Feature: resp.Unsupported}
-	}
-	if resp.Err != "" {
-		return nil, fmt.Errorf("remote: %s: %s", c.name, resp.Err)
+	if err := respError(c.name, resp); err != nil {
+		return nil, err
 	}
 	if len(resp.Batches) != len(qs) {
 		return nil, fmt.Errorf("remote: %s: batch answer carries %d result sets for %d queries",
@@ -133,11 +144,31 @@ func (c *Client) QueryBatch(qs []*msl.Rule) ([][]*oem.Object, error) {
 // optimizer probe remote sources for cold-start cardinalities. A network
 // failure degrades to "cannot count" rather than an error.
 func (c *Client) CountLabel(label string) (int, bool) {
-	resp, err := c.roundTrip(Request{Kind: reqCount, Label: label})
+	resp, err := c.roundTrip(context.Background(), Request{Kind: reqCount, Label: label})
 	if err != nil || !resp.CountOK {
 		return 0, false
 	}
 	return resp.Count, true
+}
+
+// respError converts a Response's error fields back into the typed error
+// the server-side evaluation produced: a capability rejection, a context
+// error from the request's deadline budget (wrapped so errors.Is matches
+// context.DeadlineExceeded/Canceled), or a plain remote error.
+func respError(name string, resp Response) error {
+	if resp.Unsupported != "" {
+		return &wrapper.UnsupportedError{Source: name, Feature: resp.Unsupported}
+	}
+	if resp.Err == "" {
+		return nil
+	}
+	switch resp.CtxErr {
+	case "deadline":
+		return fmt.Errorf("remote: %s: %w", name, context.DeadlineExceeded)
+	case "canceled":
+		return fmt.Errorf("remote: %s: %w", name, context.Canceled)
+	}
+	return fmt.Errorf("remote: %s: %s", name, resp.Err)
 }
 
 // Close tears down all pooled connections; in-flight queries finish on
@@ -156,7 +187,7 @@ func (c *Client) Close() error {
 	return first
 }
 
-func (c *Client) acquire() (*clientConn, error) {
+func (c *Client) acquire(ctx context.Context) (*clientConn, error) {
 	c.mu.Lock()
 	if n := len(c.idle); n > 0 {
 		cc := c.idle[n-1]
@@ -165,7 +196,8 @@ func (c *Client) acquire() (*clientConn, error) {
 		return cc, nil
 	}
 	c.mu.Unlock()
-	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	d := net.Dialer{Timeout: c.timeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
 		return nil, fmt.Errorf("remote: dial %s: %w", c.addr, err)
 	}
@@ -184,26 +216,46 @@ func (c *Client) release(cc *clientConn) {
 }
 
 // roundTrip sends one request and reads one response on a pooled
-// connection. A broken pooled connection is retried once with a fresh
-// dial (the server may have restarted).
-func (c *Client) roundTrip(req Request) (Response, error) {
+// connection, bounded by ctx. A broken pooled connection is retried once
+// with a fresh dial (the server may have restarted); a request cancelled
+// or timed out by ctx is not retried and surfaces ctx's error.
+func (c *Client) roundTrip(ctx context.Context, req Request) (Response, error) {
+	// The connection deadline is the earlier of the client's per-round-trip
+	// timeout and the context's own deadline; the remaining budget also
+	// travels in the request so the server gives up evaluating in step
+	// with the client giving up waiting.
+	deadline := time.Now().Add(c.timeout)
+	if cd, ok := ctx.Deadline(); ok {
+		if cd.Before(deadline) {
+			deadline = cd
+		}
+		if remaining := time.Until(cd); remaining > 0 {
+			req.TimeoutMillis = int64(remaining / time.Millisecond)
+			if req.TimeoutMillis == 0 {
+				req.TimeoutMillis = 1
+			}
+		}
+	}
 	for attempt := 0; ; attempt++ {
-		cc, err := c.acquire()
-		if err != nil {
+		if err := ctx.Err(); err != nil {
 			return Response{}, err
 		}
-		cc.conn.SetDeadline(time.Now().Add(c.timeout))
-		var resp Response
-		err = cc.enc.Encode(req)
-		if err == nil {
-			err = cc.dec.Decode(&resp)
+		cc, err := c.acquire(ctx)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return Response{}, cerr
+			}
+			return Response{}, err
 		}
+		resp, err := cc.exchange(ctx, req, deadline)
 		if err == nil {
-			cc.conn.SetDeadline(time.Time{})
 			c.release(cc)
 			return resp, nil
 		}
 		cc.conn.Close()
+		if cerr := ctx.Err(); cerr != nil {
+			return Response{}, cerr
+		}
 		if attempt >= 1 {
 			return Response{}, fmt.Errorf("remote: %s: %w", c.addr, err)
 		}
@@ -216,4 +268,35 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 		c.idle = nil
 		c.mu.Unlock()
 	}
+}
+
+// exchange performs one request/response on the connection under the
+// deadline, unblocking early if ctx is cancelled mid-flight: a watcher
+// goroutine forces the connection's deadline into the past, which makes
+// the pending read or write fail immediately. The caller must treat any
+// error as fatal to the connection (the encoder/decoder streams are not
+// resumable after a deadline pop).
+func (cc *clientConn) exchange(ctx context.Context, req Request, deadline time.Time) (Response, error) {
+	cc.conn.SetDeadline(deadline)
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				cc.conn.SetDeadline(time.Unix(1, 0))
+			case <-watchDone:
+			}
+		}()
+	}
+	var resp Response
+	err := cc.enc.Encode(req)
+	if err == nil {
+		err = cc.dec.Decode(&resp)
+	}
+	if err != nil {
+		return Response{}, err
+	}
+	cc.conn.SetDeadline(time.Time{})
+	return resp, nil
 }

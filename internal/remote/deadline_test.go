@@ -1,0 +1,60 @@
+package remote
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestServerReclaimsIdleConnection: a connection that sends nothing for
+// IdleTimeout is closed by the server, not held forever.
+func TestServerReclaimsIdleConnection(t *testing.T) {
+	srv := NewServer(whoisSource(t))
+	srv.IdleTimeout = 50 * time.Millisecond
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Send nothing. The server should close the connection once the idle
+	// deadline passes, which surfaces here as EOF (or a reset) on read.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("idle connection still open after IdleTimeout; read returned data")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server kept the idle connection open for 2s despite a 50ms IdleTimeout")
+	}
+}
+
+// TestServerIdleTimeoutDisabled: a negative IdleTimeout means no bound, so
+// a silent connection stays open (checked over a short window).
+func TestServerIdleTimeoutDisabled(t *testing.T) {
+	srv := NewServer(whoisSource(t))
+	srv.IdleTimeout = -1
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	conn.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	buf := make([]byte, 1)
+	_, err = conn.Read(buf)
+	if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("connection closed despite IdleTimeout < 0: read err = %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -126,7 +127,7 @@ func TestQueryParseErrorReported(t *testing.T) {
 	}
 	defer client.Close()
 	// Force a malformed query across the wire.
-	resp, err := client.roundTrip(Request{Kind: reqQuery, Query: "<<<"})
+	resp, err := client.roundTrip(context.Background(), Request{Kind: reqQuery, Query: "<<<"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +292,7 @@ func TestQueryBatchParseErrorOverWire(t *testing.T) {
 	}
 	defer client.Close()
 	// A server-side failure on any query in the batch fails the exchange.
-	resp, err := client.roundTrip(Request{Kind: reqBatch, Queries: []string{"not msl"}})
+	resp, err := client.roundTrip(context.Background(), Request{Kind: reqBatch, Queries: []string{"not msl"}})
 	if err != nil {
 		t.Fatal(err)
 	}

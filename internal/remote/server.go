@@ -1,12 +1,14 @@
 package remote
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"medmaker/internal/msl"
 	"medmaker/internal/wrapper"
@@ -16,6 +18,16 @@ import (
 type Server struct {
 	source wrapper.Source
 
+	// IdleTimeout bounds how long an accepted connection may sit between
+	// requests before the server closes it (0 = DefaultIdleTimeout; <0 =
+	// no bound). Clients pool connections and redial transparently, so
+	// reclaiming an idle one is invisible to them.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds writing one response (0 = DefaultWriteTimeout;
+	// <0 = no bound). It protects handler goroutines from a client that
+	// stopped reading.
+	WriteTimeout time.Duration
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]bool
@@ -23,9 +35,26 @@ type Server struct {
 	closed   bool
 }
 
+// Default connection deadlines (see Server.IdleTimeout, WriteTimeout).
+const (
+	DefaultIdleTimeout  = 5 * time.Minute
+	DefaultWriteTimeout = 30 * time.Second
+)
+
 // NewServer wraps source; call Serve or Start to accept connections.
 func NewServer(source wrapper.Source) *Server {
 	return &Server{source: source, conns: make(map[net.Conn]bool)}
+}
+
+// effective deadline helpers: 0 means default, negative means none.
+func pickTimeout(v, def time.Duration) time.Duration {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
 }
 
 // Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves
@@ -92,18 +121,53 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) handle(conn net.Conn) {
+	idle := pickTimeout(s.IdleTimeout, DefaultIdleTimeout)
+	write := pickTimeout(s.WriteTimeout, DefaultWriteTimeout)
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
+		// The read deadline doubles as the idle bound: a connection that
+		// sends nothing for IdleTimeout is reclaimed. It is cleared while
+		// the request evaluates (evaluation time is the client's budget,
+		// carried in the request, not the transport's).
+		if idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+		}
 		var req Request
 		if err := dec.Decode(&req); err != nil {
-			return // disconnected or malformed stream
+			return // disconnected, idle-expired, or malformed stream
 		}
+		conn.SetReadDeadline(time.Time{})
 		resp := s.dispatch(req)
+		if write > 0 {
+			conn.SetWriteDeadline(time.Now().Add(write))
+		}
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
+		conn.SetWriteDeadline(time.Time{})
 	}
+}
+
+// ctxErrKind classifies an evaluation error for Response.CtxErr.
+func ctxErrKind(err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	}
+	return ""
+}
+
+// reqContext derives the evaluation context for one request from the
+// deadline budget the client shipped with it.
+func reqContext(req Request) (context.Context, context.CancelFunc) {
+	if req.TimeoutMillis > 0 {
+		return context.WithTimeout(context.Background(),
+			time.Duration(req.TimeoutMillis)*time.Millisecond)
+	}
+	return context.Background(), func() {}
 }
 
 func (s *Server) dispatch(req Request) Response {
@@ -121,9 +185,11 @@ func (s *Server) dispatch(req Request) Response {
 		if err != nil {
 			return Response{Err: err.Error()}
 		}
-		objs, err := s.source.Query(rule)
+		ctx, cancel := reqContext(req)
+		objs, err := wrapper.QueryContext(ctx, s.source, rule)
+		cancel()
 		if err != nil {
-			resp := Response{Err: err.Error()}
+			resp := Response{Err: err.Error(), CtxErr: ctxErrKind(err)}
 			var ue *wrapper.UnsupportedError
 			if errors.As(err, &ue) {
 				resp.Unsupported = ue.Feature
@@ -148,9 +214,11 @@ func (s *Server) dispatch(req Request) Response {
 			}
 			rules[i] = rule
 		}
-		results, err := wrapper.QueryBatch(s.source, rules)
+		ctx, cancel := reqContext(req)
+		results, err := wrapper.QueryBatchContext(ctx, s.source, rules)
+		cancel()
 		if err != nil {
-			resp := Response{Err: err.Error()}
+			resp := Response{Err: err.Error(), CtxErr: ctxErrKind(err)}
 			var ue *wrapper.UnsupportedError
 			if errors.As(err, &ue) {
 				resp.Unsupported = ue.Feature

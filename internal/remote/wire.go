@@ -32,6 +32,12 @@ type Request struct {
 	Query   string   // MSL text for reqQuery
 	Label   string   // label for reqCount
 	Queries []string // MSL texts for reqBatch
+	// TimeoutMillis, when positive, is the client's remaining deadline
+	// budget for this request; the server bounds its own evaluation by it
+	// so work whose answer the client will discard is abandoned early.
+	// Zero means no client deadline. (Gob tolerates the field's absence,
+	// so old clients and servers interoperate with new ones.)
+	TimeoutMillis int64
 }
 
 // Response is one server→client message.
@@ -53,6 +59,12 @@ type Response struct {
 	// reconstitute a typed *wrapper.UnsupportedError.
 	Err         string
 	Unsupported string
+	// CtxErr marks an Err caused by the request's own deadline budget
+	// ("deadline") or cancellation ("canceled"), so the client surfaces
+	// the matching context error instead of an opaque string — the same
+	// error the client's own deadline would have produced had it popped
+	// first.
+	CtxErr string
 }
 
 // WireObject is the gob-encodable form of an OEM object. Interface-typed

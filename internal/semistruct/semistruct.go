@@ -11,6 +11,7 @@
 package semistruct
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -113,8 +114,10 @@ type Wrapper struct {
 }
 
 var (
-	_ wrapper.Source       = (*Wrapper)(nil)
-	_ wrapper.BatchQuerier = (*Wrapper)(nil)
+	_ wrapper.Source              = (*Wrapper)(nil)
+	_ wrapper.BatchQuerier        = (*Wrapper)(nil)
+	_ wrapper.ContextSource       = (*Wrapper)(nil)
+	_ wrapper.ContextBatchQuerier = (*Wrapper)(nil)
 )
 
 // NewWrapper wraps store as the named source.
@@ -136,11 +139,26 @@ func (w *Wrapper) Query(q *msl.Rule) ([]*oem.Object, error) {
 	return wrapper.Eval(q, w.Export(), w.gen)
 }
 
+// QueryContext implements wrapper.ContextSource: the context is checked
+// up front, then the in-process evaluation runs to completion.
+func (w *Wrapper) QueryContext(ctx context.Context, q *msl.Rule) ([]*oem.Object, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return w.Query(q)
+}
+
 // QueryBatch implements wrapper.BatchQuerier: an in-process wrapper
 // accepts a whole batch in one call, so a batch of parameterized queries
 // costs one exchange.
 func (w *Wrapper) QueryBatch(qs []*msl.Rule) ([][]*oem.Object, error) {
 	return wrapper.EachQuery(w, qs)
+}
+
+// QueryBatchContext implements wrapper.ContextBatchQuerier, checking the
+// context between the batch's queries.
+func (w *Wrapper) QueryBatchContext(ctx context.Context, qs []*msl.Rule) ([][]*oem.Object, error) {
+	return wrapper.EachQueryContext(ctx, w, qs)
 }
 
 // CountLabel implements wrapper.Counter: the count of records of a kind.

@@ -26,6 +26,7 @@
 package veao
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -86,9 +87,17 @@ func NewExpander(spec *msl.Program, mediatorName string, opts Options) *Expander
 // head is preserved (with definitions substituted); its tail conditions on
 // the mediator are replaced by specification rule tails.
 func (e *Expander) Expand(query *msl.Rule) (*Program, error) {
+	return e.ExpandContext(context.Background(), query)
+}
+
+// ExpandContext is Expand bounded by ctx: expansion blows up
+// combinatorially on adversarial specifications (every mediator conjunct
+// multiplies by the rule count), so the recursion checks the context at
+// every step and aborts with ctx's error once it ends.
+func (e *Expander) ExpandContext(ctx context.Context, query *msl.Rule) (*Program, error) {
 	// Rename the query apart from every specification rule.
 	q := query.RenameVars(func(s string) string { return "q" + s })
-	rules, err := e.expandRule(q, 0)
+	rules, err := e.expandRule(ctx, q, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +107,10 @@ func (e *Expander) Expand(query *msl.Rule) (*Program, error) {
 // expandRule rewrites the first mediator-referencing conjunct of r against
 // every specification rule, then recurses on each result until none
 // remain.
-func (e *Expander) expandRule(r *msl.Rule, depth int) ([]*msl.Rule, error) {
+func (e *Expander) expandRule(ctx context.Context, r *msl.Rule, depth int) ([]*msl.Rule, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if depth > e.opts.MaxDepth {
 		return nil, fmt.Errorf("veao: expansion exceeded depth %d (recursive view?)", e.opts.MaxDepth)
 	}
@@ -139,7 +151,7 @@ func (e *Expander) expandRule(r *msl.Rule, depth int) ([]*msl.Rule, error) {
 			if err != nil {
 				return nil, err
 			}
-			expanded, err := e.expandRule(rewritten, depth+1)
+			expanded, err := e.expandRule(ctx, rewritten, depth+1)
 			if err != nil {
 				return nil, err
 			}

@@ -32,13 +32,15 @@ func QueryBatch(src Source, qs []*msl.Rule) ([][]*oem.Object, error) {
 // EachQuery answers qs with one Query call per rule, returning the result
 // sets parallel to qs. In-process wrappers use it to implement
 // BatchQuerier — accepting a whole batch in one call is what makes the
-// engine's batching count a single exchange against them.
+// engine's batching count a single exchange against them. A failure at
+// query i surfaces as a *QueryError carrying the index and source name,
+// so callers (and the engine's failure policy) know which query to blame.
 func EachQuery(src Source, qs []*msl.Rule) ([][]*oem.Object, error) {
 	out := make([][]*oem.Object, len(qs))
 	for i, q := range qs {
 		objs, err := src.Query(q)
 		if err != nil {
-			return nil, err
+			return nil, &QueryError{Source: src.Name(), Index: i, Err: err}
 		}
 		out[i] = objs
 	}

@@ -2,6 +2,8 @@ package wrapper
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -68,9 +70,11 @@ type cacheEntry struct {
 }
 
 var (
-	_ Source       = (*Cache)(nil)
-	_ BatchQuerier = (*Cache)(nil)
-	_ Counter      = (*Cache)(nil)
+	_ Source              = (*Cache)(nil)
+	_ BatchQuerier        = (*Cache)(nil)
+	_ Counter             = (*Cache)(nil)
+	_ ContextSource       = (*Cache)(nil)
+	_ ContextBatchQuerier = (*Cache)(nil)
 )
 
 // NewCache wraps src with an answer cache.
@@ -124,11 +128,18 @@ func NormalizeQuery(q *msl.Rule) string {
 
 // Query implements Source, answering from the cache when possible.
 func (c *Cache) Query(q *msl.Rule) ([]*oem.Object, error) {
+	return c.QueryContext(context.Background(), q)
+}
+
+// QueryContext implements ContextSource: hits are answered locally
+// whatever the context's state, and misses forward the context to the
+// inner source.
+func (c *Cache) QueryContext(ctx context.Context, q *msl.Rule) ([]*oem.Object, error) {
 	key := NormalizeQuery(q)
 	if objs, ok := c.lookup(key); ok {
 		return objs, nil
 	}
-	objs, err := c.inner.Query(q)
+	objs, err := QueryContext(ctx, c.inner, q)
 	if err != nil {
 		return nil, err
 	}
@@ -140,6 +151,13 @@ func (c *Cache) Query(q *msl.Rule) ([]*oem.Object, error) {
 // the misses travel to the inner source — in one exchange when it
 // implements BatchQuerier itself.
 func (c *Cache) QueryBatch(qs []*msl.Rule) ([][]*oem.Object, error) {
+	return c.QueryBatchContext(context.Background(), qs)
+}
+
+// QueryBatchContext implements ContextBatchQuerier: hits are answered
+// locally and only the misses travel to the inner source under ctx. An
+// inner *QueryError is re-indexed to this batch's positions.
+func (c *Cache) QueryBatchContext(ctx context.Context, qs []*msl.Rule) ([][]*oem.Object, error) {
 	out := make([][]*oem.Object, len(qs))
 	keys := make([]string, len(qs))
 	var missIdx []int
@@ -158,8 +176,12 @@ func (c *Cache) QueryBatch(qs []*msl.Rule) ([][]*oem.Object, error) {
 	for j, i := range missIdx {
 		missed[j] = qs[i]
 	}
-	fetched, err := QueryBatch(c.inner, missed)
+	fetched, err := QueryBatchContext(ctx, c.inner, missed)
 	if err != nil {
+		var qe *QueryError
+		if errors.As(err, &qe) && qe.Index < len(missIdx) {
+			return nil, &QueryError{Source: qe.Source, Index: missIdx[qe.Index], Err: qe.Err}
+		}
 		return nil, err
 	}
 	for j, i := range missIdx {

@@ -1,0 +1,99 @@
+package wrapper
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+)
+
+// errOnThird answers queries until the third, which fails.
+type errOnThird struct {
+	calls int
+}
+
+func (s *errOnThird) Name() string               { return "third" }
+func (s *errOnThird) Capabilities() Capabilities { return FullCapabilities() }
+
+func (s *errOnThird) Query(q *msl.Rule) ([]*oem.Object, error) {
+	s.calls++
+	if s.calls == 3 {
+		return nil, errors.New("disk on fire")
+	}
+	return nil, nil
+}
+
+func TestEachQueryErrorCarriesIndexAndSource(t *testing.T) {
+	qs := make([]*msl.Rule, 5)
+	for i := range qs {
+		qs[i] = msl.MustParseRule(`N :- <person {<name N>}>@third.`)
+	}
+	_, err := EachQuery(&errOnThird{}, qs)
+	var qe *QueryError
+	if !errors.As(err, &qe) {
+		t.Fatalf("error = %v, want *QueryError", err)
+	}
+	if qe.Index != 2 || qe.Source != "third" {
+		t.Fatalf("QueryError = {Source: %q, Index: %d}, want {third, 2}", qe.Source, qe.Index)
+	}
+	if qe.Unwrap() == nil || qe.Unwrap().Error() != "disk on fire" {
+		t.Fatalf("QueryError does not unwrap to the source failure: %v", qe.Unwrap())
+	}
+}
+
+func TestEachQueryContextStopsBetweenQueries(t *testing.T) {
+	src := &errOnThird{}
+	qs := make([]*msl.Rule, 5)
+	for i := range qs {
+		qs[i] = msl.MustParseRule(`N :- <person {<name N>}>@third.`)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := EachQueryContext(ctx, src, qs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if src.calls != 0 {
+		t.Fatalf("cancelled batch still issued %d queries", src.calls)
+	}
+}
+
+// blindSleeper ignores contexts and sleeps before answering.
+type blindSleeper struct {
+	delay time.Duration
+}
+
+func (s *blindSleeper) Name() string               { return "sleeper" }
+func (s *blindSleeper) Capabilities() Capabilities { return FullCapabilities() }
+
+func (s *blindSleeper) Query(q *msl.Rule) ([]*oem.Object, error) {
+	time.Sleep(s.delay)
+	return []*oem.Object{oem.New("&s", "ok", "yes")}, nil
+}
+
+func TestQueryContextBoundsContextBlindSource(t *testing.T) {
+	q := msl.MustParseRule(`N :- <ok N>@sleeper.`)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := QueryContext(ctx, &blindSleeper{delay: 500 * time.Millisecond}, q)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Fatalf("caller waited %v on a context-blind source", elapsed)
+	}
+}
+
+func TestQueryContextWithoutDeadlineCallsDirect(t *testing.T) {
+	// A Background context must not spawn a goroutine per query — the
+	// fallback only engages when the context can actually end.
+	q := msl.MustParseRule(`N :- <ok N>@sleeper.`)
+	objs, err := QueryContext(context.Background(), &blindSleeper{}, q)
+	if err != nil || len(objs) != 1 {
+		t.Fatalf("direct call: objs=%d err=%v", len(objs), err)
+	}
+}

@@ -13,6 +13,7 @@
 package wrapper
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -266,6 +267,15 @@ func (l *Limited) Query(q *msl.Rule) ([]*oem.Object, error) {
 		return nil, err
 	}
 	return l.Inner.Query(q)
+}
+
+// QueryContext implements ContextSource, enforcing the reduced
+// capabilities and forwarding the context to the inner source.
+func (l *Limited) QueryContext(ctx context.Context, q *msl.Rule) ([]*oem.Object, error) {
+	if err := CheckCapabilities(q, l.Caps, l.Name()); err != nil {
+		return nil, err
+	}
+	return QueryContext(ctx, l.Inner, q)
 }
 
 // CountLabel implements Counter by forwarding to the inner source when it

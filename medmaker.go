@@ -27,6 +27,7 @@
 package medmaker
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -80,6 +81,39 @@ type (
 	// queries in one exchange; batch-capable sources make the engine's
 	// parameterized-query batching collapse round-trips.
 	BatchQuerier = wrapper.BatchQuerier
+	// ContextSource is the optional Source extension for queries bounded
+	// by a context.Context: cancellation and deadlines propagate into the
+	// source instead of merely abandoning its answer. All bundled sources
+	// (including mediators themselves) implement it.
+	ContextSource = wrapper.ContextSource
+	// ContextBatchQuerier combines ContextSource and BatchQuerier: a whole
+	// batch in one exchange, bounded by a context.
+	ContextBatchQuerier = wrapper.ContextBatchQuerier
+	// ExecPolicy bounds and degrades per-source work during execution: a
+	// per-exchange timeout and the reaction to source failures. The zero
+	// value is the paper's all-or-nothing behavior.
+	ExecPolicy = engine.Policy
+	// ErrorMode selects an ExecPolicy's reaction to a failing source.
+	ErrorMode = engine.ErrorMode
+	// SourceError is one recorded source failure in a degraded answer.
+	SourceError = engine.SourceError
+	// QueryResult is a query answer together with its degradation record:
+	// the objects, whether any source's contribution is missing, and the
+	// per-source failures behind it.
+	QueryResult = engine.Result
+)
+
+// ExecPolicy.OnSourceError values.
+const (
+	// OnSourceErrorFail aborts the query on the first source failure (the
+	// default).
+	OnSourceErrorFail = engine.OnErrorFail
+	// OnSourceErrorSkip drops a failing source for the rest of the query
+	// and flags the answer Incomplete.
+	OnSourceErrorSkip = engine.OnErrorSkip
+	// OnSourceErrorPartial drops only the failing exchange, retrying the
+	// source on later exchanges, and flags the answer Incomplete.
+	OnSourceErrorPartial = engine.OnErrorPartial
 )
 
 // DefaultQueryBatch is the parameterized-query batch size used when
@@ -169,6 +203,11 @@ type Config struct {
 	// Hit rates feed the optimizer's cost model through the statistics
 	// store. Use Mediator.InvalidateCaches when a source changes.
 	Cache *CacheOptions
+	// Policy is the default execution policy for every query: a per-source
+	// exchange timeout and the failure reaction (fail the query, skip the
+	// source, or skip the exchange). QueryPolicy overrides it per call.
+	// The zero value reproduces the paper's all-or-nothing behavior.
+	Policy ExecPolicy
 }
 
 // Mediator is a declaratively-specified integrated view over a set of
@@ -186,6 +225,7 @@ type Mediator struct {
 	parallel int
 	batch    int
 	pipeline bool
+	policy   ExecPolicy
 	cacheCfg *wrapper.CacheOptions
 	cacheMu  sync.Mutex
 	caches   []*wrapper.Cache
@@ -198,7 +238,12 @@ type Mediator struct {
 	mu sync.Mutex // serializes access to the trace writer
 }
 
-var _ Source = (*Mediator)(nil)
+var (
+	_ Source              = (*Mediator)(nil)
+	_ ContextSource       = (*Mediator)(nil)
+	_ BatchQuerier        = (*Mediator)(nil)
+	_ ContextBatchQuerier = (*Mediator)(nil)
+)
 
 // New builds a mediator from its specification, resolving external
 // declarations against the standard library plus cfg.Functions.
@@ -246,6 +291,7 @@ func New(cfg Config) (*Mediator, error) {
 		parallel: cfg.Parallelism,
 		batch:    batch,
 		pipeline: cfg.Pipeline,
+		policy:   cfg.Policy,
 		fused:    specHasSkolems(spec),
 	}
 	if cfg.Cache != nil {
@@ -327,14 +373,37 @@ func (m *Mediator) Capabilities() Capabilities {
 // expansion would silently miss answers. Non-fusion specifications use
 // ordinary view expansion.
 func (m *Mediator) Query(q *Rule) ([]*Object, error) {
-	if m.fused || m.needsMaterializedView(q) {
-		return m.queryFusedView(q)
-	}
-	physical, _, err := m.Plan(q)
+	return m.QueryContext(context.Background(), q)
+}
+
+// QueryContext is Query bounded by ctx; it implements ContextSource.
+// Cancellation or an expired deadline aborts the whole answer path —
+// view expansion, planning, and execution, including in-flight source
+// exchanges — and surfaces as ctx.Err(). Every goroutine the engine
+// started has exited by the time QueryContext returns.
+func (m *Mediator) QueryContext(ctx context.Context, q *Rule) ([]*Object, error) {
+	res, err := m.QueryPolicy(ctx, q, m.policy)
 	if err != nil {
 		return nil, err
 	}
-	return m.Execute(physical)
+	return res.Objects, nil
+}
+
+// QueryPolicy is QueryContext under an explicit execution policy,
+// returning the full QueryResult: the objects plus the degradation
+// record. With a skipping policy a failed source no longer aborts the
+// query; the healthy sources' contributions come back with
+// QueryResult.Incomplete set and the failures listed, so callers can
+// distinguish a full answer from a lower bound.
+func (m *Mediator) QueryPolicy(ctx context.Context, q *Rule, policy ExecPolicy) (*QueryResult, error) {
+	if m.fused || m.needsMaterializedView(q) {
+		return m.queryFusedView(ctx, policy, q)
+	}
+	physical, _, err := m.PlanContext(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return m.executeResult(ctx, policy, physical)
 }
 
 // needsMaterializedView reports query forms that per-rule expansion
@@ -398,7 +467,7 @@ const fusedViewSource = "_fusedview"
 // objects. Pass-through source conjuncts and predicates still work: the
 // rewritten query is planned and executed by the ordinary machinery over
 // a registry extended with the view.
-func (m *Mediator) queryFusedView(q *Rule) ([]*Object, error) {
+func (m *Mediator) queryFusedView(ctx context.Context, policy ExecPolicy, q *Rule) (*QueryResult, error) {
 	// 1. Materialize: fetch every view object through normal expansion
 	// (a bare label-variable pattern matches every rule head), fused and
 	// deduplicated by the plan's FuseNode.
@@ -410,14 +479,15 @@ func (m *Mediator) queryFusedView(q *Rule) ([]*Object, error) {
 			Source:  m.name,
 		}},
 	}
-	physical, _, err := m.Plan(fetch)
+	physical, _, err := m.PlanContext(ctx, fetch)
 	if err != nil {
 		return nil, err
 	}
-	view, err := m.Execute(physical)
+	viewRes, err := m.executeResult(ctx, policy, physical)
 	if err != nil {
 		return nil, err
 	}
+	view := viewRes.Objects
 
 	// 2. Rewrite the query: mediator conjuncts now target the view.
 	rewritten := q.Clone()
@@ -440,7 +510,7 @@ func (m *Mediator) queryFusedView(q *Rule) ([]*Object, error) {
 	}
 	reg.Add(viewSrc)
 	planner := plan.New(reg, m.extfns, m.stats, m.planOpts)
-	finalPlan, err := planner.Build(&veao.Program{Rules: []*msl.Rule{rewritten}, Decls: m.spec.Decls})
+	finalPlan, err := planner.BuildContext(ctx, &veao.Program{Rules: []*msl.Rule{rewritten}, Decls: m.spec.Decls})
 	if err != nil {
 		return nil, err
 	}
@@ -452,13 +522,23 @@ func (m *Mediator) queryFusedView(q *Rule) ([]*Object, error) {
 		Parallelism: m.parallel,
 		QueryBatch:  m.batch,
 		Pipeline:    m.pipeline,
+		Policy:      policy,
 	}
 	if m.trace != nil {
 		m.mu.Lock()
 		defer m.mu.Unlock()
 		ex.Trace = m.trace
 	}
-	return ex.RunObjects(finalPlan.Root)
+	res, err := ex.RunResult(ctx, finalPlan.Root)
+	if err != nil {
+		return nil, err
+	}
+	// Degradation from the materialization phase carries into the final
+	// answer: if a source dropped out while building the view, conditions
+	// evaluated against that view are a lower bound too.
+	res.Incomplete = res.Incomplete || viewRes.Incomplete
+	res.SourceErrors = append(append([]*SourceError(nil), viewRes.SourceErrors...), res.SourceErrors...)
+	return res, nil
 }
 
 // specHasSkolems reports whether any rule head derives its object-id from
@@ -478,11 +558,28 @@ func specHasSkolems(spec *msl.Program) bool {
 
 // QueryString parses and answers an MSL query given as text.
 func (m *Mediator) QueryString(q string) ([]*Object, error) {
+	return m.QueryStringContext(context.Background(), q)
+}
+
+// QueryStringContext is QueryString bounded by ctx (see QueryContext).
+func (m *Mediator) QueryStringContext(ctx context.Context, q string) ([]*Object, error) {
 	rule, err := msl.ParseQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	return m.Query(rule)
+	return m.QueryContext(ctx, rule)
+}
+
+// QueryBatch implements BatchQuerier by answering the queries one by one
+// in-process — a mediator's exchanges with its own sources already batch,
+// so the interface exists for symmetry when mediators are layered.
+func (m *Mediator) QueryBatch(qs []*Rule) ([][]*Object, error) {
+	return wrapper.EachQuery(m, qs)
+}
+
+// QueryBatchContext implements ContextBatchQuerier (see QueryBatch).
+func (m *Mediator) QueryBatchContext(ctx context.Context, qs []*Rule) ([][]*Object, error) {
+	return wrapper.EachQueryContext(ctx, m, qs)
 }
 
 // QueryLorel answers a LOREL-style end-user query ("select … from …
@@ -491,14 +588,21 @@ func (m *Mediator) QueryString(q string) ([]*Object, error) {
 // Aggregate select lists (count, sum, min, max, avg) fold the base
 // query's distinct bindings into a single <result {…}> object.
 func (m *Mediator) QueryLorel(q string) ([]*Object, error) {
+	return m.QueryLorelContext(context.Background(), q)
+}
+
+// QueryLorelContext is QueryLorel bounded by ctx (see QueryContext).
+func (m *Mediator) QueryLorelContext(ctx context.Context, q string) ([]*Object, error) {
 	translated, err := lorel.TranslateQuery(q)
 	if err != nil {
 		return nil, err
 	}
 	if translated.Rule != nil {
-		return m.Query(translated.Rule)
+		return m.QueryContext(ctx, translated.Rule)
 	}
-	result, err := translated.Fold(m.Query)
+	result, err := translated.Fold(func(r *Rule) ([]*Object, error) {
+		return m.QueryContext(ctx, r)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -512,15 +616,28 @@ func (m *Mediator) Expand(q *Rule) (*veao.Program, error) {
 	return m.expander.Expand(q)
 }
 
+// ExpandContext is Expand bounded by ctx: expansion of adversarial
+// specifications can blow up combinatorially, so the rewriting itself
+// honors cancellation.
+func (m *Mediator) ExpandContext(ctx context.Context, q *Rule) (*veao.Program, error) {
+	return m.expander.ExpandContext(ctx, q)
+}
+
 // Plan runs view expansion and cost-based optimization, returning the
 // physical datamerge graph and the logical program it came from.
 func (m *Mediator) Plan(q *Rule) (*plan.Plan, *veao.Program, error) {
-	logical, err := m.Expand(q)
+	return m.PlanContext(context.Background(), q)
+}
+
+// PlanContext is Plan bounded by ctx, which covers both expansion and
+// per-rule plan construction.
+func (m *Mediator) PlanContext(ctx context.Context, q *Rule) (*plan.Plan, *veao.Program, error) {
+	logical, err := m.ExpandContext(ctx, q)
 	if err != nil {
 		return nil, nil, err
 	}
 	planner := plan.New(m.sources, m.extfns, m.stats, m.planOpts)
-	physical, err := planner.Build(logical)
+	physical, err := planner.BuildContext(ctx, logical)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -530,6 +647,22 @@ func (m *Mediator) Plan(q *Rule) (*plan.Plan, *veao.Program, error) {
 // Execute runs a previously-built physical plan through the datamerge
 // engine and returns the constructed result objects.
 func (m *Mediator) Execute(p *plan.Plan) ([]*Object, error) {
+	return m.ExecuteContext(context.Background(), p)
+}
+
+// ExecuteContext is Execute bounded by ctx (see QueryContext for the
+// cancellation guarantees).
+func (m *Mediator) ExecuteContext(ctx context.Context, p *plan.Plan) ([]*Object, error) {
+	res, err := m.executeResult(ctx, m.policy, p)
+	if err != nil {
+		return nil, err
+	}
+	return res.Objects, nil
+}
+
+// executeResult runs a physical plan under ctx and policy, returning the
+// answer with its degradation record.
+func (m *Mediator) executeResult(ctx context.Context, policy ExecPolicy, p *plan.Plan) (*QueryResult, error) {
 	ex := &engine.Executor{
 		Sources:     m.sources,
 		Extfn:       m.extfns,
@@ -538,13 +671,14 @@ func (m *Mediator) Execute(p *plan.Plan) ([]*Object, error) {
 		Parallelism: m.parallel,
 		QueryBatch:  m.batch,
 		Pipeline:    m.pipeline,
+		Policy:      policy,
 	}
 	if m.trace != nil {
 		m.mu.Lock()
 		defer m.mu.Unlock()
 		ex.Trace = m.trace
 	}
-	return ex.RunObjects(p.Root)
+	return ex.RunResult(ctx, p.Root)
 }
 
 // Explain returns a human-readable account of how the mediator would
