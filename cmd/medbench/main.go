@@ -52,8 +52,13 @@ func main() {
 	perf := flag.Bool("perf", false, "emit only the measured comparisons")
 	reps := flag.Int("reps", 20, "timing repetitions per measurement (median reported)")
 	snapshot := flag.String("snapshot", "", "write a JSON snapshot of the executor measurements (batching, caching, pipelining) to this file and exit")
+	traceJSON := flag.String("trace-json", "", "run the paper's Q1 under EXPLAIN ANALYZE and write the structured trace (phases, per-node rows, source latency) as JSON to this file, then exit")
 	flag.DurationVar(&queryTimeout, "timeout", 0, "per-query deadline for measured queries (e.g. 30s); 0 means none")
 	flag.Parse()
+	if *traceJSON != "" {
+		runTraceJSON(*traceJSON)
+		return
+	}
 	if *snapshot != "" {
 		runSnapshot(*reps, *snapshot)
 		return
@@ -489,6 +494,40 @@ func runSnapshot(reps int, path string) {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d measurements)\n", path, len(snap.Results))
+}
+
+// runTraceJSON answers the paper's Q1 on the Section 2 population with
+// tracing on and writes the trace snapshot as JSON — the machine-readable
+// counterpart of the Figure 3.6 execution trace.
+func runTraceJSON(path string) {
+	cs, whois := paperSources()
+	med := must(medmaker.New(medmaker.Config{
+		Name: "med", Spec: specMS1, Sources: []medmaker.Source{cs, whois},
+	}))
+	q1 := `JC :- JC:<cs_person {<name 'Joe Chung'>}>@med.`
+	rule := must(medmaker.ParseQuery(q1))
+	ctx := context.Background()
+	if queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, queryTimeout)
+		defer cancel()
+	}
+	res, qt, err := med.QueryTraced(ctx, rule)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(qt.Snapshot(), "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d result objects)\n", path, len(res.Objects))
 }
 
 func mustServe(src medmaker.Source) (string, *medmaker.RemoteServer) {

@@ -3,7 +3,7 @@
 // files or remote TCP wrappers), and answers MSL queries.
 //
 //	medmaker -spec med.msl -source whois=whois.oem -source cs=tcp:host:port \
-//	         [-explain] [-trace] [-serve addr] [query ...]
+//	         [-explain] [-explain-analyze] [-trace] [-serve addr] [query ...]
 //
 // Each -source is name=path (a textual OEM file) or name=tcp:addr (a
 // remote wrapper started elsewhere, e.g. with -serve). Queries are given
@@ -111,6 +111,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	name := fs.String("name", "med", "mediator name (what queries write after @)")
 	useLorel := fs.Bool("lorel", false, "queries are LOREL ('select … from … where …') instead of MSL")
 	explain := fs.Bool("explain", false, "print the logical program and physical graph per query")
+	explainAnalyze := fs.Bool("explain-analyze", false, "execute each query and print the plan annotated with actual row counts, source exchanges, and phase timings")
 	trace := fs.Bool("trace", false, "print the execution trace (binding tables per node)")
 	serve := fs.String("serve", "", "serve the mediator over TCP on this address instead of answering queries")
 	showStats := fs.Bool("stats", false, "print the learned statistics store after all queries")
@@ -183,6 +184,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
+		}
+		if *explainAnalyze {
+			rule, err := medmaker.ParseQuery(q)
+			if err != nil {
+				return err
+			}
+			res, qt, err := med.QueryTraced(ctx, rule)
+			if err != nil {
+				return err
+			}
+			qt.Render(stderr)
+			fmt.Fprint(stdout, medmaker.FormatOEM(res.Objects...))
+			return nil
 		}
 		objs, err := med.QueryStringContext(ctx, q)
 		if err != nil {

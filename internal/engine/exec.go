@@ -11,6 +11,7 @@ import (
 	"medmaker/internal/extfn"
 	"medmaker/internal/msl"
 	"medmaker/internal/oem"
+	"medmaker/internal/trace"
 	"medmaker/internal/wrapper"
 )
 
@@ -26,9 +27,16 @@ type Executor struct {
 	IDGen   *oem.IDGen
 	// Stats, when non-nil, accumulates per-source result counts.
 	Stats *Stats
-	// Trace, when non-nil, receives a node-by-node account of the run —
-	// the operator, its parameters, and the flowing binding tables, as in
-	// Figure 3.6. Tracing forces sequential execution.
+	// Recorder, when non-nil, receives the run's structured execution
+	// record: per-node rows, wall time, exchange counts, and per-source
+	// latency histograms, merged race-free across all execution modes.
+	// This is the structured successor of Trace; unlike Trace it does not
+	// force sequential execution.
+	Recorder *trace.QueryTrace
+	// Trace, when non-nil, receives a node-by-node text account of the
+	// run — the operator, its parameters, and the flowing binding tables,
+	// as in Figure 3.6 — kept for compatibility with the original ad-hoc
+	// tracer. Tracing forces sequential execution.
 	Trace io.Writer
 	// TraceRows bounds the rows printed per table (0 = 8).
 	TraceRows int
@@ -102,7 +110,7 @@ func (ex *Executor) Run(n Node) (*Table, error) {
 // abandoned) — and surfaces as ctx.Err(). Every execution goroutine the
 // engine itself started has exited by the time RunContext returns.
 func (ex *Executor) RunContext(ctx context.Context, n Node) (*Table, error) {
-	return ex.runGraph(newRunState(ex, ctx), n)
+	return ex.runGraph(newRunState(ex, ctx, n), n)
 }
 
 func (ex *Executor) runGraph(rs *runState, n Node) (*Table, error) {
@@ -153,9 +161,7 @@ func (ex *Executor) runMaterialized(rs *runState, n Node) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", n.Label(), err)
 	}
-	if ex.Trace != nil {
-		ex.traceNode(n, out, time.Since(start))
-	}
+	rs.observeNode(n, kids, out, time.Since(start))
 	return out, nil
 }
 
@@ -179,7 +185,7 @@ func (ex *Executor) RunObjectsContext(ctx context.Context, n Node) ([]*oem.Objec
 // whether any source's contribution was dropped (Result.Incomplete) and
 // the per-source failures behind it.
 func (ex *Executor) RunResult(ctx context.Context, n Node) (*Result, error) {
-	rs := newRunState(ex, ctx)
+	rs := newRunState(ex, ctx, n)
 	t, err := ex.runGraph(rs, n)
 	if err != nil {
 		return nil, err

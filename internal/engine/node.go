@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"medmaker/internal/build"
 	"medmaker/internal/match"
@@ -63,6 +64,11 @@ type QueryNode struct {
 	Negated bool
 	// Needed is the projection applied to output rows; empty keeps all.
 	Needed []string
+	// EstRows, when HasEst, is the optimizer's estimated answer
+	// cardinality for this node's template (per instantiated query).
+	// Explain/ExplainAnalyze render it against the actual counts.
+	EstRows float64
+	HasEst  bool
 }
 
 // Label implements Node.
@@ -178,13 +184,15 @@ func (n *QueryNode) querySource(rs *runState, src wrapper.Source, q *msl.Rule) (
 	if rs.sourceDown(n.Source) {
 		return nil, true, nil
 	}
-	ctx, cancel := rs.sourceCtx()
+	ctx, cancel := rs.sourceCtx(n)
+	start := time.Now()
 	objs, qerr := wrapper.QueryContext(ctx, src, q)
+	elapsed := time.Since(start)
 	cancel()
 	if qerr != nil {
 		return nil, true, rs.sourceFailed(n.Source, qerr)
 	}
-	rs.ex.recordExchange(n.Source, 1)
+	rs.recordExchange(n, 1, elapsed)
 	rs.ex.recordQuery(n.Source, n.Send, len(objs))
 	return objs, false, nil
 }
@@ -367,8 +375,10 @@ func (n *QueryNode) fetchBatches(rs *runState, src wrapper.Source, keys []string
 			for i, k := range chunk {
 				qs[i] = pending[k]
 			}
-			ctx, cancel := rs.sourceCtx()
+			ctx, cancel := rs.sourceCtx(n)
+			batchStart := time.Now()
 			res, err := wrapper.QueryBatchContext(ctx, src, qs)
+			elapsed := time.Since(batchStart)
 			cancel()
 			if err != nil {
 				if ferr := rs.sourceFailed(n.Source, err); ferr != nil {
@@ -382,7 +392,7 @@ func (n *QueryNode) fetchBatches(rs *runState, src wrapper.Source, keys []string
 			if len(res) != len(qs) {
 				return fmt.Errorf("engine: batch query to %s returned %d answers for %d queries", n.Source, len(res), len(qs))
 			}
-			ex.recordExchange(n.Source, len(chunk))
+			rs.recordExchange(n, len(chunk), elapsed)
 			for i, k := range chunk {
 				memo[k] = &answerSet{objs: res[i]}
 				ex.recordQuery(n.Source, n.Send, len(res[i]))

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"medmaker/internal/build"
 	"medmaker/internal/match"
@@ -169,11 +170,14 @@ func (p *pipeline) startQuery(n *QueryNode, out chan []match.Env) {
 			if !p.acquire() {
 				return nil
 			}
+			start := time.Now()
 			rows, err := n.runRow(p.rs, src, nil)
+			elapsed := time.Since(start)
 			p.release()
 			if err != nil {
 				return fmt.Errorf("%s: %w", n.Label(), err)
 			}
+			p.rs.nodeObs(n).AddCall(0, len(rows), elapsed)
 			p.sendSliced(out, rows)
 			return nil
 		})
@@ -190,6 +194,7 @@ func (p *pipeline) startQuery(n *QueryNode, out chan []match.Env) {
 			if !p.acquire() {
 				return nil
 			}
+			start := time.Now()
 			var rows []match.Env
 			var err error
 			if batched {
@@ -197,10 +202,12 @@ func (p *pipeline) startQuery(n *QueryNode, out chan []match.Env) {
 			} else {
 				rows, err = p.queryPerTuple(n, src, batch)
 			}
+			elapsed := time.Since(start)
 			p.release()
 			if err != nil {
 				return fmt.Errorf("%s: %w", n.Label(), err)
 			}
+			p.rs.nodeObs(n).AddCall(len(batch), len(rows), elapsed)
 			if !p.send(out, rows) {
 				return nil
 			}
@@ -227,6 +234,7 @@ func (p *pipeline) startExtPred(n *ExtPredNode, out chan []match.Env) {
 	in := p.start(n.Child)
 	p.spawn(out, func() error {
 		for batch := range in {
+			start := time.Now()
 			var rows []match.Env
 			for _, row := range batch {
 				envs, err := p.rs.ex.Extfn.Eval(n.Pred, row)
@@ -240,6 +248,7 @@ func (p *pipeline) startExtPred(n *ExtPredNode, out chan []match.Env) {
 					rows = append(rows, e)
 				}
 			}
+			p.rs.nodeObs(n).AddCall(len(batch), len(rows), time.Since(start))
 			if !p.send(out, rows) {
 				return nil
 			}
@@ -257,6 +266,7 @@ func (p *pipeline) startDedup(n *DedupNode, out chan []match.Env) {
 	p.spawn(out, func() error {
 		byKey := map[string][]match.Env{}
 		for batch := range in {
+			start := time.Now()
 			var rows []match.Env
 		outer:
 			for _, e := range batch {
@@ -270,6 +280,7 @@ func (p *pipeline) startDedup(n *DedupNode, out chan []match.Env) {
 				byKey[key] = append(byKey[key], proj)
 				rows = append(rows, proj)
 			}
+			p.rs.nodeObs(n).AddCall(len(batch), len(rows), time.Since(start))
 			if !p.send(out, rows) {
 				return nil
 			}
@@ -282,6 +293,7 @@ func (p *pipeline) startConstruct(n *ConstructNode, out chan []match.Env) {
 	in := p.start(n.Child)
 	p.spawn(out, func() error {
 		for batch := range in {
+			start := time.Now()
 			var rows []match.Env
 			for _, row := range batch {
 				objs, err := build.Head(n.Head, row, p.rs.ex.IDGen)
@@ -293,6 +305,7 @@ func (p *pipeline) startConstruct(n *ConstructNode, out chan []match.Env) {
 					rows = append(rows, env)
 				}
 			}
+			p.rs.nodeObs(n).AddCall(len(batch), len(rows), time.Since(start))
 			if !p.send(out, rows) {
 				return nil
 			}
@@ -312,6 +325,7 @@ func (p *pipeline) startUnion(n *UnionNode, out chan []match.Env) {
 	p.spawn(out, func() error {
 		for _, in := range ins {
 			for batch := range in {
+				p.rs.nodeObs(n).AddCall(len(batch), len(batch), 0)
 				if !p.send(out, batch) {
 					return nil
 				}
@@ -343,10 +357,12 @@ func (p *pipeline) startBarrier(n Node, out chan []match.Env) {
 		if err := p.rs.cancelled(); err != nil {
 			return nil // an input failed or the run was cancelled; its rows are incomplete
 		}
+		start := time.Now()
 		res, err := n.run(p.rs, kids)
 		if err != nil {
 			return fmt.Errorf("%s: %w", n.Label(), err)
 		}
+		p.rs.observeNode(n, kids, res, time.Since(start))
 		p.sendSliced(out, res.Rows)
 		return nil
 	})

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"medmaker/internal/oem"
+	"medmaker/internal/trace"
 )
 
 // ErrorMode says what the executor does when a source query fails or
@@ -101,6 +102,10 @@ type runState struct {
 	ex  *Executor
 	ctx context.Context
 	deg *degradation
+	// obs holds the run's registered trace records (nil when the executor
+	// carries no Recorder). Its maps are built before execution starts and
+	// read-only afterwards, so concurrent stages share them lock-free.
+	obs *graphObs
 }
 
 // degradation is the shared per-run record of skipped sources and
@@ -113,17 +118,21 @@ type degradation struct {
 	errs   []*SourceError
 }
 
-func newRunState(ex *Executor, ctx context.Context) *runState {
+func newRunState(ex *Executor, ctx context.Context, root Node) *runState {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &runState{ex: ex, ctx: ctx, deg: &degradation{policy: ex.Policy}}
+	rs := &runState{ex: ex, ctx: ctx, deg: &degradation{policy: ex.Policy}}
+	if ex.Recorder != nil && root != nil {
+		rs.obs = newGraphObs(ex.Recorder, root)
+	}
+	return rs
 }
 
 // withCtx returns a view of rs bound to a derived context; the
-// degradation record stays shared.
+// degradation record and trace records stay shared.
 func (rs *runState) withCtx(ctx context.Context) *runState {
-	return &runState{ex: rs.ex, ctx: ctx, deg: rs.deg}
+	return &runState{ex: rs.ex, ctx: ctx, deg: rs.deg, obs: rs.obs}
 }
 
 // cancelled returns the run's terminal context error, if any — the check
@@ -131,13 +140,21 @@ func (rs *runState) withCtx(ctx context.Context) *runState {
 // cross-products abort promptly.
 func (rs *runState) cancelled() error { return rs.ctx.Err() }
 
-// sourceCtx derives the context for one source exchange, applying the
-// policy's per-source timeout on top of the run's own deadline.
-func (rs *runState) sourceCtx() (context.Context, context.CancelFunc) {
+// sourceCtx derives the context for one of n's source exchanges: the
+// policy's per-source timeout applies on top of the run's own deadline,
+// and when the run is traced the exchange context carries the node and
+// source records, so layers below the engine (the wrapper-level answer
+// cache) attribute their events to them.
+func (rs *runState) sourceCtx(n *QueryNode) (context.Context, context.CancelFunc) {
+	ctx := rs.ctx
+	cancel := context.CancelFunc(func() {})
 	if d := rs.deg.policy.PerSourceTimeout; d > 0 {
-		return context.WithTimeout(rs.ctx, d)
+		ctx, cancel = context.WithTimeout(ctx, d)
 	}
-	return rs.ctx, func() {}
+	if rs.obs != nil {
+		ctx = trace.WithExchangeObs(ctx, rs.nodeObs(n), rs.srcObs(n.Source))
+	}
+	return ctx, cancel
 }
 
 // sourceDown reports whether the source was circuit-broken by a previous

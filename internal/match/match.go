@@ -17,10 +17,7 @@ func Object(p *msl.ObjectPattern, obj *oem.Object, env Env) ([]Env, error) {
 	}
 	var out []Env
 	var walkErr error
-	obj.Walk(func(cand *oem.Object, _ int) bool {
-		if walkErr != nil {
-			return false
-		}
+	walkOnce(obj, make(map[*oem.Object]bool), func(cand *oem.Object) bool {
 		envs, err := matchHere(p, cand, env)
 		if err != nil {
 			walkErr = err
@@ -32,12 +29,42 @@ func Object(p *msl.ObjectPattern, obj *oem.Object, env Env) ([]Env, error) {
 	return out, walkErr
 }
 
+// walkOnce is Object.Walk with pointer-identity deduplication: an object
+// reachable along several paths is visited, and descended into, exactly
+// once per seen-set. OEM values are DAGs, not trees — fusion and shared
+// construction alias subobjects — and a plain walk re-explores a shared
+// subobject once per path, exponentially on chained sharing, while the
+// duplicate visits contribute only duplicate rows the engine deduplicates
+// anyway (a pointer-identical candidate yields byte-identical envs).
+// Returning false from visit aborts the whole walk.
+func walkOnce(o *oem.Object, seen map[*oem.Object]bool, visit func(*oem.Object) bool) bool {
+	if o == nil || seen[o] {
+		return true
+	}
+	seen[o] = true
+	if !visit(o) {
+		return false
+	}
+	for _, sub := range o.Subobjects() {
+		if !walkOnce(sub, seen, visit) {
+			return false
+		}
+	}
+	return true
+}
+
 // Tops matches the pattern against each of the given top-level objects,
 // optionally binding objVar to the matched object, and returns all
 // resulting environments. This is the semantics of one tail pattern
 // conjunct evaluated against a source.
 func Tops(p *msl.ObjectPattern, objVar *msl.Var, tops []*oem.Object, env Env) ([]Env, error) {
 	var out []Env
+	// One seen-set across all tops: a subobject shared between two
+	// top-level objects matches once, not once per top.
+	var seen map[*oem.Object]bool
+	if p.Wildcard {
+		seen = make(map[*oem.Object]bool)
+	}
 	for _, obj := range tops {
 		if !p.Wildcard {
 			envs, err := matchWithObjVar(p, objVar, obj, env)
@@ -49,10 +76,7 @@ func Tops(p *msl.ObjectPattern, objVar *msl.Var, tops []*oem.Object, env Env) ([
 		}
 		// Wildcard: any level of this object's structure.
 		var walkErr error
-		obj.Walk(func(cand *oem.Object, _ int) bool {
-			if walkErr != nil {
-				return false
-			}
+		walkOnce(obj, seen, func(cand *oem.Object) bool {
 			envs, err := matchWithObjVar(p, objVar, cand, env)
 			if err != nil {
 				walkErr = err
@@ -172,15 +196,15 @@ func matchSet(sp *msl.SetPattern, subs oem.Set, env Env) ([]Env, error) {
 		switch elem := sp.Elems[i].(type) {
 		case *msl.ObjectPattern:
 			if elem.Wildcard {
-				// Search all strict descendants; no consumption.
+				// Search all strict descendants; no consumption. One
+				// seen-set spans the whole sub loop, so a descendant
+				// shared between siblings is tried once per element.
 				inner := *elem
 				inner.Wildcard = false
+				seen := make(map[*oem.Object]bool)
 				for _, sub := range subs {
 					var walkErr error
-					sub.Walk(func(cand *oem.Object, _ int) bool {
-						if walkErr != nil {
-							return false
-						}
+					walkOnce(sub, seen, func(cand *oem.Object) bool {
 						envs, err := matchHere(&inner, cand, env)
 						if err != nil {
 							walkErr = err

@@ -1,6 +1,7 @@
 package match
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -354,6 +355,76 @@ func TestWildcardDescent(t *testing.T) {
 	envs2, _ := Tops(flat.Pattern, flat.ObjVar, []*oem.Object{deep}, nil)
 	if len(envs2) != 0 {
 		t.Fatalf("non-wildcard matched nested titles: %v", envs2)
+	}
+}
+
+// sharedDAG builds a chain of depth levels where every level holds the
+// same child pointer twice, so the object has 2^depth root-to-leaf paths
+// but only depth+1 distinct nodes. OEM values really take this shape:
+// fusion and shared construction alias subobjects rather than copy them.
+func sharedDAG(depth int) *oem.Object {
+	cur := oem.New("&leaf", "title", "TAOCP")
+	for d := 0; d < depth; d++ {
+		cur = oem.NewSet(oem.OID(fmt.Sprintf("&n%d", d)), "node", cur, cur)
+	}
+	return cur
+}
+
+// TestWildcardDAGSharedSubobjects: wildcard descent over a pointer-shared
+// DAG must visit each distinct node once. Before memoization the walk
+// re-explored the shared child per path — 2^30 visits here, which does
+// not terminate in any reasonable time — and the duplicate visits only
+// produced duplicate environments.
+func TestWildcardDAGSharedSubobjects(t *testing.T) {
+	dag := sharedDAG(30)
+	pc := tailPattern(t, `X:<%title T>@lib`)
+	envs, err := Tops(pc.Pattern, pc.ObjVar, []*oem.Object{dag}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One distinct title node, one env — not 2^30 copies of it.
+	if len(envs) != 1 {
+		t.Fatalf("shared leaf matched %d times, want 1", len(envs))
+	}
+	if b, _ := envs[0].Lookup("T"); !b.Val.Equal(oem.String("TAOCP")) {
+		t.Fatalf("T = %v", b)
+	}
+}
+
+// TestWildcardElementDAGSharedSubobjects covers the in-set wildcard
+// element path through the same sharing.
+func TestWildcardElementDAGSharedSubobjects(t *testing.T) {
+	inner := sharedDAG(28)
+	lib := oem.NewSet("&lib", "lib", oem.New("&nm", "name", "Main"), inner)
+	pc := tailPattern(t, `<lib {<name N> <%title T>}>@s`)
+	envs, err := Tops(pc.Pattern, nil, []*oem.Object{lib}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != 1 {
+		t.Fatalf("got %d matches, want 1", len(envs))
+	}
+	if b, _ := envs[0].Lookup("T"); !b.Val.Equal(oem.String("TAOCP")) {
+		t.Fatalf("T = %v", b)
+	}
+}
+
+func BenchmarkWildcardSharedDAG(b *testing.B) {
+	dag := sharedDAG(20)
+	r, err := msl.ParseRule("X :- X:<%title T>@lib.")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pc := r.Tail[0].(*msl.PatternConjunct)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		envs, err := Tops(pc.Pattern, pc.ObjVar, []*oem.Object{dag}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(envs) != 1 {
+			b.Fatalf("got %d envs", len(envs))
+		}
 	}
 }
 

@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+	if r.Counter("a") != c {
+		t.Fatal("Counter not stable for a repeated name")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	h.Observe(200 * time.Microsecond)
+	h.Observe(3 * time.Millisecond)
+	h.Observe(80 * time.Millisecond)
+	h.Observe(-time.Second) // clamps to 0
+
+	s := r.Snapshot().Histograms["lat"]
+	if s.Count != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count)
+	}
+	wantSum := int64(200*time.Microsecond + 3*time.Millisecond + 80*time.Millisecond)
+	if s.Sum != wantSum {
+		t.Fatalf("Sum = %d, want %d", s.Sum, wantSum)
+	}
+	if s.Min != 0 {
+		t.Fatalf("Min = %d, want 0 (clamped observation)", s.Min)
+	}
+	if s.Max != int64(80*time.Millisecond) {
+		t.Fatalf("Max = %d, want %d", s.Max, int64(80*time.Millisecond))
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.N
+	}
+	if total != 4 {
+		t.Fatalf("bucket counts sum to %d, want 4", total)
+	}
+	// p100 bound must cover the largest observation.
+	if q := s.Quantile(1); q < 80*time.Millisecond {
+		t.Fatalf("Quantile(1) = %s, want >= 80ms", q)
+	}
+	if m := s.Mean(); m <= 0 {
+		t.Fatalf("Mean = %s, want > 0", m)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(time.Minute) // beyond the last bound
+	s := h.Snapshot()
+	if len(s.Buckets) != 1 || s.Buckets[0].LE != -1 {
+		t.Fatalf("want a single +Inf bucket, got %+v", s.Buckets)
+	}
+	if q := s.Quantile(0.5); q != time.Minute {
+		t.Fatalf("Quantile in +Inf bucket = %s, want the max %s", q, time.Minute)
+	}
+}
+
+func TestSnapshotJSONAndString(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests").Add(3)
+	r.Histogram("lat").Observe(time.Millisecond)
+	s := r.Snapshot()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Counters["requests"] != 3 || back.Histograms["lat"].Count != 1 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if s.String() == "" {
+		t.Fatal("String is empty")
+	}
+}
+
+func TestNilReceivers(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Histogram("y").Observe(time.Second)
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Fatalf("nil registry snapshot = %+v", s)
+	}
+	var c *Counter
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var h *Histogram
+	h.Observe(time.Second)
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("n").Inc()
+				r.Histogram("lat").Observe(time.Duration(w*i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["n"] != 8000 {
+		t.Fatalf("counter = %d, want 8000", s.Counters["n"])
+	}
+	if s.Histograms["lat"].Count != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", s.Histograms["lat"].Count)
+	}
+	if s.Histograms["lat"].Min != 0 {
+		t.Fatalf("min = %d, want 0", s.Histograms["lat"].Min)
+	}
+	if want := int64(7 * 999 * int(time.Microsecond)); s.Histograms["lat"].Max != want {
+		t.Fatalf("max = %d, want %d", s.Histograms["lat"].Max, want)
+	}
+}
+
+func TestDefaultRegistry(t *testing.T) {
+	if Default() == nil || Default() != Default() {
+		t.Fatal("Default registry must be a stable non-nil singleton")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"medmaker/internal/engine"
 	"medmaker/internal/extfn"
 	"medmaker/internal/msl"
+	"medmaker/internal/trace"
 	"medmaker/internal/veao"
 	"medmaker/internal/wrapper"
 )
@@ -135,6 +136,7 @@ func (p *Planner) BuildContext(ctx context.Context, prog *veao.Program) (*Plan, 
 	if p.opts.DupElim {
 		plan.Root = &engine.DedupNode{Child: plan.Root, Vars: []string{engine.ResultVar}}
 	}
+	trace.FromContext(ctx).Annotate("plan.rules", int64(len(prog.Rules)))
 	return plan, nil
 }
 

@@ -60,6 +60,20 @@ func (p *Planner) queryNode(pc *msl.PatternConjunct, child engine.Node, bound ma
 		// not bound yet are simply absent from the rows.
 		Needed: setList(needed),
 	}
+	// Attach the learned cardinality estimate so EXPLAIN ANALYZE can show
+	// estimated vs. actual rows. Only the statistics store is consulted:
+	// the CountLabel probe used for join ordering costs a source
+	// round-trip, which plan construction must not add per node.
+	if p.stats != nil {
+		label := pc.Pattern.LabelName()
+		if label == "" {
+			label = "*"
+		}
+		if est, ok := p.stats.Estimate(pc.Source, label); ok {
+			node.EstRows = est
+			node.HasEst = true
+		}
+	}
 	return node, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"medmaker/internal/metrics"
 	"medmaker/internal/msl"
 	"medmaker/internal/oem"
 	"medmaker/internal/wrapper"
@@ -140,6 +141,26 @@ func (c *Client) QueryBatchContext(ctx context.Context, qs []*msl.Rule) ([][]*oe
 	return out, nil
 }
 
+// Metrics scrapes the server process's metrics registry: request counts
+// and latency histograms per request kind, plus whatever else that
+// process records into the registry the server was given (the engine's
+// exchange counters when the remote process is itself a mediator). An
+// old server that predates the metrics request answers with the field
+// absent, which surfaces as an error rather than an empty snapshot.
+func (c *Client) Metrics(ctx context.Context) (*metrics.Snapshot, error) {
+	resp, err := c.roundTrip(ctx, Request{Kind: reqMetrics})
+	if err != nil {
+		return nil, err
+	}
+	if err := respError(c.name, resp); err != nil {
+		return nil, err
+	}
+	if resp.Metrics == nil {
+		return nil, fmt.Errorf("remote: %s: server does not serve metrics", c.name)
+	}
+	return resp.Metrics, nil
+}
+
 // CountLabel implements wrapper.Counter over the wire, letting the
 // optimizer probe remote sources for cold-start cardinalities. A network
 // failure degrades to "cannot count" rather than an error.
@@ -229,11 +250,17 @@ func (c *Client) roundTrip(ctx context.Context, req Request) (Response, error) {
 		if cd.Before(deadline) {
 			deadline = cd
 		}
-		if remaining := time.Until(cd); remaining > 0 {
-			req.TimeoutMillis = int64(remaining / time.Millisecond)
-			if req.TimeoutMillis == 0 {
-				req.TimeoutMillis = 1
-			}
+		remaining := time.Until(cd)
+		if remaining <= 0 {
+			// The deadline already passed (ctx.Err() may still read nil in
+			// the instant before the context notices). Shipping the request
+			// with no TimeoutMillis would let the server evaluate unbounded
+			// work the client will never wait for — fail fast instead.
+			return Response{}, context.DeadlineExceeded
+		}
+		req.TimeoutMillis = int64(remaining / time.Millisecond)
+		if req.TimeoutMillis == 0 {
+			req.TimeoutMillis = 1
 		}
 	}
 	for attempt := 0; ; attempt++ {

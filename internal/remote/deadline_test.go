@@ -1,9 +1,16 @@
 package remote
 
 import (
+	"context"
+	"errors"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+	"medmaker/internal/wrapper"
 )
 
 // TestServerReclaimsIdleConnection: a connection that sends nothing for
@@ -31,6 +38,49 @@ func TestServerReclaimsIdleConnection(t *testing.T) {
 		t.Fatal("idle connection still open after IdleTimeout; read returned data")
 	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
 		t.Fatal("server kept the idle connection open for 2s despite a 50ms IdleTimeout")
+	}
+}
+
+// expiredCtx has a deadline in the past while Err() still reads nil —
+// the window a real context passes through in the instant between its
+// deadline passing and its timer firing.
+type expiredCtx struct{ context.Context }
+
+func (expiredCtx) Deadline() (time.Time, bool) { return time.Unix(0, 0), true }
+func (expiredCtx) Done() <-chan struct{}       { return nil }
+func (expiredCtx) Err() error                  { return nil }
+
+// countingSource counts the queries that actually reach it.
+type countingSource struct {
+	wrapper.Source
+	calls atomic.Int64
+}
+
+func (c *countingSource) Query(q *msl.Rule) ([]*oem.Object, error) {
+	c.calls.Add(1)
+	return c.Source.Query(q)
+}
+
+// TestClientExpiredDeadlineFailsFast: a request whose context deadline
+// already passed must not be sent — before the fix it travelled with
+// TimeoutMillis unset, so the server evaluated it with no bound at all
+// for a client that had already given up.
+func TestClientExpiredDeadlineFailsFast(t *testing.T) {
+	src := &countingSource{Source: whoisSource(t)}
+	addr, _ := startServer(t, src)
+	client, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	q := msl.MustParseRule(`<out N> :- <person {<name N>}>@whois.`)
+	_, err = client.QueryContext(expiredCtx{context.Background()}, q)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired-deadline query returned %v, want context.DeadlineExceeded", err)
+	}
+	if n := src.calls.Load(); n != 0 {
+		t.Fatalf("expired-deadline query reached the server (%d source queries)", n)
 	}
 }
 

@@ -1,0 +1,111 @@
+package remote
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"medmaker/internal/metrics"
+	"medmaker/internal/msl"
+)
+
+// TestMetricsScrape drives traffic through a served wrapper and checks
+// that a scrape reports it: per-kind request counters, matching latency
+// histograms, and an error count.
+func TestMetricsScrape(t *testing.T) {
+	srv := NewServer(whoisSource(t))
+	srv.Metrics = metrics.NewRegistry() // isolate from the process default
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	q := msl.MustParseRule(`<out N> :- <person {<name N>}>@whois.`)
+	for i := 0; i < 3; i++ {
+		if _, err := client.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client.QueryBatch([]*msl.Rule{q, q}); err != nil {
+		t.Fatal(err)
+	}
+	// One malformed query to exercise the error counter.
+	resp, err := client.roundTrip(context.Background(), Request{Kind: reqQuery, Query: "not msl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err == "" {
+		t.Fatal("malformed query did not error")
+	}
+
+	snap, err := client.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counters["remote.requests.hello"]; got != 1 {
+		t.Errorf("hello count = %d, want 1", got)
+	}
+	if got := snap.Counters["remote.requests.query"]; got < 3 {
+		t.Errorf("query count = %d, want >= 3", got)
+	}
+	if got := snap.Counters["remote.requests.batch"]; got != 1 {
+		t.Errorf("batch count = %d, want 1", got)
+	}
+	if got := snap.Counters["remote.errors"]; got < 1 {
+		t.Errorf("error count = %d, want >= 1", got)
+	}
+	// Latency histograms must agree with the request counters.
+	if h := snap.Histograms["remote.latency.query"]; h.Count != snap.Counters["remote.requests.query"] {
+		t.Errorf("query latency observations = %d, counter = %d",
+			h.Count, snap.Counters["remote.requests.query"])
+	}
+	// The scrape itself is recorded after its snapshot: a second scrape
+	// sees the first.
+	snap2, err := client.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap2.Counters["remote.requests.metrics"]; got != 1 {
+		t.Errorf("second scrape reports %d prior metrics requests, want 1", got)
+	}
+}
+
+// TestMetricsUnknownKindBucketed: garbage request kinds land in one
+// "unknown" bucket instead of growing the metric namespace unboundedly.
+func TestMetricsUnknownKindBucketed(t *testing.T) {
+	srv := NewServer(whoisSource(t))
+	srv.Metrics = metrics.NewRegistry()
+	addr, _ := srv.Start("127.0.0.1:0")
+	defer srv.Close()
+	client, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	for _, kind := range []string{"bogus", "evil", "bogus"} {
+		resp, err := client.roundTrip(context.Background(), Request{Kind: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Err == "" {
+			t.Fatalf("kind %q did not error", kind)
+		}
+	}
+	snap, err := client.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counters["remote.requests.unknown"]; got != 3 {
+		t.Errorf("unknown count = %d, want 3", got)
+	}
+	if got := snap.Counters["remote.requests.bogus"]; got != 0 {
+		t.Errorf("per-garbage-kind counter leaked: %d", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"medmaker/internal/metrics"
 	"medmaker/internal/msl"
 	"medmaker/internal/wrapper"
 )
@@ -27,6 +28,11 @@ type Server struct {
 	// <0 = no bound). It protects handler goroutines from a client that
 	// stopped reading.
 	WriteTimeout time.Duration
+	// Metrics is the registry this server records request traffic into and
+	// serves to metrics requests. Nil means the process-wide default — the
+	// same registry the engine and the source's own cache record into, so
+	// one scrape sees the whole process.
+	Metrics *metrics.Registry
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -170,8 +176,44 @@ func reqContext(req Request) (context.Context, context.CancelFunc) {
 	return context.Background(), func() {}
 }
 
+// registry resolves the server's metrics destination.
+func (s *Server) registry() *metrics.Registry {
+	if s.Metrics != nil {
+		return s.Metrics
+	}
+	return metrics.Default()
+}
+
+// dispatch evaluates one request, recording per-kind traffic and latency
+// so a scrape of this server reports what it has been serving. Unknown
+// kinds share one bucket — the name space stays bounded whatever clients
+// send.
 func (s *Server) dispatch(req Request) Response {
+	reg := s.registry()
+	kind := req.Kind
+	switch kind {
+	case reqHello, reqQuery, reqCount, reqBatch, reqMetrics:
+	default:
+		kind = "unknown"
+	}
+	start := time.Now()
+	resp := s.dispatchKind(req)
+	reg.Counter("remote.requests." + kind).Inc()
+	reg.Histogram("remote.latency." + kind).Observe(time.Since(start))
+	if resp.Err != "" {
+		reg.Counter("remote.errors").Inc()
+	}
+	return resp
+}
+
+func (s *Server) dispatchKind(req Request) Response {
 	switch req.Kind {
+	case reqMetrics:
+		// The snapshot precedes this request's own accounting (dispatch
+		// records after evaluating), so a scrape reports the traffic
+		// strictly before it.
+		snap := s.registry().Snapshot()
+		return Response{Metrics: &snap}
 	case reqHello:
 		return Response{Name: s.source.Name(), Caps: s.source.Capabilities()}
 	case reqCount:

@@ -14,16 +14,18 @@ package remote
 import (
 	"fmt"
 
+	"medmaker/internal/metrics"
 	"medmaker/internal/oem"
 	"medmaker/internal/wrapper"
 )
 
 // request kinds.
 const (
-	reqHello = "hello" // handshake: fetch name and capabilities
-	reqQuery = "query" // evaluate the MSL text in Query
-	reqCount = "count" // count top-level objects with Label
-	reqBatch = "batch" // evaluate every MSL text in Queries, one exchange
+	reqHello   = "hello"   // handshake: fetch name and capabilities
+	reqQuery   = "query"   // evaluate the MSL text in Query
+	reqCount   = "count"   // count top-level objects with Label
+	reqBatch   = "batch"   // evaluate every MSL text in Queries, one exchange
+	reqMetrics = "metrics" // scrape the server's metrics registry
 )
 
 // Request is one client→server message.
@@ -54,6 +56,10 @@ type Response struct {
 	// the remote source cannot count cheaply).
 	Count   int
 	CountOK bool
+	// Metrics answers a metrics request with a snapshot of the server
+	// process's registry. A pointer so old servers — whose responses omit
+	// the field entirely — are distinguishable from an empty registry.
+	Metrics *metrics.Snapshot
 	// Err is a non-empty error message; Unsupported carries the feature
 	// name when the error was a capability rejection, so the client can
 	// reconstitute a typed *wrapper.UnsupportedError.

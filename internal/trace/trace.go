@@ -1,0 +1,551 @@
+// Package trace is MedMaker's structured per-query observability layer:
+// one QueryTrace per answered query records phase timings (parse → view
+// expansion → plan → execute), a per-node account of the physical
+// datamerge graph (rows in/out, source exchanges, cache traffic, wall
+// time), and per-source exchange latency histograms.
+//
+// The engine populates node and source records through atomic counters,
+// so the pipelined and parallel executors merge their observations
+// race-free; phases are contiguous segments sharing boundary timestamps,
+// so phase durations sum exactly to the trace's total. Every recording
+// method is nil-receiver-safe: instrumented code paths call them
+// unconditionally and an untraced query pays only a nil check.
+//
+// Attribution across layers flows through contexts: the engine attaches
+// the active node/source records to each exchange's context
+// (WithExchangeObs), and the wrapper-level answer cache — which cannot
+// see the engine — reports hits and misses to them via CacheEvent.
+package trace
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"medmaker/internal/metrics"
+)
+
+// Canonical phase names used by the mediator's query path.
+const (
+	PhaseParse   = "parse"
+	PhaseExpand  = "expand"
+	PhasePlan    = "plan"
+	PhaseExecute = "execute"
+)
+
+// QueryTrace records one query's answer path. Create with New, close with
+// End, read with Snapshot or Render. A nil *QueryTrace is a valid no-op
+// recorder.
+type QueryTrace struct {
+	query string
+	start time.Time
+
+	mu          sync.Mutex
+	phases      []phaseRecord
+	phaseStart  time.Time // start of the open phase; zero when none open
+	phaseName   string
+	annotations map[string]int64
+	nodes       []*NodeStats
+	sources     map[string]*SourceStats
+	srcOrder    []string
+	total       time.Duration
+	ended       bool
+}
+
+type phaseRecord struct {
+	name string
+	d    time.Duration
+}
+
+// New starts a trace for the given query text.
+func New(query string) *QueryTrace {
+	return &QueryTrace{query: query, start: time.Now()}
+}
+
+// Phase closes the open phase (if any) and opens a named one. The first
+// phase's segment begins at the trace's start, and each later phase
+// begins exactly where the previous ended, so the recorded durations
+// partition the trace's total wall time.
+func (t *QueryTrace) Phase(name string) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ended {
+		return
+	}
+	t.closePhaseLocked(now)
+	t.phaseStart = now
+	t.phaseName = name
+	if len(t.phases) == 0 {
+		// Attribute the pre-phase gap (construction to first Phase call)
+		// to the first phase so the partition covers the whole trace.
+		t.phaseStart = t.start
+	}
+}
+
+// closePhaseLocked ends the open phase at now.
+func (t *QueryTrace) closePhaseLocked(now time.Time) {
+	if t.phaseStart.IsZero() {
+		return
+	}
+	t.phases = append(t.phases, phaseRecord{name: t.phaseName, d: now.Sub(t.phaseStart)})
+	t.phaseStart = time.Time{}
+	t.phaseName = ""
+}
+
+// End closes the open phase and fixes the trace's total duration. It is
+// idempotent; recording methods called after End are dropped.
+func (t *QueryTrace) End() {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ended {
+		return
+	}
+	t.closePhaseLocked(now)
+	t.total = now.Sub(t.start)
+	t.ended = true
+}
+
+// Total returns the trace's wall time: fixed by End, running until then.
+func (t *QueryTrace) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ended {
+		return t.total
+	}
+	return time.Since(t.start)
+}
+
+// Annotate accumulates a named integer fact about the run (e.g. how many
+// logical rules expansion produced). Repeated calls add.
+func (t *QueryTrace) Annotate(key string, v int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ended {
+		return
+	}
+	if t.annotations == nil {
+		t.annotations = make(map[string]int64)
+	}
+	t.annotations[key] += v
+}
+
+// NewNode registers one physical-graph operator and returns its record.
+// Registration happens before execution (single-threaded, in preorder:
+// parents before their subtrees), so records carry stable ids matching
+// registration order.
+func (t *QueryTrace) NewNode(kind, source, detail string) *NodeStats {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ns := &NodeStats{id: len(t.nodes), kind: kind, source: source, detail: detail}
+	t.nodes = append(t.nodes, ns)
+	return ns
+}
+
+// Source registers (or returns) the per-source record for name.
+func (t *QueryTrace) Source(name string) *SourceStats {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sources == nil {
+		t.sources = make(map[string]*SourceStats)
+	}
+	s := t.sources[name]
+	if s == nil {
+		s = &SourceStats{name: name, latency: &metrics.Histogram{}}
+		t.sources[name] = s
+		t.srcOrder = append(t.srcOrder, name)
+	}
+	return s
+}
+
+// NodeStats is the execution record of one physical-graph operator. All
+// counters are atomic: the materialized-parallel and pipelined executors
+// update one record from several goroutines.
+type NodeStats struct {
+	id     int
+	kind   string
+	source string
+	detail string
+
+	// estRows/hasEst and kids are written during (single-threaded) graph
+	// registration, before execution starts, and only read afterwards.
+	estRows float64
+	hasEst  bool
+	kids    []int
+
+	calls       atomic.Int64
+	rowsIn      atomic.Int64
+	rowsOut     atomic.Int64
+	exchanges   atomic.Int64
+	queries     atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	wallNanos   atomic.Int64
+}
+
+// SetEstimate attaches the optimizer's cardinality estimate.
+func (n *NodeStats) SetEstimate(rows float64) {
+	if n == nil {
+		return
+	}
+	n.estRows, n.hasEst = rows, true
+}
+
+// SetKids records the operator's input records (registration time only).
+func (n *NodeStats) SetKids(kids []*NodeStats) {
+	if n == nil {
+		return
+	}
+	n.kids = n.kids[:0]
+	for _, k := range kids {
+		if k != nil {
+			n.kids = append(n.kids, k.id)
+		}
+	}
+}
+
+// AddCall records one evaluation of the operator over in input rows
+// producing out rows in d of wall time. Streaming executors call it once
+// per batch; materialized execution once per run.
+func (n *NodeStats) AddCall(in, out int, d time.Duration) {
+	if n == nil {
+		return
+	}
+	n.calls.Add(1)
+	n.rowsIn.Add(int64(in))
+	n.rowsOut.Add(int64(out))
+	n.wallNanos.Add(int64(d))
+}
+
+// AddExchanges records source round-trips issued by this operator:
+// exchanges network round-trips carrying queries instantiated queries.
+func (n *NodeStats) AddExchanges(exchanges, queries int) {
+	if n == nil {
+		return
+	}
+	n.exchanges.Add(int64(exchanges))
+	n.queries.Add(int64(queries))
+}
+
+// CacheAccess records one answer-cache lookup outcome attributed to this
+// operator.
+func (n *NodeStats) CacheAccess(hit bool) {
+	if n == nil {
+		return
+	}
+	if hit {
+		n.cacheHits.Add(1)
+	} else {
+		n.cacheMisses.Add(1)
+	}
+}
+
+// RowsOut returns the rows the operator has produced so far.
+func (n *NodeStats) RowsOut() int64 {
+	if n == nil {
+		return 0
+	}
+	return n.rowsOut.Load()
+}
+
+// SourceStats aggregates one source's traffic across the whole query.
+type SourceStats struct {
+	name        string
+	exchanges   atomic.Int64
+	queries     atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	latency     *metrics.Histogram
+}
+
+// AddExchange records one source round-trip carrying queries instantiated
+// queries, observed at latency d.
+func (s *SourceStats) AddExchange(queries int, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.exchanges.Add(1)
+	s.queries.Add(int64(queries))
+	s.latency.Observe(d)
+}
+
+// CacheAccess records one answer-cache lookup outcome against the source.
+func (s *SourceStats) CacheAccess(hit bool) {
+	if s == nil {
+		return
+	}
+	if hit {
+		s.cacheHits.Add(1)
+	} else {
+		s.cacheMisses.Add(1)
+	}
+}
+
+// --- context attribution -------------------------------------------------
+
+type qtKey struct{}
+
+// NewContext returns ctx carrying qt, for layers (expansion, planning)
+// that annotate the active trace without threading it explicitly. A nil
+// qt returns ctx unchanged.
+func NewContext(ctx context.Context, qt *QueryTrace) context.Context {
+	if qt == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, qtKey{}, qt)
+}
+
+// FromContext returns the trace carried by ctx, or nil. The nil result is
+// directly usable: every QueryTrace method accepts a nil receiver.
+func FromContext(ctx context.Context) *QueryTrace {
+	qt, _ := ctx.Value(qtKey{}).(*QueryTrace)
+	return qt
+}
+
+type obsKey struct{}
+
+// exchangeObs identifies the operator and source on whose behalf a source
+// exchange runs, so layers below the engine attribute events to them.
+type exchangeObs struct {
+	node   *NodeStats
+	source *SourceStats
+}
+
+// WithExchangeObs returns ctx carrying the node/source records the
+// current exchange should be attributed to.
+func WithExchangeObs(ctx context.Context, node *NodeStats, source *SourceStats) context.Context {
+	if node == nil && source == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, obsKey{}, exchangeObs{node: node, source: source})
+}
+
+// CacheEvent reports one answer-cache lookup outcome to the records the
+// context attributes exchanges to; without attribution it is a no-op.
+// The wrapper-level cache calls this on every lookup.
+func CacheEvent(ctx context.Context, hit bool) {
+	obs, ok := ctx.Value(obsKey{}).(exchangeObs)
+	if !ok {
+		return
+	}
+	obs.node.CacheAccess(hit)
+	obs.source.CacheAccess(hit)
+}
+
+// --- snapshots -----------------------------------------------------------
+
+// Summary is a point-in-time copy of a QueryTrace as plain data:
+// json-encodable for cmd tools and assertable in tests.
+type Summary struct {
+	Query       string           `json:"query"`
+	TotalNanos  int64            `json:"total_ns"`
+	Phases      []PhaseSummary   `json:"phases,omitempty"`
+	Annotations map[string]int64 `json:"annotations,omitempty"`
+	Nodes       []NodeSummary    `json:"nodes,omitempty"`
+	Sources     []SourceSummary  `json:"sources,omitempty"`
+}
+
+// PhaseSummary is one phase's wall-time segment.
+type PhaseSummary struct {
+	Name  string `json:"name"`
+	Nanos int64  `json:"ns"`
+}
+
+// NodeSummary is one operator's record. Kids are ids into Summary.Nodes.
+type NodeSummary struct {
+	ID          int     `json:"id"`
+	Kind        string  `json:"kind"`
+	Source      string  `json:"source,omitempty"`
+	Detail      string  `json:"detail,omitempty"`
+	Kids        []int   `json:"kids,omitempty"`
+	Calls       int64   `json:"calls"`
+	RowsIn      int64   `json:"rows_in"`
+	RowsOut     int64   `json:"rows_out"`
+	Exchanges   int64   `json:"exchanges,omitempty"`
+	Queries     int64   `json:"queries,omitempty"`
+	CacheHits   int64   `json:"cache_hits,omitempty"`
+	CacheMisses int64   `json:"cache_misses,omitempty"`
+	WallNanos   int64   `json:"wall_ns"`
+	EstRows     float64 `json:"est_rows,omitempty"`
+	HasEst      bool    `json:"has_est,omitempty"`
+}
+
+// SourceSummary is one source's aggregated traffic.
+type SourceSummary struct {
+	Name        string                    `json:"name"`
+	Exchanges   int64                     `json:"exchanges"`
+	Queries     int64                     `json:"queries"`
+	CacheHits   int64                     `json:"cache_hits"`
+	CacheMisses int64                     `json:"cache_misses"`
+	Latency     metrics.HistogramSnapshot `json:"latency"`
+}
+
+// Snapshot copies the trace. Callers normally snapshot after End; a
+// snapshot of a live trace sees whatever has been recorded so far.
+func (t *QueryTrace) Snapshot() Summary {
+	if t == nil {
+		return Summary{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Summary{Query: t.query, TotalNanos: int64(t.total)}
+	if !t.ended {
+		s.TotalNanos = int64(time.Since(t.start))
+	}
+	for _, p := range t.phases {
+		s.Phases = append(s.Phases, PhaseSummary{Name: p.name, Nanos: int64(p.d)})
+	}
+	if len(t.annotations) > 0 {
+		s.Annotations = make(map[string]int64, len(t.annotations))
+		for k, v := range t.annotations {
+			s.Annotations[k] = v
+		}
+	}
+	for _, n := range t.nodes {
+		s.Nodes = append(s.Nodes, NodeSummary{
+			ID:          n.id,
+			Kind:        n.kind,
+			Source:      n.source,
+			Detail:      n.detail,
+			Kids:        append([]int(nil), n.kids...),
+			Calls:       n.calls.Load(),
+			RowsIn:      n.rowsIn.Load(),
+			RowsOut:     n.rowsOut.Load(),
+			Exchanges:   n.exchanges.Load(),
+			Queries:     n.queries.Load(),
+			CacheHits:   n.cacheHits.Load(),
+			CacheMisses: n.cacheMisses.Load(),
+			WallNanos:   n.wallNanos.Load(),
+			EstRows:     n.estRows,
+			HasEst:      n.hasEst,
+		})
+	}
+	for _, name := range t.srcOrder {
+		src := t.sources[name]
+		s.Sources = append(s.Sources, SourceSummary{
+			Name:        name,
+			Exchanges:   src.exchanges.Load(),
+			Queries:     src.queries.Load(),
+			CacheHits:   src.cacheHits.Load(),
+			CacheMisses: src.cacheMisses.Load(),
+			Latency:     src.latency.Snapshot(),
+		})
+	}
+	return s
+}
+
+// Render writes the trace as text: total and phase timings, the annotated
+// physical graph (estimated vs. actual cardinalities), and per-source
+// exchange traffic — the EXPLAIN ANALYZE form of the paper's Figure 3.6
+// dataflow rendering.
+func (t *QueryTrace) Render(w io.Writer) {
+	s := t.Snapshot()
+	s.Render(w)
+}
+
+// Render writes the summary as text (see QueryTrace.Render).
+func (s Summary) Render(w io.Writer) {
+	fmt.Fprintf(w, "-- query: %s\n", s.Query)
+	total := time.Duration(s.TotalNanos)
+	var parts []string
+	for _, p := range s.Phases {
+		parts = append(parts, fmt.Sprintf("%s %s", p.Name, time.Duration(p.Nanos).Round(time.Microsecond)))
+	}
+	fmt.Fprintf(w, "-- total %s", total.Round(time.Microsecond))
+	if len(parts) > 0 {
+		fmt.Fprintf(w, " (%s)", strings.Join(parts, ", "))
+	}
+	fmt.Fprintln(w)
+	if len(s.Annotations) > 0 {
+		keys := make([]string, 0, len(s.Annotations))
+		for k := range s.Annotations {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			keys[i] = fmt.Sprintf("%s=%d", k, s.Annotations[k])
+		}
+		fmt.Fprintf(w, "-- %s\n", strings.Join(keys, " "))
+	}
+	if len(s.Nodes) > 0 {
+		fmt.Fprintln(w, "-- physical datamerge graph (actual vs. estimated) --")
+		isKid := make(map[int]bool)
+		for _, n := range s.Nodes {
+			for _, k := range n.Kids {
+				isKid[k] = true
+			}
+		}
+		byID := make(map[int]NodeSummary, len(s.Nodes))
+		for _, n := range s.Nodes {
+			byID[n.ID] = n
+		}
+		for _, n := range s.Nodes {
+			if !isKid[n.ID] {
+				renderNode(w, byID, n, 0)
+			}
+		}
+	}
+	for _, src := range s.Sources {
+		fmt.Fprintf(w, "source %s: %d exchanges carrying %d queries", src.Name, src.Exchanges, src.Queries)
+		if src.CacheHits+src.CacheMisses > 0 {
+			fmt.Fprintf(w, ", cache %d/%d hits", src.CacheHits, src.CacheHits+src.CacheMisses)
+		}
+		if src.Latency.Count > 0 {
+			fmt.Fprintf(w, ", latency %s", src.Latency)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func renderNode(w io.Writer, byID map[int]NodeSummary, n NodeSummary, depth int) {
+	fmt.Fprintf(w, "%s%s: %s\n", strings.Repeat("    ", depth), n.Kind, clip(n.Detail, 100))
+	stats := fmt.Sprintf("rows=%d", n.RowsOut)
+	if n.HasEst {
+		stats += fmt.Sprintf(" (est %.1f)", n.EstRows)
+	}
+	stats += fmt.Sprintf(" in=%d calls=%d wall=%s", n.RowsIn, n.Calls,
+		time.Duration(n.WallNanos).Round(time.Microsecond))
+	if n.Exchanges > 0 {
+		stats += fmt.Sprintf(" exchanges=%d queries=%d", n.Exchanges, n.Queries)
+	}
+	if n.CacheHits+n.CacheMisses > 0 {
+		stats += fmt.Sprintf(" cache=%d/%d", n.CacheHits, n.CacheHits+n.CacheMisses)
+	}
+	fmt.Fprintf(w, "%s  [%s]\n", strings.Repeat("    ", depth), stats)
+	for _, k := range n.Kids {
+		if kid, ok := byID[k]; ok {
+			renderNode(w, byID, kid, depth+1)
+		}
+	}
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

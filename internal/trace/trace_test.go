@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPhasesPartitionTotal(t *testing.T) {
+	qt := New("q")
+	qt.Phase(PhaseParse)
+	time.Sleep(time.Millisecond)
+	qt.Phase(PhaseExpand)
+	time.Sleep(time.Millisecond)
+	qt.Phase(PhaseExecute)
+	qt.End()
+
+	s := qt.Snapshot()
+	if len(s.Phases) != 3 {
+		t.Fatalf("got %d phases, want 3", len(s.Phases))
+	}
+	var sum int64
+	for _, p := range s.Phases {
+		sum += p.Nanos
+	}
+	// Contiguous segments share boundary timestamps, so the partition is
+	// exact, not merely within tolerance.
+	if sum != s.TotalNanos {
+		t.Fatalf("phase sum %d != total %d", sum, s.TotalNanos)
+	}
+	if s.TotalNanos < int64(2*time.Millisecond) {
+		t.Fatalf("total %d implausibly small", s.TotalNanos)
+	}
+}
+
+func TestEndIdempotentAndDropsLateRecords(t *testing.T) {
+	qt := New("q")
+	qt.Phase(PhaseExecute)
+	qt.End()
+	total := qt.Total()
+	qt.Phase("late")
+	qt.Annotate("late", 1)
+	qt.End()
+	s := qt.Snapshot()
+	if qt.Total() != total {
+		t.Fatal("End not idempotent")
+	}
+	if len(s.Phases) != 1 || s.Annotations["late"] != 0 {
+		t.Fatalf("late records leaked into %+v", s)
+	}
+}
+
+func TestNodeAndSourceRecords(t *testing.T) {
+	qt := New("q")
+	root := qt.NewNode("dedup", "", "on X")
+	leaf := qt.NewNode("query(cs)", "cs", "<person>")
+	root.SetKids([]*NodeStats{leaf})
+	leaf.SetEstimate(12.5)
+
+	leaf.AddCall(0, 7, 3*time.Millisecond)
+	leaf.AddExchanges(2, 5)
+	leaf.CacheAccess(true)
+	leaf.CacheAccess(false)
+	src := qt.Source("cs")
+	src.AddExchange(5, 2*time.Millisecond)
+	src.CacheAccess(true)
+	qt.End()
+
+	s := qt.Snapshot()
+	if len(s.Nodes) != 2 {
+		t.Fatalf("got %d nodes, want 2", len(s.Nodes))
+	}
+	if got := s.Nodes[0]; got.Kind != "dedup" || len(got.Kids) != 1 || got.Kids[0] != 1 {
+		t.Fatalf("root node = %+v", got)
+	}
+	l := s.Nodes[1]
+	if l.RowsOut != 7 || l.Exchanges != 2 || l.Queries != 5 || l.CacheHits != 1 || l.CacheMisses != 1 {
+		t.Fatalf("leaf node = %+v", l)
+	}
+	if !l.HasEst || l.EstRows != 12.5 {
+		t.Fatalf("leaf estimate = %+v", l)
+	}
+	if len(s.Sources) != 1 || s.Sources[0].Exchanges != 1 || s.Sources[0].Queries != 5 {
+		t.Fatalf("sources = %+v", s.Sources)
+	}
+	if s.Sources[0].Latency.Count != 1 {
+		t.Fatalf("latency histogram = %+v", s.Sources[0].Latency)
+	}
+}
+
+func TestConcurrentNodeRecording(t *testing.T) {
+	qt := New("q")
+	n := qt.NewNode("query(cs)", "cs", "")
+	src := qt.Source("cs")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				n.AddCall(1, 2, time.Microsecond)
+				n.AddExchanges(1, 1)
+				src.AddExchange(1, time.Microsecond)
+				src.CacheAccess(i%2 == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	qt.End()
+	s := qt.Snapshot()
+	if s.Nodes[0].Calls != 4000 || s.Nodes[0].RowsOut != 8000 || s.Nodes[0].Exchanges != 4000 {
+		t.Fatalf("node = %+v", s.Nodes[0])
+	}
+	if s.Sources[0].Exchanges != 4000 || s.Sources[0].CacheHits != 2000 || s.Sources[0].CacheMisses != 2000 {
+		t.Fatalf("source = %+v", s.Sources[0])
+	}
+}
+
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var qt *QueryTrace
+	qt.Phase("x")
+	qt.Annotate("k", 1)
+	qt.End()
+	if qt.Total() != 0 {
+		t.Fatal("nil trace has a total")
+	}
+	n := qt.NewNode("k", "", "")
+	if n != nil {
+		t.Fatal("nil trace returned a node")
+	}
+	n.AddCall(1, 1, time.Second)
+	n.AddExchanges(1, 1)
+	n.CacheAccess(true)
+	n.SetKids(nil)
+	n.SetEstimate(1)
+	if n.RowsOut() != 0 {
+		t.Fatal("nil node has rows")
+	}
+	s := qt.Source("cs")
+	if s != nil {
+		t.Fatal("nil trace returned a source")
+	}
+	s.AddExchange(1, time.Second)
+	s.CacheAccess(false)
+	if snap := qt.Snapshot(); len(snap.Nodes) != 0 {
+		t.Fatalf("nil snapshot = %+v", snap)
+	}
+}
+
+func TestContextAttribution(t *testing.T) {
+	qt := New("q")
+	n := qt.NewNode("query(cs)", "cs", "")
+	src := qt.Source("cs")
+	ctx := WithExchangeObs(context.Background(), n, src)
+	CacheEvent(ctx, true)
+	CacheEvent(ctx, false)
+	CacheEvent(context.Background(), true) // unattributed: dropped
+	qt.End()
+	s := qt.Snapshot()
+	if s.Nodes[0].CacheHits != 1 || s.Nodes[0].CacheMisses != 1 {
+		t.Fatalf("node cache = %+v", s.Nodes[0])
+	}
+	if s.Sources[0].CacheHits != 1 || s.Sources[0].CacheMisses != 1 {
+		t.Fatalf("source cache = %+v", s.Sources[0])
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context carries a trace")
+	}
+	qt := New("q")
+	ctx := NewContext(context.Background(), qt)
+	if FromContext(ctx) != qt {
+		t.Fatal("trace not carried")
+	}
+	if NewContext(context.Background(), nil) != context.Background() {
+		t.Fatal("nil trace should not allocate a context")
+	}
+	// The nil-from-context result is a usable no-op recorder.
+	FromContext(context.Background()).Annotate("k", 1)
+}
+
+func TestRenderAndJSON(t *testing.T) {
+	qt := New("X :- X:<staff>@med.")
+	qt.Phase(PhaseExecute)
+	root := qt.NewNode("construct", "", "<staff N>")
+	leaf := qt.NewNode("query(cs)", "cs", "<person {<name N>}>")
+	root.SetKids([]*NodeStats{leaf})
+	leaf.SetEstimate(3)
+	leaf.AddCall(0, 3, time.Millisecond)
+	leaf.AddExchanges(1, 1)
+	qt.Source("cs").AddExchange(1, time.Millisecond)
+	qt.End()
+
+	var sb strings.Builder
+	qt.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"query(cs)", "rows=3", "(est 3.0)", "construct", "source cs: 1 exchanges", "total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output lacks %q:\n%s", want, out)
+		}
+	}
+	// The construct root renders before its query kid (tree order).
+	if strings.Index(out, "construct") > strings.Index(out, "query(cs)") {
+		t.Fatalf("root not rendered first:\n%s", out)
+	}
+
+	data, err := json.Marshal(qt.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back.Nodes) != 2 || back.Nodes[1].RowsOut != 3 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"medmaker/internal/msl"
+	"medmaker/internal/trace"
 )
 
 // Options control expansion.
@@ -101,6 +102,7 @@ func (e *Expander) ExpandContext(ctx context.Context, query *msl.Rule) (*Program
 	if err != nil {
 		return nil, err
 	}
+	trace.FromContext(ctx).Annotate("veao.rules", int64(len(rules)))
 	return &Program{Rules: rules, Decls: e.spec.Decls}, nil
 }
 

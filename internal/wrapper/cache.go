@@ -10,6 +10,7 @@ import (
 
 	"medmaker/internal/msl"
 	"medmaker/internal/oem"
+	"medmaker/internal/trace"
 )
 
 // DefaultCacheEntries is the answer-cache capacity used when
@@ -32,9 +33,12 @@ type CacheOptions struct {
 	Clock func() time.Time
 }
 
-// CacheStats is a snapshot of a cache's counters.
+// CacheStats is a snapshot of a cache's counters. Evictions counts
+// entries displaced by the capacity bound; Expired counts entries
+// removed because they aged past the TTL — distinct causes that call
+// for distinct remedies (a bigger cache vs. a longer TTL).
 type CacheStats struct {
-	Hits, Misses, Evictions, Entries int
+	Hits, Misses, Evictions, Expired, Entries int
 }
 
 // Cache is an LRU answer cache in front of a Source, keyed by the
@@ -58,9 +62,20 @@ type Cache struct {
 	mu        sync.Mutex
 	lru       *list.List // front = most recently used
 	entries   map[string]*list.Element
+	inflight  map[string]*flight
 	hits      int
 	misses    int
 	evictions int
+	expired   int
+}
+
+// flight is one in-progress fetch of a missing key. Concurrent misses on
+// the same key wait for the first one's answer instead of each querying
+// the source (singleflight).
+type flight struct {
+	done chan struct{} // closed when the fetch finished
+	objs []*oem.Object
+	err  error
 }
 
 type cacheEntry struct {
@@ -133,18 +148,77 @@ func (c *Cache) Query(q *msl.Rule) ([]*oem.Object, error) {
 
 // QueryContext implements ContextSource: hits are answered locally
 // whatever the context's state, and misses forward the context to the
-// inner source.
+// inner source. Concurrent misses on one key are deduplicated: the first
+// caller queries the source, the others wait for its answer (or their
+// own context's end), so a thundering herd of identical queries costs
+// one exchange. A failed fetch is not shared as a cache answer — one
+// waiter retries, so transient source errors do not fan out.
 func (c *Cache) QueryContext(ctx context.Context, q *msl.Rule) ([]*oem.Object, error) {
 	key := NormalizeQuery(q)
-	if objs, ok := c.lookup(key); ok {
+	for {
+		objs, hit, f, leader := c.lookupOrJoin(key)
+		trace.CacheEvent(ctx, hit)
+		if hit {
+			return objs, nil
+		}
+		if !leader {
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if f.err == nil {
+				// Share the objects but not the slice (see lookup).
+				return append([]*oem.Object(nil), f.objs...), nil
+			}
+			// The leader failed; loop so one waiter becomes the new
+			// leader and retries (its lookup counts a fresh miss).
+			continue
+		}
+		objs, err := QueryContext(ctx, c.inner, q)
+		if err == nil {
+			c.store(key, objs)
+		}
+		f.objs, f.err = objs, err
+		// The flight leaves the table only after a successful answer was
+		// stored, so a caller never finds both the entry and the flight
+		// missing while the answer exists.
+		c.mu.Lock()
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		close(f.done)
+		if err != nil {
+			return nil, err
+		}
 		return objs, nil
 	}
-	objs, err := QueryContext(ctx, c.inner, q)
-	if err != nil {
-		return nil, err
+}
+
+// lookupOrJoin consults the cache and the in-flight table atomically: a
+// hit returns the answer; a miss either joins key's existing flight or
+// registers a new one (leader true). Holding one lock across both checks
+// is what makes the dedup sound — a caller can never slip between a
+// concurrent leader's store and its flight removal and fetch again.
+func (c *Cache) lookupOrJoin(key string) (objs []*oem.Object, hit bool, f *flight, leader bool) {
+	c.mu.Lock()
+	objs, hit = c.lookupLocked(key)
+	if hit {
+		c.mu.Unlock()
+		c.record(true)
+		return objs, true, nil, false
 	}
-	c.store(key, objs)
-	return objs, nil
+	f, ok := c.inflight[key]
+	if !ok {
+		f = &flight{done: make(chan struct{})}
+		if c.inflight == nil {
+			c.inflight = make(map[string]*flight)
+		}
+		c.inflight[key] = f
+		leader = true
+	}
+	c.mu.Unlock()
+	c.record(false)
+	return nil, false, f, leader
 }
 
 // QueryBatch implements BatchQuerier: hits are answered locally and only
@@ -156,14 +230,17 @@ func (c *Cache) QueryBatch(qs []*msl.Rule) ([][]*oem.Object, error) {
 
 // QueryBatchContext implements ContextBatchQuerier: hits are answered
 // locally and only the misses travel to the inner source under ctx. An
-// inner *QueryError is re-indexed to this batch's positions.
+// inner *QueryError is re-indexed to this batch's positions. Batched
+// misses are not singleflighted: the engine already deduplicates a
+// batch's queries, and stalling a whole batch on another caller's
+// single-key fetch would serialize exchanges the batch exists to overlap.
 func (c *Cache) QueryBatchContext(ctx context.Context, qs []*msl.Rule) ([][]*oem.Object, error) {
 	out := make([][]*oem.Object, len(qs))
 	keys := make([]string, len(qs))
 	var missIdx []int
 	for i, q := range qs {
 		keys[i] = NormalizeQuery(q)
-		if objs, ok := c.lookup(keys[i]); ok {
+		if objs, ok := c.lookupCtx(ctx, keys[i]); ok {
 			out[i] = objs
 			continue
 		}
@@ -213,33 +290,48 @@ func (c *Cache) Invalidate() {
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.lru.Len()}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Expired: c.expired, Entries: c.lru.Len()}
+}
+
+// lookupCtx is lookup plus trace attribution: when ctx carries the
+// engine's per-exchange observers (a traced run), the access is also
+// recorded on the owning query node and source, so a trace's cache
+// counts equal the cache's own counters exactly.
+func (c *Cache) lookupCtx(ctx context.Context, key string) ([]*oem.Object, bool) {
+	objs, ok := c.lookup(key)
+	trace.CacheEvent(ctx, ok)
+	return objs, ok
 }
 
 // lookup returns the cached answer for key, counting the access and
-// refreshing recency. Expired entries are removed and count as misses.
+// refreshing recency. Expired entries are removed — counted under
+// Expired — and the access counts as a miss.
 func (c *Cache) lookup(key string) ([]*oem.Object, bool) {
 	c.mu.Lock()
-	el, ok := c.entries[key]
-	if ok {
+	objs, ok := c.lookupLocked(key)
+	c.mu.Unlock()
+	c.record(ok)
+	return objs, ok
+}
+
+// lookupLocked is the entry consultation under c.mu: TTL check, recency
+// refresh, hit/miss counting. Callers invoke c.record outside the lock.
+func (c *Cache) lookupLocked(key string) ([]*oem.Object, bool) {
+	if el, ok := c.entries[key]; ok {
 		e := el.Value.(*cacheEntry)
 		if c.ttl > 0 && c.now().Sub(e.stored) > c.ttl {
 			c.lru.Remove(el)
 			delete(c.entries, key)
-			ok = false
+			c.expired++
 		} else {
 			c.lru.MoveToFront(el)
 			c.hits++
-			c.mu.Unlock()
-			c.record(true)
 			// Share the objects but not the slice, so a caller appending
 			// to its result cannot corrupt the cache.
 			return append([]*oem.Object(nil), e.objs...), true
 		}
 	}
 	c.misses++
-	c.mu.Unlock()
-	c.record(false)
 	return nil, false
 }
 

@@ -3,6 +3,7 @@ package wrapper
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -149,6 +150,125 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 	if len(inner.queries) != before+1 {
 		t.Fatal("LRU entry was not evicted")
+	}
+}
+
+// TestCacheExpiredVsEvicted: removal by TTL and removal by the capacity
+// bound are distinct counters — one asks for a longer TTL, the other for
+// a bigger cache.
+func TestCacheExpiredVsEvicted(t *testing.T) {
+	now := time.Unix(1000, 0)
+	inner := &fakeSource{name: "whois"}
+	c := NewCache(inner, CacheOptions{MaxEntries: 2, TTL: time.Minute, Clock: func() time.Time { return now }})
+	qa, qb, qc := nameQuery("A"), nameQuery("B"), nameQuery("C")
+
+	// Fill to capacity, then displace the LRU entry: one eviction.
+	for _, q := range []*msl.Rule{qa, qb, qc} {
+		if _, err := c.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Expired != 0 {
+		t.Fatalf("after capacity displacement: %+v, want 1 eviction / 0 expired", s)
+	}
+
+	// Age everything past the TTL and re-ask a resident key: one expiry,
+	// still one eviction.
+	now = now.Add(time.Hour)
+	if _, err := c.Query(qc); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Expired != 1 {
+		t.Fatalf("after TTL removal: %+v, want 1 eviction / 1 expired", s)
+	}
+	if len(inner.queries) != 4 {
+		t.Fatalf("inner queries = %d, want 4 (3 cold + 1 refresh)", len(inner.queries))
+	}
+}
+
+// gatedSource blocks every query until released, counting calls, so a
+// test can hold a fetch in flight while other callers pile up.
+type gatedSource struct {
+	mu      sync.Mutex
+	calls   int
+	release chan struct{}
+}
+
+func (g *gatedSource) Name() string               { return "whois" }
+func (g *gatedSource) Capabilities() Capabilities { return FullCapabilities() }
+func (g *gatedSource) Query(q *msl.Rule) ([]*oem.Object, error) {
+	g.mu.Lock()
+	g.calls++
+	g.mu.Unlock()
+	<-g.release
+	return Eval(q, whoisTops(), oem.NewIDGen("f"))
+}
+
+// TestCacheSingleflight: concurrent misses on one key reach the source
+// exactly once; every caller gets the answer.
+func TestCacheSingleflight(t *testing.T) {
+	inner := &gatedSource{release: make(chan struct{})}
+	c := NewCache(inner, CacheOptions{})
+	q := nameQuery("Joe Chung")
+
+	const callers = 16
+	results := make([][]*oem.Object, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.Query(q)
+		}(i)
+	}
+	// Whenever the callers release relative to each other, the atomic
+	// lookup-or-join guarantees a single fetch: either a caller joins the
+	// leader's flight, or it arrives after the answer was stored and hits.
+	close(inner.release)
+	wg.Wait()
+
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if len(results[i]) == 0 {
+			t.Fatalf("caller %d got no objects", i)
+		}
+	}
+	inner.mu.Lock()
+	calls := inner.calls
+	inner.mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("source saw %d queries for one key, want 1 (singleflight)", calls)
+	}
+	if s := c.Stats(); s.Hits+s.Misses != callers {
+		t.Fatalf("stats = %+v, want hits+misses = %d", s, callers)
+	}
+}
+
+// TestCacheSingleflightLeaderError: a failed fetch is not fanned out as
+// the shared answer — a waiter retries, and the retry can succeed.
+func TestCacheSingleflightLeaderError(t *testing.T) {
+	calls := 0
+	var mu sync.Mutex
+	inner := &flakySource{name: "whois", fail: func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		return calls == 1
+	}}
+	c := NewCache(inner, CacheOptions{})
+	q := nameQuery("Joe Chung")
+	if _, err := c.Query(q); err == nil {
+		t.Fatal("first query should fail")
+	}
+	objs, err := c.Query(q)
+	if err != nil {
+		t.Fatalf("retry after failed leader: %v", err)
+	}
+	if len(objs) == 0 {
+		t.Fatal("retry returned no objects")
 	}
 }
 

@@ -35,10 +35,12 @@ import (
 	"medmaker/internal/engine"
 	"medmaker/internal/extfn"
 	"medmaker/internal/lorel"
+	"medmaker/internal/metrics"
 	"medmaker/internal/msl"
 	"medmaker/internal/oem"
 	"medmaker/internal/oemstore"
 	"medmaker/internal/plan"
+	"medmaker/internal/trace"
 	"medmaker/internal/veao"
 	"medmaker/internal/wrapper"
 )
@@ -101,7 +103,24 @@ type (
 	// the objects, whether any source's contribution is missing, and the
 	// per-source failures behind it.
 	QueryResult = engine.Result
+	// QueryTrace is the structured execution record of one query: phase
+	// timings (parse, expand, plan, execute), per-operator row counts and
+	// wall time, and per-source exchange latency. Produced by QueryTraced
+	// and ExplainAnalyze.
+	QueryTrace = trace.QueryTrace
+	// TraceSummary is a QueryTrace snapshot: plain data, JSON-friendly.
+	TraceSummary = trace.Summary
+	// MetricsRegistry is a process-wide registry of named counters and
+	// latency histograms. The engine reports every source exchange into
+	// DefaultMetrics(), and remote servers expose their registry for
+	// scraping (see the remote package's Client.Metrics).
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry's values.
+	MetricsSnapshot = metrics.Snapshot
 )
+
+// DefaultMetrics returns the process-wide metrics registry.
+func DefaultMetrics() *MetricsRegistry { return metrics.Default() }
 
 // ExecPolicy.OnSourceError values.
 const (
@@ -396,14 +415,36 @@ func (m *Mediator) QueryContext(ctx context.Context, q *Rule) ([]*Object, error)
 // QueryResult.Incomplete set and the failures listed, so callers can
 // distinguish a full answer from a lower bound.
 func (m *Mediator) QueryPolicy(ctx context.Context, q *Rule, policy ExecPolicy) (*QueryResult, error) {
+	return m.queryTraced(ctx, q, policy, nil)
+}
+
+// QueryTraced answers q like QueryContext while recording a structured
+// execution trace: phase timings, per-operator actual-vs-estimated
+// cardinalities, source exchanges, and cache traffic. The trace is
+// complete (ended) when QueryTraced returns, including on error — render
+// it with QueryTrace.Render or snapshot it with QueryTrace.Snapshot.
+// Tracing does not force sequential execution; parallel and pipelined
+// runs merge their records race-free.
+func (m *Mediator) QueryTraced(ctx context.Context, q *Rule) (*QueryResult, *QueryTrace, error) {
+	qt := trace.New(q.String())
+	res, err := m.queryTraced(ctx, q, m.policy, qt)
+	qt.End()
+	return res, qt, err
+}
+
+// queryTraced is the single answer path behind QueryPolicy and
+// QueryTraced; qt may be nil (every trace hook is a no-op then).
+func (m *Mediator) queryTraced(ctx context.Context, q *Rule, policy ExecPolicy, qt *trace.QueryTrace) (*QueryResult, error) {
+	ctx = trace.NewContext(ctx, qt)
 	if m.fused || m.needsMaterializedView(q) {
-		return m.queryFusedView(ctx, policy, q)
+		return m.queryFusedView(ctx, policy, q, qt)
 	}
-	physical, _, err := m.PlanContext(ctx, q)
+	physical, _, err := m.planPhased(ctx, q, qt)
 	if err != nil {
 		return nil, err
 	}
-	return m.executeResult(ctx, policy, physical)
+	qt.Phase(trace.PhaseExecute)
+	return m.executeResult(ctx, policy, physical, qt)
 }
 
 // needsMaterializedView reports query forms that per-rule expansion
@@ -467,7 +508,8 @@ const fusedViewSource = "_fusedview"
 // objects. Pass-through source conjuncts and predicates still work: the
 // rewritten query is planned and executed by the ordinary machinery over
 // a registry extended with the view.
-func (m *Mediator) queryFusedView(ctx context.Context, policy ExecPolicy, q *Rule) (*QueryResult, error) {
+func (m *Mediator) queryFusedView(ctx context.Context, policy ExecPolicy, q *Rule, qt *trace.QueryTrace) (*QueryResult, error) {
+	qt.Annotate("fused_view", 1)
 	// 1. Materialize: fetch every view object through normal expansion
 	// (a bare label-variable pattern matches every rule head), fused and
 	// deduplicated by the plan's FuseNode.
@@ -479,11 +521,12 @@ func (m *Mediator) queryFusedView(ctx context.Context, policy ExecPolicy, q *Rul
 			Source:  m.name,
 		}},
 	}
-	physical, _, err := m.PlanContext(ctx, fetch)
+	physical, _, err := m.planPhased(ctx, fetch, qt)
 	if err != nil {
 		return nil, err
 	}
-	viewRes, err := m.executeResult(ctx, policy, physical)
+	qt.Phase(trace.PhaseExecute)
+	viewRes, err := m.executeResult(ctx, policy, physical, qt)
 	if err != nil {
 		return nil, err
 	}
@@ -509,16 +552,19 @@ func (m *Mediator) queryFusedView(ctx context.Context, policy ExecPolicy, q *Rul
 		}
 	}
 	reg.Add(viewSrc)
+	qt.Phase(trace.PhasePlan)
 	planner := plan.New(reg, m.extfns, m.stats, m.planOpts)
 	finalPlan, err := planner.BuildContext(ctx, &veao.Program{Rules: []*msl.Rule{rewritten}, Decls: m.spec.Decls})
 	if err != nil {
 		return nil, err
 	}
+	qt.Phase(trace.PhaseExecute)
 	ex := &engine.Executor{
 		Sources:     reg,
 		Extfn:       m.extfns,
 		IDGen:       m.gen,
 		Stats:       m.stats,
+		Recorder:    qt,
 		Parallelism: m.parallel,
 		QueryBatch:  m.batch,
 		Pipeline:    m.pipeline,
@@ -632,10 +678,18 @@ func (m *Mediator) Plan(q *Rule) (*plan.Plan, *veao.Program, error) {
 // PlanContext is Plan bounded by ctx, which covers both expansion and
 // per-rule plan construction.
 func (m *Mediator) PlanContext(ctx context.Context, q *Rule) (*plan.Plan, *veao.Program, error) {
+	return m.planPhased(ctx, q, nil)
+}
+
+// planPhased is PlanContext with the expansion and planning steps
+// reported as trace phases; qt may be nil.
+func (m *Mediator) planPhased(ctx context.Context, q *Rule, qt *trace.QueryTrace) (*plan.Plan, *veao.Program, error) {
+	qt.Phase(trace.PhaseExpand)
 	logical, err := m.ExpandContext(ctx, q)
 	if err != nil {
 		return nil, nil, err
 	}
+	qt.Phase(trace.PhasePlan)
 	planner := plan.New(m.sources, m.extfns, m.stats, m.planOpts)
 	physical, err := planner.BuildContext(ctx, logical)
 	if err != nil {
@@ -653,7 +707,7 @@ func (m *Mediator) Execute(p *plan.Plan) ([]*Object, error) {
 // ExecuteContext is Execute bounded by ctx (see QueryContext for the
 // cancellation guarantees).
 func (m *Mediator) ExecuteContext(ctx context.Context, p *plan.Plan) ([]*Object, error) {
-	res, err := m.executeResult(ctx, m.policy, p)
+	res, err := m.executeResult(ctx, m.policy, p, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -661,13 +715,15 @@ func (m *Mediator) ExecuteContext(ctx context.Context, p *plan.Plan) ([]*Object,
 }
 
 // executeResult runs a physical plan under ctx and policy, returning the
-// answer with its degradation record.
-func (m *Mediator) executeResult(ctx context.Context, policy ExecPolicy, p *plan.Plan) (*QueryResult, error) {
+// answer with its degradation record. A non-nil qt receives the run's
+// structured execution record.
+func (m *Mediator) executeResult(ctx context.Context, policy ExecPolicy, p *plan.Plan, qt *trace.QueryTrace) (*QueryResult, error) {
 	ex := &engine.Executor{
 		Sources:     m.sources,
 		Extfn:       m.extfns,
 		IDGen:       m.gen,
 		Stats:       m.stats,
+		Recorder:    qt,
 		Parallelism: m.parallel,
 		QueryBatch:  m.batch,
 		Pipeline:    m.pipeline,
@@ -703,6 +759,35 @@ func (m *Mediator) Explain(q string) (string, error) {
 	sb.WriteString(logical.String())
 	sb.WriteString("-- physical datamerge graph --\n")
 	physical.Print(&sb)
+	return sb.String(), nil
+}
+
+// ExplainAnalyze answers the MSL query text and returns the executed
+// plan annotated with what actually happened: per-operator actual row
+// counts against the optimizer's estimates, source exchanges and their
+// latency distributions, cache traffic, and phase timings that sum to
+// the total wall time. The query really runs (sources are queried);
+// use Explain for a static plan.
+func (m *Mediator) ExplainAnalyze(q string) (string, error) {
+	return m.ExplainAnalyzeContext(context.Background(), q)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze bounded by ctx.
+func (m *Mediator) ExplainAnalyzeContext(ctx context.Context, q string) (string, error) {
+	qt := trace.New(q)
+	qt.Phase(trace.PhaseParse)
+	rule, err := msl.ParseQuery(q)
+	if err != nil {
+		return "", err
+	}
+	res, err := m.queryTraced(ctx, rule, m.policy, qt)
+	qt.End()
+	if err != nil {
+		return "", err
+	}
+	var sb writerBuilder
+	qt.Render(&sb)
+	fmt.Fprintf(&sb, "-- %d result objects --\n", len(res.Objects))
 	return sb.String(), nil
 }
 
