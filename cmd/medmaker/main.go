@@ -3,7 +3,8 @@
 // files or remote TCP wrappers), and answers MSL queries.
 //
 //	medmaker -spec med.msl -source whois=whois.oem -source cs=tcp:host:port \
-//	         [-explain] [-explain-analyze] [-trace] [-serve addr] [query ...]
+//	         [-matview label[:ttl]] [-explain] [-explain-analyze] [-trace] \
+//	         [-serve addr] [query ...]
 //
 // Each -source is name=path (a textual OEM file) or name=tcp:addr (a
 // remote wrapper started elsewhere, e.g. with -serve). Queries are given
@@ -94,6 +95,37 @@ func (s *sourceFlags) Set(v string) error {
 	return nil
 }
 
+// matviewFlags accumulates -matview label[:ttl] values into view specs.
+type matviewFlags []medmaker.MatView
+
+func (m *matviewFlags) String() string {
+	parts := make([]string, len(*m))
+	for i, v := range *m {
+		parts[i] = v.Label
+		if v.TTL > 0 {
+			parts[i] += ":" + v.TTL.String()
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m *matviewFlags) Set(v string) error {
+	label, ttlText, hasTTL := strings.Cut(v, ":")
+	if label == "" {
+		return fmt.Errorf("bad -matview %q: want label or label:ttl", v)
+	}
+	view := medmaker.MatView{Label: label}
+	if hasTTL {
+		ttl, err := time.ParseDuration(ttlText)
+		if err != nil || ttl <= 0 {
+			return fmt.Errorf("bad -matview %q: ttl must be a positive duration like 30s", v)
+		}
+		view.TTL = ttl
+	}
+	*m = append(*m, view)
+	return nil
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "medmaker: %v\n", err)
@@ -117,6 +149,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	showStats := fs.Bool("stats", false, "print the learned statistics store after all queries")
 	timeout := fs.Duration("timeout", 0, "per-query deadline (e.g. 5s); 0 means none")
 	fs.Var(&sources, "source", "source as name=path.oem or name=tcp:addr (repeatable)")
+	var matviews matviewFlags
+	fs.Var(&matviews, "matview", "materialize a view head as label or label:ttl (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -132,6 +166,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	cfg := medmaker.Config{Name: *name, Spec: string(specText)}
 	if *trace {
 		cfg.Trace = stderr
+	}
+	if len(matviews) > 0 {
+		cfg.Materialize = &medmaker.MatViewOptions{Views: matviews}
 	}
 	for _, s := range sources {
 		name, target, ok := strings.Cut(s, "=")

@@ -123,6 +123,33 @@ func TestCLIJSONAndCSVSources(t *testing.T) {
 	}
 }
 
+func TestCLIMatView(t *testing.T) {
+	spec, whois, cs := writeTestdata(t)
+	out, errOut, err := runCLI(t, "",
+		"-spec", spec, "-source", "whois="+whois, "-source", "cs="+cs,
+		"-matview", "cs_person:1h", "-explain-analyze",
+		`JC :- JC:<cs_person {<name 'Joe Chung'>}>@med.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "'Joe Chung'") || !strings.Contains(out, "'professor'") {
+		t.Errorf("materialized answer wrong:\n%s", out)
+	}
+	if !strings.Contains(errOut, "matscan(") || !strings.Contains(errOut, "matview.hit") {
+		t.Errorf("query did not run against the extent:\n%s", errOut)
+	}
+}
+
+func TestCLIMatViewFlagErrors(t *testing.T) {
+	spec, whois, _ := writeTestdata(t)
+	for _, bad := range []string{":5s", "cs_person:bogus", "cs_person:-1s"} {
+		if _, _, err := runCLI(t, "", "-spec", spec, "-source", "whois="+whois,
+			"-matview", bad); err == nil {
+			t.Errorf("bad -matview %q accepted", bad)
+		}
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	spec, whois, _ := writeTestdata(t)
 	if _, _, err := runCLI(t, ""); err == nil {

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"medmaker/internal/match"
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+	"medmaker/internal/wrapper"
+)
+
+// MatExtent is one materialized view extent an executor may scan instead
+// of exchanging with sources: the view's label and its top-level objects.
+// The objects are shared with the materialization that produced them and
+// must be treated as immutable (the engine copies source material before
+// mutating it, so this holds throughout MedMaker).
+type MatExtent struct {
+	View string
+	Objs []*oem.Object
+}
+
+// MatScanNode evaluates a query node's template against a materialized
+// view extent held in memory, instead of exchanging with a source. It
+// keeps QueryNode's full semantics — leaf or parameterized, negation as
+// anti-join, extraction under the input row, projection — but performs
+// zero source exchanges: nothing is recorded in the statistics store's
+// exchange counters, the trace's SourceStats, or the process metrics,
+// which is exactly the property materialization buys.
+type MatScanNode struct {
+	QueryNode
+	// View names the materialized view the extent came from.
+	View string
+	// Objs is the extent: the view's materialized top-level objects.
+	Objs []*oem.Object
+}
+
+// Label implements Node.
+func (n *MatScanNode) Label() string {
+	kind := "matscan"
+	if n.Child != nil {
+		kind = "param-matscan"
+	}
+	if n.Negated {
+		kind = "anti-" + kind
+	}
+	return kind + "(" + n.View + ")"
+}
+
+func (n *MatScanNode) run(rs *runState, kids []*Table) (*Table, error) {
+	inputRows := []match.Env{nil}
+	if len(kids) == 1 {
+		inputRows = kids[0].Rows
+	}
+	// Distinct instantiations share one local evaluation, mirroring the
+	// batched query path's deduplication.
+	memo := make(map[string][]*oem.Object)
+	out := &Table{Cols: n.Needed}
+	for i, row := range inputRows {
+		if err := checkStride(rs, i); err != nil {
+			return nil, err
+		}
+		vals := n.paramVals(row)
+		key := n.paramKey(vals)
+		objs, done := memo[key]
+		if !done {
+			q := n.Send
+			if len(vals) > 0 {
+				var err error
+				q, err = msl.BindVars(n.Send, vals)
+				if err != nil {
+					return nil, err
+				}
+			}
+			var err error
+			objs, err = wrapper.Eval(q, n.Objs, rs.ex.IDGen)
+			if err != nil {
+				return nil, err
+			}
+			memo[key] = objs
+		}
+		envs, err := n.extract(row, objs)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, envs...)
+	}
+	return out, nil
+}
+
+// SubstituteMatScan rewrites the graph rooted at n, replacing every query
+// node whose source is one of the named extents with a MatScanNode over
+// that extent's objects. The rewrite happens after planning, so the
+// optimizer's ordering and pushdown decisions — made against the extent
+// facade's cardinalities — carry over; only the exchange mechanism
+// changes. Nodes are rewritten in place (the plan is single-use).
+func SubstituteMatScan(n Node, extents map[string]MatExtent) Node {
+	switch t := n.(type) {
+	case *QueryNode:
+		if t.Child != nil {
+			t.Child = SubstituteMatScan(t.Child, extents)
+		}
+		ext, ok := extents[t.Source]
+		if !ok {
+			return t
+		}
+		ms := &MatScanNode{QueryNode: *t, View: ext.View, Objs: ext.Objs}
+		if !ms.HasEst {
+			ms.EstRows, ms.HasEst = float64(len(ext.Objs)), true
+		}
+		return ms
+	case *MatScanNode:
+		if t.Child != nil {
+			t.Child = SubstituteMatScan(t.Child, extents)
+		}
+	case *ExtPredNode:
+		t.Child = SubstituteMatScan(t.Child, extents)
+	case *JoinNode:
+		t.Left = SubstituteMatScan(t.Left, extents)
+		t.Right = SubstituteMatScan(t.Right, extents)
+	case *DedupNode:
+		t.Child = SubstituteMatScan(t.Child, extents)
+	case *ConstructNode:
+		t.Child = SubstituteMatScan(t.Child, extents)
+	case *FuseNode:
+		t.Child = SubstituteMatScan(t.Child, extents)
+	case *UnionNode:
+		for i, in := range t.Inputs {
+			t.Inputs[i] = SubstituteMatScan(in, extents)
+		}
+	}
+	return n
+}

@@ -54,6 +54,12 @@ func (g *graphObs) register(n Node) *trace.NodeStats {
 	if qn, ok := n.(*QueryNode); ok && qn.HasEst {
 		ns.SetEstimate(qn.EstRows)
 	}
+	// A matscan deliberately registers no source: it performs no
+	// exchanges, and its absence from SourceStats is the observable
+	// zero-round-trip property of a materialized-view hit.
+	if ms, ok := n.(*MatScanNode); ok && ms.HasEst {
+		ns.SetEstimate(ms.EstRows)
+	}
 	g.nodes[n] = ns
 	kids := n.Kids()
 	kidStats := make([]*trace.NodeStats, 0, len(kids))

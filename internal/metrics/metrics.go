@@ -207,32 +207,57 @@ func (s HistogramSnapshot) String() string {
 		time.Duration(s.Max).Round(time.Microsecond))
 }
 
-// Snapshot is a point-in-time copy of a whole registry. It is a plain
-// data value — gob- and json-encodable — so the remote protocol can carry
-// it and cmd tools can dump it.
-type Snapshot struct {
-	Counters   map[string]int64             `json:"counters,omitempty"`
-	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+// CounterSnapshot is one counter's value at snapshot time.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
 }
 
-// String renders the snapshot sorted by name, one metric per line.
+// NamedHistogram is one histogram's snapshot with its registry name.
+type NamedHistogram struct {
+	Name string `json:"name"`
+	HistogramSnapshot
+}
+
+// Snapshot is a point-in-time copy of a whole registry. It is a plain
+// data value — gob- and json-encodable — so the remote protocol can carry
+// it and cmd tools can dump it. Metrics are held in slices sorted by
+// name, not maps, so two snapshots of the same state are byte-identical
+// however they are serialized — diffable dumps, stable golden files,
+// deterministic wire payloads.
+type Snapshot struct {
+	Counters   []CounterSnapshot `json:"counters,omitempty"`
+	Histograms []NamedHistogram  `json:"histograms,omitempty"`
+}
+
+// Counter returns the named counter's value, or 0 when absent — absent
+// and never-incremented are indistinguishable, as with a live registry.
+func (s Snapshot) Counter(name string) int64 {
+	i := sort.Search(len(s.Counters), func(i int) bool { return s.Counters[i].Name >= name })
+	if i < len(s.Counters) && s.Counters[i].Name == name {
+		return s.Counters[i].Value
+	}
+	return 0
+}
+
+// Histogram returns the named histogram's snapshot, or the zero
+// snapshot (no observations) when absent.
+func (s Snapshot) Histogram(name string) HistogramSnapshot {
+	i := sort.Search(len(s.Histograms), func(i int) bool { return s.Histograms[i].Name >= name })
+	if i < len(s.Histograms) && s.Histograms[i].Name == name {
+		return s.Histograms[i].HistogramSnapshot
+	}
+	return HistogramSnapshot{}
+}
+
+// String renders the snapshot in name order, one metric per line.
 func (s Snapshot) String() string {
-	names := make([]string, 0, len(s.Counters))
-	for n := range s.Counters {
-		names = append(names, n)
-	}
-	sort.Strings(names)
 	var sb strings.Builder
-	for _, n := range names {
-		fmt.Fprintf(&sb, "%s: %d\n", n, s.Counters[n])
+	for _, c := range s.Counters {
+		fmt.Fprintf(&sb, "%s: %d\n", c.Name, c.Value)
 	}
-	names = names[:0]
-	for n := range s.Histograms {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		fmt.Fprintf(&sb, "%s: %s\n", n, s.Histograms[n])
+	for _, h := range s.Histograms {
+		fmt.Fprintf(&sb, "%s: %s\n", h.Name, h.HistogramSnapshot)
 	}
 	return sb.String()
 }
@@ -311,15 +336,20 @@ func (r *Registry) Snapshot() Snapshot {
 		}{n, h})
 	}
 	r.mu.Unlock()
-	s := Snapshot{
-		Counters:   make(map[string]int64, len(counters)),
-		Histograms: make(map[string]HistogramSnapshot, len(histograms)),
+	var s Snapshot
+	if len(counters) > 0 {
+		s.Counters = make([]CounterSnapshot, 0, len(counters))
+		for _, e := range counters {
+			s.Counters = append(s.Counters, CounterSnapshot{Name: e.name, Value: e.c.Value()})
+		}
+		sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
 	}
-	for _, e := range counters {
-		s.Counters[e.name] = e.c.Value()
-	}
-	for _, e := range histograms {
-		s.Histograms[e.name] = e.h.Snapshot()
+	if len(histograms) > 0 {
+		s.Histograms = make([]NamedHistogram, 0, len(histograms))
+		for _, e := range histograms {
+			s.Histograms = append(s.Histograms, NamedHistogram{Name: e.name, HistogramSnapshot: e.h.Snapshot()})
+		}
+		sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
 	}
 	return s
 }

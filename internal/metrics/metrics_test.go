@@ -29,7 +29,7 @@ func TestHistogram(t *testing.T) {
 	h.Observe(80 * time.Millisecond)
 	h.Observe(-time.Second) // clamps to 0
 
-	s := r.Snapshot().Histograms["lat"]
+	s := r.Snapshot().Histogram("lat")
 	if s.Count != 4 {
 		t.Fatalf("Count = %d, want 4", s.Count)
 	}
@@ -84,11 +84,62 @@ func TestSnapshotJSONAndString(t *testing.T) {
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatalf("unmarshal: %v", err)
 	}
-	if back.Counters["requests"] != 3 || back.Histograms["lat"].Count != 1 {
+	if back.Counter("requests") != 3 || back.Histogram("lat").Count != 1 {
 		t.Fatalf("round trip lost data: %+v", back)
 	}
 	if s.String() == "" {
 		t.Fatal("String is empty")
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	// Two registries that saw the same metrics in different orders must
+	// serialize to byte-identical snapshots.
+	a, b := NewRegistry(), NewRegistry()
+	names := []string{"zeta", "alpha", "mid", "engine.exchanges", "matview.hits"}
+	for _, n := range names {
+		a.Counter(n).Add(7)
+		a.Histogram(n + ".lat").Observe(time.Millisecond)
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		b.Counter(names[i]).Add(7)
+		b.Histogram(names[i] + ".lat").Observe(time.Millisecond)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	ja, err := json.Marshal(sa)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	jb, err := json.Marshal(sb)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if string(ja) != string(jb) {
+		t.Fatalf("snapshots differ:\n%s\n%s", ja, jb)
+	}
+	if sa.String() != sb.String() {
+		t.Fatalf("String differs:\n%s\n%s", sa.String(), sb.String())
+	}
+	for i := 1; i < len(sa.Counters); i++ {
+		if sa.Counters[i-1].Name >= sa.Counters[i].Name {
+			t.Fatalf("counters not sorted: %q before %q", sa.Counters[i-1].Name, sa.Counters[i].Name)
+		}
+	}
+	for i := 1; i < len(sa.Histograms); i++ {
+		if sa.Histograms[i-1].Name >= sa.Histograms[i].Name {
+			t.Fatalf("histograms not sorted: %q before %q", sa.Histograms[i-1].Name, sa.Histograms[i].Name)
+		}
+	}
+	// Round trip through JSON preserves lookups.
+	var back Snapshot
+	if err := json.Unmarshal(ja, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Counter("alpha") != 7 || back.Histogram("alpha.lat").Count != 1 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Counter("absent") != 0 || back.Histogram("absent").Count != 0 {
+		t.Fatal("absent metrics must read as zero")
 	}
 }
 
@@ -123,17 +174,17 @@ func TestConcurrentObservations(t *testing.T) {
 	}
 	wg.Wait()
 	s := r.Snapshot()
-	if s.Counters["n"] != 8000 {
-		t.Fatalf("counter = %d, want 8000", s.Counters["n"])
+	if got := s.Counter("n"); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
 	}
-	if s.Histograms["lat"].Count != 8000 {
-		t.Fatalf("histogram count = %d, want 8000", s.Histograms["lat"].Count)
+	if got := s.Histogram("lat"); got.Count != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got.Count)
 	}
-	if s.Histograms["lat"].Min != 0 {
-		t.Fatalf("min = %d, want 0", s.Histograms["lat"].Min)
+	if got := s.Histogram("lat"); got.Min != 0 {
+		t.Fatalf("min = %d, want 0", got.Min)
 	}
-	if want := int64(7 * 999 * int(time.Microsecond)); s.Histograms["lat"].Max != want {
-		t.Fatalf("max = %d, want %d", s.Histograms["lat"].Max, want)
+	if want := int64(7 * 999 * int(time.Microsecond)); s.Histogram("lat").Max != want {
+		t.Fatalf("max = %d, want %d", s.Histogram("lat").Max, want)
 	}
 }
 

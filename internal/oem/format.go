@@ -37,10 +37,17 @@ type Formatter struct {
 }
 
 // Format renders the objects to w, followed by a ";" terminator line as in
-// the paper's figures.
+// the paper's figures. In the flat style, oid assignment and definition
+// printing are shared across the whole call: an object reachable from
+// several parents (or several of the given roots) is defined once and
+// referenced by oid everywhere else, so the output reparses cleanly —
+// the parser rejects duplicate definitions — and sharing survives a
+// round trip.
 func (f *Formatter) Format(w io.Writer, objs ...*Object) error {
+	assigned := make(map[*Object]OID)
+	printed := make(map[*Object]bool)
 	for _, obj := range objs {
-		if err := f.formatOne(w, obj, 0); err != nil {
+		if err := f.formatOne(w, obj, 0, assigned, printed); err != nil {
 			return err
 		}
 	}
@@ -83,8 +90,7 @@ func (f *Formatter) displayOID(o *Object, assigned map[*Object]OID) OID {
 	return oid
 }
 
-func (f *Formatter) formatOne(w io.Writer, obj *Object, depth int) error {
-	assigned := make(map[*Object]OID)
+func (f *Formatter) formatOne(w io.Writer, obj *Object, depth int, assigned map[*Object]OID, printed map[*Object]bool) error {
 	switch f.Style {
 	case StyleNested:
 		if err := f.writeNested(w, obj, depth, assigned); err != nil {
@@ -93,11 +99,18 @@ func (f *Formatter) formatOne(w io.Writer, obj *Object, depth int) error {
 		_, err := io.WriteString(w, "\n")
 		return err
 	default:
-		return f.writeFlat(w, obj, depth, assigned)
+		return f.writeFlat(w, obj, depth, assigned, printed)
 	}
 }
 
-func (f *Formatter) writeFlat(w io.Writer, obj *Object, depth int, assigned map[*Object]OID) error {
+func (f *Formatter) writeFlat(w io.Writer, obj *Object, depth int, assigned map[*Object]OID, printed map[*Object]bool) error {
+	// An already-defined object (a shared subobject, or a cycle) is only
+	// ever referenced by oid; printing it again would be a duplicate
+	// definition.
+	if printed[obj] {
+		return nil
+	}
+	printed[obj] = true
 	var sb strings.Builder
 	for i := 0; i < depth; i++ {
 		sb.WriteString(f.indent())
@@ -130,7 +143,7 @@ func (f *Formatter) writeFlat(w io.Writer, obj *Object, depth int, assigned map[
 		return err
 	}
 	for _, sub := range obj.Subobjects() {
-		if err := f.writeFlat(w, sub, depth+1, assigned); err != nil {
+		if err := f.writeFlat(w, sub, depth+1, assigned, printed); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,43 @@
+package oem_test
+
+import (
+	"testing"
+
+	"medmaker/internal/oem"
+	"medmaker/internal/workload"
+)
+
+// FuzzOEMRoundTrip checks that the textual OEM format round-trips: any
+// input the parser accepts must, once formatted, parse again to a
+// structurally equal forest. This is the contract tools rely on when
+// they pipe one command's output into another — a formatter that emits
+// unparseable text (e.g. duplicate definitions for a shared subobject)
+// silently breaks such pipelines.
+func FuzzOEMRoundTrip(f *testing.F) {
+	f.Add("<&p1, person, set, {&n1, &s1}>\n<&n1, name, string, \"Joe Chung\">\n<&s1, dept, string, \"CS\">\n;\n")
+	f.Add("<&a, person, set, {&c}>\n<&b, person, set, {&c}>\n<&c, name, string, \"shared\">\n;\n")
+	f.Add("<&i, years, int, 17>\n<&r, ratio, real, 1.5>\n<&e, empty, set, {}>\n;\n")
+	// A realistic workload-shaped tree: the deep-library generator's
+	// nested sections exercise indentation and oid cross references.
+	f.Add(oem.Format(workload.GenDeepLibrary(2, 3)))
+	f.Fuzz(func(t *testing.T, input string) {
+		tops, err := oem.Parse(input)
+		if err != nil || len(tops) == 0 {
+			return // not valid OEM text; nothing to round-trip
+		}
+		text := oem.Format(tops...)
+		back, err := oem.Parse(text)
+		if err != nil {
+			t.Fatalf("formatted output does not reparse: %v\ninput:\n%s\nformatted:\n%s", err, input, text)
+		}
+		if len(back) != len(tops) {
+			t.Fatalf("round trip changed top-level count: %d -> %d\nformatted:\n%s", len(tops), len(back), text)
+		}
+		for i := range tops {
+			if !tops[i].StructuralEqual(back[i]) {
+				t.Fatalf("top %d not structurally equal after round trip\nbefore: %s\nafter:  %s",
+					i, oem.Format(tops[i]), oem.Format(back[i]))
+			}
+		}
+	})
+}

@@ -143,6 +143,9 @@ func (p *oemParser) applyHeader(obj *Object, fields []oemToken, braceValue bool)
 		}
 		return fmt.Errorf("oem: line %d: object is missing a label", line)
 	}
+	if !validLabel(fields[i].text) {
+		return fmt.Errorf("oem: line %d: invalid label %q", fields[i].line, fields[i].text)
+	}
 	obj.Label = fields[i].text
 	i++
 
@@ -439,6 +442,13 @@ func (l *oemLexer) scan() oemToken {
 		for j < len(l.src) && isWordByte(l.src[j]) {
 			j++
 		}
+		if j == l.pos {
+			// A byte that widens to a letter (e.g. a stray UTF-8 lead
+			// byte) but is not an ASCII word byte: consume it anyway so
+			// the lexer always makes progress; the parser rejects the
+			// resulting token with a position.
+			j++
+		}
 		text := l.src[l.pos:j]
 		l.pos = j
 		return oemToken{kind: tokIdent, text: text, line: start}
@@ -539,6 +549,23 @@ func (l *oemLexer) skipLine() {
 
 func isWordStart(r rune) bool {
 	return r == '_' || unicode.IsLetter(r)
+}
+
+// validLabel reports whether s is a label the formatter prints verbatim
+// and the lexer re-scans as one ident token — an ASCII word not starting
+// with a digit. The lexer's recovery paths produce other ident tokens
+// (stray bytes, unterminated strings) so they surface here with a
+// position instead of being silently adopted as unprintable labels.
+func validLabel(s string) bool {
+	if s == "" || !(s[0] == '_' || s[0] >= 'a' && s[0] <= 'z' || s[0] >= 'A' && s[0] <= 'Z') {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !isWordByte(s[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 func isWordByte(c byte) bool {

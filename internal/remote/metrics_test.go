@@ -48,22 +48,22 @@ func TestMetricsScrape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := snap.Counters["remote.requests.hello"]; got != 1 {
+	if got := snap.Counter("remote.requests.hello"); got != 1 {
 		t.Errorf("hello count = %d, want 1", got)
 	}
-	if got := snap.Counters["remote.requests.query"]; got < 3 {
+	if got := snap.Counter("remote.requests.query"); got < 3 {
 		t.Errorf("query count = %d, want >= 3", got)
 	}
-	if got := snap.Counters["remote.requests.batch"]; got != 1 {
+	if got := snap.Counter("remote.requests.batch"); got != 1 {
 		t.Errorf("batch count = %d, want 1", got)
 	}
-	if got := snap.Counters["remote.errors"]; got < 1 {
+	if got := snap.Counter("remote.errors"); got < 1 {
 		t.Errorf("error count = %d, want >= 1", got)
 	}
 	// Latency histograms must agree with the request counters.
-	if h := snap.Histograms["remote.latency.query"]; h.Count != snap.Counters["remote.requests.query"] {
+	if h := snap.Histogram("remote.latency.query"); h.Count != snap.Counter("remote.requests.query") {
 		t.Errorf("query latency observations = %d, counter = %d",
-			h.Count, snap.Counters["remote.requests.query"])
+			h.Count, snap.Counter("remote.requests.query"))
 	}
 	// The scrape itself is recorded after its snapshot: a second scrape
 	// sees the first.
@@ -71,7 +71,7 @@ func TestMetricsScrape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := snap2.Counters["remote.requests.metrics"]; got != 1 {
+	if got := snap2.Counter("remote.requests.metrics"); got != 1 {
 		t.Errorf("second scrape reports %d prior metrics requests, want 1", got)
 	}
 }
@@ -102,10 +102,10 @@ func TestMetricsUnknownKindBucketed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := snap.Counters["remote.requests.unknown"]; got != 3 {
+	if got := snap.Counter("remote.requests.unknown"); got != 3 {
 		t.Errorf("unknown count = %d, want 3", got)
 	}
-	if got := snap.Counters["remote.requests.bogus"]; got != 0 {
+	if got := snap.Counter("remote.requests.bogus"); got != 0 {
 		t.Errorf("per-garbage-kind counter leaked: %d", got)
 	}
 }

@@ -1,0 +1,219 @@
+package veao
+
+// Pattern containment for materialized-view answerability. The expansion
+// machinery in unify.go asks "which rule heads can produce an object the
+// query wants" — a satisfiability question. Serving a query from a stored
+// view extent needs the opposite, universal direction: is every object
+// the query could match guaranteed to be in the extent? Covers answers
+// that one-way subsumption question, conservatively: a false answer only
+// costs a live expansion, a wrong true answer would lose result objects,
+// so every case this code does not understand returns false.
+
+import (
+	"fmt"
+
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+)
+
+// Covers reports whether the view pattern subsumes the query pattern:
+// every object that matches q also matches view. When it holds, a query
+// conjunct using q can be answered from an extent materialized with view,
+// because the extent holds all of q's candidates.
+//
+// The check is conservative (sound but incomplete): constants must match
+// exactly, view variables may bind any query term but repeated view
+// variables require provably equal query terms, view set elements must
+// each subsume a distinct query set element, and constructs whose
+// semantics are not covered here — wildcard queries against non-wildcard
+// views, parameters, skolems, rest constraints on the view side — fail
+// the check and fall back to live expansion.
+func Covers(view, q *msl.ObjectPattern) bool {
+	if view == nil || q == nil {
+		return false
+	}
+	c := &containment{bindings: map[string]string{}}
+	return c.pattern(view, q)
+}
+
+// containment tracks view-variable bindings during one Covers check. A
+// view variable imposes no constraint on its own, but its repetition
+// does: view {<a X> <b X>} requires equal a- and b-values, which a query
+// {<a Y> <b Z>} does not guarantee. Bindings map view variable names to
+// keys identifying the query term they were matched with.
+type containment struct {
+	bindings map[string]string
+	fresh    int
+}
+
+// snapshot and restore support backtracking in the set-element search.
+func (c *containment) snapshot() map[string]string {
+	saved := make(map[string]string, len(c.bindings))
+	for k, v := range c.bindings {
+		saved[k] = v
+	}
+	return saved
+}
+
+func (c *containment) restore(saved map[string]string) { c.bindings = saved }
+
+// bind records that the view variable name was matched with the query
+// term identified by key; a repeated view variable must see the same key.
+func (c *containment) bind(name, key string) bool {
+	if prev, ok := c.bindings[name]; ok {
+		return prev == key
+	}
+	c.bindings[name] = key
+	return true
+}
+
+// bindTerm binds a view variable against a query term. Query variables
+// and constants have stable identities; anything else (including an
+// absent field, which matches arbitrary values) gets a fresh key, so a
+// repeated view variable over such terms conservatively fails.
+func (c *containment) bindTerm(name string, qt msl.Term) bool {
+	key, ok := termKey(qt)
+	if !ok {
+		c.fresh++
+		key = fmt.Sprintf("\x00fresh%d", c.fresh)
+	}
+	return c.bind(name, key)
+}
+
+// termKey identifies a query term for binding consistency: two positions
+// holding the same query variable are guaranteed equal, as are two equal
+// constants.
+func termKey(t msl.Term) (string, bool) {
+	switch x := t.(type) {
+	case *msl.Var:
+		return "var:" + x.Name, true
+	case *msl.Const:
+		if x.Value == nil {
+			return "", false
+		}
+		return fmt.Sprintf("const:%T:%s", x.Value, x.Value.String()), true
+	default:
+		return "", false
+	}
+}
+
+func constEqual(a, b *msl.Const) bool {
+	ka, oka := termKey(a)
+	kb, okb := termKey(b)
+	return oka && okb && ka == kb
+}
+
+// pattern is the recursive subsumption check on object patterns.
+func (c *containment) pattern(view, q *msl.ObjectPattern) bool {
+	// A wildcard query matches objects at any depth; a non-wildcard view
+	// only describes top-level objects, so it cannot cover them.
+	if q.Wildcard && !view.Wildcard {
+		return false
+	}
+	if !c.field(view.OID, q.OID) {
+		return false
+	}
+	if !c.field(view.Label, q.Label) {
+		return false
+	}
+	if view.Type != nil && !c.typeImplied(*view.Type, q) {
+		return false
+	}
+	switch v := view.Value.(type) {
+	case nil:
+		return true
+	case *msl.Var:
+		return c.bindTerm(v.Name, q.Value)
+	case *msl.Const:
+		qc, ok := q.Value.(*msl.Const)
+		return ok && constEqual(v, qc)
+	case *msl.SetPattern:
+		qs, ok := q.Value.(*msl.SetPattern)
+		return ok && c.set(v, qs)
+	default:
+		return false // Param, Skolem: not a view-head construct we serve
+	}
+}
+
+// field checks one oid/label position: an absent or variable view field
+// imposes nothing beyond binding consistency; a constant view field
+// requires the identical query constant.
+func (c *containment) field(vf, qf msl.Term) bool {
+	switch v := vf.(type) {
+	case nil:
+		return true
+	case *msl.Var:
+		return c.bindTerm(v.Name, qf)
+	case *msl.Const:
+		qc, ok := qf.(*msl.Const)
+		return ok && constEqual(v, qc)
+	default:
+		return false
+	}
+}
+
+// typeImplied reports whether every q-match necessarily has the view's
+// declared kind: q declares the same kind, or q's value syntax forces it.
+func (c *containment) typeImplied(kind oem.Kind, q *msl.ObjectPattern) bool {
+	if q.Type != nil {
+		return *q.Type == kind
+	}
+	switch qv := q.Value.(type) {
+	case *msl.Const:
+		return qv.Value != nil && qv.Value.Kind() == kind
+	case *msl.SetPattern:
+		return kind == oem.KindSet
+	default:
+		return false
+	}
+}
+
+// set checks subsumption of set patterns. The view's elements are
+// requirements on matched objects; each must be implied by a distinct
+// query element (query elements guarantee distinct witness subobjects,
+// so an injective mapping carries the guarantee over). The query side
+// may demand more — extra elements, a rest variable, rest constraints —
+// without affecting coverage. View-side rest constraints restrict the
+// match and are not analyzed: conservative false.
+func (c *containment) set(view, q *msl.SetPattern) bool {
+	if len(view.RestConstraints) > 0 {
+		return false
+	}
+	if view.Rest != nil && !c.bindTerm(view.Rest.Name, nil) {
+		return false
+	}
+	used := make([]bool, len(q.Elems))
+	return c.mapElems(view.Elems, q.Elems, used)
+}
+
+// mapElems searches for an injective mapping of view elements onto query
+// elements with each view element subsuming its image, backtracking over
+// the choice of image (patterns are small, so the search is cheap).
+func (c *containment) mapElems(velems, qelems []msl.Term, used []bool) bool {
+	if len(velems) == 0 {
+		return true
+	}
+	vp, ok := velems[0].(*msl.ObjectPattern)
+	if !ok {
+		return false // element variables: semantics too loose to cover
+	}
+	for i, qe := range qelems {
+		if used[i] {
+			continue
+		}
+		qp, isPat := qe.(*msl.ObjectPattern)
+		if !isPat {
+			continue
+		}
+		saved := c.snapshot()
+		if c.pattern(vp, qp) {
+			used[i] = true
+			if c.mapElems(velems[1:], qelems, used) {
+				return true
+			}
+			used[i] = false
+		}
+		c.restore(saved)
+	}
+	return false
+}

@@ -1,0 +1,85 @@
+package veao
+
+import (
+	"testing"
+
+	"medmaker/internal/msl"
+)
+
+// pat extracts the object pattern from a one-conjunct query text.
+func pat(t *testing.T, text string) *msl.ObjectPattern {
+	t.Helper()
+	r, err := msl.ParseQuery("X :- X:" + text + "@src.")
+	if err != nil {
+		t.Fatalf("parse %s: %v", text, err)
+	}
+	return r.Tail[0].(*msl.PatternConjunct).Pattern
+}
+
+func TestCovers(t *testing.T) {
+	cases := []struct {
+		view, q string
+		want    bool
+	}{
+		// The bread-and-butter case: a bare view head covers every
+		// condition query on that label.
+		{`<staff S>`, `<staff {<name 'Joe Chung'>}>`, true},
+		{`<staff S>`, `<staff S>`, true},
+		{`<staff S>`, `<staff {<name N> <year 3>}>`, true},
+		// Different label: not covered.
+		{`<staff S>`, `<person {<name N>}>`, false},
+		// Variable label on the view covers any label.
+		{`<L S>`, `<staff {<name N>}>`, true},
+		// Variable label on the query is broader than a constant view.
+		{`<staff S>`, `<L S>`, false},
+		// A view with an element requirement covers queries that demand
+		// at least as much.
+		{`<staff {<name N>}>`, `<staff {<name 'Joe'>}>`, true},
+		{`<staff {<name N>}>`, `<staff {<name N> <year Y>}>`, true},
+		{`<staff {<name N>}>`, `<staff {<year 3>}>`, false},
+		{`<staff {<name 'Joe'>}>`, `<staff {<name 'Ann'>}>`, false},
+		{`<staff {<name 'Joe'>}>`, `<staff {<name N>}>`, false},
+		// Queries with rest variables and rest constraints are still
+		// covered by a bare view (they only restrict further).
+		{`<staff S>`, `<staff {<name N> | R}>`, true},
+		{`<staff {<name N>}>`, `<staff {<name N> | R}>`, true},
+		// View-side rest variables impose nothing.
+		{`<staff {<name N> | R}>`, `<staff {<name 'Joe'>}>`, true},
+		// Repeated view variables demand equality the query may not give.
+		{`<pair {<a X> <b X>}>`, `<pair {<a Y> <b Y>}>`, true},
+		{`<pair {<a X> <b X>}>`, `<pair {<a Y> <b Z>}>`, false},
+		{`<pair {<a X> <b X>}>`, `<pair {<a 1> <b 1>}>`, true},
+		{`<pair {<a X> <b X>}>`, `<pair {<a 1> <b 2>}>`, false},
+		// Two view elements need two distinct query elements.
+		{`<p {<a X> <a Y>}>`, `<p {<a 1> <a 2>}>`, true},
+		{`<p {<a X> <a Y>}>`, `<p {<a 1>}>`, false},
+		// Nested structure recurses.
+		{`<staff {<addr {<city C>}>}>`, `<staff {<addr {<city 'SF'> <zip Z>}>}>`, true},
+		{`<staff {<addr {<city C>}>}>`, `<staff {<addr {<zip Z>}>}>`, false},
+		// Wildcard queries search any depth; a top-level view cannot
+		// answer them.
+		{`<staff S>`, `<%staff {<name N>}>`, false},
+		// Type fields must be implied, not assumed.
+		{`<staff set V>`, `<staff {<name N>}>`, true},
+		{`<staff set V>`, `<staff V>`, false},
+		{`<year int Y>`, `<year 3>`, true},
+		{`<year int Y>`, `<year 'three'>`, false},
+	}
+	for _, tc := range cases {
+		view, q := pat(t, tc.view), pat(t, tc.q)
+		if got := Covers(view, q); got != tc.want {
+			t.Errorf("Covers(%s, %s) = %v, want %v", tc.view, tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestCoversConservativeOnViewRestConstraints: rest constraints on the
+// view restrict its extent in ways this check does not model, so they
+// must fail closed.
+func TestCoversConservativeOnViewRestConstraints(t *testing.T) {
+	view := pat(t, `<staff {<name N> | R:{<year Y>}}>`)
+	q := pat(t, `<staff {<name 'Joe'> <year 3>}>`)
+	if Covers(view, q) {
+		t.Fatal("view with rest constraints must not cover")
+	}
+}

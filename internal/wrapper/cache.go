@@ -277,9 +277,17 @@ func (c *Cache) CountLabel(label string) (int, bool) {
 	return 0, false
 }
 
-// Invalidate drops every cached answer — the explicit escape hatch for
-// callers that know a source changed.
-func (c *Cache) Invalidate() {
+// Invalidate drops cached answers — the explicit escape hatch for
+// callers that know a source changed. A cache holds answers of exactly
+// one source, so source selects all or nothing: "" (every entry,
+// whatever the source) or the inner source's name drop the whole cache;
+// any other name is a no-op. The selector exists so a mediator can
+// broadcast one Invalidate(name) to all its caches and the matview
+// manager alike.
+func (c *Cache) Invalidate(source string) {
+	if source != "" && source != c.inner.Name() {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.lru.Init()

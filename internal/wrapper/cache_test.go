@@ -106,7 +106,7 @@ func TestCacheInvalidate(t *testing.T) {
 	if _, err := c.Query(q); err != nil {
 		t.Fatal(err)
 	}
-	c.Invalidate()
+	c.Invalidate("")
 	if s := c.Stats(); s.Entries != 0 {
 		t.Fatalf("entries after Invalidate = %d", s.Entries)
 	}
@@ -115,6 +115,25 @@ func TestCacheInvalidate(t *testing.T) {
 	}
 	if len(inner.queries) != 2 {
 		t.Fatalf("invalidated entry still served: %d inner queries, want 2", len(inner.queries))
+	}
+}
+
+func TestCacheInvalidateBySource(t *testing.T) {
+	inner := &fakeSource{name: "whois"}
+	c := NewCache(inner, CacheOptions{})
+	q := nameQuery("Joe Chung")
+	if _, err := c.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	// Another source's name must not touch this cache.
+	c.Invalidate("cs")
+	if s := c.Stats(); s.Entries != 1 {
+		t.Fatalf("entries after foreign Invalidate = %d, want 1", s.Entries)
+	}
+	// The inner source's own name drops it.
+	c.Invalidate("whois")
+	if s := c.Stats(); s.Entries != 0 {
+		t.Fatalf("entries after Invalidate(whois) = %d, want 0", s.Entries)
 	}
 }
 

@@ -35,6 +35,7 @@ import (
 	"medmaker/internal/engine"
 	"medmaker/internal/extfn"
 	"medmaker/internal/lorel"
+	"medmaker/internal/matview"
 	"medmaker/internal/metrics"
 	"medmaker/internal/msl"
 	"medmaker/internal/oem"
@@ -117,6 +118,16 @@ type (
 	MetricsRegistry = metrics.Registry
 	// MetricsSnapshot is a point-in-time copy of a registry's values.
 	MetricsSnapshot = metrics.Snapshot
+	// MatViewOptions configure the materialized-view manager
+	// (Config.Materialize): which view heads to materialize and the
+	// freshness policy.
+	MatViewOptions = matview.Options
+	// MatView selects one view head for materialization, with an
+	// optional narrowing pattern and a TTL.
+	MatView = matview.View
+	// MatViewStats is a snapshot of the materialized-view manager's
+	// counters: hits, misses, staleness fallbacks, refreshes.
+	MatViewStats = matview.Stats
 )
 
 // DefaultMetrics returns the process-wide metrics registry.
@@ -222,6 +233,15 @@ type Config struct {
 	// Hit rates feed the optimizer's cost model through the statistics
 	// store. Use Mediator.InvalidateCaches when a source changes.
 	Cache *CacheOptions
+	// Materialize, when non-nil, enables the materialized-view manager:
+	// the listed view heads are materialized into local extents (built by
+	// running the live pipeline once, on first demand or via Refresh), and
+	// queries whose mediator conjuncts are contained in a fresh extent are
+	// served from it with zero source exchanges. Everything else — no
+	// covering view, TTL expiry, invalidation, a failed build — falls back
+	// to live expansion transparently. See Mediator.Refresh and
+	// Mediator.Invalidate for freshness control.
+	Materialize *MatViewOptions
 	// Policy is the default execution policy for every query: a per-source
 	// exchange timeout and the failure reaction (fail the query, skip the
 	// source, or skip the exchange). QueryPolicy overrides it per call.
@@ -248,6 +268,7 @@ type Mediator struct {
 	cacheCfg *wrapper.CacheOptions
 	cacheMu  sync.Mutex
 	caches   []*wrapper.Cache
+	matviews *matview.Manager
 	// fused marks specifications whose heads carry skolem object-ids:
 	// queries then evaluate against the materialized, fused view (see
 	// Query), because a condition may only hold on the fusion of
@@ -323,7 +344,25 @@ func New(cfg Config) (*Mediator, error) {
 	if err := validateSpec(cfg.Name, spec, table, m.sources); err != nil {
 		return nil, err
 	}
+	if cfg.Materialize != nil {
+		mgr, err := matview.NewManager(cfg.Name, spec, *cfg.Materialize, m.buildView)
+		if err != nil {
+			return nil, err
+		}
+		m.matviews = mgr
+	}
 	return m, nil
+}
+
+// buildView materializes one view extent for the matview manager by
+// answering its fetch query through the live pipeline (untraced: the
+// build's exchanges belong to no particular query).
+func (m *Mediator) buildView(ctx context.Context, fetch *Rule) ([]*Object, bool, error) {
+	res, err := m.queryLive(ctx, fetch, m.policy, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Objects, res.Incomplete, nil
 }
 
 // validateSpec rejects specifications with statically-detectable faults:
@@ -433,8 +472,27 @@ func (m *Mediator) QueryTraced(ctx context.Context, q *Rule) (*QueryResult, *Que
 }
 
 // queryTraced is the single answer path behind QueryPolicy and
-// QueryTraced; qt may be nil (every trace hook is a no-op then).
+// QueryTraced; qt may be nil (every trace hook is a no-op then). With
+// materialization enabled it first offers the query to the matview
+// manager; anything it declines — no covering view, staleness, a build
+// failure — runs live.
 func (m *Mediator) queryTraced(ctx context.Context, q *Rule, policy ExecPolicy, qt *trace.QueryTrace) (*QueryResult, error) {
+	ctx = trace.NewContext(ctx, qt)
+	if m.matviews != nil {
+		res, served, err := m.queryMatView(ctx, q, policy, qt)
+		if err != nil {
+			return nil, err
+		}
+		if served {
+			return res, nil
+		}
+	}
+	return m.queryLive(ctx, q, policy, qt)
+}
+
+// queryLive answers q through the ordinary pipeline: expansion against
+// the specification, planning, execution over the real sources.
+func (m *Mediator) queryLive(ctx context.Context, q *Rule, policy ExecPolicy, qt *trace.QueryTrace) (*QueryResult, error) {
 	ctx = trace.NewContext(ctx, qt)
 	if m.fused || m.needsMaterializedView(q) {
 		return m.queryFusedView(ctx, policy, q, qt)
@@ -445,6 +503,89 @@ func (m *Mediator) queryTraced(ctx context.Context, q *Rule, policy ExecPolicy, 
 	}
 	qt.Phase(trace.PhaseExecute)
 	return m.executeResult(ctx, policy, physical, qt)
+}
+
+// queryMatView offers q to the materialized-view manager and, on a hit,
+// answers it from the extents with zero source exchanges. served is
+// false whenever the live path should run instead: no covering fresh
+// extent, or any failure that isn't the caller's context ending —
+// materialization is an optimization and must never make a query fail
+// that live expansion could answer.
+func (m *Mediator) queryMatView(ctx context.Context, q *Rule, policy ExecPolicy, qt *trace.QueryTrace) (res *QueryResult, served bool, err error) {
+	qt.Phase(trace.PhaseExpand)
+	sv, outcome, serr := m.matviews.Serve(ctx, q)
+	if serr != nil {
+		if ctx.Err() != nil {
+			return nil, false, serr
+		}
+		qt.Annotate("matview.error", 1)
+		return nil, false, nil
+	}
+	switch outcome {
+	case matview.Miss:
+		qt.Annotate("matview.miss", 1)
+		return nil, false, nil
+	case matview.Stale:
+		qt.Annotate("matview.stale", 1)
+		return nil, false, nil
+	}
+	qt.Annotate("matview.hit", 1)
+	if sv.Built {
+		qt.Annotate("matview.build", 1)
+	}
+
+	// Plan the rewritten query over a registry extended with the extent
+	// facades, so the optimizer prices the extents like any other source.
+	qt.Phase(trace.PhasePlan)
+	reg := wrapper.NewRegistry()
+	for _, name := range m.sources.Names() {
+		if s, ok := m.sources.Lookup(name); ok {
+			reg.Add(s)
+		}
+	}
+	extents := make(map[string]engine.MatExtent, len(sv.Extents))
+	for name, ext := range sv.Extents {
+		reg.Add(ext.Source)
+		extents[name] = engine.MatExtent{View: ext.View, Objs: ext.Objs}
+	}
+	planner := plan.New(reg, m.extfns, m.stats, m.planOpts)
+	p, perr := planner.BuildContext(ctx, &veao.Program{Rules: []*msl.Rule{sv.Query}, Decls: m.spec.Decls})
+	if perr != nil {
+		if ctx.Err() != nil {
+			return nil, false, perr
+		}
+		qt.Annotate("matview.error", 1)
+		return nil, false, nil
+	}
+
+	// Swap the extent query nodes for in-memory scans: same semantics,
+	// zero exchanges.
+	root := engine.SubstituteMatScan(p.Root, extents)
+	qt.Phase(trace.PhaseExecute)
+	ex := &engine.Executor{
+		Sources:     reg,
+		Extfn:       m.extfns,
+		IDGen:       m.gen,
+		Stats:       m.stats,
+		Recorder:    qt,
+		Parallelism: m.parallel,
+		QueryBatch:  m.batch,
+		Pipeline:    m.pipeline,
+		Policy:      policy,
+	}
+	if m.trace != nil {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		ex.Trace = m.trace
+	}
+	res, rerr := ex.RunResult(ctx, root)
+	if rerr != nil {
+		return nil, false, rerr
+	}
+	// An extent built from a degraded (skipping-policy) run is a lower
+	// bound; answers served from it are too.
+	res.Incomplete = res.Incomplete || sv.Incomplete
+	return res, true, nil
 }
 
 // needsMaterializedView reports query forms that per-rule expansion
@@ -822,7 +963,68 @@ func (m *Mediator) InvalidateCaches() {
 	m.cacheMu.Lock()
 	defer m.cacheMu.Unlock()
 	for _, c := range m.caches {
-		c.Invalidate()
+		c.Invalidate("")
+	}
+}
+
+// Invalidate marks every cached derivation of name — answer caches and
+// materialized-view extents alike — as stale, in one call. name selects:
+//
+//   - a source name: that source's answer cache is dropped and every
+//     materialized view depending on it is marked stale;
+//   - a view label (with Config.Materialize): that view's extent is
+//     marked stale;
+//   - "": everything.
+//
+// Stale extents keep serving the live-fallback path until a background
+// refresh replaces them; the next contained query triggers one.
+// Invalidate returns the number of view extents it marked stale.
+func (m *Mediator) Invalidate(name string) int {
+	m.cacheMu.Lock()
+	for _, c := range m.caches {
+		c.Invalidate(name)
+	}
+	m.cacheMu.Unlock()
+	if m.matviews == nil {
+		return 0
+	}
+	return m.matviews.Invalidate(name)
+}
+
+// Refresh rebuilds the named materialized view's extent synchronously
+// (label "" rebuilds all of them, in declaration order), through the
+// live pipeline. A no-op without Config.Materialize. Use it to warm
+// extents ahead of traffic instead of paying the build on first query.
+func (m *Mediator) Refresh(ctx context.Context, label string) error {
+	if m.matviews == nil {
+		return nil
+	}
+	return m.matviews.Refresh(ctx, label)
+}
+
+// MatViewStats snapshots the materialized-view manager's counters; the
+// zero value when Config.Materialize is unset.
+func (m *Mediator) MatViewStats() MatViewStats {
+	if m.matviews == nil {
+		return MatViewStats{}
+	}
+	return m.matviews.Stats()
+}
+
+// MatViews returns the labels of the materialized views, in declaration
+// order; empty without Config.Materialize.
+func (m *Mediator) MatViews() []string {
+	if m.matviews == nil {
+		return nil
+	}
+	return m.matviews.Labels()
+}
+
+// WaitMatViews blocks until every in-flight background extent refresh
+// has finished — deterministic shutdown and tests.
+func (m *Mediator) WaitMatViews() {
+	if m.matviews != nil {
+		m.matviews.Wait()
 	}
 }
 
