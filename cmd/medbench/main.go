@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -53,6 +54,7 @@ func main() {
 	reps := flag.Int("reps", 20, "timing repetitions per measurement (median reported)")
 	snapshot := flag.String("snapshot", "", "write a JSON snapshot of the executor measurements (batching, caching, pipelining) to this file and exit")
 	matviewOut := flag.String("matview", "", "write a JSON snapshot of the materialized-view measurements (live vs cold vs warm) to this file and exit")
+	parallelOut := flag.String("parallel", "", "write a JSON snapshot of the columnar/morsel executor measurements (BENCH_1's E-BATCH and E-PIPE rows at parallelism 1 and GOMAXPROCS) to this file and exit")
 	traceJSON := flag.String("trace-json", "", "run the paper's Q1 under EXPLAIN ANALYZE and write the structured trace (phases, per-node rows, source latency) as JSON to this file, then exit")
 	flag.DurationVar(&queryTimeout, "timeout", 0, "per-query deadline for measured queries (e.g. 30s); 0 means none")
 	flag.Parse()
@@ -66,6 +68,10 @@ func main() {
 	}
 	if *matviewOut != "" {
 		runMatview(*reps, *matviewOut)
+		return
+	}
+	if *parallelOut != "" {
+		runParallelSnapshot(*reps, *parallelOut)
 		return
 	}
 	all := !*figures && !*perf
@@ -383,9 +389,10 @@ type snapshotResult struct {
 }
 
 type snapshotFile struct {
-	Tool    string           `json:"tool"`
-	Reps    int              `json:"reps"`
-	Results []snapshotResult `json:"results"`
+	Tool       string           `json:"tool"`
+	Reps       int              `json:"reps"`
+	GoMaxProcs int              `json:"gomaxprocs,omitempty"`
+	Results    []snapshotResult `json:"results"`
 }
 
 // measure runs the query once to read the per-run exchange/query deltas
@@ -488,6 +495,68 @@ func runSnapshot(reps int, path string) {
 		})
 	}
 
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d measurements)\n", path, len(snap.Results))
+}
+
+// runParallelSnapshot measures the columnar executor under explicit
+// parallelism degrees and writes the results as JSON (the BENCH_5.json
+// artifact checked into the repo). The rows mirror BENCH_1's E-BATCH and
+// E-PIPE full-view rows — same workload, same knobs — with the morsel
+// worker count pinned to 1 (the serial floor: it must not regress the
+// pre-columnar numbers) and to GOMAXPROCS (the default degree, where the
+// ≥1.5x target over BENCH_1 is measured).
+func runParallelSnapshot(reps int, path string) {
+	snap := snapshotFile{Tool: "medbench -parallel", Reps: reps, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	fullView := `P :- P:<cs_person {<name N>}>@med.`
+	opts := medmaker.PlanOptions{PushConditions: true, Parameterize: true, DupElim: true}
+	mk := func(batch, par int, pipeline bool) *medmaker.Mediator {
+		staff := must(workload.GenStaff(workload.StaffConfig{
+			Persons: 300, Departments: 4, EmployeeFraction: 0.5, Irregularity: 0.3, Seed: 1,
+		}))
+		return must(medmaker.New(medmaker.Config{
+			Name: "med", Spec: specMS1,
+			Sources: []medmaker.Source{
+				medmaker.NewRelationalWrapper("cs", staff.DB),
+				medmaker.NewRecordWrapper("whois", staff.Store),
+			},
+			Plan: &opts, QueryBatch: batch, Parallelism: par, Pipeline: pipeline,
+		}))
+	}
+	degrees := []int{1, runtime.GOMAXPROCS(0)}
+	if degrees[1] == 1 {
+		degrees = degrees[:1] // single-CPU host: the two degrees coincide
+	}
+	for _, par := range degrees {
+		for _, batch := range []int{1, medmaker.DefaultQueryBatch} {
+			ns, ex, qs, _ := measure(reps, mk(batch, par, false), fullView)
+			snap.Results = append(snap.Results, snapshotResult{
+				ID: "E-BATCH", Config: fmt.Sprintf("batch=%d,par=%d", batch, par),
+				Metric: "full view, 300 persons", NsPerOp: ns, Exchanges: ex, Queries: qs,
+			})
+		}
+	}
+	for _, par := range degrees {
+		ns, ex, qs, _ := measure(reps, mk(1, par, false), fullView)
+		snap.Results = append(snap.Results, snapshotResult{
+			ID: "E-PIPE", Config: fmt.Sprintf("sequential,par=%d", par),
+			Metric: "full view, 300 persons", NsPerOp: ns, Exchanges: ex, Queries: qs,
+		})
+		ns, ex, qs, _ = measure(reps, mk(1, par, true), fullView)
+		snap.Results = append(snap.Results, snapshotResult{
+			ID: "E-PIPE", Config: fmt.Sprintf("pipelined,par=%d", par),
+			Metric: "full view, 300 persons", NsPerOp: ns, Exchanges: ex, Queries: qs,
+		})
+	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "medbench: %v\n", err)

@@ -71,12 +71,12 @@ func TestQueryNodeLeaf(t *testing.T) {
 	if out.Len() != 2 {
 		t.Fatalf("query node produced %d rows", out.Len())
 	}
-	b, _ := out.Rows[0].Lookup("N")
+	b, _ := out.Row(0).Lookup("N")
 	if !b.Val.Equal(oem.String("Joe Chung")) {
 		t.Fatalf("N = %v", b)
 	}
 	// Projection: only the needed vars survive.
-	if _, bound := out.Rows[0].Lookup("_O"); bound {
+	if _, bound := out.Row(0).Lookup("_O"); bound {
 		t.Fatal("projection kept an unneeded variable")
 	}
 	if n.Label() != "query(whois)" {
@@ -107,7 +107,7 @@ func TestParamQueryNode(t *testing.T) {
 		t.Fatalf("param query produced %d rows", out.Len())
 	}
 	// Join consistency: each row's R matched the person's relation.
-	for _, row := range out.Rows {
+	for _, row := range out.Envs() {
 		nB, _ := row.Lookup("N")
 		fnB, _ := row.Lookup("FN")
 		name := string(nB.Val.(oem.String))
@@ -159,7 +159,7 @@ func TestExtPredNode(t *testing.T) {
 	if out.Len() != 2 {
 		t.Fatalf("extpred produced %d rows", out.Len())
 	}
-	for _, row := range out.Rows {
+	for _, row := range out.Envs() {
 		if _, ok := row.Lookup("LN"); !ok {
 			t.Fatal("LN not bound")
 		}
@@ -322,9 +322,9 @@ func TestParallelExecutionMatchesSequential(t *testing.T) {
 	if a.Len() != b.Len() {
 		t.Fatalf("parallel %d rows vs sequential %d", b.Len(), a.Len())
 	}
-	for i := range a.Rows {
-		if !a.Rows[i].Equal(b.Rows[i]) {
-			t.Fatalf("row %d differs: %v vs %v", i, a.Rows[i], b.Rows[i])
+	for i := 0; i < a.Len(); i++ {
+		if !a.Row(i).Equal(b.Row(i)) {
+			t.Fatalf("row %d differs: %v vs %v", i, a.Row(i), b.Row(i))
 		}
 	}
 	// Parallel error propagation: unknown source inside a fan-out.

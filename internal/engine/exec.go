@@ -60,6 +60,10 @@ type Executor struct {
 	// PipelineRows is the row-batch size pipelined execution streams
 	// between operators (0 = DefaultPipelineRows).
 	PipelineRows int
+	// MorselRows is how many rows of a local operator's input one worker
+	// claims at a time when fanning out morsel-parallel (0 =
+	// DefaultMorselRows).
+	MorselRows int
 	// Policy bounds and degrades per-source work: a per-exchange timeout
 	// and what to do when a source fails (abort, skip the source, or
 	// skip the exchange). The zero value reproduces the paper's
@@ -191,9 +195,12 @@ func (ex *Executor) RunResult(ctx context.Context, n Node) (*Result, error) {
 		return nil, err
 	}
 	out := make([]*oem.Object, 0, t.Len())
-	for _, row := range t.Rows {
-		b, ok := row.Lookup(ResultVar)
-		if !ok || b.Obj == nil {
+	col := t.Column(ResultVar)
+	if col == nil && t.Len() > 0 {
+		return nil, fmt.Errorf("engine: graph output lacks a %s column", ResultVar)
+	}
+	for _, b := range col {
+		if b.Obj == nil {
 			return nil, fmt.Errorf("engine: graph output row lacks a %s object", ResultVar)
 		}
 		out = append(out, b.Obj)

@@ -33,12 +33,12 @@ func (n *FuseNode) run(rs *runState, kids []*Table) (*Table, error) {
 	in := kids[0]
 	byOID := make(map[oem.OID]*oem.Object, in.Len())
 	var order []*oem.Object
-	for i, row := range in.Rows {
+	results := in.Column(ResultVar)
+	for i, b := range results {
 		if err := checkStride(rs, i); err != nil {
 			return nil, err
 		}
-		b, ok := row.Lookup(ResultVar)
-		if !ok || b.Obj == nil {
+		if b.Obj == nil {
 			continue
 		}
 		obj := b.Obj
@@ -50,19 +50,19 @@ func (n *FuseNode) run(rs *runState, kids []*Table) (*Table, error) {
 		}
 		mergeInto(prev, obj)
 	}
-	out := &Table{Cols: []string{ResultVar}}
+	out := newProjTable([]string{ResultVar})
 	for _, obj := range order {
-		env, _ := match.Env(nil).Extend(ResultVar, match.BindObj(obj))
-		out.Rows = append(out.Rows, env)
+		out.AppendBinding(ResultVar, match.BindObj(obj))
 	}
 	return out, nil
 }
 
 // mergeInto unions src's subobjects into dst, skipping members that are
-// structural duplicates of ones already present. Atomic-valued objects
-// cannot be unioned; the first derivation wins and later atomic values
-// are dropped (the specification promised equal-id objects denote one
-// entity, so a conflict is a data-quality issue, not an engine one).
+// structural duplicates of ones already present (hash-indexed via
+// oem.Deduper). Atomic-valued objects cannot be unioned; the first
+// derivation wins and later atomic values are dropped (the specification
+// promised equal-id objects denote one entity, so a conflict is a
+// data-quality issue, not an engine one).
 func mergeInto(dst, src *oem.Object) {
 	dstSet, dstOK := dst.Value.(oem.Set)
 	srcSet, srcOK := src.Value.(oem.Set)
@@ -75,14 +75,21 @@ func mergeInto(dst, src *oem.Object) {
 	if !dstOK || !srcOK {
 		return
 	}
-outer:
-	for _, member := range srcSet {
-		for _, have := range dstSet {
-			if have.StructuralEqual(member) {
-				continue outer
-			}
-		}
-		dstSet = append(dstSet, member)
+	seen := oem.NewDeduper(len(dstSet) + len(srcSet))
+	for _, have := range dstSet {
+		seen.Seen(have)
 	}
-	dst.Value = dstSet
+	changed := false
+	for _, member := range srcSet {
+		if !seen.Seen(member) {
+			dstSet = append(dstSet, member)
+			changed = true
+		}
+	}
+	if changed {
+		dst.Value = dstSet
+		// dst's subtree changed under it: drop its memoized hash (the
+		// only place MedMaker mutates an object after it may be shared).
+		dst.InvalidateHash()
+	}
 }

@@ -17,10 +17,9 @@ func (n *tableNode) OutVars() []string                       { return n.t.Cols }
 func (n *tableNode) run(*runState, []*Table) (*Table, error) { return n.t, nil }
 
 func resultTable(objs ...*oem.Object) *Table {
-	t := &Table{Cols: []string{ResultVar}}
+	t := newProjTable([]string{ResultVar})
 	for _, o := range objs {
-		env, _ := match.Env(nil).Extend(ResultVar, match.BindObj(o))
-		t.Rows = append(t.Rows, env)
+		t.AppendBinding(ResultVar, match.BindObj(o))
 	}
 	return t
 }
@@ -43,7 +42,7 @@ func TestFuseMergesSameOID(t *testing.T) {
 	if out.Len() != 2 {
 		t.Fatalf("fused to %d objects, want 2", out.Len())
 	}
-	fusedBinding, _ := out.Rows[0].Lookup(ResultVar)
+	fusedBinding, _ := out.Row(0).Lookup(ResultVar)
 	fused := fusedBinding.Obj
 	if fused.OID != "&pub(1)" {
 		t.Fatalf("first fused oid %s", fused.OID)
@@ -81,7 +80,7 @@ func TestFuseAtomicConflictKeepsFirst(t *testing.T) {
 	if out.Len() != 1 {
 		t.Fatalf("rows: %d", out.Len())
 	}
-	got, _ := out.Rows[0].Lookup(ResultVar)
+	got, _ := out.Row(0).Lookup(ResultVar)
 	if v, _ := got.Obj.AtomString(); v != "ok" {
 		t.Fatalf("first derivation should win, got %q", v)
 	}
@@ -98,8 +97,8 @@ func TestFuseOrderPreserved(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first, _ := out.Rows[0].Lookup(ResultVar)
-	second, _ := out.Rows[1].Lookup(ResultVar)
+	first, _ := out.Row(0).Lookup(ResultVar)
+	second, _ := out.Row(1).Lookup(ResultVar)
 	if first.Obj.OID != "&b" || second.Obj.OID != "&a" {
 		t.Fatalf("first-appearance order lost: %s, %s", first.Obj.OID, second.Obj.OID)
 	}

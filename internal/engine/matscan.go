@@ -47,12 +47,13 @@ func (n *MatScanNode) Label() string {
 func (n *MatScanNode) run(rs *runState, kids []*Table) (*Table, error) {
 	inputRows := []match.Env{nil}
 	if len(kids) == 1 {
-		inputRows = kids[0].Rows
+		inputRows = kids[0].Envs()
 	}
 	// Distinct instantiations share one local evaluation, mirroring the
-	// batched query path's deduplication.
+	// batched query path's deduplication; the shared memo keeps this scan
+	// serial (extents are typically small, the memo carries the savings).
 	memo := make(map[string][]*oem.Object)
-	out := &Table{Cols: n.Needed}
+	out := outTable(n.Needed)
 	for i, row := range inputRows {
 		if err := checkStride(rs, i); err != nil {
 			return nil, err
@@ -80,7 +81,9 @@ func (n *MatScanNode) run(rs *runState, kids []*Table) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		out.Rows = append(out.Rows, envs...)
+		for _, e := range envs {
+			out.AppendEnv(e)
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the engine's morsel scheduler. Local operators —
+// extraction over fetched answers, external predicates, hash-join build
+// and probe, dedup hashing, cross products — split their input table
+// into fixed-size runs of rows ("morsels") executed on a bounded worker
+// pool of Executor.Parallelism goroutines. Each morsel produces an
+// independent output chunk; callers concatenate chunks in morsel order,
+// so parallel results are byte-identical to the serial loop. Workers
+// claim morsels from a shared atomic counter (work stealing by
+// oversubscription: morsels are small, so an uneven morsel costs little
+// tail latency) and poll the run's context between morsels, preserving
+// the engine's prompt-cancellation guarantee.
+
+// DefaultMorselRows is the morsel width when Executor.MorselRows is 0:
+// large enough to amortize scheduling, small enough that typical
+// mediator tables (hundreds to thousands of rows) still fan out.
+const DefaultMorselRows = 256
+
+// morselRows returns the effective morsel width.
+func (ex *Executor) morselRows() int {
+	if ex.MorselRows > 0 {
+		return ex.MorselRows
+	}
+	return DefaultMorselRows
+}
+
+// morselCount returns how many morsels a total of rows splits into.
+func (ex *Executor) morselCount(total int) int {
+	size := ex.morselRows()
+	return (total + size - 1) / size
+}
+
+// runMorsels executes fn once per morsel of [0, total), passing the
+// morsel index and its row range. With an effective worker count of 1
+// (small input, serial executor, tracing) the morsels run inline in
+// order; otherwise they run on a worker pool and fn must be safe for
+// concurrent calls on distinct morsels. The first error (or the run's
+// cancellation) stops the pool. Morsel and worker counts are reported to
+// the node's trace record.
+func (rs *runState) runMorsels(n Node, total int, fn func(m, lo, hi int) error) error {
+	size := rs.ex.morselRows()
+	morsels := rs.ex.morselCount(total)
+	if morsels == 0 {
+		return rs.cancelled()
+	}
+	workers := rs.ex.parallelism()
+	if workers > morsels {
+		workers = morsels
+	}
+	if ns := rs.nodeObs(n); ns != nil {
+		ns.AddMorsels(morsels, workers)
+	}
+	clampHi := func(lo int) int {
+		hi := lo + size
+		if hi > total {
+			hi = total
+		}
+		return hi
+	}
+	if workers <= 1 {
+		for m := 0; m < morsels; m++ {
+			if err := rs.cancelled(); err != nil {
+				return err
+			}
+			lo := m * size
+			if err := fn(m, lo, clampHi(lo)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var next atomic.Int64
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				m := int(next.Add(1)) - 1
+				if m >= morsels {
+					return
+				}
+				if err := rs.cancelled(); err != nil {
+					errs[w] = err
+					return
+				}
+				lo := m * size
+				if err := fn(m, lo, clampHi(lo)); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

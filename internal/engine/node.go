@@ -2,8 +2,10 @@ package engine
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"medmaker/internal/build"
@@ -120,32 +122,36 @@ func (n *QueryNode) run(rs *runState, kids []*Table) (*Table, error) {
 	}
 	inputRows := []match.Env{nil}
 	if len(kids) == 1 {
-		inputRows = kids[0].Rows
+		inputRows = kids[0].Envs()
 	}
 	if ex.queryBatch() > 1 && len(kids) == 1 {
 		rows, err := n.runBatched(rs, src, inputRows, nil)
 		if err != nil {
 			return nil, err
 		}
-		return &Table{Cols: n.Needed, Rows: rows}, nil
+		return tableFromEnvs(n.Needed, rows), nil
 	}
 	workers := ex.parallelism()
 	if workers > len(inputRows) {
 		workers = len(inputRows)
 	}
 	if workers <= 1 {
-		out := &Table{Cols: n.Needed}
+		out := outTable(n.Needed)
 		for _, row := range inputRows {
 			rows, err := n.runRow(rs, src, row)
 			if err != nil {
 				return nil, err
 			}
-			out.Rows = append(out.Rows, rows...)
+			for _, e := range rows {
+				out.AppendEnv(e)
+			}
 		}
 		return out, nil
 	}
-	// Fan the input tuples across workers; per-row results are collected
-	// in input order so parallel and sequential plans agree exactly.
+	// Fan the input tuples across workers round-robin (each tuple is one
+	// source exchange, so latency hiding beats morsel locality here);
+	// per-row results are collected in input order so parallel and
+	// sequential plans agree exactly.
 	perRow := make([][]match.Env, len(inputRows))
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -169,11 +175,23 @@ func (n *QueryNode) run(rs *runState, kids []*Table) (*Table, error) {
 			return nil, err
 		}
 	}
-	out := &Table{Cols: n.Needed}
+	out := outTable(n.Needed)
 	for _, rows := range perRow {
-		out.Rows = append(out.Rows, rows...)
+		for _, e := range rows {
+			out.AppendEnv(e)
+		}
 	}
 	return out, nil
+}
+
+// tableFromEnvs wraps already-projected rows into an operator output
+// table.
+func tableFromEnvs(needed []string, rows []match.Env) *Table {
+	out := outTable(needed)
+	for _, e := range rows {
+		out.AppendEnv(e)
+	}
+	return out
 }
 
 // querySource performs one single-query exchange under the run's context
@@ -248,13 +266,37 @@ func (n *QueryNode) paramKey(vals map[string]oem.Value) string {
 	if len(vals) == 0 {
 		return ""
 	}
-	var sb strings.Builder
+	// Hand-rolled formatting: this runs once per input row and fmt's
+	// reflection dominated the batched path's profile.
+	buf := make([]byte, 0, 48)
 	for _, p := range n.ParamVars {
-		if v, ok := vals[p]; ok {
-			fmt.Fprintf(&sb, "%s=%T:%s;", p, v, v.String())
+		v, ok := vals[p]
+		if !ok {
+			continue
 		}
+		buf = append(buf, p...)
+		buf = append(buf, '=')
+		switch v := v.(type) {
+		case oem.String:
+			buf = append(buf, 's', ':')
+			buf = append(buf, v...)
+		case oem.Int:
+			buf = append(buf, 'i', ':')
+			buf = strconv.AppendInt(buf, int64(v), 10)
+		case oem.Float:
+			buf = append(buf, 'f', ':')
+			buf = strconv.AppendFloat(buf, float64(v), 'g', -1, 64)
+		case oem.Bool:
+			buf = append(buf, 'b', ':')
+			buf = strconv.AppendBool(buf, bool(v))
+		default:
+			buf = append(buf, v.Kind().String()...)
+			buf = append(buf, ':')
+			buf = append(buf, v.String()...)
+		}
+		buf = append(buf, ';')
 	}
-	return sb.String()
+	return string(buf)
 }
 
 // extract matches the source's answer against the extraction pattern
@@ -327,16 +369,27 @@ func (n *QueryNode) runBatched(rs *runState, src wrapper.Source, rows []match.En
 	if err := n.fetchBatches(rs, src, pendingKeys, pending, memo); err != nil {
 		return nil, err
 	}
+	// Extraction over the fetched answers is pure CPU — pattern matching
+	// under each input row — so it fans out morsel-parallel; chunks
+	// concatenate in morsel order, preserving the serial output exactly.
+	chunks := make([][]match.Env, rs.ex.morselCount(len(rows)))
+	if err := rs.runMorsels(n, len(rows), func(m, lo, hi int) error {
+		var part []match.Env
+		for i := lo; i < hi; i++ {
+			envs, err := n.extract(rows[i], memo[keys[i]].objs)
+			if err != nil {
+				return err
+			}
+			part = append(part, envs...)
+		}
+		chunks[m] = part
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	var out []match.Env
-	for i, row := range rows {
-		if err := checkStride(rs, i); err != nil {
-			return nil, err
-		}
-		envs, err := n.extract(row, memo[keys[i]].objs)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, envs...)
+	for _, part := range chunks {
+		out = append(out, part...)
 	}
 	return out, nil
 }
@@ -345,67 +398,126 @@ func (n *QueryNode) runBatched(rs *runState, src wrapper.Source, rows []match.En
 // Executor.QueryBatch per exchange for batch-capable sources and one
 // exchange per query otherwise, applying the run's failure policy to
 // every exchange: a failed exchange's queries answer empty under
-// Skip/Partial instead of aborting the run.
+// Skip/Partial instead of aborting the run. Independent exchanges run
+// concurrently up to Executor.Parallelism — answers land in the memo
+// keyed by their instantiated query, so exchange completion order never
+// affects the output (extraction replays the input-row order).
 func (n *QueryNode) fetchBatches(rs *runState, src wrapper.Source, keys []string, pending map[string]*msl.Rule, memo map[string]*answerSet) error {
-	ex := rs.ex
-	size := ex.queryBatch()
+	if len(keys) == 0 {
+		return nil
+	}
+	size := rs.ex.queryBatch()
 	canBatch := false
 	if _, ok := src.(wrapper.BatchQuerier); ok {
 		canBatch = true
 	} else if _, ok := src.(wrapper.ContextBatchQuerier); ok {
 		canBatch = true
 	}
+	var chunks [][]string
 	for start := 0; start < len(keys); start += size {
-		if err := rs.cancelled(); err != nil {
-			return err
-		}
 		end := start + size
 		if end > len(keys) {
 			end = len(keys)
 		}
-		chunk := keys[start:end]
-		if canBatch && len(chunk) > 1 {
-			if rs.sourceDown(n.Source) {
-				for _, k := range chunk {
-					memo[k] = &answerSet{}
-				}
-				continue
-			}
-			qs := make([]*msl.Rule, len(chunk))
-			for i, k := range chunk {
-				qs[i] = pending[k]
-			}
-			ctx, cancel := rs.sourceCtx(n)
-			batchStart := time.Now()
-			res, err := wrapper.QueryBatchContext(ctx, src, qs)
-			elapsed := time.Since(batchStart)
-			cancel()
-			if err != nil {
-				if ferr := rs.sourceFailed(n.Source, err); ferr != nil {
-					return ferr
-				}
-				for _, k := range chunk {
-					memo[k] = &answerSet{}
-				}
-				continue
-			}
-			if len(res) != len(qs) {
-				return fmt.Errorf("engine: batch query to %s returned %d answers for %d queries", n.Source, len(res), len(qs))
-			}
-			rs.recordExchange(n, len(chunk), elapsed)
-			for i, k := range chunk {
-				memo[k] = &answerSet{objs: res[i]}
-				ex.recordQuery(n.Source, n.Send, len(res[i]))
-			}
-			continue
-		}
-		for _, k := range chunk {
-			objs, _, err := n.querySource(rs, src, pending[k])
-			if err != nil {
+		chunks = append(chunks, keys[start:end])
+	}
+	var mu sync.Mutex
+	store := func(k string, a *answerSet) {
+		mu.Lock()
+		memo[k] = a
+		mu.Unlock()
+	}
+	workers := rs.ex.parallelism()
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	if workers <= 1 {
+		for _, chunk := range chunks {
+			if err := rs.cancelled(); err != nil {
 				return err
 			}
-			memo[k] = &answerSet{objs: objs}
+			if err := n.fetchChunk(rs, src, chunk, pending, canBatch, store); err != nil {
+				return err
+			}
 		}
+		return nil
+	}
+	var next atomic.Int64
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= len(chunks) {
+					return
+				}
+				if err := rs.cancelled(); err != nil {
+					errs[w] = err
+					return
+				}
+				if err := n.fetchChunk(rs, src, chunks[c], pending, canBatch, store); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fetchChunk performs one exchange's worth of queries: a single batched
+// exchange for batch-capable sources, one exchange per query otherwise.
+func (n *QueryNode) fetchChunk(rs *runState, src wrapper.Source, chunk []string, pending map[string]*msl.Rule, canBatch bool, store func(string, *answerSet)) error {
+	if canBatch && len(chunk) > 1 {
+		if rs.sourceDown(n.Source) {
+			for _, k := range chunk {
+				store(k, &answerSet{})
+			}
+			return nil
+		}
+		qs := make([]*msl.Rule, len(chunk))
+		for i, k := range chunk {
+			qs[i] = pending[k]
+		}
+		ctx, cancel := rs.sourceCtx(n)
+		batchStart := time.Now()
+		res, err := wrapper.QueryBatchContext(ctx, src, qs)
+		elapsed := time.Since(batchStart)
+		cancel()
+		if err != nil {
+			if ferr := rs.sourceFailed(n.Source, err); ferr != nil {
+				return ferr
+			}
+			for _, k := range chunk {
+				store(k, &answerSet{})
+			}
+			return nil
+		}
+		if len(res) != len(qs) {
+			return fmt.Errorf("engine: batch query to %s returned %d answers for %d queries", n.Source, len(res), len(qs))
+		}
+		rs.recordExchange(n, len(chunk), elapsed)
+		for i, k := range chunk {
+			store(k, &answerSet{objs: res[i]})
+			rs.ex.recordQuery(n.Source, n.Send, len(res[i]))
+		}
+		return nil
+	}
+	for _, k := range chunk {
+		objs, _, err := n.querySource(rs, src, pending[k])
+		if err != nil {
+			return err
+		}
+		store(k, &answerSet{objs: objs})
 	}
 	return nil
 }
@@ -441,21 +553,30 @@ func (n *ExtPredNode) Kids() []Node { return []Node{n.Child} }
 func (n *ExtPredNode) OutVars() []string { return n.Needed }
 
 func (n *ExtPredNode) run(rs *runState, kids []*Table) (*Table, error) {
-	out := &Table{Cols: n.Needed}
-	for i, row := range kids[0].Rows {
-		if err := checkStride(rs, i); err != nil {
-			return nil, err
-		}
-		envs, err := rs.ex.Extfn.Eval(n.Pred, row)
-		if err != nil {
-			return nil, err
-		}
-		for _, e := range envs {
-			if len(n.Needed) > 0 {
-				e = e.Project(n.Needed)
+	// Predicate evaluation is per-tuple pure CPU, so rows fan out
+	// morsel-parallel; per-morsel chunks concatenate in order, matching
+	// the serial loop exactly.
+	in := kids[0]
+	chunks := make([]*Table, rs.ex.morselCount(in.Len()))
+	if err := rs.runMorsels(n, in.Len(), func(m, lo, hi int) error {
+		chunk := outTable(n.Needed)
+		for i := lo; i < hi; i++ {
+			envs, err := rs.ex.Extfn.Eval(n.Pred, in.Row(i))
+			if err != nil {
+				return err
 			}
-			out.Rows = append(out.Rows, e)
+			for _, e := range envs {
+				chunk.AppendEnv(e)
+			}
 		}
+		chunks[m] = chunk
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	out := outTable(n.Needed)
+	for _, chunk := range chunks {
+		out.appendTable(chunk)
 	}
 	return out, nil
 }
@@ -494,63 +615,182 @@ func (n *JoinNode) Kids() []Node { return []Node{n.Left, n.Right} }
 // OutVars implements Node.
 func (n *JoinNode) OutVars() []string { return n.Needed }
 
+// joinCol pairs a variable's column position in the left and right input
+// (-1 = absent from that side's schema).
+type joinCol struct{ l, r int }
+
+// joinCols computes the join's column plan: the output schema (the
+// explicit projection, or the union of both input schemas with left's
+// order first), each output variable's source columns, and the overlap —
+// variables present in both schemas, whose bindings must agree.
+func (n *JoinNode) joinCols(left, right *Table) (outVars []string, outs, overlap []joinCol) {
+	outVars = n.Needed
+	if len(outVars) == 0 {
+		outVars = append([]string(nil), left.vars...)
+		for _, v := range right.vars {
+			if _, ok := left.idx[v]; !ok {
+				outVars = append(outVars, v)
+			}
+		}
+	}
+	outs = make([]joinCol, len(outVars))
+	for i, v := range outVars {
+		outs[i] = joinCol{left.ColIndex(v), right.ColIndex(v)}
+	}
+	for _, v := range left.vars {
+		if rc, ok := right.idx[v]; ok {
+			overlap = append(overlap, joinCol{left.idx[v], rc})
+		}
+	}
+	return outVars, outs, overlap
+}
+
+// joinEmit appends the merge of left row li and right row ri to chunk,
+// unless some variable bound on both sides disagrees. For a variable
+// bound on both sides the row with more bound variables supplies the
+// binding (ties go right) — the precedence match.Env.Join established,
+// which matters when two bindings are Equal but not identical (Int 3
+// joins Float 3.0).
+func joinEmit(chunk, left, right *Table, li, ri int, outs, overlap []joinCol) {
+	for _, c := range overlap {
+		lb, rb := left.cols[c.l][li], right.cols[c.r][ri]
+		if !lb.IsZero() && !rb.IsZero() && !lb.Equal(rb) {
+			return
+		}
+	}
+	leftWins := left.boundCount(li) > right.boundCount(ri)
+	for i, c := range outs {
+		var b match.Binding
+		switch {
+		case c.l >= 0 && c.r >= 0:
+			lb, rb := left.cols[c.l][li], right.cols[c.r][ri]
+			switch {
+			case lb.IsZero():
+				b = rb
+			case rb.IsZero() || leftWins:
+				b = lb
+			default:
+				b = rb
+			}
+		case c.l >= 0:
+			b = left.cols[c.l][li]
+		case c.r >= 0:
+			b = right.cols[c.r][ri]
+		}
+		chunk.cols[i] = append(chunk.cols[i], b)
+	}
+	chunk.n++
+}
+
 func (n *JoinNode) run(rs *runState, kids []*Table) (*Table, error) {
 	left, right := kids[0], kids[1]
-	out := &Table{Cols: n.Needed}
-	emit := func(l, r match.Env) {
-		if joined, ok := l.Join(r); ok {
-			if len(n.Needed) > 0 {
-				joined = joined.Project(n.Needed)
-			}
-			out.Rows = append(out.Rows, joined)
+	outVars, outs, overlap := n.joinCols(left, right)
+	finish := func(chunks []*Table) *Table {
+		out := newProjTable(outVars)
+		out.Cols = n.Needed
+		for _, c := range chunks {
+			out.appendTable(c)
 		}
+		return out
 	}
 	if len(n.Shared) == 0 {
-		// A cross product multiplies row counts, so check per outer row
+		// A cross product multiplies row counts: morsel over the outer
+		// side, and with a big inner side poll cancellation per outer row
 		// — the product of two modest inputs can already be huge.
-		for i, l := range left.Rows {
-			if err := checkStride(rs, i*len(right.Rows)); err != nil {
-				return nil, err
-			}
-			if len(right.Rows) >= cancelCheckStride {
-				if err := rs.cancelled(); err != nil {
-					return nil, err
+		chunks := make([]*Table, rs.ex.morselCount(left.Len()))
+		if err := rs.runMorsels(n, left.Len(), func(m, lo, hi int) error {
+			chunk := newProjTable(outVars)
+			for i := lo; i < hi; i++ {
+				if right.Len() >= cancelCheckStride {
+					if err := rs.cancelled(); err != nil {
+						return err
+					}
+				}
+				for j := 0; j < right.Len(); j++ {
+					joinEmit(chunk, left, right, i, j, outs, overlap)
 				}
 			}
-			for _, r := range right.Rows {
-				emit(l, r)
-			}
+			chunks[m] = chunk
+			return nil
+		}); err != nil {
+			return nil, err
 		}
-		return out, nil
+		return finish(chunks), nil
 	}
-	// Hash the smaller side on the shared variables.
+	// Partitioned hash join. Build side = the smaller input. Three
+	// morsel-parallel phases: hash the build rows, partition the buckets
+	// (one worker owns each partition, scanning rows ascending so bucket
+	// order is build-row order), probe. Probe morsels emit independent
+	// chunks concatenated in probe order, and joinEmit re-checks the
+	// bindings, so the output is byte-identical to the serial join.
 	hashed, probe := right, left
 	buildRight := true
 	if left.Len() < right.Len() {
 		hashed, probe = left, right
 		buildRight = false
 	}
-	index := make(map[string][]match.Env, hashed.Len())
-	for i, r := range hashed.Rows {
-		if err := checkStride(rs, i); err != nil {
-			return nil, err
-		}
-		k := r.Key(n.Shared)
-		index[k] = append(index[k], r)
+	sharedH := make([]int, len(n.Shared))
+	sharedP := make([]int, len(n.Shared))
+	for i, v := range n.Shared {
+		sharedH[i] = hashed.ColIndex(v)
+		sharedP[i] = probe.ColIndex(v)
 	}
-	for i, p := range probe.Rows {
-		if err := checkStride(rs, i); err != nil {
-			return nil, err
+	bh := make([]uint64, hashed.Len())
+	if err := rs.runMorsels(n, hashed.Len(), func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			bh[i] = hashed.hashRow(i, sharedH)
 		}
-		for _, b := range index[p.Key(n.Shared)] {
-			if buildRight {
-				emit(p, b)
-			} else {
-				emit(b, p)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	nparts := rs.ex.parallelism()
+	if nparts > 1 && hashed.Len() < rs.ex.morselRows() {
+		nparts = 1 // a tiny build side is not worth nparts scans
+	}
+	parts := make([]map[uint64][]int32, nparts)
+	if nparts <= 1 {
+		m := make(map[uint64][]int32, hashed.Len())
+		for i, h := range bh {
+			m[h] = append(m[h], int32(i))
+		}
+		parts[0] = m
+	} else {
+		var wg sync.WaitGroup
+		for p := 0; p < nparts; p++ {
+			wg.Add(1)
+			go func(p uint64) {
+				defer wg.Done()
+				m := make(map[uint64][]int32, hashed.Len()/nparts+1)
+				for i, h := range bh {
+					if h%uint64(nparts) == p {
+						m[h] = append(m[h], int32(i))
+					}
+				}
+				parts[p] = m
+			}(uint64(p))
+		}
+		wg.Wait()
+	}
+	chunks := make([]*Table, rs.ex.morselCount(probe.Len()))
+	if err := rs.runMorsels(n, probe.Len(), func(m, lo, hi int) error {
+		chunk := newProjTable(outVars)
+		for i := lo; i < hi; i++ {
+			h := probe.hashRow(i, sharedP)
+			for _, bi := range parts[h%uint64(nparts)][h] {
+				if buildRight {
+					joinEmit(chunk, left, right, i, int(bi), outs, overlap)
+				} else {
+					joinEmit(chunk, left, right, int(bi), i, outs, overlap)
+				}
 			}
 		}
+		chunks[m] = chunk
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	return out, nil
+	return finish(chunks), nil
 }
 
 // DedupNode projects rows onto Vars and eliminates duplicate bindings —
@@ -574,15 +814,54 @@ func (n *DedupNode) Kids() []Node { return []Node{n.Child} }
 func (n *DedupNode) OutVars() []string { return n.Vars }
 
 func (n *DedupNode) run(rs *runState, kids []*Table) (*Table, error) {
-	if err := rs.cancelled(); err != nil {
+	// Row hashes are computed morsel-parallel; the scan that keeps first
+	// occurrences is inherently sequential but does only bucket lookups
+	// and (rarely) per-variable equality checks against kept rows.
+	in := kids[0]
+	cols := make([]int, len(n.Vars))
+	for i, v := range n.Vars {
+		cols[i] = in.ColIndex(v)
+	}
+	hashes := make([]uint64, in.Len())
+	if err := rs.runMorsels(n, in.Len(), func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			hashes[i] = in.hashRow(i, cols)
+		}
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	rows := match.DedupEnvs(kids[0].Rows, n.Vars)
-	projected := make([]match.Env, len(rows))
-	for i, r := range rows {
-		projected[i] = r.Project(n.Vars)
+	out := newProjTable(n.Vars)
+	byKey := make(map[uint64][]int32, in.Len())
+	for i := 0; i < in.Len(); i++ {
+		if err := checkStride(rs, i); err != nil {
+			return nil, err
+		}
+		h := hashes[i]
+		dup := false
+		for _, j := range byKey[h] {
+			eq := true
+			for c, ic := range cols {
+				if !in.binding(i, ic).Equal(out.cols[c][j]) {
+					eq = false
+					break
+				}
+			}
+			if eq {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		byKey[h] = append(byKey[h], int32(out.n))
+		for c, ic := range cols {
+			out.cols[c] = append(out.cols[c], in.binding(i, ic))
+		}
+		out.n++
 	}
-	return &Table{Cols: n.Vars, Rows: projected}, nil
+	return out, nil
 }
 
 // ConstructNode creates one set of result objects per input tuple, using
@@ -612,18 +891,20 @@ func (n *ConstructNode) Kids() []Node { return []Node{n.Child} }
 func (n *ConstructNode) OutVars() []string { return []string{ResultVar} }
 
 func (n *ConstructNode) run(rs *runState, kids []*Table) (*Table, error) {
-	out := &Table{Cols: []string{ResultVar}}
-	for i, row := range kids[0].Rows {
+	// Construction stays serial: result oids come from the shared IDGen,
+	// and serial assignment keeps them deterministic for a given plan.
+	in := kids[0]
+	out := newProjTable([]string{ResultVar})
+	for i := 0; i < in.Len(); i++ {
 		if err := checkStride(rs, i); err != nil {
 			return nil, err
 		}
-		objs, err := build.Head(n.Head, row, rs.ex.IDGen)
+		objs, err := build.Head(n.Head, in.Row(i), rs.ex.IDGen)
 		if err != nil {
 			return nil, err
 		}
 		for _, obj := range objs {
-			env, _ := match.Env(nil).Extend(ResultVar, match.BindObj(obj))
-			out.Rows = append(out.Rows, env)
+			out.AppendBinding(ResultVar, match.BindObj(obj))
 		}
 	}
 	return out, nil
@@ -654,9 +935,9 @@ func (n *UnionNode) OutVars() []string {
 }
 
 func (n *UnionNode) run(rs *runState, kids []*Table) (*Table, error) {
-	out := &Table{Cols: n.OutVars()}
+	out := newDynTable(n.OutVars())
 	for _, t := range kids {
-		out.Rows = append(out.Rows, t.Rows...)
+		out.appendTable(t)
 	}
 	return out, nil
 }

@@ -49,9 +49,11 @@ func (ex *Executor) runPipelined(rs *runState, root Node) (*Table, error) {
 		sem:    make(chan struct{}, ex.parallelism()),
 	}
 	ch := p.start(root)
-	out := &Table{Cols: root.OutVars()}
+	out := newDynTable(root.OutVars())
 	for batch := range ch {
-		out.Rows = append(out.Rows, batch...)
+		for _, e := range batch {
+			out.AppendEnv(e)
+		}
 	}
 	p.wg.Wait()
 	if p.err != nil {
@@ -264,14 +266,14 @@ func (p *pipeline) startExtPred(n *ExtPredNode, out chan []match.Env) {
 func (p *pipeline) startDedup(n *DedupNode, out chan []match.Env) {
 	in := p.start(n.Child)
 	p.spawn(out, func() error {
-		byKey := map[string][]match.Env{}
+		byKey := map[uint64][]match.Env{}
 		for batch := range in {
 			start := time.Now()
 			var rows []match.Env
 		outer:
 			for _, e := range batch {
 				proj := e.Project(n.Vars)
-				key := proj.Key(n.Vars)
+				key := proj.HashEnv(n.Vars)
 				for _, seen := range byKey[key] {
 					if seen.Equal(proj) {
 						continue outer
@@ -348,9 +350,11 @@ func (p *pipeline) startBarrier(n Node, out chan []match.Env) {
 	p.spawn(out, func() error {
 		kids := make([]*Table, len(kidNodes))
 		for i, in := range ins {
-			tbl := &Table{Cols: kidNodes[i].OutVars()}
+			tbl := newDynTable(kidNodes[i].OutVars())
 			for batch := range in {
-				tbl.Rows = append(tbl.Rows, batch...)
+				for _, e := range batch {
+					tbl.AppendEnv(e)
+				}
 			}
 			kids[i] = tbl
 		}
@@ -363,7 +367,7 @@ func (p *pipeline) startBarrier(n Node, out chan []match.Env) {
 			return fmt.Errorf("%s: %w", n.Label(), err)
 		}
 		p.rs.observeNode(n, kids, res, time.Since(start))
-		p.sendSliced(out, res.Rows)
+		p.sendSliced(out, res.Envs())
 		return nil
 	})
 }

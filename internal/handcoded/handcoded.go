@@ -129,18 +129,5 @@ func retag(o *oem.Object, gen *oem.IDGen) *oem.Object {
 }
 
 func dedup(objs []*oem.Object) []*oem.Object {
-	byHash := map[uint64][]*oem.Object{}
-	out := objs[:0:0]
-outer:
-	for _, o := range objs {
-		h := o.StructuralHash()
-		for _, prev := range byHash[h] {
-			if prev.StructuralEqual(o) {
-				continue outer
-			}
-		}
-		byHash[h] = append(byHash[h], o)
-		out = append(out, o)
-	}
-	return out
+	return oem.DedupStructural(objs, nil)
 }

@@ -13,6 +13,7 @@ package match
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 	"strings"
 
@@ -53,6 +54,13 @@ func (b Binding) Equal(o Binding) bool {
 	return b.Val.Equal(o.Val)
 }
 
+// unboundHash is the hash of the zero (unbound) Binding. It is a fixed
+// random-looking constant rather than 0: unbound bindings must hash
+// equal to each other (zero bindings compare Equal) but must not share a
+// hash bucket with whatever else happens to hash to 0, so sparse join
+// keys and dedup projections over partially-bound rows spread normally.
+const unboundHash = 0x9ae16a3b2f90404f
+
 // Hash returns a hash consistent with Equal, for join and
 // duplicate-elimination indexes.
 func (b Binding) Hash() uint64 {
@@ -60,7 +68,7 @@ func (b Binding) Hash() uint64 {
 		return b.Obj.StructuralHash() ^ 0x9e3779b97f4a7c15
 	}
 	if b.Val == nil {
-		return 0
+		return unboundHash
 	}
 	return oem.HashValue(b.Val)
 }
@@ -107,9 +115,11 @@ func (e Env) Extend(name string, b Binding) (Env, bool) {
 		}
 		return nil, false
 	}
-	out := make(Env, len(e)+1)
-	for k, v := range e {
-		out[k] = v
+	// maps.Clone uses the runtime's bulk copy, noticeably cheaper than a
+	// rehash loop for the small environments matching produces.
+	out := maps.Clone(e)
+	if out == nil {
+		out = make(Env, 1)
 	}
 	out[name] = b
 	return out, true
@@ -158,6 +168,42 @@ func (e Env) Key(vars []string) string {
 	return sb.String()
 }
 
+// Row-hash mixing constants: FNV-64a's offset basis and prime. HashSeed
+// starts a row hash; MixHash folds in one binding hash. The mix is
+// order-dependent, so callers must fold a fixed variable order.
+const (
+	HashSeed  uint64 = 14695981039346656037
+	hashPrime uint64 = 1099511628211
+)
+
+// MixHash folds one 64-bit value into a running row hash.
+func MixHash(h, v uint64) uint64 { return (h ^ v) * hashPrime }
+
+// HashEnv hashes the environment's projection onto vars, in order:
+// projections that are Equal (including matching absences) hash equally,
+// making it the numeric successor of Key for join and dedup indexes —
+// no string formatting, no allocation.
+func (e Env) HashEnv(vars []string) uint64 {
+	h := HashSeed
+	for _, v := range vars {
+		h = MixHash(h, e[v].Hash())
+	}
+	return h
+}
+
+// projEqual reports whether two environments agree on every listed
+// variable: bound in both to Equal values, or bound in neither.
+func projEqual(a, b Env, vars []string) bool {
+	for _, v := range vars {
+		ab, aok := a[v]
+		bb, bok := b[v]
+		if aok != bok || !ab.Equal(bb) {
+			return false
+		}
+	}
+	return true
+}
+
 // Names returns the bound variable names, sorted.
 func (e Env) Names() []string {
 	out := make([]string, 0, len(e))
@@ -195,21 +241,22 @@ func (e Env) Equal(o Env) bool {
 
 // DedupEnvs removes duplicate environments with respect to the given
 // variables (the projection step before object construction; MSL
-// semantics eliminate duplicated bindings).
+// semantics eliminate duplicated bindings). First occurrences win.
+// Buckets are keyed by the numeric projection hash — no per-row
+// projection copies or string keys — with per-variable equality
+// restoring exactness on collision.
 func DedupEnvs(envs []Env, vars []string) []Env {
-	type slot struct{ env Env }
-	byKey := make(map[string][]slot, len(envs))
+	byKey := make(map[uint64][]Env, len(envs))
 	out := envs[:0:0]
 outer:
 	for _, e := range envs {
-		p := e.Project(vars)
-		key := p.Key(vars)
-		for _, s := range byKey[key] {
-			if s.env.Equal(p) {
+		h := e.HashEnv(vars)
+		for _, prev := range byKey[h] {
+			if projEqual(prev, e, vars) {
 				continue outer
 			}
 		}
-		byKey[key] = append(byKey[key], slot{p})
+		byKey[h] = append(byKey[h], e)
 		out = append(out, e)
 	}
 	return out

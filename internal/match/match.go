@@ -7,15 +7,90 @@ import (
 	"medmaker/internal/oem"
 )
 
+// eenv is the matcher's internal environment: a base Env plus a
+// persistent chain of extensions. Set-pattern matching enumerates many
+// candidate bindings and discards most of them; extending a chain is one
+// small allocation, where extending a map copies every entry, so the map
+// is only built — by materialize — for environments that survive the
+// whole pattern.
+type eenv struct {
+	base Env
+	node *extNode
+	n    int // chain length, to size the materialized map
+}
+
+// extNode is one extension; chains share tails, so sibling branches of
+// the set-pattern enumeration never copy each other's bindings.
+type extNode struct {
+	prev *extNode
+	name string
+	b    Binding
+}
+
+func (e eenv) lookup(name string) (Binding, bool) {
+	for nd := e.node; nd != nil; nd = nd.prev {
+		if nd.name == name {
+			return nd.b, true
+		}
+	}
+	b, ok := e.base[name]
+	return b, ok
+}
+
+// extend mirrors Env.Extend: already-bound names must agree, new names
+// grow the chain.
+func (e eenv) extend(name string, b Binding) (eenv, bool) {
+	if prev, bound := e.lookup(name); bound {
+		if prev.Equal(b) {
+			return e, true
+		}
+		return eenv{}, false
+	}
+	return eenv{base: e.base, node: &extNode{prev: e.node, name: name, b: b}, n: e.n + 1}, true
+}
+
+// materialize flattens the chain into a plain Env. An unextended chain
+// returns the base itself, matching Env.Extend's sharing behavior.
+func (e eenv) materialize() Env {
+	if e.node == nil {
+		return e.base
+	}
+	out := make(Env, len(e.base)+e.n)
+	for k, v := range e.base {
+		out[k] = v
+	}
+	// Names are unique along a chain by construction, so order is moot.
+	for nd := e.node; nd != nil; nd = nd.prev {
+		out[nd.name] = nd.b
+	}
+	return out
+}
+
+func materializeAll(envs []eenv) []Env {
+	if envs == nil {
+		return nil
+	}
+	out := make([]Env, len(envs))
+	for i, e := range envs {
+		out[i] = e.materialize()
+	}
+	return out
+}
+
 // Object returns every extension of env under which the pattern matches
 // obj. A pattern with the wildcard flag may match obj itself or any
 // descendant. An error is reported only for malformed patterns (e.g. an
 // unsubstituted $parameter); a failed match is simply an empty result.
 func Object(p *msl.ObjectPattern, obj *oem.Object, env Env) ([]Env, error) {
+	got, err := objectE(p, obj, eenv{base: env})
+	return materializeAll(got), err
+}
+
+func objectE(p *msl.ObjectPattern, obj *oem.Object, env eenv) ([]eenv, error) {
 	if !p.Wildcard {
 		return matchHere(p, obj, env)
 	}
-	var out []Env
+	var out []eenv
 	var walkErr error
 	walkOnce(obj, make(map[*oem.Object]bool), func(cand *oem.Object) bool {
 		envs, err := matchHere(p, cand, env)
@@ -58,7 +133,8 @@ func walkOnce(o *oem.Object, seen map[*oem.Object]bool, visit func(*oem.Object) 
 // resulting environments. This is the semantics of one tail pattern
 // conjunct evaluated against a source.
 func Tops(p *msl.ObjectPattern, objVar *msl.Var, tops []*oem.Object, env Env) ([]Env, error) {
-	var out []Env
+	base := eenv{base: env}
+	var out []eenv
 	// One seen-set across all tops: a subobject shared between two
 	// top-level objects matches once, not once per top.
 	var seen map[*oem.Object]bool
@@ -67,7 +143,7 @@ func Tops(p *msl.ObjectPattern, objVar *msl.Var, tops []*oem.Object, env Env) ([
 	}
 	for _, obj := range tops {
 		if !p.Wildcard {
-			envs, err := matchWithObjVar(p, objVar, obj, env)
+			envs, err := matchWithObjVar(p, objVar, obj, base)
 			if err != nil {
 				return nil, err
 			}
@@ -77,7 +153,7 @@ func Tops(p *msl.ObjectPattern, objVar *msl.Var, tops []*oem.Object, env Env) ([
 		// Wildcard: any level of this object's structure.
 		var walkErr error
 		walkOnce(obj, seen, func(cand *oem.Object) bool {
-			envs, err := matchWithObjVar(p, objVar, cand, env)
+			envs, err := matchWithObjVar(p, objVar, cand, base)
 			if err != nil {
 				walkErr = err
 				return false
@@ -89,13 +165,13 @@ func Tops(p *msl.ObjectPattern, objVar *msl.Var, tops []*oem.Object, env Env) ([
 			return nil, walkErr
 		}
 	}
-	return out, nil
+	return materializeAll(out), nil
 }
 
-func matchWithObjVar(p *msl.ObjectPattern, objVar *msl.Var, obj *oem.Object, env Env) ([]Env, error) {
+func matchWithObjVar(p *msl.ObjectPattern, objVar *msl.Var, obj *oem.Object, env eenv) ([]eenv, error) {
 	// Bind the object variable first so the pattern can reuse it.
 	if objVar != nil {
-		ext, ok := env.Extend(objVar.Name, BindObj(obj))
+		ext, ok := env.extend(objVar.Name, BindObj(obj))
 		if !ok {
 			return nil, nil
 		}
@@ -107,7 +183,7 @@ func matchWithObjVar(p *msl.ObjectPattern, objVar *msl.Var, obj *oem.Object, env
 }
 
 // matchHere matches the pattern against obj itself (no descent).
-func matchHere(p *msl.ObjectPattern, obj *oem.Object, env Env) ([]Env, error) {
+func matchHere(p *msl.ObjectPattern, obj *oem.Object, env eenv) ([]eenv, error) {
 	// Type constraint.
 	if p.Type != nil && obj.Kind() != *p.Type {
 		return nil, nil
@@ -120,7 +196,7 @@ func matchHere(p *msl.ObjectPattern, obj *oem.Object, env Env) ([]Env, error) {
 			return nil, nil
 		}
 	case *msl.Var:
-		ext, ok := env.Extend(ot.Name, BindString(string(obj.OID)))
+		ext, ok := env.extend(ot.Name, BindString(string(obj.OID)))
 		if !ok {
 			return nil, nil
 		}
@@ -137,7 +213,7 @@ func matchHere(p *msl.ObjectPattern, obj *oem.Object, env Env) ([]Env, error) {
 		}
 	case *msl.Var:
 		var ok bool
-		env, ok = env.Extend(lt.Name, BindString(obj.Label))
+		env, ok = env.extend(lt.Name, BindString(obj.Label))
 		if !ok {
 			return nil, nil
 		}
@@ -149,10 +225,10 @@ func matchHere(p *msl.ObjectPattern, obj *oem.Object, env Env) ([]Env, error) {
 	// Value field.
 	switch vt := p.Value.(type) {
 	case nil:
-		return []Env{env}, nil
+		return []eenv{env}, nil
 	case *msl.Const:
 		if obj.Value != nil && obj.Value.Equal(vt.Value) {
-			return []Env{env}, nil
+			return []eenv{env}, nil
 		}
 		return nil, nil
 	case *msl.Var:
@@ -160,11 +236,11 @@ func matchHere(p *msl.ObjectPattern, obj *oem.Object, env Env) ([]Env, error) {
 		if val == nil {
 			val = oem.Set(nil)
 		}
-		ext, ok := env.Extend(vt.Name, BindVal(val))
+		ext, ok := env.extend(vt.Name, BindVal(val))
 		if !ok {
 			return nil, nil
 		}
-		return []Env{ext}, nil
+		return []eenv{ext}, nil
 	case *msl.SetPattern:
 		if obj.Kind() != oem.KindSet {
 			return nil, nil
@@ -180,11 +256,11 @@ func matchHere(p *msl.ObjectPattern, obj *oem.Object, env Env) ([]Env, error) {
 // enumerating every injective assignment, and binds the rest variable to
 // the unconsumed subobjects. Wildcard elements may match at any depth
 // below and do not consume from the rest set.
-func matchSet(sp *msl.SetPattern, subs oem.Set, env Env) ([]Env, error) {
+func matchSet(sp *msl.SetPattern, subs oem.Set, env eenv) ([]eenv, error) {
 	used := make([]bool, len(subs))
-	var out []Env
-	var rec func(i int, env Env) error
-	rec = func(i int, env Env) error {
+	var out []eenv
+	var rec func(i int, env eenv) error
+	rec = func(i int, env eenv) error {
 		if i == len(sp.Elems) {
 			final, err := finishRest(sp, subs, used, env)
 			if err != nil {
@@ -251,7 +327,7 @@ func matchSet(sp *msl.SetPattern, subs oem.Set, env Env) ([]Env, error) {
 				if used[j] {
 					continue
 				}
-				ext, ok := env.Extend(elem.Name, BindObj(sub))
+				ext, ok := env.extend(elem.Name, BindObj(sub))
 				if !ok {
 					continue
 				}
@@ -275,7 +351,7 @@ func matchSet(sp *msl.SetPattern, subs oem.Set, env Env) ([]Env, error) {
 
 // finishRest binds the rest variable (if any) to the unconsumed subobjects
 // and checks the rest constraints.
-func finishRest(sp *msl.SetPattern, subs oem.Set, used []bool, env Env) ([]Env, error) {
+func finishRest(sp *msl.SetPattern, subs oem.Set, used []bool, env eenv) ([]eenv, error) {
 	var rest oem.Set
 	if sp.Rest != nil || len(sp.RestConstraints) > 0 {
 		rest = make(oem.Set, 0, len(subs))
@@ -287,12 +363,12 @@ func finishRest(sp *msl.SetPattern, subs oem.Set, used []bool, env Env) ([]Env, 
 	}
 	// Each rest constraint must match some member of the rest set. The
 	// constraints may bind variables; enumerate the combinations.
-	envs := []Env{env}
+	envs := []eenv{env}
 	for _, c := range sp.RestConstraints {
-		var next []Env
+		var next []eenv
 		for _, e := range envs {
 			for _, sub := range rest {
-				got, err := Object(c, sub, e)
+				got, err := objectE(c, sub, e)
 				if err != nil {
 					return nil, err
 				}
@@ -307,9 +383,9 @@ func finishRest(sp *msl.SetPattern, subs oem.Set, used []bool, env Env) ([]Env, 
 	if sp.Rest == nil {
 		return envs, nil
 	}
-	var out []Env
+	var out []eenv
 	for _, e := range envs {
-		ext, ok := e.Extend(sp.Rest.Name, BindVal(rest))
+		ext, ok := e.extend(sp.Rest.Name, BindVal(rest))
 		if ok {
 			out = append(out, ext)
 		}

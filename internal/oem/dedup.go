@@ -1,0 +1,53 @@
+package oem
+
+// Deduper incrementally detects structural duplicates among objects: a
+// hash-indexed set using the memoized StructuralHash for bucketing and
+// StructuralEqual for exactness. It is the one implementation behind
+// every structural duplicate elimination in MedMaker — store-level, the
+// handcoded baseline's, and the engine's object fusion — which used to
+// carry three copies of the same loop.
+type Deduper struct {
+	byHash map[uint64][]*Object
+}
+
+// NewDeduper returns a deduper sized for about n objects.
+func NewDeduper(n int) *Deduper {
+	return &Deduper{byHash: make(map[uint64][]*Object, n)}
+}
+
+// Seen reports whether a structural duplicate of o was already recorded;
+// when not, o itself is recorded. Nil objects are never recorded and
+// always report seen.
+func (d *Deduper) Seen(o *Object) bool {
+	if o == nil {
+		return true
+	}
+	h := o.StructuralHash()
+	for _, prev := range d.byHash[h] {
+		if prev.StructuralEqual(o) {
+			return true
+		}
+	}
+	d.byHash[h] = append(d.byHash[h], o)
+	return false
+}
+
+// DedupStructural returns objs with structural duplicates of earlier
+// objects removed, preserving first-occurrence order. The result aliases
+// a fresh backing array, leaving objs intact. dropped, when non-nil, is
+// called for every removed object (stores use it to unindex the dropped
+// subtree).
+func DedupStructural(objs []*Object, dropped func(*Object)) []*Object {
+	d := NewDeduper(len(objs))
+	out := objs[:0:0]
+	for _, o := range objs {
+		if d.Seen(o) {
+			if dropped != nil {
+				dropped(o)
+			}
+			continue
+		}
+		out = append(out, o)
+	}
+	return out
+}

@@ -41,10 +41,12 @@ func (o *Object) structuralHash() uint64 {
 		h.Write(v)
 	case Set:
 		// Combine member hashes order-insensitively: hash the sorted
-		// multiset of member hashes.
+		// multiset of member hashes. Members go through the memoized
+		// StructuralHash, so a shared subtree is walked at most once
+		// however many parents hash it.
 		hashes := make([]uint64, len(v))
 		for i, sub := range v {
-			hashes[i] = sub.structuralHash()
+			hashes[i] = sub.StructuralHash()
 		}
 		sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
 		var buf [8]byte
@@ -70,8 +72,39 @@ func writeNumHash(h hashWriter, f float64) {
 
 // StructuralHash exposes the structural hash for callers that build
 // hash-based duplicate-elimination or join structures over objects, such
-// as the datamerge engine.
-func (o *Object) StructuralHash() uint64 { return o.structuralHash() }
+// as the datamerge engine. The hash is memoized on the object: objects
+// are immutable once shared, so it is computed at most once per object —
+// join probes and duplicate eliminations that used to rehash whole OEM
+// subtrees per comparison now pay a single atomic load. A true hash of 0
+// is deterministically remapped to 1 so 0 stays free as the "not yet
+// computed" sentinel; concurrent first calls may both compute, but store
+// the same value, so the race is benign and data-race-free.
+func (o *Object) StructuralHash() uint64 {
+	if o == nil {
+		return 0
+	}
+	if h := o.hashMemo.Load(); h != 0 {
+		return h
+	}
+	h := o.structuralHash()
+	if h == 0 {
+		h = 1
+	}
+	o.hashMemo.Store(h)
+	return h
+}
+
+// InvalidateHash drops the object's memoized structural hash. The one
+// engine operation that mutates a shared object — fusion unioning
+// subobject sets under a semantic object-id — must call this on the
+// object it mutated (ancestors, if any, need invalidation too; fusion
+// only ever mutates top-level result objects).
+func (o *Object) InvalidateHash() {
+	if o == nil {
+		return
+	}
+	o.hashMemo.Store(0)
+}
 
 // HashValue hashes a standalone Value with the same invariants as
 // StructuralHash: values that compare Equal hash equally.

@@ -19,6 +19,7 @@ package oem
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // OID is an object identifier, e.g. "&12". Object-ids link objects to
@@ -46,6 +47,15 @@ type Object struct {
 	Label string
 	// Value is the object's value: an atomic Value or a Set of subobjects.
 	Value Value
+
+	// hashMemo caches the structural hash, computed lazily on first use
+	// (0 = not yet computed; a computed hash of 0 is remapped to 1).
+	// Objects are immutable by convention once shared, so the memo is
+	// write-once in practice; the atomic makes concurrent first hashes of
+	// a shared subtree race-free. The single sanctioned post-construction
+	// mutation — object fusion extending a subobject set — must call
+	// InvalidateHash on the mutated object.
+	hashMemo atomic.Uint64
 }
 
 // New constructs an object with an explicit oid. The value may be any
@@ -110,6 +120,11 @@ func (o *Object) StructuralEqual(other *Object) bool {
 		return true
 	}
 	if o == nil || other == nil {
+		return false
+	}
+	// Memoized hashes, when both already computed, reject unequal objects
+	// without walking either tree (equal objects always hash equal).
+	if h, oh := o.hashMemo.Load(), other.hashMemo.Load(); h != 0 && oh != 0 && h != oh {
 		return false
 	}
 	if o.Label != other.Label {

@@ -3,6 +3,7 @@ package oem
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -25,7 +26,11 @@ func NewIDGen(prefix string) *IDGen {
 // Next returns a fresh oid.
 func (g *IDGen) Next() OID {
 	n := g.n.Add(1)
-	return OID(fmt.Sprintf("&%s%d", g.prefix, n))
+	buf := make([]byte, 0, len(g.prefix)+21)
+	buf = append(buf, '&')
+	buf = append(buf, g.prefix...)
+	buf = strconv.AppendUint(buf, n, 10)
+	return OID(buf)
 }
 
 // AssignOIDs walks the object tree and gives every object lacking an oid a
@@ -163,26 +168,13 @@ func (s *Store) Clear() {
 func (s *Store) DedupStructural() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	type bucket []*Object
-	byHash := make(map[uint64]bucket)
-	kept := s.tops[:0]
 	dropped := 0
-outer:
-	for _, obj := range s.tops {
-		h := obj.StructuralHash()
-		for _, prev := range byHash[h] {
-			if prev.StructuralEqual(obj) {
-				dropped++
-				obj.Walk(func(o *Object, _ int) bool {
-					delete(s.byOID, o.OID)
-					return true
-				})
-				continue outer
-			}
-		}
-		byHash[h] = append(byHash[h], obj)
-		kept = append(kept, obj)
-	}
-	s.tops = kept
+	s.tops = DedupStructural(s.tops, func(obj *Object) {
+		dropped++
+		obj.Walk(func(o *Object, _ int) bool {
+			delete(s.byOID, o.OID)
+			return true
+		})
+	})
 	return dropped
 }

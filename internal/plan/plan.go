@@ -67,6 +67,14 @@ type Options struct {
 	// objects. The paper's implementation lacked this (footnote 9); ours
 	// defaults to on, and turning it off reproduces their behaviour.
 	DupElim bool
+	// Parallelism and MorselRows describe the executor the plan will run
+	// on: how many workers its morsel scheduler fans local processing
+	// across and how many rows one morsel holds. The statistics-driven
+	// join order ranks patterns by their local cost after that speedup
+	// (see localCost), so a big table that parallelizes well can cost the
+	// same as a small one. 0 means 1 worker / engine.DefaultMorselRows.
+	Parallelism int
+	MorselRows  int
 }
 
 // DefaultOptions enables pushdown, parameterized joins, and duplicate
@@ -343,9 +351,10 @@ func (p *Planner) order(patterns []*msl.PatternConjunct) []*msl.PatternConjunct 
 	case OrderStats:
 		if p.stats != nil {
 			type ranked struct {
-				pc  *msl.PatternConjunct
-				est float64
-				ok  bool
+				pc   *msl.PatternConjunct
+				est  float64
+				cost float64
+				ok   bool
 			}
 			rs := make([]ranked, len(out))
 			for i, pc := range out {
@@ -358,13 +367,19 @@ func (p *Planner) order(patterns []*msl.PatternConjunct) []*msl.PatternConjunct 
 					// pulls it outward in the join order.
 					est *= p.costWeight(pc.Source)
 				}
-				rs[i] = ranked{pc, est, ok}
+				rs[i] = ranked{pc, est, p.localCost(est), ok}
 			}
 			sort.SliceStable(rs, func(i, j int) bool {
 				if rs[i].ok != rs[j].ok {
 					return rs[i].ok // known estimates first
 				}
 				if rs[i].ok {
+					if rs[i].cost != rs[j].cost {
+						return rs[i].cost < rs[j].cost
+					}
+					// localCost plateaus where extra morsels still fit
+					// free workers; raw estimates break those ties, so the
+					// order on a serial executor is unchanged.
 					return rs[i].est < rs[j].est
 				}
 				return conditionCount(rs[i].pc.Pattern) > conditionCount(rs[j].pc.Pattern)
@@ -407,6 +422,33 @@ func (p *Planner) estimate(pc *msl.PatternConjunct) (float64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// localCost is the optimizer's model of the engine's morsel scheduler:
+// the weighted estimate divided by the speedup the executor can reach on
+// local (post-fetch) processing of that many rows — est/MorselRows
+// morsels capped at Parallelism workers, never below 1. The cost grows
+// with est until one morsel fills, plateaus while extra morsels still
+// land on free workers, and grows at est/Parallelism beyond saturation.
+// It is non-decreasing in est, so it can only introduce ties into the
+// cardinality order, never inversions.
+func (p *Planner) localCost(est float64) float64 {
+	mr := p.opts.MorselRows
+	if mr <= 0 {
+		mr = engine.DefaultMorselRows
+	}
+	par := p.opts.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	speedup := est / float64(mr)
+	if speedup < 1 {
+		speedup = 1
+	}
+	if speedup > float64(par) {
+		speedup = float64(par)
+	}
+	return est / speedup
 }
 
 // costWeight returns the cost multiplier for consulting a source: 1 with

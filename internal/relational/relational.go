@@ -216,14 +216,17 @@ func (t *Table) HasIndex(column string) bool {
 func (t *Table) Select(conds []Cond) ([]int, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	for _, c := range conds {
-		if t.schema.ColumnIndex(c.Column) < 0 {
+	// Resolve condition columns once; rowSatisfies runs per candidate.
+	cis := make([]int, len(conds))
+	for i, c := range conds {
+		cis[i] = t.schema.ColumnIndex(c.Column)
+		if cis[i] < 0 {
 			return nil, fmt.Errorf("relational: %s has no column %q", t.schema.Name, c.Column)
 		}
 	}
 	var out []int
 	for _, id := range t.indexCandidates(conds) {
-		if t.rowSatisfies(t.rows[id], conds) {
+		if t.rowSatisfies(t.rows[id], conds, cis) {
 			out = append(out, id)
 		}
 	}
@@ -263,10 +266,9 @@ func (t *Table) indexCandidates(conds []Cond) []int {
 	return all
 }
 
-func (t *Table) rowSatisfies(row Row, conds []Cond) bool {
-	for _, c := range conds {
-		ci := t.schema.ColumnIndex(c.Column)
-		v := row[ci]
+func (t *Table) rowSatisfies(row Row, conds []Cond, cis []int) bool {
+	for i, c := range conds {
+		v := row[cis[i]]
 		if v == nil {
 			return false
 		}

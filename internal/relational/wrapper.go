@@ -3,6 +3,8 @@ package relational
 import (
 	"context"
 	"fmt"
+	"strconv"
+	"sync"
 
 	"medmaker/internal/msl"
 	"medmaker/internal/oem"
@@ -25,6 +27,15 @@ type Wrapper struct {
 	name string
 	db   *DB
 	gen  *oem.IDGen
+
+	// rowObjs caches the OEM conversion of each table row, indexed by
+	// row id. Rows are append-only and row oids are stable by contract,
+	// so a converted row object is immutable and can be shared by every
+	// answer that selects it — exactly as an OEM store shares its
+	// top-level objects. Parameterized plans re-select overlapping rows
+	// constantly; the cache makes conversion a once-per-row cost.
+	mu      sync.Mutex
+	rowObjs map[*Table][]*oem.Object
 }
 
 var (
@@ -36,7 +47,8 @@ var (
 
 // NewWrapper wraps db as a source with the given name.
 func NewWrapper(name string, db *DB) *Wrapper {
-	return &Wrapper{name: name, db: db, gen: oem.NewIDGen(name + "q")}
+	return &Wrapper{name: name, db: db, gen: oem.NewIDGen(name + "q"),
+		rowObjs: make(map[*Table][]*oem.Object)}
 }
 
 // Name implements wrapper.Source.
@@ -121,6 +133,17 @@ func (w *Wrapper) candidates(pc *msl.PatternConjunct) ([]*oem.Object, error) {
 	var out []*oem.Object
 	for _, t := range tables {
 		conds := pushableConds(t.Schema(), pc.Pattern)
+		// Parameterized plans re-select on the same columns for every
+		// binding; building the equality index on first use turns the
+		// remaining selections into hash probes. pushableConds only
+		// emits conditions on real columns, so CreateIndex cannot fail.
+		for _, c := range conds {
+			if c.Op == OpEq {
+				if err := t.CreateIndex(c.Column); err != nil {
+					return nil, err
+				}
+			}
+		}
 		ids, err := t.Select(conds)
 		if err != nil {
 			return nil, err
@@ -186,32 +209,65 @@ func pushableConds(schema Schema, p *msl.ObjectPattern) []Cond {
 
 // convert turns the selected rows of a table into OEM objects. Row and
 // column oids are stable across queries (&<table>_r<row> and
-// &<table>_r<row>c<col>), so repeated queries expose consistent object
-// identity, as a real wrapper over a keyed store would.
+// &<table>_r<row>c<col>), and the objects themselves are pointer-stable:
+// each row is converted once and the shared object reused, so repeated
+// queries expose consistent object identity, as a real wrapper over a
+// keyed store would.
 func (w *Wrapper) convert(t *Table, ids []int) []*oem.Object {
-	schema := t.Schema()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	cache := w.rowObjs[t]
+	if n := t.Len(); len(cache) < n {
+		grown := make([]*oem.Object, n)
+		copy(grown, cache)
+		cache = grown
+		w.rowObjs[t] = cache
+	}
 	out := make([]*oem.Object, 0, len(ids))
 	for _, id := range ids {
-		row, err := t.Row(id)
-		if err != nil {
+		if id < 0 || id >= len(cache) {
 			continue
 		}
-		subs := make(oem.Set, 0, len(schema.Columns))
-		for ci, col := range schema.Columns {
-			if row[ci] == nil {
-				continue // NULL: no subobject
+		obj := cache[id]
+		if obj == nil {
+			obj = convertRow(t, id)
+			if obj == nil {
+				continue
 			}
-			subs = append(subs, &oem.Object{
-				OID:   oem.OID(fmt.Sprintf("&%s_r%dc%d", schema.Name, id, ci)),
-				Label: col.Name,
-				Value: row[ci],
-			})
+			cache[id] = obj
 		}
-		out = append(out, &oem.Object{
-			OID:   oem.OID(fmt.Sprintf("&%s_r%d", schema.Name, id)),
-			Label: schema.Name,
-			Value: subs,
-		})
+		out = append(out, obj)
 	}
 	return out
+}
+
+// convertRow builds the OEM object for one row, with one atomic subobject
+// per non-NULL column.
+func convertRow(t *Table, id int) *oem.Object {
+	row, err := t.Row(id)
+	if err != nil {
+		return nil
+	}
+	schema := t.Schema()
+	oid := make([]byte, 0, len(schema.Name)+16)
+	oid = append(oid, '&')
+	oid = append(oid, schema.Name...)
+	oid = append(oid, "_r"...)
+	oid = strconv.AppendInt(oid, int64(id), 10)
+	subs := make(oem.Set, 0, len(schema.Columns))
+	for ci, col := range schema.Columns {
+		if row[ci] == nil {
+			continue // NULL: no subobject
+		}
+		coid := make([]byte, 0, len(oid)+4)
+		coid = append(coid, oid...)
+		coid = append(coid, 'c')
+		coid = strconv.AppendInt(coid, int64(ci), 10)
+		subs = append(subs, &oem.Object{
+			OID:   oem.OID(coid),
+			Label: col.Name,
+			Value: row[ci],
+		})
+	}
+	return &oem.Object{OID: oem.OID(oid), Label: schema.Name, Value: subs}
 }

@@ -205,6 +205,8 @@ type NodeStats struct {
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 	wallNanos   atomic.Int64
+	morsels     atomic.Int64
+	maxWorkers  atomic.Int64
 }
 
 // SetEstimate attaches the optimizer's cardinality estimate.
@@ -249,6 +251,24 @@ func (n *NodeStats) AddExchanges(exchanges, queries int) {
 	}
 	n.exchanges.Add(int64(exchanges))
 	n.queries.Add(int64(queries))
+}
+
+// AddMorsels records one morsel-parallel pass over the operator's input:
+// how many morsels the input split into and how many pool workers
+// processed them. Morsels accumulate across passes (an operator may fan
+// out more than once, e.g. a join's build and probe); Workers reports
+// the widest pool observed.
+func (n *NodeStats) AddMorsels(morsels, workers int) {
+	if n == nil {
+		return
+	}
+	n.morsels.Add(int64(morsels))
+	for {
+		cur := n.maxWorkers.Load()
+		if int64(workers) <= cur || n.maxWorkers.CompareAndSwap(cur, int64(workers)) {
+			return
+		}
+	}
 }
 
 // CacheAccess records one answer-cache lookup outcome attributed to this
@@ -390,6 +410,8 @@ type NodeSummary struct {
 	CacheHits   int64   `json:"cache_hits,omitempty"`
 	CacheMisses int64   `json:"cache_misses,omitempty"`
 	WallNanos   int64   `json:"wall_ns"`
+	Morsels     int64   `json:"morsels,omitempty"`
+	Workers     int64   `json:"workers,omitempty"`
 	EstRows     float64 `json:"est_rows,omitempty"`
 	HasEst      bool    `json:"has_est,omitempty"`
 }
@@ -440,6 +462,8 @@ func (t *QueryTrace) Snapshot() Summary {
 			CacheHits:   n.cacheHits.Load(),
 			CacheMisses: n.cacheMisses.Load(),
 			WallNanos:   n.wallNanos.Load(),
+			Morsels:     n.morsels.Load(),
+			Workers:     n.maxWorkers.Load(),
 			EstRows:     n.estRows,
 			HasEst:      n.hasEst,
 		})
@@ -531,6 +555,9 @@ func renderNode(w io.Writer, byID map[int]NodeSummary, n NodeSummary, depth int)
 		time.Duration(n.WallNanos).Round(time.Microsecond))
 	if n.Exchanges > 0 {
 		stats += fmt.Sprintf(" exchanges=%d queries=%d", n.Exchanges, n.Queries)
+	}
+	if n.Morsels > 0 {
+		stats += fmt.Sprintf(" morsels=%d workers=%d", n.Morsels, n.Workers)
 	}
 	if n.CacheHits+n.CacheMisses > 0 {
 		stats += fmt.Sprintf(" cache=%d/%d", n.CacheHits, n.CacheHits+n.CacheMisses)

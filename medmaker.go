@@ -30,6 +30,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 
 	"medmaker/internal/engine"
@@ -209,11 +210,15 @@ type Config struct {
 	// execution: the physical graph and the binding tables flowing
 	// through it. Tracing forces sequential execution.
 	Trace io.Writer
-	// Parallelism > 1 lets the datamerge engine evaluate independent
-	// subtrees concurrently and fan parameterized-query tuples across
-	// that many workers. Sources must tolerate concurrent queries (all
+	// Parallelism is the engine's worker count: independent subtrees
+	// evaluate concurrently, parameterized-query tuples fan across that
+	// many workers, and local operators (extraction, joins, dedup,
+	// external predicates) split their inputs into morsels executed on a
+	// pool of that size. Sources must tolerate concurrent queries (all
 	// bundled wrappers do) and external functions must be pure. Results
-	// are identical to sequential execution, including order.
+	// are identical to sequential execution, including order. 0 (the
+	// default) means runtime.GOMAXPROCS(0); use 1 (or any value below 1)
+	// for strictly sequential execution.
 	Parallelism int
 	// QueryBatch bounds how many deduplicated parameterized queries the
 	// engine sends to a source per exchange: a query node's input tuples
@@ -310,9 +315,21 @@ func New(cfg Config) (*Mediator, error) {
 	if err != nil {
 		return nil, err
 	}
+	par := cfg.Parallelism
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par < 1 {
+		par = 1
+	}
 	opts := plan.DefaultOptions()
 	if cfg.Plan != nil {
 		opts = *cfg.Plan
+	}
+	if opts.Parallelism == 0 {
+		// Let the optimizer's local-cost model see the executor it plans
+		// for (explicit PlanOptions may still pin a different degree).
+		opts.Parallelism = par
 	}
 	batch := cfg.QueryBatch
 	if batch == 0 {
@@ -328,7 +345,7 @@ func New(cfg Config) (*Mediator, error) {
 		stats:    engine.NewStats(),
 		gen:      oem.NewIDGen(cfg.Name),
 		trace:    cfg.Trace,
-		parallel: cfg.Parallelism,
+		parallel: par,
 		batch:    batch,
 		pipeline: cfg.Pipeline,
 		policy:   cfg.Policy,

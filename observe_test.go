@@ -16,7 +16,7 @@ var traceModes = []struct {
 	parallelism int
 	pipeline    bool
 }{
-	{"serial", 0, false},
+	{"serial", 1, false},
 	{"parallel", 4, false},
 	{"pipelined", 4, true},
 }

@@ -25,7 +25,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 	cs, whois, _ := scaledSources(t, 80)
 	for vi, opts := range variants {
 		o := opts
-		seq, err := New(Config{Name: "med", Spec: specMS1, Sources: []Source{cs, whois}, Plan: &o})
+		seq, err := New(Config{Name: "med", Spec: specMS1, Sources: []Source{cs, whois}, Plan: &o, Parallelism: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -92,7 +92,7 @@ func TestExecutionModesMatchSequential(t *testing.T) {
 		o := opts
 		seq, err := New(Config{
 			Name: "med", Spec: specMS1, Sources: []Source{cs, whois},
-			Plan: &o, QueryBatch: 1,
+			Plan: &o, QueryBatch: 1, Parallelism: 1,
 		})
 		if err != nil {
 			t.Fatal(err)
