@@ -10,10 +10,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"medmaker"
@@ -56,8 +59,24 @@ func main() {
 	matviewOut := flag.String("matview", "", "write a JSON snapshot of the materialized-view measurements (live vs cold vs warm) to this file and exit")
 	parallelOut := flag.String("parallel", "", "write a JSON snapshot of the columnar/morsel executor measurements (BENCH_1's E-BATCH and E-PIPE rows at parallelism 1 and GOMAXPROCS) to this file and exit")
 	traceJSON := flag.String("trace-json", "", "run the paper's Q1 under EXPLAIN ANALYZE and write the structured trace (phases, per-node rows, source latency) as JSON to this file, then exit")
+	serveOut := flag.String("serve", "", "write a JSON snapshot of the closed-loop multi-client serving measurements (latency quantiles and QPS vs client count over a zipfian workload, the BENCH_6.json artifact) to this file and exit")
+	serveClients := flag.String("serve-clients", "1,4,16", "comma-separated client counts for -serve")
+	serveDuration := flag.Duration("serve-duration", 2*time.Second, "measurement window per client count for -serve")
+	servePersons := flag.Int("serve-persons", 100000, "population size for -serve")
+	serveDistinct := flag.Int("serve-distinct", 2000, "distinct query templates for -serve (the plan-cache working set)")
+	serveZipf := flag.Float64("serve-zipf", workload.DefaultSkew, "zipfian skew for -serve (> 1)")
+	serveSeed := flag.Int64("serve-seed", 1, "base workload seed for -serve (client i uses seed+i)")
+	serveWarm := flag.Bool("serve-warm", true, "prime the plan cache over the whole working set before measuring (-serve measures steady-state serving; disable to include cold-start compiles)")
 	flag.DurationVar(&queryTimeout, "timeout", 0, "per-query deadline for measured queries (e.g. 30s); 0 means none")
 	flag.Parse()
+	if *serveOut != "" {
+		runServe(serveConfig{
+			Path: *serveOut, Clients: mustClients(*serveClients), Duration: *serveDuration,
+			Persons: *servePersons, Distinct: *serveDistinct, Zipf: *serveZipf, Seed: *serveSeed,
+			Warm: *serveWarm,
+		})
+		return
+	}
 	if *traceJSON != "" {
 		runTraceJSON(*traceJSON)
 		return
@@ -678,6 +697,216 @@ func runTraceJSON(path string) {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d result objects)\n", path, len(res.Objects))
+}
+
+// serveConfig parameterizes the closed-loop serving benchmark.
+type serveConfig struct {
+	Path     string
+	Clients  []int
+	Duration time.Duration
+	Persons  int
+	Distinct int
+	Zipf     float64
+	Seed     int64
+	Warm     bool
+}
+
+// serveLevel is one client-count row of the BENCH_6 artifact. Latency
+// quantiles are exact (computed from every recorded latency, not from
+// histogram buckets) because the closed loop keeps all samples in memory.
+type serveLevel struct {
+	Clients    int     `json:"clients"`
+	Queries    int64   `json:"queries"`
+	QPS        float64 `json:"qps"`
+	P50Micros  int64   `json:"p50_us"`
+	P95Micros  int64   `json:"p95_us"`
+	P99Micros  int64   `json:"p99_us"`
+	CacheHits  int64   `json:"plancache_hits"`
+	CacheMiss  int64   `json:"plancache_misses"`
+	HitRate    float64 `json:"plancache_hit_rate"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+}
+
+// serveFile is the BENCH_6.json shape: per-client-count throughput and
+// latency over a shared mediator, plus the warm-plan trace evidence that
+// a cache hit skips parse/expand/plan work.
+type serveFile struct {
+	Tool       string                 `json:"tool"`
+	GoMaxProcs int                    `json:"gomaxprocs"`
+	Persons    int                    `json:"persons"`
+	Distinct   int                    `json:"distinct"`
+	Zipf       float64                `json:"zipf"`
+	Seed       int64                  `json:"seed"`
+	DurationMS int64                  `json:"duration_ms_per_level"`
+	Warm       bool                   `json:"warmed"`
+	Levels     []serveLevel           `json:"levels"`
+	WarmTrace  *medmaker.TraceSummary `json:"warm_trace"`
+}
+
+// mustClients parses the -serve-clients list ("1,4,16").
+func mustClients(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "medbench: bad -serve-clients %q\n", s)
+			os.Exit(1)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// exactQuantile returns the nearest-rank quantile of a sorted slice.
+func exactQuantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// runServe drives one shared mediator from N closed-loop clients — each
+// issues its next query as soon as the previous answer lands — over a
+// zipfian-skewed selective workload, and writes QPS plus exact
+// p50/p95/p99 latency per client count (the BENCH_6.json artifact). The
+// answer cache stays off so every request exercises the serving path the
+// plan cache accelerates: parse, plan-cache probe, execute.
+func runServe(cfg serveConfig) {
+	staff := must(workload.GenStaff(workload.StaffConfig{
+		Persons: cfg.Persons, Departments: 4, EmployeeFraction: 0.5, Irregularity: 0.3, Seed: 1,
+	}))
+	med := must(medmaker.New(medmaker.Config{
+		Name: "med", Spec: specMS1,
+		Sources: []medmaker.Source{
+			medmaker.NewRelationalWrapper("cs", staff.DB),
+			medmaker.NewRecordWrapper("whois", staff.Store),
+		},
+		PlanCache: &medmaker.PlanCacheOptions{MaxEntries: 4096},
+	}))
+	snap := serveFile{
+		Tool: "medbench -serve", GoMaxProcs: runtime.GOMAXPROCS(0),
+		Persons: cfg.Persons, Distinct: cfg.Distinct, Zipf: cfg.Zipf, Seed: cfg.Seed,
+		DurationMS: cfg.Duration.Milliseconds(), Warm: cfg.Warm,
+	}
+
+	distinct := cfg.Distinct
+	if distinct <= 0 || distinct > len(staff.Names) {
+		distinct = len(staff.Names)
+	}
+	if cfg.Warm {
+		// Every client's stream draws from Names[:distinct] (seeds only
+		// reshuffle which of them are hot), so one pass over that prefix
+		// primes the plan cache against the whole workload and the levels
+		// below measure steady-state serving, not cold-start compiles.
+		warmGen := workload.NewQueryGen(workload.QueryGenConfig{
+			Names: staff.Names, Distinct: distinct, Skew: cfg.Zipf, Seed: cfg.Seed,
+		})
+		warmStart := time.Now()
+		for _, name := range staff.Names[:distinct] {
+			must(query(med, warmGen.QueryFor(name)))
+		}
+		fmt.Printf("warmed %d plans in %v\n", distinct, time.Since(warmStart).Round(time.Millisecond))
+	}
+
+	for _, clients := range cfg.Clients {
+		base := med.PlanCacheStats()
+		latencies := make([][]time.Duration, clients)
+		errs := make([]error, clients)
+		deadline := time.Now().Add(cfg.Duration)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				gen := workload.NewQueryGen(workload.QueryGenConfig{
+					Names: staff.Names, Distinct: cfg.Distinct, Skew: cfg.Zipf,
+					Seed: cfg.Seed + int64(i),
+				})
+				for time.Now().Before(deadline) {
+					q := gen.Next()
+					t0 := time.Now()
+					if _, err := query(med, q); err != nil {
+						errs[i] = fmt.Errorf("client %d: %w", i, err)
+						return
+					}
+					latencies[i] = append(latencies[i], time.Since(t0))
+				}
+			}(i)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		var merged []time.Duration
+		for _, ls := range latencies {
+			merged = append(merged, ls...)
+		}
+		sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+		st := med.PlanCacheStats()
+		hits, misses := int64(st.Hits-base.Hits), int64(st.Misses-base.Misses)
+		level := serveLevel{
+			Clients: clients, Queries: int64(len(merged)),
+			QPS:       float64(len(merged)) / elapsed.Seconds(),
+			P50Micros: exactQuantile(merged, 0.50).Microseconds(),
+			P95Micros: exactQuantile(merged, 0.95).Microseconds(),
+			P99Micros: exactQuantile(merged, 0.99).Microseconds(),
+			CacheHits: hits, CacheMiss: misses, ElapsedSec: elapsed.Seconds(),
+		}
+		if hits+misses > 0 {
+			level.HitRate = float64(hits) / float64(hits+misses)
+		}
+		snap.Levels = append(snap.Levels, level)
+		fmt.Printf("clients=%-3d qps=%8.0f p50=%6dus p95=%6dus p99=%6dus plancache hit rate=%.3f (%d queries)\n",
+			clients, level.QPS, level.P50Micros, level.P95Micros, level.P99Micros, level.HitRate, level.Queries)
+	}
+
+	// Warm-plan evidence: a repeated query's second trace must carry the
+	// cached-plan annotation with no expand/plan wall time to speak of.
+	gen := workload.NewQueryGen(workload.QueryGenConfig{
+		Names: staff.Names, Distinct: cfg.Distinct, Skew: cfg.Zipf, Seed: cfg.Seed,
+	})
+	rule := must(medmaker.ParseQuery(gen.Next()))
+	_, _, err := med.QueryTraced(context.Background(), rule)
+	if err == nil {
+		var qt *medmaker.QueryTrace
+		_, qt, err = med.QueryTraced(context.Background(), rule)
+		if err == nil {
+			warm := qt.Snapshot()
+			snap.WarmTrace = &warm
+			if warm.Annotations["cached-plan"] != 1 {
+				fmt.Fprintln(os.Stderr, "medbench: warm query missed the plan cache")
+				os.Exit(1)
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(cfg.Path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d client levels)\n", cfg.Path, len(snap.Levels))
 }
 
 func mustServe(src medmaker.Source) (string, *medmaker.RemoteServer) {

@@ -1,0 +1,208 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"medmaker/internal/metrics"
+	"medmaker/internal/msl"
+)
+
+func mustQuery(t *testing.T, text string) *msl.Rule {
+	t.Helper()
+	q, err := msl.ParseQuery(text)
+	if err != nil {
+		t.Fatalf("ParseQuery(%q): %v", text, err)
+	}
+	return q
+}
+
+func TestCacheKeyAlphaRenaming(t *testing.T) {
+	a := mustQuery(t, `X :- X:<person {<name N> <dept 'CS'>}>@s.`)
+	b := mustQuery(t, `Y :- Y:<person {<name M> <dept 'CS'>}>@s.`)
+	if CacheKey(a) != CacheKey(b) {
+		t.Errorf("alpha-equivalent queries got different keys:\n%q\n%q", CacheKey(a), CacheKey(b))
+	}
+	c := mustQuery(t, `X :- X:<person {<name N> <dept 'EE'>}>@s.`)
+	if CacheKey(a) == CacheKey(c) {
+		t.Errorf("distinct queries share a key: %q", CacheKey(a))
+	}
+}
+
+func TestCacheKeyConjunctOrder(t *testing.T) {
+	a := mustQuery(t, `<r {<n N> <s S>}> :- <p {<name N>}>@s1 AND <q {<sal S>}>@s2.`)
+	b := mustQuery(t, `<r {<n N> <s S>}> :- <q {<sal S>}>@s2 AND <p {<name N>}>@s1.`)
+	if CacheKey(a) != CacheKey(b) {
+		t.Errorf("commuted conjuncts got different keys:\n%q\n%q", CacheKey(a), CacheKey(b))
+	}
+	// Reordering must also commute with renaming: same conjuncts, swapped
+	// order AND swapped variable names.
+	c := mustQuery(t, `<r {<n A> <s B>}> :- <q {<sal B>}>@s2 AND <p {<name A>}>@s1.`)
+	if CacheKey(a) != CacheKey(c) {
+		t.Errorf("commuted+renamed conjuncts got different keys:\n%q\n%q", CacheKey(a), CacheKey(c))
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := NewCache(CacheOptions{MaxEntries: 2, Metrics: reg})
+	compile := func(context.Context) (*Compiled, error) { return &Compiled{}, nil }
+	ctx := context.Background()
+	for _, k := range []string{"a", "b", "a", "c"} { // "a" refreshed; "b" is LRU
+		if _, _, err := c.GetOrCompile(ctx, k, compile); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("expected b evicted as least recently used")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("expected a retained (recently used)")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want 1 eviction and 2 entries", st)
+	}
+}
+
+func TestCacheMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := NewCache(CacheOptions{MaxEntries: 1, Metrics: reg})
+	ctx := context.Background()
+	compile := func(context.Context) (*Compiled, error) { return &Compiled{}, nil }
+	c.GetOrCompile(ctx, "a", compile) // miss
+	c.GetOrCompile(ctx, "a", compile) // hit
+	c.GetOrCompile(ctx, "b", compile) // miss, evicts a
+	snap := reg.Snapshot()
+	want := map[string]int64{"plancache.hit": 1, "plancache.miss": 2, "plancache.evict": 1}
+	got := map[string]int64{}
+	for _, ctr := range snap.Counters {
+		got[ctr.Name] = ctr.Value
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s = %d, want %d", name, got[name], v)
+		}
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(CacheOptions{Metrics: metrics.NewRegistry()})
+	var compiles atomic.Int32
+	release := make(chan struct{})
+	compile := func(context.Context) (*Compiled, error) {
+		compiles.Add(1)
+		<-release
+		return &Compiled{}, nil
+	}
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([]*Compiled, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, _, err := c.GetOrCompile(context.Background(), "k", compile)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i] = got
+		}(i)
+	}
+	// Let the herd assemble on the single flight, then release the leader.
+	for compiles.Load() == 0 {
+	}
+	close(release)
+	wg.Wait()
+	if n := compiles.Load(); n != 1 {
+		t.Errorf("compiled %d times, want 1", n)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Errorf("caller %d got a different compilation", i)
+		}
+	}
+}
+
+func TestCacheCompileErrorNotCached(t *testing.T) {
+	c := NewCache(CacheOptions{Metrics: metrics.NewRegistry()})
+	boom := errors.New("boom")
+	calls := 0
+	_, _, err := c.GetOrCompile(context.Background(), "k", func(context.Context) (*Compiled, error) {
+		calls++
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	got, _, err := c.GetOrCompile(context.Background(), "k", func(context.Context) (*Compiled, error) {
+		calls++
+		return &Compiled{}, nil
+	})
+	if err != nil || got == nil {
+		t.Fatalf("retry after error: got %v, %v", got, err)
+	}
+	if calls != 2 {
+		t.Errorf("compile ran %d times, want 2 (error not cached)", calls)
+	}
+}
+
+func TestCacheInvalidateByDependency(t *testing.T) {
+	c := NewCache(CacheOptions{Metrics: metrics.NewRegistry()})
+	ctx := context.Background()
+	mk := func(deps []string, all bool) func(context.Context) (*Compiled, error) {
+		return func(context.Context) (*Compiled, error) {
+			return &Compiled{Deps: deps, DependsOnAll: all}, nil
+		}
+	}
+	c.GetOrCompile(ctx, "uses-s1", mk([]string{"s1"}, false))
+	c.GetOrCompile(ctx, "uses-s2", mk([]string{"s2"}, false))
+	c.GetOrCompile(ctx, "uses-both", mk([]string{"s1", "s2"}, false))
+	c.GetOrCompile(ctx, "uses-any", mk(nil, true))
+
+	if n := c.Invalidate("s1"); n != 3 { // uses-s1, uses-both, uses-any
+		t.Errorf("Invalidate(s1) dropped %d, want 3", n)
+	}
+	if _, ok := c.Get("uses-s2"); !ok {
+		t.Error("expected the s2-only plan to survive Invalidate(s1)")
+	}
+	if _, ok := c.Get("uses-s1"); ok {
+		t.Error("expected the s1 plan dropped")
+	}
+	c.GetOrCompile(ctx, "uses-s1", mk([]string{"s1"}, false))
+	if n := c.Invalidate(""); n != 2 { // everything: uses-s2 + uses-s1
+		t.Errorf("Invalidate(\"\") dropped %d, want 2", n)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Invalidated != 5 {
+		t.Errorf("stats = %+v, want 0 entries and 5 invalidated", st)
+	}
+}
+
+func TestCacheWaiterCancellation(t *testing.T) {
+	c := NewCache(CacheOptions{Metrics: metrics.NewRegistry()})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.GetOrCompile(context.Background(), "k", func(context.Context) (*Compiled, error) {
+		close(started)
+		<-release
+		return &Compiled{}, nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrCompile(ctx, "k", func(context.Context) (*Compiled, error) {
+			return nil, fmt.Errorf("waiter must not compile")
+		})
+		errc <- err
+	}()
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled waiter returned %v, want context.Canceled", err)
+	}
+	close(release)
+}

@@ -1,0 +1,106 @@
+package remote
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"medmaker/internal/metrics"
+	"medmaker/internal/msl"
+)
+
+func mustParseQuery(t *testing.T, text string) *msl.Rule {
+	t.Helper()
+	q, err := msl.ParseQuery(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// A server at its connection bound must refuse the excess connection with
+// a typed busy response — not stall it in the accept backlog — while the
+// admitted connection keeps working, and a freed slot must admit the next
+// client.
+func TestServerMaxConnsBusy(t *testing.T) {
+	reg := metrics.NewRegistry()
+	srv := NewServer(whoisSource(t))
+	srv.MaxConns = 1
+	srv.Metrics = reg
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	first, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// first's pooled connection occupies the single slot.
+	if _, err := Dial(addr, time.Second); !errors.Is(err, ErrServerBusy) {
+		t.Fatalf("second dial: err = %v, want ErrServerBusy", err)
+	}
+
+	// The refusal must not have disturbed the admitted client.
+	q, err := first.Query(mustParseQuery(t, `P :- P:<person {<dept 'CS'>}>@whois.`))
+	if err != nil {
+		t.Fatalf("admitted client failed after a refusal: %v", err)
+	}
+	if len(q) != 2 {
+		t.Fatalf("admitted client got %d objects, want 2", len(q))
+	}
+
+	busy := counterValue(reg, "remote.busy")
+	if busy != 1 {
+		t.Fatalf("remote.busy = %d, want 1", busy)
+	}
+
+	// Freeing the slot readmits: the server notices the close
+	// asynchronously, so poll briefly.
+	first.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		next, err := Dial(addr, time.Second)
+		if err == nil {
+			next.Close()
+			break
+		}
+		if !errors.Is(err, ErrServerBusy) {
+			t.Fatalf("redial after close: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slot never freed after the admitted client closed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// MaxConns < 0 disables the gate entirely.
+func TestServerMaxConnsUnlimited(t *testing.T) {
+	srv := NewServer(whoisSource(t))
+	srv.MaxConns = -1
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	clients := make([]*Client, 5)
+	for i := range clients {
+		c, err := Dial(addr, time.Second)
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+}
+
+func counterValue(reg *metrics.Registry, name string) int64 {
+	for _, c := range reg.Snapshot().Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}

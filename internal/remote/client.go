@@ -3,6 +3,7 @@ package remote
 import (
 	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -57,6 +58,9 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	resp, err := c.roundTrip(context.Background(), Request{Kind: reqHello})
 	if err != nil {
 		return nil, err
+	}
+	if err := respError(addr, resp); err != nil {
+		return nil, err // e.g. ErrServerBusy from a server at capacity
 	}
 	c.name = resp.Name
 	c.caps = resp.Caps
@@ -172,13 +176,22 @@ func (c *Client) CountLabel(label string) (int, bool) {
 	return resp.Count, true
 }
 
+// ErrServerBusy reports a connection refused by a server at its
+// connection bound (Server.MaxConns). Match with errors.Is and back off —
+// the server is healthy, just full.
+var ErrServerBusy = errors.New("server busy")
+
 // respError converts a Response's error fields back into the typed error
-// the server-side evaluation produced: a capability rejection, a context
-// error from the request's deadline budget (wrapped so errors.Is matches
+// the server-side evaluation produced: a capability rejection, a busy
+// refusal (wrapped so errors.Is matches ErrServerBusy), a context error
+// from the request's deadline budget (wrapped so errors.Is matches
 // context.DeadlineExceeded/Canceled), or a plain remote error.
 func respError(name string, resp Response) error {
 	if resp.Unsupported != "" {
 		return &wrapper.UnsupportedError{Source: name, Feature: resp.Unsupported}
+	}
+	if resp.Busy {
+		return fmt.Errorf("remote: %s: %w", name, ErrServerBusy)
 	}
 	if resp.Err == "" {
 		return nil

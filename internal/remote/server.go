@@ -33,6 +33,14 @@ type Server struct {
 	// same registry the engine and the source's own cache record into, so
 	// one scrape sees the whole process.
 	Metrics *metrics.Registry
+	// MaxConns bounds concurrently served connections. A connection beyond
+	// the bound is not left to stall in the OS accept backlog: it is
+	// accepted, told "server busy" in a typed response (Response.Busy, which
+	// clients surface as ErrServerBusy), and closed — so an overloaded
+	// server degrades into fast, explicit refusals instead of invisible
+	// queueing. 0 means DefaultMaxConns; negative means unlimited. Set it
+	// before Start.
+	MaxConns int
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -46,6 +54,13 @@ const (
 	DefaultIdleTimeout  = 5 * time.Minute
 	DefaultWriteTimeout = 30 * time.Second
 )
+
+// DefaultMaxConns is the connection bound used when Server.MaxConns is 0.
+const DefaultMaxConns = 256
+
+// busyMessage travels in the refusal response's Err field so clients that
+// predate the Busy flag still see a meaningful error.
+const busyMessage = "server busy"
 
 // NewServer wraps source; call Serve or Start to accept connections.
 func NewServer(source wrapper.Source) *Server {
@@ -82,6 +97,10 @@ func (s *Server) Start(addr string) (string, error) {
 }
 
 func (s *Server) acceptLoop(ln net.Listener) {
+	max := s.MaxConns
+	if max == 0 {
+		max = DefaultMaxConns
+	}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -92,6 +111,15 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			s.mu.Unlock()
 			conn.Close()
 			return
+		}
+		if max > 0 && len(s.conns) >= max {
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.refuse(conn)
+			}()
+			continue
 		}
 		s.conns[conn] = true
 		s.mu.Unlock()
@@ -107,6 +135,19 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			s.handle(conn)
 		}()
 	}
+}
+
+// refuse answers an over-capacity connection with a typed busy response
+// and closes it. Writing before reading is safe: the refusal is the first
+// and only message on the stream, and the client's pending request sits in
+// the TCP buffers unread.
+func (s *Server) refuse(conn net.Conn) {
+	defer conn.Close()
+	s.registry().Counter("remote.busy").Inc()
+	if write := pickTimeout(s.WriteTimeout, DefaultWriteTimeout); write > 0 {
+		conn.SetWriteDeadline(time.Now().Add(write))
+	}
+	gob.NewEncoder(conn).Encode(Response{Err: busyMessage, Busy: true})
 }
 
 // Close stops accepting, closes live connections, and waits for handlers.

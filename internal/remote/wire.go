@@ -65,6 +65,10 @@ type Response struct {
 	// reconstitute a typed *wrapper.UnsupportedError.
 	Err         string
 	Unsupported string
+	// Busy marks a refusal by a server at its connection bound (see
+	// Server.MaxConns); the client surfaces it as ErrServerBusy so callers
+	// can back off or shed instead of treating overload as failure.
+	Busy bool
 	// CtxErr marks an Err caused by the request's own deadline budget
 	// ("deadline") or cancellation ("canceled"), so the client surfaces
 	// the matching context error instead of an opaque string — the same

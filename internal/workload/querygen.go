@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// QueryGenConfig configures a zipfian stream of point queries over a
+// generated Staff population — the multi-client serving workload: many
+// clients asking for people by name, a few hot names taking most of the
+// traffic.
+type QueryGenConfig struct {
+	// Names is the pool to draw from (typically Staff.Names).
+	Names []string
+	// Distinct bounds how many distinct names the stream ever draws (the
+	// zipf support); 0 or anything beyond len(Names) means all of them.
+	// The working set a cache must hold is Distinct, not len(Names).
+	Distinct int
+	// Skew is the zipf s parameter; must exceed 1, and higher values
+	// concentrate traffic on fewer names. 0 means DefaultSkew.
+	Skew float64
+	// Label is the mediator view label queried; "" means "cs_person".
+	Label string
+	// Source is the mediator name after "@"; "" means "med".
+	Source string
+	// Seed fixes the stream. Streams with the same config are identical;
+	// give each concurrent client its own generator (and its own seed) —
+	// a QueryGen is not safe for concurrent use.
+	Seed int64
+}
+
+// DefaultSkew is the zipf s parameter used when QueryGenConfig.Skew is 0,
+// skewed enough that a plan/answer cache sees a hot head without making
+// the tail disappear.
+const DefaultSkew = 1.3
+
+// QueryGen is a deterministic zipfian query stream. Not concurrency-safe:
+// one generator per client goroutine.
+type QueryGen struct {
+	names  []string
+	perm   []int
+	zipf   *rand.Zipf
+	label  string
+	source string
+}
+
+// NewQueryGen builds a stream per cfg. It panics on an empty name pool,
+// mirroring math/rand's own contract violations.
+func NewQueryGen(cfg QueryGenConfig) *QueryGen {
+	if len(cfg.Names) == 0 {
+		panic("workload: QueryGen needs a non-empty name pool")
+	}
+	distinct := cfg.Distinct
+	if distinct <= 0 || distinct > len(cfg.Names) {
+		distinct = len(cfg.Names)
+	}
+	skew := cfg.Skew
+	if skew == 0 {
+		skew = DefaultSkew
+	}
+	label := cfg.Label
+	if label == "" {
+		label = "cs_person"
+	}
+	source := cfg.Source
+	if source == "" {
+		source = "med"
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	return &QueryGen{
+		names: cfg.Names,
+		// Shuffle rank→name so the hot head is not the first-generated
+		// people (who correlate with departments and titles).
+		perm:   r.Perm(distinct),
+		zipf:   rand.NewZipf(r, skew, 1, uint64(distinct-1)),
+		label:  label,
+		source: source,
+	}
+}
+
+// NextName draws the next name from the zipf distribution.
+func (g *QueryGen) NextName() string {
+	return g.names[g.perm[g.zipf.Uint64()]]
+}
+
+// Next draws the next point query as MSL text: a lookup of one person by
+// name through the mediator's view.
+func (g *QueryGen) Next() string {
+	return g.QueryFor(g.NextName())
+}
+
+// QueryFor renders the point query for one specific name, in the exact
+// shape Next produces. The stream's whole working set is Names[:Distinct]
+// regardless of seed (seeds only reshuffle which names are hot), so
+// iterating QueryFor over that prefix primes a cache against every query
+// the stream can ever draw.
+func (g *QueryGen) QueryFor(name string) string {
+	return fmt.Sprintf("Q :- Q:<%s {<name '%s'>}>@%s.", g.label, name, g.source)
+}

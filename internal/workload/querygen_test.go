@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQueryGenDeterministic(t *testing.T) {
+	s, err := GenStaff(StaffConfig{Persons: 500, Departments: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := QueryGenConfig{Names: s.Names, Distinct: 100, Skew: 1.3, Seed: 42}
+	a, b := NewQueryGen(cfg), NewQueryGen(cfg)
+	for i := 0; i < 1000; i++ {
+		qa, qb := a.Next(), b.Next()
+		if qa != qb {
+			t.Fatalf("streams diverge at %d: %q vs %q", i, qa, qb)
+		}
+		if !strings.HasPrefix(qa, "Q :- Q:<cs_person {<name 'F") || !strings.HasSuffix(qa, "'>}>@med.") {
+			t.Fatalf("malformed query: %q", qa)
+		}
+	}
+	other := NewQueryGen(QueryGenConfig{Names: s.Names, Distinct: 100, Skew: 1.3, Seed: 43})
+	diverged := false
+	for i := 0; i < 100; i++ {
+		if a.Next() != other.Next() {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced the same stream")
+	}
+}
+
+// QueryFor must render the exact shape Next draws, so priming a cache
+// with QueryFor over Names[:Distinct] covers every possible stream query.
+func TestQueryForMatchesStream(t *testing.T) {
+	s, err := GenStaff(StaffConfig{Persons: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewQueryGen(QueryGenConfig{Names: s.Names, Distinct: 20, Seed: 5})
+	working := map[string]bool{}
+	for _, name := range s.Names[:20] {
+		working[g.QueryFor(name)] = true
+	}
+	for i := 0; i < 500; i++ {
+		if q := g.Next(); !working[q] {
+			t.Fatalf("stream drew %q, not covered by QueryFor over Names[:Distinct]", q)
+		}
+	}
+}
+
+func TestQueryGenSkewConcentrates(t *testing.T) {
+	s, err := GenStaff(StaffConfig{Persons: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	g := NewQueryGen(QueryGenConfig{Names: s.Names, Distinct: 1000, Skew: 1.3, Seed: 7})
+	const draws = 10000
+	for i := 0; i < draws; i++ {
+		counts[g.NextName()]++
+	}
+	max, distinct := 0, 0
+	for _, c := range counts {
+		distinct++
+		if c > max {
+			max = c
+		}
+	}
+	// Zipf s=1.3: the hottest name takes a large share and the tail stays
+	// populated — both matter for a cache benchmark.
+	if max < draws/10 {
+		t.Errorf("hottest name drew %d/%d, want a concentrated head", max, draws)
+	}
+	if distinct < 50 {
+		t.Errorf("only %d distinct names drawn, tail collapsed", distinct)
+	}
+	// Distinct bounds the support.
+	bounded := NewQueryGen(QueryGenConfig{Names: s.Names, Distinct: 10, Seed: 7})
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[bounded.NextName()] = true
+	}
+	if len(seen) > 10 {
+		t.Errorf("Distinct=10 drew %d names", len(seen))
+	}
+}
+
+func TestGenStaffScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-person generation in -short mode")
+	}
+	s, err := GenStaff(StaffConfig{Persons: 100_000, Departments: 20, EmployeeFraction: 0.6, Irregularity: 0.2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Names) != 100_000 {
+		t.Fatalf("names: %d", len(s.Names))
+	}
+	if s.Store.Len() != 100_000 {
+		t.Fatalf("whois records: %d", s.Store.Len())
+	}
+	emp, _ := s.DB.Table("employee")
+	stu, _ := s.DB.Table("student")
+	if emp.Len()+stu.Len() != 100_000 {
+		t.Fatalf("cs rows: %d", emp.Len()+stu.Len())
+	}
+	// Names must stay unique at six digits (F%04d widens past 9999).
+	seen := make(map[string]bool, len(s.Names))
+	for _, n := range s.Names {
+		if seen[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}

@@ -81,6 +81,10 @@ type (
 	CacheOptions = wrapper.CacheOptions
 	// CacheStats is a snapshot of one source cache's counters.
 	CacheStats = wrapper.CacheStats
+	// PlanCacheOptions configure the compiled-plan cache (Config.PlanCache).
+	PlanCacheOptions = plan.CacheOptions
+	// PlanCacheStats is a snapshot of the plan cache's counters.
+	PlanCacheStats = plan.CacheStats
 	// BatchQuerier is the optional Source extension for answering several
 	// queries in one exchange; batch-capable sources make the engine's
 	// parameterized-query batching collapse round-trips.
@@ -238,6 +242,17 @@ type Config struct {
 	// Hit rates feed the optimizer's cost model through the statistics
 	// store. Use Mediator.InvalidateCaches when a source changes.
 	Cache *CacheOptions
+	// PlanCache, when non-nil, caches compiled query plans (the expanded
+	// program plus the physical datamerge graph) in a bounded LRU keyed by
+	// the query's canonical text: variables alpha-renamed and conjunct
+	// order canonicalized, so the repeated query templates a serving tier
+	// sees compile once and then skip parse→expand→plan entirely.
+	// Compilation is singleflighted — N cold clients asking the same query
+	// cost one compile — and cached plans are dropped when AddSource
+	// replaces a source or Invalidate names a dependency. Off (nil) by
+	// default: replanning every call lets the optimizer react to freshly
+	// learned statistics, which some workloads (and benchmarks) rely on.
+	PlanCache *PlanCacheOptions
 	// Materialize, when non-nil, enables the materialized-view manager:
 	// the listed view heads are materialized into local extents (built by
 	// running the live pipeline once, on first demand or via Refresh), and
@@ -273,6 +288,7 @@ type Mediator struct {
 	cacheCfg *wrapper.CacheOptions
 	cacheMu  sync.Mutex
 	caches   []*wrapper.Cache
+	plans    *plan.Cache
 	matviews *matview.Manager
 	// fused marks specifications whose heads carry skolem object-ids:
 	// queries then evaluate against the materialized, fused view (see
@@ -354,6 +370,10 @@ func New(cfg Config) (*Mediator, error) {
 	if cfg.Cache != nil {
 		cacheCfg := *cfg.Cache
 		m.cacheCfg = &cacheCfg
+	}
+	if cfg.PlanCache != nil {
+		// Before the AddSource loop: AddSource invalidates plans by name.
+		m.plans = plan.NewCache(*cfg.PlanCache)
 	}
 	for _, src := range cfg.Sources {
 		m.AddSource(src)
@@ -514,12 +534,89 @@ func (m *Mediator) queryLive(ctx context.Context, q *Rule, policy ExecPolicy, qt
 	if m.fused || m.needsMaterializedView(q) {
 		return m.queryFusedView(ctx, policy, q, qt)
 	}
-	physical, _, err := m.planPhased(ctx, q, qt)
+	physical, err := m.planForQuery(ctx, q, qt)
 	if err != nil {
 		return nil, err
 	}
 	qt.Phase(trace.PhaseExecute)
 	return m.executeResult(ctx, policy, physical, qt)
+}
+
+// planForQuery produces the physical plan for q, through the plan cache
+// when Config.PlanCache is set. Cached plans are immutable operator
+// descriptions (all run state lives in the engine's per-run state) and
+// resolve their sources by name at execution time, so one plan serves any
+// number of concurrent queries and survives AddSource data refreshes that
+// keep the name and capabilities. A hit is annotated "cached-plan" on the
+// trace, with the expand phase open but empty and no plan phase at all —
+// the compile cost a warm trace shows is ≈ 0.
+func (m *Mediator) planForQuery(ctx context.Context, q *Rule, qt *trace.QueryTrace) (*plan.Plan, error) {
+	if m.plans == nil {
+		physical, _, err := m.planPhased(ctx, q, qt)
+		return physical, err
+	}
+	qt.Phase(trace.PhaseExpand)
+	compiled, hit, err := m.plans.GetOrCompile(ctx, plan.CacheKey(q), func(ctx context.Context) (*plan.Compiled, error) {
+		// Inlined planPhased: the expand phase is already open above, and
+		// reopening it here would split the trace's phase partition.
+		logical, err := m.ExpandContext(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		qt.Phase(trace.PhasePlan)
+		planner := plan.New(m.sources, m.extfns, m.stats, m.planOpts)
+		physical, err := planner.BuildContext(ctx, logical)
+		if err != nil {
+			return nil, err
+		}
+		deps, all := m.planDeps(q, logical)
+		return &plan.Compiled{Plan: physical, Program: logical, Deps: deps, DependsOnAll: all}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		qt.Annotate("cached-plan", 1)
+	}
+	return compiled.Plan, nil
+}
+
+// planDeps collects the names whose invalidation must drop q's cached
+// plan: every source the expanded program reads, plus the view labels the
+// original query asked this mediator for (so a matview-related Invalidate
+// of a label also retires plans compiled for queries over it). A variable
+// view label — or any mediator-directed conjunct surviving expansion —
+// defeats static analysis and marks the plan dependent on everything.
+func (m *Mediator) planDeps(q *Rule, logical *veao.Program) (deps []string, all bool) {
+	seen := map[string]bool{}
+	for _, r := range logical.Rules {
+		for _, c := range r.Tail {
+			pc, ok := c.(*msl.PatternConjunct)
+			if !ok {
+				continue
+			}
+			if pc.Source == "" || pc.Source == m.name {
+				return nil, true
+			}
+			seen[pc.Source] = true
+		}
+	}
+	for _, c := range q.Tail {
+		pc, ok := c.(*msl.PatternConjunct)
+		if !ok || (pc.Source != "" && pc.Source != m.name) {
+			continue
+		}
+		label := pc.Pattern.LabelName()
+		if label == "" {
+			return nil, true
+		}
+		seen[label] = true
+	}
+	deps = make([]string, 0, len(seen))
+	for n := range seen {
+		deps = append(deps, n)
+	}
+	return deps, false
 }
 
 // queryMatView offers q to the materialized-view manager and, on a hit,
@@ -972,6 +1069,11 @@ func (m *Mediator) AddSource(src Source) {
 		src = cache
 	}
 	m.sources.Add(src)
+	if m.plans != nil {
+		// A replacement may advertise different capabilities; a cached
+		// plan that pushed conditions into the old source would be wrong.
+		m.plans.Invalidate(src.Name())
+	}
 }
 
 // InvalidateCaches drops every cached source answer — call it when a
@@ -1002,6 +1104,9 @@ func (m *Mediator) Invalidate(name string) int {
 		c.Invalidate(name)
 	}
 	m.cacheMu.Unlock()
+	if m.plans != nil {
+		m.plans.Invalidate(name)
+	}
 	if m.matviews == nil {
 		return 0
 	}
@@ -1056,6 +1161,19 @@ func (m *Mediator) CacheStats() map[string]CacheStats {
 	}
 	return out
 }
+
+// PlanCacheStats snapshots the plan cache's counters; the zero value when
+// Config.PlanCache is unset.
+func (m *Mediator) PlanCacheStats() PlanCacheStats {
+	if m.plans == nil {
+		return PlanCacheStats{}
+	}
+	return m.plans.Stats()
+}
+
+// Policy returns the default execution policy queries run under
+// (Config.Policy); QueryPolicy overrides it per call.
+func (m *Mediator) Policy() ExecPolicy { return m.policy }
 
 // Stats exposes the mediator's learned statistics store.
 func (m *Mediator) QueryStats() *Stats { return m.stats }

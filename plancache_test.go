@@ -1,0 +1,206 @@
+package medmaker
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"medmaker/internal/metrics"
+	"medmaker/internal/trace"
+)
+
+func planCacheMediator(t *testing.T, reg *metrics.Registry) *Mediator {
+	t.Helper()
+	src, err := NewOEMSourceFromText("people", `
+		<person, set, {<name, 'Ann'>, <dept, 'CS'>}>
+		<person, set, {<name, 'Bob'>, <dept, 'CS'>}>
+		<person, set, {<name, 'Cyd'>, <dept, 'EE'>}>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := New(Config{
+		Name:      "med",
+		Spec:      `<staff {<name N> <dept D>}> :- <person {<name N> <dept D>}>@people.`,
+		Sources:   []Source{src},
+		PlanCache: &PlanCacheOptions{MaxEntries: 64, Metrics: reg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return med
+}
+
+// A warm plan-cache hit must leave only execution time in the trace: the
+// expand phase open but ≈ empty, no plan phase, and a cached-plan
+// annotation — the directly measurable win the cache exists for.
+func TestPlanCacheWarmTracePhases(t *testing.T) {
+	med := planCacheMediator(t, metrics.NewRegistry())
+	q, err := ParseQuery(`X :- X:<staff {<name N> <dept 'CS'>}>@med.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	cold, coldTrace, err := med.QueryTraced(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldSnap := coldTrace.Snapshot()
+	if coldSnap.Annotations["cached-plan"] != 0 {
+		t.Fatal("cold query claims a cached plan")
+	}
+	phaseSet := map[string]bool{}
+	for _, p := range coldSnap.Phases {
+		phaseSet[p.Name] = true
+	}
+	if !phaseSet[trace.PhaseExpand] || !phaseSet[trace.PhasePlan] {
+		t.Fatalf("cold trace missing compile phases: %v", coldSnap.Phases)
+	}
+
+	// Alpha-renamed + same shape: must hit the same cached plan.
+	q2, err := ParseQuery(`Y :- Y:<staff {<name M> <dept 'CS'>}>@med.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, warmTrace, err := med.QueryTraced(ctx, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmSnap := warmTrace.Snapshot()
+	if warmSnap.Annotations["cached-plan"] != 1 {
+		t.Fatalf("warm query not served from plan cache: annotations %v", warmSnap.Annotations)
+	}
+	var exec int64
+	for _, p := range warmSnap.Phases {
+		if p.Name == trace.PhasePlan {
+			t.Fatalf("warm trace still has a plan phase: %v", warmSnap.Phases)
+		}
+		if p.Name == trace.PhaseExecute {
+			exec += p.Nanos
+		}
+	}
+	// Compile time (everything but execute) should be a sliver of the
+	// total on a hit; allow generous slack for scheduler noise.
+	if compile := warmSnap.TotalNanos - exec; compile > warmSnap.TotalNanos/2 && warmSnap.TotalNanos > 1e6 {
+		t.Errorf("warm query spent %dns outside execution (total %dns)", compile, warmSnap.TotalNanos)
+	}
+	if got, want := canonicalize(warm.Objects), canonicalize(cold.Objects); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("cached plan changed the answer:\ncold %v\nwarm %v", want, got)
+	}
+	st := med.PlanCacheStats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+// AddSource (a source replacement) and Invalidate must retire plans
+// compiled against the old source; unrelated names must not.
+func TestPlanCacheInvalidation(t *testing.T) {
+	med := planCacheMediator(t, metrics.NewRegistry())
+	q, err := ParseQuery(`X :- X:<staff {<name N>}>@med.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := med.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if st := med.PlanCacheStats(); st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+	med.Invalidate("unrelated")
+	if st := med.PlanCacheStats(); st.Entries != 1 {
+		t.Fatalf("Invalidate(unrelated) dropped the plan")
+	}
+	med.Invalidate("people")
+	if st := med.PlanCacheStats(); st.Entries != 0 || st.Invalidated != 1 {
+		t.Fatalf("Invalidate(people) left stats %+v", st)
+	}
+
+	// Recompile, then replace the source with different data under the
+	// same name: the plan must be dropped and the answer reflect the
+	// replacement.
+	before, err := med.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replacement, err := NewOEMSourceFromText("people", `
+		<person, set, {<name, 'Zoe'>, <dept, 'CS'>}>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med.AddSource(replacement)
+	if st := med.PlanCacheStats(); st.Entries != 0 {
+		t.Fatalf("AddSource left a stale plan: %+v", st)
+	}
+	after, err := med.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) == len(before) {
+		t.Fatalf("replacement not visible: %d objects before and after", len(before))
+	}
+}
+
+// Invalidating a materialized-view label also retires plans whose query
+// referenced that view head.
+func TestPlanCacheViewLabelInvalidation(t *testing.T) {
+	med := planCacheMediator(t, metrics.NewRegistry())
+	q, err := ParseQuery(`X :- X:<staff {<name N>}>@med.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := med.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if n := med.Invalidate("staff"); n != 0 {
+		t.Fatalf("no matviews configured, yet %d extents marked", n)
+	}
+	if st := med.PlanCacheStats(); st.Entries != 0 {
+		t.Fatalf("Invalidate(staff) left the staff plan cached: %+v", st)
+	}
+}
+
+// Concurrent cold queries on one key compile once (singleflight) and all
+// get the right answer.
+func TestPlanCacheConcurrentColdStart(t *testing.T) {
+	med := planCacheMediator(t, metrics.NewRegistry())
+	ref, err := med.QueryString(`X :- X:<staff {<dept 'CS'>}>@med.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med.Invalidate("")
+	base := med.PlanCacheStats() // the reference query's counts
+	want := fmt.Sprint(canonicalize(ref))
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Per-client variable names: alpha-renaming must unify them.
+			objs, err := med.QueryString(fmt.Sprintf(`Q%d :- Q%d:<staff {<dept 'CS'>}>@med.`, i, i))
+			if err != nil {
+				errs <- fmt.Errorf("client %d: %w", i, err)
+				return
+			}
+			if got := fmt.Sprint(canonicalize(objs)); got != want {
+				errs <- fmt.Errorf("client %d answer diverged:\n got %s\nwant %s", i, got, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := med.PlanCacheStats()
+	if st.Entries != 1 {
+		t.Errorf("entries = %d, want 1", st.Entries)
+	}
+	if got := st.Hits + st.Misses - base.Hits - base.Misses; got != clients {
+		t.Errorf("hits+misses counted %d lookups, want %d clients", got, clients)
+	}
+}
