@@ -67,8 +67,24 @@ func main() {
 	serveZipf := flag.Float64("serve-zipf", workload.DefaultSkew, "zipfian skew for -serve (> 1)")
 	serveSeed := flag.Int64("serve-seed", 1, "base workload seed for -serve (client i uses seed+i)")
 	serveWarm := flag.Bool("serve-warm", true, "prime the plan cache over the whole working set before measuring (-serve measures steady-state serving; disable to include cold-start compiles)")
+	shardOut := flag.String("shard", "", "write a JSON snapshot of the sharded scatter/gather measurements (throughput and latency vs shard count through the multiplexed remote protocol, the BENCH_7.json artifact) to this file and exit")
+	shardCounts := flag.String("shard-counts", "1,2,4", "comma-separated shard counts for -shard")
+	shardClients := flag.Int("shard-clients", 8, "concurrent closed-loop clients for -shard")
+	shardDuration := flag.Duration("shard-duration", 2*time.Second, "measurement window per shard count for -shard")
+	shardPersons := flag.Int("shard-persons", 10000, "population size for -shard")
+	shardDistinct := flag.Int("shard-distinct", 500, "distinct point-query templates for -shard")
+	shardScanEvery := flag.Int("shard-scan-every", 64, "every k'th query per client is a scatter scan for -shard (0 disables scans)")
+	shardSeed := flag.Int64("shard-seed", 1, "base workload seed for -shard (client i uses seed+i)")
 	flag.DurationVar(&queryTimeout, "timeout", 0, "per-query deadline for measured queries (e.g. 30s); 0 means none")
 	flag.Parse()
+	if *shardOut != "" {
+		runShard(shardConfig{
+			Path: *shardOut, Shards: mustClients(*shardCounts), Clients: *shardClients,
+			Duration: *shardDuration, Persons: *shardPersons, Distinct: *shardDistinct,
+			ScanEvery: *shardScanEvery, Seed: *shardSeed,
+		})
+		return
+	}
 	if *serveOut != "" {
 		runServe(serveConfig{
 			Path: *serveOut, Clients: mustClients(*serveClients), Duration: *serveDuration,

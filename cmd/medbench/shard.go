@@ -1,0 +1,302 @@
+package main
+
+// The sharded scatter/gather benchmark (-shard, the BENCH_7.json
+// artifact): the same staff population is hash-partitioned across 1, 2,
+// and 4 member sources, each served over TCP through the framed remote
+// protocol, and a mediator over the partitioned composites serves a
+// closed-loop client mix of routed point lookups and scattered scans.
+// Shard count 1 is the single-source baseline; the higher counts show
+// what partition routing and concurrent scatters buy (or cost) through
+// the multiplexed remote clients. The artifact also carries the framing
+// evidence: a frame log from one member connection with responses
+// arriving out of send order, and a warm trace with the cached-plan
+// annotation.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"medmaker"
+	"medmaker/internal/metrics"
+	"medmaker/internal/workload"
+)
+
+// shardConfig parameterizes the sharded serving benchmark.
+type shardConfig struct {
+	Path     string
+	Shards   []int
+	Clients  int
+	Duration time.Duration
+	Persons  int
+	Distinct int
+	// ScanEvery makes every k'th query a scatter (an unrouted scan);
+	// the rest are routed point lookups.
+	ScanEvery int
+	Seed      int64
+}
+
+// shardLevel is one shard-count row of the BENCH_7 artifact.
+type shardLevel struct {
+	Shards     int     `json:"shards"`
+	Queries    int64   `json:"queries"`
+	QPS        float64 `json:"qps"`
+	P50Micros  int64   `json:"p50_us"`
+	P95Micros  int64   `json:"p95_us"`
+	P99Micros  int64   `json:"p99_us"`
+	Routed     int64   `json:"shard_routed"`
+	Scatters   int64   `json:"shard_scatters"`
+	Exchanges  int64   `json:"shard_exchanges"`
+	FramesSent int64   `json:"frames_sent"`
+	FramesRecv int64   `json:"frames_recv"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+}
+
+// frameEvent mirrors remote.FrameEvent for the JSON artifact.
+type frameEvent struct {
+	Seq uint64 `json:"seq"`
+	Dir string `json:"dir"`
+	ID  uint64 `json:"id"`
+}
+
+// frameEvidence is a captured frame log from one member connection.
+type frameEvidence struct {
+	Member      string       `json:"member"`
+	Interleaved bool         `json:"interleaved"`
+	Events      []frameEvent `json:"events"`
+}
+
+// shardFile is the BENCH_7.json shape.
+type shardFile struct {
+	Tool       string                 `json:"tool"`
+	GoMaxProcs int                    `json:"gomaxprocs"`
+	Persons    int                    `json:"persons"`
+	Clients    int                    `json:"clients"`
+	Distinct   int                    `json:"distinct"`
+	ScanEvery  int                    `json:"scan_every"`
+	DurationMS int64                  `json:"duration_ms_per_level"`
+	Seed       int64                  `json:"seed"`
+	Levels     []shardLevel           `json:"levels"`
+	Frames     *frameEvidence         `json:"frames"`
+	WarmTrace  *medmaker.TraceSummary `json:"warm_trace"`
+}
+
+// shardDeployment is one running sharded topology: remote servers for
+// every member, framed clients dialed to them, and the mediator over the
+// partitioned composites.
+type shardDeployment struct {
+	med     *medmaker.Mediator
+	staff   *workload.ShardedStaff
+	servers []*medmaker.RemoteServer
+	clients []*medmaker.RemoteClient
+	// whois0 is the member client the frame evidence is captured on.
+	whois0 *medmaker.RemoteClient
+}
+
+func (d *shardDeployment) close() {
+	for _, c := range d.clients {
+		c.Close()
+	}
+	for _, s := range d.servers {
+		s.Close()
+	}
+}
+
+// deployShards stands up the n-shard topology: the population is
+// partitioned by workload.GenStaffSharded, every member extent is served
+// over TCP, and the mediator integrates the two partitioned composites.
+func deployShards(cfg shardConfig, n int) *shardDeployment {
+	d := &shardDeployment{}
+	d.staff = must(workload.GenStaffSharded(workload.StaffConfig{
+		Persons: cfg.Persons, Departments: 4, EmployeeFraction: 0.5, Irregularity: 0.3, Seed: cfg.Seed,
+	}, n))
+	dialMember := func(src medmaker.Source) *medmaker.RemoteClient {
+		addr, srv := mustServe(src)
+		d.servers = append(d.servers, srv)
+		client := must(medmaker.DialSource(addr, 30*time.Second))
+		d.clients = append(d.clients, client)
+		return client
+	}
+	csMembers := make([]medmaker.Source, n)
+	whoisMembers := make([]medmaker.Source, n)
+	for i := 0; i < n; i++ {
+		csMembers[i] = dialMember(medmaker.NewRelationalWrapper(fmt.Sprintf("cs%d", i), d.staff.DBs[i]))
+		wc := dialMember(medmaker.NewRecordWrapper(fmt.Sprintf("whois%d", i), d.staff.Stores[i]))
+		whoisMembers[i] = wc
+		if i == 0 {
+			d.whois0 = wc
+		}
+	}
+	csPart := must(medmaker.NewPartitionedSource("cs", workload.CSShardKey, csMembers...))
+	whoisPart := must(medmaker.NewPartitionedSource("whois", workload.WhoisShardKey, whoisMembers...))
+	d.med = must(medmaker.New(medmaker.Config{
+		Name: "med", Spec: specMS1,
+		Sources:   []medmaker.Source{csPart, whoisPart},
+		PlanCache: &medmaker.PlanCacheOptions{MaxEntries: 4096},
+	}))
+	return d
+}
+
+// shardScanQuery is the unrouted query of the mix: nothing binds the
+// partition key, so the whois conjunct scatters to every member.
+const shardScanQuery = `S :- S:<cs_person {<year 3>}>@med.`
+
+// runShard measures the sharded topologies and writes BENCH_7.json.
+func runShard(cfg shardConfig) {
+	snap := shardFile{
+		Tool: "medbench -shard", GoMaxProcs: runtime.GOMAXPROCS(0),
+		Persons: cfg.Persons, Clients: cfg.Clients, Distinct: cfg.Distinct,
+		ScanEvery: cfg.ScanEvery, DurationMS: cfg.Duration.Milliseconds(), Seed: cfg.Seed,
+	}
+	for li, n := range cfg.Shards {
+		d := deployShards(cfg, n)
+		level := measureShardLevel(cfg, d, n)
+		if li == len(cfg.Shards)-1 {
+			// Evidence from the largest topology: interleaved frames on one
+			// member connection, and a warm cached-plan trace.
+			snap.Frames = captureFrames(d)
+			snap.WarmTrace = captureWarmTrace(d)
+		}
+		d.close()
+		snap.Levels = append(snap.Levels, level)
+		fmt.Printf("shards=%-2d qps=%8.0f p50=%6dus p95=%6dus p99=%6dus routed=%d scatters=%d frames=%d/%d\n",
+			n, level.QPS, level.P50Micros, level.P95Micros, level.P99Micros,
+			level.Routed, level.Scatters, level.FramesSent, level.FramesRecv)
+	}
+	data := must(json.MarshalIndent(snap, "", "  "))
+	data = append(data, '\n')
+	if err := os.WriteFile(cfg.Path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d shard levels)\n", cfg.Path, len(snap.Levels))
+}
+
+// measureShardLevel drives the deployment from closed-loop clients for
+// the configured window.
+func measureShardLevel(cfg shardConfig, d *shardDeployment, n int) shardLevel {
+	// Warm the plan cache so every level measures steady-state serving.
+	warmGen := workload.NewQueryGen(workload.QueryGenConfig{
+		Names: d.staff.Names, Distinct: cfg.Distinct, Seed: cfg.Seed,
+	})
+	for i := 0; i < cfg.Distinct && i < len(d.staff.Names); i++ {
+		must(query(d.med, warmGen.QueryFor(d.staff.Names[i])))
+	}
+	must(query(d.med, shardScanQuery))
+
+	before := metrics.Default().Snapshot()
+	latencies := make([][]time.Duration, cfg.Clients)
+	errs := make([]error, cfg.Clients)
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			gen := workload.NewQueryGen(workload.QueryGenConfig{
+				Names: d.staff.Names, Distinct: cfg.Distinct, Seed: cfg.Seed + int64(i),
+			})
+			for k := 0; time.Now().Before(deadline); k++ {
+				q := gen.Next()
+				if cfg.ScanEvery > 0 && k%cfg.ScanEvery == cfg.ScanEvery-1 {
+					q = shardScanQuery
+				}
+				t0 := time.Now()
+				if _, err := query(d.med, q); err != nil {
+					errs[i] = fmt.Errorf("client %d: %w", i, err)
+					return
+				}
+				latencies[i] = append(latencies[i], time.Since(t0))
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	after := metrics.Default().Snapshot()
+	var merged []time.Duration
+	for _, ls := range latencies {
+		merged = append(merged, ls...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	return shardLevel{
+		Shards: n, Queries: int64(len(merged)),
+		QPS:        float64(len(merged)) / elapsed.Seconds(),
+		P50Micros:  exactQuantile(merged, 0.50).Microseconds(),
+		P95Micros:  exactQuantile(merged, 0.95).Microseconds(),
+		P99Micros:  exactQuantile(merged, 0.99).Microseconds(),
+		Routed:     after.Counter("shard.routed") - before.Counter("shard.routed"),
+		Scatters:   after.Counter("shard.scatter") - before.Counter("shard.scatter"),
+		Exchanges:  after.Counter("shard.exchanges") - before.Counter("shard.exchanges"),
+		FramesSent: after.Counter("remote.frames.sent") - before.Counter("remote.frames.sent"),
+		FramesRecv: after.Counter("remote.frames.recv") - before.Counter("remote.frames.recv"),
+		ElapsedSec: elapsed.Seconds(),
+	}
+}
+
+// captureFrames records the multiplexing evidence on the whois0 member
+// connection: a full-extent scan ships first, point lookups overtake it,
+// and their responses come back before the scan's — out of send order on
+// the one shared connection.
+func captureFrames(d *shardDeployment) *frameEvidence {
+	log := d.whois0.EnableFrameLog(256)
+	scan := must(medmaker.ParseQuery(`X :- X:<person {<dept D>}>@whois0.`))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		d.whois0.Query(scan)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	var name string
+	for _, full := range d.staff.Names {
+		if workload.ShardOf(full, len(d.staff.Stores)) == 0 {
+			name = full
+			break
+		}
+	}
+	point := must(medmaker.ParseQuery(fmt.Sprintf(`X :- X:<person {<name '%s'>}>@whois0.`, name)))
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.whois0.Query(point)
+		}()
+	}
+	wg.Wait()
+	ev := &frameEvidence{Member: "whois0", Interleaved: log.Interleaved()}
+	for _, e := range log.Events() {
+		ev.Events = append(ev.Events, frameEvent{Seq: e.Seq, Dir: e.Dir, ID: e.ID})
+	}
+	return ev
+}
+
+// captureWarmTrace runs one point query twice and returns the second,
+// plan-cache-warm trace.
+func captureWarmTrace(d *shardDeployment) *medmaker.TraceSummary {
+	gen := workload.NewQueryGen(workload.QueryGenConfig{Names: d.staff.Names, Distinct: 16, Seed: 1})
+	rule := must(medmaker.ParseQuery(gen.Next()))
+	ctx := context.Background()
+	if _, _, err := d.med.QueryTraced(ctx, rule); err != nil {
+		fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
+		os.Exit(1)
+	}
+	_, qt, err := d.med.QueryTraced(ctx, rule)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
+		os.Exit(1)
+	}
+	warm := qt.Snapshot()
+	return &warm
+}

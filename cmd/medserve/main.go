@@ -358,6 +358,14 @@ func newServer(med *medmaker.Mediator, opts serveOptions) *server {
 	if shedTimeout <= 0 {
 		shedTimeout = 2 * time.Second
 	}
+	// Pre-touch the distributed-tier counters so a /metrics scrape lists
+	// them at zero before any sharded or remote traffic has arrived.
+	for _, name := range []string{
+		"shard.routed", "shard.scatter", "shard.exchanges", "shard.failures",
+		"remote.frames.sent", "remote.frames.recv",
+	} {
+		reg.Counter(name).Add(0)
+	}
 	return &server{
 		med:  med,
 		reg:  reg,

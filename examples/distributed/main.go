@@ -1,8 +1,12 @@
 // Command distributed runs the TSIMMIS architecture of the paper's
-// Figure 1.1 over real network connections: two wrapper processes (here,
-// two TCP servers in the same process for convenience) export OEM, a
-// mediator dials them as remote sources, and a further server exposes the
-// mediator itself — mediators and wrappers are interchangeable sources.
+// Figure 1.1 over real network connections, composed the way a deployed
+// federation grows: the whois population is hash-partitioned across two
+// shard servers and rejoined behind one logical source, a sub-mediator
+// integrates that partition with the cs wrapper, and a top mediator
+// registers the served sub-mediator as just another source — wrappers,
+// partitions, and mediators are interchangeable, so tiers stack. Every
+// hop speaks the framed remote protocol: one multiplexed connection per
+// peer, negotiated down to the lockstep protocol for old peers.
 package main
 
 import (
@@ -14,8 +18,30 @@ import (
 	"medmaker/internal/oem"
 )
 
+// dial connects to addr and reports the negotiated wire protocol.
+func dial(addr string) *medmaker.RemoteClient {
+	c, err := medmaker.DialSource(addr, time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proto := "lockstep"
+	if c.Proto() == medmaker.ProtoFramed {
+		proto = "framed (multiplexed)"
+	}
+	fmt.Printf("dialed %-6s at %s  protocol: %s\n", c.Name(), addr, proto)
+	return c
+}
+
+func serve(src medmaker.Source) (string, *medmaker.RemoteServer) {
+	addr, srv, err := medmaker.Serve(src, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return addr, srv
+}
+
 func main() {
-	// --- Wrapper processes. ---
+	// --- The cs wrapper process: one relational server. ---
 	db := medmaker.NewRelationalDB()
 	emp := db.MustCreateTable(medmaker.RelationalSchema{
 		Name: "employee",
@@ -26,77 +52,110 @@ func main() {
 		},
 	})
 	emp.MustInsert("Joe", "Chung", "professor")
-	csAddr, csSrv, err := medmaker.Serve(medmaker.NewRelationalWrapper("cs", db), "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
+	emp.MustInsert("Sally", "Stanford", "dean")
+	csAddr, csSrv := serve(medmaker.NewRelationalWrapper("cs", db))
 	defer csSrv.Close()
+	fmt.Printf("wrapper cs     listening on %s\n", csAddr)
 
-	store := medmaker.NewRecordStore()
-	store.MustAdd(medmaker.Record{Kind: "person", Fields: []medmaker.RecordField{
-		{Name: "name", Value: "Joe Chung"},
-		{Name: "dept", Value: "CS"},
-		{Name: "relation", Value: "employee"},
-		{Name: "e_mail", Value: "chung@cs"},
-	}})
-	whoisAddr, whoisSrv, err := medmaker.Serve(medmaker.NewRecordWrapper("whois", store), "127.0.0.1:0")
+	// --- The whois tier: the same person extent hash-partitioned across
+	// two shard servers by the <name> field. Each shard holds exactly the
+	// people whose name hashes to it. ---
+	const shards = 2
+	stores := make([]*medmaker.RecordStore, shards)
+	for i := range stores {
+		stores[i] = medmaker.NewRecordStore()
+	}
+	for _, p := range []struct{ name, relation, email string }{
+		{"Joe Chung", "employee", "chung@cs"},
+		{"Sally Stanford", "employee", "sally@cs"},
+	} {
+		stores[medmaker.ShardOf(p.name, shards)].MustAdd(medmaker.Record{
+			Kind: "person", Fields: []medmaker.RecordField{
+				{Name: "name", Value: p.name},
+				{Name: "dept", Value: "CS"},
+				{Name: "relation", Value: p.relation},
+				{Name: "e_mail", Value: p.email},
+			}})
+	}
+	whoisMembers := make([]medmaker.Source, shards)
+	for i, st := range stores {
+		addr, srv := serve(medmaker.NewRecordWrapper(fmt.Sprintf("whois%d", i), st))
+		defer srv.Close()
+		fmt.Printf("shard  whois%d  listening on %s (%d records)\n", i, addr, st.Len())
+		member := dial(addr)
+		defer member.Close()
+		whoisMembers[i] = member
+	}
+	// One logical whois source over the shard members: queries that bind
+	// <name> route to the one shard the key hashes to; anything else
+	// scatters to every member and gathers the union.
+	whois, err := medmaker.NewPartitionedSource("whois", "name", whoisMembers...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer whoisSrv.Close()
-	fmt.Printf("wrapper cs    listening on %s\n", csAddr)
-	fmt.Printf("wrapper whois listening on %s\n", whoisAddr)
 
-	// --- The mediator process dials the wrappers. ---
-	csRemote, err := medmaker.DialSource(csAddr, time.Second)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// --- The sub-mediator process integrates cs and the whois partition
+	// under the paper's MS1-style view, and is itself served. ---
+	csRemote := dial(csAddr)
 	defer csRemote.Close()
-	whoisRemote, err := medmaker.DialSource(whoisAddr, time.Second)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer whoisRemote.Close()
-	fmt.Printf("mediator connected to %s and %s\n\n", csRemote.Name(), whoisRemote.Name())
-
-	med, err := medmaker.New(medmaker.Config{
-		Name: "med",
+	sub, err := medmaker.New(medmaker.Config{
+		Name: "sub",
 		Spec: `
 		<cs_person {<name N> <relation R> Rest1 Rest2}> :-
 		    <person {<name N> <dept 'CS'> <relation R> | Rest1}>@whois
 		    AND <R {<first_name FN> <last_name LN> | Rest2}>@cs
 		    AND decomp(N, LN, FN).
 		decomp(bound, free, free) by name_to_lnfn.`,
-		Sources: []medmaker.Source{csRemote, whoisRemote},
+		Sources: []medmaker.Source{csRemote, whois},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	subAddr, subSrv := serve(sub)
+	defer subSrv.Close()
+	fmt.Printf("mediator sub   listening on %s\n", subAddr)
 
-	// --- The mediator is itself served over TCP; the application dials
-	// it. Queries against it are answered by querying the wrappers over
-	// their own connections. ---
-	medAddr, medSrv, err := medmaker.Serve(med, "127.0.0.1:0")
+	// --- The top mediator registers the served sub-mediator as a source:
+	// a mediator over a mediator, the composed tier of Figure 1.1. ---
+	subRemote := dial(subAddr)
+	defer subRemote.Close()
+	top, err := medmaker.New(medmaker.Config{
+		Name:    "med",
+		Spec:    `<cs_person {<name N> | R}> :- <cs_person {<name N> | R}>@sub.`,
+		Sources: []medmaker.Source{subRemote},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	medAddr, medSrv := serve(top)
 	defer medSrv.Close()
-	app, err := medmaker.DialSource(medAddr, time.Second)
-	if err != nil {
-		log.Fatal(err)
-	}
+	app := dial(medAddr)
 	defer app.Close()
-	fmt.Printf("mediator %s listening on %s\n\n", app.Name(), medAddr)
+	fmt.Println()
 
-	q, err := medmaker.ParseQuery(`JC :- JC:<cs_person {<name 'Joe Chung'>}>@med.`)
+	// A point query binds <name>, so the whois leg routes to exactly one
+	// shard; the answer crosses three network hops on the way back.
+	point, err := medmaker.ParseQuery(`JC :- JC:<cs_person {<name 'Joe Chung'>}>@med.`)
 	if err != nil {
 		log.Fatal(err)
 	}
-	objs, err := app.Query(q)
+	objs, err := app.Query(point)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("application received over the wire:")
+	fmt.Println("routed point query through app -> med -> sub -> {cs, whois shard}:")
+	fmt.Print(medmaker.FormatOEM(objs...))
+
+	// A scan binds nothing, so the whois leg scatters to both shards and
+	// the partition gathers the union before the join.
+	scan, err := medmaker.ParseQuery(`P :- P:<cs_person {<name N>}>@med.`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	objs, err = app.Query(scan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nscatter/gather scan over both shards:")
 	fmt.Print(medmaker.FormatOEM(objs...))
 }

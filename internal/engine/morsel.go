@@ -44,8 +44,18 @@ func (ex *Executor) morselCount(total int) int {
 // cancellation) stops the pool. Morsel and worker counts are reported to
 // the node's trace record.
 func (rs *runState) runMorsels(n Node, total int, fn func(m, lo, hi int) error) error {
-	size := rs.ex.morselRows()
-	morsels := rs.ex.morselCount(total)
+	return rs.runMorselsWidth(n, total, rs.ex.morselRows(), fn)
+}
+
+// runMorselsWidth is runMorsels with an explicit morsel width. Latency-
+// bound work uses width 1 — a shard scatter's member exchanges each
+// become their own morsel, so four shards fan out over four workers
+// instead of sharing one row-sized morsel.
+func (rs *runState) runMorselsWidth(n Node, total, size int, fn func(m, lo, hi int) error) error {
+	if size < 1 {
+		size = 1
+	}
+	morsels := (total + size - 1) / size
 	if morsels == 0 {
 		return rs.cancelled()
 	}

@@ -196,9 +196,14 @@ func tableFromEnvs(needed []string, rows []match.Env) *Table {
 
 // querySource performs one single-query exchange under the run's context
 // and failure policy. skipped=true means the policy absorbed a failure
-// (or the source is circuit-broken) and the answer must be treated as
-// empty; the run is then marked incomplete.
+// (or the source is circuit-broken) and the answer is missing at least
+// one source's (or shard's) contribution; the run is then marked
+// incomplete. Sharded sources are scattered (or routed) member by member
+// so failure handling attributes to the shard, not the composite.
 func (n *QueryNode) querySource(rs *runState, src wrapper.Source, q *msl.Rule) (objs []*oem.Object, skipped bool, err error) {
+	if sh, ok := src.(wrapper.Sharded); ok {
+		return n.queryShards(rs, sh, q)
+	}
 	if rs.sourceDown(n.Source) {
 		return nil, true, nil
 	}
@@ -476,7 +481,11 @@ func (n *QueryNode) fetchBatches(rs *runState, src wrapper.Source, keys []string
 
 // fetchChunk performs one exchange's worth of queries: a single batched
 // exchange for batch-capable sources, one exchange per query otherwise.
+// Against a sharded source the chunk is regrouped per member shard first.
 func (n *QueryNode) fetchChunk(rs *runState, src wrapper.Source, chunk []string, pending map[string]*msl.Rule, canBatch bool, store func(string, *answerSet)) error {
+	if sh, ok := src.(wrapper.Sharded); ok {
+		return n.fetchChunkSharded(rs, sh, chunk, pending, store)
+	}
 	if canBatch && len(chunk) > 1 {
 		if rs.sourceDown(n.Source) {
 			for _, k := range chunk {

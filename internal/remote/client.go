@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"medmaker/internal/metrics"
@@ -15,19 +16,30 @@ import (
 	"medmaker/internal/wrapper"
 )
 
-// Client is a wrapper.Source backed by a remote Server. It maintains a
-// small pool of connections so concurrent queries (the engine's parallel
-// fan-out) proceed without serializing, dialing lazily and redialing
-// transparently when a connection drops. Use Dial to construct one.
+// Client is a wrapper.Source backed by a remote Server. Against a server
+// that accepts the framed protocol (ProtoFramed), every request travels
+// as an ID-tagged frame on one shared multiplexed connection: concurrent
+// queries (the engine's parallel fan-out) interleave their frames and
+// responses return out of order, each matched back to its caller by ID —
+// no per-burst dialing, one socket per peer. Against an old server the
+// client falls back transparently to the original protocol, keeping a
+// small pool of lockstep connections and redialing as needed. Use Dial
+// to construct one.
 type Client struct {
 	addr    string
 	timeout time.Duration
 	name    string
 	caps    wrapper.Capabilities
+	proto   atomic.Int32
 
 	mu     sync.Mutex
 	idle   []*clientConn
 	closed bool
+
+	muxMu sync.Mutex
+	mux   *muxConn
+
+	frameLog atomic.Pointer[FrameLog]
 }
 
 type clientConn struct {
@@ -36,8 +48,9 @@ type clientConn struct {
 	dec  *gob.Decoder
 }
 
-// maxIdleConns bounds the pool; additional concurrent queries dial
-// transient connections that are closed when the pool is full.
+// maxIdleConns bounds the unframed fallback pool; additional concurrent
+// queries dial transient connections that are closed when the pool is
+// full.
 const maxIdleConns = 8
 
 var (
@@ -48,14 +61,14 @@ var (
 )
 
 // Dial connects to a remote wrapper and performs the handshake that
-// fetches its name and capabilities. timeout bounds dialing and each
-// round trip (0 means 10s).
+// fetches its name and capabilities and negotiates the protocol version.
+// timeout bounds dialing and each round trip (0 means 10s).
 func Dial(addr string, timeout time.Duration) (*Client, error) {
 	if timeout == 0 {
 		timeout = 10 * time.Second
 	}
 	c := &Client{addr: addr, timeout: timeout}
-	resp, err := c.roundTrip(context.Background(), Request{Kind: reqHello})
+	resp, err := c.negotiate(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -66,6 +79,59 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	c.caps = resp.Caps
 	return c, nil
 }
+
+// negotiate dials a fresh connection, performs the unframed hello that
+// offers ProtoFramed, and installs the connection per the server's
+// answer: an accepting server's connection becomes the shared mux, an
+// old server's goes to the lockstep pool and the client stays unframed.
+func (c *Client) negotiate(ctx context.Context) (Response, error) {
+	d := net.Dialer{Timeout: c.timeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return Response{}, fmt.Errorf("remote: dial %s: %w", c.addr, err)
+	}
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	conn.SetDeadline(time.Now().Add(c.timeout))
+	var resp Response
+	err = enc.Encode(Request{Kind: reqHello, Proto: ProtoFramed})
+	if err == nil {
+		err = dec.Decode(&resp)
+	}
+	if err != nil {
+		conn.Close()
+		return Response{}, fmt.Errorf("remote: %s: %w", c.addr, err)
+	}
+	conn.SetDeadline(time.Time{})
+	if err := respError(c.addr, resp); err != nil {
+		conn.Close() // a refusal (busy) leaves no usable connection
+		return resp, nil
+	}
+	if resp.Proto >= ProtoFramed {
+		c.proto.Store(ProtoFramed)
+		m := newMuxConn(conn, enc, dec, c.timeout, &c.frameLog)
+		c.muxMu.Lock()
+		old := c.mux
+		c.mux = m
+		closed := c.closed
+		c.muxMu.Unlock()
+		if old != nil {
+			old.fail(errors.New("remote: connection replaced"))
+		}
+		if closed {
+			m.fail(errors.New("remote: client closed"))
+		}
+		return resp, nil
+	}
+	c.proto.Store(ProtoUnframed)
+	c.release(&clientConn{conn: conn, enc: enc, dec: dec})
+	return resp, nil
+}
+
+// Proto reports the negotiated protocol version: ProtoFramed when the
+// server accepted multiplexing, ProtoUnframed when the client fell back
+// to the lockstep protocol.
+func (c *Client) Proto() int { return int(c.proto.Load()) }
 
 // Name implements wrapper.Source.
 func (c *Client) Name() string { return c.name }
@@ -205,11 +271,11 @@ func respError(name string, resp Response) error {
 	return fmt.Errorf("remote: %s: %s", name, resp.Err)
 }
 
-// Close tears down all pooled connections; in-flight queries finish on
-// their own connections.
+// Close tears down the multiplexed connection (in-flight frames fail)
+// and all pooled connections; in-flight unframed queries finish on their
+// own connections.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.closed = true
 	var first error
 	for _, cc := range c.idle {
@@ -218,6 +284,14 @@ func (c *Client) Close() error {
 		}
 	}
 	c.idle = nil
+	c.mu.Unlock()
+	c.muxMu.Lock()
+	m := c.mux
+	c.mux = nil
+	c.muxMu.Unlock()
+	if m != nil {
+		m.fail(errors.New("remote: client closed"))
+	}
 	return first
 }
 
@@ -249,12 +323,14 @@ func (c *Client) release(cc *clientConn) {
 	cc.conn.Close()
 }
 
-// roundTrip sends one request and reads one response on a pooled
-// connection, bounded by ctx. A broken pooled connection is retried once
-// with a fresh dial (the server may have restarted); a request cancelled
-// or timed out by ctx is not retried and surfaces ctx's error.
+// roundTrip sends one request and reads its response, bounded by ctx: as
+// a frame on the shared multiplexed connection when the server accepted
+// framing, in lockstep on a pooled connection otherwise. A request that
+// failed before its response started arriving is retried once on a fresh
+// connection (the server may have restarted); a request cancelled or
+// timed out by ctx is not retried and surfaces ctx's error.
 func (c *Client) roundTrip(ctx context.Context, req Request) (Response, error) {
-	// The connection deadline is the earlier of the client's per-round-trip
+	// The transport deadline is the earlier of the client's per-round-trip
 	// timeout and the context's own deadline; the remaining budget also
 	// travels in the request so the server gives up evaluating in step
 	// with the client giving up waiting.
@@ -276,6 +352,115 @@ func (c *Client) roundTrip(ctx context.Context, req Request) (Response, error) {
 			req.TimeoutMillis = 1
 		}
 	}
+	if c.proto.Load() >= ProtoFramed {
+		return c.muxRoundTrip(ctx, req, deadline)
+	}
+	return c.lockstepRoundTrip(ctx, req, deadline)
+}
+
+// muxRoundTrip performs one exchange on the shared framed connection.
+// Waiting is per request — a timeout abandons this frame's pending slot
+// and leaves the connection (and everyone else's in-flight frames)
+// untouched; only a transport failure kills the connection, which is
+// then redialed once.
+func (c *Client) muxRoundTrip(ctx context.Context, req Request, deadline time.Time) (Response, error) {
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return Response{}, err
+		}
+		m, err := c.muxGet(ctx)
+		if err != nil {
+			return Response{}, err
+		}
+		if m == nil {
+			// The server stopped speaking framed (e.g. restarted with
+			// framing disabled); negotiate already flipped the protocol.
+			return c.lockstepRoundTrip(ctx, req, deadline)
+		}
+		id, ch, err := m.send(req)
+		if err != nil {
+			c.muxDrop(m)
+			if cerr := ctx.Err(); cerr != nil {
+				return Response{}, cerr
+			}
+			if attempt >= 1 {
+				return Response{}, fmt.Errorf("remote: %s: %w", c.addr, err)
+			}
+			continue
+		}
+		timer := time.NewTimer(time.Until(deadline))
+		select {
+		case resp, ok := <-ch:
+			timer.Stop()
+			if ok {
+				return resp, nil
+			}
+			// The connection died with this frame in flight.
+			c.muxDrop(m)
+			if cerr := ctx.Err(); cerr != nil {
+				return Response{}, cerr
+			}
+			if attempt >= 1 {
+				return Response{}, fmt.Errorf("remote: %s: %w", c.addr, m.failure())
+			}
+		case <-timer.C:
+			m.abandon(id)
+			return Response{}, fmt.Errorf("remote: %s: %w", c.addr, context.DeadlineExceeded)
+		case <-ctx.Done():
+			timer.Stop()
+			m.abandon(id)
+			return Response{}, ctx.Err()
+		}
+	}
+}
+
+// muxGet returns the live multiplexed connection, redialing and
+// re-negotiating if the previous one died. A nil muxConn with nil error
+// means the server downgraded the client to the unframed protocol.
+func (c *Client) muxGet(ctx context.Context) (*muxConn, error) {
+	c.muxMu.Lock()
+	if c.closed {
+		c.muxMu.Unlock()
+		return nil, fmt.Errorf("remote: %s: client closed", c.addr)
+	}
+	if m := c.mux; m != nil && !m.isDead() {
+		c.muxMu.Unlock()
+		return m, nil
+	}
+	c.muxMu.Unlock()
+	resp, err := c.negotiate(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := respError(c.name, resp); err != nil {
+		return nil, err
+	}
+	if c.proto.Load() < ProtoFramed {
+		return nil, nil
+	}
+	c.muxMu.Lock()
+	m := c.mux
+	c.muxMu.Unlock()
+	if m == nil {
+		return nil, fmt.Errorf("remote: %s: client closed", c.addr)
+	}
+	return m, nil
+}
+
+// muxDrop kills m and detaches it if it is still the client's current
+// connection, so the next request dials afresh.
+func (c *Client) muxDrop(m *muxConn) {
+	m.fail(errors.New("remote: connection failed"))
+	c.muxMu.Lock()
+	if c.mux == m {
+		c.mux = nil
+	}
+	c.muxMu.Unlock()
+}
+
+// lockstepRoundTrip is the original protocol: one request then one
+// response on a pooled connection, retried once on a broken conn.
+func (c *Client) lockstepRoundTrip(ctx context.Context, req Request, deadline time.Time) (Response, error) {
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return Response{}, err

@@ -1,0 +1,225 @@
+package remote
+
+import (
+	"encoding/gob"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// muxConn is the client side of one framed connection: writes are
+// serialized under a mutex, a single reader goroutine dispatches
+// response frames to their waiting callers by ID, and per-request
+// deadlines are enforced by the callers' own timers — a slow response
+// never costs a connection teardown, only its own caller's patience.
+type muxConn struct {
+	conn    net.Conn
+	enc     *gob.Encoder
+	timeout time.Duration // write deadline per frame
+	log     *atomic.Pointer[FrameLog]
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan Response
+	nextID  uint64
+	dead    bool
+	err     error
+}
+
+// newMuxConn starts the reader goroutine and returns the connection.
+func newMuxConn(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, timeout time.Duration, log *atomic.Pointer[FrameLog]) *muxConn {
+	m := &muxConn{
+		conn:    conn,
+		enc:     enc,
+		timeout: timeout,
+		log:     log,
+		pending: make(map[uint64]chan Response),
+	}
+	go m.readLoop(dec)
+	return m
+}
+
+// send writes one request frame and returns the channel its response
+// will arrive on. The channel is buffered and closed if the connection
+// dies first, so receivers distinguish an answer (ok) from a transport
+// death (!ok).
+func (m *muxConn) send(req Request) (uint64, chan Response, error) {
+	m.mu.Lock()
+	if m.dead {
+		err := m.err
+		m.mu.Unlock()
+		return 0, nil, err
+	}
+	m.nextID++
+	id := m.nextID
+	ch := make(chan Response, 1)
+	m.pending[id] = ch
+	m.mu.Unlock()
+
+	m.writeMu.Lock()
+	if m.timeout > 0 {
+		m.conn.SetWriteDeadline(time.Now().Add(m.timeout))
+	}
+	err := m.enc.Encode(reqFrame{ID: id, Req: req})
+	if err == nil && m.timeout > 0 {
+		m.conn.SetWriteDeadline(time.Time{})
+	}
+	m.writeMu.Unlock()
+	if err != nil {
+		m.abandon(id)
+		m.fail(err)
+		return 0, nil, err
+	}
+	if l := m.log.Load(); l != nil {
+		l.record("send", id)
+	}
+	return id, ch, nil
+}
+
+// abandon forgets a pending frame whose caller stopped waiting; the
+// response, if it ever arrives, is dropped by the reader.
+func (m *muxConn) abandon(id uint64) {
+	m.mu.Lock()
+	delete(m.pending, id)
+	m.mu.Unlock()
+}
+
+// readLoop dispatches response frames to their callers until the
+// connection dies.
+func (m *muxConn) readLoop(dec *gob.Decoder) {
+	for {
+		var f respFrame
+		if err := dec.Decode(&f); err != nil {
+			m.fail(err)
+			return
+		}
+		if l := m.log.Load(); l != nil {
+			l.record("recv", f.ID)
+		}
+		m.mu.Lock()
+		ch := m.pending[f.ID]
+		delete(m.pending, f.ID)
+		m.mu.Unlock()
+		if ch != nil {
+			ch <- f.Resp // buffered: the reader never blocks on a caller
+		}
+	}
+}
+
+// fail marks the connection dead, closes the socket (popping the blocked
+// reader), and closes every pending caller's channel so in-flight
+// requests fail promptly instead of waiting out their deadlines.
+func (m *muxConn) fail(err error) {
+	m.mu.Lock()
+	if m.dead {
+		m.mu.Unlock()
+		return
+	}
+	m.dead = true
+	if err == nil {
+		err = errors.New("remote: connection failed")
+	}
+	m.err = err
+	pending := m.pending
+	m.pending = nil
+	m.mu.Unlock()
+	m.conn.Close()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// isDead reports whether the connection has failed.
+func (m *muxConn) isDead() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dead
+}
+
+// failure returns the error that killed the connection.
+func (m *muxConn) failure() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return m.err
+	}
+	return errors.New("remote: connection failed")
+}
+
+// FrameEvent is one frame observed on the multiplexed connection, in
+// wire order per direction.
+type FrameEvent struct {
+	// Seq is the global observation order across both directions.
+	Seq uint64
+	// Dir is "send" or "recv".
+	Dir string
+	// ID is the frame's request ID.
+	ID uint64
+}
+
+// FrameLog is a bounded ring of the most recent frame events on a
+// client's multiplexed connection. It exists as evidence: a log whose
+// receive order differs from its send order shows responses genuinely
+// interleaving on the one shared connection.
+type FrameLog struct {
+	mu   sync.Mutex
+	next uint64
+	buf  []FrameEvent
+	size int
+}
+
+// EnableFrameLog starts recording up to size frame events (0 means 512)
+// and returns the log. Recording applies to the current multiplexed
+// connection and any future redials; it costs one mutex per frame, so
+// leave it off outside measurements.
+func (c *Client) EnableFrameLog(size int) *FrameLog {
+	if size <= 0 {
+		size = 512
+	}
+	l := &FrameLog{size: size}
+	c.frameLog.Store(l)
+	return l
+}
+
+func (l *FrameLog) record(dir string, id uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ev := FrameEvent{Seq: l.next, Dir: dir, ID: id}
+	l.next++
+	if len(l.buf) < l.size {
+		l.buf = append(l.buf, ev)
+		return
+	}
+	copy(l.buf, l.buf[1:])
+	l.buf[len(l.buf)-1] = ev
+}
+
+// Events returns the retained frame events, oldest first.
+func (l *FrameLog) Events() []FrameEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]FrameEvent(nil), l.buf...)
+}
+
+// Interleaved reports whether the log shows out-of-order multiplexing:
+// some response arrived after a response to a later-sent request, or a
+// request was sent while an earlier one was still in flight and their
+// answers crossed. Ordered lockstep traffic (send a, recv a, send b,
+// recv b, …) reports false.
+func (l *FrameLog) Interleaved() bool {
+	evs := l.Events()
+	lastRecv := uint64(0)
+	for _, ev := range evs {
+		if ev.Dir != "recv" {
+			continue
+		}
+		if ev.ID < lastRecv {
+			return true
+		}
+		lastRecv = ev.ID
+	}
+	return false
+}

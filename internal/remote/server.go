@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"medmaker/internal/metrics"
@@ -41,6 +42,12 @@ type Server struct {
 	// queueing. 0 means DefaultMaxConns; negative means unlimited. Set it
 	// before Start.
 	MaxConns int
+	// DisableFraming refuses the framed-protocol upgrade: hello responses
+	// omit the accepted version and every connection stays in the original
+	// one-request-at-a-time protocol. It exists to exercise (and to force,
+	// should framing ever misbehave in a deployment) the compatibility
+	// path new clients take against old servers. Set it before Start.
+	DisableFraming bool
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -186,6 +193,9 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		conn.SetReadDeadline(time.Time{})
 		resp := s.dispatch(req)
+		if s.upgrades(req) {
+			resp.Proto = ProtoFramed
+		}
 		if write > 0 {
 			conn.SetWriteDeadline(time.Now().Add(write))
 		}
@@ -193,6 +203,101 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		conn.SetWriteDeadline(time.Time{})
+		if resp.Proto >= ProtoFramed {
+			s.handleFramed(conn, dec, enc)
+			return
+		}
+	}
+}
+
+// upgrades reports whether req is a hello offering a protocol this
+// server accepts an upgrade to.
+func (s *Server) upgrades(req Request) bool {
+	return req.Kind == reqHello && req.Proto >= ProtoFramed && !s.DisableFraming
+}
+
+// maxInflightFrames bounds the evaluation goroutines one framed
+// connection may hold at once. Reading stops while the connection is at
+// the bound, so a client that pipelines faster than the source answers
+// gets transport backpressure instead of an unbounded goroutine pile.
+const maxInflightFrames = 64
+
+// handleFramed serves a connection after the framed upgrade: a read loop
+// decodes request frames and hands each to its own goroutine, responses
+// are written under a mutex in completion order (out-of-order relative
+// to the requests), and the ID ties each response to its request. The
+// gob decoder cannot resume after a read-deadline pop, so the idle bound
+// is enforced by a watchdog that closes a connection with no traffic and
+// no evaluating requests instead of by deadlines on the blocked read.
+func (s *Server) handleFramed(conn io.ReadWriter, dec *gob.Decoder, enc *gob.Encoder) {
+	write := pickTimeout(s.WriteTimeout, DefaultWriteTimeout)
+	reg := s.registry()
+	wd, hasWriteDeadline := conn.(interface{ SetWriteDeadline(time.Time) error })
+	closer, hasClose := conn.(interface{ Close() error })
+
+	var (
+		writeMu  sync.Mutex
+		inflight atomic.Int64
+		lastNano atomic.Int64
+	)
+	lastNano.Store(time.Now().UnixNano())
+	if idle := pickTimeout(s.IdleTimeout, DefaultIdleTimeout); idle > 0 && hasClose {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(idle / 4)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					quiet := time.Since(time.Unix(0, lastNano.Load()))
+					if inflight.Load() == 0 && quiet >= idle {
+						closer.Close() // pops the blocked frame read
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	sem := make(chan struct{}, maxInflightFrames)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		var f reqFrame
+		if err := dec.Decode(&f); err != nil {
+			return // disconnected, idle-reclaimed, or malformed stream
+		}
+		reg.Counter("remote.frames.recv").Inc()
+		lastNano.Store(time.Now().UnixNano())
+		inflight.Add(1)
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(f reqFrame) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			resp := s.dispatch(f.Req)
+			if s.upgrades(f.Req) {
+				resp.Proto = ProtoFramed // hello mid-stream: already framed
+			}
+			writeMu.Lock()
+			if write > 0 && hasWriteDeadline {
+				wd.SetWriteDeadline(time.Now().Add(write))
+			}
+			err := enc.Encode(respFrame{ID: f.ID, Resp: resp})
+			if err == nil && write > 0 && hasWriteDeadline {
+				wd.SetWriteDeadline(time.Time{})
+			}
+			writeMu.Unlock()
+			reg.Counter("remote.frames.sent").Inc()
+			lastNano.Store(time.Now().UnixNano())
+			inflight.Add(-1)
+			if err != nil && hasClose {
+				closer.Close() // a broken write ends the whole connection
+			}
+		}(f)
 	}
 }
 
@@ -321,7 +426,9 @@ func (s *Server) dispatchKind(req Request) Response {
 }
 
 // ServeConn handles a single pre-established connection until it closes —
-// useful for in-memory pipes in tests.
+// useful for in-memory pipes in tests. It negotiates framing like an
+// accepted connection does; deadlines and idle reclamation apply only
+// when conn supports them (a net.Conn does, an in-memory pipe may not).
 func (s *Server) ServeConn(conn io.ReadWriter) {
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
@@ -330,7 +437,15 @@ func (s *Server) ServeConn(conn io.ReadWriter) {
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
-		if err := enc.Encode(s.dispatch(req)); err != nil {
+		resp := s.dispatch(req)
+		if s.upgrades(req) {
+			resp.Proto = ProtoFramed
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if resp.Proto >= ProtoFramed {
+			s.handleFramed(conn, dec, enc)
 			return
 		}
 	}

@@ -3,12 +3,17 @@
 // mediator process talks to wrapper processes over the network, shipping
 // MSL queries one way and OEM objects the other.
 //
-// The protocol is a simple length-free gob stream per connection: the
-// client sends Requests (a handshake, then queries carrying MSL text) and
-// reads Responses (capabilities, or result objects / an error). Servers
-// handle each connection in its own goroutine; a Client is itself a
-// wrapper.Source, so remote and in-process sources are interchangeable to
-// the mediator.
+// The protocol is a length-free gob stream per connection. It opens with
+// an unframed handshake (a hello Request answered by name and
+// capabilities) that also negotiates a protocol version: when both ends
+// speak ProtoFramed the connection upgrades to multiplexed framing —
+// every subsequent message carries a frame ID, the client pipelines
+// concurrent requests on the one shared connection, and the server
+// answers them out of order as each finishes. Old peers on either side
+// simply never offer (or never accept) the upgrade and the connection
+// stays in the original one-request-at-a-time form. Servers handle each
+// connection in its own goroutine; a Client is itself a wrapper.Source,
+// so remote and in-process sources are interchangeable to the mediator.
 package remote
 
 import (
@@ -28,6 +33,19 @@ const (
 	reqMetrics = "metrics" // scrape the server's metrics registry
 )
 
+// Protocol versions negotiated in the hello exchange. The hello itself
+// always travels unframed, so any client can talk to any server; what is
+// negotiated is the rest of the connection's life.
+const (
+	// ProtoUnframed is the original protocol: one request, then one
+	// response, in lockstep per connection.
+	ProtoUnframed = 1
+	// ProtoFramed multiplexes: after the hello, every message is a frame
+	// carrying an ID, requests may be pipelined, and responses return in
+	// completion order — one shared connection serves concurrent callers.
+	ProtoFramed = 2
+)
+
 // Request is one client→server message.
 type Request struct {
 	Kind    string
@@ -40,6 +58,25 @@ type Request struct {
 	// Zero means no client deadline. (Gob tolerates the field's absence,
 	// so old clients and servers interoperate with new ones.)
 	TimeoutMillis int64
+	// Proto, on a hello, is the newest protocol version the client
+	// speaks. Gob omits the zero field and ignores unknown fields, so an
+	// old server never sees it and an old client never sends it — both
+	// land on ProtoUnframed.
+	Proto int
+}
+
+// reqFrame is one client→server message after a framed upgrade: the
+// request, tagged with a connection-unique ID its response will echo.
+type reqFrame struct {
+	ID  uint64
+	Req Request
+}
+
+// respFrame is one server→client message after a framed upgrade.
+// Responses carry their request's ID and may arrive in any order.
+type respFrame struct {
+	ID   uint64
+	Resp Response
 }
 
 // Response is one server→client message.
@@ -75,6 +112,11 @@ type Response struct {
 	// error the client's own deadline would have produced had it popped
 	// first.
 	CtxErr string
+	// Proto, on a hello response, is the protocol version the server
+	// selected for the rest of the connection: ProtoFramed accepts the
+	// client's offer to multiplex, absent (0, from old servers or a
+	// server with framing disabled) keeps the connection unframed.
+	Proto int
 }
 
 // WireObject is the gob-encodable form of an OEM object. Interface-typed

@@ -13,6 +13,7 @@ import (
 	"medmaker/internal/oem"
 	"medmaker/internal/relational"
 	"medmaker/internal/semistruct"
+	"medmaker/internal/wrapper"
 )
 
 // StaffConfig sizes a cs/whois population.
@@ -51,12 +52,38 @@ func DeptName(i int) string {
 	return fmt.Sprintf("dept%02d", i)
 }
 
-// GenStaff builds a population per cfg.
-func GenStaff(cfg StaffConfig) (*Staff, error) {
-	if cfg.Departments <= 0 {
-		cfg.Departments = 1
-	}
-	r := rand.New(rand.NewSource(cfg.Seed))
+// CSShardKey and WhoisShardKey are the partition keys the sharded staff
+// population is hashed on: cs rows by last_name (the column the MS1
+// spec's decomposed joins bind), whois records by name.
+const (
+	CSShardKey    = "last_name"
+	WhoisShardKey = "name"
+)
+
+// ShardOf maps a partition-key value to a shard index in [0, shards).
+// It is wrapper.ShardIndex, re-exported so data generation and query
+// routing provably agree on placement.
+func ShardOf(key string, shards int) int { return wrapper.ShardIndex(key, shards) }
+
+// ShardedStaff is a population generated twice in one pass: the embedded
+// flat Staff holds the whole extent, and DBs/Stores hold the same people
+// hash-partitioned across shards — each person's cs rows in
+// DBs[ShardOf(last_name)], their whois record in Stores[ShardOf(name)].
+// Both views consume one random stream, so the sharded extent is the
+// flat extent by construction; differential tests compare answers over
+// the two without trusting the partitioner.
+type ShardedStaff struct {
+	*Staff
+	DBs    []*relational.DB
+	Stores []*semistruct.Store
+}
+
+// staffTables is one database's pair of cs relations.
+type staffTables struct{ emp, stu *relational.Table }
+
+// newStaffDB creates an empty cs database with the employee and student
+// schemas.
+func newStaffDB() (*relational.DB, staffTables, error) {
 	db := relational.NewDB()
 	emp, err := db.CreateTable(relational.Schema{
 		Name: "employee",
@@ -68,7 +95,7 @@ func GenStaff(cfg StaffConfig) (*Staff, error) {
 		},
 	})
 	if err != nil {
-		return nil, err
+		return nil, staffTables{}, err
 	}
 	stu, err := db.CreateTable(relational.Schema{
 		Name: "student",
@@ -79,10 +106,52 @@ func GenStaff(cfg StaffConfig) (*Staff, error) {
 		},
 	})
 	if err != nil {
+		return nil, staffTables{}, err
+	}
+	return db, staffTables{emp: emp, stu: stu}, nil
+}
+
+// GenStaff builds a population per cfg.
+func GenStaff(cfg StaffConfig) (*Staff, error) {
+	s, err := genStaff(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	return s.Staff, nil
+}
+
+// GenStaffSharded builds the population per cfg together with its
+// hash-partitioned copy across shards member extents.
+func GenStaffSharded(cfg StaffConfig, shards int) (*ShardedStaff, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("workload: need at least 1 shard, got %d", shards)
+	}
+	return genStaff(cfg, shards)
+}
+
+// genStaff generates the flat population and, when shards > 0, the
+// partitioned copy in the same pass over the same random stream.
+func genStaff(cfg StaffConfig, shards int) (*ShardedStaff, error) {
+	if cfg.Departments <= 0 {
+		cfg.Departments = 1
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	db, flat, err := newStaffDB()
+	if err != nil {
 		return nil, err
 	}
 	store := semistruct.NewStore()
-	out := &Staff{DB: db, Store: store}
+	out := &ShardedStaff{Staff: &Staff{DB: db, Store: store}}
+	shardTabs := make([]staffTables, shards)
+	for s := 0; s < shards; s++ {
+		sdb, tabs, err := newStaffDB()
+		if err != nil {
+			return nil, err
+		}
+		out.DBs = append(out.DBs, sdb)
+		out.Stores = append(out.Stores, semistruct.NewStore())
+		shardTabs[s] = tabs
+	}
 
 	titles := []string{"professor", "lecturer", "staff", "postdoc"}
 	addPerson := func(i int, inWhois, inCS bool) error {
@@ -96,13 +165,19 @@ func GenStaff(cfg StaffConfig) (*Staff, error) {
 			relName = "employee"
 		}
 		if inCS {
-			if isEmployee {
-				if err := emp.Insert(first, last, titles[i%len(titles)], fmt.Sprintf("F%04d L%04d", i/2, i/2)); err != nil {
-					return err
-				}
-			} else {
-				if err := stu.Insert(first, last, 1+i%5); err != nil {
-					return err
+			csTabs := []staffTables{flat}
+			if shards > 0 {
+				csTabs = append(csTabs, shardTabs[ShardOf(last, shards)])
+			}
+			for _, t := range csTabs {
+				if isEmployee {
+					if err := t.emp.Insert(first, last, titles[i%len(titles)], fmt.Sprintf("F%04d L%04d", i/2, i/2)); err != nil {
+						return err
+					}
+				} else {
+					if err := t.stu.Insert(first, last, 1+i%5); err != nil {
+						return err
+					}
 				}
 			}
 		}
@@ -127,8 +202,14 @@ func GenStaff(cfg StaffConfig) (*Staff, error) {
 			if !isEmployee && r.Float64() < 0.5 {
 				fields = append(fields, semistruct.Field{Name: "year", Value: 1 + i%5})
 			}
-			if err := store.Add(semistruct.Record{Kind: "person", Fields: fields}); err != nil {
+			rec := semistruct.Record{Kind: "person", Fields: fields}
+			if err := store.Add(rec); err != nil {
 				return err
+			}
+			if shards > 0 {
+				if err := out.Stores[ShardOf(full, shards)].Add(rec); err != nil {
+					return err
+				}
 			}
 		}
 		if inWhois && inCS {

@@ -1,0 +1,21 @@
+package wrapper
+
+// InvalidationNotifier is an optional Source extension for sources whose
+// extents can change underneath a caching consumer. A consumer that keeps
+// derived state — plan-cache entries, materialized views, answer caches —
+// registers a callback; the source fires every registered callback after
+// its own invalidation completes. This is what makes invalidation
+// transitive across mediation tiers: a tier-2 mediator registered as a
+// source in a tier-1 mediator fires its listeners when Invalidate is
+// called on it, and the tier-1 mediator's listener drops its own state
+// that depended on the tier-2 source.
+//
+// Callbacks must be safe for concurrent use and must not call back into
+// the notifying source (they run after the source released its locks, but
+// a re-entrant Invalidate would recurse through the listener chain).
+type InvalidationNotifier interface {
+	// OnInvalidate registers fn to run after each invalidation of this
+	// source. Registrations cannot be removed; keep the subscriber alive
+	// as long as the source.
+	OnInvalidate(fn func())
+}

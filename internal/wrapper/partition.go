@@ -1,0 +1,327 @@
+package wrapper
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+)
+
+// Sharded is the interface the engine uses to recognize a source whose
+// extent is horizontally partitioned over member sources. The engine
+// bypasses the composite's own Query and scatters (or routes) itself, so
+// each member exchange runs under the run's failure policy with
+// per-member error attribution.
+type Sharded interface {
+	Source
+	// Members returns the member sources in shard order. The slice is
+	// owned by the source; callers must not mutate it.
+	Members() []Source
+	// KeyLabel is the subobject label whose value the extent is hashed
+	// on (e.g. "name"): every top-level object lives in the member
+	// ShardIndex(key, len(Members())) selects.
+	KeyLabel() string
+	// ShardFor reports the single member that can answer q — a query
+	// whose pattern binds the partition key to a constant — and ok=false
+	// when q must scatter to every member.
+	ShardFor(q *msl.Rule) (int, bool)
+}
+
+// ShardIndex maps a partition-key value to a member index in [0, n) with
+// a stable FNV-1a hash, so data loaders and query routing agree across
+// processes and runs.
+func ShardIndex(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(n))
+}
+
+// ShardKey extracts the constant the pattern binds the partition key to:
+// a non-wildcard element <keyLabel 'v'> of the pattern's top-level set.
+// ok=false means the pattern does not pin the key and the query must
+// scatter.
+func ShardKey(p *msl.ObjectPattern, keyLabel string) (string, bool) {
+	sp, ok := p.Value.(*msl.SetPattern)
+	if !ok {
+		return "", false
+	}
+	for _, e := range sp.Elems {
+		ep, isPat := e.(*msl.ObjectPattern)
+		if !isPat || ep.Wildcard || ep.LabelName() != keyLabel {
+			continue
+		}
+		if c, isConst := ep.Value.(*msl.Const); isConst {
+			if s, isStr := c.Value.(oem.String); isStr {
+				return string(s), true
+			}
+		}
+	}
+	return "", false
+}
+
+// ShardError attributes a failure inside a partitioned source to the
+// member shard that produced it.
+type ShardError struct {
+	// Source is the partitioned source's logical name.
+	Source string
+	// Member is the failing member's name; Shard its index.
+	Member string
+	Shard  int
+	// Err is the member's error.
+	Err error
+}
+
+// Error implements error.
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("wrapper: partitioned source %q shard %d (%s): %v", e.Source, e.Shard, e.Member, e.Err)
+}
+
+// Unwrap exposes the member's error to errors.Is/As.
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// Partitioned presents N member sources holding a hash-partitioned
+// extent as one logical source: every top-level object lives in exactly
+// one member, chosen by ShardIndex over the value of its KeyLabel
+// subobject. Queries that bind the key to a constant route to the one
+// member that can hold matches; all other queries scatter to every
+// member and gather the union.
+//
+// Capabilities are the intersection of the members' capabilities with
+// MultiPattern forced off: a multi-pattern query is a source-local join,
+// and evaluating it per shard would miss pairs that straddle shards —
+// single-pattern queries are union-safe because each candidate object is
+// wholly inside one member. The mediator's optimizer reacts as it does
+// to any capability-poor source, decomposing joins above the partition.
+//
+// When registered in a mediator, the engine recognizes Partitioned (via
+// Sharded) and performs the scatter itself on its worker pool under the
+// run's ExecPolicy, so one failed shard yields a partial, Incomplete
+// result instead of failing the query. Direct calls to Query and
+// QueryContext scatter here instead, and any member failure fails the
+// whole query with a *ShardError naming the shard.
+type Partitioned struct {
+	name     string
+	keyLabel string
+	members  []Source
+	caps     Capabilities
+}
+
+var (
+	_ Source               = (*Partitioned)(nil)
+	_ ContextSource        = (*Partitioned)(nil)
+	_ ContextBatchQuerier  = (*Partitioned)(nil)
+	_ Counter              = (*Partitioned)(nil)
+	_ Sharded              = (*Partitioned)(nil)
+	_ InvalidationNotifier = (*Partitioned)(nil)
+)
+
+// NewPartitioned builds the logical source name over members, partitioned
+// by the value of the keyLabel subobject. Member order is shard order and
+// must match the order the data was partitioned in.
+func NewPartitioned(name, keyLabel string, members ...Source) (*Partitioned, error) {
+	if name == "" {
+		return nil, fmt.Errorf("wrapper: partitioned source needs a name")
+	}
+	if keyLabel == "" {
+		return nil, fmt.Errorf("wrapper: partitioned source %q needs a partition key label", name)
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("wrapper: partitioned source %q needs at least one member", name)
+	}
+	caps := FullCapabilities()
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if seen[m.Name()] {
+			return nil, fmt.Errorf("wrapper: partitioned source %q has two members named %q", name, m.Name())
+		}
+		seen[m.Name()] = true
+		mc := m.Capabilities()
+		caps.ValueConditions = caps.ValueConditions && mc.ValueConditions
+		caps.RestConstraints = caps.RestConstraints && mc.RestConstraints
+		caps.Wildcards = caps.Wildcards && mc.Wildcards
+	}
+	caps.MultiPattern = false
+	return &Partitioned{name: name, keyLabel: keyLabel, members: members, caps: caps}, nil
+}
+
+// Name implements Source.
+func (p *Partitioned) Name() string { return p.name }
+
+// Capabilities implements Source: the members' intersection, multi-pattern
+// queries excluded (see the type comment).
+func (p *Partitioned) Capabilities() Capabilities { return p.caps }
+
+// Members implements Sharded.
+func (p *Partitioned) Members() []Source { return p.members }
+
+// KeyLabel implements Sharded.
+func (p *Partitioned) KeyLabel() string { return p.keyLabel }
+
+// ShardFor implements Sharded: a query routes when its single positive
+// pattern conjunct pins the partition key to a constant.
+func (p *Partitioned) ShardFor(q *msl.Rule) (int, bool) {
+	var pat *msl.ObjectPattern
+	for _, conj := range q.Tail {
+		pc, ok := conj.(*msl.PatternConjunct)
+		if !ok || pc.Negated {
+			return 0, false
+		}
+		if pat != nil {
+			return 0, false // multi-pattern: should not arrive, never route
+		}
+		pat = pc.Pattern
+	}
+	if pat == nil {
+		return 0, false
+	}
+	key, ok := ShardKey(pat, p.keyLabel)
+	if !ok {
+		return 0, false
+	}
+	return ShardIndex(key, len(p.members)), true
+}
+
+// Query implements Source.
+func (p *Partitioned) Query(q *msl.Rule) ([]*oem.Object, error) {
+	return p.QueryContext(context.Background(), q)
+}
+
+// QueryContext implements ContextSource: route to the key's shard, or
+// scatter to every member concurrently and gather the union in member
+// order. Gathered answers are structurally deduplicated, matching what a
+// single source holding the whole extent would return (its binding-level
+// duplicate elimination spans shards there).
+func (p *Partitioned) QueryContext(ctx context.Context, q *msl.Rule) ([]*oem.Object, error) {
+	if err := CheckCapabilities(q, p.caps, p.name); err != nil {
+		return nil, err
+	}
+	if shard, ok := p.ShardFor(q); ok {
+		objs, err := QueryContext(ctx, p.members[shard], q)
+		if err != nil {
+			return nil, &ShardError{Source: p.name, Member: p.members[shard].Name(), Shard: shard, Err: err}
+		}
+		return objs, nil
+	}
+	perShard := make([][]*oem.Object, len(p.members))
+	errs := make([]error, len(p.members))
+	done := make(chan int, len(p.members))
+	for i := range p.members {
+		go func(i int) {
+			perShard[i], errs[i] = QueryContext(ctx, p.members[i], q)
+			done <- i
+		}(i)
+	}
+	for range p.members {
+		<-done
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, &ShardError{Source: p.name, Member: p.members[i].Name(), Shard: i, Err: err}
+		}
+	}
+	return gatherUnion(perShard), nil
+}
+
+// QueryBatchContext implements ContextBatchQuerier: routable queries are
+// grouped into one sub-batch per member (so a batch of k point queries
+// still costs at most one exchange per member), the rest scatter
+// individually. The result slice is parallel to qs.
+func (p *Partitioned) QueryBatchContext(ctx context.Context, qs []*msl.Rule) ([][]*oem.Object, error) {
+	out := make([][]*oem.Object, len(qs))
+	groups := make([][]int, len(p.members))
+	for i, q := range qs {
+		if err := CheckCapabilities(q, p.caps, p.name); err != nil {
+			return nil, &QueryError{Source: p.name, Index: i, Err: err}
+		}
+		if shard, ok := p.ShardFor(q); ok {
+			groups[shard] = append(groups[shard], i)
+			continue
+		}
+		objs, err := p.QueryContext(ctx, q)
+		if err != nil {
+			return nil, &QueryError{Source: p.name, Index: i, Err: err}
+		}
+		out[i] = objs
+	}
+	for shard, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		sub := make([]*msl.Rule, len(idxs))
+		for j, i := range idxs {
+			sub[j] = qs[i]
+		}
+		res, err := QueryBatchContext(ctx, p.members[shard], sub)
+		if err != nil {
+			return nil, &ShardError{Source: p.name, Member: p.members[shard].Name(), Shard: shard, Err: err}
+		}
+		if len(res) != len(idxs) {
+			return nil, fmt.Errorf("wrapper: partitioned source %q shard %d answered %d of %d queries",
+				p.name, shard, len(res), len(idxs))
+		}
+		for j, i := range idxs {
+			out[i] = res[j]
+		}
+	}
+	return out, nil
+}
+
+// CountLabel implements Counter: the union cardinality is the sum over
+// members; if any member cannot count, neither can the composite.
+func (p *Partitioned) CountLabel(label string) (int, bool) {
+	total := 0
+	for _, m := range p.members {
+		c, ok := m.(Counter)
+		if !ok {
+			return 0, false
+		}
+		n, ok := c.CountLabel(label)
+		if !ok {
+			return 0, false
+		}
+		total += n
+	}
+	return total, true
+}
+
+// OnInvalidate implements InvalidationNotifier by forwarding the
+// registration to every member that notifies — an invalidation anywhere
+// in the partition invalidates derived state over the whole extent.
+func (p *Partitioned) OnInvalidate(fn func()) {
+	for _, m := range p.members {
+		if n, ok := m.(InvalidationNotifier); ok {
+			n.OnInvalidate(fn)
+		}
+	}
+}
+
+// GatherUnion concatenates per-shard answers in shard order, dropping
+// structural duplicates — the cross-shard half of the duplicate
+// elimination a single source's evaluation would have applied to its
+// bindings. Within one shard the member already deduplicated.
+func GatherUnion(perShard [][]*oem.Object) []*oem.Object { return gatherUnion(perShard) }
+
+func gatherUnion(perShard [][]*oem.Object) []*oem.Object {
+	total := 0
+	for _, objs := range perShard {
+		total += len(objs)
+	}
+	if total == 0 {
+		return nil
+	}
+	dedup := oem.NewDeduper(total)
+	out := make([]*oem.Object, 0, total)
+	for _, objs := range perShard {
+		for _, o := range objs {
+			if !dedup.Seen(o) {
+				out = append(out, o)
+			}
+		}
+	}
+	return out
+}

@@ -296,14 +296,21 @@ type Mediator struct {
 	// fragments produced by different rules.
 	fused bool
 
+	// notifyMu guards listeners, the callbacks registered through
+	// OnInvalidate by consumers holding state derived from this mediator
+	// (a tier-1 mediator this one is registered in as a source).
+	notifyMu  sync.Mutex
+	listeners []func()
+
 	mu sync.Mutex // serializes access to the trace writer
 }
 
 var (
-	_ Source              = (*Mediator)(nil)
-	_ ContextSource       = (*Mediator)(nil)
-	_ BatchQuerier        = (*Mediator)(nil)
-	_ ContextBatchQuerier = (*Mediator)(nil)
+	_ Source                       = (*Mediator)(nil)
+	_ ContextSource                = (*Mediator)(nil)
+	_ BatchQuerier                 = (*Mediator)(nil)
+	_ ContextBatchQuerier          = (*Mediator)(nil)
+	_ wrapper.InvalidationNotifier = (*Mediator)(nil)
 )
 
 // New builds a mediator from its specification, resolving external
@@ -1053,6 +1060,17 @@ func (m *Mediator) ExplainAnalyzeContext(ctx context.Context, q string) (string,
 // finish against the source they resolved. With Config.Cache set the
 // source is registered behind a fresh answer cache.
 func (m *Mediator) AddSource(src Source) {
+	// Subscribe to the raw source (before any cache wrapping) so a
+	// source that reports invalidation — a mediator serving a lower tier,
+	// a partitioned source relaying its members — drops this mediator's
+	// derived state: its answer cache for that source, plan-cache entries
+	// and materialized views depending on it. This is what keeps a
+	// two-tier deployment's tier-1 honest when Invalidate is called on
+	// the tier-2 mediator.
+	if notifier, ok := src.(wrapper.InvalidationNotifier); ok {
+		name := src.Name()
+		notifier.OnInvalidate(func() { m.Invalidate(name) })
+	}
 	if m.cacheCfg != nil {
 		opts := *m.cacheCfg
 		user := opts.Recorder
@@ -1080,10 +1098,11 @@ func (m *Mediator) AddSource(src Source) {
 // source's data is known to have changed and Config.Cache is in use.
 func (m *Mediator) InvalidateCaches() {
 	m.cacheMu.Lock()
-	defer m.cacheMu.Unlock()
 	for _, c := range m.caches {
 		c.Invalidate("")
 	}
+	m.cacheMu.Unlock()
+	m.notifyListeners()
 }
 
 // Invalidate marks every cached derivation of name — answer caches and
@@ -1107,10 +1126,34 @@ func (m *Mediator) Invalidate(name string) int {
 	if m.plans != nil {
 		m.plans.Invalidate(name)
 	}
-	if m.matviews == nil {
-		return 0
+	stale := 0
+	if m.matviews != nil {
+		stale = m.matviews.Invalidate(name)
 	}
-	return m.matviews.Invalidate(name)
+	m.notifyListeners()
+	return stale
+}
+
+// OnInvalidate implements wrapper.InvalidationNotifier: fn runs after
+// every Invalidate (and InvalidateCaches) on this mediator, with no
+// locks held. A tier-1 mediator registers itself here when this mediator
+// is added as one of its sources, making invalidation transitive up the
+// mediation tiers; do not build notification cycles.
+func (m *Mediator) OnInvalidate(fn func()) {
+	m.notifyMu.Lock()
+	m.listeners = append(m.listeners, fn)
+	m.notifyMu.Unlock()
+}
+
+// notifyListeners fires the registered invalidation callbacks outside
+// every mediator lock.
+func (m *Mediator) notifyListeners() {
+	m.notifyMu.Lock()
+	fns := append([]func(){}, m.listeners...)
+	m.notifyMu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
 }
 
 // Refresh rebuilds the named materialized view's extent synchronously

@@ -13,6 +13,13 @@ type RemoteServer = remote.Server
 // RemoteClient is a Source backed by a RemoteServer elsewhere.
 type RemoteClient = remote.Client
 
+// Wire protocol versions a RemoteClient can negotiate; RemoteClient.Proto
+// reports which one a connection settled on.
+const (
+	ProtoUnframed = remote.ProtoUnframed // one request in flight per connection
+	ProtoFramed   = remote.ProtoFramed   // multiplexed frames on one connection
+)
+
 // Serve starts serving src on addr (use "127.0.0.1:0" for an ephemeral
 // port) and returns the bound address and the running server.
 func Serve(src Source, addr string) (string, *RemoteServer, error) {

@@ -117,3 +117,84 @@ func TestSoakSharedMediator(t *testing.T) {
 		})
 	}
 }
+
+// TestSoakShardedTopology hammers a mediator whose cs and whois sources
+// are 4-shard partitions from concurrent clients, in each execution
+// mode, checking every answer against the flat single-extent reference.
+// Under -race this is the scatter/gather path's thread-safety argument:
+// routed point queries and full scatters interleave from many clients at
+// once.
+func TestSoakShardedTopology(t *testing.T) {
+	s, err := workload.GenStaffSharded(workload.StaffConfig{
+		Persons: 300, Departments: 4, EmployeeFraction: 0.5, Irregularity: 0.3, Seed: 1,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := soakQueries(s.Staff)
+
+	// Reference answers from the flat extent on a serial mediator.
+	ref, err := New(Config{
+		Name: "med", Spec: specMS1,
+		Sources: []Source{
+			NewRelationalWrapper("cs", s.DB),
+			NewRecordWrapper("whois", s.Store),
+		},
+		Parallelism: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]string, len(queries))
+	for _, q := range queries {
+		objs, err := ref.QueryString(q)
+		if err != nil {
+			t.Fatalf("reference %q: %v", q, err)
+		}
+		want[q] = fmt.Sprint(canonicalize(objs))
+	}
+
+	modes := []struct {
+		name     string
+		par      int
+		pipeline bool
+	}{
+		{"serial", 1, false},
+		{"parallel", 4, false},
+		{"pipelined", 4, true},
+	}
+	const clients = 8
+	const iters = 15
+	for _, mode := range modes {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			med := shardedStaffMediator(t, s, mode.par, mode.pipeline, ExecPolicy{})
+			var wg sync.WaitGroup
+			errs := make(chan error, clients)
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						q := queries[(c+i)%len(queries)]
+						objs, err := med.QueryString(q)
+						if err != nil {
+							errs <- fmt.Errorf("%s client %d iter %d: %w", mode.name, c, i, err)
+							return
+						}
+						if got := fmt.Sprint(canonicalize(objs)); got != want[q] {
+							errs <- fmt.Errorf("%s client %d iter %d: sharded answer diverged for %q:\n got %s\nwant %s",
+								mode.name, c, i, q, got, want[q])
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}

@@ -37,6 +37,12 @@ type (
 	// LimitedSource restricts an inner source's capabilities, modelling
 	// the autonomous, capability-poor sources of Section 3.5.
 	LimitedSource = wrapper.Limited
+	// PartitionedSource presents N member sources holding a
+	// hash-partitioned extent as one logical source: point queries on the
+	// partition key route to their shard, everything else scatters and
+	// gathers. Registered in a mediator, the engine performs the scatter
+	// on its own worker pool under the query's ExecPolicy.
+	PartitionedSource = wrapper.Partitioned
 )
 
 // NewOEMSource returns an empty OEM-native source.
@@ -97,6 +103,18 @@ func NewRecordStore() *RecordStore { return semistruct.NewStore() }
 func NewRecordWrapper(name string, store *RecordStore) *RecordWrapper {
 	return semistruct.NewWrapper(name, store)
 }
+
+// NewPartitionedSource builds the logical source name over members,
+// partitioned by the value of the keyLabel subobject: every top-level
+// object must live in members[ShardOf(key, len(members))]. Member order
+// is shard order.
+func NewPartitionedSource(name, keyLabel string, members ...Source) (*PartitionedSource, error) {
+	return wrapper.NewPartitioned(name, keyLabel, members...)
+}
+
+// ShardOf maps a partition-key value to a shard index in [0, shards) —
+// the stable hash both data placement and query routing use.
+func ShardOf(key string, shards int) int { return wrapper.ShardIndex(key, shards) }
 
 // FullCapabilities is the capability set of a source supporting the whole
 // query language.
