@@ -1,0 +1,199 @@
+package main
+
+// The change-feed maintenance benchmark (-delta, the BENCH_8.json
+// artifact): how much does keeping a materialized view fresh cost per
+// source update, incrementally versus by full rebuild? A materialized
+// MS1 mediator watches a staff population; the update stream adds whois
+// person records whose cs rows already exist, so every insert grows the
+// cs_person view by one. The incremental path is what the change feed
+// does on its own — the timed Add call carries the synchronous delta
+// evaluation and extent append — while the rebuild path is what a
+// feed-less deployment pays: Invalidate plus a full Refresh through the
+// live pipeline. Levels scale the number of updates amortized by one
+// rebuild; at one update per rebuild the delta path must be at least 5x
+// cheaper, and the benchmark exits non-zero if the maintained extent
+// ever disagrees with a rebuilt one.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"medmaker"
+	"medmaker/internal/workload"
+)
+
+// deltaLevel is one update-rate row of the BENCH_8 artifact. Updates is
+// the number of source inserts amortized by one full rebuild; both
+// strategies are normalized to nanoseconds per update at that rate.
+type deltaLevel struct {
+	Updates            int     `json:"updates_per_rebuild"`
+	DeltaNsPerUpdate   int64   `json:"delta_ns_per_update"`
+	RebuildNs          int64   `json:"rebuild_ns"`
+	RebuildNsPerUpdate int64   `json:"rebuild_ns_per_update"`
+	Speedup            float64 `json:"speedup"`
+	ExtentObjects      int     `json:"extent_objects"`
+	DeltasApplied      int64   `json:"deltas_applied"`
+	DeltaFallbacks     int64   `json:"delta_fallbacks"`
+}
+
+type deltaFile struct {
+	Tool       string       `json:"tool"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Persons    int          `json:"persons"`
+	Batches    int          `json:"batches_per_level"`
+	Levels     []deltaLevel `json:"levels"`
+}
+
+// runDelta measures incremental view maintenance against full rebuilds
+// and writes the BENCH_8.json snapshot.
+func runDelta(reps int, path string) {
+	const (
+		persons = 400
+		batches = 5
+	)
+	levels := []int{1, 8, 64}
+
+	staff := must(workload.GenStaff(workload.StaffConfig{
+		Persons: persons, Departments: 4, EmployeeFraction: 0.5, Irregularity: 0.3, Seed: 1,
+	}))
+	// Pre-seed the cs rows the update stream will join against, before
+	// the wrapper exists — they are ordinary (unmatched) rows until the
+	// corresponding whois record arrives.
+	budget := 0
+	for _, u := range levels {
+		budget += u * batches
+	}
+	emp, ok := staff.DB.Table("employee")
+	if !ok {
+		fmt.Fprintln(os.Stderr, "medbench: staff population has no employee table")
+		os.Exit(1)
+	}
+	for i := 0; i < budget; i++ {
+		emp.MustInsert(updFirst(i), updLast(i), "staff", "F0000 L0000")
+	}
+
+	med := must(medmaker.New(medmaker.Config{
+		Name: "med", Spec: specMS1,
+		Sources: []medmaker.Source{
+			medmaker.NewRelationalWrapper("cs", staff.DB),
+			medmaker.NewRecordWrapper("whois", staff.Store),
+		},
+		Materialize: &medmaker.MatViewOptions{Views: []medmaker.MatView{{Label: "cs_person"}}},
+	}))
+	ctx := context.Background()
+	countAll := `X :- X:<cs_person {<name N>}>@med.`
+	extent := func() int { return len(must(query(med, countAll))) }
+
+	// Warm the extent; every subsequent count is served from it.
+	if err := med.Refresh(ctx, "cs_person"); err != nil {
+		fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
+		os.Exit(1)
+	}
+	size := extent()
+
+	snap := deltaFile{
+		Tool: "medbench -delta", GoMaxProcs: runtime.GOMAXPROCS(0),
+		Persons: persons, Batches: batches,
+	}
+	next := 0
+	for _, updates := range levels {
+		// Incremental: time batches of updates flowing through the
+		// change feed into the extent; median batch, normalized per
+		// update.
+		d0 := med.MatViewStats()
+		times := make([]time.Duration, batches)
+		for b := range times {
+			start := time.Now()
+			for k := 0; k < updates; k++ {
+				staff.Store.MustAdd(medmaker.Record{Kind: "person", Fields: []medmaker.RecordField{
+					{Name: "name", Value: updFirst(next) + " " + updLast(next)},
+					{Name: "dept", Value: "CS"},
+					{Name: "relation", Value: "employee"},
+				}})
+				next++
+			}
+			times[b] = time.Since(start)
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		deltaNs := times[batches/2].Nanoseconds() / int64(updates)
+		d1 := med.MatViewStats()
+
+		// Every insert must have taken the fast path, and the extent
+		// must have grown by exactly the inserted count — without a
+		// rebuild.
+		applied := updates * batches
+		if got := d1.Deltas - d0.Deltas; got != int64(applied) {
+			fmt.Fprintf(os.Stderr, "medbench: %d of %d updates took the delta path\n", got, applied)
+			os.Exit(1)
+		}
+		if d1.DeltaFallbacks != d0.DeltaFallbacks {
+			fmt.Fprintf(os.Stderr, "medbench: insert-only updates fell back to rebuild: %+v\n", d1)
+			os.Exit(1)
+		}
+		size += applied
+		if got := extent(); got != size {
+			fmt.Fprintf(os.Stderr, "medbench: delta-maintained extent holds %d objects, want %d\n", got, size)
+			os.Exit(1)
+		}
+
+		// Full rebuild at the current extent size: what one Invalidate +
+		// Refresh costs, amortized over the level's update count.
+		rebuildNs := timeIt(min(reps, 7), func() {
+			med.Invalidate("cs_person")
+			if err := med.Refresh(ctx, "cs_person"); err != nil {
+				fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
+				os.Exit(1)
+			}
+		}).Nanoseconds()
+		if got := extent(); got != size {
+			fmt.Fprintf(os.Stderr, "medbench: rebuilt extent holds %d objects, want %d\n", got, size)
+			os.Exit(1)
+		}
+
+		lvl := deltaLevel{
+			Updates:            updates,
+			DeltaNsPerUpdate:   deltaNs,
+			RebuildNs:          rebuildNs,
+			RebuildNsPerUpdate: rebuildNs / int64(updates),
+			ExtentObjects:      size,
+			DeltasApplied:      d1.Deltas,
+			DeltaFallbacks:     d1.DeltaFallbacks,
+		}
+		if deltaNs > 0 {
+			lvl.Speedup = float64(lvl.RebuildNsPerUpdate) / float64(deltaNs)
+		}
+		snap.Levels = append(snap.Levels, lvl)
+		fmt.Printf("updates/rebuild=%-3d delta=%8dns/update rebuild=%10dns (%dns/update) speedup=%.1fx extent=%d\n",
+			updates, deltaNs, rebuildNs, lvl.RebuildNsPerUpdate, lvl.Speedup, size)
+	}
+
+	// The acceptance bound: at one update per rebuild, incremental
+	// maintenance must be at least 5x cheaper than rebuilding.
+	if low := snap.Levels[0]; low.Speedup < 5 {
+		fmt.Fprintf(os.Stderr, "medbench: delta maintenance only %.1fx cheaper than rebuild at %d update/rebuild, want >= 5x\n",
+			low.Speedup, low.Updates)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "medbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d levels)\n", path, len(snap.Levels))
+}
+
+// updFirst/updLast name the update stream's people; the prefix keeps
+// them disjoint from the generated F####/L#### population.
+func updFirst(i int) string { return fmt.Sprintf("U%04d", i) }
+func updLast(i int) string  { return fmt.Sprintf("V%04d", i) }

@@ -75,8 +75,13 @@ func main() {
 	shardDistinct := flag.Int("shard-distinct", 500, "distinct point-query templates for -shard")
 	shardScanEvery := flag.Int("shard-scan-every", 64, "every k'th query per client is a scatter scan for -shard (0 disables scans)")
 	shardSeed := flag.Int64("shard-seed", 1, "base workload seed for -shard (client i uses seed+i)")
+	deltaOut := flag.String("delta", "", "write a JSON snapshot of the incremental view-maintenance measurements (change-feed delta application vs full rebuild per update rate, the BENCH_8.json artifact) to this file and exit")
 	flag.DurationVar(&queryTimeout, "timeout", 0, "per-query deadline for measured queries (e.g. 30s); 0 means none")
 	flag.Parse()
+	if *deltaOut != "" {
+		runDelta(*reps, *deltaOut)
+		return
+	}
 	if *shardOut != "" {
 		runShard(shardConfig{
 			Path: *shardOut, Shards: mustClients(*shardCounts), Clients: *shardClients,

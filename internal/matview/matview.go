@@ -54,6 +54,11 @@ type View struct {
 	TTL time.Duration
 }
 
+// DefaultRecoverInterval is the minimum spacing between background
+// re-refresh attempts of an extent that was built Incomplete, used when
+// Options.RecoverInterval is zero.
+const DefaultRecoverInterval = time.Second
+
 // Options configure a Manager (medmaker.Config.Materialize).
 type Options struct {
 	// Views lists the view heads to materialize.
@@ -64,6 +69,12 @@ type Options struct {
 	// Metrics receives matview.* counters and the refresh-latency
 	// histogram; nil means metrics.Default().
 	Metrics *metrics.Registry
+	// RecoverInterval bounds how often a fresh-but-Incomplete extent —
+	// one built while a source was degraded — retries a background
+	// rebuild so it does not stay Incomplete forever once the source
+	// recovers. 0 means DefaultRecoverInterval; negative disables
+	// recovery refreshes.
+	RecoverInterval time.Duration
 }
 
 // BuildFunc materializes one extent: it answers the fetch query through
@@ -71,14 +82,30 @@ type Options struct {
 // was degraded (Incomplete).
 type BuildFunc func(ctx context.Context, fetch *msl.Rule) ([]*oem.Object, bool, error)
 
+// DeltaFunc evaluates the incremental effect of a source mutation on one
+// view: given the view's fetch query, the mutated source's name, and the
+// objects the mutation inserted, it returns the view objects the
+// insertion adds. The source itself has already been mutated, so the
+// implementation evaluates the fetch with the mutated source replaced by
+// a delta-only facade holding just the inserted objects, every other
+// source live — semi-naive evaluation's delta rule. incomplete reports a
+// degraded evaluation; ok=false reports that the view's specification is
+// not delta-evaluable for this source (non-monotone rules, a source
+// joined with itself) and the caller must fall back to a full rebuild.
+type DeltaFunc func(ctx context.Context, fetch *msl.Rule, source string, inserted []*oem.Object) (objs []*oem.Object, incomplete, ok bool, err error)
+
 // Stats is a snapshot of a manager's counters. Hits are queries served
 // from extents; Misses are queries no fresh extent could answer (no
 // covering view, or build failure); Stale counts misses caused
 // specifically by TTL expiry or invalidation, which also trigger a
 // background rebuild. Refreshes and RefreshErrors count completed
-// extent builds.
+// extent builds. Deltas counts source mutations applied incrementally
+// into an extent; DeltaFallbacks counts mutations that had to mark the
+// extent stale for a full rebuild instead (deletes, incomplete extents,
+// non-delta-evaluable specs, races).
 type Stats struct {
 	Hits, Misses, Stale, Refreshes, RefreshErrors int64
+	Deltas, DeltaFallbacks                        int64
 }
 
 // Outcome classifies one Serve attempt.
@@ -138,14 +165,17 @@ type Served struct {
 type Manager struct {
 	mediator string
 	build    BuildFunc
+	delta    DeltaFunc // nil: every mutation falls back to rebuild
 	now      func() time.Time
 	reg      *metrics.Registry
 	views    map[string]*matView // by label
 	labels   []string            // sorted
+	recover  time.Duration       // <0: disabled
 	wg       sync.WaitGroup      // background rebuilds in flight
 
 	hits, misses, stale    atomic.Int64
 	refreshes, refreshErrs atomic.Int64
+	deltas, deltaFallbacks atomic.Int64
 }
 
 // matView is one view's configuration and current extent.
@@ -167,6 +197,17 @@ type matView struct {
 	builtAt    time.Time
 	stale      bool
 	building   *buildFlight
+	// gen counts mutations applied (or attempted) against this view; a
+	// rebuild that overlapped a mutation sees gen move and installs its
+	// extent already stale, since its build may predate the mutation.
+	gen uint64
+	// dedup holds the structural fingerprints of every object in the
+	// extent, so delta applications drop answers the extent already has
+	// (the delta rule re-derives answers joining new data with new data).
+	dedup *oem.Deduper
+	// lastRecover spaces the background re-refresh attempts of an extent
+	// stuck Incomplete.
+	lastRecover time.Time
 }
 
 // buildFlight is one in-progress extent build; concurrent demands join
@@ -191,12 +232,17 @@ func NewManager(mediator string, spec *msl.Program, opts Options, build BuildFun
 	if reg == nil {
 		reg = metrics.Default()
 	}
+	rec := opts.RecoverInterval
+	if rec == 0 {
+		rec = DefaultRecoverInterval
+	}
 	m := &Manager{
 		mediator: mediator,
 		build:    build,
 		now:      now,
 		reg:      reg,
 		views:    make(map[string]*matView, len(opts.Views)),
+		recover:  rec,
 	}
 	for _, v := range opts.Views {
 		if v.Label == "" {
@@ -302,14 +348,21 @@ func ExtentSource(label string) string { return extentPrefix + label }
 // Labels returns the configured view labels, sorted.
 func (m *Manager) Labels() []string { return append([]string(nil), m.labels...) }
 
+// SetDeltaFunc installs the incremental evaluator ApplyDelta uses for
+// insert-only mutations. Call it once, before the manager sees queries
+// or deltas; with no delta func every mutation falls back to a rebuild.
+func (m *Manager) SetDeltaFunc(fn DeltaFunc) { m.delta = fn }
+
 // Stats snapshots the manager's counters.
 func (m *Manager) Stats() Stats {
 	return Stats{
-		Hits:          m.hits.Load(),
-		Misses:        m.misses.Load(),
-		Stale:         m.stale.Load(),
-		Refreshes:     m.refreshes.Load(),
-		RefreshErrors: m.refreshErrs.Load(),
+		Hits:           m.hits.Load(),
+		Misses:         m.misses.Load(),
+		Stale:          m.stale.Load(),
+		Refreshes:      m.refreshes.Load(),
+		RefreshErrors:  m.refreshErrs.Load(),
+		Deltas:         m.deltas.Load(),
+		DeltaFallbacks: m.deltaFallbacks.Load(),
 	}
 }
 
@@ -403,13 +456,26 @@ type extentState struct {
 // ensure returns v's extent, building it synchronously when absent.
 // fresh=false reports a present-but-expired extent (the caller decides
 // what to do; ensure does not rebuild it). built=true reports that this
-// call performed the synchronous build.
+// call performed the synchronous build. A fresh extent that is stuck
+// Incomplete additionally triggers a bounded background re-refresh, so
+// recovered sources eventually clear the degradation (satisfying queries
+// meanwhile keep being served, conservatively flagged Incomplete).
 func (m *Manager) ensure(ctx context.Context, v *matView) (st extentState, fresh, built bool, err error) {
 	v.mu.Lock()
 	if v.src != nil {
 		st = extentState{src: v.src, objs: v.objs, incomplete: v.incomplete}
-		fresh = !v.expiredLocked(m.now())
+		now := m.now()
+		fresh = !v.expiredLocked(now)
+		retry := fresh && st.incomplete && m.recover >= 0 &&
+			(v.lastRecover.IsZero() || now.Sub(v.lastRecover) >= m.recover)
+		if retry {
+			v.lastRecover = now
+		}
 		v.mu.Unlock()
+		if retry {
+			m.reg.Counter("matview.recover").Inc()
+			m.refreshAsync(v)
+		}
 		return st, fresh, false, nil
 	}
 	v.mu.Unlock()
@@ -418,8 +484,9 @@ func (m *Manager) ensure(ctx context.Context, v *matView) (st extentState, fresh
 	}
 	v.mu.Lock()
 	st = extentState{src: v.src, objs: v.objs, incomplete: v.incomplete}
+	fresh = !v.expiredLocked(m.now())
 	v.mu.Unlock()
-	return st, true, true, nil
+	return st, fresh, true, nil
 }
 
 // expiredLocked reports TTL expiry or explicit invalidation; v.mu held.
@@ -462,6 +529,7 @@ func (m *Manager) rebuild(ctx context.Context, v *matView) error {
 	}
 	f := &buildFlight{done: make(chan struct{})}
 	v.building = f
+	startGen := v.gen
 	v.mu.Unlock()
 
 	start := time.Now()
@@ -473,8 +541,15 @@ func (m *Manager) rebuild(ctx context.Context, v *matView) error {
 	m.reg.Histogram("matview.refresh_latency").Observe(time.Since(start))
 	v.mu.Lock()
 	if err == nil {
-		v.src, v.objs, v.incomplete = src, objs, incomplete
-		v.builtAt, v.stale = m.now(), false
+		dedup := oem.NewDeduper(len(objs))
+		for _, o := range objs {
+			dedup.Seen(o)
+		}
+		v.src, v.objs, v.incomplete, v.dedup = src, objs, incomplete, dedup
+		// A mutation that raced this build may predate what the build
+		// read: install the extent (it is the newest data available) but
+		// keep it stale so the next demand rebuilds once more.
+		v.builtAt, v.stale = m.now(), v.gen != startGen
 		m.refreshes.Add(1)
 		m.reg.Counter("matview.refreshes").Inc()
 	} else {
@@ -537,6 +612,7 @@ func (m *Manager) Invalidate(name string) int {
 			continue
 		}
 		v.mu.Lock()
+		v.gen++ // an in-flight rebuild must not install as fresh
 		if v.src != nil && !v.stale {
 			v.stale = true
 			n++
@@ -544,4 +620,101 @@ func (m *Manager) Invalidate(name string) int {
 		v.mu.Unlock()
 	}
 	return n
+}
+
+// ApplyDelta maintains the extents that depend on source through one
+// mutation, instead of dropping them: an insert-only delta is evaluated
+// incrementally (the delta func runs the view's fetch with the mutated
+// source replaced by a facade holding just the inserted objects) and the
+// new answers are appended to the extent, structurally deduplicated
+// against what it already holds. Deletions, Incomplete extents,
+// non-delta-evaluable specs, evaluation failures, and races with
+// concurrent rebuilds all fall back to the invalidate path: the extent
+// is marked stale and a background rebuild starts, exactly as before
+// change feeds existed. Unbuilt extents need nothing — a later build
+// reads the already-mutated source.
+//
+// It returns how many extents were delta-maintained and how many fell
+// back to a rebuild.
+func (m *Manager) ApplyDelta(ctx context.Context, source string, inserted, deleted []*oem.Object) (applied, fallbacks int) {
+	for _, l := range m.labels {
+		v := m.views[l]
+		if !v.allSources && !v.deps[source] {
+			continue
+		}
+		v.mu.Lock()
+		v.gen++
+		if v.src == nil || v.building != nil || v.stale {
+			// Unbuilt: nothing to maintain. Building: the gen bump above
+			// makes the racing install come out stale, so the follow-up
+			// rebuild observes this mutation. Stale: a rebuild is already
+			// owed and will read the mutated source.
+			v.mu.Unlock()
+			continue
+		}
+		if len(deleted) > 0 || v.incomplete || m.delta == nil {
+			m.fallbackLocked(v)
+			fallbacks++
+			continue
+		}
+		fetch := v.fetchRule(m.mediator)
+		v.mu.Unlock()
+
+		objs, incomplete, ok, err := m.delta(ctx, fetch, source, inserted)
+		v.mu.Lock()
+		if err != nil || !ok || incomplete {
+			m.fallbackLocked(v)
+			fallbacks++
+			continue
+		}
+		if v.src == nil || v.building != nil || v.stale {
+			// A rebuild or invalidation intervened; it owns freshness now.
+			v.mu.Unlock()
+			continue
+		}
+		// v.gen may have moved: a concurrent insert-only application.
+		// Those commute — whichever delta evaluation ran last saw both
+		// mutations' source state, and the deduper drops doubly-derived
+		// answers — so appending stays sound without a gen re-check.
+		var fresh []*oem.Object
+		for _, o := range objs {
+			if !v.dedup.Seen(o) {
+				fresh = append(fresh, o)
+			}
+		}
+		v.objs = append(v.objs, fresh...)
+		src := v.src
+		v.mu.Unlock()
+		if len(fresh) > 0 {
+			// The facade source accepts the new objects outside v.mu; the
+			// extent registry is only read by served plans, which tolerate
+			// (and want) the freshest extent.
+			if err := src.Add(fresh...); err != nil {
+				m.Invalidate(v.label)
+				m.countFallback()
+				fallbacks++
+				continue
+			}
+		}
+		applied++
+		m.deltas.Add(1)
+		m.reg.Counter("matview.delta.applied").Inc()
+		m.reg.Counter("matview.delta.objects").Add(int64(len(fresh)))
+	}
+	return applied, fallbacks
+}
+
+// fallbackLocked routes one mutation to the rebuild path: mark v stale,
+// count the fallback, start a background rebuild. v.mu is held on entry
+// and released here (refreshAsync takes it itself).
+func (m *Manager) fallbackLocked(v *matView) {
+	v.stale = true
+	v.mu.Unlock()
+	m.countFallback()
+	m.refreshAsync(v)
+}
+
+func (m *Manager) countFallback() {
+	m.deltaFallbacks.Add(1)
+	m.reg.Counter("matview.delta.fallback").Inc()
 }

@@ -152,6 +152,36 @@ func (s *Store) Labels() []string {
 	return out
 }
 
+// Remove deletes the top-level objects with the given oids, unindexing
+// every object reachable from them, and returns the removed roots in
+// store order. OIDs that do not name a top-level object are ignored.
+func (s *Store) Remove(oids ...OID) []*Object {
+	if len(oids) == 0 {
+		return nil
+	}
+	drop := make(map[OID]bool, len(oids))
+	for _, oid := range oids {
+		drop[oid] = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var removed []*Object
+	kept := s.tops[:0]
+	for _, obj := range s.tops {
+		if !drop[obj.OID] {
+			kept = append(kept, obj)
+			continue
+		}
+		removed = append(removed, obj)
+		obj.Walk(func(o *Object, _ int) bool {
+			delete(s.byOID, o.OID)
+			return true
+		})
+	}
+	s.tops = kept
+	return removed
+}
+
 // Clear removes all objects but keeps the oid generator state, so
 // re-populated stores never reuse oids.
 func (s *Store) Clear() {

@@ -14,11 +14,13 @@ import (
 	"medmaker/internal/wrapper"
 )
 
-// Source is a fully-capable OEM-native source.
+// Source is a fully-capable OEM-native source. Mutations (Add, Remove)
+// emit change-feed deltas to wrapper.Notifier subscribers.
 type Source struct {
 	name  string
 	store *oem.Store
 	gen   *oem.IDGen
+	feed  wrapper.Feed
 }
 
 var (
@@ -26,6 +28,7 @@ var (
 	_ wrapper.BatchQuerier        = (*Source)(nil)
 	_ wrapper.ContextSource       = (*Source)(nil)
 	_ wrapper.ContextBatchQuerier = (*Source)(nil)
+	_ wrapper.Notifier            = (*Source)(nil)
 )
 
 // New returns an empty source with the given name. Objects added later
@@ -90,10 +93,32 @@ func FromJSONFile(name, label, path string) (*Source, error) {
 	return FromJSON(name, label, data)
 }
 
-// Add inserts top-level objects.
+// Add inserts top-level objects and emits an insert delta to change-feed
+// subscribers once the store mutation is complete.
 func (s *Source) Add(objs ...*oem.Object) error {
-	return s.store.Add(objs...)
+	if err := s.store.Add(objs...); err != nil {
+		return err
+	}
+	if s.feed.Active() {
+		s.feed.Emit(wrapper.Delta{Source: s.name, Inserted: append([]*oem.Object(nil), objs...)})
+	}
+	return nil
 }
+
+// Remove deletes the top-level objects with the given oids and emits a
+// delete delta carrying the removed roots. OIDs not naming a top-level
+// object are ignored.
+func (s *Source) Remove(oids ...oem.OID) []*oem.Object {
+	removed := s.store.Remove(oids...)
+	if len(removed) > 0 {
+		s.feed.Emit(wrapper.Delta{Source: s.name, Deleted: removed})
+	}
+	return removed
+}
+
+// OnChange implements wrapper.Notifier: fn receives a delta after every
+// subsequent Add or Remove.
+func (s *Source) OnChange(fn func(wrapper.Delta)) { s.feed.OnChange(fn) }
 
 // SaveFile writes the source's objects to path in the textual OEM format;
 // FromFile reads them back.

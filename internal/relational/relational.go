@@ -97,6 +97,16 @@ type Table struct {
 	schema  Schema
 	rows    []Row
 	indexes map[string]map[uint64][]int // column -> value hash -> row ids
+	// watchers run after each Insert, outside the table lock, with the
+	// table and the new row's id. Wrappers use them to emit change feeds.
+	watchers []func(t *Table, id int)
+}
+
+// onInsert registers a mutation watcher; see Table.watchers.
+func (t *Table) onInsert(fn func(t *Table, id int)) {
+	t.mu.Lock()
+	t.watchers = append(t.watchers, fn)
+	t.mu.Unlock()
 }
 
 // NewTable creates an empty table with the given schema.
@@ -159,7 +169,6 @@ func (t *Table) Insert(vals ...any) error {
 		row[i] = val
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	id := len(t.rows)
 	t.rows = append(t.rows, row)
 	for col, idx := range t.indexes {
@@ -168,6 +177,11 @@ func (t *Table) Insert(vals ...any) error {
 			h := oem.HashValue(row[ci])
 			idx[h] = append(idx[h], id)
 		}
+	}
+	watchers := t.watchers
+	t.mu.Unlock()
+	for _, fn := range watchers {
+		fn(t, id)
 	}
 	return nil
 }
@@ -326,10 +340,28 @@ func (t *Table) Row(id int) (Row, error) {
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	// watchers are insert watchers attached to every current and future
+	// table of the database.
+	watchers []func(t *Table, id int)
 }
 
 // NewDB returns an empty database.
 func NewDB() *DB { return &DB{tables: make(map[string]*Table)} }
+
+// onInsert registers fn as an insert watcher on every table the database
+// has now or gains later.
+func (db *DB) onInsert(fn func(t *Table, id int)) {
+	db.mu.Lock()
+	db.watchers = append(db.watchers, fn)
+	tables := make([]*Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		tables = append(tables, t)
+	}
+	db.mu.Unlock()
+	for _, t := range tables {
+		t.onInsert(fn)
+	}
+}
 
 // CreateTable creates and registers a table.
 func (db *DB) CreateTable(schema Schema) (*Table, error) {
@@ -343,6 +375,9 @@ func (db *DB) CreateTable(schema Schema) (*Table, error) {
 		return nil, fmt.Errorf("relational: table %q already exists", schema.Name)
 	}
 	db.tables[schema.Name] = t
+	for _, fn := range db.watchers {
+		t.onInsert(fn)
+	}
 	return t, nil
 }
 

@@ -36,6 +36,8 @@ type Wrapper struct {
 	// constantly; the cache makes conversion a once-per-row cost.
 	mu      sync.Mutex
 	rowObjs map[*Table][]*oem.Object
+
+	feed wrapper.Feed
 }
 
 var (
@@ -43,13 +45,32 @@ var (
 	_ wrapper.BatchQuerier        = (*Wrapper)(nil)
 	_ wrapper.ContextSource       = (*Wrapper)(nil)
 	_ wrapper.ContextBatchQuerier = (*Wrapper)(nil)
+	_ wrapper.Notifier            = (*Wrapper)(nil)
 )
 
-// NewWrapper wraps db as a source with the given name.
+// NewWrapper wraps db as a source with the given name. Rows inserted into
+// the database after the wrapper is created — into current or future
+// tables — are emitted as change-feed deltas to wrapper.Notifier
+// subscribers.
 func NewWrapper(name string, db *DB) *Wrapper {
-	return &Wrapper{name: name, db: db, gen: oem.NewIDGen(name + "q"),
+	w := &Wrapper{name: name, db: db, gen: oem.NewIDGen(name + "q"),
 		rowObjs: make(map[*Table][]*oem.Object)}
+	db.onInsert(func(t *Table, id int) {
+		if !w.feed.Active() {
+			return
+		}
+		objs := w.convert(t, []int{id})
+		if len(objs) > 0 {
+			w.feed.Emit(wrapper.Delta{Source: w.name, Inserted: objs})
+		}
+	})
+	return w
 }
+
+// OnChange implements wrapper.Notifier: fn receives an insert delta —
+// carrying the same pointer-stable row object later queries return — for
+// every subsequent Insert into the wrapped database.
+func (w *Wrapper) OnChange(fn func(wrapper.Delta)) { w.feed.OnChange(fn) }
 
 // Name implements wrapper.Source.
 func (w *Wrapper) Name() string { return w.name }

@@ -43,6 +43,17 @@ type Store struct {
 	records []Record
 	// oem caches the exported OEM view; invalidated on Add.
 	oemView []*oem.Object
+	// hooks run after each Add, outside the store lock, with the index of
+	// the first new record and the appended records. Wrappers use them to
+	// emit change-feed deltas with record-stable oids.
+	hooks []func(start int, recs []Record)
+}
+
+// onAdd registers a mutation hook; see Store.hooks.
+func (s *Store) onAdd(fn func(start int, recs []Record)) {
+	s.mu.Lock()
+	s.hooks = append(s.hooks, fn)
+	s.mu.Unlock()
 }
 
 // NewStore returns an empty store.
@@ -60,9 +71,14 @@ func (s *Store) Add(records ...Record) error {
 		}
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	start := len(s.records)
 	s.records = append(s.records, records...)
 	s.oemView = nil
+	hooks := s.hooks
+	s.mu.Unlock()
+	for _, fn := range hooks {
+		fn(start, records)
+	}
 	return nil
 }
 
@@ -106,11 +122,14 @@ func validateFields(fields []Field) error {
 	return nil
 }
 
-// Wrapper exports a Store as an OEM source under a given name.
+// Wrapper exports a Store as an OEM source under a given name. Records
+// appended to the store after the wrapper is created are emitted as
+// change-feed deltas to wrapper.Notifier subscribers.
 type Wrapper struct {
 	name  string
 	store *Store
 	gen   *oem.IDGen
+	feed  wrapper.Feed
 }
 
 var (
@@ -118,12 +137,30 @@ var (
 	_ wrapper.BatchQuerier        = (*Wrapper)(nil)
 	_ wrapper.ContextSource       = (*Wrapper)(nil)
 	_ wrapper.ContextBatchQuerier = (*Wrapper)(nil)
+	_ wrapper.Notifier            = (*Wrapper)(nil)
 )
 
 // NewWrapper wraps store as the named source.
 func NewWrapper(name string, store *Store) *Wrapper {
-	return &Wrapper{name: name, store: store, gen: oem.NewIDGen(name + "q")}
+	w := &Wrapper{name: name, store: store, gen: oem.NewIDGen(name + "q")}
+	store.onAdd(func(start int, recs []Record) {
+		if !w.feed.Active() {
+			return
+		}
+		objs := make([]*oem.Object, len(recs))
+		for i, r := range recs {
+			objs[i] = w.convertRecord(start+i, r)
+		}
+		w.feed.Emit(wrapper.Delta{Source: w.name, Inserted: objs})
+	})
+	return w
 }
+
+// OnChange implements wrapper.Notifier: fn receives an insert delta for
+// every subsequent Store.Add. The delta's objects carry the same
+// record-index oids as Export, so they are structurally identical to the
+// next exported view's new tail.
+func (w *Wrapper) OnChange(fn func(wrapper.Delta)) { w.feed.OnChange(fn) }
 
 // Name implements wrapper.Source.
 func (w *Wrapper) Name() string { return w.name }
@@ -191,15 +228,20 @@ func (w *Wrapper) Export() []*oem.Object {
 	}
 	out := make([]*oem.Object, len(w.store.records))
 	for i, r := range w.store.records {
-		oid := oem.OID(fmt.Sprintf("&%s_%d", w.name, i))
-		out[i] = &oem.Object{
-			OID:   oid,
-			Label: r.Kind,
-			Value: w.convertFields(string(oid), r.Fields),
-		}
+		out[i] = w.convertRecord(i, r)
 	}
 	w.store.oemView = out
 	return out
+}
+
+// convertRecord converts record index i to its OEM object, oid &<name>_i.
+func (w *Wrapper) convertRecord(i int, r Record) *oem.Object {
+	oid := oem.OID(fmt.Sprintf("&%s_%d", w.name, i))
+	return &oem.Object{
+		OID:   oid,
+		Label: r.Kind,
+		Value: w.convertFields(string(oid), r.Fields),
+	}
 }
 
 func (w *Wrapper) convertFields(parentOID string, fields []Field) oem.Set {

@@ -278,20 +278,23 @@ func (c *Cache) CountLabel(label string) (int, bool) {
 }
 
 // Invalidate drops cached answers — the explicit escape hatch for
-// callers that know a source changed. A cache holds answers of exactly
-// one source, so source selects all or nothing: "" (every entry,
-// whatever the source) or the inner source's name drop the whole cache;
-// any other name is a no-op. The selector exists so a mediator can
-// broadcast one Invalidate(name) to all its caches and the matview
-// manager alike.
-func (c *Cache) Invalidate(source string) {
+// callers that know a source changed — and returns how many entries it
+// dropped, so callers can count invalidated answers in their metrics. A
+// cache holds answers of exactly one source, so source selects all or
+// nothing: "" (every entry, whatever the source) or the inner source's
+// name drop the whole cache; any other name is a no-op returning 0. The
+// selector exists so a mediator can broadcast one Invalidate(name) to
+// all its caches and the matview manager alike.
+func (c *Cache) Invalidate(source string) int {
 	if source != "" && source != c.inner.Name() {
-		return
+		return 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	dropped := c.lru.Len()
 	c.lru.Init()
 	c.entries = make(map[string]*list.Element)
+	return dropped
 }
 
 // Stats returns a snapshot of the cache counters.

@@ -1,5 +1,11 @@
 package wrapper
 
+import (
+	"sync"
+
+	"medmaker/internal/oem"
+)
+
 // InvalidationNotifier is an optional Source extension for sources whose
 // extents can change underneath a caching consumer. A consumer that keeps
 // derived state — plan-cache entries, materialized views, answer caches —
@@ -18,4 +24,81 @@ type InvalidationNotifier interface {
 	// source. Registrations cannot be removed; keep the subscriber alive
 	// as long as the source.
 	OnInvalidate(fn func())
+}
+
+// Delta describes one source mutation as the change to the source's
+// top-level extent: the objects inserted and the objects deleted. The
+// object pointers are the source's own exported objects (or structurally
+// equal conversions of them); consumers must treat them as immutable,
+// exactly as they treat query answers.
+type Delta struct {
+	// Source is the emitting source's name.
+	Source string
+	// Inserted lists the top-level objects the mutation added.
+	Inserted []*oem.Object
+	// Deleted lists the top-level objects the mutation removed.
+	Deleted []*oem.Object
+}
+
+// Empty reports a delta carrying no changes.
+func (d Delta) Empty() bool { return len(d.Inserted) == 0 && len(d.Deleted) == 0 }
+
+// Notifier is the change-feed capability: an optional Source extension
+// for sources that can describe their own mutations. Where
+// InvalidationNotifier only says "something changed, drop derived
+// state", a Notifier says *what* changed, which lets consumers maintain
+// derived state incrementally — the mediator delta-maintains
+// materialized-view extents from insert deltas instead of rebuilding
+// them, and drops only the mutated source's answer-cache entries.
+//
+// Callbacks run synchronously inside the mutating call, after the
+// source's own state is updated and its locks are released, so a query
+// issued after a mutation returns is guaranteed to observe the delta's
+// effects on every subscriber. Callbacks must be safe for concurrent
+// use (concurrent mutators fire them concurrently) and may query the
+// emitting source, but must not mutate it (a re-entrant mutation would
+// recurse through the listener chain).
+type Notifier interface {
+	// OnChange registers fn to receive every subsequent mutation's
+	// delta. Registrations cannot be removed; keep the subscriber alive
+	// as long as the source.
+	OnChange(fn func(Delta))
+}
+
+// Feed is an embeddable change-feed broadcaster: the one implementation
+// of Notifier subscription and delta fan-out behind every bundled
+// mutable source. The zero value is ready to use.
+type Feed struct {
+	mu   sync.Mutex
+	subs []func(Delta)
+}
+
+// OnChange implements Notifier.
+func (f *Feed) OnChange(fn func(Delta)) {
+	f.mu.Lock()
+	f.subs = append(f.subs, fn)
+	f.mu.Unlock()
+}
+
+// Active reports whether any subscriber is registered, so sources can
+// skip building deltas nobody consumes.
+func (f *Feed) Active() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.subs) > 0
+}
+
+// Emit fires every subscriber with d, synchronously, in registration
+// order. Call it after the mutation is applied and the source's own
+// locks are released. Empty deltas are dropped.
+func (f *Feed) Emit(d Delta) {
+	if d.Empty() {
+		return
+	}
+	f.mu.Lock()
+	subs := f.subs
+	f.mu.Unlock()
+	for _, fn := range subs {
+		fn(d)
+	}
 }

@@ -118,6 +118,7 @@ var (
 	_ Counter              = (*Partitioned)(nil)
 	_ Sharded              = (*Partitioned)(nil)
 	_ InvalidationNotifier = (*Partitioned)(nil)
+	_ Notifier             = (*Partitioned)(nil)
 )
 
 // NewPartitioned builds the logical source name over members, partitioned
@@ -296,6 +297,22 @@ func (p *Partitioned) OnInvalidate(fn func()) {
 	for _, m := range p.members {
 		if n, ok := m.(InvalidationNotifier); ok {
 			n.OnInvalidate(fn)
+		}
+	}
+}
+
+// OnChange implements Notifier by forwarding the registration to every
+// member with a change feed; member deltas are re-labelled with the
+// composite's name, since consumers know the partition only as one
+// logical source. Members without a feed stay silent — pair Partitioned
+// with OnInvalidate subscriptions when members only invalidate.
+func (p *Partitioned) OnChange(fn func(Delta)) {
+	for _, m := range p.members {
+		if n, ok := m.(Notifier); ok {
+			n.OnChange(func(d Delta) {
+				d.Source = p.name
+				fn(d)
+			})
 		}
 	}
 }

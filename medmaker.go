@@ -393,6 +393,7 @@ func New(cfg Config) (*Mediator, error) {
 		if err != nil {
 			return nil, err
 		}
+		mgr.SetDeltaFunc(m.buildViewDelta)
 		m.matviews = mgr
 	}
 	return m, nil
@@ -407,6 +408,119 @@ func (m *Mediator) buildView(ctx context.Context, fetch *Rule) ([]*Object, bool,
 		return nil, false, err
 	}
 	return res.Objects, res.Incomplete, nil
+}
+
+// buildViewDelta evaluates the incremental effect of an insert into
+// source on one materialized view — the delta rule of semi-naive
+// evaluation. The view's fetch query is expanded as usual; rules not
+// reading source are dropped (the insert cannot change their answers);
+// the surviving rules are planned and executed with source replaced by a
+// facade holding only the inserted objects, every other source live. The
+// sources have already been mutated, so "new data ⋈ old data" and "new
+// data ⋈ new data" derivations both surface, and the result is exactly
+// the set of view objects the insert adds (up to structural duplicates,
+// which the matview manager filters against the extent).
+//
+// ok=false reports a specification shape the delta rule is not sound
+// for, making the manager fall back to a full rebuild: fused (skolem)
+// specs, rules that survive expansion with mediator self-references,
+// negated conjuncts (non-monotone: an insert can retract answers), and
+// rules reading source more than once (one facade substitution would
+// miss new⋈old combinations on the other occurrence).
+func (m *Mediator) buildViewDelta(ctx context.Context, fetch *Rule, source string, inserted []*Object) ([]*Object, bool, bool, error) {
+	if m.fused {
+		return nil, false, false, nil
+	}
+	logical, err := m.ExpandContext(ctx, fetch)
+	if err != nil {
+		return nil, false, false, err
+	}
+	var delta []*msl.Rule
+	for _, r := range logical.Rules {
+		reads := 0
+		for _, c := range r.Tail {
+			pc, ok := c.(*msl.PatternConjunct)
+			if !ok {
+				continue
+			}
+			if pc.Source == "" || pc.Source == m.name {
+				return nil, false, false, nil // unexpanded self-reference
+			}
+			if pc.Negated {
+				return nil, false, false, nil // non-monotone
+			}
+			if pc.Source == source {
+				reads++
+			}
+		}
+		if reads > 1 {
+			return nil, false, false, nil // source self-join
+		}
+		if reads == 1 {
+			delta = append(delta, r)
+		}
+	}
+	if len(delta) == 0 {
+		// No rule reads the mutated source: the insert cannot add view
+		// objects, and an empty delta is the correct answer.
+		return nil, false, true, nil
+	}
+	facade, err := oemstore.FromObjects(source, inserted...)
+	if err != nil {
+		return nil, false, false, err
+	}
+	reg := wrapper.NewRegistry()
+	for _, name := range m.sources.Names() {
+		if name == source {
+			continue
+		}
+		if s, ok := m.sources.Lookup(name); ok {
+			reg.Add(s)
+		}
+	}
+	reg.Add(facade)
+	planner := plan.New(reg, m.extfns, m.stats, m.planOpts)
+	p, err := planner.BuildContext(ctx, &veao.Program{Rules: delta, Decls: m.spec.Decls})
+	if err != nil {
+		return nil, false, false, err
+	}
+	ex := &engine.Executor{
+		Sources:     reg,
+		Extfn:       m.extfns,
+		IDGen:       m.gen,
+		Stats:       m.stats,
+		Parallelism: m.parallel,
+		QueryBatch:  m.batch,
+		Pipeline:    m.pipeline,
+		Policy:      m.policy,
+	}
+	res, err := ex.RunResult(ctx, p.Root)
+	if err != nil {
+		return nil, false, false, err
+	}
+	return res.Objects, res.Incomplete, true, nil
+}
+
+// applyDelta reacts to one source mutation reported through a change
+// feed: the mutated source's answer-cache entries are dropped (counted
+// under cache.invalidated), the materialized views depending on it are
+// delta-maintained (or marked stale when only a rebuild is sound), and
+// this mediator's own invalidation listeners fire so consumers of a
+// higher tier conservatively drop their derived state. Cached plans are
+// untouched: plans resolve sources by name at execution time and are
+// data-independent.
+func (m *Mediator) applyDelta(d wrapper.Delta) {
+	dropped := 0
+	m.cacheMu.Lock()
+	for _, c := range m.caches {
+		dropped += c.Invalidate(d.Source)
+	}
+	m.cacheMu.Unlock()
+	metrics.Default().Counter("cache.invalidated").Add(int64(dropped))
+	if m.matviews != nil {
+		m.matviews.ApplyDelta(context.Background(), d.Source, d.Inserted, d.Deleted)
+	}
+	m.notifyListeners()
 }
 
 // validateSpec rejects specifications with statically-detectable faults:
@@ -1071,6 +1185,16 @@ func (m *Mediator) AddSource(src Source) {
 		name := src.Name()
 		notifier.OnInvalidate(func() { m.Invalidate(name) })
 	}
+	// A change feed is the finer-grained channel: the source describes
+	// each mutation, so instead of dropping everything derived from it,
+	// the mediator drops only its answer cache and delta-maintains the
+	// materialized views that depend on it. Every bundled mutable source
+	// (OEM store, relational, record store, partitions thereof) notifies
+	// here; no bundled source implements both channels for the same
+	// mutation, so the two subscriptions never double-fire.
+	if notifier, ok := src.(wrapper.Notifier); ok {
+		notifier.OnChange(m.applyDelta)
+	}
 	if m.cacheCfg != nil {
 		opts := *m.cacheCfg
 		user := opts.Recorder
@@ -1097,11 +1221,13 @@ func (m *Mediator) AddSource(src Source) {
 // InvalidateCaches drops every cached source answer — call it when a
 // source's data is known to have changed and Config.Cache is in use.
 func (m *Mediator) InvalidateCaches() {
+	dropped := 0
 	m.cacheMu.Lock()
 	for _, c := range m.caches {
-		c.Invalidate("")
+		dropped += c.Invalidate("")
 	}
 	m.cacheMu.Unlock()
+	metrics.Default().Counter("cache.invalidated").Add(int64(dropped))
 	m.notifyListeners()
 }
 
@@ -1118,11 +1244,13 @@ func (m *Mediator) InvalidateCaches() {
 // refresh replaces them; the next contained query triggers one.
 // Invalidate returns the number of view extents it marked stale.
 func (m *Mediator) Invalidate(name string) int {
+	dropped := 0
 	m.cacheMu.Lock()
 	for _, c := range m.caches {
-		c.Invalidate(name)
+		dropped += c.Invalidate(name)
 	}
 	m.cacheMu.Unlock()
+	metrics.Default().Counter("cache.invalidated").Add(int64(dropped))
 	if m.plans != nil {
 		m.plans.Invalidate(name)
 	}

@@ -43,6 +43,16 @@ type (
 	// gathers. Registered in a mediator, the engine performs the scatter
 	// on its own worker pool under the query's ExecPolicy.
 	PartitionedSource = wrapper.Partitioned
+	// SourceDelta describes one source mutation: the top-level objects it
+	// inserted and deleted. Sources emit deltas to ChangeNotifier
+	// subscribers; a mediator subscribes to every registered source and
+	// delta-maintains its answer caches and materialized views.
+	SourceDelta = wrapper.Delta
+	// ChangeNotifier is the change-feed capability: sources that can
+	// describe their own mutations implement it (all bundled mutable
+	// sources do), letting consumers apply deltas instead of dropping
+	// derived state wholesale.
+	ChangeNotifier = wrapper.Notifier
 )
 
 // NewOEMSource returns an empty OEM-native source.
