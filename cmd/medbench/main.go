@@ -76,8 +76,13 @@ func main() {
 	shardScanEvery := flag.Int("shard-scan-every", 64, "every k'th query per client is a scatter scan for -shard (0 disables scans)")
 	shardSeed := flag.Int64("shard-seed", 1, "base workload seed for -shard (client i uses seed+i)")
 	deltaOut := flag.String("delta", "", "write a JSON snapshot of the incremental view-maintenance measurements (change-feed delta application vs full rebuild per update rate, the BENCH_8.json artifact) to this file and exit")
+	heteroOut := flag.String("hetero", "", "write a JSON snapshot of the heterogeneous source tier measurements (per-kind exchange latency, XML pushdown rows, streaming delta-maintenance rate, the BENCH_9.json artifact) to this file and exit")
 	flag.DurationVar(&queryTimeout, "timeout", 0, "per-query deadline for measured queries (e.g. 30s); 0 means none")
 	flag.Parse()
+	if *heteroOut != "" {
+		runHetero(*reps, *heteroOut)
+		return
+	}
 	if *deltaOut != "" {
 		runDelta(*reps, *deltaOut)
 		return

@@ -29,11 +29,15 @@ import (
 // openSource resolves one -source target:
 //
 //	name=tcp:host:port          remote wrapper
+//	name=http://host[/path]     JSON-over-HTTP endpoint (https too)
 //	name=data.oem               textual OEM file
+//	name=data.xml               XML document (elements become objects)
 //	name=data.json[:label]      JSON document/array (objects labelled
 //	                            label, default the file's base name)
 //	name=a.csv+b.csv            relational source, one table per CSV file
 //	                            (named by file base name)
+//	name=stream:[seed.oem]      append-only event log, optionally seeded
+//	                            from a textual OEM file
 func openSource(name, target string) (medmaker.Source, func(), error) {
 	if addr, isTCP := strings.CutPrefix(target, "tcp:"); isTCP {
 		client, err := medmaker.DialSource(addr, 10*time.Second)
@@ -46,8 +50,24 @@ func openSource(name, target string) (medmaker.Source, func(), error) {
 		}
 		return client, func() { client.Close() }, nil
 	}
+	if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") {
+		src, err := medmaker.NewHTTPSource(name, target)
+		return src, nil, err
+	}
+	if seed, isStream := strings.CutPrefix(target, "stream:"); isStream {
+		src := medmaker.NewStreamSource(name, medmaker.StreamOptions{})
+		if seed != "" {
+			if err := seedStream(src, name, seed); err != nil {
+				return nil, nil, err
+			}
+		}
+		return src, nil, nil
+	}
 	path, label, hasLabel := strings.Cut(target, ":")
 	switch {
+	case strings.HasSuffix(path, ".xml"):
+		src, err := medmaker.NewXMLSourceFromFile(name, path, medmaker.XMLMapping{})
+		return src, nil, err
 	case strings.HasSuffix(path, ".json"):
 		if !hasLabel {
 			label = baseName(path)
@@ -72,6 +92,21 @@ func openSource(name, target string) (medmaker.Source, func(), error) {
 		src, err := medmaker.NewOEMSourceFromFile(name, target)
 		return src, nil, err
 	}
+}
+
+// seedStream appends the top-level objects of a textual OEM file to the
+// event log.
+func seedStream(src *medmaker.StreamSource, name, path string) error {
+	tmp, err := medmaker.NewOEMSourceFromFile(name, path)
+	if err != nil {
+		return err
+	}
+	for _, o := range tmp.Store().TopLevel() {
+		if err := src.Append(o.Clone()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // baseName strips the directory and extension from a path.

@@ -123,6 +123,34 @@ func TestCLIJSONAndCSVSources(t *testing.T) {
 	}
 }
 
+func TestCLIXMLAndStreamSources(t *testing.T) {
+	spec, whois, cs := writeTestdata(t)
+	dir := t.TempDir()
+	xmlPath := filepath.Join(dir, "whois.xml")
+	os.WriteFile(xmlPath, []byte(`<oem>
+	  <person><name>Joe Chung</name><dept>CS</dept><relation>employee</relation><e_mail>chung@cs</e_mail></person>
+	  <person><name>Nick Naive</name><dept>CS</dept><relation>student</relation><year>3</year></person>
+	</oem>`), 0o600)
+	query := `JC :- JC:<cs_person {<name 'Joe Chung'>}>@med.`
+	out, _, err := runCLI(t, "",
+		"-spec", spec, "-source", "whois="+xmlPath, "-source", "cs="+cs, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "'professor'") || !strings.Contains(out, "'chung@cs'") {
+		t.Errorf("XML-backed whois failed:\n%s", out)
+	}
+	// The same extent through an event log seeded from the OEM file.
+	out2, _, err := runCLI(t, "",
+		"-spec", spec, "-source", "whois=stream:"+whois, "-source", "cs="+cs, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2, "'professor'") {
+		t.Errorf("stream-backed whois failed:\n%s", out2)
+	}
+}
+
 func TestCLIMatView(t *testing.T) {
 	spec, whois, cs := writeTestdata(t)
 	out, errOut, err := runCLI(t, "",

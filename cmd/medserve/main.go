@@ -250,7 +250,9 @@ func buildMediator(bc buildConfig) (*medmaker.Mediator, []func(), error) {
 }
 
 // openSource resolves one -source target: name=tcp:addr dials a remote
-// wrapper, anything else loads a textual OEM file.
+// wrapper, name=http(s)://… attaches a JSON-over-HTTP endpoint,
+// name=data.xml maps an XML document, anything else loads a textual OEM
+// file.
 func openSource(name, target string) (medmaker.Source, func(), error) {
 	if addr, isTCP := strings.CutPrefix(target, "tcp:"); isTCP {
 		client, err := medmaker.DialSource(addr, 10*time.Second)
@@ -262,6 +264,14 @@ func openSource(name, target string) (medmaker.Source, func(), error) {
 			return nil, nil, fmt.Errorf("remote source at %s calls itself %q, not %q", addr, client.Name(), name)
 		}
 		return client, func() { client.Close() }, nil
+	}
+	if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") {
+		src, err := medmaker.NewHTTPSource(name, target)
+		return src, nil, err
+	}
+	if strings.HasSuffix(target, ".xml") {
+		src, err := medmaker.NewXMLSourceFromFile(name, target, medmaker.XMLMapping{})
+		return src, nil, err
 	}
 	src, err := medmaker.NewOEMSourceFromFile(name, target)
 	return src, nil, err

@@ -1,10 +1,11 @@
 // Command oemcat reads files (or stdin) in the textual OEM object format,
 // validates them, and reprints them in a chosen layout. It is the
 // format's swiss-army knife: converting between the flat figure layout
-// and the nested layout, stripping type fields, and reporting structure
-// statistics.
+// and the nested layout, to and from JSON and XML, stripping type
+// fields, and reporting structure statistics.
 //
-//	oemcat [-style flat|nested] [-omit-types] [-stats] [file ...]
+//	oemcat [-style flat|nested] [-omit-types] [-stats]
+//	       [-from-json label | -from-xml] [-to-json | -to-xml] [file ...]
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"os"
 
 	"medmaker/internal/oem"
+	"medmaker/internal/xmlsource"
 )
 
 func main() {
@@ -30,7 +32,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	stats := fs.Bool("stats", false, "print structure statistics instead of objects")
 	fromJSON := fs.String("from-json", "", "treat inputs as JSON, converting to OEM objects with this label")
 	toJSON := fs.Bool("to-json", false, "emit JSON instead of the OEM text format")
+	fromXML := fs.Bool("from-xml", false, "treat inputs as XML documents (a lone document element is a container unless -xml-keep-root)")
+	toXML := fs.Bool("to-xml", false, "emit XML instead of the OEM text format")
+	keepRoot := fs.Bool("xml-keep-root", false, "map the XML document element to an object instead of treating it as a container")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *fromJSON != "" && *fromXML {
+		fmt.Fprintln(stderr, "oemcat: -from-json and -from-xml are mutually exclusive")
+		return 2
+	}
+	if *toJSON && *toXML {
+		fmt.Fprintln(stderr, "oemcat: -to-json and -to-xml are mutually exclusive")
 		return 2
 	}
 
@@ -52,7 +65,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	exit := 0
 	for _, path := range inputs {
-		if err := process(path, &f, *stats, *fromJSON, *toJSON, stdin, stdout); err != nil {
+		if err := process(path, &f, *stats, *fromJSON, *fromXML, *toJSON, *toXML, xmlsource.Mapping{KeepRoot: *keepRoot}, stdin, stdout); err != nil {
 			fmt.Fprintf(stderr, "oemcat: %s: %v\n", path, err)
 			exit = 1
 		}
@@ -60,7 +73,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	return exit
 }
 
-func process(path string, f *oem.Formatter, stats bool, fromJSON string, toJSON bool, stdin io.Reader, stdout io.Writer) error {
+func process(path string, f *oem.Formatter, stats bool, fromJSON string, fromXML, toJSON, toXML bool, xm xmlsource.Mapping, stdin io.Reader, stdout io.Writer) error {
 	var data []byte
 	var err error
 	if path == "-" {
@@ -72,14 +85,17 @@ func process(path string, f *oem.Formatter, stats bool, fromJSON string, toJSON 
 		return err
 	}
 	var objs []*oem.Object
-	if fromJSON != "" {
+	switch {
+	case fromJSON != "":
 		objs, err = oem.FromJSONArray(fromJSON, data)
 		if err != nil {
 			var obj *oem.Object
 			obj, err = oem.FromJSON(fromJSON, data)
 			objs = []*oem.Object{obj}
 		}
-	} else {
+	case fromXML:
+		objs, err = xmlsource.DecodeString(string(data), xm)
+	default:
 		objs, err = oem.Parse(string(data))
 	}
 	if err != nil {
@@ -103,6 +119,9 @@ func process(path string, f *oem.Formatter, stats bool, fromJSON string, toJSON 
 			fmt.Fprintf(stdout, "%s\n", out)
 		}
 		return nil
+	}
+	if toXML {
+		return xmlsource.Encode(stdout, objs, xm)
 	}
 	return f.Format(stdout, objs...)
 }

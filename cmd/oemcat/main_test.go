@@ -78,6 +78,34 @@ func TestOemcatJSONModes(t *testing.T) {
 	}
 }
 
+func TestOemcatXMLModes(t *testing.T) {
+	doc := `<oem><person><name>Joe Chung</name><year>3</year></person><person><name>Sue</name></person></oem>`
+	code, out, _ := runTool(t, doc, "-from-xml")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Count(out, "person") != 2 || !strings.Contains(out, "'Joe Chung'") {
+		t.Fatalf("from-xml:\n%s", out)
+	}
+	// A lone document element is the object itself under -xml-keep-root.
+	codeK, outK, _ := runTool(t, `<person><name>Joe Chung</name></person>`, "-from-xml", "-xml-keep-root")
+	if codeK != 0 || !strings.Contains(outK, "person") || !strings.Contains(outK, "'Joe Chung'") {
+		t.Fatalf("keep-root from-xml: %d\n%s", codeK, outK)
+	}
+	code2, out2, _ := runTool(t, sample, "-to-xml")
+	if code2 != 0 {
+		t.Fatal("to-xml failed")
+	}
+	if !strings.Contains(out2, "<name>Joe Chung</name>") {
+		t.Fatalf("to-xml:\n%s", out2)
+	}
+	// XML -> OEM -> XML: the text format is a faithful intermediate.
+	code3, out3, _ := runTool(t, `<person dept="CS"><name>Sue</name></person>`, "-from-xml", "-to-xml")
+	if code3 != 0 || !strings.Contains(out3, "<name>Sue</name>") || !strings.Contains(out3, "CS") {
+		t.Fatalf("xml round trip: %d\n%s", code3, out3)
+	}
+}
+
 func TestOemcatBadInputs(t *testing.T) {
 	if code, _, _ := runTool(t, "<<<"); code != 1 {
 		t.Errorf("bad OEM text: exit %d", code)
@@ -87,5 +115,14 @@ func TestOemcatBadInputs(t *testing.T) {
 	}
 	if code, _, _ := runTool(t, sample, "-nosuchflag"); code != 2 {
 		t.Errorf("bad flag: exit %d", code)
+	}
+	if code, _, _ := runTool(t, sample, "-from-json", "x", "-from-xml"); code != 2 {
+		t.Errorf("conflicting input modes: exit %d", code)
+	}
+	if code, _, _ := runTool(t, sample, "-to-json", "-to-xml"); code != 2 {
+		t.Errorf("conflicting output modes: exit %d", code)
+	}
+	if code, _, _ := runTool(t, `<a><b x="1">`, "-from-xml"); code != 1 {
+		t.Errorf("bad XML: exit %d", code)
 	}
 }

@@ -8,12 +8,38 @@ package medmaker
 // under -race this doubles as the scheduler's data-race harness.
 
 import (
+	"bytes"
 	"math/rand"
 	"runtime"
 	"testing"
 
 	"medmaker/internal/oem"
 )
+
+// heteroSources stands up the heterogeneous tier over the same people
+// extent the whois source holds: an XML-backed copy that round-trips
+// through the codec (so the engine path exercises Decode(Encode(...)))
+// and a stream log holding the people as appended events.
+func heteroSources(t *testing.T, people []*Object) (*XMLSource, *StreamSource) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeXML(&buf, people, XMLMapping{}); err != nil {
+		t.Fatal(err)
+	}
+	xmlSrc, err := NewXMLSourceFromReader("xml", &buf, XMLMapping{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamSrc := NewStreamSource("stream", StreamOptions{})
+	events := make([]*Object, len(people))
+	for i, p := range people {
+		events[i] = p.Clone()
+	}
+	if err := streamSrc.Append(events...); err != nil {
+		t.Fatal(err)
+	}
+	return xmlSrc, streamSrc
+}
 
 func columnarSuite() (specs, queries []string) {
 	specs = []string{
@@ -29,8 +55,16 @@ func columnarSuite() (specs, queries []string) {
 		// Skolem object-ids: union + fuse on the result side.
 		`<person(N) anyone {<name N>}> :- <person {<name N> <relation R>}>@whois AND <R {<first_name F>}>@cs.
 		 <person(N) anyone {<name N>}> :- <person {<name N>}>@whois.`,
+		// The XML tier serving the same profile view: an XML-backed copy
+		// of the people must be indistinguishable from the native source.
+		`<profile {<name N> | R}> :- <person {<name N> | R}>@xml.`,
+		// Streamed events unioned with the relational side.
+		`<anyone {<who N>}> :- <person {<name N>}>@stream.
+		 <anyone {<who FN>}> :- <employee {<first_name FN>}>@cs.`,
 	}
 	queries = []string{
+		// Queries are shared across specs: each spec answers the subset
+		// whose head labels it defines; the rest are skipped per spec.
 		`X :- X:<cs_person {<name 'P004 Q004'>}>@med.`,
 		`X :- X:<cs_person {<year 3>}>@med.`,
 		`X :- X:<profile {<name N>}>@med.`,
@@ -59,11 +93,12 @@ func TestColumnarModesMatchSerial(t *testing.T) {
 	if err := csSrc.Add(relations...); err != nil {
 		t.Fatal(err)
 	}
+	xmlSrc, streamSrc := heteroSources(t, people)
 	for si, spec := range specs {
 		mk := func(par int, pipeline bool) *Mediator {
 			med, err := New(Config{
 				Name: "med", Spec: spec,
-				Sources:     []Source{csSrc, whoisSrc},
+				Sources:     []Source{csSrc, whoisSrc, xmlSrc, streamSrc},
 				Parallelism: par,
 				Pipeline:    pipeline,
 			})

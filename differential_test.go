@@ -232,6 +232,11 @@ func TestDifferentialAgainstReference(t *testing.T) {
 		// Structural builtins over a rest variable.
 		`<nomail {<name N>}> :- <person {<name N> | R}>@whois AND lacks(R, 'e_mail').
 		 <mail {<name N>}> :- <person {<name N> | R}>@whois AND has(R, 'e_mail').`,
+		// The XML wrapper serving the profile view.
+		`<profile {<name N> | R}> :- <person {<name N> | R}>@xml.`,
+		// The stream log unioned with the relational side.
+		`<anyone {<who N>}> :- <person {<name N>}>@stream.
+		 <anyone {<who FN>}> :- <employee {<first_name FN>}>@cs.`,
 	}
 	queries := []string{
 		`X :- X:<cs_person {<name 'P004 Q004'>}>@med.`,
@@ -263,9 +268,12 @@ func TestDifferentialAgainstReference(t *testing.T) {
 		if err = csSrc.Add(relations...); err != nil {
 			t.Fatal(err)
 		}
+		xmlSrc, streamSrc := heteroSources(t, people)
 		exports := map[string][]*oem.Object{
-			"whois": people,
-			"cs":    relations,
+			"whois":  people,
+			"cs":     relations,
+			"xml":    xmlSrc.Export(),
+			"stream": streamSrc.Export(),
 		}
 		for si, spec := range specs {
 			prog, err := ParseSpec(spec)
@@ -293,7 +301,7 @@ func TestDifferentialAgainstReference(t *testing.T) {
 					o := opts
 					med, err := New(Config{
 						Name: "med", Spec: spec,
-						Sources: []Source{csSrc, whoisSrc},
+						Sources: []Source{csSrc, whoisSrc, xmlSrc, streamSrc},
 						Plan:    &o,
 						// Exhaustive expansion on one variant: the extra
 						// rest-push rules must add no wrong answers.

@@ -1,0 +1,286 @@
+package jsonhttp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+	"medmaker/internal/wrapper"
+)
+
+// Source queries a remote JSON-over-HTTP service (see Handler for the
+// wire format) as an OEM source. Fetched records are converted with the
+// oem JSON codec and fully re-matched locally, so the server's filtering
+// is an optimization, never trusted for correctness. Capabilities are
+// honest for a dumb remote endpoint: value conditions only — no rest
+// constraints, wildcards, or source-local joins; the mediator relaxes
+// queries accordingly and applies the stripped features itself.
+type Source struct {
+	name   string
+	base   *url.URL
+	client *http.Client
+	gen    *oem.IDGen
+
+	// MaxRetries bounds re-sends of one request after transient failures
+	// (5xx statuses and transport errors); 4xx failures are permanent.
+	// RetryBase is the first backoff; each retry doubles it.
+	maxRetries int
+	retryBase  time.Duration
+
+	requests    atomic.Int64 // HTTP requests issued, including retries
+	retries     atomic.Int64 // requests that were retries
+	transferred atomic.Int64 // records fetched off the wire
+}
+
+var (
+	_ wrapper.Source              = (*Source)(nil)
+	_ wrapper.ContextSource       = (*Source)(nil)
+	_ wrapper.BatchQuerier        = (*Source)(nil)
+	_ wrapper.ContextBatchQuerier = (*Source)(nil)
+)
+
+// Option customizes a Source.
+type Option func(*Source)
+
+// WithHTTPClient substitutes the http.Client (default: a client with a
+// 10-second overall timeout; per-query contexts tighten it further).
+func WithHTTPClient(c *http.Client) Option {
+	return func(s *Source) { s.client = c }
+}
+
+// WithRetries sets the retry bound and initial backoff.
+func WithRetries(max int, base time.Duration) Option {
+	return func(s *Source) { s.maxRetries, s.retryBase = max, base }
+}
+
+// New builds a source named name over the service at baseURL.
+func New(name, baseURL string, opts ...Option) (*Source, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("jsonhttp: bad base URL %q: %w", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("jsonhttp: base URL %q must be http or https", baseURL)
+	}
+	s := &Source{
+		name:       name,
+		base:       u,
+		client:     &http.Client{Timeout: 10 * time.Second},
+		gen:        oem.NewIDGen(name + "q"),
+		maxRetries: 3,
+		retryBase:  50 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// Name implements wrapper.Source.
+func (s *Source) Name() string { return s.name }
+
+// Capabilities implements wrapper.Source.
+func (s *Source) Capabilities() wrapper.Capabilities {
+	return wrapper.Capabilities{ValueConditions: true}
+}
+
+// Query implements wrapper.Source.
+func (s *Source) Query(q *msl.Rule) ([]*oem.Object, error) {
+	return s.QueryContext(context.Background(), q)
+}
+
+// QueryContext implements wrapper.ContextSource: the context bounds every
+// HTTP request (and backoff sleep) the query issues.
+func (s *Source) QueryContext(ctx context.Context, q *msl.Rule) ([]*oem.Object, error) {
+	if err := wrapper.CheckCapabilities(q, s.Capabilities(), s.name); err != nil {
+		return nil, err
+	}
+	return wrapper.EvalWith(q, func(pc *msl.PatternConjunct) ([]*oem.Object, error) {
+		return s.fetch(ctx, pc)
+	}, s.gen)
+}
+
+// QueryBatch implements wrapper.BatchQuerier.
+func (s *Source) QueryBatch(qs []*msl.Rule) ([][]*oem.Object, error) {
+	return wrapper.EachQuery(s, qs)
+}
+
+// QueryBatchContext implements wrapper.ContextBatchQuerier.
+func (s *Source) QueryBatchContext(ctx context.Context, qs []*msl.Rule) ([][]*oem.Object, error) {
+	return wrapper.EachQueryContext(ctx, s, qs)
+}
+
+// Requests returns the number of HTTP requests issued, retries included.
+func (s *Source) Requests() int64 { return s.requests.Load() }
+
+// Retries returns how many of those requests were retries.
+func (s *Source) Retries() int64 { return s.retries.Load() }
+
+// Transferred returns the cumulative number of records fetched.
+func (s *Source) Transferred() int64 { return s.transferred.Load() }
+
+// fetch retrieves the candidate records for one pattern conjunct,
+// pushing the label and recognizable equality conditions into the
+// request's query parameters.
+func (s *Source) fetch(ctx context.Context, pc *msl.PatternConjunct) ([]*oem.Object, error) {
+	label := pc.Pattern.LabelName()
+	if label == "" {
+		if _, isParam := pc.Pattern.Label.(*msl.Param); isParam {
+			return nil, fmt.Errorf("jsonhttp: unsubstituted parameter in label of %s", pc.Pattern)
+		}
+		// Label variable: enumerate the service's labels, fetch each.
+		labels, err := s.fetchLabels(ctx)
+		if err != nil {
+			return nil, err
+		}
+		var out []*oem.Object
+		for _, l := range labels {
+			objs, err := s.fetchRecords(ctx, l, nil)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, objs...)
+		}
+		return out, nil
+	}
+	return s.fetchRecords(ctx, label, pushableParams(pc.Pattern))
+}
+
+// pushableParams extracts "field=value" equality filters from the
+// pattern's direct set elements — the same must-have-member semantics the
+// local matcher enforces, so server-side filtering only removes
+// non-answers.
+func pushableParams(p *msl.ObjectPattern) url.Values {
+	sp, ok := p.Value.(*msl.SetPattern)
+	if !ok {
+		return nil
+	}
+	params := url.Values{}
+	for _, e := range sp.Elems {
+		ep, isPat := e.(*msl.ObjectPattern)
+		if !isPat || ep.Wildcard {
+			continue
+		}
+		field := ep.LabelName()
+		if field == "" || field == "label" {
+			continue // "label" would collide with the protocol parameter
+		}
+		c, isConst := ep.Value.(*msl.Const)
+		if !isConst {
+			continue
+		}
+		if txt, ok := atomQueryText(c.Value); ok {
+			params.Add(field, txt)
+		}
+	}
+	if len(params) == 0 {
+		return nil
+	}
+	return params
+}
+
+func (s *Source) fetchLabels(ctx context.Context) ([]string, error) {
+	body, err := s.get(ctx, s.endpoint("/labels", nil))
+	if err != nil {
+		return nil, err
+	}
+	var labels []string
+	if err := json.Unmarshal(body, &labels); err != nil {
+		return nil, fmt.Errorf("jsonhttp: %s: bad /labels response: %w", s.name, err)
+	}
+	return labels, nil
+}
+
+func (s *Source) fetchRecords(ctx context.Context, label string, params url.Values) ([]*oem.Object, error) {
+	q := url.Values{"label": {label}}
+	for k, vs := range params {
+		q[k] = vs
+	}
+	body, err := s.get(ctx, s.endpoint("/records", q))
+	if err != nil {
+		return nil, err
+	}
+	objs, err := oem.FromJSONArray(label, body)
+	if err != nil {
+		return nil, fmt.Errorf("jsonhttp: %s: bad /records response: %w", s.name, err)
+	}
+	s.transferred.Add(int64(len(objs)))
+	return objs, nil
+}
+
+func (s *Source) endpoint(path string, q url.Values) string {
+	u := *s.base
+	u.Path = strings.TrimSuffix(u.Path, "/") + path
+	u.RawQuery = q.Encode()
+	return u.String()
+}
+
+// get issues one GET with bounded retries: transport errors and 5xx
+// responses back off and retry; 4xx responses and context cancellation
+// fail immediately.
+func (s *Source) get(ctx context.Context, rawURL string) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= s.maxRetries; attempt++ {
+		if attempt > 0 {
+			s.retries.Add(1)
+			if err := sleepCtx(ctx, backoff(s.retryBase, attempt)); err != nil {
+				return nil, err
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, rawURL, nil)
+		if err != nil {
+			return nil, fmt.Errorf("jsonhttp: %s: %w", s.name, err)
+		}
+		s.requests.Add(1)
+		resp, err := s.client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err
+			continue // transport error: retry
+		}
+		body, readErr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode >= 500:
+			lastErr = fmt.Errorf("jsonhttp: %s: server error %s", s.name, resp.Status)
+			continue
+		case resp.StatusCode >= 400:
+			return nil, fmt.Errorf("jsonhttp: %s: %s for %s", s.name, resp.Status, rawURL)
+		case readErr != nil:
+			lastErr = readErr
+			continue
+		}
+		return body, nil
+	}
+	return nil, fmt.Errorf("jsonhttp: %s: giving up after %d attempts: %w", s.name, s.maxRetries+1, lastErr)
+}
+
+// backoff returns the sleep before retry attempt n (1-based): base
+// doubled per attempt with ±25% jitter so synchronized clients spread.
+func backoff(base time.Duration, attempt int) time.Duration {
+	d := base << (attempt - 1)
+	jitter := time.Duration(rand.Int63n(int64(d)/2+1)) - d/4
+	return d + jitter
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

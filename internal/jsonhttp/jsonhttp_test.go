@@ -1,0 +1,226 @@
+package jsonhttp
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+	"medmaker/internal/wrapper"
+)
+
+func people() []*oem.Object {
+	return []*oem.Object{
+		oem.NewSet("", "person",
+			oem.New("", "name", "Joe Chung"), oem.New("", "dept", "CS"), oem.New("", "year", 3)),
+		oem.NewSet("", "person",
+			oem.New("", "name", "Ann Arbor"), oem.New("", "dept", "EE"), oem.New("", "year", 1)),
+		oem.NewSet("", "person",
+			oem.New("", "name", "Pat Smith"), oem.New("", "dept", "CS"), oem.New("", "year", 2)),
+		oem.NewSet("", "staff",
+			oem.New("", "name", "Lee Poe"), oem.New("", "dept", "CS")),
+	}
+}
+
+func newFixture(t *testing.T, opts ...Option) (*Handler, *Source) {
+	t.Helper()
+	h := NewHandler(people())
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	opts = append([]Option{WithRetries(3, time.Millisecond)}, opts...)
+	src, err := New("web", srv.URL, opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return h, src
+}
+
+func answerNames(t *testing.T, objs []*oem.Object) []string {
+	t.Helper()
+	var out []string
+	for _, o := range objs {
+		if n := o.Sub("name"); n != nil {
+			s, _ := n.AtomString()
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestQueryPushesConditionsToServer(t *testing.T) {
+	_, src := newFixture(t)
+	q := msl.MustParseRule(`<answer {<name N>}> :- <person {<name N> <dept 'CS'>}>@web.`)
+	got, err := src.Query(q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if g := answerNames(t, got); len(g) != 2 || g[0] != "Joe Chung" || g[1] != "Pat Smith" {
+		t.Fatalf("answers = %v", g)
+	}
+	// Server-side filtering: only the two CS persons crossed the wire.
+	if n := src.Transferred(); n != 2 {
+		t.Fatalf("transferred %d records, want 2", n)
+	}
+}
+
+func TestIntConditionPushdown(t *testing.T) {
+	_, src := newFixture(t)
+	q := msl.MustParseRule(`<answer {<name N>}> :- <person {<name N> <year 1>}>@web.`)
+	got, err := src.Query(q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if g := answerNames(t, got); len(g) != 1 || g[0] != "Ann Arbor" {
+		t.Fatalf("answers = %v", g)
+	}
+	if n := src.Transferred(); n != 1 {
+		t.Fatalf("transferred %d records, want 1", n)
+	}
+}
+
+func TestLabelVariableEnumeratesLabels(t *testing.T) {
+	_, src := newFixture(t)
+	q := msl.MustParseRule(`<answer {<who N>}> :- <L {<name N> <dept 'CS'>}>@web.`)
+	got, err := src.Query(q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	want := []string{"Joe Chung", "Lee Poe", "Pat Smith"}
+	var names []string
+	for _, o := range got {
+		if n := o.Sub("who"); n != nil {
+			s, _ := n.AtomString()
+			names = append(names, s)
+		}
+	}
+	sort.Strings(names)
+	if len(names) != 3 || names[0] != want[0] || names[1] != want[1] || names[2] != want[2] {
+		t.Fatalf("answers = %v, want %v", names, want)
+	}
+}
+
+func TestRetriesTransientFailures(t *testing.T) {
+	h, src := newFixture(t)
+	h.FailNext(2)
+	q := msl.MustParseRule(`<answer {<name N>}> :- <person {<name N>}>@web.`)
+	got, err := src.Query(q)
+	if err != nil {
+		t.Fatalf("Query after transient failures: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d answers", len(got))
+	}
+	if src.Retries() != 2 {
+		t.Fatalf("retries = %d, want 2", src.Retries())
+	}
+}
+
+func TestGivesUpAfterRetryBudget(t *testing.T) {
+	h, src := newFixture(t, WithRetries(2, time.Millisecond))
+	h.FailNext(100)
+	q := msl.MustParseRule(`<answer {<name N>}> :- <person {<name N>}>@web.`)
+	if _, err := src.Query(q); err == nil {
+		t.Fatal("query against failing server succeeded")
+	}
+	// 1 initial + 2 retries.
+	if src.Requests() != 3 {
+		t.Fatalf("requests = %d, want 3", src.Requests())
+	}
+}
+
+func TestPermanent4xxDoesNotRetry(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	src, err := New("web", srv.URL, WithRetries(5, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := msl.MustParseRule(`<answer {<name N>}> :- <person {<name N>}>@web.`)
+	if _, err := src.Query(q); err == nil {
+		t.Fatal("404 succeeded")
+	}
+	if src.Requests() != 1 {
+		t.Fatalf("4xx retried: %d requests", src.Requests())
+	}
+}
+
+func TestContextDeadlinePropagates(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-block:
+		case <-r.Context().Done():
+		}
+	}))
+	t.Cleanup(func() { close(block); srv.Close() })
+	src, err := New("web", srv.URL, WithRetries(0, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	q := msl.MustParseRule(`<answer {<name N>}> :- <person {<name N>}>@web.`)
+	start := time.Now()
+	_, qerr := src.QueryContext(ctx, q)
+	if qerr == nil {
+		t.Fatal("query against blocked server succeeded")
+	}
+	if !errors.Is(qerr, context.DeadlineExceeded) && time.Since(start) > 5*time.Second {
+		t.Fatalf("deadline not propagated: %v after %v", qerr, time.Since(start))
+	}
+}
+
+func TestHonestCapabilities(t *testing.T) {
+	_, src := newFixture(t)
+	for _, text := range []string{
+		`<a {<n N> <m M>}> :- <person {<name N>}>@web AND <staff {<name M>}>@web.`,
+		`<out V> :- <%name V>@web.`,
+		`P :- P:<person {<name N> | R:{<year 2>}}>@web.`,
+	} {
+		q := msl.MustParseRule(text)
+		_, err := src.Query(q)
+		var unsup *wrapper.UnsupportedError
+		if !errors.As(err, &unsup) {
+			t.Errorf("%s: err = %v, want UnsupportedError", text, err)
+		}
+	}
+}
+
+func TestAnswersMatchLocalEvaluation(t *testing.T) {
+	// The remote source must agree with direct local evaluation over the
+	// same extent for every supported query shape.
+	_, src := newFixture(t)
+	gen := oem.NewIDGen("refq")
+	for _, text := range []string{
+		`<answer {<name N>}> :- <person {<name N>}>@web.`,
+		`<answer {<name N>}> :- <person {<name N> <dept 'EE'>}>@web.`,
+		`P :- P:<person {<dept 'CS'> <year 3>}>@web.`,
+		`<answer {<who N>}> :- <L {<name N>}>@web.`,
+	} {
+		q := msl.MustParseRule(text)
+		got, err := src.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", text, err)
+		}
+		want, err := wrapper.Eval(q, people(), gen)
+		if err != nil {
+			t.Fatalf("%s (reference): %v", text, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d answers, reference %d", text, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].StructuralEqual(want[i]) {
+				t.Fatalf("%s: answer %d differs:\n%s\nvs\n%s", text, i, got[i], want[i])
+			}
+		}
+	}
+}

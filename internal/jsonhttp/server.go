@@ -1,0 +1,205 @@
+// Package jsonhttp exports a remote JSON-over-HTTP service as an OEM
+// source. The wire format is deliberately plain — JSON arrays of records,
+// the shape real REST endpoints serve — and the oem package's JSON codec
+// does the OEM mapping on both ends. The client pushes the equality
+// conditions it recognizes into query parameters so selective queries
+// transfer only matching records, propagates per-request contexts and
+// deadlines, and retries transient failures (5xx, transport errors) with
+// exponential backoff. The package also provides the server fixture: an
+// http.Handler serving any OEM extent in the wire format, used by the
+// tests, the federation example, and anyone who wants to stand up a
+// mediatable endpoint from Go data.
+package jsonhttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"medmaker/internal/oem"
+)
+
+// Handler serves an OEM extent in the package's wire format:
+//
+//	GET /labels             -> JSON array of distinct top-level labels
+//	GET /records?label=L    -> JSON array of records labelled L
+//	GET /records?label=L&f=v… -> records whose direct child f equals v
+//
+// Records are rendered by the oem JSON codec (atoms become JSON scalars,
+// repeated labels arrays; oids are not exposed). Handler is safe for
+// concurrent use; Swap replaces the extent atomically.
+type Handler struct {
+	mu   sync.RWMutex
+	tops []*oem.Object
+
+	// FailNext, when positive, makes the handler fail that many requests
+	// with 500 before serving normally — the retry-path fixture.
+	failNext atomic.Int64
+
+	requests atomic.Int64
+}
+
+// NewHandler serves the given top-level objects.
+func NewHandler(tops []*oem.Object) *Handler {
+	h := &Handler{}
+	h.Swap(tops)
+	return h
+}
+
+// Swap atomically replaces the served extent.
+func (h *Handler) Swap(tops []*oem.Object) {
+	cp := append([]*oem.Object(nil), tops...)
+	h.mu.Lock()
+	h.tops = cp
+	h.mu.Unlock()
+}
+
+// FailNext makes the next n requests fail with 500, exercising client
+// retries.
+func (h *Handler) FailNext(n int) { h.failNext.Store(int64(n)) }
+
+// Requests returns the number of requests handled (including failures).
+func (h *Handler) Requests() int64 { return h.requests.Load() }
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.requests.Add(1)
+	if h.failNext.Load() > 0 && h.failNext.Add(-1) >= 0 {
+		http.Error(w, "transient failure (fixture)", http.StatusInternalServerError)
+		return
+	}
+	switch r.URL.Path {
+	case "/labels":
+		h.serveLabels(w)
+	case "/records":
+		h.serveRecords(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (h *Handler) snapshot() []*oem.Object {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.tops
+}
+
+func (h *Handler) serveLabels(w http.ResponseWriter) {
+	seen := map[string]bool{}
+	var labels []string
+	for _, o := range h.snapshot() {
+		if !seen[o.Label] {
+			seen[o.Label] = true
+			labels = append(labels, o.Label)
+		}
+	}
+	sort.Strings(labels)
+	writeJSON(w, labels)
+}
+
+func (h *Handler) serveRecords(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	label := q.Get("label")
+	if label == "" {
+		http.Error(w, "missing label parameter", http.StatusBadRequest)
+		return
+	}
+	var conds []cond
+	for key, vals := range q {
+		if key == "label" {
+			continue
+		}
+		for _, v := range vals {
+			conds = append(conds, cond{field: key, text: v})
+		}
+	}
+	records := make([]json.RawMessage, 0, 16)
+	for _, o := range h.snapshot() {
+		if o.Label != label || !matchesConds(o, conds) {
+			continue
+		}
+		rec, err := recordJSON(o)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		records = append(records, rec)
+	}
+	writeJSON(w, records)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// cond is one equality filter: the record must have a direct child with
+// this field label whose atom renders to text.
+type cond struct {
+	field string
+	text  string
+}
+
+func matchesConds(o *oem.Object, conds []cond) bool {
+	if len(conds) == 0 {
+		return true
+	}
+	subs := o.Subobjects()
+	for _, c := range conds {
+		found := false
+		for _, sub := range subs {
+			if sub.Label != c.field {
+				continue
+			}
+			if txt, ok := atomQueryText(sub.Value); ok && txt == c.text {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// atomQueryText renders an atomic value in the canonical text used for
+// query-parameter equality on the wire. Sets and bytes are not
+// addressable by parameter (ok=false); the client never pushes them.
+func atomQueryText(v oem.Value) (string, bool) {
+	switch t := v.(type) {
+	case oem.String:
+		return string(t), true
+	case oem.Int:
+		return t.String(), true
+	case oem.Float:
+		return t.String(), true
+	case oem.Bool:
+		return t.String(), true
+	}
+	return "", false
+}
+
+// recordJSON renders one object as a bare JSON record (the object's
+// JSON value without the enclosing {"label": …} wrapper).
+func recordJSON(o *oem.Object) (json.RawMessage, error) {
+	wrapped, err := oem.ToJSON(o)
+	if err != nil {
+		return nil, fmt.Errorf("jsonhttp: encoding record: %w", err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(wrapped, &m); err != nil {
+		return nil, fmt.Errorf("jsonhttp: re-reading record: %w", err)
+	}
+	rec, ok := m[o.Label]
+	if !ok || len(m) != 1 {
+		return nil, fmt.Errorf("jsonhttp: unexpected record shape for label %q", o.Label)
+	}
+	// Atomic roots render as bare scalars; FromJSONArray maps them back
+	// to atomic objects under the requested label, so they stay bare.
+	return rec, nil
+}

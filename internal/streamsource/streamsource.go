@@ -1,0 +1,232 @@
+// Package streamsource provides a bounded append-only event log exported
+// as an OEM source. Producers Append OEM roots (events); consumers query
+// the retained window through the ordinary pattern interface, exactly as
+// they would query a static store. Retention is bounded by event count
+// and/or age: appending past the bound or letting events age out evicts
+// the oldest events. Every mutation — appends and evictions alike — is
+// described to wrapper.Notifier subscribers as a Delta, so a mediator's
+// materialized views stay fresh by incremental maintenance while the
+// stream churns underneath them.
+package streamsource
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+	"medmaker/internal/wrapper"
+)
+
+// Options bounds the retained window. The zero value retains everything.
+type Options struct {
+	// MaxEvents caps the number of retained events; 0 means unlimited.
+	// Appending the (MaxEvents+1)-th event evicts the oldest.
+	MaxEvents int
+	// MaxAge caps event age; 0 means unlimited. Expiry is lazy — checked
+	// on Append and Query and forceable with Expire — so subscribers see
+	// eviction deltas at the next touch, not at the instant of expiry.
+	MaxAge time.Duration
+	// Clock supplies the current time; nil means time.Now. Tests inject
+	// fake clocks to drive age-based retention deterministically.
+	Clock func() time.Time
+}
+
+func (o Options) now() time.Time {
+	if o.Clock != nil {
+		return o.Clock()
+	}
+	return time.Now()
+}
+
+// Source is the event-log source. It is safe for concurrent use.
+type Source struct {
+	name string
+	opts Options
+	gen  *oem.IDGen
+
+	mu    sync.Mutex
+	store *oem.Store
+	times map[oem.OID]time.Time
+	total int64 // events ever appended
+
+	feed wrapper.Feed
+}
+
+var (
+	_ wrapper.Source              = (*Source)(nil)
+	_ wrapper.ContextSource       = (*Source)(nil)
+	_ wrapper.BatchQuerier        = (*Source)(nil)
+	_ wrapper.ContextBatchQuerier = (*Source)(nil)
+	_ wrapper.Counter             = (*Source)(nil)
+	_ wrapper.Notifier            = (*Source)(nil)
+)
+
+// New returns an empty stream source with the given retention options.
+func New(name string, opts Options) *Source {
+	if opts.MaxEvents < 0 {
+		opts.MaxEvents = 0
+	}
+	s := &Source{
+		name:  name,
+		opts:  opts,
+		gen:   oem.NewIDGen(name + "q"),
+		store: oem.NewStore(name),
+		times: make(map[oem.OID]time.Time),
+	}
+	return s
+}
+
+// Append adds events to the log, evicting the oldest retained events as
+// the count/age bounds require, then emits one Delta carrying both the
+// inserts and any evictions. The event objects are stamped with oids and
+// must not be mutated afterwards.
+func (s *Source) Append(events ...*oem.Object) error {
+	if len(events) == 0 {
+		return nil
+	}
+	for _, e := range events {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("streamsource: %s: %w", s.name, err)
+		}
+	}
+	now := s.opts.now()
+	s.mu.Lock()
+	if err := s.store.Add(events...); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("streamsource: %s: %w", s.name, err)
+	}
+	for _, e := range events {
+		s.times[e.OID] = now
+	}
+	s.total += int64(len(events))
+	evicted := s.evictLocked(now)
+	s.mu.Unlock()
+	s.feed.Emit(wrapper.Delta{
+		Source:   s.name,
+		Inserted: append([]*oem.Object(nil), events...),
+		Deleted:  evicted,
+	})
+	return nil
+}
+
+// evictLocked drops aged-out events, then oldest events past MaxEvents.
+// The caller holds the lock; the removed roots are returned for the
+// delta.
+func (s *Source) evictLocked(now time.Time) []*oem.Object {
+	tops := s.store.TopLevel() // insertion order == append order
+	var drop []oem.OID
+	keepFrom := 0
+	if s.opts.MaxAge > 0 {
+		cutoff := now.Add(-s.opts.MaxAge)
+		for keepFrom < len(tops) && s.times[tops[keepFrom].OID].Before(cutoff) {
+			drop = append(drop, tops[keepFrom].OID)
+			keepFrom++
+		}
+	}
+	if s.opts.MaxEvents > 0 {
+		for len(tops)-keepFrom > s.opts.MaxEvents {
+			drop = append(drop, tops[keepFrom].OID)
+			keepFrom++
+		}
+	}
+	if len(drop) == 0 {
+		return nil
+	}
+	removed := s.store.Remove(drop...)
+	for _, o := range removed {
+		delete(s.times, o.OID)
+	}
+	return removed
+}
+
+// Expire evicts events that have aged out as of now, emitting a delete
+// delta, and returns the evicted roots. Query and Append expire lazily;
+// Expire lets a housekeeping loop bound staleness explicitly.
+func (s *Source) Expire() []*oem.Object {
+	now := s.opts.now()
+	s.mu.Lock()
+	evicted := s.evictLocked(now)
+	s.mu.Unlock()
+	if len(evicted) > 0 {
+		s.feed.Emit(wrapper.Delta{Source: s.name, Deleted: evicted})
+	}
+	return evicted
+}
+
+// Len returns the number of retained events.
+func (s *Source) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.Len()
+}
+
+// Appended returns the total number of events ever appended.
+func (s *Source) Appended() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Export returns the retained events, oldest first, without expiring.
+func (s *Source) Export() []*oem.Object {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.TopLevel()
+}
+
+// OnChange implements wrapper.Notifier: fn receives a delta for every
+// append and eviction.
+func (s *Source) OnChange(fn func(wrapper.Delta)) { s.feed.OnChange(fn) }
+
+// Name implements wrapper.Source.
+func (s *Source) Name() string { return s.name }
+
+// Capabilities implements wrapper.Source: events are plain OEM, queried
+// by the full matcher.
+func (s *Source) Capabilities() wrapper.Capabilities {
+	return wrapper.FullCapabilities()
+}
+
+// Query implements wrapper.Source over the retained window, expiring
+// aged-out events first so answers never include data past MaxAge.
+func (s *Source) Query(q *msl.Rule) ([]*oem.Object, error) {
+	s.Expire()
+	s.mu.Lock()
+	tops := s.store.TopLevel()
+	s.mu.Unlock()
+	return wrapper.Eval(q, tops, s.gen)
+}
+
+// QueryContext implements wrapper.ContextSource.
+func (s *Source) QueryContext(ctx context.Context, q *msl.Rule) ([]*oem.Object, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.Query(q)
+}
+
+// QueryBatch implements wrapper.BatchQuerier.
+func (s *Source) QueryBatch(qs []*msl.Rule) ([][]*oem.Object, error) {
+	return wrapper.EachQuery(s, qs)
+}
+
+// QueryBatchContext implements wrapper.ContextBatchQuerier.
+func (s *Source) QueryBatchContext(ctx context.Context, qs []*msl.Rule) ([][]*oem.Object, error) {
+	return wrapper.EachQueryContext(ctx, s, qs)
+}
+
+// CountLabel implements wrapper.Counter over the retained window.
+func (s *Source) CountLabel(label string) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, o := range s.store.TopLevel() {
+		if o.Label == label {
+			n++
+		}
+	}
+	return n, true
+}

@@ -1,0 +1,387 @@
+// Package xmlsource exports XML documents as OEM sources. The mapping
+// follows the obvious structural correspondence the Tout-XML mediation
+// papers exploit: elements become set-valued OEM objects labelled by the
+// element name, attributes become atomic subobjects, and character data
+// becomes atomic values (for leaf elements) or text subobjects (in mixed
+// content). Atomic text is typed by inference — integer, then real, then
+// boolean, then string — with an explicit `_type` attribute to override
+// inference where it would guess wrong, and a `_label` attribute for
+// labels that are not well-formed XML names. The codec round-trips:
+// Decode(Encode(Decode(doc))) is structurally equal to Decode(doc).
+package xmlsource
+
+import (
+	"encoding/hex"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"medmaker/internal/oem"
+)
+
+// Attribute names with codec-level meaning. They never map to subobjects.
+const (
+	typeAttr  = "_type"
+	labelAttr = "_label"
+)
+
+// Mapping configures the XML ↔ OEM correspondence.
+type Mapping struct {
+	// KeepRoot controls how the document element maps. When false (the
+	// default), the document element is a pure container — its children
+	// become the top-level OEM objects — matching the common
+	// <people><person/>…</people> data-file shape. When true, each
+	// document element maps to one top-level object.
+	KeepRoot bool
+	// Root names the container element Encode wraps the objects in when
+	// KeepRoot is false. Empty means "oem".
+	Root string
+	// TextLabel labels the subobjects built from character data in mixed
+	// content. Empty means "text".
+	TextLabel string
+}
+
+func (m Mapping) root() string {
+	if m.Root == "" {
+		return "oem"
+	}
+	return m.Root
+}
+
+func (m Mapping) textLabel() string {
+	if m.TextLabel == "" {
+		return "text"
+	}
+	return m.TextLabel
+}
+
+// Decode parses an XML document into top-level OEM objects under the
+// given mapping. Namespace declarations are dropped and element names are
+// taken without their namespace prefix; comments, directives, and
+// processing instructions are skipped. Character data is trimmed of
+// surrounding whitespace; whitespace-only runs are ignored. Objects carry
+// no oids; stores assign them on insertion.
+func Decode(r io.Reader, m Mapping) ([]*oem.Object, error) {
+	dec := xml.NewDecoder(r)
+	var roots []*oem.Object
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmlsource: %w", err)
+		}
+		start, ok := tok.(xml.StartElement)
+		if !ok {
+			continue // prolog whitespace, comments, directives
+		}
+		obj, err := decodeElement(dec, start, m)
+		if err != nil {
+			return nil, err
+		}
+		roots = append(roots, obj)
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("xmlsource: document has no elements")
+	}
+	if m.KeepRoot || len(roots) > 1 {
+		return roots, nil
+	}
+	// Single document element as container: its subobjects are the tops.
+	// An atomic document element stands for itself.
+	root := roots[0]
+	subs, isSet := root.Value.(oem.Set)
+	if !isSet {
+		return roots, nil
+	}
+	return subs, nil
+}
+
+// DecodeString is Decode over a string, for tests and examples.
+func DecodeString(doc string, m Mapping) ([]*oem.Object, error) {
+	return Decode(strings.NewReader(doc), m)
+}
+
+// decodeElement consumes the element opened by start (the decoder is
+// positioned just after the start tag) and returns its OEM object.
+func decodeElement(dec *xml.Decoder, start xml.StartElement, m Mapping) (*oem.Object, error) {
+	label := start.Name.Local
+	typeName := ""
+	var attrSubs oem.Set
+	for _, a := range start.Attr {
+		if isNamespaceAttr(a.Name) {
+			continue
+		}
+		switch a.Name.Local {
+		case typeAttr:
+			typeName = a.Value
+		case labelAttr:
+			if a.Value != "" {
+				label = a.Value
+			}
+		default:
+			attrSubs = append(attrSubs, &oem.Object{Label: a.Name.Local, Value: inferAtom(a.Value)})
+		}
+	}
+
+	var childSubs oem.Set
+	var textRuns []string
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("xmlsource: in <%s>: %w", start.Name.Local, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			sub, err := decodeElement(dec, t, m)
+			if err != nil {
+				return nil, err
+			}
+			childSubs = append(childSubs, sub)
+		case xml.CharData:
+			if run := strings.TrimSpace(string(t)); run != "" {
+				textRuns = append(textRuns, run)
+			}
+		case xml.EndElement:
+			return buildObject(label, typeName, attrSubs, childSubs, textRuns, m)
+		}
+	}
+}
+
+// buildObject assembles the decoded pieces of one element into an object.
+func buildObject(label, typeName string, attrSubs, childSubs oem.Set, textRuns []string, m Mapping) (*oem.Object, error) {
+	complexElem := len(attrSubs)+len(childSubs) > 0
+	if typeName != "" {
+		kind, ok := oem.KindFromName(typeName)
+		if !ok {
+			return nil, fmt.Errorf("xmlsource: element %q: unknown %s %q", label, typeAttr, typeName)
+		}
+		if kind != oem.KindSet {
+			if complexElem {
+				return nil, fmt.Errorf("xmlsource: element %q: %s=%q conflicts with attributes or child elements", label, typeAttr, typeName)
+			}
+			v, err := parseTypedAtom(kind, strings.Join(textRuns, " "))
+			if err != nil {
+				return nil, fmt.Errorf("xmlsource: element %q: %w", label, err)
+			}
+			return &oem.Object{Label: label, Value: v}, nil
+		}
+		complexElem = true // _type="set" forces set semantics, text becomes subobjects
+	}
+	if !complexElem {
+		if len(textRuns) == 0 {
+			// Empty element: the empty set. The empty string is written
+			// with an explicit _type="string".
+			return &oem.Object{Label: label, Value: oem.Set(nil)}, nil
+		}
+		return &oem.Object{Label: label, Value: inferAtom(strings.Join(textRuns, " "))}, nil
+	}
+	subs := attrSubs
+	subs = append(subs, childSubs...)
+	for _, run := range textRuns {
+		subs = append(subs, &oem.Object{Label: m.textLabel(), Value: inferAtom(run)})
+	}
+	return &oem.Object{Label: label, Value: subs}, nil
+}
+
+func isNamespaceAttr(n xml.Name) bool {
+	return n.Space == "xmlns" || n.Local == "xmlns" ||
+		n.Space == "http://www.w3.org/2000/xmlns/"
+}
+
+// inferAtom types a text run: integer, then real, then boolean, then
+// string. NaN/Inf spellings stay strings (ParseFloat would accept them);
+// an explicit _type="real" recovers them.
+func inferAtom(s string) oem.Value {
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return oem.Int(n)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil && !math.IsNaN(f) && !math.IsInf(f, 0) {
+		return oem.Float(f)
+	}
+	switch s {
+	case "true":
+		return oem.Bool(true)
+	case "false":
+		return oem.Bool(false)
+	}
+	return oem.String(s)
+}
+
+// parseTypedAtom parses a text run under an explicit _type.
+func parseTypedAtom(kind oem.Kind, s string) (oem.Value, error) {
+	switch kind {
+	case oem.KindString:
+		return oem.String(s), nil
+	case oem.KindInt:
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", s)
+		}
+		return oem.Int(n), nil
+	case oem.KindFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil || math.IsNaN(f) {
+			// NaN is rejected because NaN != NaN breaks the structural
+			// equality the codec round-trip guarantees.
+			return nil, fmt.Errorf("bad real %q", s)
+		}
+		return oem.Float(f), nil
+	case oem.KindBool:
+		switch s {
+		case "true":
+			return oem.Bool(true), nil
+		case "false":
+			return oem.Bool(false), nil
+		}
+		return nil, fmt.Errorf("bad boolean %q", s)
+	case oem.KindBytes:
+		b, err := hex.DecodeString(strings.TrimPrefix(s, "0x"))
+		if err != nil {
+			return nil, fmt.Errorf("bad bytes %q", s)
+		}
+		return oem.Bytes(b), nil
+	}
+	return nil, fmt.Errorf("unsupported %s %q", typeAttr, kind)
+}
+
+// Encode writes the objects as an XML document Decode maps back to
+// structurally equal objects under the same mapping. With KeepRoot false
+// the objects are wrapped in a container element named m.Root; with
+// KeepRoot true exactly one object is required and becomes the document
+// element. Subobjects are always written as child elements (never
+// attributes); labels that are not well-formed XML names are written
+// through a _label attribute; atoms whose text would re-infer to a
+// different value carry a _type attribute.
+func Encode(w io.Writer, objs []*oem.Object, m Mapping) error {
+	ew := &errWriter{w: w}
+	if m.KeepRoot {
+		if len(objs) != 1 {
+			return fmt.Errorf("xmlsource: KeepRoot encoding requires exactly one object, got %d", len(objs))
+		}
+		encodeObject(ew, objs[0], 0)
+		return ew.err
+	}
+	ew.writeString("<" + m.root() + ">\n")
+	for _, o := range objs {
+		encodeObject(ew, o, 1)
+	}
+	ew.writeString("</" + m.root() + ">\n")
+	return ew.err
+}
+
+// EncodeString is Encode into a string, for tests and examples.
+func EncodeString(objs []*oem.Object, m Mapping) (string, error) {
+	var sb strings.Builder
+	err := Encode(&sb, objs, m)
+	return sb.String(), err
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) writeString(s string) {
+	if ew.err == nil {
+		_, ew.err = io.WriteString(ew.w, s)
+	}
+}
+
+func (ew *errWriter) escape(s string) {
+	if ew.err == nil {
+		ew.err = escapeXML(ew.w, s)
+	}
+}
+
+// escapeXML escapes text for element content and attribute values,
+// including '\r' (which bare XML parsing would normalize away).
+func escapeXML(w io.Writer, s string) error {
+	return xml.EscapeText(w, []byte(s))
+}
+
+func encodeObject(ew *errWriter, o *oem.Object, depth int) {
+	indent := strings.Repeat("  ", depth)
+	name := o.Label
+	extraAttr := ""
+	if !isXMLName(name) {
+		name = "obj"
+		var sb strings.Builder
+		if err := escapeXML(&sb, o.Label); err != nil && ew.err == nil {
+			ew.err = err
+		}
+		extraAttr = " " + labelAttr + "=\"" + sb.String() + "\""
+	}
+	if subs, isSet := o.Value.(oem.Set); isSet || o.Value == nil {
+		if len(subs) == 0 {
+			ew.writeString(indent + "<" + name + extraAttr + "/>\n")
+			return
+		}
+		ew.writeString(indent + "<" + name + extraAttr + ">\n")
+		for _, sub := range subs {
+			encodeObject(ew, sub, depth+1)
+		}
+		ew.writeString(indent + "</" + name + ">\n")
+		return
+	}
+	text, typeName := atomText(o.Value)
+	ew.writeString(indent + "<" + name + extraAttr)
+	if typeName != "" {
+		ew.writeString(" " + typeAttr + "=\"" + typeName + "\"")
+	}
+	ew.writeString(">")
+	ew.escape(text)
+	ew.writeString("</" + name + ">\n")
+}
+
+// atomText renders an atomic value as element text, with the _type
+// attribute value needed for Decode to recover it exactly ("" when
+// inference suffices).
+func atomText(v oem.Value) (text, typeName string) {
+	switch t := v.(type) {
+	case oem.String:
+		s := string(t)
+		if s == "" || strings.TrimSpace(s) != s || !inferAtom(s).Equal(t) {
+			return s, "string"
+		}
+		return s, ""
+	case oem.Int:
+		return strconv.FormatInt(int64(t), 10), ""
+	case oem.Float:
+		text = t.String()
+		if got := inferAtom(text); got.Kind() == oem.KindFloat && got.Equal(t) {
+			return text, ""
+		}
+		return text, "real"
+	case oem.Bool:
+		return strconv.FormatBool(bool(t)), ""
+	case oem.Bytes:
+		return hex.EncodeToString(t), "bytes"
+	}
+	return fmt.Sprint(v), "string"
+}
+
+// isXMLName reports whether s is usable directly as an element name: an
+// ASCII letter or underscore followed by ASCII letters, digits, '-', '.',
+// or '_'. Anything else — including colons (namespace syntax) and
+// non-ASCII names, where XML's name character classes diverge from Go's —
+// is written through a _label attribute instead.
+func isXMLName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') {
+			continue
+		}
+		if i > 0 && ((r >= '0' && r <= '9') || r == '-' || r == '.') {
+			continue
+		}
+		return false
+	}
+	return true
+}

@@ -1,0 +1,213 @@
+package xmlsource
+
+import (
+	"strings"
+	"testing"
+
+	"medmaker/internal/oem"
+)
+
+func mustDecode(t *testing.T, doc string, m Mapping) []*oem.Object {
+	t.Helper()
+	objs, err := DecodeString(doc, m)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	return objs
+}
+
+func TestDecodeBasicMapping(t *testing.T) {
+	doc := `<people>
+	  <person id="7">
+	    <name>Joe Chung</name>
+	    <dept>CS</dept>
+	    <year>3</year>
+	    <gpa>3.5</gpa>
+	    <tenured>false</tenured>
+	  </person>
+	</people>`
+	objs := mustDecode(t, doc, Mapping{})
+	if len(objs) != 1 {
+		t.Fatalf("got %d top objects, want 1", len(objs))
+	}
+	p := objs[0]
+	if p.Label != "person" {
+		t.Fatalf("label = %q, want person", p.Label)
+	}
+	want := oem.NewSet("", "person",
+		oem.New("", "id", 7),
+		oem.New("", "name", "Joe Chung"),
+		oem.New("", "dept", "CS"),
+		oem.New("", "year", 3),
+		oem.New("", "gpa", 3.5),
+		oem.New("", "tenured", false),
+	)
+	if !p.StructuralEqual(want) {
+		t.Fatalf("decoded:\n%s\nwant:\n%s", mustFormat(t, p), mustFormat(t, want))
+	}
+}
+
+func TestDecodeAttributesBecomeAtomicChildren(t *testing.T) {
+	objs := mustDecode(t, `<r><row a="1" b="x"/></r>`, Mapping{})
+	want := oem.NewSet("", "row", oem.New("", "a", 1), oem.New("", "b", "x"))
+	if len(objs) != 1 || !objs[0].StructuralEqual(want) {
+		t.Fatalf("decoded %v, want %v", objs, want)
+	}
+}
+
+func TestDecodeMixedContentText(t *testing.T) {
+	objs := mustDecode(t, `<r><p>before <b>bold</b> after</p></r>`, Mapping{})
+	want := oem.NewSet("", "p",
+		oem.New("", "b", "bold"),
+		oem.New("", "text", "before"),
+		oem.New("", "text", "after"),
+	)
+	if len(objs) != 1 || !objs[0].StructuralEqual(want) {
+		t.Fatalf("decoded %s, want %s", mustFormat(t, objs[0]), mustFormat(t, want))
+	}
+
+	objs = mustDecode(t, `<r><p>only <b>once</b></p></r>`, Mapping{TextLabel: "cdata"})
+	if objs[0].Sub("cdata") == nil {
+		t.Fatalf("custom TextLabel not applied: %s", mustFormat(t, objs[0]))
+	}
+}
+
+func TestDecodeKeepRoot(t *testing.T) {
+	objs := mustDecode(t, `<person><name>Ann</name></person>`, Mapping{KeepRoot: true})
+	if len(objs) != 1 || objs[0].Label != "person" {
+		t.Fatalf("KeepRoot: got %v", objs)
+	}
+	// Without KeepRoot the root is a container and <name> is the top.
+	objs = mustDecode(t, `<person><name>Ann</name></person>`, Mapping{})
+	if len(objs) != 1 || objs[0].Label != "name" {
+		t.Fatalf("container mapping: got %v", objs)
+	}
+}
+
+func TestDecodeTypeOverrides(t *testing.T) {
+	doc := `<r>
+	  <a _type="string">3</a>
+	  <b _type="string"></b>
+	  <c _type="real">4</c>
+	  <d _type="bytes">0xdeadbeef</d>
+	  <e/>
+	</r>`
+	objs := mustDecode(t, doc, Mapping{})
+	if len(objs) != 5 {
+		t.Fatalf("got %d objects", len(objs))
+	}
+	checks := []struct {
+		label string
+		want  oem.Value
+	}{
+		{"a", oem.String("3")},
+		{"b", oem.String("")},
+		{"c", oem.Float(4)},
+		{"d", oem.Bytes{0xde, 0xad, 0xbe, 0xef}},
+	}
+	for i, c := range checks {
+		if got := objs[i].Value; got.Kind() != c.want.Kind() || !got.Equal(c.want) {
+			t.Errorf("%s = %v (%s), want %v", c.label, got, got.Kind(), c.want)
+		}
+	}
+	if objs[4].Kind() != oem.KindSet || len(objs[4].Subobjects()) != 0 {
+		t.Errorf("empty element should decode to empty set, got %v", objs[4])
+	}
+}
+
+func TestDecodeLabelOverride(t *testing.T) {
+	objs := mustDecode(t, `<r><obj _label="first name">Ann</obj></r>`, Mapping{})
+	if objs[0].Label != "first name" {
+		t.Fatalf("label = %q, want %q", objs[0].Label, "first name")
+	}
+}
+
+func TestDecodeNamespacesDropped(t *testing.T) {
+	doc := `<r xmlns="http://example.com/ns" xmlns:x="http://example.com/x">
+	  <x:person x:dept="CS"><name>Ann</name></x:person>
+	</r>`
+	objs := mustDecode(t, doc, Mapping{})
+	want := oem.NewSet("", "person", oem.New("", "dept", "CS"), oem.New("", "name", "Ann"))
+	if len(objs) != 1 || !objs[0].StructuralEqual(want) {
+		t.Fatalf("decoded %s, want %s", mustFormat(t, objs[0]), mustFormat(t, want))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	for _, doc := range []string{
+		``,                                // no elements
+		`<a>`,                             // unclosed
+		`<a _type="nonsense">x</a>`,       // unknown type
+		`<a _type="integer">x</a>`,        // unparseable int
+		`<a _type="real">NaN</a>`,         // NaN rejected
+		`<a _type="integer" b="1">3</a>`,  // atomic type with attributes
+		`<a _type="boolean"><b/>true</a>`, // atomic type with children
+	} {
+		if _, err := DecodeString(doc, Mapping{KeepRoot: true}); err == nil {
+			t.Errorf("Decode(%q) succeeded, want error", doc)
+		}
+	}
+}
+
+func TestEncodeRoundTripsOEM(t *testing.T) {
+	// OEM → XML → OEM must be structurally identity for values the codec
+	// supports, including the awkward ones needing _type/_label escapes.
+	tops := []*oem.Object{
+		oem.NewSet("", "person",
+			oem.New("", "name", "Joe Chung"),
+			oem.New("", "year", 3),
+			oem.New("", "gpa", 3.5),
+			oem.New("", "looks_numeric", "007"),
+			oem.New("", "looks_bool", "true"),
+			oem.New("", "empty_string", ""),
+			oem.NewSet("", "empty_set"),
+			oem.New("", "blob", []byte{1, 2, 255}),
+			oem.New("", "first name", "Joe"), // invalid XML name
+			oem.New("", "note", "line one\nline two <with> &markup;"),
+		),
+		oem.New("", "atomic_top", 42),
+		oem.NewSet("", "deep",
+			oem.NewSet("", "mid", oem.New("", "leaf", true))),
+	}
+	doc, err := EncodeString(tops, Mapping{})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	back, err := DecodeString(doc, Mapping{})
+	if err != nil {
+		t.Fatalf("Decode(Encode): %v\ndoc:\n%s", err, doc)
+	}
+	if len(back) != len(tops) {
+		t.Fatalf("round trip: %d objects, want %d\ndoc:\n%s", len(back), len(tops), doc)
+	}
+	for i := range tops {
+		if !tops[i].StructuralEqual(back[i]) {
+			t.Errorf("object %d changed:\nbefore: %s\nafter:  %s\ndoc:\n%s",
+				i, mustFormat(t, tops[i]), mustFormat(t, back[i]), doc)
+		}
+	}
+}
+
+func TestEncodeKeepRoot(t *testing.T) {
+	obj := oem.NewSet("", "person", oem.New("", "name", "Ann"))
+	doc, err := EncodeString([]*oem.Object{obj}, Mapping{KeepRoot: true})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(doc), "<person>") {
+		t.Fatalf("KeepRoot should make the object the document element:\n%s", doc)
+	}
+	if _, err := EncodeString([]*oem.Object{obj, obj.Clone()}, Mapping{KeepRoot: true}); err == nil {
+		t.Fatal("KeepRoot with two objects should fail")
+	}
+}
+
+func mustFormat(t *testing.T, o *oem.Object) string {
+	t.Helper()
+	var sb strings.Builder
+	var f oem.Formatter
+	if err := f.Format(&sb, o); err != nil {
+		t.Fatalf("format: %v", err)
+	}
+	return sb.String()
+}

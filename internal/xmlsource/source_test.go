@@ -1,0 +1,143 @@
+package xmlsource
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"testing"
+
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+	"medmaker/internal/wrapper"
+)
+
+const peopleXML = `<people>
+  <person><name>Joe Chung</name><dept>CS</dept><year>3</year></person>
+  <person><name>Ann Arbor</name><dept>EE</dept><year>1</year></person>
+  <person><name>Pat Smith</name><dept>CS</dept><year>2</year></person>
+  <staff><name>Lee Poe</name><dept>CS</dept></staff>
+</people>`
+
+func newPeopleSource(t *testing.T) *Source {
+	t.Helper()
+	src, err := FromReader("xml", strings.NewReader(peopleXML), Mapping{})
+	if err != nil {
+		t.Fatalf("FromReader: %v", err)
+	}
+	return src
+}
+
+func mustRule(t *testing.T, text string) *msl.Rule {
+	t.Helper()
+	q, err := msl.ParseRule(text)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	return q
+}
+
+func names(objs []*oem.Object) []string {
+	var out []string
+	for _, o := range objs {
+		if n := o.Sub("name"); n != nil {
+			s, _ := n.AtomString()
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestSourceQueryWithPushdown(t *testing.T) {
+	src := newPeopleSource(t)
+	q := mustRule(t, `<answer {<name N>}> :- <person {<name N> <dept 'CS'>}>@xml.`)
+	got, err := src.Query(q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	want := []string{"Joe Chung", "Pat Smith"}
+	if g := names(got); len(g) != 2 || g[0] != want[0] || g[1] != want[1] {
+		t.Fatalf("answers = %v, want %v", g, want)
+	}
+	// Pushdown should have supplied only the two CS persons, not all four
+	// top-level objects.
+	if n := src.Supplied(); n != 2 {
+		t.Fatalf("supplied %d objects with pushdown, want 2", n)
+	}
+}
+
+func TestSourcePushdownOffMatchesOn(t *testing.T) {
+	on := newPeopleSource(t)
+	off := newPeopleSource(t)
+	off.SetPushdown(false)
+	for _, text := range []string{
+		`<answer {<name N>}> :- <person {<name N> <dept 'CS'>}>@xml.`,
+		`<answer {<name N>}> :- <person {<name N> <year 1>}>@xml.`,
+		`<answer {<who N>}> :- <L {<name N>}>@xml.`,
+		`P :- P:<person {<name N> | R:{<year 2>}}>@xml.`,
+	} {
+		q := mustRule(t, text)
+		a, err := on.Query(q)
+		if err != nil {
+			t.Fatalf("pushdown on: %v", err)
+		}
+		b, err := off.Query(mustRule(t, text))
+		if err != nil {
+			t.Fatalf("pushdown off: %v", err)
+		}
+		ga, gb := names(a), names(b)
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d vs %d answers", text, len(a), len(b))
+		}
+		for i := range ga {
+			if ga[i] != gb[i] {
+				t.Fatalf("%s: pushdown changed answers %v vs %v", text, ga, gb)
+			}
+		}
+	}
+	if on.Supplied() >= off.Supplied() {
+		t.Fatalf("pushdown supplied %d >= full-scan %d", on.Supplied(), off.Supplied())
+	}
+}
+
+func TestSourceRejectsMultiPattern(t *testing.T) {
+	src := newPeopleSource(t)
+	q := mustRule(t, `<a {<n N> <m M>}> :- <person {<name N>}>@xml AND <staff {<name M>}>@xml.`)
+	_, err := src.Query(q)
+	var unsup *wrapper.UnsupportedError
+	if err == nil {
+		t.Fatal("multi-pattern query succeeded, want UnsupportedError")
+	}
+	if !strings.Contains(err.Error(), "multi-pattern") {
+		t.Fatalf("error = %v, want multi-pattern UnsupportedError", err)
+	}
+	_ = unsup
+}
+
+func TestSourceWildcardAndCount(t *testing.T) {
+	src := newPeopleSource(t)
+	q := mustRule(t, `<out V> :- <%name V>@xml.`)
+	got, err := src.Query(q)
+	if err != nil {
+		t.Fatalf("wildcard query: %v", err)
+	}
+	if len(got) == 0 {
+		t.Fatal("wildcard query found nothing")
+	}
+	if n, ok := src.CountLabel("person"); !ok || n != 3 {
+		t.Fatalf("CountLabel(person) = %d,%v want 3,true", n, ok)
+	}
+	if n, ok := src.CountLabel("nosuch"); !ok || n != 0 {
+		t.Fatalf("CountLabel(nosuch) = %d,%v want 0,true", n, ok)
+	}
+}
+
+func TestSourceContextCancelled(t *testing.T) {
+	src := newPeopleSource(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := mustRule(t, `P :- P:<person {}>@xml.`)
+	if _, err := src.QueryContext(ctx, q); err == nil {
+		t.Fatal("cancelled context should fail")
+	}
+}

@@ -410,17 +410,19 @@ func TestMutationDifferential(t *testing.T) {
 			var totalDeltas, totalFallbacks int64
 			for si, spec := range specs {
 				r := rand.New(rand.NewSource(int64(11 + si)))
+				people := randomPeople(r, 20)
 				whoisSrc := NewOEMSource("whois")
-				if err := whoisSrc.Add(randomPeople(r, 20)...); err != nil {
+				if err := whoisSrc.Add(people...); err != nil {
 					t.Fatal(err)
 				}
 				csSrc := NewOEMSource("cs")
 				if err := csSrc.Add(randomRelations(r, 20)...); err != nil {
 					t.Fatal(err)
 				}
+				xmlSrc, streamSrc := heteroSources(t, people)
 				base := Config{
 					Name: "med", Spec: spec,
-					Sources:     []Source{csSrc, whoisSrc},
+					Sources:     []Source{csSrc, whoisSrc, xmlSrc, streamSrc},
 					Parallelism: mode.parallel,
 					Pipeline:    mode.pipeline,
 				}
@@ -527,11 +529,15 @@ func TestMutationDifferential(t *testing.T) {
 				check("delete")
 
 				// Step 4: inserts after the delete land on the rebuilt
-				// extents.
+				// extents; a stream append rides the same delta path for
+				// the spec that reads the event log.
 				if err := whoisSrc.Add(mutPerson(gen, 104, "employee")); err != nil {
 					t.Fatal(err)
 				}
 				if err := csSrc.Add(mutRelation(gen, 104, "employee")); err != nil {
+					t.Fatal(err)
+				}
+				if err := streamSrc.Append(mutPerson(gen, 105, "employee")); err != nil {
 					t.Fatal(err)
 				}
 				check("insert-after-delete")

@@ -2,12 +2,17 @@ package medmaker
 
 import (
 	"io"
+	"net/http"
+	"time"
 
+	"medmaker/internal/jsonhttp"
 	"medmaker/internal/oem"
 	"medmaker/internal/oemstore"
 	"medmaker/internal/relational"
 	"medmaker/internal/semistruct"
+	"medmaker/internal/streamsource"
 	"medmaker/internal/wrapper"
+	"medmaker/internal/xmlsource"
 )
 
 // Substrate re-exports: the bundled source implementations, so
@@ -53,6 +58,27 @@ type (
 	// sources do), letting consumers apply deltas instead of dropping
 	// derived state wholesale.
 	ChangeNotifier = wrapper.Notifier
+	// XMLSource serves XML documents mapped into OEM — elements become
+	// subobjects, attributes atomic children — with condition pushdown
+	// into its label index.
+	XMLSource = xmlsource.Source
+	// XMLMapping configures the XML<->OEM mapping (root handling, text
+	// label).
+	XMLMapping = xmlsource.Mapping
+	// HTTPSource queries a remote JSON-over-HTTP endpoint as an OEM
+	// source, pushing equality conditions into query parameters and
+	// retrying transient failures.
+	HTTPSource = jsonhttp.Source
+	// HTTPSourceOption customizes an HTTPSource (client, retry policy).
+	HTTPSourceOption = jsonhttp.Option
+	// HTTPHandler serves any OEM extent in the jsonhttp wire format — the
+	// server half of HTTPSource, for tests and Go-hosted endpoints.
+	HTTPHandler = jsonhttp.Handler
+	// StreamSource is a bounded append-only event log: appends emit
+	// change-feed deltas, retention evicts by count and age.
+	StreamSource = streamsource.Source
+	// StreamOptions configures a StreamSource's retention.
+	StreamOptions = streamsource.Options
 )
 
 // NewOEMSource returns an empty OEM-native source.
@@ -125,6 +151,61 @@ func NewPartitionedSource(name, keyLabel string, members ...Source) (*Partitione
 // ShardOf maps a partition-key value to a shard index in [0, shards) —
 // the stable hash both data placement and query routing use.
 func ShardOf(key string, shards int) int { return wrapper.ShardIndex(key, shards) }
+
+// NewXMLSource builds an XML-tier source over already-decoded objects.
+func NewXMLSource(name string, tops []*Object) (*XMLSource, error) {
+	return xmlsource.New(name, tops)
+}
+
+// NewXMLSourceFromReader decodes one XML document from r under mapping m
+// into a new source.
+func NewXMLSourceFromReader(name string, r io.Reader, m XMLMapping) (*XMLSource, error) {
+	return xmlsource.FromReader(name, r, m)
+}
+
+// NewXMLSourceFromFile loads an XML file into a new source.
+func NewXMLSourceFromFile(name, path string, m XMLMapping) (*XMLSource, error) {
+	return xmlsource.FromFile(name, path, m)
+}
+
+// DecodeXML maps an XML document to OEM objects under mapping m.
+func DecodeXML(r io.Reader, m XMLMapping) ([]*Object, error) {
+	return xmlsource.Decode(r, m)
+}
+
+// EncodeXML renders OEM objects as an XML document the decoder maps back
+// to structurally equal objects.
+func EncodeXML(w io.Writer, objs []*Object, m XMLMapping) error {
+	return xmlsource.Encode(w, objs, m)
+}
+
+// NewHTTPSource builds a source over the JSON-over-HTTP service at
+// baseURL.
+func NewHTTPSource(name, baseURL string, opts ...HTTPSourceOption) (*HTTPSource, error) {
+	return jsonhttp.New(name, baseURL, opts...)
+}
+
+// NewHTTPHandler serves tops in the jsonhttp wire format.
+func NewHTTPHandler(tops []*Object) *HTTPHandler {
+	return jsonhttp.NewHandler(tops)
+}
+
+// WithHTTPClient substitutes the HTTP client an HTTPSource issues
+// requests with.
+func WithHTTPClient(c *http.Client) HTTPSourceOption {
+	return jsonhttp.WithHTTPClient(c)
+}
+
+// WithHTTPRetries bounds an HTTPSource's retries of transient failures
+// and sets the initial backoff.
+func WithHTTPRetries(max int, base time.Duration) HTTPSourceOption {
+	return jsonhttp.WithRetries(max, base)
+}
+
+// NewStreamSource returns an empty append-only event log.
+func NewStreamSource(name string, opts StreamOptions) *StreamSource {
+	return streamsource.New(name, opts)
+}
 
 // FullCapabilities is the capability set of a source supporting the whole
 // query language.
