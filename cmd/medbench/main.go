@@ -77,8 +77,13 @@ func main() {
 	shardSeed := flag.Int64("shard-seed", 1, "base workload seed for -shard (client i uses seed+i)")
 	deltaOut := flag.String("delta", "", "write a JSON snapshot of the incremental view-maintenance measurements (change-feed delta application vs full rebuild per update rate, the BENCH_8.json artifact) to this file and exit")
 	heteroOut := flag.String("hetero", "", "write a JSON snapshot of the heterogeneous source tier measurements (per-kind exchange latency, XML pushdown rows, streaming delta-maintenance rate, the BENCH_9.json artifact) to this file and exit")
+	adaptiveOut := flag.String("adaptive", "", "write a JSON snapshot of the adaptive-optimizer measurements (heuristic vs feedback-driven join order, latency-aware replica routing, the BENCH_10.json artifact) to this file and exit; fails when the warmed optimizer is not >=2x faster or routing leaves >=10% of exchanges on the slow replica")
 	flag.DurationVar(&queryTimeout, "timeout", 0, "per-query deadline for measured queries (e.g. 30s); 0 means none")
 	flag.Parse()
+	if *adaptiveOut != "" {
+		runAdaptive(*reps, *adaptiveOut)
+		return
+	}
 	if *heteroOut != "" {
 		runHetero(*reps, *heteroOut)
 		return

@@ -205,7 +205,32 @@ func (ex *Executor) RunResult(ctx context.Context, n Node) (*Result, error) {
 		}
 		out = append(out, b.Obj)
 	}
+	rs.absorbFeedback()
 	return rs.result(out), nil
+}
+
+// absorbFeedback closes the observe→learn loop after a traced run: for
+// every parameterized query node the trace watched, the observed output
+// rows per input row — the join selectivity the node actually delivered —
+// is folded into the statistics store under the node's shape key with an
+// "|out" suffix. The adaptive join order reads these to price inner
+// positions as outer-cardinality × learned selectivity. Negated nodes are
+// skipped: their output is a filter decision, not a cardinality.
+func (rs *runState) absorbFeedback() {
+	if rs.obs == nil || rs.ex.Stats == nil {
+		return
+	}
+	for n, ns := range rs.obs.nodes {
+		qn, ok := n.(*QueryNode)
+		if !ok || qn.Shape == "" || qn.Negated || qn.Child == nil {
+			continue
+		}
+		in := ns.RowsIn()
+		if in <= 0 {
+			continue
+		}
+		rs.ex.Stats.RecordValue(qn.Source, qn.Shape+"|out", float64(ns.RowsOut())/float64(in))
+	}
 }
 
 func (ex *Executor) traceNode(n Node, out *Table, d time.Duration) {
@@ -218,11 +243,28 @@ func (ex *Executor) traceNode(n Node, out *Table, d time.Duration) {
 	out.Format(ex.Trace, maxRows)
 }
 
-func (ex *Executor) recordQuery(source string, template *msl.Rule, results int) {
+// recordQuery folds one instantiated query's answer size into the
+// statistics store, under the node's condition-aware shape key (when the
+// planner attached one) and under the label-only template bucket the
+// pre-shape cost model falls back to.
+func (ex *Executor) recordQuery(n *QueryNode, results int) {
 	if ex.Stats == nil {
 		return
 	}
-	ex.Stats.Record(source, templateKey(template), results)
+	if n.Shape != "" {
+		ex.Stats.Record(n.Source, n.Shape, results)
+	}
+	ex.Stats.Record(n.Source, templateKey(n.Send), results)
+}
+
+// recordLatency folds one successful exchange's wall time into the
+// source's latency EWMA — for replicated sources the member's, so the
+// routing score tracks the replica that actually answered.
+func (ex *Executor) recordLatency(source string, d time.Duration) {
+	if ex.Stats == nil {
+		return
+	}
+	ex.Stats.RecordLatency(source, d)
 }
 
 // recordExchange counts one source exchange carrying the given number of

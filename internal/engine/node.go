@@ -66,6 +66,11 @@ type QueryNode struct {
 	Negated bool
 	// Needed is the projection applied to output rows; empty keeps all.
 	Needed []string
+	// Shape is the condition-aware statistics key for the sent template
+	// (see ShapeOf). The planner sets it so execution feedback lands in
+	// the same bucket planning reads; empty disables shape-keyed
+	// recording (hand-built graphs).
+	Shape string
 	// EstRows, when HasEst, is the optimizer's estimated answer
 	// cardinality for this node's template (per instantiated query).
 	// Explain/ExplainAnalyze render it against the actual counts.
@@ -201,6 +206,9 @@ func tableFromEnvs(needed []string, rows []match.Env) *Table {
 // incomplete. Sharded sources are scattered (or routed) member by member
 // so failure handling attributes to the shard, not the composite.
 func (n *QueryNode) querySource(rs *runState, src wrapper.Source, q *msl.Rule) (objs []*oem.Object, skipped bool, err error) {
+	if rep, ok := src.(wrapper.Replicated); ok {
+		return n.queryReplicas(rs, rep, q)
+	}
 	if sh, ok := src.(wrapper.Sharded); ok {
 		return n.queryShards(rs, sh, q)
 	}
@@ -216,7 +224,7 @@ func (n *QueryNode) querySource(rs *runState, src wrapper.Source, q *msl.Rule) (
 		return nil, true, rs.sourceFailed(n.Source, qerr)
 	}
 	rs.recordExchange(n, 1, elapsed)
-	rs.ex.recordQuery(n.Source, n.Send, len(objs))
+	rs.ex.recordQuery(n, len(objs))
 	return objs, false, nil
 }
 
@@ -483,6 +491,9 @@ func (n *QueryNode) fetchBatches(rs *runState, src wrapper.Source, keys []string
 // exchange for batch-capable sources, one exchange per query otherwise.
 // Against a sharded source the chunk is regrouped per member shard first.
 func (n *QueryNode) fetchChunk(rs *runState, src wrapper.Source, chunk []string, pending map[string]*msl.Rule, canBatch bool, store func(string, *answerSet)) error {
+	if rep, ok := src.(wrapper.Replicated); ok {
+		return n.fetchChunkReplicated(rs, rep, chunk, pending, store)
+	}
 	if sh, ok := src.(wrapper.Sharded); ok {
 		return n.fetchChunkSharded(rs, sh, chunk, pending, store)
 	}
@@ -517,7 +528,7 @@ func (n *QueryNode) fetchChunk(rs *runState, src wrapper.Source, chunk []string,
 		rs.recordExchange(n, len(chunk), elapsed)
 		for i, k := range chunk {
 			store(k, &answerSet{objs: res[i]})
-			rs.ex.recordQuery(n.Source, n.Send, len(res[i]))
+			rs.ex.recordQuery(n, len(res[i]))
 		}
 		return nil
 	}

@@ -51,8 +51,11 @@ func (g *graphObs) register(n Node) *trace.NodeStats {
 		}
 	}
 	ns := g.qt.NewNode(n.Label(), source, n.Detail())
-	if qn, ok := n.(*QueryNode); ok && qn.HasEst {
-		ns.SetEstimate(qn.EstRows)
+	if qn, ok := n.(*QueryNode); ok {
+		if qn.HasEst {
+			ns.SetEstimate(qn.EstRows)
+		}
+		ns.SetShape(qn.Shape)
 	}
 	// A matscan deliberately registers no source: it performs no
 	// exchanges, and its absence from SourceStats is the observable
@@ -109,6 +112,7 @@ func (rs *runState) observeNode(n Node, kids []*Table, out *Table, wall time.Dur
 // run's trace (when recording), and to the process-wide metrics registry.
 func (rs *runState) recordExchange(n *QueryNode, queries int, d time.Duration) {
 	rs.ex.recordExchange(n.Source, queries)
+	rs.ex.recordLatency(n.Source, d)
 	rs.nodeObs(n).AddExchanges(1, queries)
 	rs.srcObs(n.Source).AddExchange(queries, d)
 	reg := metrics.Default()

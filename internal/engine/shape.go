@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+
+	"medmaker/internal/msl"
+)
+
+// This file defines the condition-aware shape key the statistics store
+// aggregates cardinality feedback under. The old store keyed estimates on
+// (source, label) alone, so two queries over the same label with very
+// different condition selectivity poisoned one shared bucket — the
+// classic "person" queries that return 3000 rows unfiltered and 2 rows
+// with a pinned department averaged into a number describing neither.
+// A shape fingerprints the label *and* the condition structure of the
+// query actually sent: which positions carry constants, which carry
+// parameters bound per input tuple, and which set members merely have to
+// exist. Constants and bound variables mark the same way ("=c" / "=v"
+// distinguish only provenance, not value), so repeated parameterized
+// instances of one template aggregate under one key while differently
+// conditioned queries stay apart.
+
+// ShapeOf fingerprints the pattern as sent to a source. bound names the
+// variables the engine substitutes with per-tuple constants before
+// sending (the node's ParamVars); they mark as value conditions. The key
+// is insensitive to set-member order.
+func ShapeOf(p *msl.ObjectPattern, bound map[string]bool) string {
+	var sb strings.Builder
+	if p.Wildcard {
+		sb.WriteByte('%')
+	}
+	sb.WriteString(shapeLabel(p, bound))
+	var marks []string
+	if _, ok := p.OID.(*msl.Const); ok {
+		marks = append(marks, "#oid")
+	}
+	marks = appendShapeMarks(marks, p.Value, bound, "")
+	if len(marks) > 0 {
+		sort.Strings(marks)
+		sb.WriteByte('?')
+		sb.WriteString(strings.Join(marks, ","))
+	}
+	return sb.String()
+}
+
+// ShapeVars builds the bound-variable set ShapeOf expects from a
+// parameter list.
+func ShapeVars(params []string) map[string]bool {
+	if len(params) == 0 {
+		return nil
+	}
+	out := make(map[string]bool, len(params))
+	for _, p := range params {
+		out[p] = true
+	}
+	return out
+}
+
+// shapeLabel renders a pattern's label position: the constant label, "$"
+// for a label filled at execution time (a parameter, or a variable bound
+// by the outer conjuncts — the label-variable joins of Section 3.2), and
+// "*" for a genuinely free label.
+func shapeLabel(p *msl.ObjectPattern, bound map[string]bool) string {
+	if l := p.LabelName(); l != "" {
+		return l
+	}
+	switch t := p.Label.(type) {
+	case *msl.Param:
+		return "$"
+	case *msl.Var:
+		if bound[t.Name] {
+			return "$"
+		}
+	}
+	return "*"
+}
+
+// appendShapeMarks walks a value term collecting condition markers.
+// prefix is the dotted member path ("" at the top level).
+func appendShapeMarks(marks []string, t msl.Term, bound map[string]bool, prefix string) []string {
+	switch v := t.(type) {
+	case nil:
+	case *msl.Const:
+		marks = append(marks, prefix+"=c")
+	case *msl.Param:
+		marks = append(marks, prefix+"=v")
+	case *msl.Var:
+		if bound[v.Name] {
+			marks = append(marks, prefix+"=v")
+		}
+	case *msl.SetPattern:
+		for _, e := range v.Elems {
+			switch m := e.(type) {
+			case *msl.ObjectPattern:
+				marks = appendShapeMarks(marks, m, bound, prefix)
+			case *msl.Var:
+				if bound[m.Name] {
+					marks = append(marks, shapeJoin(prefix, "=obj"))
+				}
+			}
+		}
+		for _, rc := range v.RestConstraints {
+			marks = appendShapeMarks(marks, rc, bound, shapeJoin(prefix, "~"))
+		}
+	case *msl.ObjectPattern:
+		// A member pattern is itself a (weak) condition — the object must
+		// carry such a subobject — so its path marks even without a value.
+		member := shapeJoin(prefix, shapeLabel(v, bound))
+		if v.Wildcard {
+			member = shapeJoin(prefix, "%"+shapeLabel(v, bound))
+		}
+		marks = append(marks, member)
+		if _, ok := v.OID.(*msl.Const); ok {
+			marks = append(marks, member+"#oid")
+		}
+		marks = appendShapeMarks(marks, v.Value, bound, member)
+	}
+	return marks
+}
+
+func shapeJoin(prefix, s string) string {
+	if prefix == "" {
+		return s
+	}
+	return prefix + "." + s
+}

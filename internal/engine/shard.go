@@ -80,7 +80,7 @@ func (n *QueryNode) queryMember(rs *runState, member wrapper.Source, q *msl.Rule
 	}
 	reg.Counter("shard.exchanges").Inc()
 	rs.recordExchange(n, 1, elapsed)
-	rs.ex.recordQuery(n.Source, n.Send, len(objs))
+	rs.ex.recordQuery(n, len(objs))
 	return objs, false, nil
 }
 
@@ -167,7 +167,7 @@ func (n *QueryNode) fetchMemberBatch(rs *runState, member wrapper.Source, keys [
 	rs.recordExchange(n, len(keys), elapsed)
 	for i, k := range keys {
 		store(k, &answerSet{objs: res[i]})
-		rs.ex.recordQuery(n.Source, n.Send, len(res[i]))
+		rs.ex.recordQuery(n, len(res[i]))
 	}
 	return nil
 }

@@ -1,31 +1,62 @@
 package engine
 
 import (
+	"container/list"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"medmaker/internal/metrics"
 )
 
 // Stats is the optimizer's statistics database, built from the results of
 // previous queries (Section 3.5 of the paper). It aggregates, per source
 // and query shape, how many objects queries of that shape returned, and
-// answers cardinality estimates for join ordering.
+// answers cardinality estimates for join ordering. Estimates decay as
+// exponentially weighted moving averages so the store tracks a drifting
+// workload instead of freezing its first observations, and the shape map
+// is bounded by LRU eviction so distinct-query workloads cannot grow it
+// without limit.
 type Stats struct {
 	mu      sync.RWMutex
 	entries map[string]*statEntry
+	lru     *list.List // front = most recently touched entry key
+	max     int
+	evicted int
+	gen     uint64
 	sources map[string]*sourceEntry
 }
 
 type statEntry struct {
 	queries int
-	rows    int
+	avg     float64 // EWMA of observed values (rows, or ratios for |out keys)
+	elem    *list.Element
 }
+
+// cardAlpha is the EWMA weight for new cardinality observations. A
+// constant series keeps its value exactly (so estimates over stable data
+// are exact), while a shifted workload converges within a handful of
+// queries.
+const cardAlpha = 0.4
+
+// latAlpha and errAlpha weight the per-source latency and error-rate
+// EWMAs that replica routing scores members by.
+const (
+	latAlpha = 0.3
+	errAlpha = 0.25
+)
+
+// DefaultStatsEntries bounds the shape-keyed entry map; recording a new
+// shape past the bound evicts the least recently touched entry and bumps
+// the stats.evicted metric.
+const DefaultStatsEntries = 4096
 
 // sourceEntry tracks per-source traffic: how many exchanges (network
 // round-trips) query nodes performed, how many queries those exchanges
-// carried (batching packs several per exchange), and how the wrapper-level
-// answer cache fared.
+// carried (batching packs several per exchange), how the wrapper-level
+// answer cache fared, and the latency/error EWMAs replica routing reads.
 type sourceEntry struct {
 	exchanges   int
 	queries     int
@@ -33,6 +64,9 @@ type sourceEntry struct {
 	cacheMisses int
 	errors      int
 	lastErrs    []error
+	latEWMA     float64 // seconds per exchange
+	latSeen     bool
+	errEWMA     float64 // in [0,1]: fraction of recent exchanges that failed
 }
 
 // maxSourceErrs bounds the per-source retained error list; the count keeps
@@ -41,7 +75,24 @@ const maxSourceErrs = 8
 
 // NewStats returns an empty statistics store.
 func NewStats() *Stats {
-	return &Stats{entries: make(map[string]*statEntry), sources: make(map[string]*sourceEntry)}
+	return &Stats{
+		entries: make(map[string]*statEntry),
+		lru:     list.New(),
+		max:     DefaultStatsEntries,
+		sources: make(map[string]*sourceEntry),
+	}
+}
+
+// SetMaxEntries overrides the shape-entry bound (0 restores the default).
+// Shrinking below the current population evicts immediately.
+func (s *Stats) SetMaxEntries(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 {
+		n = DefaultStatsEntries
+	}
+	s.max = n
+	s.evictLocked()
 }
 
 func (s *Stats) source(name string) *sourceEntry {
@@ -51,6 +102,15 @@ func (s *Stats) source(name string) *sourceEntry {
 		s.sources[name] = e
 	}
 	return e
+}
+
+// Generation returns a counter that advances on every shape observation.
+// Cached plans remember the generation they were planned under; a later
+// generation is the cue to check them for estimate drift.
+func (s *Stats) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
 }
 
 // RecordExchange adds one source exchange (a network round-trip, or its
@@ -64,6 +124,60 @@ func (s *Stats) RecordExchange(source string, queries int) {
 	e := s.source(source)
 	e.exchanges++
 	e.queries += queries
+}
+
+// RecordLatency folds one successful exchange's wall time into the
+// source's latency EWMA and decays its error rate toward zero. The engine
+// reports every timed exchange here, so replica scores follow what the
+// engine actually observed rather than what the wrapper promises.
+func (s *Stats) RecordLatency(source string, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.source(source)
+	sec := d.Seconds()
+	if !e.latSeen {
+		e.latEWMA = sec
+		e.latSeen = true
+	} else {
+		e.latEWMA += latAlpha * (sec - e.latEWMA)
+	}
+	e.errEWMA *= 1 - errAlpha
+}
+
+// SourceLatency returns the EWMA exchange latency observed for the source
+// and whether any exchange was timed.
+func (s *Stats) SourceLatency(source string) (time.Duration, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if e, ok := s.sources[source]; ok && e.latSeen {
+		return time.Duration(e.latEWMA * float64(time.Second)), true
+	}
+	return 0, false
+}
+
+// SourceErrorRate returns the EWMA failure fraction for the source in
+// [0,1] (zero when unobserved).
+func (s *Stats) SourceErrorRate(source string) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if e, ok := s.sources[source]; ok {
+		return e.errEWMA
+	}
+	return 0
+}
+
+// ReplicaScore folds a source's latency and error EWMAs into one routing
+// score — lower is better. Unobserved members return (0, false) so the
+// router explores them before settling. Errors dominate: a member failing
+// every exchange scores far worse than a slow-but-healthy one.
+func (s *Stats) ReplicaScore(source string) (float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.sources[source]
+	if !ok || (!e.latSeen && e.errEWMA == 0) {
+		return 0, false
+	}
+	return e.latEWMA*(1+20*e.errEWMA) + e.errEWMA, true
 }
 
 // SourceExchanges returns how many exchanges were performed against the
@@ -137,7 +251,8 @@ func (s *Stats) CacheCounts(source string) (hits, misses int) {
 // RecordError adds one failed exchange against the source — a refusal,
 // a broken connection, or a per-source timeout. The run state reports
 // every policy-absorbed failure here, so the counters tell the cost model
-// (and the operator reading a trace) which sources are flaky.
+// (and the operator reading a trace) which sources are flaky, and the
+// error EWMA steers replica routing away from them.
 func (s *Stats) RecordError(source string, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -146,6 +261,7 @@ func (s *Stats) RecordError(source string, err error) {
 	if len(e.lastErrs) < maxSourceErrs {
 		e.lastErrs = append(e.lastErrs, err)
 	}
+	e.errEWMA += errAlpha * (1 - e.errEWMA)
 }
 
 // SourceErrorCount returns how many failed exchanges were recorded for
@@ -183,20 +299,62 @@ func (s *Stats) CacheHitRate(source string) (float64, bool) {
 // Record adds one observation: a query of the given shape against the
 // source returned n objects.
 func (s *Stats) Record(source, shape string, n int) {
+	s.RecordValue(source, shape, float64(n))
+}
+
+// RecordValue folds one observed value into the EWMA for the shape at the
+// source. Cardinality feedback stores rows here; the adaptive planner also
+// stores per-input-row output ratios under derived "|out" shapes.
+func (s *Stats) RecordValue(source, shape string, v float64) {
 	key := source + "@" + shape
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e := s.entries[key]
 	if e == nil {
-		e = &statEntry{}
+		e = &statEntry{avg: v}
+		e.elem = s.lru.PushFront(key)
 		s.entries[key] = e
+	} else {
+		e.avg += cardAlpha * (v - e.avg)
+		s.lru.MoveToFront(e.elem)
 	}
 	e.queries++
-	e.rows += n
+	s.gen++
+	s.evictLocked()
 }
 
-// Estimate returns the average result size observed for the shape at the
-// source, and whether any observation exists.
+func (s *Stats) evictLocked() {
+	for len(s.entries) > s.max {
+		back := s.lru.Back()
+		if back == nil {
+			return
+		}
+		key := back.Value.(string)
+		s.lru.Remove(back)
+		delete(s.entries, key)
+		s.evicted++
+		metrics.Default().Counter("stats.evicted").Inc()
+	}
+}
+
+// Evicted returns how many shape entries LRU eviction has dropped.
+func (s *Stats) Evicted() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.evicted
+}
+
+// Entries returns the current shape-entry population.
+func (s *Stats) Entries() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// Estimate returns the decayed average result size observed for the shape
+// at the source, and whether any observation exists. Reads do not touch
+// LRU order: only recording refreshes an entry, so a shape the workload
+// stopped producing ages out even while the planner keeps consulting it.
 func (s *Stats) Estimate(source, shape string) (float64, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -204,7 +362,7 @@ func (s *Stats) Estimate(source, shape string) (float64, bool) {
 	if !ok || e.queries == 0 {
 		return 0, false
 	}
-	return float64(e.rows) / float64(e.queries), true
+	return e.avg, true
 }
 
 // Observations returns the number of recorded queries for the shape.
@@ -230,7 +388,7 @@ func (s *Stats) String() string {
 	var sb strings.Builder
 	for _, k := range keys {
 		e := s.entries[k]
-		fmt.Fprintf(&sb, "%s: %d queries, avg %.1f rows\n", k, e.queries, float64(e.rows)/float64(e.queries))
+		fmt.Fprintf(&sb, "%s: %d queries, avg %.1f rows\n", k, e.queries, e.avg)
 	}
 	srcKeys := make([]string, 0, len(s.sources))
 	for k := range s.sources {
@@ -245,6 +403,9 @@ func (s *Stats) String() string {
 		}
 		if e.errors > 0 {
 			fmt.Fprintf(&sb, ", %d errors", e.errors)
+		}
+		if e.latSeen {
+			fmt.Fprintf(&sb, ", lat %s", time.Duration(e.latEWMA*float64(time.Second)).Round(time.Microsecond))
 		}
 		sb.WriteString("\n")
 	}

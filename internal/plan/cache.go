@@ -29,9 +29,10 @@ type CacheOptions struct {
 
 // CacheStats is a snapshot of a plan cache's counters. Invalidated counts
 // entries dropped by Invalidate (a dependency changed), Evictions entries
-// displaced by the capacity bound.
+// displaced by the capacity bound, Refreshed entries replaced by a
+// completed drift revalidation (see BeginRefresh).
 type CacheStats struct {
-	Hits, Misses, Evictions, Invalidated, Entries int
+	Hits, Misses, Evictions, Invalidated, Refreshed, Entries int
 }
 
 // Compiled is one cached compilation: the physical plan, the expanded
@@ -52,6 +53,11 @@ type Compiled struct {
 	// determined statically (a variable view label, say): any
 	// invalidation drops it.
 	DependsOnAll bool
+	// StatsGen is the statistics-store generation the plan was compiled
+	// under (Stats.Generation at compile time). Drift revalidation
+	// compares it against the current generation: an unchanged store
+	// cannot have drifted, so the check is free on the hot path.
+	StatsGen uint64
 }
 
 // dependsOn reports whether invalidating name must drop this entry.
@@ -75,16 +81,18 @@ func (c *Compiled) dependsOn(name string) bool {
 type Cache struct {
 	max int
 
-	hitCtr, missCtr, evictCtr, invalCtr *metrics.Counter
+	hitCtr, missCtr, evictCtr, invalCtr, refreshCtr *metrics.Counter
 
 	mu          sync.Mutex
 	lru         *list.List // front = most recently used
 	entries     map[string]*list.Element
 	inflight    map[string]*compileFlight
+	refreshing  map[string]bool
 	hits        int
 	misses      int
 	evictions   int
 	invalidated int
+	refreshed   int
 }
 
 // compileFlight is one in-progress compilation; concurrent misses on the
@@ -111,14 +119,16 @@ func NewCache(opts CacheOptions) *Cache {
 		reg = metrics.Default()
 	}
 	return &Cache{
-		max:      max,
-		hitCtr:   reg.Counter("plancache.hit"),
-		missCtr:  reg.Counter("plancache.miss"),
-		evictCtr: reg.Counter("plancache.evict"),
-		invalCtr: reg.Counter("plancache.invalidate"),
-		lru:      list.New(),
-		entries:  make(map[string]*list.Element),
-		inflight: make(map[string]*compileFlight),
+		max:        max,
+		hitCtr:     reg.Counter("plancache.hit"),
+		missCtr:    reg.Counter("plancache.miss"),
+		evictCtr:   reg.Counter("plancache.evict"),
+		invalCtr:   reg.Counter("plancache.invalidate"),
+		refreshCtr: reg.Counter("plancache.refresh"),
+		lru:        list.New(),
+		entries:    make(map[string]*list.Element),
+		inflight:   make(map[string]*compileFlight),
+		refreshing: make(map[string]bool),
 	}
 }
 
@@ -255,6 +265,45 @@ func (c *Cache) store(key string, compiled *Compiled) {
 	}
 }
 
+// BeginRefresh claims the right to revalidate key's cached plan in the
+// background. It returns true for exactly one caller at a time
+// (singleflight per key): the claimant replans and calls CompleteRefresh
+// with the result; every other caller — and every caller while a refresh
+// is in flight — gets false and keeps serving the current entry. The old
+// plan is never dropped up front: a drifted plan is still a correct
+// plan, just a possibly slow one, so queries never wait on revalidation.
+func (c *Cache) BeginRefresh(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.refreshing[key] {
+		return false
+	}
+	if _, ok := c.entries[key]; !ok {
+		return false // dropped since the hit; the next miss recompiles anyway
+	}
+	c.refreshing[key] = true
+	return true
+}
+
+// CompleteRefresh ends the refresh BeginRefresh granted for key. A
+// non-nil compiled replaces the cached entry (counted under Refreshed
+// and plancache.refresh); nil — the replan failed or was abandoned —
+// just clears the claim so a later drift check may try again.
+func (c *Cache) CompleteRefresh(key string, compiled *Compiled) {
+	if compiled != nil {
+		c.store(key, compiled)
+	}
+	c.mu.Lock()
+	delete(c.refreshing, key)
+	if compiled != nil {
+		c.refreshed++
+	}
+	c.mu.Unlock()
+	if compiled != nil {
+		c.refreshCtr.Inc()
+	}
+}
+
 // Invalidate drops every cached plan depending on name — a source name or
 // a mediator view label; "" drops everything. In-flight compilations are
 // not interrupted: their result may briefly re-enter the cache stale,
@@ -290,6 +339,7 @@ func (c *Cache) Stats() CacheStats {
 		Misses:      c.misses,
 		Evictions:   c.evictions,
 		Invalidated: c.invalidated,
+		Refreshed:   c.refreshed,
 		Entries:     c.lru.Len(),
 	}
 }

@@ -48,6 +48,14 @@ const (
 	// OrderReversed inverts the heuristic order — the worst-case baseline
 	// used by the join-order benchmarks.
 	OrderReversed
+	// OrderAdaptive searches join orders with a bind-join-aware cost
+	// model: bound variables propagate through the candidate order, and a
+	// conjunct whose join variable is already bound is priced as
+	// parameterized-fetch cost × outer cardinality × learned selectivity
+	// (the statistics store's shape-keyed feedback). Exhaustive for short
+	// rules, greedy beyond; falls back to the heuristic until the store
+	// has observations.
+	OrderAdaptive
 )
 
 // Options control plan shape; use DefaultOptions as the base.
@@ -343,6 +351,8 @@ func (p *Planner) order(patterns []*msl.PatternConjunct) []*msl.PatternConjunct 
 	switch p.opts.Order {
 	case OrderAsWritten:
 		return out
+	case OrderAdaptive:
+		return p.orderAdaptive(out)
 	case OrderReversed:
 		sort.SliceStable(out, func(i, j int) bool {
 			return conditionCount(out[i].Pattern) < conditionCount(out[j].Pattern)
@@ -391,22 +401,24 @@ func (p *Planner) order(patterns []*msl.PatternConjunct) []*msl.PatternConjunct 
 		}
 		fallthrough
 	default: // OrderHeuristic
-		sort.SliceStable(out, func(i, j int) bool {
-			return conditionCount(out[i].Pattern) > conditionCount(out[j].Pattern)
-		})
-		return out
+		return orderByConditions(out)
 	}
 }
 
-// estimate returns a cardinality estimate for a pattern conjunct: learned
-// statistics first, then a label-count probe of the source (the paper's
-// "sampling" fallback) when the source supports cheap counting.
+// estimate returns a cardinality estimate for a pattern conjunct: the
+// learned shape-keyed statistics first (they see the conjunct's own
+// conditions, so two differently-selective queries on one label stop
+// sharing an estimate), the label-only bucket as fallback, then a
+// label-count probe of the source (the paper's "sampling" fallback) when
+// the source supports cheap counting.
 func (p *Planner) estimate(pc *msl.PatternConjunct) (float64, bool) {
-	label := pc.Pattern.LabelName()
-	if label == "" {
-		label = "*"
-	}
+	label := labelKey(pc.Pattern)
 	if p.stats != nil {
+		if sent, _, err := p.sendPattern(pc, nil, false); err == nil {
+			if est, ok := p.stats.Estimate(pc.Source, engine.ShapeOf(sent, nil)); ok {
+				return est, true
+			}
+		}
 		if est, ok := p.stats.Estimate(pc.Source, label); ok {
 			return est, true
 		}

@@ -14,27 +14,9 @@ import (
 // extraction step always re-matches the full original pattern, keeping the
 // plan correct whatever was pushed.
 func (p *Planner) queryNode(pc *msl.PatternConjunct, child engine.Node, bound map[string]bool, needed map[string]bool) (*engine.QueryNode, error) {
-	src, ok := p.sources.Lookup(pc.Source)
-	if !ok {
-		return nil, fmt.Errorf("plan: unknown source %q in %s", pc.Source, pc)
-	}
-	caps := src.Capabilities()
-
-	sent := pc.Pattern
-	if !p.opts.PushConditions {
-		sent = relax(sent, wrapper.Capabilities{MultiPattern: caps.MultiPattern})
-	} else {
-		sent = relax(sent, caps)
-	}
-
-	// Parameterize on previously-bound variables that occur in the sent
-	// pattern — only when the source evaluates conditions at all (a
-	// parameter becomes a constant condition at the source).
-	var paramVars []string
-	if p.opts.Parameterize && p.opts.PushConditions && caps.ValueConditions && child != nil {
-		for v := range intersectSets(bound, patternVarSet(sent)) {
-			paramVars = append(paramVars, v)
-		}
+	sent, paramVars, err := p.sendPattern(pc, bound, child != nil)
+	if err != nil {
+		return nil, err
 	}
 
 	// The sent query materializes the matched objects directly: a bare
@@ -59,22 +41,61 @@ func (p *Planner) queryNode(pc *msl.PatternConjunct, child engine.Node, bound ma
 		// Projection: keep exactly the variables needed downstream; names
 		// not bound yet are simply absent from the rows.
 		Needed: setList(needed),
+		// Shape is the condition-aware statistics key for the sent
+		// template: execution feedback records under it, so the next plan
+		// reads exactly what this node's queries taught the store.
+		Shape: engine.ShapeOf(sent, engine.ShapeVars(paramVars)),
 	}
 	// Attach the learned cardinality estimate so EXPLAIN ANALYZE can show
-	// estimated vs. actual rows. Only the statistics store is consulted:
-	// the CountLabel probe used for join ordering costs a source
-	// round-trip, which plan construction must not add per node.
+	// estimated vs. actual rows: the shape bucket first (it reflects this
+	// node's conditions), the label-only bucket as fallback. Only the
+	// statistics store is consulted: the CountLabel probe used for join
+	// ordering costs a source round-trip, which plan construction must not
+	// add per node.
 	if p.stats != nil {
-		label := pc.Pattern.LabelName()
-		if label == "" {
-			label = "*"
-		}
-		if est, ok := p.stats.Estimate(pc.Source, label); ok {
+		if est, ok := p.stats.Estimate(pc.Source, node.Shape); ok {
+			node.EstRows = est
+			node.HasEst = true
+		} else if est, ok := p.stats.Estimate(pc.Source, labelKey(pc.Pattern)); ok {
 			node.EstRows = est
 			node.HasEst = true
 		}
 	}
 	return node, nil
+}
+
+// sendPattern computes the query pattern actually sent to pc's source —
+// relaxed to the source's capabilities and the planner's pushdown option
+// — plus the previously-bound variables the engine substitutes per input
+// tuple. inner says whether the node will have a child (parameterization
+// applies only then, and only when the source evaluates conditions at
+// all: a parameter becomes a constant condition at the source).
+func (p *Planner) sendPattern(pc *msl.PatternConjunct, bound map[string]bool, inner bool) (*msl.ObjectPattern, []string, error) {
+	src, ok := p.sources.Lookup(pc.Source)
+	if !ok {
+		return nil, nil, fmt.Errorf("plan: unknown source %q in %s", pc.Source, pc)
+	}
+	caps := src.Capabilities()
+	sent := pc.Pattern
+	if !p.opts.PushConditions {
+		sent = relax(sent, wrapper.Capabilities{MultiPattern: caps.MultiPattern})
+	} else {
+		sent = relax(sent, caps)
+	}
+	var paramVars []string
+	if inner && p.opts.Parameterize && p.opts.PushConditions && caps.ValueConditions {
+		paramVars = intersect(bound, patternVarSet(sent))
+	}
+	return sent, paramVars, nil
+}
+
+// labelKey is the label-only statistics bucket for a pattern — the
+// pre-shape key kept as estimation fallback.
+func labelKey(p *msl.ObjectPattern) string {
+	if l := p.LabelName(); l != "" {
+		return l
+	}
+	return "*"
 }
 
 // relax strips the query features a source cannot evaluate, returning a

@@ -191,10 +191,11 @@ type NodeStats struct {
 	source string
 	detail string
 
-	// estRows/hasEst and kids are written during (single-threaded) graph
-	// registration, before execution starts, and only read afterwards.
+	// estRows/hasEst, shape, and kids are written during (single-threaded)
+	// graph registration, before execution starts, and only read afterwards.
 	estRows float64
 	hasEst  bool
+	shape   string
 	kids    []int
 
 	calls       atomic.Int64
@@ -215,6 +216,15 @@ func (n *NodeStats) SetEstimate(rows float64) {
 		return
 	}
 	n.estRows, n.hasEst = rows, true
+}
+
+// SetShape attaches the statistics shape key the operator records its
+// feedback under (registration time only).
+func (n *NodeStats) SetShape(shape string) {
+	if n == nil {
+		return
+	}
+	n.shape = shape
 }
 
 // SetKids records the operator's input records (registration time only).
@@ -290,6 +300,22 @@ func (n *NodeStats) RowsOut() int64 {
 		return 0
 	}
 	return n.rowsOut.Load()
+}
+
+// RowsIn returns the rows the operator has consumed so far.
+func (n *NodeStats) RowsIn() int64 {
+	if n == nil {
+		return 0
+	}
+	return n.rowsIn.Load()
+}
+
+// Queries returns the instantiated queries the operator has sent so far.
+func (n *NodeStats) Queries() int64 {
+	if n == nil {
+		return 0
+	}
+	return n.queries.Load()
 }
 
 // SourceStats aggregates one source's traffic across the whole query.
@@ -414,6 +440,32 @@ type NodeSummary struct {
 	Workers     int64   `json:"workers,omitempty"`
 	EstRows     float64 `json:"est_rows,omitempty"`
 	HasEst      bool    `json:"has_est,omitempty"`
+	Shape       string  `json:"shape,omitempty"`
+	// Misestimate flags a node whose actual per-query cardinality diverges
+	// from the optimizer's estimate by more than MisestimateRatio in either
+	// direction — the EXPLAIN ANALYZE cue that the plan was built on bad
+	// numbers before a benchmark has to discover it.
+	Misestimate bool `json:"misestimate,omitempty"`
+}
+
+// MisestimateRatio is the actual/estimated divergence (either way) past
+// which a node is flagged.
+const MisestimateRatio = 4.0
+
+// misestimated compares an estimate against the observed per-query
+// cardinality. Sub-row disagreements (both below one row) never flag.
+func misestimated(est, actual float64) bool {
+	if est < 1 && actual < 1 {
+		return false
+	}
+	hi, lo := est, actual
+	if actual > est {
+		hi, lo = actual, est
+	}
+	if lo <= 0 {
+		return hi >= MisestimateRatio
+	}
+	return hi/lo > MisestimateRatio
 }
 
 // SourceSummary is one source's aggregated traffic.
@@ -448,7 +500,7 @@ func (t *QueryTrace) Snapshot() Summary {
 		}
 	}
 	for _, n := range t.nodes {
-		s.Nodes = append(s.Nodes, NodeSummary{
+		ns := NodeSummary{
 			ID:          n.id,
 			Kind:        n.kind,
 			Source:      n.source,
@@ -466,7 +518,16 @@ func (t *QueryTrace) Snapshot() Summary {
 			Workers:     n.maxWorkers.Load(),
 			EstRows:     n.estRows,
 			HasEst:      n.hasEst,
-		})
+			Shape:       n.shape,
+		}
+		if ns.HasEst && ns.Calls > 0 {
+			perQuery := float64(ns.RowsOut)
+			if ns.Queries > 0 {
+				perQuery /= float64(ns.Queries)
+			}
+			ns.Misestimate = misestimated(ns.EstRows, perQuery)
+		}
+		s.Nodes = append(s.Nodes, ns)
 	}
 	for _, name := range t.srcOrder {
 		src := t.sources[name]
@@ -550,6 +611,9 @@ func renderNode(w io.Writer, byID map[int]NodeSummary, n NodeSummary, depth int)
 	stats := fmt.Sprintf("rows=%d", n.RowsOut)
 	if n.HasEst {
 		stats += fmt.Sprintf(" (est %.1f)", n.EstRows)
+	}
+	if n.Misestimate {
+		stats += " MISESTIMATE"
 	}
 	stats += fmt.Sprintf(" in=%d calls=%d wall=%s", n.RowsIn, n.Calls,
 		time.Duration(n.WallNanos).Round(time.Microsecond))

@@ -221,3 +221,74 @@ func TestRenderAndJSON(t *testing.T) {
 		t.Fatalf("round trip lost data: %+v", back)
 	}
 }
+
+func TestMisestimatedBoundaries(t *testing.T) {
+	cases := []struct {
+		est, actual float64
+		want        bool
+	}{
+		{0.2, 0.8, false}, // sub-row disagreement never flags
+		{0, 4, true},      // no estimate vs MisestimateRatio actuals
+		{0, 3.5, false},   // no estimate vs fewer than the ratio
+		{10, 40, false},   // exactly the ratio is still in tolerance
+		{10, 41, true},    // just past it, actual high
+		{41, 10, true},    // … and estimate high: symmetric
+		{100, 100, false}, // perfect
+	}
+	for _, c := range cases {
+		if got := misestimated(c.est, c.actual); got != c.want {
+			t.Errorf("misestimated(%v, %v) = %v, want %v", c.est, c.actual, got, c.want)
+		}
+	}
+}
+
+func TestMisestimateFlagInSnapshotAndRender(t *testing.T) {
+	qt := New("q")
+	good := qt.NewNode("query", "src", "well estimated")
+	good.SetEstimate(10)
+	good.SetShape("%person?")
+	good.AddCall(0, 12, time.Millisecond)
+
+	bad := qt.NewNode("query", "src", "off by 10x")
+	bad.SetEstimate(2)
+	bad.SetShape("%person?=c")
+	bad.AddCall(0, 20, time.Millisecond)
+
+	// Per-query normalization: 20 rows over 10 parameterized queries is
+	// 2 rows per probe — dead on the estimate, not a misestimate.
+	normalized := qt.NewNode("query", "src", "parameterized")
+	normalized.SetEstimate(2)
+	normalized.AddCall(0, 20, time.Millisecond)
+	normalized.AddExchanges(1, 10)
+
+	qt.End()
+	s := qt.Snapshot()
+	flagged := map[string]bool{}
+	shapes := map[string]string{}
+	for _, n := range s.Nodes {
+		flagged[n.Detail] = n.Misestimate
+		shapes[n.Detail] = n.Shape
+	}
+	if flagged["well estimated"] {
+		t.Fatal("accurate node flagged as misestimate")
+	}
+	if !flagged["off by 10x"] {
+		t.Fatal("10x divergence not flagged")
+	}
+	if flagged["parameterized"] {
+		t.Fatal("per-query-accurate parameterized node flagged")
+	}
+	if shapes["off by 10x"] != "%person?=c" {
+		t.Fatalf("shape not carried into summary: %q", shapes["off by 10x"])
+	}
+
+	var sb strings.Builder
+	qt.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "MISESTIMATE") {
+		t.Fatal("render does not mark the misestimated node")
+	}
+	if strings.Count(out, "MISESTIMATE") != 1 {
+		t.Fatalf("render flags %d nodes, want exactly 1:\n%s", strings.Count(out, "MISESTIMATE"), out)
+	}
+}

@@ -1,0 +1,207 @@
+package wrapper
+
+import (
+	"context"
+	"fmt"
+
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+)
+
+// Replicated is the interface the engine uses to recognize a source
+// backed by N answer-equivalent replicas. Unlike Sharded members —
+// which each hold a disjoint slice of the extent — every replica holds
+// the whole extent, so any single member can answer any query. The
+// engine bypasses the composite's own Query and routes each exchange to
+// the member with the best observed latency/error score, failing over to
+// the next-best member on error (hedged execution under the run's
+// ExecPolicy).
+type Replicated interface {
+	Source
+	// Replicas returns the member sources in registration order. The
+	// slice is owned by the source; callers must not mutate it.
+	Replicas() []Source
+}
+
+// ReplicaError attributes a failure inside a replicated source to the
+// member that produced it.
+type ReplicaError struct {
+	// Source is the replicated source's logical name.
+	Source string
+	// Member is the failing member's name.
+	Member string
+	// Err is the member's error.
+	Err error
+}
+
+// Error implements error.
+func (e *ReplicaError) Error() string {
+	return fmt.Sprintf("wrapper: replicated source %q member %s: %v", e.Source, e.Member, e.Err)
+}
+
+// Unwrap exposes the member's error to errors.Is/As.
+func (e *ReplicaError) Unwrap() error { return e.Err }
+
+// Replicas presents N answer-equivalent member sources as one logical
+// source. Capabilities are the field-wise intersection of the members'
+// capabilities — including MultiPattern, since any member alone answers
+// the whole query (contrast Partitioned, where a per-shard join would
+// miss cross-shard pairs).
+//
+// When registered in a mediator, the engine recognizes Replicated and
+// routes each exchange itself: members are ranked by the latency and
+// error-rate EWMAs the statistics store accumulated for them, the
+// best-scoring healthy member is tried first, and an error fails over to
+// the next member instead of failing the exchange. Direct calls to Query
+// and QueryContext try members in registration order, failing over the
+// same way; only if every member fails does the call fail, with a
+// *ReplicaError naming the last member tried.
+type Replicas struct {
+	name    string
+	members []Source
+	caps    Capabilities
+}
+
+var (
+	_ Source               = (*Replicas)(nil)
+	_ ContextSource        = (*Replicas)(nil)
+	_ ContextBatchQuerier  = (*Replicas)(nil)
+	_ Counter              = (*Replicas)(nil)
+	_ Replicated           = (*Replicas)(nil)
+	_ InvalidationNotifier = (*Replicas)(nil)
+	_ Notifier             = (*Replicas)(nil)
+)
+
+// NewReplicated builds the logical source name over answer-equivalent
+// members. Member order is the failover order used before any routing
+// statistics exist.
+func NewReplicated(name string, members ...Source) (*Replicas, error) {
+	if name == "" {
+		return nil, fmt.Errorf("wrapper: replicated source needs a name")
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("wrapper: replicated source %q needs at least one member", name)
+	}
+	caps := FullCapabilities()
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m.Name() == name {
+			return nil, fmt.Errorf("wrapper: replicated source %q cannot contain a member with its own name", name)
+		}
+		if seen[m.Name()] {
+			return nil, fmt.Errorf("wrapper: replicated source %q has two members named %q", name, m.Name())
+		}
+		seen[m.Name()] = true
+		mc := m.Capabilities()
+		caps.ValueConditions = caps.ValueConditions && mc.ValueConditions
+		caps.RestConstraints = caps.RestConstraints && mc.RestConstraints
+		caps.Wildcards = caps.Wildcards && mc.Wildcards
+		caps.MultiPattern = caps.MultiPattern && mc.MultiPattern
+	}
+	return &Replicas{name: name, members: members, caps: caps}, nil
+}
+
+// Name implements Source.
+func (r *Replicas) Name() string { return r.name }
+
+// Capabilities implements Source: the members' field-wise intersection.
+func (r *Replicas) Capabilities() Capabilities { return r.caps }
+
+// Replicas implements Replicated.
+func (r *Replicas) Replicas() []Source { return r.members }
+
+// Query implements Source.
+func (r *Replicas) Query(q *msl.Rule) ([]*oem.Object, error) {
+	return r.QueryContext(context.Background(), q)
+}
+
+// QueryContext implements ContextSource: members are tried in
+// registration order and an error fails over to the next; only if every
+// member fails does the query fail.
+func (r *Replicas) QueryContext(ctx context.Context, q *msl.Rule) ([]*oem.Object, error) {
+	if err := CheckCapabilities(q, r.caps, r.name); err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for _, m := range r.members {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		objs, err := QueryContext(ctx, m, q)
+		if err == nil {
+			return objs, nil
+		}
+		lastErr = &ReplicaError{Source: r.name, Member: m.Name(), Err: err}
+	}
+	return nil, lastErr
+}
+
+// QueryBatchContext implements ContextBatchQuerier with the same
+// failover: the whole batch ships to one member, moving to the next on
+// error. The result slice is parallel to qs.
+func (r *Replicas) QueryBatchContext(ctx context.Context, qs []*msl.Rule) ([][]*oem.Object, error) {
+	for i, q := range qs {
+		if err := CheckCapabilities(q, r.caps, r.name); err != nil {
+			return nil, &QueryError{Source: r.name, Index: i, Err: err}
+		}
+	}
+	var lastErr error
+	for _, m := range r.members {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := QueryBatchContext(ctx, m, qs)
+		if err == nil {
+			if len(res) != len(qs) {
+				return nil, fmt.Errorf("wrapper: replicated source %q member %s answered %d of %d queries",
+					r.name, m.Name(), len(res), len(qs))
+			}
+			return res, nil
+		}
+		lastErr = &ReplicaError{Source: r.name, Member: m.Name(), Err: err}
+	}
+	return nil, lastErr
+}
+
+// CountLabel implements Counter: the first member that can count answers
+// for the whole extent (every replica holds it all).
+func (r *Replicas) CountLabel(label string) (int, bool) {
+	for _, m := range r.members {
+		if c, ok := m.(Counter); ok {
+			if n, ok := c.CountLabel(label); ok {
+				return n, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// OnInvalidate implements InvalidationNotifier by forwarding the
+// registration to every member that notifies: replicas are assumed to
+// converge, but any member's mutation invalidates derived state.
+func (r *Replicas) OnInvalidate(fn func()) {
+	for _, m := range r.members {
+		if n, ok := m.(InvalidationNotifier); ok {
+			n.OnInvalidate(fn)
+		}
+	}
+}
+
+// OnChange implements Notifier by forwarding the first feed-capable
+// member's deltas, re-labelled with the composite's name. One feed
+// suffices: members are answer-equivalent, so the same logical mutation
+// reaches every replica and forwarding all feeds would deliver N copies
+// of each delta.
+func (r *Replicas) OnChange(fn func(Delta)) {
+	for _, m := range r.members {
+		n, ok := m.(Notifier)
+		if !ok {
+			continue
+		}
+		n.OnChange(func(d Delta) {
+			d.Source = r.name
+			fn(d)
+		})
+		return
+	}
+}

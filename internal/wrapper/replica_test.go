@@ -1,0 +1,138 @@
+package wrapper_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"medmaker/internal/msl"
+	"medmaker/internal/oem"
+	"medmaker/internal/oemstore"
+	"medmaker/internal/wrapper"
+)
+
+// replicaMembers builds n answer-equivalent OEM stores r0..r(n-1), each
+// holding the same persons extent.
+func replicaMembers(t *testing.T, n, persons int) []wrapper.Source {
+	t.Helper()
+	out := make([]wrapper.Source, n)
+	for i := range out {
+		store := oemstore.New(fmt.Sprintf("r%d", i))
+		gen := oem.NewIDGen(fmt.Sprintf("rm%d", i))
+		for p := 0; p < persons; p++ {
+			obj := oem.NewSet(gen.Next(), "person",
+				oem.New(gen.Next(), "name", fmt.Sprintf("P%03d", p)))
+			if err := store.Add(obj); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out[i] = store
+	}
+	return out
+}
+
+func mustParse(t *testing.T, text string) *msl.Rule {
+	t.Helper()
+	q, err := msl.ParseQuery(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestReplicatedValidation(t *testing.T) {
+	members := replicaMembers(t, 2, 1)
+	if _, err := wrapper.NewReplicated("", members...); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := wrapper.NewReplicated("rep"); err == nil {
+		t.Fatal("zero members accepted")
+	}
+	if _, err := wrapper.NewReplicated("r0", members...); err == nil {
+		t.Fatal("composite named like a member accepted")
+	}
+	if _, err := wrapper.NewReplicated("rep", members[0], members[0]); err == nil {
+		t.Fatal("duplicate member names accepted")
+	}
+	if _, err := wrapper.NewReplicated("rep", members...); err != nil {
+		t.Fatalf("valid construction failed: %v", err)
+	}
+}
+
+func TestReplicatedCapabilitiesIntersect(t *testing.T) {
+	members := replicaMembers(t, 2, 1)
+	limited := &wrapper.Limited{Inner: members[1], Caps: wrapper.Capabilities{ValueConditions: true}}
+	rep, err := wrapper.NewReplicated("rep", members[0], limited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := rep.Capabilities()
+	if !caps.ValueConditions || caps.Wildcards || caps.RestConstraints || caps.MultiPattern {
+		t.Fatalf("capabilities not intersected: %+v", caps)
+	}
+}
+
+func TestReplicatedFailoverOrder(t *testing.T) {
+	members := replicaMembers(t, 1, 3)
+	rep, err := wrapper.NewReplicated("rep", &failingSource{name: "bad"}, members[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mustParse(t, `X :- X:<person {<name N>}>@rep.`)
+	objs, err := rep.Query(q)
+	if err != nil {
+		t.Fatalf("failover did not reach the healthy member: %v", err)
+	}
+	if len(objs) != 3 {
+		t.Fatalf("got %d objects, want 3", len(objs))
+	}
+}
+
+func TestReplicatedAllMembersFail(t *testing.T) {
+	rep, err := wrapper.NewReplicated("rep",
+		&failingSource{name: "bad0"}, &failingSource{name: "bad1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mustParse(t, `X :- X:<person {<name N>}>@rep.`)
+	_, qerr := rep.Query(q)
+	var rerr *wrapper.ReplicaError
+	if !errors.As(qerr, &rerr) {
+		t.Fatalf("error is %T, want *ReplicaError: %v", qerr, qerr)
+	}
+	if rerr.Source != "rep" || rerr.Member != "bad1" {
+		t.Fatalf("error attributes the wrong member: %+v", rerr)
+	}
+}
+
+func TestReplicatedBatchFailover(t *testing.T) {
+	members := replicaMembers(t, 1, 3)
+	rep, err := wrapper.NewReplicated("rep", &failingSource{name: "bad"}, members[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []*msl.Rule{
+		mustParse(t, `X :- X:<person {<name 'P000'>}>@rep.`),
+		mustParse(t, `X :- X:<person {<name 'P002'>}>@rep.`),
+	}
+	res, err := rep.QueryBatchContext(context.Background(), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || len(res[0]) != 1 || len(res[1]) != 1 {
+		t.Fatalf("batch answers wrong: %v", res)
+	}
+}
+
+func TestReplicatedCountLabel(t *testing.T) {
+	members := replicaMembers(t, 2, 5)
+	rep, err := wrapper.NewReplicated("rep", members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := rep.CountLabel("person")
+	if !ok || n != 5 {
+		t.Fatalf("CountLabel = %d, %v; want 5, true", n, ok)
+	}
+}

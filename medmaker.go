@@ -167,6 +167,11 @@ const (
 	OrderAsWritten = plan.OrderAsWritten
 	// OrderReversed inverts the heuristic (worst-case baseline).
 	OrderReversed = plan.OrderReversed
+	// OrderAdaptive orders by the bind-join cost model over execution
+	// feedback: condition-aware cardinalities, learned join
+	// selectivities, and observed source latencies. Falls back to the
+	// heuristic until the store has observations.
+	OrderAdaptive = plan.OrderAdaptive
 )
 
 // DefaultPlanOptions returns the optimizer defaults: heuristic order,
@@ -289,6 +294,7 @@ type Mediator struct {
 	cacheMu  sync.Mutex
 	caches   []*wrapper.Cache
 	plans    *plan.Cache
+	replanWG sync.WaitGroup // in-flight background plan revalidations
 	matviews *matview.Manager
 	// fused marks specifications whose heads carry skolem object-ids:
 	// queries then evaluate against the materialized, fused view (see
@@ -671,36 +677,86 @@ func (m *Mediator) queryLive(ctx context.Context, q *Rule, policy ExecPolicy, qt
 // keep the name and capabilities. A hit is annotated "cached-plan" on the
 // trace, with the expand phase open but empty and no plan phase at all —
 // the compile cost a warm trace shows is ≈ 0.
+//
+// A hit also runs the drift check: when the statistics learned since the
+// plan was compiled diverge from the estimates baked into it, the entry
+// is replanned in the background (singleflighted per key) while the
+// current plan keeps serving — so a serving tier's cached plans follow
+// the statistics instead of freezing the first order ever picked.
 func (m *Mediator) planForQuery(ctx context.Context, q *Rule, qt *trace.QueryTrace) (*plan.Plan, error) {
 	if m.plans == nil {
 		physical, _, err := m.planPhased(ctx, q, qt)
 		return physical, err
 	}
 	qt.Phase(trace.PhaseExpand)
-	compiled, hit, err := m.plans.GetOrCompile(ctx, plan.CacheKey(q), func(ctx context.Context) (*plan.Compiled, error) {
-		// Inlined planPhased: the expand phase is already open above, and
+	key := plan.CacheKey(q)
+	compiled, hit, err := m.plans.GetOrCompile(ctx, key, func(ctx context.Context) (*plan.Compiled, error) {
+		// Inlined compilePlan: the expand phase is already open above, and
 		// reopening it here would split the trace's phase partition.
-		logical, err := m.ExpandContext(ctx, q)
-		if err != nil {
-			return nil, err
-		}
-		qt.Phase(trace.PhasePlan)
-		planner := plan.New(m.sources, m.extfns, m.stats, m.planOpts)
-		physical, err := planner.BuildContext(ctx, logical)
-		if err != nil {
-			return nil, err
-		}
-		deps, all := m.planDeps(q, logical)
-		return &plan.Compiled{Plan: physical, Program: logical, Deps: deps, DependsOnAll: all}, nil
+		return m.compilePlan(ctx, q, qt)
 	})
 	if err != nil {
 		return nil, err
 	}
 	if hit {
 		qt.Annotate("cached-plan", 1)
+		m.maybeReplan(key, q, compiled, qt)
 	}
 	return compiled.Plan, nil
 }
+
+// compilePlan runs expansion and planning for q and packages the result
+// for the plan cache, recording the statistics generation the plan was
+// built under. qt may be nil; when set, the caller has opened the expand
+// phase already. The generation is read before compilation, so statistics
+// arriving mid-compile register as drift on the next hit rather than
+// being missed.
+func (m *Mediator) compilePlan(ctx context.Context, q *Rule, qt *trace.QueryTrace) (*plan.Compiled, error) {
+	gen := m.stats.Generation()
+	logical, err := m.ExpandContext(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	qt.Phase(trace.PhasePlan)
+	planner := plan.New(m.sources, m.extfns, m.stats, m.planOpts)
+	physical, err := planner.BuildContext(ctx, logical)
+	if err != nil {
+		return nil, err
+	}
+	deps, all := m.planDeps(q, logical)
+	return &plan.Compiled{Plan: physical, Program: logical, Deps: deps, DependsOnAll: all, StatsGen: gen}, nil
+}
+
+// maybeReplan revalidates a hit plan against the current statistics: if
+// the store drifted past plan.DriftRatio and no refresh of this key is
+// already running, the query is recompiled in the background and the
+// cache entry replaced on success. The hit keeps serving the old plan —
+// a drifted plan is correct, just possibly slow — so the foreground
+// query never waits. The trace notes the trigger as "plan.drift".
+func (m *Mediator) maybeReplan(key string, q *Rule, compiled *plan.Compiled, qt *trace.QueryTrace) {
+	if !plan.Drifted(compiled, m.stats, 0) {
+		return
+	}
+	if !m.plans.BeginRefresh(key) {
+		return
+	}
+	qt.Annotate("plan.drift", 1)
+	q = q.Clone() // the caller's rule must not escape into the goroutine
+	m.replanWG.Add(1)
+	go func() {
+		defer m.replanWG.Done()
+		fresh, err := m.compilePlan(context.Background(), q, nil)
+		if err != nil {
+			fresh = nil // clear the claim; a later drift check retries
+		}
+		m.plans.CompleteRefresh(key, fresh)
+	}()
+}
+
+// WaitReplans blocks until every background plan revalidation started by
+// the drift check has finished — deterministic shutdown and tests. A
+// no-op without Config.PlanCache.
+func (m *Mediator) WaitReplans() { m.replanWG.Wait() }
 
 // planDeps collects the names whose invalidation must drop q's cached
 // plan: every source the expanded program reads, plus the view labels the

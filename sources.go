@@ -48,6 +48,12 @@ type (
 	// gathers. Registered in a mediator, the engine performs the scatter
 	// on its own worker pool under the query's ExecPolicy.
 	PartitionedSource = wrapper.Partitioned
+	// ReplicatedSource presents N answer-equivalent member sources as one
+	// logical source. Registered in a mediator, the engine routes each
+	// exchange to the member with the best observed latency/error score
+	// and fails over to the next-best member on error, so one healthy
+	// replica keeps the source answering.
+	ReplicatedSource = wrapper.Replicas
 	// SourceDelta describes one source mutation: the top-level objects it
 	// inserted and deleted. Sources emit deltas to ChangeNotifier
 	// subscribers; a mediator subscribes to every registered source and
@@ -151,6 +157,15 @@ func NewPartitionedSource(name, keyLabel string, members ...Source) (*Partitione
 // ShardOf maps a partition-key value to a shard index in [0, shards) —
 // the stable hash both data placement and query routing use.
 func ShardOf(key string, shards int) int { return wrapper.ShardIndex(key, shards) }
+
+// NewReplicatedSource builds the logical source name over
+// answer-equivalent replicas. Member order is the failover order used
+// before any routing statistics exist; once the mediator has observed
+// exchange latencies and errors, each exchange routes to the best-scored
+// member.
+func NewReplicatedSource(name string, members ...Source) (*ReplicatedSource, error) {
+	return wrapper.NewReplicated(name, members...)
+}
 
 // NewXMLSource builds an XML-tier source over already-decoded objects.
 func NewXMLSource(name string, tops []*Object) (*XMLSource, error) {
